@@ -1,0 +1,40 @@
+//! Blinding micro-benchmarks and the zero-sum vs pairwise ablation
+//! (supports E2 and the DESIGN.md ablation list).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glimmer_core::blinding::BlindingService;
+use glimmer_federated::fixed::encode_weights;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(150))
+}
+
+fn bench_masks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blinding");
+    let service = BlindingService::new([1u8; 32]);
+    let clients: Vec<u64> = (0..64).collect();
+    for dim in [64usize, 1024] {
+        group.bench_with_input(BenchmarkId::new("zero_sum_masks_64c", dim), &dim, |b, &d| {
+            b.iter(|| service.zero_sum_masks(1, &clients, d))
+        });
+        group.bench_with_input(BenchmarkId::new("pairwise_masks_64c", dim), &dim, |b, &d| {
+            b.iter(|| service.pairwise_masks(1, &clients, d))
+        });
+        let masks = service.zero_sum_masks(1, &clients, dim);
+        let contribution = encode_weights(&vec![0.5; dim]);
+        group.bench_with_input(BenchmarkId::new("blind_apply", dim), &dim, |b, _| {
+            b.iter(|| masks[0].blind(&contribution))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_masks
+}
+criterion_main!(benches);

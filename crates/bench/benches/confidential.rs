@@ -1,0 +1,78 @@
+//! Validation-confidentiality benchmarks: attested channel, encrypted
+//! predicate delivery, audited 1-bit verdicts (supports E7).
+use criterion::{criterion_group, criterion_main, Criterion};
+use glimmer_core::host::{GlimmerClient, GlimmerDescriptor};
+use glimmer_core::protocol::PrivateData;
+use glimmer_core::validation::BotDetectorSpec;
+use glimmer_crypto::dh::DhGroup;
+use glimmer_crypto::drbg::Drbg;
+use glimmer_crypto::schnorr::SigningKey;
+use glimmer_services::botdetect::BotDetectionService;
+use glimmer_workloads::botsignals::BotSignalWorkload;
+use sgx_sim::{AttestationService, PlatformConfig};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+fn bench_confidential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("confidential");
+    let mut rng = Drbg::from_seed([11u8; 32]);
+    let service_key = SigningKey::generate(DhGroup::default_group(), &mut rng).unwrap();
+    let vk = service_key.verifying_key().to_bytes();
+    let descriptor = GlimmerDescriptor::bot_detection_default(vk, u64::MAX / 2);
+    let approved = descriptor.measurement();
+    let mut service = BotDetectionService::new(
+        BotDetectorSpec::example(),
+        service_key,
+        approved,
+        rng.fork("svc"),
+    );
+    let mut avs = AttestationService::new([12u8; 32]);
+    let mut client = GlimmerClient::new(descriptor, PlatformConfig::default(), &mut rng).unwrap();
+    client.provision_platform(&mut avs);
+
+    let offer = client.start_channel().unwrap();
+    let (accept, mut session) = service.accept_channel(&offer, &avs).unwrap();
+    client.complete_channel(&accept).unwrap();
+    let encrypted = service.encrypted_detector(&session);
+    client.install_encrypted_predicate(&encrypted).unwrap();
+
+    group.bench_function("encrypted_predicate_delivery", |b| {
+        b.iter(|| {
+            let e = service.encrypted_detector(&session);
+            client.install_encrypted_predicate(&e).unwrap();
+        })
+    });
+
+    let workload = BotSignalWorkload::generate(8, 0.5, [13u8; 32]);
+    group.bench_function("confidential_check_one_bit", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let s = &workload.sessions[i % workload.sessions.len()];
+            i += 1;
+            let challenge = service.issue_challenge(&mut session);
+            let frame = client
+                .confidential_check(
+                    challenge,
+                    PrivateData::BotSignals {
+                        signals: s.signals.clone(),
+                    },
+                )
+                .unwrap();
+            service.accept_verdict(&mut session, &frame).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_confidential
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Micro-benchmarks for the cryptographic substrate (supports E5).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use glimmer_crypto::aead::AeadKey;
+use glimmer_crypto::chacha20::ChaCha20;
+use glimmer_crypto::dh::{DhGroup, DhKeyPair};
+use glimmer_crypto::drbg::Drbg;
+use glimmer_crypto::hmac::hmac_sha256;
+use glimmer_crypto::schnorr::SigningKey;
+use glimmer_crypto::sha256::sha256;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(150))
+}
+
+fn bench_hash_and_mac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_mac");
+    for size in [64usize, 4096] {
+        let data = vec![0xA5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
+            b.iter(|| sha256(d))
+        });
+        group.bench_with_input(BenchmarkId::new("hmac_sha256", size), &data, |b, d| {
+            b.iter(|| hmac_sha256(b"key", d))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cipher(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cipher");
+    let key = [7u8; 32];
+    let nonce = [9u8; 12];
+    for size in [256usize, 16384] {
+        let data = vec![0u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("chacha20", size), &data, |b, d| {
+            b.iter(|| {
+                let mut buf = d.clone();
+                ChaCha20::new(&key, &nonce).apply(&mut buf, 0);
+                buf
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("aead_seal", size), &data, |b, d| {
+            let k = AeadKey::from_master(&[1u8; 32]);
+            b.iter(|| k.seal(&nonce, b"aad", d))
+        });
+    }
+    group.finish();
+}
+
+fn bench_public_key(c: &mut Criterion) {
+    let mut group = c.benchmark_group("public_key");
+    let mut rng = Drbg::from_seed([3u8; 32]);
+    let key = SigningKey::generate(DhGroup::default_group(), &mut rng).unwrap();
+    let sig = key.sign(b"endorsement").unwrap();
+    group.bench_function("schnorr_sign", |b| b.iter(|| key.sign(b"endorsement").unwrap()));
+    group.bench_function("schnorr_verify", |b| {
+        b.iter(|| key.verifying_key().verify(b"endorsement", &sig).unwrap())
+    });
+    let alice = DhKeyPair::generate(DhGroup::default_group(), &mut rng).unwrap();
+    let bob = DhKeyPair::generate(DhGroup::default_group(), &mut rng).unwrap();
+    group.bench_function("dh_derive_shared", |b| {
+        b.iter(|| alice.derive_shared_key(bob.public(), b"ctx", 32).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_hash_and_mac, bench_cipher, bench_public_key
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! SGX-simulator micro-benchmarks: ECALL round trips, sealing, attestation
+//! (supports E5).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glimmer_core::host::{GlimmerClient, GlimmerDescriptor};
+use glimmer_crypto::drbg::Drbg;
+use sgx_sim::{AttestationService, PlatformConfig};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(150))
+}
+
+fn bench_enclave_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enclave");
+    let mut rng = Drbg::from_seed([5u8; 32]);
+    let mut client = GlimmerClient::new(
+        GlimmerDescriptor::keyboard_default(),
+        PlatformConfig::default(),
+        &mut rng,
+    )
+    .unwrap();
+    group.bench_function("ecall_status_round_trip", |b| {
+        b.iter(|| client.status().unwrap())
+    });
+
+    let mut avs = AttestationService::new([6u8; 32]);
+    let descriptor = GlimmerDescriptor::keyboard_default();
+    group.bench_function(BenchmarkId::new("enclave_create", "keyboard"), |b| {
+        b.iter(|| {
+            GlimmerClient::new(descriptor.clone(), PlatformConfig::default(), &mut rng).unwrap()
+        })
+    });
+
+    let mut attested = GlimmerClient::new(
+        GlimmerDescriptor::bot_detection_default(Vec::new(), 8),
+        PlatformConfig::default(),
+        &mut rng,
+    )
+    .unwrap();
+    attested.provision_platform(&mut avs);
+    group.bench_function("attested_channel_offer(quote)", |b| {
+        b.iter(|| attested.start_channel().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_enclave_ops
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Federated-learning substrate benchmarks (supports E1/E3/E4).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glimmer_bench::{run_keyboard_round, AttackKind, KeyboardRoundConfig, PredicateLevel};
+use glimmer_federated::aggregation::aggregate_mean;
+use glimmer_federated::trainer::train_local_model;
+use glimmer_workloads::keyboard::{KeyboardWorkload, KeyboardWorkloadConfig};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+fn bench_training_and_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("federated");
+    let workload = KeyboardWorkload::generate(
+        &KeyboardWorkloadConfig {
+            users: 16,
+            vocab_size: 60,
+            sentences_per_user: 20,
+            ..KeyboardWorkloadConfig::default()
+        },
+        [4u8; 32],
+    );
+    group.bench_function("train_local_model", |b| {
+        b.iter(|| train_local_model(&workload.schema, &workload.users[0].sentences).unwrap())
+    });
+    let locals: Vec<_> = workload
+        .users
+        .iter()
+        .map(|u| train_local_model(&workload.schema, &u.sentences).unwrap().0)
+        .collect();
+    group.bench_function("aggregate_mean_16users", |b| {
+        b.iter(|| aggregate_mean(&workload.schema, &locals).unwrap())
+    });
+
+    for protected in [false, true] {
+        let label = if protected { "protected" } else { "unprotected" };
+        group.bench_with_input(BenchmarkId::new("keyboard_round_8users", label), &protected, |b, &p| {
+            b.iter(|| {
+                run_keyboard_round(&KeyboardRoundConfig {
+                    users: 8,
+                    malicious_fraction: 0.125,
+                    attack: Some(AttackKind::OutOfRange538),
+                    protected: p,
+                    predicate_level: PredicateLevel::Corroborate,
+                    seed: [9u8; 32],
+                    workload: KeyboardWorkloadConfig {
+                        users: 8,
+                        vocab_size: 40,
+                        sentences_per_user: 10,
+                        ..KeyboardWorkloadConfig::default()
+                    },
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_training_and_rounds
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! End-to-end Glimmer pipeline benchmark: validate + blind + sign + verify
+//! (the headline E5 numbers).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glimmer_core::blinding::BlindingService;
+use glimmer_core::host::{GlimmerClient, GlimmerDescriptor};
+use glimmer_core::protocol::{Contribution, ContributionPayload, PrivateData, ProcessResponse};
+use glimmer_core::signing::ServiceKeyMaterial;
+use glimmer_crypto::drbg::Drbg;
+use sgx_sim::PlatformConfig;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("glimmer_pipeline");
+    let mut rng = Drbg::from_seed([8u8; 32]);
+    let material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+    for dim in [16usize, 256, 2048] {
+        let mut client = GlimmerClient::new(
+            GlimmerDescriptor::keyboard_range_only(),
+            PlatformConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        client.install_service_key(&material.secret_bytes()).unwrap();
+        let masks = BlindingService::new([3u8; 32]).zero_sum_masks(0, &[0, 1], dim);
+        client.install_mask(&masks[0]).unwrap();
+        let weights: Vec<f64> = (0..dim).map(|i| (i % 7) as f64 / 10.0).collect();
+        group.bench_with_input(BenchmarkId::new("process_and_verify", dim), &dim, |b, _| {
+            b.iter(|| {
+                let contribution = Contribution {
+                    app_id: "nextwordpredictive.com".to_string(),
+                    client_id: 0,
+                    round: 0,
+                    payload: ContributionPayload::ModelUpdate {
+                        weights: weights.clone(),
+                    },
+                };
+                match client.process(contribution, PrivateData::None).unwrap() {
+                    ProcessResponse::Endorsed(e) => material.verifier().verify(&e).unwrap(),
+                    ProcessResponse::Rejected { reason } => panic!("rejected: {reason}"),
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Validation-predicate micro-benchmarks (supports E6).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glimmer_core::protocol::{Contribution, ContributionPayload, PrivateData};
+use glimmer_core::validation::PredicateSpec;
+use glimmer_federated::trainer::train_local_model;
+use glimmer_workloads::keyboard::{KeyboardWorkload, KeyboardWorkloadConfig};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(150))
+}
+
+fn bench_predicates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("validation");
+    let workload = KeyboardWorkload::generate(
+        &KeyboardWorkloadConfig {
+            users: 4,
+            vocab_size: 60,
+            sentences_per_user: 20,
+            schema_words: 24,
+            ..KeyboardWorkloadConfig::default()
+        },
+        [2u8; 32],
+    );
+    let user = &workload.users[0];
+    let (model, _) = train_local_model(&workload.schema, &user.sentences).unwrap();
+    let contribution = Contribution {
+        app_id: "nextwordpredictive.com".to_string(),
+        client_id: 0,
+        round: 0,
+        payload: ContributionPayload::ModelUpdate {
+            weights: model.weights.clone(),
+        },
+    };
+    let private = PrivateData::KeyboardLog {
+        sentences: user.sentences.clone(),
+    };
+    let specs = [
+        ("range", PredicateSpec::RangeCheck { min: 0.0, max: 1.0 }),
+        ("plausibility", PredicateSpec::Plausibility),
+        (
+            "corroborate",
+            PredicateSpec::KeyboardCorroboration {
+                tolerance: 0.05,
+                min_support: 0.8,
+            },
+        ),
+        ("retrain", PredicateSpec::RetrainCheck { tolerance: 1e-9 }),
+    ];
+    for (name, spec) in specs {
+        let predicate = spec.instantiate();
+        group.bench_with_input(BenchmarkId::new("predicate", name), &name, |b, _| {
+            b.iter(|| predicate.validate(&contribution, &private))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_predicates
+}
+criterion_main!(benches);

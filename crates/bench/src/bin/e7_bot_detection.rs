@@ -1,0 +1,12 @@
+//! E7: bot detection with validation confidentiality (Section 4.1).
+use glimmer_bench::e7_bot_detection;
+
+fn main() {
+    println!("E7: bot detection through the Glimmer vs raw signal upload");
+    for &(sessions, bots) in &[(200usize, 0.2f64), (500, 0.4)] {
+        let r = e7_bot_detection(sessions, bots, [42u8; 32]);
+        println!("sessions={} bots={} glimmer_acc={:.3} raw_acc={:.3} glimmer_B/session={} raw_B/session={} auditor_rejections={} capacity_bound_bits={}",
+            r.sessions, r.bots, r.glimmer_accuracy, r.raw_upload_accuracy,
+            r.glimmer_bytes_per_session, r.raw_bytes_per_session, r.auditor_rejections, r.capacity_bound_bits);
+    }
+}

@@ -1,0 +1,202 @@
+//! Authenticated encryption with associated data (encrypt-then-MAC).
+//!
+//! Sealed blobs, attested-channel messages, and encrypted validation
+//! predicates all need confidentiality *and* integrity. This module composes
+//! ChaCha20 (confidentiality) with HMAC-SHA-256 (integrity) in the standard
+//! encrypt-then-MAC construction: the MAC covers the nonce, the associated
+//! data, and the ciphertext, with unambiguous length framing.
+
+use crate::chacha20::{ChaCha20, KEY_LEN, NONCE_LEN};
+use crate::ct::ct_eq;
+use crate::hkdf::hkdf;
+use crate::hmac::HmacSha256;
+use crate::CryptoError;
+
+/// Length of the authentication tag appended to ciphertexts.
+pub const TAG_LEN: usize = 32;
+
+/// Errors from AEAD operations (re-exported alias of [`CryptoError`]).
+pub type AeadError = CryptoError;
+
+/// An AEAD key: independent sub-keys for encryption and authentication derived
+/// from one 32-byte master key.
+///
+/// # Examples
+///
+/// ```
+/// use glimmer_crypto::aead::AeadKey;
+/// let key = AeadKey::from_master(&[42u8; 32]);
+/// let nonce = [1u8; 12];
+/// let ct = key.seal(&nonce, b"context", b"private contribution");
+/// let pt = key.open(&nonce, b"context", &ct).unwrap();
+/// assert_eq!(pt, b"private contribution");
+/// assert!(key.open(&nonce, b"wrong context", &ct).is_err());
+/// ```
+#[derive(Clone)]
+pub struct AeadKey {
+    enc_key: [u8; KEY_LEN],
+    mac_key: [u8; KEY_LEN],
+}
+
+impl AeadKey {
+    /// Derives an AEAD key from a 32-byte master secret.
+    #[must_use]
+    pub fn from_master(master: &[u8; 32]) -> Self {
+        let okm = hkdf(b"glimmers-aead-v1", master, b"enc|mac", 64);
+        let mut enc_key = [0u8; KEY_LEN];
+        let mut mac_key = [0u8; KEY_LEN];
+        enc_key.copy_from_slice(&okm[..32]);
+        mac_key.copy_from_slice(&okm[32..]);
+        AeadKey { enc_key, mac_key }
+    }
+
+    /// Derives an AEAD key from arbitrary-length keying material.
+    #[must_use]
+    pub fn from_material(material: &[u8]) -> Self {
+        let master = crate::hkdf::derive_key_32(material, "aead-master");
+        Self::from_master(&master)
+    }
+
+    /// Encrypts `plaintext`, binding it to `aad`, and returns
+    /// `ciphertext || tag`.
+    #[must_use]
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = plaintext.to_vec();
+        ChaCha20::new(&self.enc_key, nonce).apply(&mut out, 1);
+        let tag = self.tag(nonce, aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Decrypts `ciphertext || tag`, verifying the tag and the binding to
+    /// `aad`.
+    ///
+    /// Returns [`CryptoError::VerificationFailed`] if the tag does not match
+    /// and [`CryptoError::InvalidLength`] if the input is shorter than a tag.
+    pub fn open(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        ciphertext_and_tag: &[u8],
+    ) -> Result<Vec<u8>, AeadError> {
+        if ciphertext_and_tag.len() < TAG_LEN {
+            return Err(CryptoError::InvalidLength {
+                got: ciphertext_and_tag.len(),
+                expected: TAG_LEN,
+            });
+        }
+        let split = ciphertext_and_tag.len() - TAG_LEN;
+        let (ciphertext, tag) = ciphertext_and_tag.split_at(split);
+        let expected = self.tag(nonce, aad, ciphertext);
+        if !ct_eq(&expected, tag) {
+            return Err(CryptoError::VerificationFailed);
+        }
+        let mut out = ciphertext.to_vec();
+        ChaCha20::new(&self.enc_key, nonce).apply(&mut out, 1);
+        Ok(out)
+    }
+
+    fn tag(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
+        let mut mac = HmacSha256::new(&self.mac_key);
+        mac.update(nonce);
+        mac.update(&(aad.len() as u64).to_le_bytes());
+        mac.update(aad);
+        mac.update(&(ciphertext.len() as u64).to_le_bytes());
+        mac.update(ciphertext);
+        mac.finalize()
+    }
+}
+
+/// One-shot seal with a key derived from `material`.
+#[must_use]
+pub fn seal(material: &[u8], nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+    AeadKey::from_material(material).seal(nonce, aad, plaintext)
+}
+
+/// One-shot open with a key derived from `material`.
+pub fn open(
+    material: &[u8],
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    ciphertext_and_tag: &[u8],
+) -> Result<Vec<u8>, AeadError> {
+    AeadKey::from_material(material).open(nonce, aad, ciphertext_and_tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let key = AeadKey::from_master(&[1u8; 32]);
+        let nonce = [2u8; 12];
+        let ct = key.seal(&nonce, b"aad", b"hello glimmer");
+        assert_eq!(key.open(&nonce, b"aad", &ct).unwrap(), b"hello glimmer");
+    }
+
+    #[test]
+    fn tamper_detection() {
+        let key = AeadKey::from_master(&[1u8; 32]);
+        let nonce = [2u8; 12];
+        let mut ct = key.seal(&nonce, b"aad", b"hello glimmer");
+        // Flip a ciphertext bit.
+        ct[0] ^= 1;
+        assert_eq!(
+            key.open(&nonce, b"aad", &ct),
+            Err(CryptoError::VerificationFailed)
+        );
+        // Flip a tag bit.
+        let mut ct2 = key.seal(&nonce, b"aad", b"hello glimmer");
+        let last = ct2.len() - 1;
+        ct2[last] ^= 1;
+        assert_eq!(
+            key.open(&nonce, b"aad", &ct2),
+            Err(CryptoError::VerificationFailed)
+        );
+    }
+
+    #[test]
+    fn wrong_aad_or_nonce_fails() {
+        let key = AeadKey::from_master(&[1u8; 32]);
+        let nonce = [2u8; 12];
+        let ct = key.seal(&nonce, b"aad", b"data");
+        assert!(key.open(&nonce, b"other", &ct).is_err());
+        assert!(key.open(&[3u8; 12], b"aad", &ct).is_err());
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let key = AeadKey::from_master(&[1u8; 32]);
+        let other = AeadKey::from_master(&[9u8; 32]);
+        let nonce = [2u8; 12];
+        let ct = key.seal(&nonce, b"", b"data");
+        assert!(other.open(&nonce, b"", &ct).is_err());
+    }
+
+    #[test]
+    fn short_input_rejected() {
+        let key = AeadKey::from_master(&[1u8; 32]);
+        assert!(matches!(
+            key.open(&[0u8; 12], b"", &[0u8; 5]),
+            Err(CryptoError::InvalidLength { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_plaintext_round_trip() {
+        let key = AeadKey::from_material(b"some shared secret");
+        let nonce = [7u8; 12];
+        let ct = key.seal(&nonce, b"context", b"");
+        assert_eq!(ct.len(), TAG_LEN);
+        assert_eq!(key.open(&nonce, b"context", &ct).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn one_shot_helpers() {
+        let nonce = [4u8; 12];
+        let ct = seal(b"material", &nonce, b"aad", b"payload");
+        assert_eq!(open(b"material", &nonce, b"aad", &ct).unwrap(), b"payload");
+        assert!(open(b"other material", &nonce, b"aad", &ct).is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! The ChaCha20 stream cipher (RFC 8439, block function and XOR keystream).
+//!
+//! ChaCha20 encrypts the confidential validation predicates of Section 4.1
+//! (the service ships an encrypted detector to the Glimmer) and drives the
+//! deterministic random bit generator in [`crate::drbg`].
+
+/// Key size in bytes.
+pub const KEY_LEN: usize = 32;
+
+/// Nonce size in bytes.
+pub const NONCE_LEN: usize = 12;
+
+/// Size of one keystream block.
+pub const BLOCK_LEN: usize = 64;
+
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// A ChaCha20 cipher instance bound to a key and nonce.
+///
+/// The instance is a keystream generator; [`ChaCha20::apply`] XORs the
+/// keystream into a buffer, which both encrypts and decrypts.
+///
+/// # Examples
+///
+/// ```
+/// use glimmer_crypto::chacha20::ChaCha20;
+/// let key = [7u8; 32];
+/// let nonce = [9u8; 12];
+/// let mut buf = b"secret predicate bytecode".to_vec();
+/// ChaCha20::new(&key, &nonce).apply(&mut buf, 0);
+/// assert_ne!(&buf, b"secret predicate bytecode");
+/// ChaCha20::new(&key, &nonce).apply(&mut buf, 0);
+/// assert_eq!(&buf, b"secret predicate bytecode");
+/// ```
+#[derive(Clone)]
+pub struct ChaCha20 {
+    key: [u32; 8],
+    nonce: [u32; 3],
+}
+
+impl ChaCha20 {
+    /// Creates a cipher for the given 256-bit key and 96-bit nonce.
+    #[must_use]
+    pub fn new(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN]) -> Self {
+        let mut k = [0u32; 8];
+        for (i, item) in k.iter_mut().enumerate() {
+            *item = u32::from_le_bytes([
+                key[i * 4],
+                key[i * 4 + 1],
+                key[i * 4 + 2],
+                key[i * 4 + 3],
+            ]);
+        }
+        let mut n = [0u32; 3];
+        for (i, item) in n.iter_mut().enumerate() {
+            *item = u32::from_le_bytes([
+                nonce[i * 4],
+                nonce[i * 4 + 1],
+                nonce[i * 4 + 2],
+                nonce[i * 4 + 3],
+            ]);
+        }
+        ChaCha20 { key: k, nonce: n }
+    }
+
+    /// Produces the 64-byte keystream block for the given counter value.
+    #[must_use]
+    pub fn block(&self, counter: u32) -> [u8; BLOCK_LEN] {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = counter;
+        state[13..16].copy_from_slice(&self.nonce);
+
+        let mut working = state;
+        for _ in 0..10 {
+            // Column rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+
+        let mut out = [0u8; BLOCK_LEN];
+        for i in 0..16 {
+            let word = working[i].wrapping_add(state[i]);
+            out[i * 4..(i + 1) * 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// XORs the keystream (starting at block `initial_counter`) into `data`.
+    ///
+    /// Applying the same operation twice with the same parameters restores the
+    /// original data, so this method serves as both encrypt and decrypt.
+    pub fn apply(&self, data: &mut [u8], initial_counter: u32) {
+        let mut counter = initial_counter;
+        for chunk in data.chunks_mut(BLOCK_LEN) {
+            let ks = self.block(counter);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+            counter = counter.wrapping_add(1);
+        }
+    }
+}
+
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] ^= state[a];
+    state[d] = state[d].rotate_left(16);
+
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] ^= state[c];
+    state[b] = state[b].rotate_left(12);
+
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] ^= state[a];
+    state[d] = state[d].rotate_left(8);
+
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] ^= state[c];
+    state[b] = state[b].rotate_left(7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 8439 section 2.3.2 block function test vector.
+    #[test]
+    fn rfc8439_block_vector() {
+        let mut key = [0u8; 32];
+        for (i, item) in key.iter_mut().enumerate() {
+            *item = i as u8;
+        }
+        let nonce: [u8; 12] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let block = ChaCha20::new(&key, &nonce).block(1);
+        assert_eq!(
+            hex(&block),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    // RFC 8439 section 2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encryption_vector() {
+        let mut key = [0u8; 32];
+        for (i, item) in key.iter_mut().enumerate() {
+            *item = i as u8;
+        }
+        let nonce: [u8; 12] = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let mut buf = plaintext.to_vec();
+        ChaCha20::new(&key, &nonce).apply(&mut buf, 1);
+        assert_eq!(
+            hex(&buf[..64]),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+             f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+        );
+        // Round trip.
+        ChaCha20::new(&key, &nonce).apply(&mut buf, 1);
+        assert_eq!(&buf, plaintext);
+    }
+
+    #[test]
+    fn distinct_nonces_give_distinct_streams() {
+        let key = [1u8; 32];
+        let a = ChaCha20::new(&key, &[0u8; 12]).block(0);
+        let b = ChaCha20::new(&key, &[1u8; 12]).block(0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn partial_block_round_trip() {
+        let key = [3u8; 32];
+        let nonce = [5u8; 12];
+        for len in [0usize, 1, 63, 64, 65, 200] {
+            let original: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let mut buf = original.clone();
+            ChaCha20::new(&key, &nonce).apply(&mut buf, 7);
+            ChaCha20::new(&key, &nonce).apply(&mut buf, 7);
+            assert_eq!(buf, original, "len {len}");
+        }
+    }
+}

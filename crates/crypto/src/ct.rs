@@ -1,0 +1,80 @@
+//! Constant-time helpers.
+//!
+//! The Glimmer signing and sealing paths compare MACs and signatures produced
+//! over attacker-influenced data; a naive early-exit comparison would leak the
+//! position of the first mismatching byte through timing. [`ct_eq`] compares
+//! two byte slices in time that depends only on their length.
+
+/// Compares two byte slices in constant time (for equal-length inputs).
+///
+/// Returns `false` immediately if the lengths differ; the length of a MAC or
+/// signature is public, so this early exit does not leak secret data.
+///
+/// # Examples
+///
+/// ```
+/// use glimmer_crypto::ct::ct_eq;
+/// assert!(ct_eq(b"abc", b"abc"));
+/// assert!(!ct_eq(b"abc", b"abd"));
+/// assert!(!ct_eq(b"abc", b"abcd"));
+/// ```
+#[must_use]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+/// Selects `a` if `choice` is 1 and `b` if `choice` is 0, without branching.
+///
+/// `choice` must be 0 or 1; any other value produces an unspecified mix of the
+/// two inputs (but never panics).
+#[must_use]
+pub fn ct_select_u64(choice: u8, a: u64, b: u64) -> u64 {
+    let mask = (choice as u64).wrapping_neg();
+    (a & mask) | (b & !mask)
+}
+
+/// Zeroes a buffer.
+///
+/// Rust has no portable guarantee that the compiler will not elide the writes,
+/// but using a volatile-style loop through `core::hint::black_box` makes
+/// elision unlikely. Sealing keys and blinding values are wiped with this
+/// after use.
+pub fn wipe(buf: &mut [u8]) {
+    for b in buf.iter_mut() {
+        *b = 0;
+    }
+    core::hint::black_box(&buf);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_basic() {
+        assert!(ct_eq(&[], &[]));
+        assert!(ct_eq(&[1, 2, 3], &[1, 2, 3]));
+        assert!(!ct_eq(&[1, 2, 3], &[1, 2, 4]));
+        assert!(!ct_eq(&[1, 2, 3], &[1, 2]));
+    }
+
+    #[test]
+    fn select_picks_correct_value() {
+        assert_eq!(ct_select_u64(1, 7, 9), 7);
+        assert_eq!(ct_select_u64(0, 7, 9), 9);
+    }
+
+    #[test]
+    fn wipe_zeroes() {
+        let mut buf = [0xAAu8; 16];
+        wipe(&mut buf);
+        assert_eq!(buf, [0u8; 16]);
+    }
+}

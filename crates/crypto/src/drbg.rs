@@ -1,0 +1,291 @@
+//! Deterministic random bit generator (DRBG) built on ChaCha20.
+//!
+//! The reproduction needs two kinds of randomness:
+//!
+//! * **Reproducible randomness** for workloads, blinding values, and
+//!   simulated platform secrets, so that every experiment in EXPERIMENTS.md
+//!   can be regenerated from a seed.
+//! * **Fresh randomness** for key generation in examples, obtained by seeding
+//!   a DRBG from the operating system via the `rand` crate.
+//!
+//! The DRBG is a simple counter-mode construction: the 32-byte seed keys a
+//! ChaCha20 instance whose keystream (over an incrementing block counter and
+//! a 96-bit stream id) is the output. A fast-key-erasure style reseed is
+//! available via [`Drbg::fork`].
+
+use crate::chacha20::{ChaCha20, BLOCK_LEN, KEY_LEN, NONCE_LEN};
+use crate::hkdf::derive_key_32;
+
+/// A deterministic, seekable random bit generator.
+///
+/// # Examples
+///
+/// ```
+/// use glimmer_crypto::drbg::Drbg;
+/// let mut a = Drbg::from_seed([1u8; 32]);
+/// let mut b = Drbg::from_seed([1u8; 32]);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone)]
+pub struct Drbg {
+    cipher: ChaCha20,
+    counter: u32,
+    buffer: [u8; BLOCK_LEN],
+    used: usize,
+}
+
+impl Drbg {
+    /// Creates a generator from a 32-byte seed.
+    #[must_use]
+    pub fn from_seed(seed: [u8; KEY_LEN]) -> Self {
+        Self::with_stream(seed, 0)
+    }
+
+    /// Creates a generator from an arbitrary-length seed by hashing it.
+    #[must_use]
+    pub fn from_material(material: &[u8]) -> Self {
+        Self::from_seed(derive_key_32(material, "drbg-seed"))
+    }
+
+    /// Creates a generator seeded from the operating system RNG.
+    #[must_use]
+    pub fn from_os_entropy() -> Self {
+        use rand::RngCore;
+        let mut seed = [0u8; KEY_LEN];
+        rand::thread_rng().fill_bytes(&mut seed);
+        Self::from_seed(seed)
+    }
+
+    /// Creates a generator with an explicit stream identifier, so that many
+    /// independent streams can be derived from one seed.
+    #[must_use]
+    pub fn with_stream(seed: [u8; KEY_LEN], stream: u64) -> Self {
+        let mut nonce = [0u8; NONCE_LEN];
+        nonce[..8].copy_from_slice(&stream.to_le_bytes());
+        Drbg {
+            cipher: ChaCha20::new(&seed, &nonce),
+            counter: 0,
+            buffer: [0u8; BLOCK_LEN],
+            used: BLOCK_LEN,
+        }
+    }
+
+    /// Derives an independent child generator labelled by `label`.
+    ///
+    /// Forking is how per-client, per-round, and per-parameter streams are
+    /// produced from one experiment seed without correlation.
+    #[must_use]
+    pub fn fork(&mut self, label: &str) -> Drbg {
+        let mut child_seed = [0u8; KEY_LEN];
+        self.fill_bytes(&mut child_seed);
+        let mut material = Vec::with_capacity(KEY_LEN + label.len());
+        material.extend_from_slice(&child_seed);
+        material.extend_from_slice(label.as_bytes());
+        Drbg::from_seed(derive_key_32(&material, "drbg-fork"))
+    }
+
+    /// Fills `dest` with pseudo-random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for byte in dest.iter_mut() {
+            if self.used == BLOCK_LEN {
+                self.buffer = self.cipher.block(self.counter);
+                self.counter = self.counter.wrapping_add(1);
+                self.used = 0;
+            }
+            *byte = self.buffer[self.used];
+            self.used += 1;
+        }
+    }
+
+    /// Returns the next pseudo-random `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut buf = [0u8; 8];
+        self.fill_bytes(&mut buf);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Returns the next pseudo-random `u32`.
+    pub fn next_u32(&mut self) -> u32 {
+        let mut buf = [0u8; 4];
+        self.fill_bytes(&mut buf);
+        u32::from_le_bytes(buf)
+    }
+
+    /// Returns a uniformly distributed value in `[0, bound)`.
+    ///
+    /// Uses rejection sampling to avoid modulo bias. Returns 0 if `bound` is 0.
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Largest multiple of `bound` that fits in a u64.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random bits scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Returns a standard-normal sample (Box-Muller).
+    pub fn next_gaussian(&mut self) -> f64 {
+        let u1 = loop {
+            let v = self.next_f64();
+            if v > 0.0 {
+                break v;
+            }
+        };
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Returns a vector of `n` pseudo-random bytes.
+    pub fn bytes(&mut self, n: usize) -> Vec<u8> {
+        let mut out = vec![0u8; n];
+        self.fill_bytes(&mut out);
+        out
+    }
+
+    /// Shuffles a slice in place (Fisher-Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        if items.len() < 2 {
+            return;
+        }
+        for i in (1..items.len()).rev() {
+            let j = self.gen_range((i + 1) as u64) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.gen_range(items.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = Drbg::from_seed([5u8; 32]);
+        let mut b = Drbg::from_seed([5u8; 32]);
+        assert_eq!(a.bytes(100), b.bytes(100));
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Drbg::from_seed([5u8; 32]);
+        let mut b = Drbg::from_seed([6u8; 32]);
+        assert_ne!(a.bytes(32), b.bytes(32));
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut a = Drbg::with_stream([5u8; 32], 0);
+        let mut b = Drbg::with_stream([5u8; 32], 1);
+        assert_ne!(a.bytes(32), b.bytes(32));
+    }
+
+    #[test]
+    fn fork_produces_independent_children() {
+        let mut parent = Drbg::from_seed([7u8; 32]);
+        let mut c1 = parent.fork("client-1");
+        let mut c2 = parent.fork("client-2");
+        assert_ne!(c1.bytes(32), c2.bytes(32));
+
+        // Forking is deterministic given the same parent state and label order.
+        let mut parent2 = Drbg::from_seed([7u8; 32]);
+        let mut c1b = parent2.fork("client-1");
+        // `c1` already produced 32 bytes above; reproduce that prefix first.
+        assert_eq!(c1b.bytes(32), Drbg::from_seed([7u8; 32]).fork("client-1").bytes(32));
+        let _ = c1b.bytes(0);
+        assert_eq!(c1.bytes(16), {
+            let mut fresh = Drbg::from_seed([7u8; 32]).fork("client-1");
+            let _ = fresh.bytes(32);
+            fresh.bytes(16)
+        });
+    }
+
+    #[test]
+    fn gen_range_respects_bound() {
+        let mut rng = Drbg::from_seed([9u8; 32]);
+        for bound in [1u64, 2, 7, 100, 1 << 40] {
+            for _ in 0..200 {
+                assert!(rng.gen_range(bound) < bound);
+            }
+        }
+        assert_eq!(rng.gen_range(0), 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Drbg::from_seed([11u8; 32]);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        // Mean should be roughly 0.5.
+        let mean = sum / 1000.0;
+        assert!((0.4..0.6).contains(&mean), "mean was {mean}");
+    }
+
+    #[test]
+    fn gaussian_has_reasonable_moments() {
+        let mut rng = Drbg::from_seed([13u8; 32]);
+        let n = 5000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Drbg::from_seed([17u8; 32]);
+        let mut items: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut items);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn choose_from_slices() {
+        let mut rng = Drbg::from_seed([19u8; 32]);
+        assert_eq!(rng.choose::<u8>(&[]), None);
+        let items = [1, 2, 3];
+        for _ in 0..20 {
+            assert!(items.contains(rng.choose(&items).unwrap()));
+        }
+    }
+
+    #[test]
+    fn os_entropy_generators_differ() {
+        let mut a = Drbg::from_os_entropy();
+        let mut b = Drbg::from_os_entropy();
+        // Overwhelming probability of being different.
+        assert_ne!(a.bytes(32), b.bytes(32));
+    }
+}

@@ -1,0 +1,136 @@
+//! HKDF (RFC 5869) built on HMAC-SHA-256.
+//!
+//! Key derivation is used everywhere keys must be bound to context: sealing
+//! keys derived from platform secrets and enclave measurements, per-session
+//! channel keys derived from Diffie-Hellman shared secrets, and per-parameter
+//! blinding streams derived from pairwise seeds.
+
+use crate::hmac::hmac_sha256;
+use crate::sha256::DIGEST_LEN;
+
+/// HKDF-Extract: compresses input keying material into a pseudo-random key.
+#[must_use]
+pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand: expands a pseudo-random key into `len` bytes of output keyed
+/// material, bound to `info`.
+///
+/// `len` may be at most `255 * 32` bytes as per RFC 5869; larger requests are
+/// truncated to that maximum.
+#[must_use]
+pub fn hkdf_expand(prk: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    let len = len.min(255 * DIGEST_LEN);
+    let mut out = Vec::with_capacity(len);
+    let mut previous: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while out.len() < len {
+        let mut block_input = Vec::with_capacity(previous.len() + info.len() + 1);
+        block_input.extend_from_slice(&previous);
+        block_input.extend_from_slice(info);
+        block_input.push(counter);
+        let block = hmac_sha256(prk, &block_input);
+        let take = (len - out.len()).min(DIGEST_LEN);
+        out.extend_from_slice(&block[..take]);
+        previous = block.to_vec();
+        counter = counter.wrapping_add(1);
+    }
+    out
+}
+
+/// One-shot HKDF (extract then expand).
+///
+/// # Examples
+///
+/// ```
+/// let okm = glimmer_crypto::hkdf(b"salt", b"input key material", b"glimmer seal", 64);
+/// assert_eq!(okm.len(), 64);
+/// ```
+#[must_use]
+pub fn hkdf(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    let prk = hkdf_extract(salt, ikm);
+    hkdf_expand(&prk, info, len)
+}
+
+/// Derives a fixed 32-byte key bound to a domain-separation label.
+#[must_use]
+pub fn derive_key_32(ikm: &[u8], label: &str) -> [u8; 32] {
+    let okm = hkdf(b"glimmers-kdf-v1", ikm, label.as_bytes(), 32);
+    let mut out = [0u8; 32];
+    out.copy_from_slice(&okm);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 5869 test case 1.
+    #[test]
+    fn rfc5869_case_1() {
+        let ikm = [0x0bu8; 22];
+        let salt = unhex("000102030405060708090a0b0c");
+        let info = unhex("f0f1f2f3f4f5f6f7f8f9");
+        let prk = hkdf_extract(&salt, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = hkdf_expand(&prk, &info, 42);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 test case 3 (zero-length salt and info).
+    #[test]
+    fn rfc5869_case_3() {
+        let ikm = [0x0bu8; 22];
+        let okm = hkdf(&[], &ikm, &[], 42);
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn expand_lengths() {
+        let prk = hkdf_extract(b"salt", b"ikm");
+        for len in [0usize, 1, 31, 32, 33, 64, 100, 255 * 32] {
+            assert_eq!(hkdf_expand(&prk, b"info", len).len(), len);
+        }
+        // Requests beyond the RFC limit are clamped.
+        assert_eq!(hkdf_expand(&prk, b"info", 255 * 32 + 100).len(), 255 * 32);
+    }
+
+    #[test]
+    fn different_info_gives_different_keys() {
+        let a = derive_key_32(b"secret", "seal");
+        let b = derive_key_32(b"secret", "sign");
+        assert_ne!(a, b);
+        let a2 = derive_key_32(b"secret", "seal");
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn prefix_consistency() {
+        // Expanding to a longer length must produce the shorter output as a prefix.
+        let prk = hkdf_extract(b"s", b"k");
+        let long = hkdf_expand(&prk, b"ctx", 96);
+        let short = hkdf_expand(&prk, b"ctx", 40);
+        assert_eq!(&long[..40], &short[..]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the cryptographic substrate.
+
+use glimmer_crypto::aead::AeadKey;
+use glimmer_crypto::bignum::BigUint;
+use glimmer_crypto::chacha20::ChaCha20;
+use glimmer_crypto::ct::ct_eq;
+use glimmer_crypto::drbg::Drbg;
+use glimmer_crypto::hkdf::hkdf_expand;
+use glimmer_crypto::hmac::hmac_sha256;
+use glimmer_crypto::sha256::{sha256, Sha256};
+use proptest::prelude::*;
+
+fn big_from(v: u128) -> BigUint {
+    BigUint::from_bytes_be(&v.to_be_bytes())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sha256_incremental_equals_one_shot(data in proptest::collection::vec(any::<u8>(), 0..2048), split in 0usize..2048) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn hmac_is_deterministic_and_key_sensitive(
+        key in proptest::collection::vec(any::<u8>(), 0..100),
+        msg in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let a = hmac_sha256(&key, &msg);
+        let b = hmac_sha256(&key, &msg);
+        prop_assert_eq!(a, b);
+        let mut key2 = key.clone();
+        key2.push(0x55);
+        prop_assert_ne!(hmac_sha256(&key2, &msg), a);
+    }
+
+    #[test]
+    fn hkdf_prefix_consistency(prk in proptest::collection::vec(any::<u8>(), 32..33), info in proptest::collection::vec(any::<u8>(), 0..32), short in 1usize..64, extra in 0usize..64) {
+        let long = hkdf_expand(&prk, &info, short + extra);
+        let shorter = hkdf_expand(&prk, &info, short);
+        prop_assert_eq!(&long[..short], &shorter[..]);
+    }
+
+    #[test]
+    fn chacha20_round_trip(key in any::<[u8; 32]>(), nonce in any::<[u8; 12]>(), data in proptest::collection::vec(any::<u8>(), 0..512), counter in any::<u32>()) {
+        let mut buf = data.clone();
+        ChaCha20::new(&key, &nonce).apply(&mut buf, counter);
+        ChaCha20::new(&key, &nonce).apply(&mut buf, counter);
+        prop_assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn aead_round_trip_and_tamper(master in any::<[u8; 32]>(), nonce in any::<[u8; 12]>(), aad in proptest::collection::vec(any::<u8>(), 0..64), pt in proptest::collection::vec(any::<u8>(), 0..256), flip in any::<usize>()) {
+        let key = AeadKey::from_master(&master);
+        let ct = key.seal(&nonce, &aad, &pt);
+        prop_assert_eq!(key.open(&nonce, &aad, &ct).unwrap(), pt);
+        let mut bad = ct.clone();
+        let idx = flip % bad.len();
+        bad[idx] ^= 1;
+        prop_assert!(key.open(&nonce, &aad, &bad).is_err());
+    }
+
+    #[test]
+    fn ct_eq_matches_eq(a in proptest::collection::vec(any::<u8>(), 0..64), b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(ct_eq(&a, &b), a == b);
+    }
+
+    #[test]
+    fn bignum_add_sub_inverse(a in any::<u128>(), b in any::<u128>()) {
+        let ba = big_from(a);
+        let bb = big_from(b);
+        let sum = ba.add(&bb);
+        prop_assert_eq!(sum.checked_sub(&bb).unwrap(), ba.clone());
+        prop_assert_eq!(sum.checked_sub(&ba).unwrap(), bb);
+    }
+
+    #[test]
+    fn bignum_mul_div_identity(a in any::<u128>(), b in 1u128..) {
+        let ba = big_from(a);
+        let bb = big_from(b);
+        let (q, r) = ba.div_rem(&bb).unwrap();
+        prop_assert!(r < bb);
+        prop_assert_eq!(q.mul(&bb).add(&r), ba);
+    }
+
+    #[test]
+    fn bignum_mul_commutes_and_distributes(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let ba = BigUint::from_u64(a);
+        let bb = BigUint::from_u64(b);
+        let bc = BigUint::from_u64(c);
+        prop_assert_eq!(ba.mul(&bb), bb.mul(&ba));
+        prop_assert_eq!(ba.mul(&bb.add(&bc)), ba.mul(&bb).add(&ba.mul(&bc)));
+    }
+
+    #[test]
+    fn bignum_bytes_round_trip(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+        let v = BigUint::from_bytes_be(&bytes);
+        let round = BigUint::from_bytes_be(&v.to_bytes_be());
+        prop_assert_eq!(round, v);
+    }
+
+    #[test]
+    fn bignum_shift_round_trip(a in any::<u128>(), shift in 0usize..200) {
+        let ba = big_from(a);
+        prop_assert_eq!(ba.shl(shift).shr(shift), ba);
+    }
+
+    #[test]
+    fn mod_exp_homomorphism(a in 2u64..1_000_000, e1 in 0u64..64, e2 in 0u64..64) {
+        // a^(e1+e2) == a^e1 * a^e2 (mod m) for an odd modulus.
+        let m = BigUint::from_u64(0xFFFF_FFFF_FFFF_FFC5); // odd 64-bit value
+        let base = BigUint::from_u64(a);
+        let lhs = base.mod_exp(&BigUint::from_u64(e1 + e2), &m).unwrap();
+        let rhs = base
+            .mod_exp(&BigUint::from_u64(e1), &m)
+            .unwrap()
+            .mod_mul(&base.mod_exp(&BigUint::from_u64(e2), &m).unwrap(), &m)
+            .unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn drbg_streams_deterministic(seed in any::<[u8; 32]>(), len in 0usize..256) {
+        let mut a = Drbg::from_seed(seed);
+        let mut b = Drbg::from_seed(seed);
+        prop_assert_eq!(a.bytes(len), b.bytes(len));
+    }
+}

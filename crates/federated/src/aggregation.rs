@@ -1,0 +1,202 @@
+//! Aggregation: plain federated averaging and blinded-sum aggregation.
+//!
+//! The service never sees raw weights in the Glimmer design; it receives
+//! blinded fixed-point vectors and sums them, relying on the zero-sum
+//! blinding to cancel (Figure 1c). This module provides both the plaintext
+//! baseline (Figure 1b) and the fixed-point sum the blinded pipeline uses.
+
+use crate::fixed::{add_vectors, decode_weights};
+use crate::model::{GlobalModel, LocalModel, ModelSchema};
+use crate::{FederatedError, Result};
+
+/// Plain federated averaging over raw local models (the Figure 1b baseline,
+/// no privacy).
+pub fn aggregate_mean(schema: &ModelSchema, contributions: &[LocalModel]) -> Result<GlobalModel> {
+    if contributions.is_empty() {
+        return Err(FederatedError::EmptyRound);
+    }
+    for c in contributions {
+        schema.check_dimension(&c.weights)?;
+    }
+    let mut weights = schema.zero_weights();
+    for c in contributions {
+        for (acc, w) in weights.iter_mut().zip(c.weights.iter()) {
+            *acc += w;
+        }
+    }
+    let n = contributions.len() as f64;
+    for w in weights.iter_mut() {
+        *w /= n;
+    }
+    Ok(GlobalModel {
+        weights,
+        contributors: contributions.len(),
+    })
+}
+
+/// Sums fixed-point (possibly blinded) vectors and divides by the number of
+/// contributions to recover the average model.
+///
+/// When the inputs are blinded with zero-sum masks, the masks cancel in the
+/// sum and the result equals the plaintext average (to fixed-point
+/// resolution).
+pub fn aggregate_sum_fixed(
+    schema: &ModelSchema,
+    contributions: &[Vec<u64>],
+) -> Result<GlobalModel> {
+    if contributions.is_empty() {
+        return Err(FederatedError::EmptyRound);
+    }
+    let dim = schema.dimension();
+    for c in contributions {
+        if c.len() != dim {
+            return Err(FederatedError::DimensionMismatch {
+                got: c.len(),
+                expected: dim,
+            });
+        }
+    }
+    let mut acc = vec![0u64; dim];
+    for c in contributions {
+        acc = add_vectors(&acc, c);
+    }
+    let sum = decode_weights(&acc);
+    let n = contributions.len() as f64;
+    Ok(GlobalModel {
+        weights: sum.into_iter().map(|w| w / n).collect(),
+        contributors: contributions.len(),
+    })
+}
+
+/// A running aggregation round that accepts contributions one at a time,
+/// which is how the keyboard service consumes endorsed contributions.
+#[derive(Debug, Clone)]
+pub struct FederatedRound {
+    dimension: usize,
+    acc: Vec<u64>,
+    contributors: usize,
+}
+
+impl FederatedRound {
+    /// Starts an empty round for a schema.
+    #[must_use]
+    pub fn new(schema: &ModelSchema) -> Self {
+        FederatedRound {
+            dimension: schema.dimension(),
+            acc: vec![0u64; schema.dimension()],
+            contributors: 0,
+        }
+    }
+
+    /// Adds one fixed-point (blinded or raw) contribution.
+    pub fn add(&mut self, contribution: &[u64]) -> Result<()> {
+        if contribution.len() != self.dimension {
+            return Err(FederatedError::DimensionMismatch {
+                got: contribution.len(),
+                expected: self.dimension,
+            });
+        }
+        self.acc = add_vectors(&self.acc, contribution);
+        self.contributors += 1;
+        Ok(())
+    }
+
+    /// Adds a correction vector (e.g., a blinding dropout correction) to the
+    /// accumulator without counting it as a contribution.
+    pub fn add_correction(&mut self, correction: &[u64]) -> Result<()> {
+        if correction.len() != self.dimension {
+            return Err(FederatedError::DimensionMismatch {
+                got: correction.len(),
+                expected: self.dimension,
+            });
+        }
+        self.acc = add_vectors(&self.acc, correction);
+        Ok(())
+    }
+
+    /// Number of contributions accepted so far.
+    #[must_use]
+    pub fn contributors(&self) -> usize {
+        self.contributors
+    }
+
+    /// Finalizes the round into a global model (average of contributions).
+    pub fn finalize(&self) -> Result<GlobalModel> {
+        if self.contributors == 0 {
+            return Err(FederatedError::EmptyRound);
+        }
+        let sum = decode_weights(&self.acc);
+        let n = self.contributors as f64;
+        Ok(GlobalModel {
+            weights: sum.into_iter().map(|w| w / n).collect(),
+            contributors: self.contributors,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::encode_weights;
+    use crate::vocab::Vocabulary;
+
+    fn schema() -> ModelSchema {
+        let vocab = Vocabulary::new(["a", "b", "c"]);
+        ModelSchema::dense(vocab, &["a", "b", "c"])
+    }
+
+    fn local(schema: &ModelSchema, fill: f64) -> LocalModel {
+        LocalModel::new(schema, vec![fill; schema.dimension()]).unwrap()
+    }
+
+    #[test]
+    fn mean_aggregation() {
+        let s = schema();
+        let contributions = vec![local(&s, 0.2), local(&s, 0.4), local(&s, 0.6)];
+        let global = aggregate_mean(&s, &contributions).unwrap();
+        assert_eq!(global.contributors, 3);
+        for w in &global.weights {
+            assert!((w - 0.4).abs() < 1e-12);
+        }
+        assert_eq!(aggregate_mean(&s, &[]), Err(FederatedError::EmptyRound));
+        let wrong_dim = LocalModel {
+            weights: vec![0.1; 2],
+        };
+        assert!(aggregate_mean(&s, &[wrong_dim]).is_err());
+    }
+
+    #[test]
+    fn fixed_sum_matches_mean_aggregation() {
+        let s = schema();
+        let contributions = vec![local(&s, 0.25), local(&s, 0.5), local(&s, 0.75), local(&s, 1.0)];
+        let plain = aggregate_mean(&s, &contributions).unwrap();
+        let encoded: Vec<Vec<u64>> = contributions
+            .iter()
+            .map(|c| encode_weights(&c.weights))
+            .collect();
+        let fixed = aggregate_sum_fixed(&s, &encoded).unwrap();
+        for (a, b) in plain.weights.iter().zip(fixed.weights.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        assert!(aggregate_sum_fixed(&s, &[]).is_err());
+        assert!(aggregate_sum_fixed(&s, &[vec![0u64; 3]]).is_err());
+    }
+
+    #[test]
+    fn incremental_round_matches_batch() {
+        let s = schema();
+        let contributions = [local(&s, 0.1), local(&s, 0.9)];
+        let mut round = FederatedRound::new(&s);
+        assert!(round.finalize().is_err());
+        for c in &contributions {
+            round.add(&encode_weights(&c.weights)).unwrap();
+        }
+        assert_eq!(round.contributors(), 2);
+        let incremental = round.finalize().unwrap();
+        let batch = aggregate_mean(&s, &contributions).unwrap();
+        for (a, b) in incremental.weights.iter().zip(batch.weights.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        assert!(round.add(&[0u64; 2]).is_err());
+    }
+}

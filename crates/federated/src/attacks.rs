@@ -1,0 +1,186 @@
+//! Model-poisoning attacks (Figure 1d).
+//!
+//! The paper's central attack: because secure aggregation hides individual
+//! contributions, "Alice could contribute a blinded local model ... that has
+//! been maliciously manipulated to over-weight her personal political
+//! convictions (i.e., contributing an illegal value of 538 for one model
+//! parameter)". This module implements that attack and two stealthier
+//! variants used in the experiments.
+
+use crate::model::{LocalModel, ModelSchema, WEIGHT_MAX};
+
+/// A poisoning strategy applied to an honest local model before submission.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PoisonStrategy {
+    /// The paper's attack: replace the weight of one slot with an out-of-range
+    /// value (538 in the paper's example).
+    OutOfRange {
+        /// Schema slot to poison.
+        slot: usize,
+        /// The illegal value to submit.
+        value: f64,
+    },
+    /// A stealthier attack: set the target slot to the maximum *legal* value
+    /// and zero every competing slot (same `prev` word), biasing predictions
+    /// while passing a plain range check.
+    InRangeBias {
+        /// Schema slot to promote.
+        slot: usize,
+    },
+    /// Fabricate the whole contribution: every tracked slot gets the same
+    /// constant weight, unrelated to any actual typing.
+    Fabricated {
+        /// The constant weight to report for every slot.
+        value: f64,
+    },
+    /// Scale every weight by a factor (gradient-boosting style poisoning).
+    Scaled {
+        /// Multiplicative factor applied to every weight.
+        factor: f64,
+    },
+}
+
+impl PoisonStrategy {
+    /// A short label used in experiment output.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            PoisonStrategy::OutOfRange { .. } => "out-of-range",
+            PoisonStrategy::InRangeBias { .. } => "in-range-bias",
+            PoisonStrategy::Fabricated { .. } => "fabricated",
+            PoisonStrategy::Scaled { .. } => "scaled",
+        }
+    }
+
+    /// Whether a plain `[0,1]` range check catches this strategy on a model
+    /// that was honest before poisoning.
+    #[must_use]
+    pub fn caught_by_range_check(&self) -> bool {
+        match self {
+            PoisonStrategy::OutOfRange { value, .. } => !(0.0..=WEIGHT_MAX).contains(value),
+            PoisonStrategy::InRangeBias { .. } => false,
+            PoisonStrategy::Fabricated { value } => !(0.0..=WEIGHT_MAX).contains(value),
+            PoisonStrategy::Scaled { factor } => *factor > 1.0 || *factor < 0.0,
+        }
+    }
+}
+
+/// Applies a poisoning strategy to an honest contribution, returning the
+/// malicious contribution the attacker would submit.
+#[must_use]
+pub fn apply_poison(
+    schema: &ModelSchema,
+    honest: &LocalModel,
+    strategy: &PoisonStrategy,
+) -> LocalModel {
+    let mut weights = honest.weights.clone();
+    match strategy {
+        PoisonStrategy::OutOfRange { slot, value } => {
+            if let Some(w) = weights.get_mut(*slot) {
+                *w = *value;
+            }
+        }
+        PoisonStrategy::InRangeBias { slot } => {
+            if let Some((prev, _)) = schema.slot(*slot) {
+                for (i, (p, _)) in schema.slots().iter().enumerate() {
+                    if *p == prev {
+                        weights[i] = 0.0;
+                    }
+                }
+                weights[*slot] = WEIGHT_MAX;
+            }
+        }
+        PoisonStrategy::Fabricated { value } => {
+            for w in weights.iter_mut() {
+                *w = *value;
+            }
+        }
+        PoisonStrategy::Scaled { factor } => {
+            for w in weights.iter_mut() {
+                *w *= factor;
+            }
+        }
+    }
+    LocalModel { weights }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::train_local_model;
+    use crate::vocab::Vocabulary;
+
+    fn schema() -> ModelSchema {
+        let vocab = Vocabulary::new(["donald", "trump", "clinton", "voting", "for"]);
+        ModelSchema::dense(vocab, &["donald", "trump", "clinton", "voting", "for"])
+    }
+
+    fn honest(schema: &ModelSchema) -> LocalModel {
+        let sentences = vec![
+            schema.vocab().tokenize("voting for donald trump"),
+            schema.vocab().tokenize("voting for donald clinton"),
+        ];
+        train_local_model(schema, &sentences).unwrap().0
+    }
+
+    #[test]
+    fn out_of_range_attack_is_out_of_range() {
+        let s = schema();
+        let h = honest(&s);
+        let slot = s.slot_of_words("donald", "trump").unwrap();
+        let strategy = PoisonStrategy::OutOfRange { slot, value: 538.0 };
+        let poisoned = apply_poison(&s, &h, &strategy);
+        assert_eq!(poisoned.weights[slot], 538.0);
+        assert!(h.in_valid_range());
+        assert!(!poisoned.in_valid_range());
+        assert!(strategy.caught_by_range_check());
+        assert_eq!(strategy.label(), "out-of-range");
+    }
+
+    #[test]
+    fn in_range_bias_passes_range_check_but_skews() {
+        let s = schema();
+        let h = honest(&s);
+        let trump_slot = s.slot_of_words("donald", "trump").unwrap();
+        let clinton_slot = s.slot_of_words("donald", "clinton").unwrap();
+        let strategy = PoisonStrategy::InRangeBias { slot: trump_slot };
+        let poisoned = apply_poison(&s, &h, &strategy);
+        assert!(poisoned.in_valid_range());
+        assert!(!strategy.caught_by_range_check());
+        assert_eq!(poisoned.weights[trump_slot], 1.0);
+        assert_eq!(poisoned.weights[clinton_slot], 0.0);
+        // Honest model had 0.5 / 0.5.
+        assert!((h.weights[trump_slot] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fabricated_and_scaled_attacks() {
+        let s = schema();
+        let h = honest(&s);
+        let fabricated = apply_poison(&s, &h, &PoisonStrategy::Fabricated { value: 0.9 });
+        assert!(fabricated.weights.iter().all(|&w| (w - 0.9).abs() < 1e-12));
+        assert!(!PoisonStrategy::Fabricated { value: 0.9 }.caught_by_range_check());
+        assert!(PoisonStrategy::Fabricated { value: 538.0 }.caught_by_range_check());
+
+        let scaled = apply_poison(&s, &h, &PoisonStrategy::Scaled { factor: 10.0 });
+        let slot = s.slot_of_words("donald", "trump").unwrap();
+        assert!((scaled.weights[slot] - h.weights[slot] * 10.0).abs() < 1e-9);
+        assert!(PoisonStrategy::Scaled { factor: 10.0 }.caught_by_range_check());
+        assert!(!PoisonStrategy::Scaled { factor: 0.5 }.caught_by_range_check());
+    }
+
+    #[test]
+    fn poisoning_out_of_bounds_slot_is_a_no_op() {
+        let s = schema();
+        let h = honest(&s);
+        let poisoned = apply_poison(
+            &s,
+            &h,
+            &PoisonStrategy::OutOfRange {
+                slot: 999_999,
+                value: 538.0,
+            },
+        );
+        assert_eq!(poisoned, h);
+    }
+}

@@ -1,0 +1,122 @@
+//! Fixed-point encoding of model parameters.
+//!
+//! Additive blinding (Figure 1c and Section 3) requires exact arithmetic:
+//! the blinding values must cancel perfectly when the service sums the
+//! blinded contributions. Floating point does not guarantee that, so model
+//! weights are converted to a signed fixed-point representation carried in
+//! `u64` with wrapping (mod 2^64) arithmetic. Sums of millions of in-range
+//! weights stay far below the wrap-around point, so decoded aggregates are
+//! exact to the fixed-point resolution.
+
+/// Fixed-point scale: the integer representation of the weight `1.0`.
+pub const FIXED_ONE: u64 = 1 << 24;
+
+/// Encodes one weight into fixed point (signed, two's complement in `u64`).
+#[must_use]
+pub fn encode_weight(w: f64) -> u64 {
+    let scaled = (w * FIXED_ONE as f64).round();
+    // Clamp to the i64 range to avoid undefined casts for absurd inputs, but
+    // preserve out-of-[0,1] values: the poisoning experiments rely on being
+    // able to encode the paper's illegal 538.
+    let clamped = scaled.clamp(i64::MIN as f64, i64::MAX as f64);
+    (clamped as i64) as u64
+}
+
+/// Decodes one fixed-point value back into a float.
+#[must_use]
+pub fn decode_weight(v: u64) -> f64 {
+    (v as i64) as f64 / FIXED_ONE as f64
+}
+
+/// Encodes a weight vector.
+#[must_use]
+pub fn encode_weights(weights: &[f64]) -> Vec<u64> {
+    weights.iter().map(|&w| encode_weight(w)).collect()
+}
+
+/// Decodes a fixed-point vector.
+#[must_use]
+pub fn decode_weights(values: &[u64]) -> Vec<f64> {
+    values.iter().map(|&v| decode_weight(v)).collect()
+}
+
+/// Adds two fixed-point vectors element-wise with wrapping arithmetic.
+///
+/// Panics in debug builds if the lengths differ; callers validate dimensions
+/// at the protocol layer.
+#[must_use]
+pub fn add_vectors(a: &[u64], b: &[u64]) -> Vec<u64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| x.wrapping_add(*y))
+        .collect()
+}
+
+/// Subtracts `b` from `a` element-wise with wrapping arithmetic.
+#[must_use]
+pub fn sub_vectors(a: &[u64], b: &[u64]) -> Vec<u64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| x.wrapping_sub(*y))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_precision() {
+        for w in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9999, 1.0] {
+            let decoded = decode_weight(encode_weight(w));
+            assert!((decoded - w).abs() < 1e-6, "{w} -> {decoded}");
+        }
+    }
+
+    #[test]
+    fn negative_and_oversized_values_survive() {
+        // The poisoning attack needs to encode 538 and negative drift.
+        assert!((decode_weight(encode_weight(538.0)) - 538.0).abs() < 1e-6);
+        assert!((decode_weight(encode_weight(-3.5)) + 3.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vector_round_trip() {
+        let weights = vec![0.0, 0.33, 0.66, 1.0, 538.0];
+        let decoded = decode_weights(&encode_weights(&weights));
+        for (a, b) in weights.iter().zip(decoded.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn addition_matches_float_addition() {
+        let a = vec![0.1, 0.5, 0.9];
+        let b = vec![0.2, 0.4, 0.05];
+        let sum = decode_weights(&add_vectors(&encode_weights(&a), &encode_weights(&b)));
+        for (s, (x, y)) in sum.iter().zip(a.iter().zip(b.iter())) {
+            assert!((s - (x + y)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn add_then_sub_is_identity() {
+        let a = encode_weights(&[0.7, 0.2]);
+        let mask = vec![u64::MAX - 5, 12345];
+        assert_eq!(sub_vectors(&add_vectors(&a, &mask), &mask), a);
+    }
+
+    #[test]
+    fn large_sums_do_not_lose_exactness() {
+        // One million clients contributing 0.5 each.
+        let encoded = encode_weight(0.5);
+        let mut acc = 0u64;
+        for _ in 0..1_000_000 {
+            acc = acc.wrapping_add(encoded);
+        }
+        let total = decode_weight(acc);
+        assert!((total - 500_000.0).abs() < 1e-3, "total {total}");
+    }
+}

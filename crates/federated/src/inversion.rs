@@ -1,0 +1,179 @@
+//! Model-inversion attack on individual contributions.
+//!
+//! Section 1 of the paper notes that "learned models, even ones much more
+//! sophisticated than our strawman illustration, can still reveal information
+//! about the raw inputs used to train those models (e.g., machine-learning
+//! models can be inverted)". For the bigram strawman the inversion is direct:
+//! a non-zero weight in a user's *individual* partial model reveals that the
+//! user typed that word pair. This module measures how much an
+//! honest-but-curious service learns from (a) raw per-user contributions and
+//! (b) blinded contributions, which is Experiment E9.
+
+use crate::model::ModelSchema;
+use std::collections::HashSet;
+
+/// The outcome of a membership-inversion attempt over one user's contribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InversionOutcome {
+    /// Number of bigrams the attacker claimed the user typed.
+    pub claimed: usize,
+    /// Of those, how many the user actually typed (true positives).
+    pub true_positives: usize,
+    /// Bigrams the user typed that the attacker missed.
+    pub false_negatives: usize,
+    /// Bigrams the attacker claimed that the user did not type.
+    pub false_positives: usize,
+}
+
+impl InversionOutcome {
+    /// Precision of the attacker's claims (1.0 when nothing is claimed).
+    #[must_use]
+    pub fn precision(&self) -> f64 {
+        if self.claimed == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / self.claimed as f64
+        }
+    }
+
+    /// Recall over the user's actual bigrams (1.0 when the user typed none).
+    #[must_use]
+    pub fn recall(&self) -> f64 {
+        let actual = self.true_positives + self.false_negatives;
+        if actual == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / actual as f64
+        }
+    }
+
+    /// F1 score of the attack.
+    #[must_use]
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Runs the membership-inversion attack: the attacker observes one user's
+/// contribution vector and claims the user typed every tracked bigram whose
+/// weight exceeds `threshold`.
+///
+/// `actual_bigrams` is the ground-truth set of tracked slots the user really
+/// typed (known to the experiment harness, not to the attacker).
+#[must_use]
+pub fn invert_membership(
+    schema: &ModelSchema,
+    observed_weights: &[f64],
+    actual_bigrams: &HashSet<usize>,
+    threshold: f64,
+) -> InversionOutcome {
+    let mut claimed_set = HashSet::new();
+    for (i, w) in observed_weights.iter().enumerate().take(schema.dimension()) {
+        if *w > threshold {
+            claimed_set.insert(i);
+        }
+    }
+    let true_positives = claimed_set.intersection(actual_bigrams).count();
+    let false_positives = claimed_set.len() - true_positives;
+    let false_negatives = actual_bigrams.len() - true_positives;
+    InversionOutcome {
+        claimed: claimed_set.len(),
+        true_positives,
+        false_negatives,
+        false_positives,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::{decode_weights, encode_weights};
+    use crate::trainer::train_local_model;
+    use crate::vocab::Vocabulary;
+
+    fn schema() -> ModelSchema {
+        let vocab = Vocabulary::new(["i'm", "voting", "for", "donald", "trump", "don't", "like"]);
+        ModelSchema::dense(
+            vocab,
+            &["i'm", "voting", "for", "donald", "trump", "don't", "like"],
+        )
+    }
+
+    fn actual_slots(schema: &ModelSchema, sentences: &[Vec<u32>]) -> HashSet<usize> {
+        let mut out = HashSet::new();
+        for sentence in sentences {
+            for w in sentence.windows(2) {
+                if let Some(slot) = schema.slot_of(w[0], w[1]) {
+                    out.insert(slot);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn raw_contribution_is_fully_invertible() {
+        let s = schema();
+        let sentences = vec![s.vocab().tokenize("i'm voting for donald trump")];
+        let (model, _) = train_local_model(&s, &sentences).unwrap();
+        let actual = actual_slots(&s, &sentences);
+        assert!(!actual.is_empty());
+
+        let outcome = invert_membership(&s, &model.weights, &actual, 0.0);
+        // Perfect recovery: every typed bigram has a positive weight and no
+        // untyped tracked bigram does.
+        assert_eq!(outcome.true_positives, actual.len());
+        assert_eq!(outcome.false_positives, 0);
+        assert_eq!(outcome.false_negatives, 0);
+        assert_eq!(outcome.precision(), 1.0);
+        assert_eq!(outcome.recall(), 1.0);
+        assert_eq!(outcome.f1(), 1.0);
+    }
+
+    #[test]
+    fn blinded_contribution_defeats_inversion() {
+        let s = schema();
+        let sentences = vec![s.vocab().tokenize("i'm voting for donald trump")];
+        let (model, _) = train_local_model(&s, &sentences).unwrap();
+        let actual = actual_slots(&s, &sentences);
+
+        // Simulate blinding: add a large pseudo-random mask to the fixed-point
+        // encoding, as the Glimmer's blinding component does.
+        let encoded = encode_weights(&model.weights);
+        let masked: Vec<u64> = encoded
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)))
+            .collect();
+        let observed = decode_weights(&masked);
+
+        let outcome = invert_membership(&s, &observed, &actual, 0.0);
+        // The attacker's claims are now uncorrelated with the truth: precision
+        // is no better than the base rate of actual bigrams among claimed ones.
+        assert!(outcome.precision() < 0.5);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let s = schema();
+        let outcome = invert_membership(&s, &s.zero_weights(), &HashSet::new(), 0.0);
+        assert_eq!(outcome.claimed, 0);
+        assert_eq!(outcome.precision(), 1.0);
+        assert_eq!(outcome.recall(), 1.0);
+        assert_eq!(outcome.f1(), 1.0);
+
+        // Claims without ground truth are all false positives.
+        let mut weights = s.zero_weights();
+        weights[0] = 0.5;
+        let outcome = invert_membership(&s, &weights, &HashSet::new(), 0.0);
+        assert_eq!(outcome.false_positives, 1);
+        assert_eq!(outcome.precision(), 0.0);
+        assert_eq!(outcome.f1(), 0.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Federated-learning substrate for the Glimmers reproduction.
+//!
+//! Figure 1 of the paper motivates Glimmers with a federated next-word
+//! prediction service: every client trains a local model on its own keyboard
+//! traces, the service aggregates the local models into a global one, and a
+//! malicious client can poison the global model because secure aggregation
+//! hides individual contributions from the service. This crate implements
+//! that entire pipeline:
+//!
+//! * [`vocab`] — the shared word vocabulary.
+//! * [`model`] — the bigram model schema and parameter vectors (the
+//!   "weight between 0 and 1 for an ordered pair of words" of Figure 1b).
+//! * [`trainer`] — local training from a user's keyboard trace.
+//! * [`fixed`] — fixed-point encoding used so that additive blinding and
+//!   aggregation are exact over `u64` arithmetic.
+//! * [`aggregation`] — plain federated averaging and blinded-sum aggregation.
+//! * [`attacks`] — the poisoning strategies of Figure 1d (the out-of-range
+//!   "538" contribution and friends).
+//! * [`inversion`] — the model-inversion attack (Fredrikson et al.) that
+//!   motivates hiding individual contributions in the first place.
+//! * [`metrics`] — next-word prediction accuracy, parameter error, and other
+//!   model-quality measures used by the experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregation;
+pub mod attacks;
+pub mod fixed;
+pub mod inversion;
+pub mod metrics;
+pub mod model;
+pub mod trainer;
+pub mod vocab;
+
+pub use aggregation::{aggregate_mean, aggregate_sum_fixed, FederatedRound};
+pub use attacks::{apply_poison, PoisonStrategy};
+pub use fixed::{decode_weights, encode_weights, FIXED_ONE};
+pub use inversion::{invert_membership, InversionOutcome};
+pub use metrics::{l2_error, top_k_accuracy, ModelQuality};
+pub use model::{GlobalModel, LocalModel, ModelSchema};
+pub use trainer::train_local_model;
+pub use vocab::Vocabulary;
+
+/// Errors produced by the federated-learning substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FederatedError {
+    /// A contribution's dimension does not match the schema.
+    DimensionMismatch {
+        /// Dimension supplied.
+        got: usize,
+        /// Dimension the schema requires.
+        expected: usize,
+    },
+    /// An aggregation round had no contributions.
+    EmptyRound,
+    /// A word was not present in the vocabulary.
+    UnknownWord(String),
+}
+
+impl core::fmt::Display for FederatedError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FederatedError::DimensionMismatch { got, expected } => {
+                write!(f, "dimension mismatch: got {got}, expected {expected}")
+            }
+            FederatedError::EmptyRound => write!(f, "aggregation round has no contributions"),
+            FederatedError::UnknownWord(w) => write!(f, "word not in vocabulary: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for FederatedError {}
+
+/// Result alias for this crate.
+pub type Result<T> = core::result::Result<T, FederatedError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(FederatedError::DimensionMismatch { got: 3, expected: 5 }
+            .to_string()
+            .contains('5'));
+        assert!(FederatedError::EmptyRound.to_string().contains("no contributions"));
+        assert!(FederatedError::UnknownWord("trump".into())
+            .to_string()
+            .contains("trump"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Model-quality metrics used by the experiments.
+//!
+//! The experiments compare global models trained with and without Glimmer
+//! protection under poisoning (E3/E4). The headline metrics are top-k
+//! next-word accuracy over held-out sentences, the L2 distance to a reference
+//! model, and the fraction of out-of-range parameters.
+
+use crate::model::{GlobalModel, ModelSchema, WEIGHT_MAX, WEIGHT_MIN};
+
+/// Aggregated quality numbers for one global model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelQuality {
+    /// Fraction of held-out bigrams whose true next word was the top-1
+    /// prediction.
+    pub top1_accuracy: f64,
+    /// Fraction of held-out bigrams whose true next word was within the top-3
+    /// predictions.
+    pub top3_accuracy: f64,
+    /// Number of bigram test cases evaluated.
+    pub cases: usize,
+    /// L2 distance to the reference (honest) model, if one was supplied.
+    pub l2_to_reference: Option<f64>,
+    /// Fraction of parameters outside the valid `[0, 1]` range.
+    pub out_of_range_fraction: f64,
+}
+
+/// Computes top-k accuracy of `model` over held-out tokenized sentences.
+///
+/// Every adjacent pair `(prev, next)` in the test sentences whose `prev` has
+/// at least one prediction is a test case.
+#[must_use]
+pub fn top_k_accuracy(
+    schema: &ModelSchema,
+    model: &GlobalModel,
+    test_sentences: &[Vec<u32>],
+    k: usize,
+) -> (f64, usize) {
+    let mut cases = 0usize;
+    let mut hits = 0usize;
+    for sentence in test_sentences {
+        for window in sentence.windows(2) {
+            let (prev, next) = (window[0], window[1]);
+            let predictions = model.predict_next(schema, prev, k);
+            if predictions.is_empty() {
+                continue;
+            }
+            cases += 1;
+            if predictions.iter().any(|(id, _)| *id == next) {
+                hits += 1;
+            }
+        }
+    }
+    if cases == 0 {
+        (0.0, 0)
+    } else {
+        (hits as f64 / cases as f64, cases)
+    }
+}
+
+/// L2 distance between two weight vectors (0 when lengths differ is avoided
+/// by truncating to the shorter length, which only happens in tests).
+#[must_use]
+pub fn l2_error(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).powi(2))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Fraction of parameters outside `[0, 1]`.
+#[must_use]
+pub fn out_of_range_fraction(weights: &[f64]) -> f64 {
+    if weights.is_empty() {
+        return 0.0;
+    }
+    let bad = weights
+        .iter()
+        .filter(|w| !(WEIGHT_MIN..=WEIGHT_MAX).contains(*w) || !w.is_finite())
+        .count();
+    bad as f64 / weights.len() as f64
+}
+
+/// Computes the full quality summary for a model.
+#[must_use]
+pub fn evaluate(
+    schema: &ModelSchema,
+    model: &GlobalModel,
+    test_sentences: &[Vec<u32>],
+    reference: Option<&GlobalModel>,
+) -> ModelQuality {
+    let (top1, cases) = top_k_accuracy(schema, model, test_sentences, 1);
+    let (top3, _) = top_k_accuracy(schema, model, test_sentences, 3);
+    ModelQuality {
+        top1_accuracy: top1,
+        top3_accuracy: top3,
+        cases,
+        l2_to_reference: reference.map(|r| l2_error(&model.weights, &r.weights)),
+        out_of_range_fraction: out_of_range_fraction(&model.weights),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregation::aggregate_mean;
+    use crate::trainer::train_local_model;
+    use crate::vocab::Vocabulary;
+
+    fn schema() -> ModelSchema {
+        let vocab = Vocabulary::new(["voting", "for", "donald", "trump", "clinton"]);
+        ModelSchema::dense(vocab, &["voting", "for", "donald", "trump", "clinton"])
+    }
+
+    #[test]
+    fn accurate_model_scores_high() {
+        let s = schema();
+        let train = vec![
+            s.vocab().tokenize("voting for donald trump"),
+            s.vocab().tokenize("voting for donald trump"),
+            s.vocab().tokenize("voting for donald clinton"),
+        ];
+        let (local, _) = train_local_model(&s, &train).unwrap();
+        let global = aggregate_mean(&s, &[local]).unwrap();
+
+        let test = vec![s.vocab().tokenize("voting for donald trump")];
+        let quality = evaluate(&s, &global, &test, None);
+        assert_eq!(quality.cases, 3);
+        assert!(quality.top1_accuracy > 0.99);
+        assert!(quality.top3_accuracy >= quality.top1_accuracy);
+        assert_eq!(quality.out_of_range_fraction, 0.0);
+        assert!(quality.l2_to_reference.is_none());
+    }
+
+    #[test]
+    fn skewed_model_scores_lower_than_honest() {
+        let s = schema();
+        let train = vec![
+            s.vocab().tokenize("voting for donald trump"),
+            s.vocab().tokenize("voting for donald trump"),
+        ];
+        let (honest, _) = train_local_model(&s, &train).unwrap();
+        let honest_global = aggregate_mean(&s, &[honest.clone()]).unwrap();
+
+        // Poisoned global model: "donald" now predicts "clinton".
+        let mut poisoned_global = honest_global.clone();
+        let trump_slot = s.slot_of_words("donald", "trump").unwrap();
+        let clinton_slot = s.slot_of_words("donald", "clinton").unwrap();
+        poisoned_global.weights[trump_slot] = 0.0;
+        poisoned_global.weights[clinton_slot] = 538.0;
+
+        let test = vec![s.vocab().tokenize("voting for donald trump")];
+        let honest_q = evaluate(&s, &honest_global, &test, None);
+        let poisoned_q = evaluate(&s, &poisoned_global, &test, Some(&honest_global));
+        assert!(honest_q.top1_accuracy > poisoned_q.top1_accuracy);
+        assert!(poisoned_q.out_of_range_fraction > 0.0);
+        assert!(poisoned_q.l2_to_reference.unwrap() > 100.0);
+    }
+
+    #[test]
+    fn metric_edge_cases() {
+        let s = schema();
+        let empty = GlobalModel::empty(&s);
+        let (acc, cases) = top_k_accuracy(&s, &empty, &[s.vocab().tokenize("donald trump")], 1);
+        assert_eq!(acc, 0.0);
+        assert_eq!(cases, 0);
+        assert_eq!(l2_error(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((l2_error(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(out_of_range_fraction(&[]), 0.0);
+        assert_eq!(out_of_range_fraction(&[0.5, 1.5]), 0.5);
+        assert_eq!(out_of_range_fraction(&[f64::NAN, 0.2]), 0.5);
+    }
+}

@@ -1,0 +1,271 @@
+//! The bigram next-word model: schema, local contributions, global model.
+//!
+//! Figure 1b of the paper sketches the model as "a weight between 0 and 1
+//! for an ordered pair of words". The service publishes a [`ModelSchema`]
+//! listing which ordered pairs (slots) are tracked; a client's contribution
+//! is a [`LocalModel`] — one weight per slot, where the weight is the
+//! client's empirical probability of typing `next` right after `prev`. The
+//! service maintains a [`GlobalModel`] aggregated over many contributions.
+
+use crate::vocab::Vocabulary;
+use crate::{FederatedError, Result};
+use std::collections::HashMap;
+
+/// The valid range for a single model parameter, as stated in the paper
+/// ("a value between 0 and 1 is expected").
+pub const WEIGHT_MIN: f64 = 0.0;
+
+/// Upper end of the valid parameter range.
+pub const WEIGHT_MAX: f64 = 1.0;
+
+/// The parameter space shared by the service and every client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSchema {
+    vocab: Vocabulary,
+    slots: Vec<(u32, u32)>,
+    slot_index: HashMap<(u32, u32), usize>,
+}
+
+impl ModelSchema {
+    /// Builds a schema tracking every ordered pair among `pair_words`
+    /// (typically the most frequent vocabulary words).
+    ///
+    /// The slot list is ordered deterministically so every participant agrees
+    /// on parameter indices.
+    #[must_use]
+    pub fn dense(vocab: Vocabulary, pair_words: &[&str]) -> Self {
+        let mut ids: Vec<u32> = pair_words.iter().map(|w| vocab.id(w)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let mut slots = Vec::with_capacity(ids.len() * ids.len());
+        for &prev in &ids {
+            for &next in &ids {
+                if prev != next {
+                    slots.push((prev, next));
+                }
+            }
+        }
+        Self::from_slots(vocab, slots)
+    }
+
+    /// Builds a schema from an explicit slot list.
+    #[must_use]
+    pub fn from_slots(vocab: Vocabulary, slots: Vec<(u32, u32)>) -> Self {
+        let slot_index = slots
+            .iter()
+            .enumerate()
+            .map(|(i, pair)| (*pair, i))
+            .collect();
+        ModelSchema {
+            vocab,
+            slots,
+            slot_index,
+        }
+    }
+
+    /// The shared vocabulary.
+    #[must_use]
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Number of parameters (slots).
+    #[must_use]
+    pub fn dimension(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The ordered word-pair for a slot index.
+    #[must_use]
+    pub fn slot(&self, index: usize) -> Option<(u32, u32)> {
+        self.slots.get(index).copied()
+    }
+
+    /// The slot index for an ordered word-id pair, if tracked.
+    #[must_use]
+    pub fn slot_of(&self, prev: u32, next: u32) -> Option<usize> {
+        self.slot_index.get(&(prev, next)).copied()
+    }
+
+    /// The slot index for an ordered word pair given as strings.
+    #[must_use]
+    pub fn slot_of_words(&self, prev: &str, next: &str) -> Option<usize> {
+        self.slot_of(self.vocab.id(prev), self.vocab.id(next))
+    }
+
+    /// All slots.
+    #[must_use]
+    pub fn slots(&self) -> &[(u32, u32)] {
+        &self.slots
+    }
+
+    /// Creates an all-zero parameter vector of the right dimension.
+    #[must_use]
+    pub fn zero_weights(&self) -> Vec<f64> {
+        vec![0.0; self.dimension()]
+    }
+
+    /// Validates that a weight vector has the right dimension.
+    pub fn check_dimension(&self, weights: &[f64]) -> Result<()> {
+        if weights.len() != self.dimension() {
+            return Err(FederatedError::DimensionMismatch {
+                got: weights.len(),
+                expected: self.dimension(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One client's local contribution: a weight per schema slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalModel {
+    /// Parameter vector, one entry per schema slot.
+    pub weights: Vec<f64>,
+}
+
+impl LocalModel {
+    /// Creates a local model, checking the dimension against the schema.
+    pub fn new(schema: &ModelSchema, weights: Vec<f64>) -> Result<Self> {
+        schema.check_dimension(&weights)?;
+        Ok(LocalModel { weights })
+    }
+
+    /// True when every weight lies in the valid `[0, 1]` range.
+    #[must_use]
+    pub fn in_valid_range(&self) -> bool {
+        self.weights
+            .iter()
+            .all(|w| (WEIGHT_MIN..=WEIGHT_MAX).contains(w) && w.is_finite())
+    }
+}
+
+/// The service's aggregated model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalModel {
+    /// Aggregated weights, one per schema slot.
+    pub weights: Vec<f64>,
+    /// Number of contributions aggregated into the weights.
+    pub contributors: usize,
+}
+
+impl GlobalModel {
+    /// An empty global model for a schema.
+    #[must_use]
+    pub fn empty(schema: &ModelSchema) -> Self {
+        GlobalModel {
+            weights: schema.zero_weights(),
+            contributors: 0,
+        }
+    }
+
+    /// Predicts the most likely next words after `prev`, best first.
+    ///
+    /// Returns up to `k` `(word_id, weight)` pairs with non-zero weight.
+    #[must_use]
+    pub fn predict_next(&self, schema: &ModelSchema, prev: u32, k: usize) -> Vec<(u32, f64)> {
+        let mut candidates: Vec<(u32, f64)> = schema
+            .slots()
+            .iter()
+            .enumerate()
+            .filter(|(_, (p, _))| *p == prev)
+            .map(|(i, (_, n))| (*n, self.weights[i]))
+            .filter(|(_, w)| *w > 0.0)
+            .collect();
+        candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(core::cmp::Ordering::Equal));
+        candidates.truncate(k);
+        candidates
+    }
+
+    /// Predicts next words for a word given as a string.
+    #[must_use]
+    pub fn predict_next_word(&self, schema: &ModelSchema, prev: &str, k: usize) -> Vec<(String, f64)> {
+        self.predict_next(schema, schema.vocab().id(prev), k)
+            .into_iter()
+            .map(|(id, w)| (schema.vocab().word(id).to_string(), w))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> ModelSchema {
+        let vocab = Vocabulary::new(["donald", "trump", "voting", "for", "don't", "like"]);
+        ModelSchema::dense(vocab, &["donald", "trump", "voting", "for", "don't", "like"])
+    }
+
+    #[test]
+    fn dense_schema_has_all_ordered_pairs() {
+        let s = schema();
+        // 6 words → 6*5 ordered pairs.
+        assert_eq!(s.dimension(), 30);
+        let donald = s.vocab().id("donald");
+        let trump = s.vocab().id("trump");
+        let idx = s.slot_of(donald, trump).unwrap();
+        assert_eq!(s.slot(idx), Some((donald, trump)));
+        assert_eq!(s.slot_of_words("donald", "trump"), Some(idx));
+        // Self pairs are not tracked.
+        assert_eq!(s.slot_of(donald, donald), None);
+        assert_eq!(s.slot(9999), None);
+    }
+
+    #[test]
+    fn schema_is_deterministic() {
+        assert_eq!(schema(), schema());
+        assert_eq!(schema().slots(), schema().slots());
+    }
+
+    #[test]
+    fn local_model_dimension_and_range_checks() {
+        let s = schema();
+        assert!(LocalModel::new(&s, vec![0.0; 5]).is_err());
+        let model = LocalModel::new(&s, s.zero_weights()).unwrap();
+        assert!(model.in_valid_range());
+
+        let mut poisoned = s.zero_weights();
+        poisoned[0] = 538.0; // The paper's illegal value.
+        let poisoned = LocalModel::new(&s, poisoned).unwrap();
+        assert!(!poisoned.in_valid_range());
+
+        let mut negative = s.zero_weights();
+        negative[0] = -0.1;
+        assert!(!LocalModel::new(&s, negative).unwrap().in_valid_range());
+
+        let mut nan = s.zero_weights();
+        nan[0] = f64::NAN;
+        assert!(!LocalModel::new(&s, nan).unwrap().in_valid_range());
+    }
+
+    #[test]
+    fn prediction_orders_by_weight() {
+        let s = schema();
+        let mut global = GlobalModel::empty(&s);
+        let donald = s.vocab().id("donald");
+        let trump = s.vocab().id("trump");
+        let voting = s.vocab().id("voting");
+        global.weights[s.slot_of(donald, trump).unwrap()] = 0.9;
+        global.weights[s.slot_of(donald, voting).unwrap()] = 0.2;
+
+        let predictions = global.predict_next(&s, donald, 5);
+        assert_eq!(predictions.len(), 2);
+        assert_eq!(predictions[0].0, trump);
+        assert_eq!(predictions[1].0, voting);
+
+        let words = global.predict_next_word(&s, "donald", 1);
+        assert_eq!(words, vec![("trump".to_string(), 0.9)]);
+
+        // Unknown previous word yields no predictions.
+        assert!(global.predict_next_word(&s, "zebra", 3).is_empty());
+    }
+
+    #[test]
+    fn empty_global_model() {
+        let s = schema();
+        let g = GlobalModel::empty(&s);
+        assert_eq!(g.contributors, 0);
+        assert_eq!(g.weights.len(), s.dimension());
+        assert!(g.predict_next(&s, s.vocab().id("donald"), 3).is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! Local training: turning one user's keyboard trace into a contribution.
+//!
+//! The local model is the empirical conditional frequency of each tracked
+//! bigram: for schema slot `(prev, next)`, the weight is
+//! `count(prev→next) / count(prev→·)` over the user's own sentences — a
+//! value in `[0, 1]` as the service expects.
+
+use crate::model::{LocalModel, ModelSchema};
+use crate::Result;
+use std::collections::HashMap;
+
+/// Summary statistics from local training, useful as private validation data
+/// for the Glimmer (the NAB-style corroboration predicate compares these to
+/// the submitted weights).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total number of tokens typed.
+    pub tokens: usize,
+    /// Total number of sentences typed.
+    pub sentences: usize,
+    /// Raw bigram counts over tracked and untracked pairs alike.
+    pub bigram_counts: HashMap<(u32, u32), u32>,
+}
+
+/// Trains a local bigram model from tokenized sentences.
+///
+/// Returns the model and the trace statistics it was derived from.
+pub fn train_local_model(
+    schema: &ModelSchema,
+    sentences: &[Vec<u32>],
+) -> Result<(LocalModel, TraceStats)> {
+    let mut bigram_counts: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut prev_counts: HashMap<u32, u32> = HashMap::new();
+    let mut tokens = 0usize;
+
+    for sentence in sentences {
+        tokens += sentence.len();
+        for window in sentence.windows(2) {
+            let (prev, next) = (window[0], window[1]);
+            *bigram_counts.entry((prev, next)).or_insert(0) += 1;
+            *prev_counts.entry(prev).or_insert(0) += 1;
+        }
+    }
+
+    let mut weights = schema.zero_weights();
+    for (i, (prev, next)) in schema.slots().iter().enumerate() {
+        let pair = bigram_counts.get(&(*prev, *next)).copied().unwrap_or(0);
+        let total = prev_counts.get(prev).copied().unwrap_or(0);
+        if total > 0 {
+            weights[i] = f64::from(pair) / f64::from(total);
+        }
+    }
+
+    let model = LocalModel::new(schema, weights)?;
+    Ok((
+        model,
+        TraceStats {
+            tokens,
+            sentences: sentences.len(),
+            bigram_counts,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::Vocabulary;
+
+    fn schema() -> ModelSchema {
+        let vocab = Vocabulary::new(["i'm", "voting", "for", "donald", "trump", "don't", "like"]);
+        ModelSchema::dense(
+            vocab,
+            &["i'm", "voting", "for", "donald", "trump", "don't", "like"],
+        )
+    }
+
+    #[test]
+    fn alice_types_trump_after_donald() {
+        let s = schema();
+        let sentences = vec![
+            s.vocab().tokenize("I'm voting for Donald Trump"),
+            s.vocab().tokenize("I'm voting for Donald Trump"),
+        ];
+        let (model, stats) = train_local_model(&s, &sentences).unwrap();
+        assert!(model.in_valid_range());
+        assert_eq!(stats.sentences, 2);
+        assert_eq!(stats.tokens, 10);
+
+        let slot = s.slot_of_words("donald", "trump").unwrap();
+        assert!((model.weights[slot] - 1.0).abs() < 1e-9);
+
+        // A bigram the user never typed has weight zero.
+        let unused = s.slot_of_words("trump", "donald").unwrap();
+        assert_eq!(model.weights[unused], 0.0);
+    }
+
+    #[test]
+    fn weights_are_conditional_frequencies() {
+        let s = schema();
+        // After "donald": trump twice, like once → 2/3 and 1/3.
+        let sentences = vec![
+            s.vocab().tokenize("donald trump"),
+            s.vocab().tokenize("donald trump"),
+            s.vocab().tokenize("donald like"),
+        ];
+        let (model, _) = train_local_model(&s, &sentences).unwrap();
+        let trump_slot = s.slot_of_words("donald", "trump").unwrap();
+        let like_slot = s.slot_of_words("donald", "like").unwrap();
+        assert!((model.weights[trump_slot] - 2.0 / 3.0).abs() < 1e-9);
+        assert!((model.weights[like_slot] - 1.0 / 3.0).abs() < 1e-9);
+        // Conditional frequencies after one word sum to at most 1.
+        let sum: f64 = s
+            .slots()
+            .iter()
+            .enumerate()
+            .filter(|(_, (p, _))| *p == s.vocab().id("donald"))
+            .map(|(i, _)| model.weights[i])
+            .sum();
+        assert!(sum <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_gives_zero_model() {
+        let s = schema();
+        let (model, stats) = train_local_model(&s, &[]).unwrap();
+        assert!(model.weights.iter().all(|&w| w == 0.0));
+        assert_eq!(stats.tokens, 0);
+        assert_eq!(stats.sentences, 0);
+        assert!(stats.bigram_counts.is_empty());
+    }
+
+    #[test]
+    fn single_word_sentences_produce_no_bigrams() {
+        let s = schema();
+        let sentences = vec![s.vocab().tokenize("trump"), s.vocab().tokenize("donald")];
+        let (model, stats) = train_local_model(&s, &sentences).unwrap();
+        assert!(model.weights.iter().all(|&w| w == 0.0));
+        assert_eq!(stats.tokens, 2);
+        assert!(stats.bigram_counts.is_empty());
+    }
+
+    #[test]
+    fn stats_record_untracked_bigrams_too() {
+        let s = schema();
+        // "bernie" is out of vocabulary; the bigram (for, <oov>) is counted in
+        // the stats even though the schema does not track OOV pairs.
+        let sentences = vec![s.vocab().tokenize("voting for bernie")];
+        let (_, stats) = train_local_model(&s, &sentences).unwrap();
+        let oov_pair = (s.vocab().id("for"), 0u32);
+        assert_eq!(stats.bigram_counts.get(&oov_pair), Some(&1));
+    }
+}

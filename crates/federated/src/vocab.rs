@@ -1,0 +1,155 @@
+//! The shared word vocabulary.
+//!
+//! The predictive-keyboard service publishes a vocabulary so that every
+//! client maps words to the same parameter indices. Words outside the
+//! vocabulary are mapped to an out-of-vocabulary token.
+
+use crate::FederatedError;
+use std::collections::HashMap;
+
+/// Identifier of the out-of-vocabulary token (always index 0).
+pub const OOV: u32 = 0;
+
+/// A bidirectional word ↔ id mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vocabulary {
+    words: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Vocabulary {
+    /// Builds a vocabulary from a list of words.
+    ///
+    /// Index 0 is reserved for the out-of-vocabulary token `<oov>`; duplicate
+    /// and empty words are ignored.
+    #[must_use]
+    pub fn new<I, S>(words: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut vocab = Vocabulary {
+            words: vec!["<oov>".to_string()],
+            index: HashMap::from([("<oov>".to_string(), 0)]),
+        };
+        for word in words {
+            vocab.insert(word.as_ref());
+        }
+        vocab
+    }
+
+    fn insert(&mut self, word: &str) {
+        let normalized = word.trim().to_lowercase();
+        if normalized.is_empty() || self.index.contains_key(&normalized) {
+            return;
+        }
+        let id = self.words.len() as u32;
+        self.words.push(normalized.clone());
+        self.index.insert(normalized, id);
+    }
+
+    /// Number of entries, including the OOV token.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Always false: the OOV token is always present.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Maps a word to its id, falling back to [`OOV`].
+    #[must_use]
+    pub fn id(&self, word: &str) -> u32 {
+        let normalized = word.trim().to_lowercase();
+        self.index.get(&normalized).copied().unwrap_or(OOV)
+    }
+
+    /// Maps a word to its id, erroring for unknown words.
+    pub fn id_strict(&self, word: &str) -> Result<u32, FederatedError> {
+        let normalized = word.trim().to_lowercase();
+        self.index
+            .get(&normalized)
+            .copied()
+            .ok_or_else(|| FederatedError::UnknownWord(word.to_string()))
+    }
+
+    /// Maps an id back to its word (OOV for out-of-range ids).
+    #[must_use]
+    pub fn word(&self, id: u32) -> &str {
+        self.words
+            .get(id as usize)
+            .map(String::as_str)
+            .unwrap_or("<oov>")
+    }
+
+    /// Tokenizes a sentence into ids (whitespace split, lowercased,
+    /// punctuation stripped from word edges).
+    #[must_use]
+    pub fn tokenize(&self, sentence: &str) -> Vec<u32> {
+        sentence
+            .split_whitespace()
+            .map(|w| w.trim_matches(|c: char| !c.is_alphanumeric() && c != '\''))
+            .filter(|w| !w.is_empty())
+            .map(|w| self.id(w))
+            .collect()
+    }
+
+    /// Iterates over `(id, word)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (i as u32, w.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_dedups_and_normalizes() {
+        let vocab = Vocabulary::new(["Donald", "Trump", "donald", "  ", "voting"]);
+        // <oov> + donald + trump + voting.
+        assert_eq!(vocab.len(), 4);
+        assert!(!vocab.is_empty());
+        assert_eq!(vocab.id("donald"), vocab.id("DONALD"));
+        assert_ne!(vocab.id("donald"), OOV);
+        assert_eq!(vocab.id("unknown-word"), OOV);
+        assert_eq!(vocab.word(vocab.id("trump")), "trump");
+        assert_eq!(vocab.word(9999), "<oov>");
+    }
+
+    #[test]
+    fn strict_lookup() {
+        let vocab = Vocabulary::new(["alpha"]);
+        assert!(vocab.id_strict("alpha").is_ok());
+        assert_eq!(
+            vocab.id_strict("beta"),
+            Err(FederatedError::UnknownWord("beta".to_string()))
+        );
+    }
+
+    #[test]
+    fn tokenization_strips_punctuation() {
+        let vocab = Vocabulary::new(["i'm", "voting", "for", "donald", "trump"]);
+        let ids = vocab.tokenize("I'm voting for Donald Trump.");
+        assert_eq!(ids.len(), 5);
+        assert!(ids.iter().all(|&id| id != OOV));
+        let with_unknown = vocab.tokenize("I'm voting for Bernie!");
+        assert_eq!(*with_unknown.last().unwrap(), OOV);
+        assert!(vocab.tokenize("   ").is_empty());
+    }
+
+    #[test]
+    fn iteration_covers_all_words() {
+        let vocab = Vocabulary::new(["a", "b"]);
+        let collected: Vec<(u32, &str)> = vocab.iter().collect();
+        assert_eq!(collected.len(), 3);
+        assert_eq!(collected[0], (0, "<oov>"));
+        assert_eq!(collected[1], (1, "a"));
+    }
+}

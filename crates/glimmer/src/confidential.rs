@@ -1,0 +1,204 @@
+//! Validation confidentiality (Section 4.1).
+//!
+//! "The web service may wish to hide the exact validation predicate from the
+//! adversary ... Glimmers can provide validation confidentiality by accepting
+//! encrypted code and data from the web service and decrypting and running
+//! that code inside the enclave where the plain text code is protected from
+//! observation by the hardware TEE."
+//!
+//! The "code" delivered here is a [`crate::validation::BotDetectorSpec`] — a
+//! declarative detector the enclave instantiates — encrypted under the
+//! service→Glimmer AEAD key of the attested channel. The result sent back to
+//! the service is a [`BotVerdict`]: a challenge echo, exactly one bit, and a
+//! MAC, which is what the runtime auditor (Section 4.1's second challenge)
+//! checks before anything leaves the enclave.
+
+use crate::protocol::frame_type;
+use crate::validation::BotDetectorSpec;
+use crate::{GlimmerError, Result};
+use glimmer_crypto::aead::AeadKey;
+use glimmer_crypto::hmac::{hmac_sha256, hmac_sha256_verify};
+use glimmer_wire::{Decoder, Encoder, Frame, WireCodec, WireError};
+
+/// Domain-separation label for predicate encryption.
+const PREDICATE_AAD: &[u8] = b"glimmer-confidential-predicate-v1";
+
+/// An encrypted validation predicate in transit from the service to the
+/// Glimmer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncryptedPredicate {
+    /// AEAD nonce.
+    pub nonce: [u8; 12],
+    /// AEAD ciphertext and tag over the serialized spec.
+    pub ciphertext: Vec<u8>,
+}
+
+impl WireCodec for EncryptedPredicate {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_raw(&self.nonce);
+        enc.put_bytes(&self.ciphertext);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> core::result::Result<Self, WireError> {
+        let raw = dec.get_raw(12)?;
+        let mut nonce = [0u8; 12];
+        nonce.copy_from_slice(&raw);
+        Ok(EncryptedPredicate {
+            nonce,
+            ciphertext: dec.get_bytes()?,
+        })
+    }
+}
+
+/// Service side: encrypts a detector spec for delivery over the channel.
+#[must_use]
+pub fn seal_predicate(spec: &BotDetectorSpec, key: &AeadKey, nonce: [u8; 12]) -> EncryptedPredicate {
+    EncryptedPredicate {
+        nonce,
+        ciphertext: key.seal(&nonce, PREDICATE_AAD, &spec.to_wire()),
+    }
+}
+
+/// Glimmer side: decrypts and parses a detector spec received over the
+/// channel.
+pub fn open_predicate(encrypted: &EncryptedPredicate, key: &AeadKey) -> Result<BotDetectorSpec> {
+    let plain = key
+        .open(&encrypted.nonce, PREDICATE_AAD, &encrypted.ciphertext)
+        .map_err(|_| GlimmerError::Channel("encrypted predicate failed to decrypt".to_string()))?;
+    BotDetectorSpec::from_wire(&plain).map_err(GlimmerError::from)
+}
+
+/// The single-bit verdict the Glimmer releases to the web service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BotVerdict {
+    /// The service-supplied challenge this verdict answers (prevents replay).
+    pub challenge: [u8; 32],
+    /// The one bit of information: human (`true`) or bot (`false`).
+    pub human: bool,
+    /// MAC over the challenge and bit, keyed by the channel MAC key.
+    pub mac: [u8; 32],
+}
+
+impl BotVerdict {
+    /// Creates and authenticates a verdict.
+    #[must_use]
+    pub fn new(challenge: [u8; 32], human: bool, mac_key: &[u8; 32]) -> Self {
+        let mac = Self::compute_mac(&challenge, human, mac_key);
+        BotVerdict {
+            challenge,
+            human,
+            mac,
+        }
+    }
+
+    fn compute_mac(challenge: &[u8; 32], human: bool, mac_key: &[u8; 32]) -> [u8; 32] {
+        let mut msg = Vec::with_capacity(33 + 24);
+        msg.extend_from_slice(b"glimmer-bot-verdict-v1");
+        msg.extend_from_slice(challenge);
+        msg.push(u8::from(human));
+        hmac_sha256(mac_key, &msg)
+    }
+
+    /// Service side: verifies the verdict's MAC and challenge binding.
+    #[must_use]
+    pub fn verify(&self, expected_challenge: &[u8; 32], mac_key: &[u8; 32]) -> bool {
+        if &self.challenge != expected_challenge {
+            return false;
+        }
+        let mut msg = Vec::with_capacity(33 + 24);
+        msg.extend_from_slice(b"glimmer-bot-verdict-v1");
+        msg.extend_from_slice(&self.challenge);
+        msg.push(u8::from(self.human));
+        hmac_sha256_verify(mac_key, &msg, &self.mac)
+    }
+
+    /// Wraps the verdict in the public wire frame the auditor inspects.
+    #[must_use]
+    pub fn to_frame(&self) -> Frame {
+        Frame::new(frame_type::BOT_VERDICT, self.to_wire())
+    }
+}
+
+impl WireCodec for BotVerdict {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_array32(&self.challenge);
+        enc.put_bool(self.human);
+        enc.put_array32(&self.mac);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> core::result::Result<Self, WireError> {
+        Ok(BotVerdict {
+            challenge: dec.get_array32()?,
+            human: dec.get_bool()?,
+            mac: dec.get_array32()?,
+        })
+    }
+}
+
+/// Exact serialized size of a [`BotVerdict`] payload; the auditor enforces it.
+pub const BOT_VERDICT_WIRE_LEN: usize = 32 + 1 + 32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> AeadKey {
+        AeadKey::from_master(&[6u8; 32])
+    }
+
+    #[test]
+    fn predicate_round_trip_over_the_channel() {
+        let spec = BotDetectorSpec::example();
+        let encrypted = seal_predicate(&spec, &key(), [3u8; 12]);
+        // Survives the wire.
+        let encrypted = EncryptedPredicate::from_wire(&encrypted.to_wire()).unwrap();
+        let opened = open_predicate(&encrypted, &key()).unwrap();
+        assert_eq!(opened, spec);
+    }
+
+    #[test]
+    fn predicate_is_opaque_without_the_key_and_tamper_proof() {
+        let spec = BotDetectorSpec::example();
+        let encrypted = seal_predicate(&spec, &key(), [3u8; 12]);
+        // The ciphertext does not contain the plaintext spec bytes.
+        let plain = spec.to_wire();
+        assert_ne!(&encrypted.ciphertext[..plain.len().min(encrypted.ciphertext.len())], &plain[..plain.len().min(encrypted.ciphertext.len())]);
+
+        let other_key = AeadKey::from_master(&[7u8; 32]);
+        assert!(open_predicate(&encrypted, &other_key).is_err());
+
+        let mut tampered = encrypted.clone();
+        tampered.ciphertext[0] ^= 1;
+        assert!(open_predicate(&tampered, &key()).is_err());
+
+        assert!(EncryptedPredicate::from_wire(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn verdict_mac_and_challenge_binding() {
+        let mac_key = [9u8; 32];
+        let challenge = [0xAAu8; 32];
+        let verdict = BotVerdict::new(challenge, true, &mac_key);
+        assert!(verdict.verify(&challenge, &mac_key));
+
+        // Wrong challenge (replay to a different session) fails.
+        assert!(!verdict.verify(&[0xBBu8; 32], &mac_key));
+        // Wrong key fails.
+        assert!(!verdict.verify(&challenge, &[1u8; 32]));
+        // Flipping the bit fails.
+        let mut flipped = verdict.clone();
+        flipped.human = false;
+        assert!(!flipped.verify(&challenge, &mac_key));
+    }
+
+    #[test]
+    fn verdict_wire_shape_is_fixed() {
+        let verdict = BotVerdict::new([1u8; 32], false, &[2u8; 32]);
+        let bytes = verdict.to_wire();
+        assert_eq!(bytes.len(), BOT_VERDICT_WIRE_LEN);
+        assert_eq!(BotVerdict::from_wire(&bytes).unwrap(), verdict);
+        let frame = verdict.to_frame();
+        assert_eq!(frame.msg_type, frame_type::BOT_VERDICT);
+        assert_eq!(frame.payload.len(), BOT_VERDICT_WIRE_LEN);
+    }
+}

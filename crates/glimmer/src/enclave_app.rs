@@ -1,0 +1,659 @@
+//! The Glimmer enclave program (Figure 3).
+//!
+//! This is the code that runs *inside* the (simulated) SGX enclave on the
+//! client device. It wires the three components of the paper's design —
+//! Validation, Blinding, Signing — behind a handful of ECALLs, plus the
+//! Section 4.1 extensions (attested channel, encrypted predicate, audited
+//! 1-bit verdicts). Everything in this file is part of the trusted computing
+//! base accounted for in Experiment E10; it deliberately avoids OCALLs so the
+//! Glimmer "runs mostly in isolation" as Section 3 requires.
+
+use crate::auditor::OutputAuditor;
+use crate::blinding::MaskShare;
+use crate::channel::{ChannelAccept, ChannelKeys, GlimmerChannel};
+use crate::confidential::{open_predicate, BotVerdict, EncryptedPredicate};
+use crate::host::GlimmerDescriptor;
+use crate::protocol::{
+    ecall, EndorsedContribution, PrivateData, ProcessRequest, ProcessResponse,
+};
+use crate::signing::{sign_endorsement, signing_key_from_secret};
+use crate::validation::{AllOf, BotDetector, ValidationPredicate};
+use glimmer_crypto::drbg::Drbg;
+use glimmer_crypto::schnorr::{SigningKey, VerifyingKey};
+use glimmer_federated::fixed::encode_weights;
+use glimmer_wire::{Decoder, Encoder, WireCodec, WireError};
+use sgx_sim::{EnclaveEnv, EnclaveProgram, SealPolicy, SealedBlob, TargetInfo};
+use std::collections::HashMap;
+
+/// Product id carried in the Glimmer enclave's attributes.
+pub const GLIMMER_ISV_PROD_ID: u16 = 0x6C17;
+
+/// Associated data under which the service signing key is sealed.
+const SERVICE_KEY_AAD: &[u8] = b"glimmer-service-signing-key-v1";
+
+/// Provisioning request: either fresh secret key bytes from the service, or a
+/// previously exported sealed blob to restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProvisionRequest {
+    /// Fresh secret signing-key bytes (delivered at enrollment or over the
+    /// attested channel).
+    FreshKey(Vec<u8>),
+    /// A sealed blob previously exported by this Glimmer on this platform.
+    Sealed(Vec<u8>),
+}
+
+impl WireCodec for ProvisionRequest {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            ProvisionRequest::FreshKey(bytes) => {
+                enc.put_u8(0);
+                enc.put_bytes(bytes);
+            }
+            ProvisionRequest::Sealed(bytes) => {
+                enc.put_u8(1);
+                enc.put_bytes(bytes);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        match dec.get_u8()? {
+            0 => Ok(ProvisionRequest::FreshKey(dec.get_bytes()?)),
+            1 => Ok(ProvisionRequest::Sealed(dec.get_bytes()?)),
+            other => Err(WireError::InvalidBool(other)),
+        }
+    }
+}
+
+/// Mask installation request: plaintext (trusted delivery in simulations) or
+/// encrypted under the attested channel's service→Glimmer key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MaskDelivery {
+    /// Plaintext mask share.
+    Plain {
+        /// The mask share.
+        round: u64,
+        /// Client the mask was issued to.
+        client_id: u64,
+        /// The additive mask values.
+        mask: Vec<u64>,
+    },
+    /// AEAD-encrypted mask share (nonce plus ciphertext of the plain encoding).
+    Encrypted {
+        /// AEAD nonce.
+        nonce: [u8; 12],
+        /// Ciphertext+tag of a `Plain` encoding.
+        ciphertext: Vec<u8>,
+    },
+}
+
+impl MaskDelivery {
+    /// Builds a plaintext delivery from a mask share.
+    #[must_use]
+    pub fn plain(share: &MaskShare) -> Self {
+        MaskDelivery::Plain {
+            round: share.round,
+            client_id: share.client_id,
+            mask: share.mask.clone(),
+        }
+    }
+
+    /// Encrypts a mask share under a channel key (what the blinding service
+    /// does after the attested handshake).
+    #[must_use]
+    pub fn encrypted(
+        share: &MaskShare,
+        key: &glimmer_crypto::aead::AeadKey,
+        nonce: [u8; 12],
+    ) -> Self {
+        let plain = MaskDelivery::plain(share).to_wire();
+        MaskDelivery::Encrypted {
+            nonce,
+            ciphertext: key.seal(&nonce, b"glimmer-mask-v1", &plain),
+        }
+    }
+}
+
+impl WireCodec for MaskDelivery {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            MaskDelivery::Plain {
+                round,
+                client_id,
+                mask,
+            } => {
+                enc.put_u8(0);
+                enc.put_u64(*round);
+                enc.put_u64(*client_id);
+                enc.put_u64_vec(mask);
+            }
+            MaskDelivery::Encrypted { nonce, ciphertext } => {
+                enc.put_u8(1);
+                enc.put_raw(nonce);
+                enc.put_bytes(ciphertext);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        match dec.get_u8()? {
+            0 => Ok(MaskDelivery::Plain {
+                round: dec.get_u64()?,
+                client_id: dec.get_u64()?,
+                mask: dec.get_u64_vec()?,
+            }),
+            1 => {
+                let raw = dec.get_raw(12)?;
+                let mut nonce = [0u8; 12];
+                nonce.copy_from_slice(&raw);
+                Ok(MaskDelivery::Encrypted {
+                    nonce,
+                    ciphertext: dec.get_bytes()?,
+                })
+            }
+            other => Err(WireError::InvalidBool(other)),
+        }
+    }
+}
+
+/// Request for a confidential bot check: the service challenge plus the
+/// private signals collected on the client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfidentialCheckRequest {
+    /// Challenge nonce from the service (replay protection).
+    pub challenge: [u8; 32],
+    /// Private interaction signals.
+    pub private: PrivateData,
+}
+
+impl WireCodec for ConfidentialCheckRequest {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_array32(&self.challenge);
+        self.private.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(ConfidentialCheckRequest {
+            challenge: dec.get_array32()?,
+            private: PrivateData::decode(dec)?,
+        })
+    }
+}
+
+/// Status flags reported by the `STATUS` ECALL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlimmerStatus {
+    /// A service signing key is installed.
+    pub signing_key: bool,
+    /// The attested channel is established.
+    pub channel: bool,
+    /// A confidential predicate is installed.
+    pub confidential_predicate: bool,
+    /// Number of blinding masks currently installed.
+    pub masks: u32,
+    /// Verdict bits released by the auditor so far.
+    pub verdict_bits_released: u64,
+}
+
+impl WireCodec for GlimmerStatus {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bool(self.signing_key);
+        enc.put_bool(self.channel);
+        enc.put_bool(self.confidential_predicate);
+        enc.put_u32(self.masks);
+        enc.put_u64(self.verdict_bits_released);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(GlimmerStatus {
+            signing_key: dec.get_bool()?,
+            channel: dec.get_bool()?,
+            confidential_predicate: dec.get_bool()?,
+            masks: dec.get_u32()?,
+            verdict_bits_released: dec.get_u64()?,
+        })
+    }
+}
+
+/// Reply to the `CHANNEL_REPORT` ECALL: the Glimmer's DH public value and the
+/// local-attestation report binding it (to be quoted by the host).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelReportReply {
+    /// The Glimmer's ephemeral DH public value.
+    pub dh_public: Vec<u8>,
+    /// Serialized report targeted at the quoting enclave.
+    pub report: Vec<u8>,
+}
+
+impl WireCodec for ChannelReportReply {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bytes(&self.dh_public);
+        enc.put_bytes(&self.report);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(ChannelReportReply {
+            dh_public: dec.get_bytes()?,
+            report: dec.get_bytes()?,
+        })
+    }
+}
+
+/// The Glimmer enclave program.
+pub struct GlimmerEnclaveProgram {
+    app_id: String,
+    predicate: AllOf,
+    service_verifying_key: Option<VerifyingKey>,
+    signing_key: Option<SigningKey>,
+    sealed_key: Option<SealedBlob>,
+    masks: HashMap<u64, MaskShare>,
+    pending_channel: Option<GlimmerChannel>,
+    channel: Option<ChannelKeys>,
+    confidential_detector: Option<BotDetector>,
+    auditor: OutputAuditor,
+}
+
+impl GlimmerEnclaveProgram {
+    /// Builds the enclave program from its (measured) descriptor.
+    #[must_use]
+    pub fn new(descriptor: &GlimmerDescriptor) -> Self {
+        let predicate = AllOf {
+            inner: descriptor
+                .predicate_specs
+                .iter()
+                .map(|s| s.instantiate())
+                .collect(),
+        };
+        let service_verifying_key = if descriptor.service_verifying_key.is_empty() {
+            None
+        } else {
+            VerifyingKey::from_bytes(&descriptor.service_verifying_key).ok()
+        };
+        GlimmerEnclaveProgram {
+            app_id: descriptor.app_id.clone(),
+            predicate,
+            service_verifying_key,
+            signing_key: None,
+            sealed_key: None,
+            masks: HashMap::new(),
+            pending_channel: None,
+            channel: None,
+            confidential_detector: None,
+            auditor: OutputAuditor::new(descriptor.verdict_bit_budget),
+        }
+    }
+
+    fn provision(
+        &mut self,
+        env: &mut dyn EnclaveEnv,
+        request: ProvisionRequest,
+    ) -> Result<Vec<u8>, String> {
+        match request {
+            ProvisionRequest::FreshKey(secret) => {
+                let key = signing_key_from_secret(&secret).map_err(|e| e.to_string())?;
+                let sealed = env
+                    .seal(SealPolicy::MrEnclave, SERVICE_KEY_AAD, &secret)
+                    .map_err(|e| e.to_string())?;
+                let sealed_bytes = sealed.to_bytes();
+                self.signing_key = Some(key);
+                self.sealed_key = Some(sealed);
+                Ok(sealed_bytes)
+            }
+            ProvisionRequest::Sealed(blob_bytes) => {
+                let blob = SealedBlob::from_bytes(&blob_bytes).map_err(|e| e.to_string())?;
+                if blob.aad() != SERVICE_KEY_AAD {
+                    return Err("sealed blob is not a glimmer service key".to_string());
+                }
+                let secret = env.unseal(&blob).map_err(|e| e.to_string())?;
+                let key = signing_key_from_secret(&secret).map_err(|e| e.to_string())?;
+                self.signing_key = Some(key);
+                self.sealed_key = Some(blob);
+                Ok(Vec::new())
+            }
+        }
+    }
+
+    fn install_mask(&mut self, delivery: MaskDelivery) -> Result<Vec<u8>, String> {
+        let (round, client_id, mask) = match delivery {
+            MaskDelivery::Plain {
+                round,
+                client_id,
+                mask,
+            } => (round, client_id, mask),
+            MaskDelivery::Encrypted { nonce, ciphertext } => {
+                let channel = self
+                    .channel
+                    .as_ref()
+                    .ok_or("encrypted mask requires an established channel")?;
+                let plain = channel
+                    .service_to_glimmer
+                    .open(&nonce, b"glimmer-mask-v1", &ciphertext)
+                    .map_err(|e| e.to_string())?;
+                match MaskDelivery::from_wire(&plain).map_err(|e| e.to_string())? {
+                    MaskDelivery::Plain {
+                        round,
+                        client_id,
+                        mask,
+                    } => (round, client_id, mask),
+                    MaskDelivery::Encrypted { .. } => {
+                        return Err("nested encrypted mask".to_string())
+                    }
+                }
+            }
+        };
+        self.masks.insert(
+            round,
+            MaskShare {
+                round,
+                client_id,
+                mask,
+            },
+        );
+        Ok(Vec::new())
+    }
+
+    fn process_contribution(&mut self, request: ProcessRequest) -> Result<Vec<u8>, String> {
+        let contribution = request.contribution;
+        let private = request.private_data;
+
+        // 1. Validation.
+        let verdict = self.predicate.validate(&contribution, &private);
+        if !verdict.passed {
+            return Ok(ProcessResponse::Rejected {
+                reason: verdict.reason,
+            }
+            .to_wire());
+        }
+
+        // 2. Blinding (only for private payloads).
+        let is_private = contribution.payload.requires_blinding();
+        let (released_payload, blinded) = if is_private {
+            let values: Vec<f64> = match &contribution.payload {
+                crate::protocol::ContributionPayload::ModelUpdate { weights } => weights.clone(),
+                crate::protocol::ContributionPayload::IotReadings { samples } => samples.clone(),
+                crate::protocol::ContributionPayload::Photo { .. } => unreachable!(),
+            };
+            let Some(mask) = self.masks.get(&contribution.round) else {
+                return Ok(ProcessResponse::Rejected {
+                    reason: format!(
+                        "no blinding mask installed for round {}; refusing to release private data",
+                        contribution.round
+                    ),
+                }
+                .to_wire());
+            };
+            if mask.mask.len() != values.len() {
+                return Ok(ProcessResponse::Rejected {
+                    reason: "blinding mask dimension mismatch".to_string(),
+                }
+                .to_wire());
+            }
+            let blinded_vec = mask.blind(&encode_weights(&values));
+            let mut enc = Encoder::new();
+            enc.put_u64_vec(&blinded_vec);
+            (enc.into_bytes(), true)
+        } else {
+            (contribution.payload.to_wire(), false)
+        };
+
+        // 3. Signing.
+        let signing_key = self
+            .signing_key
+            .as_ref()
+            .ok_or("no service signing key provisioned")?;
+        let mut endorsed = EndorsedContribution {
+            app_id: contribution.app_id.clone(),
+            client_id: contribution.client_id,
+            round: contribution.round,
+            released_payload,
+            blinded,
+            signature: Vec::new(),
+        };
+        endorsed.signature = sign_endorsement(signing_key, &endorsed).map_err(|e| e.to_string())?;
+
+        // 4. Output audit: private payloads must never leave unblinded.
+        self.auditor
+            .audit_endorsement(&endorsed, is_private)
+            .map_err(|e| e.to_string())?;
+
+        Ok(ProcessResponse::Endorsed(endorsed).to_wire())
+    }
+
+    fn channel_report(
+        &mut self,
+        env: &mut dyn EnclaveEnv,
+        data: &[u8],
+    ) -> Result<Vec<u8>, String> {
+        if data.len() != 32 {
+            return Err("CHANNEL_REPORT expects the 32-byte quoting-enclave measurement".into());
+        }
+        let mut target = [0u8; 32];
+        target.copy_from_slice(data);
+        let mut rng_seed = [0u8; 32];
+        rng_seed.copy_from_slice(&env.random_bytes(32));
+        let mut rng = Drbg::from_seed(rng_seed);
+        let channel = GlimmerChannel::start(&self.app_id, &mut rng).map_err(|e| e.to_string())?;
+        let report = env.create_report(
+            &TargetInfo {
+                measurement: sgx_sim::Measurement(target),
+            },
+            channel.report_data(),
+        );
+        let reply = ChannelReportReply {
+            dh_public: channel.public_bytes(),
+            report: report.to_bytes(),
+        };
+        self.pending_channel = Some(channel);
+        Ok(reply.to_wire())
+    }
+
+    fn channel_complete(&mut self, data: &[u8]) -> Result<Vec<u8>, String> {
+        let accept = ChannelAccept::from_wire(data).map_err(|e| e.to_string())?;
+        let channel = self
+            .pending_channel
+            .take()
+            .ok_or("no pending channel handshake")?;
+        // With an embedded service key the peer must prove it is the service;
+        // without one (glimmer-as-a-service, Section 4.2) the channel is
+        // one-way authenticated: the peer verified *us* through attestation.
+        let keys = match &self.service_verifying_key {
+            Some(service_key) => channel
+                .complete(&accept, service_key)
+                .map_err(|e| e.to_string())?,
+            None => channel
+                .complete_unauthenticated(&accept)
+                .map_err(|e| e.to_string())?,
+        };
+        self.channel = Some(keys);
+        Ok(Vec::new())
+    }
+
+    fn process_encrypted(
+        &mut self,
+        env: &mut dyn EnclaveEnv,
+        data: &[u8],
+    ) -> Result<Vec<u8>, String> {
+        if data.len() < 12 {
+            return Err("encrypted request too short".to_string());
+        }
+        let channel = self
+            .channel
+            .as_ref()
+            .ok_or("encrypted processing requires an established channel")?
+            .clone();
+        let mut nonce = [0u8; 12];
+        nonce.copy_from_slice(&data[..12]);
+        let plain = channel
+            .service_to_glimmer
+            .open(&nonce, b"glimmer-remote-request-v1", &data[12..])
+            .map_err(|e| e.to_string())?;
+        let request = ProcessRequest::from_wire(&plain).map_err(|e| e.to_string())?;
+        let response = self.process_contribution(request)?;
+        let mut reply_nonce = [0u8; 12];
+        reply_nonce.copy_from_slice(&env.random_bytes(12));
+        let ciphertext =
+            channel
+                .glimmer_to_service
+                .seal(&reply_nonce, b"glimmer-remote-response-v1", &response);
+        let mut out = reply_nonce.to_vec();
+        out.extend_from_slice(&ciphertext);
+        Ok(out)
+    }
+
+    fn install_predicate(&mut self, data: &[u8]) -> Result<Vec<u8>, String> {
+        let encrypted = EncryptedPredicate::from_wire(data).map_err(|e| e.to_string())?;
+        let channel = self
+            .channel
+            .as_ref()
+            .ok_or("encrypted predicates require an established channel")?;
+        let spec =
+            open_predicate(&encrypted, &channel.service_to_glimmer).map_err(|e| e.to_string())?;
+        self.confidential_detector = Some(BotDetector::new(spec));
+        Ok(Vec::new())
+    }
+
+    fn confidential_check(&mut self, data: &[u8]) -> Result<Vec<u8>, String> {
+        let request = ConfidentialCheckRequest::from_wire(data).map_err(|e| e.to_string())?;
+        let detector = self
+            .confidential_detector
+            .as_ref()
+            .ok_or("no confidential predicate installed")?;
+        let channel = self
+            .channel
+            .as_ref()
+            .ok_or("confidential check requires an established channel")?;
+        let PrivateData::BotSignals { signals } = &request.private else {
+            return Err("confidential check requires bot signals".to_string());
+        };
+        let human = detector.is_human(signals);
+        let verdict = BotVerdict::new(request.challenge, human, &channel.mac_key);
+        let frame = verdict.to_frame();
+        // The auditor is the last gate before anything leaves the enclave.
+        self.auditor.audit(&frame).map_err(|e| e.to_string())?;
+        Ok(frame.to_bytes())
+    }
+
+    fn status(&self) -> Vec<u8> {
+        GlimmerStatus {
+            signing_key: self.signing_key.is_some(),
+            channel: self.channel.is_some(),
+            confidential_predicate: self.confidential_detector.is_some(),
+            masks: self.masks.len() as u32,
+            verdict_bits_released: self.auditor.verdict_bits_released(),
+        }
+        .to_wire()
+    }
+}
+
+impl EnclaveProgram for GlimmerEnclaveProgram {
+    fn name(&self) -> &str {
+        "glimmer"
+    }
+
+    fn handle_ecall(
+        &mut self,
+        env: &mut dyn EnclaveEnv,
+        selector: u16,
+        data: &[u8],
+    ) -> Result<Vec<u8>, String> {
+        match selector {
+            ecall::PROVISION => {
+                let request = ProvisionRequest::from_wire(data).map_err(|e| e.to_string())?;
+                self.provision(env, request)
+            }
+            ecall::PROCESS_CONTRIBUTION => {
+                let request = ProcessRequest::from_wire(data).map_err(|e| e.to_string())?;
+                self.process_contribution(request)
+            }
+            ecall::PROCESS_ENCRYPTED => self.process_encrypted(env, data),
+            ecall::CHANNEL_REPORT => self.channel_report(env, data),
+            ecall::CHANNEL_COMPLETE => self.channel_complete(data),
+            ecall::INSTALL_PREDICATE => self.install_predicate(data),
+            ecall::CONFIDENTIAL_CHECK => self.confidential_check(data),
+            ecall::EXPORT_SEALED_KEY => self
+                .sealed_key
+                .as_ref()
+                .map(SealedBlob::to_bytes)
+                .ok_or_else(|| "no sealed service key to export".to_string()),
+            ecall::INSTALL_MASK => {
+                let delivery = MaskDelivery::from_wire(data).map_err(|e| e.to_string())?;
+                self.install_mask(delivery)
+            }
+            ecall::STATUS => Ok(self.status()),
+            other => Err(format!("unknown ECALL selector {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provision_request_round_trip() {
+        for r in [
+            ProvisionRequest::FreshKey(vec![1, 2, 3]),
+            ProvisionRequest::Sealed(vec![4, 5]),
+        ] {
+            assert_eq!(ProvisionRequest::from_wire(&r.to_wire()).unwrap(), r);
+        }
+        assert!(ProvisionRequest::from_wire(&[9]).is_err());
+    }
+
+    #[test]
+    fn mask_delivery_round_trip_and_encryption() {
+        let share = MaskShare {
+            round: 3,
+            client_id: 7,
+            mask: vec![1, 2, 3],
+        };
+        let plain = MaskDelivery::plain(&share);
+        assert_eq!(MaskDelivery::from_wire(&plain.to_wire()).unwrap(), plain);
+
+        let key = glimmer_crypto::aead::AeadKey::from_master(&[1u8; 32]);
+        let encrypted = MaskDelivery::encrypted(&share, &key, [2u8; 12]);
+        let encoded = encrypted.to_wire();
+        let decoded = MaskDelivery::from_wire(&encoded).unwrap();
+        assert_eq!(decoded, encrypted);
+        // The ciphertext does not reveal the mask values.
+        match decoded {
+            MaskDelivery::Encrypted { ciphertext, .. } => {
+                assert!(!ciphertext.windows(8).any(|w| w == 1u64.to_le_bytes()));
+            }
+            MaskDelivery::Plain { .. } => panic!("expected encrypted"),
+        }
+        assert!(MaskDelivery::from_wire(&[7]).is_err());
+    }
+
+    #[test]
+    fn status_and_channel_reply_round_trip() {
+        let status = GlimmerStatus {
+            signing_key: true,
+            channel: false,
+            confidential_predicate: true,
+            masks: 4,
+            verdict_bits_released: 9,
+        };
+        assert_eq!(GlimmerStatus::from_wire(&status.to_wire()).unwrap(), status);
+
+        let reply = ChannelReportReply {
+            dh_public: vec![1, 2],
+            report: vec![3, 4, 5],
+        };
+        assert_eq!(
+            ChannelReportReply::from_wire(&reply.to_wire()).unwrap(),
+            reply
+        );
+
+        let check = ConfidentialCheckRequest {
+            challenge: [8u8; 32],
+            private: PrivateData::BotSignals {
+                signals: vec![("x".to_string(), 1.0)],
+            },
+        };
+        assert_eq!(
+            ConfidentialCheckRequest::from_wire(&check.to_wire()).unwrap(),
+            check
+        );
+    }
+}

@@ -1,0 +1,255 @@
+//! Verifiability policy and TCB accounting.
+//!
+//! Section 3 argues that "because the Glimmer is, necessarily, small and
+//! limited in its external interactions, it is amenable to formal
+//! verification", provided it is written with "relatively low-complexity
+//! idioms (e.g., bounded loops, no function pointers, etc.), explicitly
+//! marking secret inputs, explicitly marking declassification functions".
+//! Running an external prover is out of scope for this reproduction (see
+//! DESIGN.md), but the *architecture* that makes verification plausible is
+//! reproduced and checked here:
+//!
+//! * every Glimmer build carries a [`crate::host::GlimmerDescriptor`]
+//!   declaring its components, secret inputs, and declassifiers;
+//! * [`check_verifiability`] enforces the structural rules the paper lists;
+//! * [`TcbReport`] quantifies the trusted computing base (descriptor bytes,
+//!   enclave pages, predicate inventory) for Experiment E10.
+
+use crate::host::GlimmerDescriptor;
+use crate::validation::PredicateKind;
+use sgx_sim::{EnclaveImage, PAGE_SIZE};
+
+/// A structural violation of the verifiability policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyViolation {
+    /// The descriptor does not declare any declassifier, so no output could
+    /// legitimately leave the Glimmer.
+    NoDeclassifiers,
+    /// The descriptor admits unbounded loops.
+    UnboundedLoops,
+    /// The descriptor admits function pointers / dynamic dispatch in the
+    /// measured predicate code.
+    FunctionPointers,
+    /// A secret input is consumed but never listed as secret.
+    UndeclaredSecret(String),
+    /// The enclave heap is larger than the policy allows (keeps the TCB and
+    /// attack surface small).
+    HeapTooLarge {
+        /// Pages requested by the descriptor.
+        pages: usize,
+        /// Maximum allowed by policy.
+        limit: usize,
+    },
+    /// The Glimmer bundles more predicates than the policy allows in one
+    /// enclave (each predicate increases the verification burden).
+    TooManyPredicates {
+        /// Number of predicates declared.
+        count: usize,
+        /// Maximum allowed by policy.
+        limit: usize,
+    },
+}
+
+impl core::fmt::Display for PolicyViolation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PolicyViolation::NoDeclassifiers => write!(f, "no declassifiers declared"),
+            PolicyViolation::UnboundedLoops => write!(f, "unbounded loops admitted"),
+            PolicyViolation::FunctionPointers => write!(f, "function pointers admitted"),
+            PolicyViolation::UndeclaredSecret(s) => write!(f, "undeclared secret input: {s}"),
+            PolicyViolation::HeapTooLarge { pages, limit } => {
+                write!(f, "heap of {pages} pages exceeds limit of {limit}")
+            }
+            PolicyViolation::TooManyPredicates { count, limit } => {
+                write!(f, "{count} predicates exceed limit of {limit}")
+            }
+        }
+    }
+}
+
+/// Limits enforced by [`check_verifiability`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyLimits {
+    /// Maximum heap pages a verifiable Glimmer may request.
+    pub max_heap_pages: usize,
+    /// Maximum number of predicates bundled into one enclave.
+    pub max_predicates: usize,
+}
+
+impl Default for PolicyLimits {
+    fn default() -> Self {
+        PolicyLimits {
+            max_heap_pages: 64,
+            max_predicates: 4,
+        }
+    }
+}
+
+/// Checks the structural verifiability rules against a Glimmer descriptor.
+#[must_use]
+pub fn check_verifiability(
+    descriptor: &GlimmerDescriptor,
+    limits: PolicyLimits,
+) -> Vec<PolicyViolation> {
+    let mut violations = Vec::new();
+    if descriptor.declassifiers.is_empty() {
+        violations.push(PolicyViolation::NoDeclassifiers);
+    }
+    if !descriptor.bounded_loops {
+        violations.push(PolicyViolation::UnboundedLoops);
+    }
+    if descriptor.uses_function_pointers {
+        violations.push(PolicyViolation::FunctionPointers);
+    }
+    // Every predicate that consumes private data must have that data declared
+    // as a secret input.
+    for kind in &descriptor.predicates {
+        let needed = match kind {
+            PredicateKind::KeyboardCorroboration | PredicateKind::RetrainCheck => {
+                Some("keyboard-log")
+            }
+            PredicateKind::PhotoLocation => Some("gps-track"),
+            PredicateKind::BotDetector => Some("bot-signals"),
+            PredicateKind::RangeCheck | PredicateKind::Plausibility | PredicateKind::AllOf => None,
+        };
+        if let Some(secret) = needed {
+            if !descriptor.secret_inputs.iter().any(|s| s == secret) {
+                violations.push(PolicyViolation::UndeclaredSecret(secret.to_string()));
+            }
+        }
+    }
+    if descriptor.heap_pages > limits.max_heap_pages {
+        violations.push(PolicyViolation::HeapTooLarge {
+            pages: descriptor.heap_pages,
+            limit: limits.max_heap_pages,
+        });
+    }
+    if descriptor.predicates.len() > limits.max_predicates {
+        violations.push(PolicyViolation::TooManyPredicates {
+            count: descriptor.predicates.len(),
+            limit: limits.max_predicates,
+        });
+    }
+    violations
+}
+
+/// Trusted-computing-base accounting for one Glimmer build (Experiment E10).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcbReport {
+    /// Size of the measured descriptor in bytes (the stand-in for enclave
+    /// binary size).
+    pub descriptor_bytes: usize,
+    /// Measured pages in the enclave image.
+    pub measured_pages: usize,
+    /// Total EPC pages including heap.
+    pub total_pages: usize,
+    /// Total EPC footprint in bytes.
+    pub epc_bytes: usize,
+    /// Number of validation predicates in the TCB.
+    pub predicates: usize,
+    /// Number of declared declassification points.
+    pub declassifiers: usize,
+    /// Whether the structural verifiability policy passed.
+    pub verifiable: bool,
+}
+
+impl TcbReport {
+    /// Builds a report from a descriptor and the enclave image built from it.
+    #[must_use]
+    pub fn from_build(descriptor: &GlimmerDescriptor, image: &EnclaveImage) -> Self {
+        let violations = check_verifiability(descriptor, PolicyLimits::default());
+        TcbReport {
+            descriptor_bytes: descriptor.to_measured_bytes().len(),
+            measured_pages: image.pages().len(),
+            total_pages: image.total_pages(),
+            epc_bytes: image.total_pages() * PAGE_SIZE,
+            predicates: descriptor.predicates.len(),
+            declassifiers: descriptor.declassifiers.len(),
+            verifiable: violations.is_empty(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::GlimmerDescriptor;
+    use crate::validation::PredicateSpec;
+
+    fn keyboard_descriptor() -> GlimmerDescriptor {
+        GlimmerDescriptor::keyboard_default()
+    }
+
+    #[test]
+    fn default_keyboard_glimmer_is_verifiable() {
+        let violations = check_verifiability(&keyboard_descriptor(), PolicyLimits::default());
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn violations_are_detected() {
+        let mut d = keyboard_descriptor();
+        d.declassifiers.clear();
+        d.bounded_loops = false;
+        d.uses_function_pointers = true;
+        d.secret_inputs.clear();
+        d.heap_pages = 1000;
+        d.predicates = vec![PredicateKind::KeyboardCorroboration; 10];
+        let violations = check_verifiability(&d, PolicyLimits::default());
+        assert!(violations.contains(&PolicyViolation::NoDeclassifiers));
+        assert!(violations.contains(&PolicyViolation::UnboundedLoops));
+        assert!(violations.contains(&PolicyViolation::FunctionPointers));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, PolicyViolation::UndeclaredSecret(_))));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, PolicyViolation::HeapTooLarge { .. })));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, PolicyViolation::TooManyPredicates { .. })));
+        for v in violations {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn secret_input_requirements_follow_predicates() {
+        let mut d = keyboard_descriptor();
+        d.predicates = vec![PredicateKind::PhotoLocation];
+        d.secret_inputs = vec!["keyboard-log".to_string()];
+        let violations = check_verifiability(&d, PolicyLimits::default());
+        assert_eq!(
+            violations,
+            vec![PolicyViolation::UndeclaredSecret("gps-track".to_string())]
+        );
+
+        d.secret_inputs.push("gps-track".to_string());
+        assert!(check_verifiability(&d, PolicyLimits::default()).is_empty());
+
+        // Context-free predicates need no secrets.
+        d.predicates = vec![PredicateKind::RangeCheck, PredicateKind::Plausibility];
+        d.secret_inputs.clear();
+        assert!(check_verifiability(&d, PolicyLimits::default()).is_empty());
+    }
+
+    #[test]
+    fn tcb_report_reflects_descriptor_size() {
+        let d = keyboard_descriptor();
+        let image = d.build_image();
+        let report = TcbReport::from_build(&d, &image);
+        assert!(report.verifiable);
+        assert_eq!(report.predicates, d.predicates.len());
+        assert!(report.descriptor_bytes > 0);
+        assert!(report.measured_pages >= 2);
+        assert!(report.total_pages >= report.measured_pages);
+        assert_eq!(report.epc_bytes, report.total_pages * PAGE_SIZE);
+
+        // A Glimmer with more predicates has a strictly larger measured TCB.
+        let mut bigger = d.clone();
+        bigger.predicate_specs.push(PredicateSpec::RetrainCheck { tolerance: 1e-9 });
+        bigger.predicates.push(PredicateKind::RetrainCheck);
+        let bigger_report = TcbReport::from_build(&bigger, &bigger.build_image());
+        assert!(bigger_report.descriptor_bytes > report.descriptor_bytes);
+    }
+}

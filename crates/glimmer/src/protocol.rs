@@ -1,0 +1,612 @@
+//! Protocol messages exchanged between the client app, the Glimmer enclave,
+//! and the service.
+//!
+//! Everything that crosses the enclave boundary or the client/service trust
+//! boundary is one of the types defined here, encoded with `glimmer-wire` so
+//! that the runtime auditor and the service can parse it unambiguously.
+
+use glimmer_wire::{Decoder, Encoder, WireCodec, WireError};
+
+/// ECALL selectors understood by the Glimmer enclave program.
+pub mod ecall {
+    /// Install service key material (sealed blob produced earlier, or fresh
+    /// material delivered over the attested channel).
+    pub const PROVISION: u16 = 1;
+    /// Validate, blind, and sign one contribution.
+    pub const PROCESS_CONTRIBUTION: u16 = 2;
+    /// Produce an attestation report binding the Glimmer's channel public key.
+    pub const CHANNEL_REPORT: u16 = 3;
+    /// Complete the attested channel with the service's handshake message.
+    pub const CHANNEL_COMPLETE: u16 = 4;
+    /// Install an encrypted validation predicate (Section 4.1).
+    pub const INSTALL_PREDICATE: u16 = 5;
+    /// Run the confidential predicate over private signals and emit a 1-bit
+    /// verdict frame (Section 4.1).
+    pub const CONFIDENTIAL_CHECK: u16 = 6;
+    /// Export the sealed service-key blob for persistence by the host.
+    pub const EXPORT_SEALED_KEY: u16 = 7;
+    /// Install a blinding mask share for an upcoming round.
+    pub const INSTALL_MASK: u16 = 8;
+    /// Return the Glimmer's status (provisioned flags) for diagnostics.
+    pub const STATUS: u16 = 9;
+    /// Validate, blind, and sign a contribution delivered encrypted over the
+    /// attested channel (glimmer-as-a-service, Section 4.2).
+    pub const PROCESS_ENCRYPTED: u16 = 10;
+}
+
+/// Frame message types used on the client/service wire.
+pub mod frame_type {
+    /// An endorsed contribution travelling to the service.
+    pub const ENDORSED_CONTRIBUTION: u16 = 1;
+    /// A bot-detection verdict (Section 4.1): exactly one bit of payload.
+    pub const BOT_VERDICT: u16 = 2;
+    /// A channel handshake message.
+    pub const CHANNEL_HANDSHAKE: u16 = 3;
+    /// An encrypted predicate delivery.
+    pub const ENCRYPTED_PREDICATE: u16 = 4;
+    /// A validation rejection notice (sent back to the local app only).
+    pub const REJECTION: u16 = 5;
+}
+
+/// What the user is contributing to the service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ContributionPayload {
+    /// A federated-learning model update: one weight per schema slot.
+    /// Private — must be blinded before leaving the Glimmer.
+    ModelUpdate {
+        /// The local model parameter vector.
+        weights: Vec<f64>,
+    },
+    /// A crowd-sourced photo for a map location. The photo itself is meant to
+    /// be shared, so it is not blinded; only its validation needs private data.
+    Photo {
+        /// Hash of the photo contents.
+        photo_hash: [u8; 32],
+        /// Latitude the user claims the photo was taken at.
+        claimed_lat: f64,
+        /// Longitude the user claims the photo was taken at.
+        claimed_lon: f64,
+    },
+    /// A batch of IoT sensor readings.
+    IotReadings {
+        /// The reported samples.
+        samples: Vec<f64>,
+    },
+}
+
+impl ContributionPayload {
+    /// Whether this payload is private and must be blinded before release.
+    #[must_use]
+    pub fn requires_blinding(&self) -> bool {
+        match self {
+            ContributionPayload::ModelUpdate { .. } => true,
+            ContributionPayload::Photo { .. } => false,
+            ContributionPayload::IotReadings { .. } => true,
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            ContributionPayload::ModelUpdate { .. } => 1,
+            ContributionPayload::Photo { .. } => 2,
+            ContributionPayload::IotReadings { .. } => 3,
+        }
+    }
+}
+
+impl WireCodec for ContributionPayload {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(self.tag());
+        match self {
+            ContributionPayload::ModelUpdate { weights } => enc.put_f64_vec(weights),
+            ContributionPayload::Photo {
+                photo_hash,
+                claimed_lat,
+                claimed_lon,
+            } => {
+                enc.put_array32(photo_hash);
+                enc.put_f64(*claimed_lat);
+                enc.put_f64(*claimed_lon);
+            }
+            ContributionPayload::IotReadings { samples } => enc.put_f64_vec(samples),
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        match dec.get_u8()? {
+            1 => Ok(ContributionPayload::ModelUpdate {
+                weights: dec.get_f64_vec()?,
+            }),
+            2 => Ok(ContributionPayload::Photo {
+                photo_hash: dec.get_array32()?,
+                claimed_lat: dec.get_f64()?,
+                claimed_lon: dec.get_f64()?,
+            }),
+            3 => Ok(ContributionPayload::IotReadings {
+                samples: dec.get_f64_vec()?,
+            }),
+            other => Err(WireError::InvalidBool(other)),
+        }
+    }
+}
+
+/// Private validation data: information the Glimmer may inspect but that must
+/// never reach the service (Section 2: "they can only verify the legitimacy
+/// of user contributions through direct access to sensitive user data").
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrivateData {
+    /// No private data supplied (only context-free predicates can run).
+    None,
+    /// The user's recent keyboard activity, as tokenized sentences.
+    KeyboardLog {
+        /// Tokenized sentences (word ids in the service vocabulary).
+        sentences: Vec<Vec<u32>>,
+    },
+    /// Location history and device fingerprint for photo corroboration.
+    GpsTrack {
+        /// `(lat, lon, unix_seconds)` samples.
+        points: Vec<(f64, f64, u64)>,
+        /// Fingerprint of the camera hardware that captured the photo.
+        camera_fingerprint: [u8; 32],
+    },
+    /// Behavioural signals collected by the in-page bot detector.
+    BotSignals {
+        /// Named signal values (timings, JS fidelity, focus changes, ...).
+        signals: Vec<(String, f64)>,
+    },
+}
+
+impl PrivateData {
+    fn tag(&self) -> u8 {
+        match self {
+            PrivateData::None => 0,
+            PrivateData::KeyboardLog { .. } => 1,
+            PrivateData::GpsTrack { .. } => 2,
+            PrivateData::BotSignals { .. } => 3,
+        }
+    }
+}
+
+impl WireCodec for PrivateData {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(self.tag());
+        match self {
+            PrivateData::None => {}
+            PrivateData::KeyboardLog { sentences } => {
+                enc.put_varint(sentences.len() as u64);
+                for s in sentences {
+                    enc.put_varint(s.len() as u64);
+                    for w in s {
+                        enc.put_u32(*w);
+                    }
+                }
+            }
+            PrivateData::GpsTrack {
+                points,
+                camera_fingerprint,
+            } => {
+                enc.put_varint(points.len() as u64);
+                for (lat, lon, ts) in points {
+                    enc.put_f64(*lat);
+                    enc.put_f64(*lon);
+                    enc.put_u64(*ts);
+                }
+                enc.put_array32(camera_fingerprint);
+            }
+            PrivateData::BotSignals { signals } => {
+                enc.put_varint(signals.len() as u64);
+                for (name, value) in signals {
+                    enc.put_str(name);
+                    enc.put_f64(*value);
+                }
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        match dec.get_u8()? {
+            0 => Ok(PrivateData::None),
+            1 => {
+                let n = dec.get_varint()? as usize;
+                let mut sentences = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    let len = dec.get_varint()? as usize;
+                    let mut sentence = Vec::with_capacity(len.min(1 << 16));
+                    for _ in 0..len {
+                        sentence.push(dec.get_u32()?);
+                    }
+                    sentences.push(sentence);
+                }
+                Ok(PrivateData::KeyboardLog { sentences })
+            }
+            2 => {
+                let n = dec.get_varint()? as usize;
+                let mut points = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    points.push((dec.get_f64()?, dec.get_f64()?, dec.get_u64()?));
+                }
+                let camera_fingerprint = dec.get_array32()?;
+                Ok(PrivateData::GpsTrack {
+                    points,
+                    camera_fingerprint,
+                })
+            }
+            3 => {
+                let n = dec.get_varint()? as usize;
+                let mut signals = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    signals.push((dec.get_str()?, dec.get_f64()?));
+                }
+                Ok(PrivateData::BotSignals { signals })
+            }
+            other => Err(WireError::InvalidBool(other)),
+        }
+    }
+}
+
+/// A user contribution as handed to the Glimmer by the client application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Contribution {
+    /// Application identifier (which service/schema this belongs to).
+    pub app_id: String,
+    /// Opaque client identifier assigned by the service (not a user identity).
+    pub client_id: u64,
+    /// Aggregation round this contribution targets.
+    pub round: u64,
+    /// The contributed data.
+    pub payload: ContributionPayload,
+}
+
+impl WireCodec for Contribution {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(&self.app_id);
+        enc.put_u64(self.client_id);
+        enc.put_u64(self.round);
+        self.payload.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(Contribution {
+            app_id: dec.get_str()?,
+            client_id: dec.get_u64()?,
+            round: dec.get_u64()?,
+            payload: ContributionPayload::decode(dec)?,
+        })
+    }
+}
+
+/// The result of running the validation predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationVerdict {
+    /// Whether the contribution passed.
+    pub passed: bool,
+    /// Confidence in the verdict, in `[0, 1]`.
+    pub confidence: f64,
+    /// Human-readable reason (kept inside the client; never sent to the
+    /// service beyond the pass/fail outcome).
+    pub reason: String,
+}
+
+impl ValidationVerdict {
+    /// A passing verdict with full confidence.
+    #[must_use]
+    pub fn pass() -> Self {
+        ValidationVerdict {
+            passed: true,
+            confidence: 1.0,
+            reason: String::new(),
+        }
+    }
+
+    /// A failing verdict with a reason.
+    #[must_use]
+    pub fn fail(reason: impl Into<String>) -> Self {
+        ValidationVerdict {
+            passed: false,
+            confidence: 1.0,
+            reason: reason.into(),
+        }
+    }
+
+    /// A verdict with an explicit confidence value.
+    #[must_use]
+    pub fn with_confidence(passed: bool, confidence: f64, reason: impl Into<String>) -> Self {
+        ValidationVerdict {
+            passed,
+            confidence: confidence.clamp(0.0, 1.0),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl WireCodec for ValidationVerdict {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bool(self.passed);
+        enc.put_f64(self.confidence);
+        enc.put_str(&self.reason);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(ValidationVerdict {
+            passed: dec.get_bool()?,
+            confidence: dec.get_f64()?,
+            reason: dec.get_str()?,
+        })
+    }
+}
+
+/// What actually leaves the Glimmer for the service: the (blinded, if
+/// private) contribution bytes, bound to the app/round/client, under the
+/// endorsement signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndorsedContribution {
+    /// Application identifier.
+    pub app_id: String,
+    /// Client identifier.
+    pub client_id: u64,
+    /// Aggregation round.
+    pub round: u64,
+    /// Blinded fixed-point vector for private payloads, or the raw payload
+    /// encoding for public ones (photos).
+    pub released_payload: Vec<u8>,
+    /// True when `released_payload` is a blinded fixed-point vector.
+    pub blinded: bool,
+    /// Endorsement signature by the Glimmer's service-provided key.
+    pub signature: Vec<u8>,
+}
+
+impl EndorsedContribution {
+    /// The byte string covered by the endorsement signature.
+    #[must_use]
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_str("glimmer-endorsement-v1");
+        enc.put_str(&self.app_id);
+        enc.put_u64(self.client_id);
+        enc.put_u64(self.round);
+        enc.put_bool(self.blinded);
+        enc.put_bytes(&self.released_payload);
+        enc.into_bytes()
+    }
+
+    /// Decodes the released payload as a blinded fixed-point vector.
+    pub fn blinded_vector(&self) -> Result<Vec<u64>, WireError> {
+        let mut dec = Decoder::new(&self.released_payload);
+        let v = dec.get_u64_vec()?;
+        dec.finish()?;
+        Ok(v)
+    }
+}
+
+impl WireCodec for EndorsedContribution {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(&self.app_id);
+        enc.put_u64(self.client_id);
+        enc.put_u64(self.round);
+        enc.put_bytes(&self.released_payload);
+        enc.put_bool(self.blinded);
+        enc.put_bytes(&self.signature);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(EndorsedContribution {
+            app_id: dec.get_str()?,
+            client_id: dec.get_u64()?,
+            round: dec.get_u64()?,
+            released_payload: dec.get_bytes()?,
+            blinded: dec.get_bool()?,
+            signature: dec.get_bytes()?,
+        })
+    }
+}
+
+/// Request marshalled into the `PROCESS_CONTRIBUTION` ECALL.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessRequest {
+    /// The contribution to validate and endorse.
+    pub contribution: Contribution,
+    /// Private validation data the predicate may inspect.
+    pub private_data: PrivateData,
+}
+
+impl WireCodec for ProcessRequest {
+    fn encode(&self, enc: &mut Encoder) {
+        self.contribution.encode(enc);
+        self.private_data.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(ProcessRequest {
+            contribution: Contribution::decode(dec)?,
+            private_data: PrivateData::decode(dec)?,
+        })
+    }
+}
+
+/// Response marshalled out of the `PROCESS_CONTRIBUTION` ECALL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProcessResponse {
+    /// The contribution was validated and endorsed.
+    Endorsed(EndorsedContribution),
+    /// The contribution was rejected; the reason stays on the client.
+    Rejected {
+        /// Why validation failed.
+        reason: String,
+    },
+}
+
+impl WireCodec for ProcessResponse {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            ProcessResponse::Endorsed(e) => {
+                enc.put_u8(1);
+                e.encode(enc);
+            }
+            ProcessResponse::Rejected { reason } => {
+                enc.put_u8(0);
+                enc.put_str(reason);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        match dec.get_u8()? {
+            1 => Ok(ProcessResponse::Endorsed(EndorsedContribution::decode(dec)?)),
+            0 => Ok(ProcessResponse::Rejected {
+                reason: dec.get_str()?,
+            }),
+            other => Err(WireError::InvalidBool(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_contribution() -> Contribution {
+        Contribution {
+            app_id: "nextwordpredictive.com".to_string(),
+            client_id: 42,
+            round: 7,
+            payload: ContributionPayload::ModelUpdate {
+                weights: vec![0.1, 0.9, 0.5],
+            },
+        }
+    }
+
+    #[test]
+    fn payload_round_trips() {
+        let payloads = vec![
+            ContributionPayload::ModelUpdate {
+                weights: vec![0.0, 0.5, 538.0],
+            },
+            ContributionPayload::Photo {
+                photo_hash: [9u8; 32],
+                claimed_lat: 43.66,
+                claimed_lon: -79.39,
+            },
+            ContributionPayload::IotReadings {
+                samples: vec![20.5, 21.0],
+            },
+        ];
+        for p in payloads {
+            let bytes = p.to_wire();
+            assert_eq!(ContributionPayload::from_wire(&bytes).unwrap(), p);
+        }
+        assert!(ContributionPayload::from_wire(&[99]).is_err());
+    }
+
+    #[test]
+    fn blinding_requirements() {
+        assert!(ContributionPayload::ModelUpdate { weights: vec![] }.requires_blinding());
+        assert!(ContributionPayload::IotReadings { samples: vec![] }.requires_blinding());
+        assert!(!ContributionPayload::Photo {
+            photo_hash: [0u8; 32],
+            claimed_lat: 0.0,
+            claimed_lon: 0.0
+        }
+        .requires_blinding());
+    }
+
+    #[test]
+    fn private_data_round_trips() {
+        let cases = vec![
+            PrivateData::None,
+            PrivateData::KeyboardLog {
+                sentences: vec![vec![1, 2, 3], vec![], vec![7]],
+            },
+            PrivateData::GpsTrack {
+                points: vec![(43.66, -79.39, 1_700_000_000), (43.67, -79.38, 1_700_000_060)],
+                camera_fingerprint: [3u8; 32],
+            },
+            PrivateData::BotSignals {
+                signals: vec![("mouse_entropy".to_string(), 0.8), ("js_fidelity".to_string(), 1.0)],
+            },
+        ];
+        for c in cases {
+            assert_eq!(PrivateData::from_wire(&c.to_wire()).unwrap(), c);
+        }
+        assert!(PrivateData::from_wire(&[77]).is_err());
+    }
+
+    #[test]
+    fn contribution_and_request_round_trip() {
+        let contribution = sample_contribution();
+        assert_eq!(
+            Contribution::from_wire(&contribution.to_wire()).unwrap(),
+            contribution
+        );
+        let request = ProcessRequest {
+            contribution,
+            private_data: PrivateData::KeyboardLog {
+                sentences: vec![vec![1, 2]],
+            },
+        };
+        assert_eq!(ProcessRequest::from_wire(&request.to_wire()).unwrap(), request);
+    }
+
+    #[test]
+    fn verdict_constructors_and_round_trip() {
+        let pass = ValidationVerdict::pass();
+        assert!(pass.passed);
+        let fail = ValidationVerdict::fail("weight 538 outside [0,1]");
+        assert!(!fail.passed);
+        assert!(fail.reason.contains("538"));
+        let partial = ValidationVerdict::with_confidence(true, 7.0, "clamped");
+        assert_eq!(partial.confidence, 1.0);
+        for v in [pass, fail, partial] {
+            assert_eq!(ValidationVerdict::from_wire(&v.to_wire()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn endorsement_and_response_round_trip() {
+        let endorsed = EndorsedContribution {
+            app_id: "app".to_string(),
+            client_id: 1,
+            round: 2,
+            released_payload: vec![1, 2, 3],
+            blinded: true,
+            signature: vec![9u8; 64],
+        };
+        assert_eq!(
+            EndorsedContribution::from_wire(&endorsed.to_wire()).unwrap(),
+            endorsed
+        );
+        // The signed bytes bind the app, client, round, and payload.
+        let mut other = endorsed.clone();
+        other.round = 3;
+        assert_ne!(endorsed.signed_bytes(), other.signed_bytes());
+
+        let responses = vec![
+            ProcessResponse::Endorsed(endorsed),
+            ProcessResponse::Rejected {
+                reason: "range".to_string(),
+            },
+        ];
+        for r in responses {
+            assert_eq!(ProcessResponse::from_wire(&r.to_wire()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn blinded_vector_decoding() {
+        let mut enc = Encoder::new();
+        enc.put_u64_vec(&[5, 6, 7]);
+        let endorsed = EndorsedContribution {
+            app_id: "app".to_string(),
+            client_id: 1,
+            round: 2,
+            released_payload: enc.into_bytes(),
+            blinded: true,
+            signature: vec![],
+        };
+        assert_eq!(endorsed.blinded_vector().unwrap(), vec![5, 6, 7]);
+        let bad = EndorsedContribution {
+            released_payload: vec![0xFF],
+            ..endorsed
+        };
+        assert!(bad.blinded_vector().is_err());
+    }
+}

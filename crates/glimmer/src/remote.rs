@@ -1,0 +1,296 @@
+//! Glimmer-as-a-service (Section 4.2).
+//!
+//! "Given the increasing trend towards Internet of things (IoT) devices,
+//! there are likely to be some devices that will make user contributions that
+//! must be trustworthy, but do not have a processor with trusted computing
+//! capabilities. In this case, we envision that a neutral third party may
+//! supply the capability to run a Glimmer."
+//!
+//! The remote host (a set-top box, a university server, the EFF) is
+//! *untrusted* apart from its enclave. The IoT device:
+//!
+//! 1. obtains an attestation offer from the host and verifies, through the
+//!    attestation service, that the peer is a genuine, approved Glimmer;
+//! 2. completes a DH exchange whose Glimmer half is bound inside the quote,
+//!    yielding keys only the device and the enclave share;
+//! 3. sends its contribution and private validation data encrypted under
+//!    those keys and receives the endorsed (validated, blinded, signed)
+//!    contribution back, which it forwards to the service.
+//!
+//! The remote host only ever sees ciphertext and the endorsed output.
+
+use crate::channel::{AttestedChannel, ChannelAccept, ChannelKeys, ChannelOffer};
+use crate::host::{GlimmerClient, GlimmerDescriptor};
+use crate::protocol::{Contribution, PrivateData, ProcessRequest, ProcessResponse};
+use crate::{GlimmerError, Result};
+use glimmer_crypto::dh::DhGroup;
+use glimmer_crypto::drbg::Drbg;
+use glimmer_crypto::schnorr::SigningKey;
+use glimmer_wire::WireCodec;
+use sgx_sim::{AttestationService, Measurement, PlatformConfig};
+
+/// A third-party machine hosting a Glimmer enclave on behalf of TEE-less
+/// devices.
+pub struct RemoteGlimmerHost {
+    client: GlimmerClient,
+}
+
+impl RemoteGlimmerHost {
+    /// Creates the host, instantiates the Glimmer, and provisions the
+    /// platform for remote attestation.
+    pub fn new(
+        descriptor: GlimmerDescriptor,
+        platform_config: PlatformConfig,
+        rng: &mut Drbg,
+        avs: &mut AttestationService,
+    ) -> Result<Self> {
+        let mut client = GlimmerClient::new(descriptor, platform_config, rng)?;
+        client.provision_platform(avs);
+        Ok(RemoteGlimmerHost { client })
+    }
+
+    /// The hosted Glimmer's published measurement.
+    #[must_use]
+    pub fn measurement(&self) -> Measurement {
+        self.client.measurement()
+    }
+
+    /// Access to the underlying client runtime (key/mask provisioning).
+    pub fn client_mut(&mut self) -> &mut GlimmerClient {
+        &mut self.client
+    }
+
+    /// Accumulated simulated enclave cost on this host.
+    #[must_use]
+    pub fn cost_report(&self) -> sgx_sim::CostReport {
+        self.client.cost_report()
+    }
+
+    /// Produces an attestation offer for a connecting device.
+    pub fn attestation_offer(&mut self) -> Result<ChannelOffer> {
+        self.client.start_channel()
+    }
+
+    /// Completes the device's side of the handshake inside the enclave.
+    pub fn accept_device(&mut self, accept: &ChannelAccept) -> Result<()> {
+        self.client.complete_channel(accept)
+    }
+
+    /// Relays an encrypted request from the device into the enclave and
+    /// returns the encrypted response. The host cannot read either.
+    pub fn relay(&mut self, request_ciphertext: &[u8]) -> Result<Vec<u8>> {
+        self.client.process_encrypted(request_ciphertext)
+    }
+}
+
+/// The IoT device's view of a remote Glimmer session.
+pub struct IotDeviceSession {
+    keys: ChannelKeys,
+    rng: Drbg,
+}
+
+impl IotDeviceSession {
+    /// Connects to a remote Glimmer: verifies the attestation offer against
+    /// the attestation service and the published measurement, and returns the
+    /// handshake response to send back plus the established session.
+    ///
+    /// The device uses an ephemeral signing key for its half of the
+    /// handshake; the Glimmer does not authenticate the device (Section 4.2
+    /// only requires the device to authenticate the Glimmer).
+    pub fn connect(
+        offer: &ChannelOffer,
+        avs: &AttestationService,
+        approved_measurement: &Measurement,
+        rng: &mut Drbg,
+    ) -> Result<(ChannelAccept, IotDeviceSession)> {
+        let ephemeral_key = SigningKey::generate(DhGroup::default_group(), rng)?;
+        let (accept, channel) =
+            AttestedChannel::respond(offer, avs, approved_measurement, &ephemeral_key, rng)?;
+        Ok((
+            accept,
+            IotDeviceSession {
+                keys: channel.keys,
+                rng: rng.fork("iot-device-session"),
+            },
+        ))
+    }
+
+    /// Encrypts a contribution (plus private validation data) for the remote
+    /// Glimmer.
+    pub fn encrypt_request(
+        &mut self,
+        contribution: Contribution,
+        private_data: PrivateData,
+    ) -> Vec<u8> {
+        let request = ProcessRequest {
+            contribution,
+            private_data,
+        };
+        let mut nonce = [0u8; 12];
+        self.rng.fill_bytes(&mut nonce);
+        let ciphertext = self.keys.service_to_glimmer.seal(
+            &nonce,
+            b"glimmer-remote-request-v1",
+            &request.to_wire(),
+        );
+        let mut out = nonce.to_vec();
+        out.extend_from_slice(&ciphertext);
+        out
+    }
+
+    /// Decrypts the remote Glimmer's response.
+    pub fn decrypt_response(&self, response: &[u8]) -> Result<ProcessResponse> {
+        if response.len() < 12 {
+            return Err(GlimmerError::Protocol("encrypted response too short"));
+        }
+        let mut nonce = [0u8; 12];
+        nonce.copy_from_slice(&response[..12]);
+        let plain = self
+            .keys
+            .glimmer_to_service
+            .open(&nonce, b"glimmer-remote-response-v1", &response[12..])
+            .map_err(|_| GlimmerError::Channel("remote response failed to decrypt".to_string()))?;
+        ProcessResponse::from_wire(&plain).map_err(GlimmerError::from)
+    }
+
+    /// The channel keys (exposed for tests that check the host learns
+    /// nothing).
+    #[must_use]
+    pub fn keys(&self) -> &ChannelKeys {
+        &self.keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blinding::{BlindingService, MaskShare};
+    use crate::protocol::ContributionPayload;
+    use crate::signing::ServiceKeyMaterial;
+
+    fn setup() -> (RemoteGlimmerHost, AttestationService, Drbg) {
+        let mut rng = Drbg::from_seed([60u8; 32]);
+        let mut avs = AttestationService::new([61u8; 32]);
+        let host = RemoteGlimmerHost::new(
+            GlimmerDescriptor::iot_default(Vec::new()),
+            PlatformConfig::default(),
+            &mut rng,
+            &mut avs,
+        )
+        .unwrap();
+        (host, avs, rng)
+    }
+
+    #[test]
+    fn end_to_end_iot_contribution_through_remote_glimmer() {
+        let (mut host, avs, mut rng) = setup();
+
+        // Service-side provisioning of the hosted Glimmer.
+        let material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+        host.client_mut()
+            .install_service_key(&material.secret_bytes())
+            .unwrap();
+        let masks = BlindingService::new([7u8; 32]).zero_sum_masks(1, &[100, 101], 4);
+        host.client_mut().install_mask(&masks[0]).unwrap();
+
+        // Device connects after verifying attestation.
+        let offer = host.attestation_offer().unwrap();
+        let approved = host.measurement();
+        let (accept, mut session) =
+            IotDeviceSession::connect(&offer, &avs, &approved, &mut rng).unwrap();
+        host.accept_device(&accept).unwrap();
+
+        // Device submits readings encrypted end-to-end.
+        let contribution = Contribution {
+            app_id: "iot-telemetry.example".to_string(),
+            client_id: 100,
+            round: 1,
+            payload: ContributionPayload::IotReadings {
+                samples: vec![0.2, 0.4, 0.6, 0.8],
+            },
+        };
+        let request = session.encrypt_request(contribution, PrivateData::None);
+        let response_ct = host.relay(&request).unwrap();
+        let response = session.decrypt_response(&response_ct).unwrap();
+        let ProcessResponse::Endorsed(endorsed) = response else {
+            panic!("expected endorsement, got {response:?}");
+        };
+        assert!(endorsed.blinded);
+        assert!(material.verifier().verify(&endorsed).is_ok());
+
+        // The relayed bytes never contain the raw samples (host cannot read
+        // the device's data).
+        let raw = 0.6f64.to_le_bytes();
+        assert!(!request.windows(8).any(|w| w == raw));
+        assert!(host.cost_report().ecalls >= 4);
+    }
+
+    #[test]
+    fn device_rejects_unattested_or_wrong_glimmer() {
+        let (mut host, avs, mut rng) = setup();
+        let offer = host.attestation_offer().unwrap();
+
+        // Wrong expected measurement (a rogue enclave pretending to be a
+        // Glimmer).
+        let wrong = Measurement::of_bytes(b"rogue enclave");
+        assert!(IotDeviceSession::connect(&offer, &avs, &wrong, &mut rng).is_err());
+
+        // Unknown attestation service (the platform never provisioned with it).
+        let other_avs = AttestationService::new([99u8; 32]);
+        assert!(
+            IotDeviceSession::connect(&offer, &other_avs, &host.measurement(), &mut rng).is_err()
+        );
+    }
+
+    #[test]
+    fn out_of_range_iot_readings_are_rejected_by_the_remote_glimmer() {
+        let (mut host, avs, mut rng) = setup();
+        let material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+        host.client_mut()
+            .install_service_key(&material.secret_bytes())
+            .unwrap();
+        host.client_mut()
+            .install_mask(&MaskShare {
+                round: 1,
+                client_id: 100,
+                mask: vec![0u64; 3],
+            })
+            .unwrap();
+
+        let offer = host.attestation_offer().unwrap();
+        let approved = host.measurement();
+        let (accept, mut session) =
+            IotDeviceSession::connect(&offer, &avs, &approved, &mut rng).unwrap();
+        host.accept_device(&accept).unwrap();
+
+        let contribution = Contribution {
+            app_id: "iot-telemetry.example".to_string(),
+            client_id: 100,
+            round: 1,
+            payload: ContributionPayload::IotReadings {
+                samples: vec![0.5, 538.0, 0.5],
+            },
+        };
+        let request = session.encrypt_request(contribution, PrivateData::None);
+        let response = session
+            .decrypt_response(&host.relay(&request).unwrap())
+            .unwrap();
+        assert!(matches!(response, ProcessResponse::Rejected { ref reason } if reason.contains("538")));
+    }
+
+    #[test]
+    fn garbage_ciphertext_and_short_responses_error() {
+        let (mut host, avs, mut rng) = setup();
+        let offer = host.attestation_offer().unwrap();
+        let approved = host.measurement();
+        let (accept, session) =
+            IotDeviceSession::connect(&offer, &avs, &approved, &mut rng).unwrap();
+        host.accept_device(&accept).unwrap();
+
+        assert!(host.relay(&[0u8; 5]).is_err());
+        assert!(host.relay(&[0u8; 64]).is_err());
+        assert!(session.decrypt_response(&[1, 2, 3]).is_err());
+        assert!(session.decrypt_response(&[0u8; 40]).is_err());
+        let _ = session.keys();
+    }
+}

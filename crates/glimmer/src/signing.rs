@@ -1,0 +1,184 @@
+//! The Signing component: service key provisioning and endorsement
+//! verification.
+//!
+//! Section 3: "If validation passed, the Signing component signs the
+//! user-contributed input and returns it to the client for transmission to
+//! the service. The signing key used can be provided by the service, and
+//! sealed (using the SGX sealing facility) to the Glimmer code, so that it is
+//! only available to instances of Glimmer enclaves."
+//!
+//! The service generates a Schnorr key pair, hands the secret half to the
+//! Glimmer over the attested channel (or out of band at enrollment), and
+//! keeps the public half to verify endorsements. Inside the enclave, the
+//! secret is sealed under the `MrEnclave` policy, so only the approved
+//! Glimmer measurement on that platform can ever use it again.
+
+use crate::protocol::EndorsedContribution;
+use crate::{GlimmerError, Result};
+use glimmer_crypto::dh::DhGroup;
+use glimmer_crypto::drbg::Drbg;
+use glimmer_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
+
+/// The key material a service provisions into Glimmers for one application.
+pub struct ServiceKeyMaterial {
+    signing_key: SigningKey,
+}
+
+impl ServiceKeyMaterial {
+    /// Generates fresh key material for an application.
+    pub fn generate(rng: &mut Drbg) -> Result<Self> {
+        let signing_key = SigningKey::generate(DhGroup::default_group(), rng)?;
+        Ok(ServiceKeyMaterial { signing_key })
+    }
+
+    /// The secret bytes to deliver to (and seal inside) the Glimmer.
+    #[must_use]
+    pub fn secret_bytes(&self) -> Vec<u8> {
+        self.signing_key.secret_bytes()
+    }
+
+    /// The verifier the service keeps for itself.
+    #[must_use]
+    pub fn verifier(&self) -> EndorsementVerifier {
+        EndorsementVerifier {
+            key: self.signing_key.verifying_key().clone(),
+        }
+    }
+}
+
+/// Signs an endorsement over the released payload, binding app, client,
+/// round, and blinding flag. Used inside the enclave.
+pub fn sign_endorsement(
+    signing_key: &SigningKey,
+    endorsement: &EndorsedContribution,
+) -> Result<Vec<u8>> {
+    let signature = signing_key.sign(&endorsement.signed_bytes())?;
+    Ok(signature.to_bytes(signing_key.group()))
+}
+
+/// Restores a signing key from the secret bytes the service provisioned (and
+/// the Glimmer unsealed).
+pub fn signing_key_from_secret(secret: &[u8]) -> Result<SigningKey> {
+    SigningKey::from_secret_bytes(DhGroup::default_group(), secret).map_err(GlimmerError::from)
+}
+
+/// The service-side verifier for Glimmer endorsements.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EndorsementVerifier {
+    key: VerifyingKey,
+}
+
+impl EndorsementVerifier {
+    /// Constructs a verifier from serialized verifying-key bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        Ok(EndorsementVerifier {
+            key: VerifyingKey::from_bytes(bytes)?,
+        })
+    }
+
+    /// Serializes the verifying key.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.key.to_bytes()
+    }
+
+    /// Verifies an endorsed contribution's signature.
+    ///
+    /// Returns `Ok(())` when the endorsement is genuine; any tampering with
+    /// the payload, metadata, or signature fails.
+    pub fn verify(&self, endorsement: &EndorsedContribution) -> Result<()> {
+        let (_, signature) = Signature::from_bytes(&endorsement.signature)?;
+        self.key
+            .verify(&endorsement.signed_bytes(), &signature)
+            .map_err(GlimmerError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn endorsement(payload: Vec<u8>) -> EndorsedContribution {
+        EndorsedContribution {
+            app_id: "keyboard".to_string(),
+            client_id: 11,
+            round: 4,
+            released_payload: payload,
+            blinded: true,
+            signature: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn provision_sign_verify_round_trip() {
+        let mut rng = Drbg::from_seed([3u8; 32]);
+        let material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+        let verifier = material.verifier();
+
+        // The Glimmer receives the secret bytes and restores the key.
+        let key = signing_key_from_secret(&material.secret_bytes()).unwrap();
+        let mut endorsed = endorsement(vec![1, 2, 3, 4]);
+        endorsed.signature = sign_endorsement(&key, &endorsed).unwrap();
+
+        assert!(verifier.verify(&endorsed).is_ok());
+
+        // Verifier round-trips through serialization.
+        let restored = EndorsementVerifier::from_bytes(&verifier.to_bytes()).unwrap();
+        assert_eq!(restored, verifier);
+        assert!(restored.verify(&endorsed).is_ok());
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let mut rng = Drbg::from_seed([3u8; 32]);
+        let material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+        let key = signing_key_from_secret(&material.secret_bytes()).unwrap();
+        let verifier = material.verifier();
+
+        let mut endorsed = endorsement(vec![9, 9, 9]);
+        endorsed.signature = sign_endorsement(&key, &endorsed).unwrap();
+
+        // Payload tampering (e.g., the service or a network attacker changes
+        // the blinded vector) invalidates the endorsement.
+        let mut payload_tampered = endorsed.clone();
+        payload_tampered.released_payload[0] ^= 1;
+        assert!(verifier.verify(&payload_tampered).is_err());
+
+        // Replaying under a different round fails.
+        let mut round_tampered = endorsed.clone();
+        round_tampered.round += 1;
+        assert!(verifier.verify(&round_tampered).is_err());
+
+        // Claiming it was blinded when it was not fails.
+        let mut flag_tampered = endorsed.clone();
+        flag_tampered.blinded = false;
+        assert!(verifier.verify(&flag_tampered).is_err());
+
+        // Garbage signature bytes fail cleanly.
+        let mut garbage = endorsed.clone();
+        garbage.signature = vec![0u8; 7];
+        assert!(verifier.verify(&garbage).is_err());
+    }
+
+    #[test]
+    fn endorsements_from_an_unapproved_key_fail() {
+        let mut rng = Drbg::from_seed([3u8; 32]);
+        let service_material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+        let verifier = service_material.verifier();
+
+        // A malicious client signs with its own key instead of the sealed
+        // service key (it never had the real one).
+        let rogue_material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+        let rogue_key = signing_key_from_secret(&rogue_material.secret_bytes()).unwrap();
+        let mut endorsed = endorsement(vec![5, 5, 5]);
+        endorsed.signature = sign_endorsement(&rogue_key, &endorsed).unwrap();
+        assert!(verifier.verify(&endorsed).is_err());
+    }
+
+    #[test]
+    fn invalid_verifier_bytes_are_rejected() {
+        assert!(EndorsementVerifier::from_bytes(&[]).is_err());
+        assert!(EndorsementVerifier::from_bytes(&[1, 2, 3]).is_err());
+        assert!(signing_key_from_secret(&[0u8; 8]).is_err());
+    }
+}

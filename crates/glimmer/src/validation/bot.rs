@@ -1,0 +1,258 @@
+//! Bot detection over private interaction signals (Section 4.1).
+//!
+//! "An alternative solution is embedding a Javascript 'detector' in the web
+//! page that heuristically detects whether a bot or a human is present. Such
+//! solutions collect a large set of signals ... However, these signals often
+//! contain private information". The detector here is a linear scorer over
+//! named signals — rich enough to express the heuristics the paper cites
+//! (timing entropy, JS fidelity, focus changes, cookie-derived features)
+//! while staying auditable. The same spec is used in the clear for the
+//! baseline and encrypted for the validation-confidentiality path.
+
+use crate::protocol::{Contribution, PrivateData, ValidationVerdict};
+use crate::validation::{PredicateKind, ValidationPredicate};
+use glimmer_wire::{Decoder, Encoder, WireCodec, WireError};
+
+/// Serializable configuration of the bot detector: a linear model over named
+/// signals plus a decision threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BotDetectorSpec {
+    /// `(signal name, weight)` pairs.
+    pub weights: Vec<(String, f64)>,
+    /// Additive bias applied before thresholding.
+    pub bias: f64,
+    /// Scores above the threshold are classified as human.
+    pub threshold: f64,
+    /// Signals that must be present for the verdict to be confident; missing
+    /// ones reduce confidence.
+    pub required_signals: Vec<String>,
+}
+
+impl BotDetectorSpec {
+    /// A reasonable example detector used in tests, docs, and the experiments.
+    #[must_use]
+    pub fn example() -> Self {
+        BotDetectorSpec {
+            weights: vec![
+                ("mouse_entropy".to_string(), 2.0),
+                ("keystroke_variance".to_string(), 1.5),
+                ("js_fidelity".to_string(), 1.0),
+                ("focus_changes".to_string(), 0.5),
+                ("request_rate".to_string(), -1.5),
+                ("headless_markers".to_string(), -3.0),
+            ],
+            bias: -1.0,
+            threshold: 0.5,
+            required_signals: vec!["mouse_entropy".to_string(), "js_fidelity".to_string()],
+        }
+    }
+
+    /// Scores a signal map; higher means more human-like.
+    #[must_use]
+    pub fn score(&self, signals: &[(String, f64)]) -> f64 {
+        let mut score = self.bias;
+        for (name, weight) in &self.weights {
+            if let Some((_, value)) = signals.iter().find(|(n, _)| n == name) {
+                score += weight * value;
+            }
+        }
+        score
+    }
+}
+
+impl WireCodec for BotDetectorSpec {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_varint(self.weights.len() as u64);
+        for (name, w) in &self.weights {
+            enc.put_str(name);
+            enc.put_f64(*w);
+        }
+        enc.put_f64(self.bias);
+        enc.put_f64(self.threshold);
+        enc.put_varint(self.required_signals.len() as u64);
+        for s in &self.required_signals {
+            enc.put_str(s);
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let n = dec.get_varint()? as usize;
+        let mut weights = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            weights.push((dec.get_str()?, dec.get_f64()?));
+        }
+        let bias = dec.get_f64()?;
+        let threshold = dec.get_f64()?;
+        let m = dec.get_varint()? as usize;
+        let mut required_signals = Vec::with_capacity(m.min(1024));
+        for _ in 0..m {
+            required_signals.push(dec.get_str()?);
+        }
+        Ok(BotDetectorSpec {
+            weights,
+            bias,
+            threshold,
+            required_signals,
+        })
+    }
+}
+
+/// The runtime bot detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BotDetector {
+    spec: BotDetectorSpec,
+}
+
+impl BotDetector {
+    /// Creates a detector from its spec.
+    #[must_use]
+    pub fn new(spec: BotDetectorSpec) -> Self {
+        BotDetector { spec }
+    }
+
+    /// The underlying spec.
+    #[must_use]
+    pub fn spec(&self) -> &BotDetectorSpec {
+        &self.spec
+    }
+
+    /// Classifies a signal map directly: `true` means human.
+    #[must_use]
+    pub fn is_human(&self, signals: &[(String, f64)]) -> bool {
+        self.spec.score(signals) > self.spec.threshold
+    }
+}
+
+impl ValidationPredicate for BotDetector {
+    fn kind(&self) -> PredicateKind {
+        PredicateKind::BotDetector
+    }
+
+    fn cost_estimate(&self, _contribution: &Contribution, private: &PrivateData) -> u64 {
+        let signals = match private {
+            PrivateData::BotSignals { signals } => signals.len() as u64,
+            _ => 0,
+        };
+        100 + 50 * signals * self.spec.weights.len() as u64
+    }
+
+    fn validate(&self, _contribution: &Contribution, private: &PrivateData) -> ValidationVerdict {
+        let PrivateData::BotSignals { signals } = private else {
+            return ValidationVerdict::fail("bot detector requires interaction signals");
+        };
+        let missing = self
+            .spec
+            .required_signals
+            .iter()
+            .filter(|r| !signals.iter().any(|(n, _)| n == *r))
+            .count();
+        let confidence = if self.spec.required_signals.is_empty() {
+            1.0
+        } else {
+            1.0 - missing as f64 / self.spec.required_signals.len() as f64
+        };
+        let human = self.spec.score(signals) > self.spec.threshold;
+        if human {
+            ValidationVerdict::with_confidence(true, confidence, "")
+        } else {
+            ValidationVerdict::with_confidence(false, confidence, "classified as bot")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ContributionPayload;
+
+    fn contribution() -> Contribution {
+        Contribution {
+            app_id: "web".into(),
+            client_id: 1,
+            round: 0,
+            payload: ContributionPayload::IotReadings { samples: vec![] },
+        }
+    }
+
+    fn human_signals() -> Vec<(String, f64)> {
+        vec![
+            ("mouse_entropy".to_string(), 0.9),
+            ("keystroke_variance".to_string(), 0.7),
+            ("js_fidelity".to_string(), 1.0),
+            ("focus_changes".to_string(), 0.4),
+            ("request_rate".to_string(), 0.1),
+            ("headless_markers".to_string(), 0.0),
+        ]
+    }
+
+    fn bot_signals() -> Vec<(String, f64)> {
+        vec![
+            ("mouse_entropy".to_string(), 0.02),
+            ("keystroke_variance".to_string(), 0.01),
+            ("js_fidelity".to_string(), 0.4),
+            ("focus_changes".to_string(), 0.0),
+            ("request_rate".to_string(), 0.95),
+            ("headless_markers".to_string(), 1.0),
+        ]
+    }
+
+    #[test]
+    fn classifies_humans_and_bots() {
+        let detector = BotDetector::new(BotDetectorSpec::example());
+        assert!(detector.is_human(&human_signals()));
+        assert!(!detector.is_human(&bot_signals()));
+
+        let verdict = detector.validate(
+            &contribution(),
+            &PrivateData::BotSignals {
+                signals: human_signals(),
+            },
+        );
+        assert!(verdict.passed);
+        assert_eq!(verdict.confidence, 1.0);
+
+        let verdict = detector.validate(
+            &contribution(),
+            &PrivateData::BotSignals {
+                signals: bot_signals(),
+            },
+        );
+        assert!(!verdict.passed);
+        assert!(verdict.reason.contains("bot"));
+    }
+
+    #[test]
+    fn missing_required_signals_lower_confidence() {
+        let detector = BotDetector::new(BotDetectorSpec::example());
+        let partial = vec![("keystroke_variance".to_string(), 0.9)];
+        let verdict = detector.validate(
+            &contribution(),
+            &PrivateData::BotSignals { signals: partial },
+        );
+        assert!(verdict.confidence < 1.0);
+    }
+
+    #[test]
+    fn requires_bot_signals_private_data() {
+        let detector = BotDetector::new(BotDetectorSpec::example());
+        assert!(!detector.validate(&contribution(), &PrivateData::None).passed);
+        assert_eq!(detector.kind(), PredicateKind::BotDetector);
+        assert!(detector.cost_estimate(&contribution(), &PrivateData::None) > 0);
+    }
+
+    #[test]
+    fn spec_round_trip_and_scoring() {
+        let spec = BotDetectorSpec::example();
+        let decoded = BotDetectorSpec::from_wire(&spec.to_wire()).unwrap();
+        assert_eq!(decoded, spec);
+        assert!(spec.score(&human_signals()) > spec.score(&bot_signals()));
+        // Unknown signals are ignored.
+        let with_extra = {
+            let mut s = human_signals();
+            s.push(("unknown_signal".to_string(), 100.0));
+            s
+        };
+        assert!((spec.score(&with_extra) - spec.score(&human_signals())).abs() < 1e-12);
+        assert_eq!(BotDetector::new(spec.clone()).spec(), &spec);
+    }
+}

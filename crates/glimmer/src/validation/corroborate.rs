@@ -1,0 +1,378 @@
+//! Corroboration predicates: checking the submitted model against the user's
+//! actual keyboard activity.
+//!
+//! "A more sophisticated validator might instead observe actual keyboard
+//! behavior (a la NAB) to match keyboard events to reported model weights; or
+//! even observe CPU branches to identify a plausible execution of the
+//! model-construction code that produced contributed partial results"
+//! (Section 2). Two levels are implemented:
+//!
+//! * [`KeyboardCorroboration`] — tolerant, statistical: recomputes bigram
+//!   frequencies from the private keyboard log and requires the submitted
+//!   weights to be close and supported.
+//! * [`RetrainCheck`] — the most invasive point on the spectrum: re-runs the
+//!   exact training procedure on the private log and requires the submitted
+//!   weights to match to within a tight tolerance, standing in for the
+//!   execution-trace verification the paper cites.
+
+use crate::protocol::{Contribution, ContributionPayload, PrivateData, ValidationVerdict};
+use crate::validation::{PredicateKind, ValidationPredicate};
+use glimmer_federated::trainer::train_local_model;
+use glimmer_federated::{ModelSchema, Vocabulary};
+use std::collections::HashMap;
+
+/// Reconstructs the parameter space the submitted weights claim to describe.
+///
+/// The schema used for corroboration only needs a consistent indexing of the
+/// submitted dimension; the Glimmer derives it from the contribution size so
+/// that corroboration does not depend on shipping the full service schema
+/// into the enclave. The service and client agree on the real schema; the
+/// Glimmer checks internal consistency between the weights and the private
+/// trace using bigram counts keyed by the same indices.
+fn bigram_frequencies(sentences: &[Vec<u32>]) -> (HashMap<(u32, u32), f64>, usize) {
+    let mut counts: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut prev_totals: HashMap<u32, u32> = HashMap::new();
+    let mut bigrams = 0usize;
+    for s in sentences {
+        for w in s.windows(2) {
+            *counts.entry((w[0], w[1])).or_insert(0) += 1;
+            *prev_totals.entry(w[0]).or_insert(0) += 1;
+            bigrams += 1;
+        }
+    }
+    let freqs = counts
+        .into_iter()
+        .map(|((p, n), c)| {
+            let total = prev_totals.get(&p).copied().unwrap_or(1).max(1);
+            ((p, n), f64::from(c) / f64::from(total))
+        })
+        .collect();
+    (freqs, bigrams)
+}
+
+/// Statistical corroboration of submitted weights against the keyboard log.
+///
+/// The check is deliberately schema-agnostic: it verifies that (a) the user
+/// actually typed enough text to have produced a model at all, and (b) the
+/// *distribution* of submitted non-zero weights is consistent with the
+/// empirical bigram frequencies in the log (each submitted non-zero weight
+/// must be within `tolerance` of some observed frequency, and at least
+/// `min_support` of them must be matched).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeyboardCorroboration {
+    /// Maximum tolerated absolute error when matching a submitted weight to
+    /// an observed frequency.
+    pub tolerance: f64,
+    /// Minimum fraction of non-zero submitted weights that must match some
+    /// observed frequency.
+    pub min_support: f64,
+}
+
+impl Default for KeyboardCorroboration {
+    fn default() -> Self {
+        KeyboardCorroboration {
+            tolerance: 0.05,
+            min_support: 0.8,
+        }
+    }
+}
+
+impl ValidationPredicate for KeyboardCorroboration {
+    fn kind(&self) -> PredicateKind {
+        PredicateKind::KeyboardCorroboration
+    }
+
+    fn cost_estimate(&self, contribution: &Contribution, private: &PrivateData) -> u64 {
+        let dim = match &contribution.payload {
+            ContributionPayload::ModelUpdate { weights } => weights.len() as u64,
+            _ => 1,
+        };
+        let log = match private {
+            PrivateData::KeyboardLog { sentences } => {
+                sentences.iter().map(|s| s.len() as u64).sum::<u64>()
+            }
+            _ => 0,
+        };
+        200 * dim + 50 * log
+    }
+
+    fn validate(&self, contribution: &Contribution, private: &PrivateData) -> ValidationVerdict {
+        let ContributionPayload::ModelUpdate { weights } = &contribution.payload else {
+            return ValidationVerdict::fail("keyboard corroboration requires a model update");
+        };
+        let PrivateData::KeyboardLog { sentences } = private else {
+            return ValidationVerdict::fail("keyboard corroboration requires the keyboard log");
+        };
+        let (frequencies, bigrams) = bigram_frequencies(sentences);
+        let nonzero: Vec<f64> = weights.iter().copied().filter(|w| *w > 0.0).collect();
+
+        if nonzero.is_empty() {
+            // An all-zero contribution is trivially consistent.
+            return ValidationVerdict::with_confidence(true, 0.5, "empty model");
+        }
+        if bigrams == 0 {
+            return ValidationVerdict::fail(
+                "model claims typing activity but the keyboard log is empty",
+            );
+        }
+        if nonzero.len() > bigrams {
+            return ValidationVerdict::fail(format!(
+                "model has {} non-zero weights but only {} bigrams were typed",
+                nonzero.len(),
+                bigrams
+            ));
+        }
+        let observed: Vec<f64> = frequencies.values().copied().collect();
+        let mut supported = 0usize;
+        for w in &nonzero {
+            if observed.iter().any(|f| (f - w).abs() <= self.tolerance) {
+                supported += 1;
+            }
+        }
+        let support = supported as f64 / nonzero.len() as f64;
+        if support < self.min_support {
+            ValidationVerdict::with_confidence(
+                false,
+                1.0 - support,
+                format!(
+                    "only {:.0}% of submitted weights are corroborated by keyboard activity",
+                    support * 100.0
+                ),
+            )
+        } else {
+            ValidationVerdict::with_confidence(true, support, "")
+        }
+    }
+}
+
+/// The most invasive validator: re-run the training code on the private log
+/// and require the submission to match the honest result.
+///
+/// This stands in for the execution-trace verification the paper cites
+/// (XTrec / online-game cheat detection): the Glimmer convinces itself that a
+/// plausible execution of the model-construction code produced these weights
+/// — by actually executing it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetrainCheck {
+    /// Maximum tolerated absolute per-parameter deviation.
+    pub tolerance: f64,
+}
+
+impl Default for RetrainCheck {
+    fn default() -> Self {
+        RetrainCheck { tolerance: 1e-9 }
+    }
+}
+
+impl ValidationPredicate for RetrainCheck {
+    fn kind(&self) -> PredicateKind {
+        PredicateKind::RetrainCheck
+    }
+
+    fn cost_estimate(&self, contribution: &Contribution, private: &PrivateData) -> u64 {
+        let dim = match &contribution.payload {
+            ContributionPayload::ModelUpdate { weights } => weights.len() as u64,
+            _ => 1,
+        };
+        let log = match private {
+            PrivateData::KeyboardLog { sentences } => {
+                sentences.iter().map(|s| s.len() as u64).sum::<u64>()
+            }
+            _ => 0,
+        };
+        // Full retraining touches every token and every parameter several times.
+        2_000 * dim + 1_000 * log
+    }
+
+    fn validate(&self, contribution: &Contribution, private: &PrivateData) -> ValidationVerdict {
+        let ContributionPayload::ModelUpdate { weights } = &contribution.payload else {
+            return ValidationVerdict::fail("retrain check requires a model update");
+        };
+        let PrivateData::KeyboardLog { sentences } = private else {
+            return ValidationVerdict::fail("retrain check requires the keyboard log");
+        };
+
+        // Rebuild a schema over exactly the word ids that appear in the log,
+        // in a deterministic order, matching how the honest client trained.
+        let max_id = sentences
+            .iter()
+            .flat_map(|s| s.iter())
+            .copied()
+            .max()
+            .unwrap_or(0);
+        let vocab_words: Vec<String> = (0..=max_id).map(|i| format!("w{i}")).collect();
+        let vocab = Vocabulary::new(vocab_words.iter().map(String::as_str));
+        // Word ids in the log map 1:1 onto this synthetic vocabulary shifted
+        // by one (id 0 is OOV); remap the sentences accordingly.
+        let remapped: Vec<Vec<u32>> = sentences
+            .iter()
+            .map(|s| s.iter().map(|w| w + 1).collect())
+            .collect();
+        let ids: Vec<u32> = (1..=max_id + 1).collect();
+        let slots: Vec<(u32, u32)> = ids
+            .iter()
+            .flat_map(|&p| ids.iter().map(move |&n| (p, n)))
+            .filter(|(p, n)| p != n)
+            .collect();
+        let schema = ModelSchema::from_slots(vocab, slots);
+        let Ok((retrained, _)) = train_local_model(&schema, &remapped) else {
+            return ValidationVerdict::fail("retraining failed");
+        };
+
+        // Compare distributions: every non-zero submitted weight must appear
+        // among the retrained weights (within tolerance) and the counts of
+        // non-zero entries must match.
+        let mut submitted: Vec<f64> = weights.iter().copied().filter(|w| *w > 0.0).collect();
+        let mut reference: Vec<f64> = retrained
+            .weights
+            .iter()
+            .copied()
+            .filter(|w| *w > 0.0)
+            .collect();
+        submitted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+        reference.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+        if submitted.len() != reference.len() {
+            return ValidationVerdict::fail(format!(
+                "submission has {} non-zero weights; honest training of the log yields {}",
+                submitted.len(),
+                reference.len()
+            ));
+        }
+        for (s, r) in submitted.iter().zip(reference.iter()) {
+            if (s - r).abs() > self.tolerance {
+                return ValidationVerdict::fail(format!(
+                    "weight {s} does not match any honestly-trained weight (closest {r})"
+                ));
+            }
+        }
+        ValidationVerdict::pass()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glimmer_federated::attacks::{apply_poison, PoisonStrategy};
+
+    fn service_schema() -> ModelSchema {
+        let vocab = Vocabulary::new(["i'm", "voting", "for", "donald", "trump", "don't", "like"]);
+        ModelSchema::dense(
+            vocab,
+            &["i'm", "voting", "for", "donald", "trump", "don't", "like"],
+        )
+    }
+
+    fn honest_setup() -> (ModelSchema, Vec<Vec<u32>>, Vec<f64>) {
+        let schema = service_schema();
+        let sentences = vec![
+            schema.vocab().tokenize("i'm voting for donald trump"),
+            schema.vocab().tokenize("i'm voting for donald trump"),
+            schema.vocab().tokenize("don't like donald voting"),
+        ];
+        let (model, _) = train_local_model(&schema, &sentences).unwrap();
+        (schema, sentences, model.weights)
+    }
+
+    fn contribution(weights: Vec<f64>) -> Contribution {
+        Contribution {
+            app_id: "keyboard".into(),
+            client_id: 9,
+            round: 1,
+            payload: ContributionPayload::ModelUpdate { weights },
+        }
+    }
+
+    #[test]
+    fn corroboration_accepts_honest_contributions() {
+        let (_, sentences, weights) = honest_setup();
+        let predicate = KeyboardCorroboration::default();
+        let verdict = predicate.validate(
+            &contribution(weights),
+            &PrivateData::KeyboardLog { sentences },
+        );
+        assert!(verdict.passed, "{}", verdict.reason);
+        assert!(verdict.confidence > 0.7);
+    }
+
+    #[test]
+    fn corroboration_rejects_fabricated_weights() {
+        let (schema, sentences, honest_weights) = honest_setup();
+        let predicate = KeyboardCorroboration::default();
+
+        // Fabricated: claims activity the log does not support.
+        let fabricated = vec![0.77; schema.dimension()];
+        let verdict = predicate.validate(
+            &contribution(fabricated),
+            &PrivateData::KeyboardLog {
+                sentences: sentences.clone(),
+            },
+        );
+        assert!(!verdict.passed);
+
+        // Claims a model but the log is empty.
+        let verdict = predicate.validate(
+            &contribution(honest_weights),
+            &PrivateData::KeyboardLog { sentences: vec![] },
+        );
+        assert!(!verdict.passed);
+        assert!(verdict.reason.contains("empty"));
+
+        // Missing private data entirely.
+        let verdict = predicate.validate(&contribution(vec![0.5]), &PrivateData::None);
+        assert!(!verdict.passed);
+    }
+
+    #[test]
+    fn corroboration_accepts_empty_model_with_low_confidence() {
+        let predicate = KeyboardCorroboration::default();
+        let verdict = predicate.validate(
+            &contribution(vec![0.0; 10]),
+            &PrivateData::KeyboardLog { sentences: vec![] },
+        );
+        assert!(verdict.passed);
+        assert!(verdict.confidence < 1.0);
+    }
+
+    #[test]
+    fn retrain_check_accepts_honest_and_rejects_biased() {
+        let (schema, sentences, honest_weights) = honest_setup();
+        let predicate = RetrainCheck::default();
+        let private = PrivateData::KeyboardLog {
+            sentences: sentences.clone(),
+        };
+
+        let verdict = predicate.validate(&contribution(honest_weights.clone()), &private);
+        assert!(verdict.passed, "{}", verdict.reason);
+
+        // The in-range bias attack survives a range check but not retraining.
+        let honest_model = glimmer_federated::LocalModel {
+            weights: honest_weights,
+        };
+        let slot = schema.slot_of_words("donald", "trump").unwrap();
+        let biased = apply_poison(&schema, &honest_model, &PoisonStrategy::InRangeBias { slot });
+        let verdict = predicate.validate(&contribution(biased.weights), &private);
+        assert!(!verdict.passed);
+
+        // Wrong private data type.
+        assert!(!predicate
+            .validate(&contribution(vec![0.5]), &PrivateData::None)
+            .passed);
+    }
+
+    #[test]
+    fn cost_estimates_rank_by_invasiveness() {
+        let (_, sentences, weights) = honest_setup();
+        let c = contribution(weights);
+        let private = PrivateData::KeyboardLog { sentences };
+        let range = crate::validation::RangeCheck::default().cost_estimate(&c, &private);
+        let corroborate = KeyboardCorroboration::default().cost_estimate(&c, &private);
+        let retrain = RetrainCheck::default().cost_estimate(&c, &private);
+        assert!(range < corroborate);
+        assert!(corroborate < retrain);
+        assert_eq!(
+            KeyboardCorroboration::default().kind(),
+            PredicateKind::KeyboardCorroboration
+        );
+        assert_eq!(RetrainCheck::default().kind(), PredicateKind::RetrainCheck);
+    }
+}

@@ -1,0 +1,191 @@
+//! Photo-location corroboration.
+//!
+//! The paper's second worked example (Sections 1 and 3): crowd-sourced photos
+//! for a mapping service are not themselves private, but validating that "the
+//! user did go to a claimed location" requires access to "location tracking
+//! through GPS and ambient WiFi", a fingerprint of the camera hardware, and
+//! other private context. The Glimmer inspects that private data locally and
+//! endorses the photo only if the claim checks out.
+
+use crate::protocol::{Contribution, ContributionPayload, PrivateData, ValidationVerdict};
+use crate::validation::{PredicateKind, ValidationPredicate};
+use glimmer_crypto::ct::ct_eq;
+
+/// Great-circle distance between two points in kilometres (haversine).
+#[must_use]
+pub fn haversine_km(lat1: f64, lon1: f64, lat2: f64, lon2: f64) -> f64 {
+    const EARTH_RADIUS_KM: f64 = 6371.0;
+    let d_lat = (lat2 - lat1).to_radians();
+    let d_lon = (lon2 - lon1).to_radians();
+    let a = (d_lat / 2.0).sin().powi(2)
+        + lat1.to_radians().cos() * lat2.to_radians().cos() * (d_lon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * a.sqrt().atan2((1.0 - a).sqrt())
+}
+
+/// Validates that the claimed photo location is corroborated by the private
+/// GPS track and that the photo came from the expected camera hardware.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhotoLocation {
+    /// Maximum distance (km) between the claimed location and the nearest
+    /// track point.
+    pub max_distance_km: f64,
+    /// The camera fingerprint the service registered for this device.
+    pub expected_camera: [u8; 32],
+}
+
+impl ValidationPredicate for PhotoLocation {
+    fn kind(&self) -> PredicateKind {
+        PredicateKind::PhotoLocation
+    }
+
+    fn cost_estimate(&self, _contribution: &Contribution, private: &PrivateData) -> u64 {
+        let points = match private {
+            PrivateData::GpsTrack { points, .. } => points.len() as u64,
+            _ => 0,
+        };
+        500 + 100 * points
+    }
+
+    fn validate(&self, contribution: &Contribution, private: &PrivateData) -> ValidationVerdict {
+        let ContributionPayload::Photo {
+            claimed_lat,
+            claimed_lon,
+            ..
+        } = &contribution.payload
+        else {
+            return ValidationVerdict::fail("photo-location predicate requires a photo payload");
+        };
+        let PrivateData::GpsTrack {
+            points,
+            camera_fingerprint,
+        } = private
+        else {
+            return ValidationVerdict::fail("photo-location predicate requires the GPS track");
+        };
+        if !ct_eq(camera_fingerprint, &self.expected_camera) {
+            return ValidationVerdict::fail("photo not captured by the registered camera");
+        }
+        if points.is_empty() {
+            return ValidationVerdict::fail("no location history to corroborate the claim");
+        }
+        let nearest = points
+            .iter()
+            .map(|(lat, lon, _)| haversine_km(*claimed_lat, *claimed_lon, *lat, *lon))
+            .fold(f64::INFINITY, f64::min);
+        if nearest <= self.max_distance_km {
+            // Confidence decays with distance from the nearest track point.
+            let confidence = 1.0 - (nearest / self.max_distance_km).clamp(0.0, 1.0) * 0.5;
+            ValidationVerdict::with_confidence(true, confidence, "")
+        } else {
+            ValidationVerdict::fail(format!(
+                "claimed location is {nearest:.2} km from the nearest visited point (limit {} km)",
+                self.max_distance_km
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CN_TOWER: (f64, f64) = (43.6426, -79.3871);
+    const UNION_STATION: (f64, f64) = (43.6453, -79.3806);
+    const EIFFEL_TOWER: (f64, f64) = (48.8584, 2.2945);
+
+    fn photo(lat: f64, lon: f64) -> Contribution {
+        Contribution {
+            app_id: "maps".into(),
+            client_id: 5,
+            round: 0,
+            payload: ContributionPayload::Photo {
+                photo_hash: [8u8; 32],
+                claimed_lat: lat,
+                claimed_lon: lon,
+            },
+        }
+    }
+
+    fn track_near_cn_tower(camera: [u8; 32]) -> PrivateData {
+        PrivateData::GpsTrack {
+            points: vec![
+                (UNION_STATION.0, UNION_STATION.1, 1_700_000_000),
+                (CN_TOWER.0 + 0.0005, CN_TOWER.1 - 0.0005, 1_700_000_600),
+            ],
+            camera_fingerprint: camera,
+        }
+    }
+
+    fn predicate() -> PhotoLocation {
+        PhotoLocation {
+            max_distance_km: 0.5,
+            expected_camera: [8u8; 32],
+        }
+    }
+
+    #[test]
+    fn haversine_sanity() {
+        assert!(haversine_km(CN_TOWER.0, CN_TOWER.1, CN_TOWER.0, CN_TOWER.1) < 1e-9);
+        let cn_to_union = haversine_km(CN_TOWER.0, CN_TOWER.1, UNION_STATION.0, UNION_STATION.1);
+        assert!(cn_to_union > 0.3 && cn_to_union < 1.0, "{cn_to_union}");
+        let toronto_to_paris = haversine_km(CN_TOWER.0, CN_TOWER.1, EIFFEL_TOWER.0, EIFFEL_TOWER.1);
+        assert!(toronto_to_paris > 5500.0 && toronto_to_paris < 6500.0, "{toronto_to_paris}");
+    }
+
+    #[test]
+    fn genuine_photo_is_endorsed() {
+        let verdict = predicate().validate(
+            &photo(CN_TOWER.0, CN_TOWER.1),
+            &track_near_cn_tower([8u8; 32]),
+        );
+        assert!(verdict.passed, "{}", verdict.reason);
+        assert!(verdict.confidence > 0.5);
+    }
+
+    #[test]
+    fn photo_from_unvisited_location_is_rejected() {
+        let verdict = predicate().validate(
+            &photo(EIFFEL_TOWER.0, EIFFEL_TOWER.1),
+            &track_near_cn_tower([8u8; 32]),
+        );
+        assert!(!verdict.passed);
+        assert!(verdict.reason.contains("km"));
+    }
+
+    #[test]
+    fn wrong_camera_or_missing_track_is_rejected() {
+        let verdict = predicate().validate(
+            &photo(CN_TOWER.0, CN_TOWER.1),
+            &track_near_cn_tower([9u8; 32]),
+        );
+        assert!(!verdict.passed);
+        assert!(verdict.reason.contains("camera"));
+
+        let empty_track = PrivateData::GpsTrack {
+            points: vec![],
+            camera_fingerprint: [8u8; 32],
+        };
+        assert!(!predicate()
+            .validate(&photo(CN_TOWER.0, CN_TOWER.1), &empty_track)
+            .passed);
+
+        assert!(!predicate()
+            .validate(&photo(CN_TOWER.0, CN_TOWER.1), &PrivateData::None)
+            .passed);
+    }
+
+    #[test]
+    fn wrong_payload_type_is_rejected() {
+        let model = Contribution {
+            app_id: "maps".into(),
+            client_id: 5,
+            round: 0,
+            payload: ContributionPayload::ModelUpdate { weights: vec![0.5] },
+        };
+        assert!(!predicate()
+            .validate(&model, &track_near_cn_tower([8u8; 32]))
+            .passed);
+        assert_eq!(predicate().kind(), PredicateKind::PhotoLocation);
+        assert!(predicate().cost_estimate(&model, &track_near_cn_tower([8u8; 32])) > 500);
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests for the Glimmer core: protocol round trips, the
+//! blinding zero-sum invariant, and auditor output bounds.
+
+use glimmer_core::auditor::OutputAuditor;
+use glimmer_core::blinding::BlindingService;
+use glimmer_core::confidential::BotVerdict;
+use glimmer_core::protocol::{
+    frame_type, Contribution, ContributionPayload, EndorsedContribution, PrivateData,
+};
+use glimmer_core::validation::{PredicateSpec, RangeCheck, ValidationPredicate};
+use glimmer_federated::fixed::{add_vectors, decode_weights, encode_weights};
+use glimmer_wire::{Frame, WireCodec};
+use proptest::prelude::*;
+
+fn arb_payload() -> impl Strategy<Value = ContributionPayload> {
+    prop_oneof![
+        proptest::collection::vec(-2.0f64..2.0, 0..32)
+            .prop_map(|weights| ContributionPayload::ModelUpdate { weights }),
+        (any::<[u8; 32]>(), -90.0f64..90.0, -180.0f64..180.0).prop_map(
+            |(photo_hash, claimed_lat, claimed_lon)| ContributionPayload::Photo {
+                photo_hash,
+                claimed_lat,
+                claimed_lon,
+            }
+        ),
+        proptest::collection::vec(0.0f64..1.0, 0..16)
+            .prop_map(|samples| ContributionPayload::IotReadings { samples }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn contribution_wire_round_trip(
+        app_id in "[a-z.]{1,20}",
+        client_id in any::<u64>(),
+        round in any::<u64>(),
+        payload in arb_payload(),
+    ) {
+        let contribution = Contribution { app_id, client_id, round, payload };
+        let decoded = Contribution::from_wire(&contribution.to_wire()).unwrap();
+        prop_assert_eq!(decoded, contribution);
+    }
+
+    #[test]
+    fn endorsement_wire_round_trip_and_binding(
+        client_id in any::<u64>(),
+        round in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        blinded in any::<bool>(),
+        signature in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let endorsed = EndorsedContribution {
+            app_id: "app".to_string(),
+            client_id,
+            round,
+            released_payload: payload,
+            blinded,
+            signature,
+        };
+        prop_assert_eq!(
+            EndorsedContribution::from_wire(&endorsed.to_wire()).unwrap(),
+            endorsed.clone()
+        );
+        // The signed bytes change whenever the round changes.
+        let mut other = endorsed.clone();
+        other.round = endorsed.round.wrapping_add(1);
+        prop_assert_ne!(endorsed.signed_bytes(), other.signed_bytes());
+    }
+
+    #[test]
+    fn zero_sum_masks_always_cancel(
+        clients in proptest::collection::vec(any::<u64>(), 1..12),
+        dimension in 0usize..64,
+        round in any::<u64>(),
+        seed in any::<[u8; 32]>(),
+    ) {
+        let mut unique = clients.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        let masks = BlindingService::new(seed).zero_sum_masks(round, &unique, dimension);
+        let mut sum = vec![0u64; dimension];
+        for m in &masks {
+            sum = add_vectors(&sum, &m.mask);
+        }
+        prop_assert!(sum.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn blinded_aggregation_is_exact(
+        weights in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0, 8),
+            1..8
+        ),
+        seed in any::<[u8; 32]>(),
+    ) {
+        let clients: Vec<u64> = (0..weights.len() as u64).collect();
+        let masks = BlindingService::new(seed).zero_sum_masks(0, &clients, 8);
+        let mut blinded_sum = vec![0u64; 8];
+        let mut plain_sum = vec![0.0f64; 8];
+        for (w, m) in weights.iter().zip(&masks) {
+            blinded_sum = add_vectors(&blinded_sum, &m.blind(&encode_weights(w)));
+            for (p, v) in plain_sum.iter_mut().zip(w) {
+                *p += v;
+            }
+        }
+        let decoded = decode_weights(&blinded_sum);
+        for (a, b) in decoded.iter().zip(plain_sum.iter()) {
+            prop_assert!((a - b).abs() < 1e-5, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn range_check_never_passes_out_of_range_model_updates(
+        weights in proptest::collection::vec(-10.0f64..10.0, 1..32),
+    ) {
+        let predicate = RangeCheck::default();
+        let contribution = Contribution {
+            app_id: "app".to_string(),
+            client_id: 0,
+            round: 0,
+            payload: ContributionPayload::ModelUpdate { weights: weights.clone() },
+        };
+        let verdict = predicate.validate(&contribution, &PrivateData::None);
+        let all_in_range = weights.iter().all(|w| (0.0..=1.0).contains(w));
+        prop_assert_eq!(verdict.passed, all_in_range);
+    }
+
+    #[test]
+    fn predicate_specs_round_trip(min in -1.0f64..1.0, max in 1.0f64..10.0, tol in 0.0f64..1.0) {
+        let specs = vec![
+            PredicateSpec::RangeCheck { min, max },
+            PredicateSpec::KeyboardCorroboration { tolerance: tol, min_support: 0.5 },
+            PredicateSpec::AllOf(vec![
+                PredicateSpec::Plausibility,
+                PredicateSpec::RetrainCheck { tolerance: tol },
+            ]),
+        ];
+        for spec in specs {
+            prop_assert_eq!(PredicateSpec::from_wire(&spec.to_wire()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn auditor_never_exceeds_its_bit_budget(
+        budget in 0u64..16,
+        attempts in 0usize..40,
+        mac_key in any::<[u8; 32]>(),
+    ) {
+        let mut auditor = OutputAuditor::new(budget);
+        let mut released = 0u64;
+        for i in 0..attempts {
+            let verdict = BotVerdict::new([i as u8; 32], i % 2 == 0, &mac_key);
+            if auditor.audit(&verdict.to_frame()).is_ok() {
+                released += 1;
+            }
+        }
+        prop_assert!(released <= budget);
+        prop_assert_eq!(auditor.verdict_bits_released(), released);
+        prop_assert_eq!(auditor.channel_capacity_bound_bits(), budget);
+    }
+
+    #[test]
+    fn auditor_rejects_frames_with_extra_bytes(
+        extra in proptest::collection::vec(any::<u8>(), 1..32),
+        mac_key in any::<[u8; 32]>(),
+    ) {
+        let mut auditor = OutputAuditor::new(1000);
+        let mut frame = BotVerdict::new([1u8; 32], true, &mac_key).to_frame();
+        frame.payload.extend_from_slice(&extra);
+        prop_assert!(auditor.audit(&frame).is_err());
+        // Unknown frame types are always rejected regardless of payload.
+        let unknown = Frame::new(40_000 + (extra[0] as u16), extra.clone());
+        prop_assert!(auditor.audit(&unknown).is_err());
+        // Well-formed endorsement frames still pass afterwards.
+        let endorsed = EndorsedContribution {
+            app_id: "a".into(),
+            client_id: 0,
+            round: 0,
+            released_payload: extra,
+            blinded: true,
+            signature: vec![],
+        };
+        prop_assert!(auditor
+            .audit(&Frame::new(frame_type::ENDORSED_CONTRIBUTION, endorsed.to_wire()))
+            .is_ok());
+    }
+}

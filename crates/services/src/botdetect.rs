@@ -1,0 +1,307 @@
+//! The bot-detection web service (Section 4.1).
+//!
+//! The service keeps its detector secret (validation confidentiality): it
+//! ships the detector to attested Glimmers encrypted under the channel key,
+//! issues per-session challenges, and accepts back exactly one bit per
+//! challenge, authenticated with the channel MAC key. For the E7 baseline it
+//! can also classify raw uploaded signals server-side, which is what the
+//! Glimmer design avoids.
+
+use crate::{Result, ServiceError};
+use glimmer_core::channel::{AttestedChannel, ChannelAccept, ChannelOffer};
+use glimmer_core::confidential::{seal_predicate, BotVerdict, EncryptedPredicate};
+use glimmer_core::protocol::frame_type;
+use glimmer_core::validation::BotDetectorSpec;
+use glimmer_crypto::drbg::Drbg;
+use glimmer_crypto::schnorr::SigningKey;
+use glimmer_wire::{Frame, WireCodec};
+use sgx_sim::{AttestationService, Measurement};
+
+/// One client session on the service side.
+pub struct BotSession {
+    channel: AttestedChannel,
+    challenge: [u8; 32],
+    verdict: Option<bool>,
+}
+
+impl BotSession {
+    /// The challenge the Glimmer must echo in its verdict.
+    #[must_use]
+    pub fn challenge(&self) -> [u8; 32] {
+        self.challenge
+    }
+
+    /// The verdict received for this session, if any.
+    #[must_use]
+    pub fn verdict(&self) -> Option<bool> {
+        self.verdict
+    }
+
+    /// The attested Glimmer measurement for this session.
+    #[must_use]
+    pub fn glimmer_measurement(&self) -> Measurement {
+        self.channel.glimmer_measurement
+    }
+}
+
+/// The bot-detection service.
+pub struct BotDetectionService {
+    detector: BotDetectorSpec,
+    signing_key: SigningKey,
+    approved_glimmer: Measurement,
+    rng: Drbg,
+    verdicts_accepted: usize,
+    verdicts_rejected: usize,
+}
+
+impl BotDetectionService {
+    /// Creates the service with its secret detector, identity key, and the
+    /// approved Glimmer measurement.
+    #[must_use]
+    pub fn new(
+        detector: BotDetectorSpec,
+        signing_key: SigningKey,
+        approved_glimmer: Measurement,
+        rng: Drbg,
+    ) -> Self {
+        BotDetectionService {
+            detector,
+            signing_key,
+            approved_glimmer,
+            rng,
+            verdicts_accepted: 0,
+            verdicts_rejected: 0,
+        }
+    }
+
+    /// The verifying key clients must embed in their Glimmer descriptor.
+    #[must_use]
+    pub fn verifying_key_bytes(&self) -> Vec<u8> {
+        self.signing_key.verifying_key().to_bytes()
+    }
+
+    /// Handles a channel offer from a client's Glimmer: verifies attestation
+    /// and returns the handshake response plus the session state.
+    pub fn accept_channel(
+        &mut self,
+        offer: &ChannelOffer,
+        avs: &AttestationService,
+    ) -> Result<(ChannelAccept, BotSession)> {
+        let (accept, channel) = AttestedChannel::respond(
+            offer,
+            avs,
+            &self.approved_glimmer,
+            &self.signing_key,
+            &mut self.rng,
+        )
+        .map_err(|e| ServiceError::Channel(e.to_string()))?;
+        let mut challenge = [0u8; 32];
+        self.rng.fill_bytes(&mut challenge);
+        Ok((
+            accept,
+            BotSession {
+                channel,
+                challenge,
+                verdict: None,
+            },
+        ))
+    }
+
+    /// Issues a fresh challenge for the next check on an existing session
+    /// (one challenge per page load / verdict).
+    pub fn issue_challenge(&mut self, session: &mut BotSession) -> [u8; 32] {
+        let mut challenge = [0u8; 32];
+        self.rng.fill_bytes(&mut challenge);
+        session.challenge = challenge;
+        challenge
+    }
+
+    /// Produces the encrypted detector for a session (validation
+    /// confidentiality: the client host never sees the plaintext detector).
+    pub fn encrypted_detector(&mut self, session: &BotSession) -> EncryptedPredicate {
+        let mut nonce = [0u8; 12];
+        self.rng.fill_bytes(&mut nonce);
+        seal_predicate(&self.detector, &session.channel.keys.service_to_glimmer, nonce)
+    }
+
+    /// Accepts a verdict frame from the client, verifying format, challenge
+    /// binding, and MAC. Returns the single bit on success.
+    pub fn accept_verdict(&mut self, session: &mut BotSession, frame: &Frame) -> Result<bool> {
+        let result = Self::check_verdict(session, frame);
+        match result {
+            Ok(bit) => {
+                self.verdicts_accepted += 1;
+                session.verdict = Some(bit);
+                Ok(bit)
+            }
+            Err(e) => {
+                self.verdicts_rejected += 1;
+                Err(e)
+            }
+        }
+    }
+
+    fn check_verdict(session: &BotSession, frame: &Frame) -> Result<bool> {
+        if frame.msg_type != frame_type::BOT_VERDICT {
+            return Err(ServiceError::Malformed("not a verdict frame"));
+        }
+        let verdict = BotVerdict::from_wire(&frame.payload)
+            .map_err(|_| ServiceError::Malformed("verdict payload"))?;
+        if !verdict.verify(&session.challenge, &session.channel.keys.mac_key) {
+            return Err(ServiceError::BadEndorsement);
+        }
+        Ok(verdict.human)
+    }
+
+    /// The E7 baseline: classify raw signals server-side (no privacy).
+    #[must_use]
+    pub fn classify_raw(&self, signals: &[(String, f64)]) -> bool {
+        self.detector.score(signals) > self.detector.threshold
+    }
+
+    /// Counts of accepted and rejected verdicts.
+    #[must_use]
+    pub fn verdict_counts(&self) -> (usize, usize) {
+        (self.verdicts_accepted, self.verdicts_rejected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glimmer_core::host::{GlimmerClient, GlimmerDescriptor};
+    use glimmer_core::protocol::PrivateData;
+    use glimmer_crypto::dh::DhGroup;
+    use sgx_sim::PlatformConfig;
+
+    fn service_and_avs() -> (BotDetectionService, AttestationService, Drbg) {
+        let mut rng = Drbg::from_seed([80u8; 32]);
+        let signing_key = SigningKey::generate(DhGroup::default_group(), &mut rng).unwrap();
+        let avs = AttestationService::new([81u8; 32]);
+        // The approved measurement is filled in per test once the descriptor
+        // (which embeds the verifying key) is known.
+        let service = BotDetectionService::new(
+            BotDetectorSpec::example(),
+            signing_key,
+            Measurement::zero(),
+            rng.fork("service"),
+        );
+        (service, avs, rng)
+    }
+
+    fn human_signals() -> Vec<(String, f64)> {
+        vec![
+            ("mouse_entropy".to_string(), 0.9),
+            ("keystroke_variance".to_string(), 0.8),
+            ("js_fidelity".to_string(), 1.0),
+            ("focus_changes".to_string(), 0.5),
+            ("request_rate".to_string(), 0.1),
+            ("headless_markers".to_string(), 0.0),
+        ]
+    }
+
+    #[test]
+    fn end_to_end_confidential_bot_check() {
+        let (mut service, mut avs, mut rng) = service_and_avs();
+        let descriptor =
+            GlimmerDescriptor::bot_detection_default(service.verifying_key_bytes(), 8);
+        service.approved_glimmer = descriptor.measurement();
+
+        let mut client =
+            GlimmerClient::new(descriptor, PlatformConfig::default(), &mut rng).unwrap();
+        client.provision_platform(&mut avs);
+
+        // Handshake.
+        let offer = client.start_channel().unwrap();
+        let (accept, mut session) = service.accept_channel(&offer, &avs).unwrap();
+        client.complete_channel(&accept).unwrap();
+
+        // Encrypted detector delivery.
+        let encrypted = service.encrypted_detector(&session);
+        client.install_encrypted_predicate(&encrypted).unwrap();
+
+        // Confidential check: human signals → verdict bit arrives, verified.
+        let frame = client
+            .confidential_check(
+                session.challenge(),
+                PrivateData::BotSignals {
+                    signals: human_signals(),
+                },
+            )
+            .unwrap();
+        // The frame is tiny: challenge + bit + MAC, nothing else.
+        assert!(frame.payload.len() < 100);
+        let verdict = service.accept_verdict(&mut session, &frame).unwrap();
+        assert!(verdict);
+        assert_eq!(session.verdict(), Some(true));
+        assert_eq!(service.verdict_counts(), (1, 0));
+        assert_eq!(session.glimmer_measurement(), client.measurement());
+        assert!(service.classify_raw(&human_signals()));
+    }
+
+    #[test]
+    fn forged_and_replayed_verdicts_are_rejected() {
+        let (mut service, mut avs, mut rng) = service_and_avs();
+        let descriptor =
+            GlimmerDescriptor::bot_detection_default(service.verifying_key_bytes(), 8);
+        service.approved_glimmer = descriptor.measurement();
+        let mut client =
+            GlimmerClient::new(descriptor, PlatformConfig::default(), &mut rng).unwrap();
+        client.provision_platform(&mut avs);
+        let offer = client.start_channel().unwrap();
+        let (accept, mut session) = service.accept_channel(&offer, &avs).unwrap();
+        client.complete_channel(&accept).unwrap();
+        let encrypted = service.encrypted_detector(&session);
+        client.install_encrypted_predicate(&encrypted).unwrap();
+
+        // A verdict forged by the host without the channel MAC key.
+        let forged = BotVerdict::new(session.challenge(), true, &[0u8; 32]).to_frame();
+        assert_eq!(
+            service.accept_verdict(&mut session, &forged),
+            Err(ServiceError::BadEndorsement)
+        );
+
+        // A verdict for the wrong challenge (replay from another session).
+        let genuine = client
+            .confidential_check(
+                [9u8; 32],
+                PrivateData::BotSignals {
+                    signals: human_signals(),
+                },
+            )
+            .unwrap();
+        assert!(service.accept_verdict(&mut session, &genuine).is_err());
+
+        // A frame of the wrong type.
+        let wrong_type = Frame::new(frame_type::REJECTION, vec![]);
+        assert!(matches!(
+            service.accept_verdict(&mut session, &wrong_type),
+            Err(ServiceError::Malformed(_))
+        ));
+        assert_eq!(service.verdict_counts(), (0, 3));
+    }
+
+    #[test]
+    fn unattested_clients_cannot_open_sessions() {
+        let (mut service, avs, mut rng) = service_and_avs();
+        let descriptor =
+            GlimmerDescriptor::bot_detection_default(service.verifying_key_bytes(), 8);
+        service.approved_glimmer = descriptor.measurement();
+        let mut client =
+            GlimmerClient::new(descriptor, PlatformConfig::default(), &mut rng).unwrap();
+        // Platform never provisioned with the AVS → no quote can be produced.
+        assert!(client.start_channel().is_err());
+
+        // A quote from a different (unapproved) enclave is rejected.
+        let other_descriptor = GlimmerDescriptor::keyboard_default();
+        let mut other =
+            GlimmerClient::new(other_descriptor, PlatformConfig::default(), &mut rng).unwrap();
+        let mut avs2 = avs;
+        other.provision_platform(&mut avs2);
+        let offer = other.start_channel().unwrap();
+        assert!(matches!(
+            service.accept_channel(&offer, &avs2),
+            Err(ServiceError::Channel(_))
+        ));
+    }
+}

@@ -1,0 +1,231 @@
+//! The IoT telemetry service (Section 4.2).
+//!
+//! Devices without TEEs route their readings through a remote Glimmer host;
+//! the service only accepts endorsed, blinded readings and aggregates them
+//! per round, exactly like the keyboard service but over sensor vectors.
+
+use crate::{Result, ServiceError};
+use glimmer_core::protocol::EndorsedContribution;
+use glimmer_core::signing::EndorsementVerifier;
+use glimmer_federated::fixed::{add_vectors, decode_weights};
+use std::collections::HashSet;
+
+/// Aggregated telemetry for one round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySummary {
+    /// Round number.
+    pub round: u64,
+    /// Number of devices whose readings were accepted.
+    pub devices: usize,
+    /// Per-sample mean across accepted devices.
+    pub mean_readings: Vec<f64>,
+}
+
+/// The service-side telemetry aggregator.
+pub struct IotTelemetryService {
+    app_id: String,
+    verifier: EndorsementVerifier,
+    round: u64,
+    dimension: usize,
+    accumulator: Vec<u64>,
+    devices: HashSet<u64>,
+    rejected: usize,
+}
+
+impl IotTelemetryService {
+    /// Creates the service for readings of `dimension` samples.
+    #[must_use]
+    pub fn new(app_id: impl Into<String>, verifier: EndorsementVerifier, dimension: usize) -> Self {
+        IotTelemetryService {
+            app_id: app_id.into(),
+            verifier,
+            round: 0,
+            dimension,
+            accumulator: vec![0u64; dimension],
+            devices: HashSet::new(),
+            rejected: 0,
+        }
+    }
+
+    /// The current round.
+    #[must_use]
+    pub fn current_round(&self) -> u64 {
+        self.round
+    }
+
+    /// Devices accepted this round.
+    #[must_use]
+    pub fn accepted(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Devices rejected this round.
+    #[must_use]
+    pub fn rejected(&self) -> usize {
+        self.rejected
+    }
+
+    /// Submits one endorsed reading vector.
+    pub fn submit(&mut self, endorsed: &EndorsedContribution) -> Result<()> {
+        let result = self.check_and_add(endorsed);
+        if result.is_err() {
+            self.rejected += 1;
+        }
+        result
+    }
+
+    fn check_and_add(&mut self, endorsed: &EndorsedContribution) -> Result<()> {
+        if endorsed.app_id != self.app_id {
+            return Err(ServiceError::WrongTarget("app id"));
+        }
+        if endorsed.round != self.round {
+            return Err(ServiceError::WrongTarget("round"));
+        }
+        if self.devices.contains(&endorsed.client_id) {
+            return Err(ServiceError::Duplicate(endorsed.client_id));
+        }
+        self.verifier
+            .verify(endorsed)
+            .map_err(|_| ServiceError::BadEndorsement)?;
+        if !endorsed.blinded {
+            return Err(ServiceError::NotBlinded);
+        }
+        let vector = endorsed
+            .blinded_vector()
+            .map_err(|_| ServiceError::Malformed("blinded vector"))?;
+        if vector.len() != self.dimension {
+            return Err(ServiceError::Malformed("dimension mismatch"));
+        }
+        self.accumulator = add_vectors(&self.accumulator, &vector);
+        self.devices.insert(endorsed.client_id);
+        Ok(())
+    }
+
+    /// Applies a dropout correction from the blinding service so the masks of
+    /// devices that did not submit still cancel.
+    pub fn apply_dropout_correction(&mut self, correction: &[u64]) -> Result<()> {
+        if correction.len() != self.dimension {
+            return Err(ServiceError::Malformed("correction dimension"));
+        }
+        self.accumulator = add_vectors(&self.accumulator, correction);
+        Ok(())
+    }
+
+    /// Closes the round, returning the per-sample mean across devices.
+    pub fn finalize_round(&mut self) -> Result<TelemetrySummary> {
+        if self.devices.is_empty() {
+            return Err(ServiceError::EmptyRound);
+        }
+        let n = self.devices.len() as f64;
+        let mean_readings = decode_weights(&self.accumulator)
+            .into_iter()
+            .map(|v| v / n)
+            .collect();
+        let summary = TelemetrySummary {
+            round: self.round,
+            devices: self.devices.len(),
+            mean_readings,
+        };
+        self.round += 1;
+        self.accumulator = vec![0u64; self.dimension];
+        self.devices.clear();
+        self.rejected = 0;
+        Ok(summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glimmer_core::blinding::BlindingService;
+    use glimmer_core::signing::{sign_endorsement, signing_key_from_secret, ServiceKeyMaterial};
+    use glimmer_crypto::drbg::Drbg;
+    use glimmer_federated::fixed::encode_weights;
+    use glimmer_wire::Encoder;
+
+    fn material() -> ServiceKeyMaterial {
+        ServiceKeyMaterial::generate(&mut Drbg::from_seed([90u8; 32])).unwrap()
+    }
+
+    fn endorsed(
+        m: &ServiceKeyMaterial,
+        client: u64,
+        round: u64,
+        vector: &[u64],
+    ) -> EndorsedContribution {
+        let mut enc = Encoder::new();
+        enc.put_u64_vec(vector);
+        let mut e = EndorsedContribution {
+            app_id: "iot-telemetry.example".to_string(),
+            client_id: client,
+            round,
+            released_payload: enc.into_bytes(),
+            blinded: true,
+            signature: Vec::new(),
+        };
+        let key = signing_key_from_secret(&m.secret_bytes()).unwrap();
+        e.signature = sign_endorsement(&key, &e).unwrap();
+        e
+    }
+
+    #[test]
+    fn aggregates_blinded_readings() {
+        let m = material();
+        let mut service = IotTelemetryService::new("iot-telemetry.example", m.verifier(), 4);
+        let devices: Vec<u64> = vec![10, 20, 30];
+        let masks = BlindingService::new([3u8; 32]).zero_sum_masks(0, &devices, 4);
+        let readings = [
+            vec![0.1, 0.2, 0.3, 0.4],
+            vec![0.2, 0.3, 0.4, 0.5],
+            vec![0.3, 0.4, 0.5, 0.6],
+        ];
+        for ((d, mask), r) in devices.iter().zip(&masks).zip(&readings) {
+            let blinded = mask.blind(&encode_weights(r));
+            service.submit(&endorsed(&m, *d, 0, &blinded)).unwrap();
+        }
+        assert_eq!(service.accepted(), 3);
+        let summary = service.finalize_round().unwrap();
+        assert_eq!(summary.devices, 3);
+        for (i, expected) in [0.2, 0.3, 0.4, 0.5].iter().enumerate() {
+            assert!((summary.mean_readings[i] - expected).abs() < 1e-6);
+        }
+        assert_eq!(service.current_round(), 1);
+        assert!(service.finalize_round().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_submissions() {
+        let m = material();
+        let mut service = IotTelemetryService::new("iot-telemetry.example", m.verifier(), 3);
+        let vector = encode_weights(&[0.1, 0.2, 0.3]);
+
+        let rogue = ServiceKeyMaterial::generate(&mut Drbg::from_seed([91u8; 32])).unwrap();
+        assert_eq!(
+            service.submit(&endorsed(&rogue, 1, 0, &vector)),
+            Err(ServiceError::BadEndorsement)
+        );
+
+        let mut unblinded = endorsed(&m, 2, 0, &vector);
+        unblinded.blinded = false;
+        let key = signing_key_from_secret(&m.secret_bytes()).unwrap();
+        unblinded.signature = sign_endorsement(&key, &unblinded).unwrap();
+        assert_eq!(service.submit(&unblinded), Err(ServiceError::NotBlinded));
+
+        assert!(matches!(
+            service.submit(&endorsed(&m, 3, 5, &vector)),
+            Err(ServiceError::WrongTarget(_))
+        ));
+        assert!(matches!(
+            service.submit(&endorsed(&m, 4, 0, &vector[..2])),
+            Err(ServiceError::Malformed(_))
+        ));
+
+        service.submit(&endorsed(&m, 5, 0, &vector)).unwrap();
+        assert_eq!(
+            service.submit(&endorsed(&m, 5, 0, &vector)),
+            Err(ServiceError::Duplicate(5))
+        );
+        assert_eq!(service.rejected(), 5);
+        assert_eq!(service.accepted(), 1);
+    }
+}

@@ -1,0 +1,318 @@
+//! The predictive-keyboard aggregation service (Figure 1).
+//!
+//! The service publishes a vocabulary and model schema, issues per-round
+//! blinding masks through the blinding service, and accepts contributions for
+//! each round. In **protected** mode it only accepts endorsed, blinded
+//! contributions whose Glimmer signature verifies; in **unprotected** mode
+//! (the Figure 1c baseline the paper attacks) it accepts any blinded vector —
+//! which is exactly what lets a single malicious client poison the global
+//! model undetected.
+
+use crate::{Result, ServiceError};
+use glimmer_core::protocol::EndorsedContribution;
+use glimmer_core::signing::EndorsementVerifier;
+use glimmer_federated::aggregation::FederatedRound;
+use glimmer_federated::{GlobalModel, ModelSchema};
+use std::collections::HashSet;
+
+/// Configuration of a keyboard service instance.
+#[derive(Debug, Clone)]
+pub struct KeyboardServiceConfig {
+    /// The application id clients must target.
+    pub app_id: String,
+    /// Whether endorsements are required (protected mode).
+    pub require_endorsements: bool,
+    /// Whether private contributions must be blinded.
+    pub require_blinding: bool,
+}
+
+impl Default for KeyboardServiceConfig {
+    fn default() -> Self {
+        KeyboardServiceConfig {
+            app_id: "nextwordpredictive.com".to_string(),
+            require_endorsements: true,
+            require_blinding: true,
+        }
+    }
+}
+
+/// Summary of one completed aggregation round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundOutcome {
+    /// The round number.
+    pub round: u64,
+    /// Contributions accepted into the aggregate.
+    pub accepted: usize,
+    /// Contributions rejected (bad endorsement, duplicate, wrong target).
+    pub rejected: usize,
+    /// The resulting global model.
+    pub model: GlobalModel,
+}
+
+/// The service-side aggregator.
+pub struct KeyboardService {
+    config: KeyboardServiceConfig,
+    schema: ModelSchema,
+    verifier: Option<EndorsementVerifier>,
+    round: u64,
+    accumulator: FederatedRound,
+    contributors: HashSet<u64>,
+    rejected: usize,
+}
+
+impl KeyboardService {
+    /// Creates a service for a schema. `verifier` must be provided when
+    /// endorsements are required.
+    #[must_use]
+    pub fn new(
+        config: KeyboardServiceConfig,
+        schema: ModelSchema,
+        verifier: Option<EndorsementVerifier>,
+    ) -> Self {
+        let accumulator = FederatedRound::new(&schema);
+        KeyboardService {
+            config,
+            schema,
+            verifier,
+            round: 0,
+            accumulator,
+            contributors: HashSet::new(),
+            rejected: 0,
+        }
+    }
+
+    /// The schema clients must train against.
+    #[must_use]
+    pub fn schema(&self) -> &ModelSchema {
+        &self.schema
+    }
+
+    /// The current round number.
+    #[must_use]
+    pub fn current_round(&self) -> u64 {
+        self.round
+    }
+
+    /// Number of contributions accepted so far this round.
+    #[must_use]
+    pub fn accepted(&self) -> usize {
+        self.accumulator.contributors()
+    }
+
+    /// Accepts (or rejects) one endorsed contribution.
+    pub fn submit(&mut self, endorsed: &EndorsedContribution) -> Result<()> {
+        let result = self.check_and_add(endorsed);
+        if result.is_err() {
+            self.rejected += 1;
+        }
+        result
+    }
+
+    fn check_and_add(&mut self, endorsed: &EndorsedContribution) -> Result<()> {
+        if endorsed.app_id != self.config.app_id {
+            return Err(ServiceError::WrongTarget("app id"));
+        }
+        if endorsed.round != self.round {
+            return Err(ServiceError::WrongTarget("round"));
+        }
+        if self.contributors.contains(&endorsed.client_id) {
+            return Err(ServiceError::Duplicate(endorsed.client_id));
+        }
+        if self.config.require_endorsements {
+            let verifier = self
+                .verifier
+                .as_ref()
+                .ok_or(ServiceError::WrongTarget("service has no verifier configured"))?;
+            verifier
+                .verify(endorsed)
+                .map_err(|_| ServiceError::BadEndorsement)?;
+        }
+        if self.config.require_blinding && !endorsed.blinded {
+            return Err(ServiceError::NotBlinded);
+        }
+        let vector = endorsed
+            .blinded_vector()
+            .map_err(|_| ServiceError::Malformed("blinded vector"))?;
+        self.accumulator
+            .add(&vector)
+            .map_err(|_| ServiceError::Malformed("dimension mismatch"))?;
+        self.contributors.insert(endorsed.client_id);
+        Ok(())
+    }
+
+    /// Applies a dropout correction from the blinding service (the sum of the
+    /// masks of clients who did not submit), so the remaining masks cancel.
+    pub fn apply_dropout_correction(&mut self, correction: &[u64]) -> Result<()> {
+        self.accumulator
+            .add_correction(correction)
+            .map_err(|_| ServiceError::Malformed("correction dimension"))
+    }
+
+    /// Closes the current round, returning the aggregated model, and starts
+    /// the next one.
+    pub fn finalize_round(&mut self) -> Result<RoundOutcome> {
+        let model = self
+            .accumulator
+            .finalize()
+            .map_err(|_| ServiceError::EmptyRound)?;
+        let outcome = RoundOutcome {
+            round: self.round,
+            accepted: self.accumulator.contributors(),
+            rejected: self.rejected,
+            model,
+        };
+        self.round += 1;
+        self.accumulator = FederatedRound::new(&self.schema);
+        self.contributors.clear();
+        self.rejected = 0;
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glimmer_core::blinding::BlindingService;
+    use glimmer_core::protocol::EndorsedContribution;
+    use glimmer_core::signing::{sign_endorsement, signing_key_from_secret, ServiceKeyMaterial};
+    use glimmer_crypto::drbg::Drbg;
+    use glimmer_federated::fixed::encode_weights;
+    use glimmer_federated::Vocabulary;
+    use glimmer_wire::Encoder;
+
+    fn schema() -> ModelSchema {
+        let vocab = Vocabulary::new(["a", "b", "c"]);
+        ModelSchema::dense(vocab, &["a", "b", "c"])
+    }
+
+    fn material() -> ServiceKeyMaterial {
+        ServiceKeyMaterial::generate(&mut Drbg::from_seed([70u8; 32])).unwrap()
+    }
+
+    fn endorsed(
+        material: &ServiceKeyMaterial,
+        client_id: u64,
+        round: u64,
+        vector: &[u64],
+        blinded: bool,
+    ) -> EndorsedContribution {
+        let mut enc = Encoder::new();
+        enc.put_u64_vec(vector);
+        let mut e = EndorsedContribution {
+            app_id: "nextwordpredictive.com".to_string(),
+            client_id,
+            round,
+            released_payload: enc.into_bytes(),
+            blinded,
+            signature: Vec::new(),
+        };
+        let key = signing_key_from_secret(&material.secret_bytes()).unwrap();
+        e.signature = sign_endorsement(&key, &e).unwrap();
+        e
+    }
+
+    #[test]
+    fn protected_round_accepts_valid_endorsements_and_unblinds_the_sum() {
+        let s = schema();
+        let m = material();
+        let mut service = KeyboardService::new(
+            KeyboardServiceConfig::default(),
+            s.clone(),
+            Some(m.verifier()),
+        );
+        assert_eq!(service.current_round(), 0);
+        assert_eq!(service.schema().dimension(), s.dimension());
+
+        // Three clients contribute 0.3 each per slot, blinded with zero-sum masks.
+        let clients: Vec<u64> = vec![1, 2, 3];
+        let masks = BlindingService::new([1u8; 32]).zero_sum_masks(0, &clients, s.dimension());
+        for (i, &c) in clients.iter().enumerate() {
+            let raw = encode_weights(&vec![0.3; s.dimension()]);
+            let blinded = masks[i].blind(&raw);
+            service.submit(&endorsed(&m, c, 0, &blinded, true)).unwrap();
+        }
+        assert_eq!(service.accepted(), 3);
+        let outcome = service.finalize_round().unwrap();
+        assert_eq!(outcome.accepted, 3);
+        assert_eq!(outcome.rejected, 0);
+        for w in &outcome.model.weights {
+            assert!((w - 0.3).abs() < 1e-6, "{w}");
+        }
+        // The next round starts empty.
+        assert_eq!(service.current_round(), 1);
+        assert!(service.finalize_round().is_err());
+    }
+
+    #[test]
+    fn protected_round_rejects_bad_submissions() {
+        let s = schema();
+        let m = material();
+        let mut service =
+            KeyboardService::new(KeyboardServiceConfig::default(), s.clone(), Some(m.verifier()));
+        let vector = encode_weights(&vec![0.5; s.dimension()]);
+
+        // Unsigned / wrongly signed contribution.
+        let rogue = ServiceKeyMaterial::generate(&mut Drbg::from_seed([71u8; 32])).unwrap();
+        let bad_sig = endorsed(&rogue, 1, 0, &vector, true);
+        assert_eq!(service.submit(&bad_sig), Err(ServiceError::BadEndorsement));
+
+        // Unblinded private contribution.
+        let unblinded = endorsed(&m, 2, 0, &vector, false);
+        assert_eq!(service.submit(&unblinded), Err(ServiceError::NotBlinded));
+
+        // Wrong app id.
+        let mut wrong_app = endorsed(&m, 3, 0, &vector, true);
+        wrong_app.app_id = "other".to_string();
+        assert_eq!(service.submit(&wrong_app), Err(ServiceError::WrongTarget("app id")));
+
+        // Wrong round.
+        let wrong_round = endorsed(&m, 3, 9, &vector, true);
+        assert!(matches!(service.submit(&wrong_round), Err(ServiceError::WrongTarget(_))));
+
+        // Duplicate client.
+        let ok = endorsed(&m, 4, 0, &vector, true);
+        service.submit(&ok).unwrap();
+        let dup = endorsed(&m, 4, 0, &vector, true);
+        assert_eq!(service.submit(&dup), Err(ServiceError::Duplicate(4)));
+
+        // Wrong dimension.
+        let short = endorsed(&m, 5, 0, &vector[..2], true);
+        assert!(matches!(service.submit(&short), Err(ServiceError::Malformed(_))));
+
+        // Malformed payload bytes.
+        let mut garbage = endorsed(&m, 6, 0, &vector, true);
+        garbage.released_payload = vec![0xFF];
+        let key = signing_key_from_secret(&m.secret_bytes()).unwrap();
+        garbage.signature = sign_endorsement(&key, &garbage).unwrap();
+        assert!(matches!(service.submit(&garbage), Err(ServiceError::Malformed(_))));
+
+        let outcome = service.finalize_round().unwrap();
+        assert_eq!(outcome.accepted, 1);
+        assert_eq!(outcome.rejected, 7);
+    }
+
+    #[test]
+    fn unprotected_mode_accepts_anything_signed_or_not() {
+        let s = schema();
+        let config = KeyboardServiceConfig {
+            require_endorsements: false,
+            require_blinding: false,
+            ..KeyboardServiceConfig::default()
+        };
+        let mut service = KeyboardService::new(config, s.clone(), None);
+        // The paper's 538 attack sails through in unprotected mode.
+        let mut enc = Encoder::new();
+        enc.put_u64_vec(&encode_weights(&vec![538.0; s.dimension()]));
+        let poisoned = EndorsedContribution {
+            app_id: "nextwordpredictive.com".to_string(),
+            client_id: 1,
+            round: 0,
+            released_payload: enc.into_bytes(),
+            blinded: true,
+            signature: Vec::new(),
+        };
+        service.submit(&poisoned).unwrap();
+        let outcome = service.finalize_round().unwrap();
+        assert!(outcome.model.weights.iter().all(|w| *w > 500.0));
+    }
+}

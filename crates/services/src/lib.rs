@@ -1,0 +1,83 @@
+//! Service-side components.
+//!
+//! Every scenario in the paper has a cloud service on the far side of the
+//! trust boundary. These services never see raw private data; they verify
+//! Glimmer endorsements, aggregate blinded contributions, ship encrypted
+//! predicates, and check 1-bit verdicts.
+//!
+//! * [`keyboard`] — the predictive-keyboard aggregation service of Figure 1.
+//! * [`maps`] — the crowd-sourced photos-for-maps service.
+//! * [`botdetect`] — the bot-detection web service of Section 4.1.
+//! * [`iot`] — the IoT telemetry service fed through glimmer-as-a-service
+//!   (Section 4.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod botdetect;
+pub mod iot;
+pub mod keyboard;
+pub mod maps;
+
+pub use botdetect::{BotDetectionService, BotSession};
+pub use iot::IotTelemetryService;
+pub use keyboard::{KeyboardService, KeyboardServiceConfig, RoundOutcome};
+pub use maps::{MapsService, PhotoRecord};
+
+/// Errors returned by the services.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The endorsement signature did not verify.
+    BadEndorsement,
+    /// The contribution targets the wrong application or round.
+    WrongTarget(&'static str),
+    /// A private contribution arrived unblinded.
+    NotBlinded,
+    /// The contribution payload could not be decoded.
+    Malformed(&'static str),
+    /// The aggregation round has no contributions.
+    EmptyRound,
+    /// A channel or attestation step failed.
+    Channel(String),
+    /// The client already contributed to this round.
+    Duplicate(u64),
+}
+
+impl core::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ServiceError::BadEndorsement => write!(f, "endorsement signature invalid"),
+            ServiceError::WrongTarget(what) => write!(f, "wrong target: {what}"),
+            ServiceError::NotBlinded => write!(f, "private contribution was not blinded"),
+            ServiceError::Malformed(what) => write!(f, "malformed contribution: {what}"),
+            ServiceError::EmptyRound => write!(f, "no contributions in round"),
+            ServiceError::Channel(msg) => write!(f, "channel error: {msg}"),
+            ServiceError::Duplicate(client) => write!(f, "duplicate contribution from client {client}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Result alias for service operations.
+pub type Result<T> = core::result::Result<T, ServiceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        for (err, needle) in [
+            (ServiceError::BadEndorsement, "signature"),
+            (ServiceError::WrongTarget("app"), "app"),
+            (ServiceError::NotBlinded, "blinded"),
+            (ServiceError::Malformed("payload"), "payload"),
+            (ServiceError::EmptyRound, "no contributions"),
+            (ServiceError::Channel("x".into()), "x"),
+            (ServiceError::Duplicate(3), "3"),
+        ] {
+            assert!(err.to_string().contains(needle));
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! The crowd-sourced photos-for-maps service.
+//!
+//! Photos are public contributions (not blinded), but the service still only
+//! accepts photos endorsed by a Glimmer that checked — against the
+//! contributor's *private* GPS track and camera fingerprint — that the photo
+//! was plausibly taken where it claims (Sections 1 and 3).
+
+use crate::{Result, ServiceError};
+use glimmer_core::protocol::{ContributionPayload, EndorsedContribution};
+use glimmer_core::signing::EndorsementVerifier;
+use glimmer_wire::WireCodec;
+use std::collections::HashMap;
+
+/// A photo accepted by the service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhotoRecord {
+    /// The contributing client.
+    pub client_id: u64,
+    /// Hash of the photo contents.
+    pub photo_hash: [u8; 32],
+    /// Location the photo is filed under.
+    pub lat: f64,
+    /// Longitude the photo is filed under.
+    pub lon: f64,
+}
+
+/// The maps service: verifies endorsements and indexes photos by location
+/// cell.
+pub struct MapsService {
+    app_id: String,
+    verifier: EndorsementVerifier,
+    photos: Vec<PhotoRecord>,
+    rejected: usize,
+}
+
+impl MapsService {
+    /// Creates a service that accepts endorsements verifiable by `verifier`.
+    #[must_use]
+    pub fn new(app_id: impl Into<String>, verifier: EndorsementVerifier) -> Self {
+        MapsService {
+            app_id: app_id.into(),
+            verifier,
+            photos: Vec::new(),
+            rejected: 0,
+        }
+    }
+
+    /// Submits an endorsed photo contribution.
+    pub fn submit(&mut self, endorsed: &EndorsedContribution) -> Result<()> {
+        let result = self.check(endorsed);
+        match result {
+            Ok(record) => {
+                self.photos.push(record);
+                Ok(())
+            }
+            Err(e) => {
+                self.rejected += 1;
+                Err(e)
+            }
+        }
+    }
+
+    fn check(&self, endorsed: &EndorsedContribution) -> Result<PhotoRecord> {
+        if endorsed.app_id != self.app_id {
+            return Err(ServiceError::WrongTarget("app id"));
+        }
+        self.verifier
+            .verify(endorsed)
+            .map_err(|_| ServiceError::BadEndorsement)?;
+        // Photos are public; they must arrive unblinded and decode as a photo
+        // payload.
+        if endorsed.blinded {
+            return Err(ServiceError::Malformed("photo arrived blinded"));
+        }
+        let payload = ContributionPayload::from_wire(&endorsed.released_payload)
+            .map_err(|_| ServiceError::Malformed("photo payload"))?;
+        let ContributionPayload::Photo {
+            photo_hash,
+            claimed_lat,
+            claimed_lon,
+        } = payload
+        else {
+            return Err(ServiceError::Malformed("not a photo payload"));
+        };
+        Ok(PhotoRecord {
+            client_id: endorsed.client_id,
+            photo_hash,
+            lat: claimed_lat,
+            lon: claimed_lon,
+        })
+    }
+
+    /// All accepted photos.
+    #[must_use]
+    pub fn photos(&self) -> &[PhotoRecord] {
+        &self.photos
+    }
+
+    /// Contributions rejected so far.
+    #[must_use]
+    pub fn rejected(&self) -> usize {
+        self.rejected
+    }
+
+    /// Number of photos per rounded location cell (3 decimal places ≈ 100 m).
+    #[must_use]
+    pub fn coverage(&self) -> HashMap<(i64, i64), usize> {
+        let mut out = HashMap::new();
+        for p in &self.photos {
+            let cell = ((p.lat * 1000.0).round() as i64, (p.lon * 1000.0).round() as i64);
+            *out.entry(cell).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glimmer_core::signing::{sign_endorsement, signing_key_from_secret, ServiceKeyMaterial};
+    use glimmer_crypto::drbg::Drbg;
+
+    fn material() -> ServiceKeyMaterial {
+        ServiceKeyMaterial::generate(&mut Drbg::from_seed([72u8; 32])).unwrap()
+    }
+
+    fn endorsed_photo(
+        material: &ServiceKeyMaterial,
+        client_id: u64,
+        lat: f64,
+        lon: f64,
+    ) -> EndorsedContribution {
+        let payload = ContributionPayload::Photo {
+            photo_hash: [client_id as u8; 32],
+            claimed_lat: lat,
+            claimed_lon: lon,
+        };
+        let mut e = EndorsedContribution {
+            app_id: "crowdmaps.example".to_string(),
+            client_id,
+            round: 0,
+            released_payload: payload.to_wire(),
+            blinded: false,
+            signature: Vec::new(),
+        };
+        let key = signing_key_from_secret(&material.secret_bytes()).unwrap();
+        e.signature = sign_endorsement(&key, &e).unwrap();
+        e
+    }
+
+    #[test]
+    fn accepts_endorsed_photos_and_builds_coverage() {
+        let m = material();
+        let mut service = MapsService::new("crowdmaps.example", m.verifier());
+        service.submit(&endorsed_photo(&m, 1, 43.6426, -79.3871)).unwrap();
+        service.submit(&endorsed_photo(&m, 2, 43.6426, -79.3871)).unwrap();
+        service.submit(&endorsed_photo(&m, 3, 48.8584, 2.2945)).unwrap();
+        assert_eq!(service.photos().len(), 3);
+        assert_eq!(service.rejected(), 0);
+        let coverage = service.coverage();
+        assert_eq!(coverage.len(), 2);
+        assert!(coverage.values().any(|&c| c == 2));
+    }
+
+    #[test]
+    fn rejects_unendorsed_blinded_or_wrong_payloads() {
+        let m = material();
+        let mut service = MapsService::new("crowdmaps.example", m.verifier());
+
+        // Endorsement from an unknown key.
+        let rogue = ServiceKeyMaterial::generate(&mut Drbg::from_seed([73u8; 32])).unwrap();
+        assert_eq!(
+            service.submit(&endorsed_photo(&rogue, 1, 43.0, -79.0)),
+            Err(ServiceError::BadEndorsement)
+        );
+
+        // Wrong app id.
+        let mut wrong_app = endorsed_photo(&m, 2, 43.0, -79.0);
+        wrong_app.app_id = "other".to_string();
+        assert!(matches!(service.submit(&wrong_app), Err(ServiceError::WrongTarget(_))));
+
+        // A blinded "photo" makes no sense.
+        let mut blinded = endorsed_photo(&m, 3, 43.0, -79.0);
+        blinded.blinded = true;
+        let key = signing_key_from_secret(&m.secret_bytes()).unwrap();
+        blinded.signature = sign_endorsement(&key, &blinded).unwrap();
+        assert!(matches!(service.submit(&blinded), Err(ServiceError::Malformed(_))));
+
+        // A model update endorsed for the maps app is rejected as malformed.
+        let mut model = endorsed_photo(&m, 4, 43.0, -79.0);
+        model.released_payload =
+            ContributionPayload::ModelUpdate { weights: vec![0.5] }.to_wire();
+        model.signature = sign_endorsement(&key, &model).unwrap();
+        assert!(matches!(service.submit(&model), Err(ServiceError::Malformed(_))));
+
+        assert_eq!(service.rejected(), 4);
+        assert!(service.photos().is_empty());
+    }
+}

@@ -1,0 +1,557 @@
+//! Local and remote attestation.
+//!
+//! Attestation is the mechanism that lets a Glimmer "prove cryptographically
+//! to a remote party that it is running correctly in a legitimate enclave"
+//! (Section 3). The simulator reproduces the full chain:
+//!
+//! 1. An application enclave produces a **REPORT** targeted at another
+//!    enclave on the same platform. The report is MAC'd with a key derived
+//!    from the platform's report secret and the *target's* measurement, so
+//!    only that target (and the platform itself) can verify it — this is
+//!    local attestation.
+//! 2. The **quoting enclave** (modelled as a platform service) verifies the
+//!    report and signs a **QUOTE** with the platform's attestation key.
+//! 3. A remote verifier submits the quote to the
+//!    [`AttestationService`] — the stand-in for the Intel Attestation
+//!    Service — which checks the platform's provisioning status, revocation,
+//!    and TCB level, and returns an [`AttestationVerdict`].
+//!
+//! Real SGX uses EPID group signatures for quotes; the simulator uses an
+//! HMAC shared between the platform (installed at provisioning time) and the
+//! verification service, which preserves the trust topology: only the
+//! attestation service can vouch for quotes, and platforms must be
+//! provisioned before their quotes verify (see DESIGN.md, Substitutions).
+
+use crate::error::SgxError;
+use crate::image::EnclaveAttributes;
+use crate::measurement::Measurement;
+use crate::platform::PlatformId;
+use glimmer_crypto::hkdf::hkdf;
+use glimmer_crypto::hmac::{hmac_sha256, hmac_sha256_verify};
+use std::collections::{HashMap, HashSet};
+
+/// Size of the free-form data field an enclave binds into its report.
+pub const REPORT_DATA_LEN: usize = 64;
+
+/// Identifies the enclave a local-attestation report is targeted at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TargetInfo {
+    /// Measurement of the target enclave.
+    pub measurement: Measurement,
+}
+
+/// The body of a local-attestation report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportBody {
+    /// Platform the report was produced on.
+    pub platform_id: PlatformId,
+    /// MRENCLAVE of the reporting enclave.
+    pub measurement: Measurement,
+    /// MRSIGNER of the reporting enclave.
+    pub signer: Measurement,
+    /// Attributes of the reporting enclave.
+    pub attributes: EnclaveAttributes,
+    /// 64 bytes of caller-chosen data (e.g., a hash of a DH public key),
+    /// bound into the report by the hardware.
+    pub report_data: [u8; REPORT_DATA_LEN],
+}
+
+impl ReportBody {
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + 32 + 32 + 5 + REPORT_DATA_LEN);
+        out.extend_from_slice(&self.platform_id.0);
+        out.extend_from_slice(self.measurement.as_bytes());
+        out.extend_from_slice(self.signer.as_bytes());
+        out.extend_from_slice(&self.attributes.to_bytes());
+        out.extend_from_slice(&self.report_data);
+        out
+    }
+}
+
+/// A local-attestation report: a body plus a MAC only the target (and the
+/// platform) can check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// The reported identity and data.
+    pub body: ReportBody,
+    mac: [u8; 32],
+}
+
+fn report_key(platform_report_secret: &[u8; 32], target: &Measurement) -> [u8; 32] {
+    let okm = hkdf(
+        b"sgx-sim-report-key-v1",
+        platform_report_secret,
+        target.as_bytes(),
+        32,
+    );
+    let mut key = [0u8; 32];
+    key.copy_from_slice(&okm);
+    key
+}
+
+impl Report {
+    /// Creates a report (EREPORT). Only callable with the platform report
+    /// secret, i.e., from inside the simulated hardware.
+    #[must_use]
+    pub fn create(
+        platform_report_secret: &[u8; 32],
+        body: ReportBody,
+        target: &TargetInfo,
+    ) -> Self {
+        let key = report_key(platform_report_secret, &target.measurement);
+        let mac = hmac_sha256(&key, &body.to_bytes());
+        Report { body, mac }
+    }
+
+    /// Verifies the report as the target enclave with measurement
+    /// `verifier_measurement` on the platform holding `platform_report_secret`.
+    #[must_use]
+    pub fn verify(
+        &self,
+        platform_report_secret: &[u8; 32],
+        verifier_measurement: &Measurement,
+    ) -> bool {
+        let key = report_key(platform_report_secret, verifier_measurement);
+        hmac_sha256_verify(&key, &self.body.to_bytes(), &self.mac)
+    }
+
+    /// Serializes the report.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = self.body.to_bytes();
+        out.extend_from_slice(&self.mac);
+        out
+    }
+
+    /// Parses a report serialized with [`Report::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        let expected = 16 + 32 + 32 + 5 + REPORT_DATA_LEN + 32;
+        if bytes.len() != expected {
+            return Err(SgxError::Malformed("report has wrong length"));
+        }
+        let body = parse_body(&bytes[..expected - 32])?;
+        let mut mac = [0u8; 32];
+        mac.copy_from_slice(&bytes[expected - 32..]);
+        Ok(Report { body, mac })
+    }
+}
+
+fn parse_body(bytes: &[u8]) -> Result<ReportBody, SgxError> {
+    if bytes.len() != 16 + 32 + 32 + 5 + REPORT_DATA_LEN {
+        return Err(SgxError::Malformed("report body has wrong length"));
+    }
+    let mut platform_id = [0u8; 16];
+    platform_id.copy_from_slice(&bytes[..16]);
+    let mut measurement = [0u8; 32];
+    measurement.copy_from_slice(&bytes[16..48]);
+    let mut signer = [0u8; 32];
+    signer.copy_from_slice(&bytes[48..80]);
+    let attributes = EnclaveAttributes {
+        debug: bytes[80] != 0,
+        isv_prod_id: u16::from_le_bytes([bytes[81], bytes[82]]),
+        isv_svn: u16::from_le_bytes([bytes[83], bytes[84]]),
+    };
+    let mut report_data = [0u8; REPORT_DATA_LEN];
+    report_data.copy_from_slice(&bytes[85..85 + REPORT_DATA_LEN]);
+    Ok(ReportBody {
+        platform_id: PlatformId(platform_id),
+        measurement: Measurement(measurement),
+        signer: Measurement(signer),
+        attributes,
+        report_data,
+    })
+}
+
+/// The body of a remote-attestation quote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuoteBody {
+    /// The attested enclave identity and report data.
+    pub report: ReportBody,
+    /// TCB security version of the quoting platform at quote time.
+    pub platform_tcb_svn: u16,
+}
+
+impl QuoteBody {
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = self.report.to_bytes();
+        out.extend_from_slice(&self.platform_tcb_svn.to_le_bytes());
+        out
+    }
+}
+
+/// A remote-attestation quote, signed by the platform's provisioned
+/// attestation key and verifiable only by the [`AttestationService`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quote {
+    /// The quoted identity, report data, and TCB level.
+    pub body: QuoteBody,
+    signature: [u8; 32],
+}
+
+impl Quote {
+    /// Produces a quote. Only callable with the platform's attestation key,
+    /// i.e., by the quoting enclave.
+    #[must_use]
+    pub fn create(attestation_key: &[u8; 32], body: QuoteBody) -> Self {
+        let signature = hmac_sha256(attestation_key, &body.to_bytes());
+        Quote { body, signature }
+    }
+
+    /// Serializes the quote for transport to a remote verifier.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = self.body.to_bytes();
+        out.extend_from_slice(&self.signature);
+        out
+    }
+
+    /// Parses a quote serialized with [`Quote::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        let body_len = 16 + 32 + 32 + 5 + REPORT_DATA_LEN + 2;
+        if bytes.len() != body_len + 32 {
+            return Err(SgxError::Malformed("quote has wrong length"));
+        }
+        let report = parse_body(&bytes[..body_len - 2])?;
+        let platform_tcb_svn = u16::from_le_bytes([bytes[body_len - 2], bytes[body_len - 1]]);
+        let mut signature = [0u8; 32];
+        signature.copy_from_slice(&bytes[body_len..]);
+        Ok(Quote {
+            body: QuoteBody {
+                report,
+                platform_tcb_svn,
+            },
+            signature,
+        })
+    }
+}
+
+/// The verdict returned by the attestation verification service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttestationVerdict {
+    /// The quote is genuine and the platform is in good standing.
+    Ok,
+    /// The quote's signature did not verify (forged or corrupted).
+    SignatureInvalid,
+    /// The platform was never provisioned with this service.
+    UnknownPlatform,
+    /// The platform's attestation key has been revoked.
+    Revoked,
+    /// The platform's TCB is below the service's required level.
+    GroupOutOfDate,
+    /// The quoted enclave runs in debug mode, which the verifier rejects.
+    DebugNotAllowed,
+}
+
+impl AttestationVerdict {
+    /// True only for [`AttestationVerdict::Ok`].
+    #[must_use]
+    pub fn is_ok(self) -> bool {
+        self == AttestationVerdict::Ok
+    }
+}
+
+/// The attestation verification service (the IAS stand-in).
+///
+/// Platforms are provisioned with a per-platform attestation key; verifiers
+/// submit quotes and receive a verdict. The service also tracks revocation
+/// and the minimum acceptable platform TCB level.
+pub struct AttestationService {
+    keys: HashMap<PlatformId, [u8; 32]>,
+    tcb: HashMap<PlatformId, u16>,
+    revoked: HashSet<PlatformId>,
+    min_tcb_svn: u16,
+    allow_debug: bool,
+    master_secret: [u8; 32],
+    provisioned_count: u64,
+}
+
+impl AttestationService {
+    /// Creates a service with its own key-provisioning secret.
+    #[must_use]
+    pub fn new(master_secret: [u8; 32]) -> Self {
+        AttestationService {
+            keys: HashMap::new(),
+            tcb: HashMap::new(),
+            revoked: HashSet::new(),
+            min_tcb_svn: 1,
+            allow_debug: false,
+            master_secret,
+            provisioned_count: 0,
+        }
+    }
+
+    /// Sets the minimum TCB security version required for an `Ok` verdict.
+    pub fn set_min_tcb_svn(&mut self, svn: u16) {
+        self.min_tcb_svn = svn;
+    }
+
+    /// Allows or forbids debug enclaves (default: forbidden).
+    pub fn set_allow_debug(&mut self, allow: bool) {
+        self.allow_debug = allow;
+    }
+
+    /// Provisions a platform: derives and returns its attestation key, and
+    /// records its TCB level. Modelled after EPID provisioning.
+    pub fn provision(&mut self, platform: PlatformId, tcb_svn: u16) -> [u8; 32] {
+        let okm = hkdf(
+            b"sgx-sim-avs-provision-v1",
+            &self.master_secret,
+            &platform.0,
+            32,
+        );
+        let mut key = [0u8; 32];
+        key.copy_from_slice(&okm);
+        self.keys.insert(platform, key);
+        self.tcb.insert(platform, tcb_svn);
+        self.provisioned_count += 1;
+        key
+    }
+
+    /// Number of platforms provisioned so far.
+    #[must_use]
+    pub fn provisioned_count(&self) -> u64 {
+        self.provisioned_count
+    }
+
+    /// Marks a platform's attestation key as revoked.
+    pub fn revoke(&mut self, platform: PlatformId) {
+        self.revoked.insert(platform);
+    }
+
+    /// Records a new TCB level for a platform (e.g., after a microcode update).
+    pub fn update_tcb(&mut self, platform: PlatformId, tcb_svn: u16) {
+        self.tcb.insert(platform, tcb_svn);
+    }
+
+    /// Verifies a quote and returns the verdict.
+    #[must_use]
+    pub fn verify(&self, quote: &Quote) -> AttestationVerdict {
+        let platform = quote.body.report.platform_id;
+        let Some(key) = self.keys.get(&platform) else {
+            return AttestationVerdict::UnknownPlatform;
+        };
+        if !hmac_sha256_verify(key, &quote.body.to_bytes(), &quote.signature) {
+            return AttestationVerdict::SignatureInvalid;
+        }
+        if self.revoked.contains(&platform) {
+            return AttestationVerdict::Revoked;
+        }
+        if quote.body.platform_tcb_svn < self.min_tcb_svn {
+            return AttestationVerdict::GroupOutOfDate;
+        }
+        if quote.body.report.attributes.debug && !self.allow_debug {
+            return AttestationVerdict::DebugNotAllowed;
+        }
+        AttestationVerdict::Ok
+    }
+
+    /// Verifies a quote, additionally requiring a specific enclave
+    /// measurement, and returns the report body on success.
+    pub fn verify_expecting(
+        &self,
+        quote: &Quote,
+        expected_measurement: &Measurement,
+    ) -> Result<ReportBody, SgxError> {
+        let verdict = self.verify(quote);
+        if !verdict.is_ok() {
+            return Err(SgxError::AttestationFailed(match verdict {
+                AttestationVerdict::SignatureInvalid => "quote signature invalid",
+                AttestationVerdict::UnknownPlatform => "platform unknown to attestation service",
+                AttestationVerdict::Revoked => "platform revoked",
+                AttestationVerdict::GroupOutOfDate => "platform TCB out of date",
+                AttestationVerdict::DebugNotAllowed => "debug enclave not allowed",
+                AttestationVerdict::Ok => unreachable!(),
+            }));
+        }
+        if &quote.body.report.measurement != expected_measurement {
+            return Err(SgxError::AttestationFailed(
+                "quoted measurement does not match the approved Glimmer",
+            ));
+        }
+        Ok(quote.body.report.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REPORT_SECRET: [u8; 32] = [7u8; 32];
+
+    fn platform_id(byte: u8) -> PlatformId {
+        PlatformId([byte; 16])
+    }
+
+    fn body(platform: PlatformId, code: &[u8], debug: bool) -> ReportBody {
+        ReportBody {
+            platform_id: platform,
+            measurement: Measurement::of_bytes(code),
+            signer: Measurement::of_bytes(b"signer"),
+            attributes: EnclaveAttributes {
+                debug,
+                isv_prod_id: 1,
+                isv_svn: 2,
+            },
+            report_data: [0x5Au8; REPORT_DATA_LEN],
+        }
+    }
+
+    #[test]
+    fn local_report_verifies_only_for_target() {
+        let target = TargetInfo {
+            measurement: Measurement::of_bytes(b"quoting-enclave"),
+        };
+        let report = Report::create(&REPORT_SECRET, body(platform_id(1), b"glimmer", false), &target);
+        assert!(report.verify(&REPORT_SECRET, &target.measurement));
+        // A different target enclave cannot verify it.
+        assert!(!report.verify(&REPORT_SECRET, &Measurement::of_bytes(b"other")));
+        // A different platform cannot verify it.
+        assert!(!report.verify(&[9u8; 32], &target.measurement));
+    }
+
+    #[test]
+    fn report_serialization_round_trip() {
+        let target = TargetInfo {
+            measurement: Measurement::of_bytes(b"qe"),
+        };
+        let report = Report::create(&REPORT_SECRET, body(platform_id(2), b"code", true), &target);
+        let parsed = Report::from_bytes(&report.to_bytes()).unwrap();
+        assert_eq!(parsed, report);
+        assert!(parsed.verify(&REPORT_SECRET, &target.measurement));
+        assert!(Report::from_bytes(&[0u8; 10]).is_err());
+    }
+
+    #[test]
+    fn quote_lifecycle_and_verdicts() {
+        let mut avs = AttestationService::new([42u8; 32]);
+        let pid = platform_id(3);
+        let key = avs.provision(pid, 5);
+        assert_eq!(avs.provisioned_count(), 1);
+
+        let quote = Quote::create(
+            &key,
+            QuoteBody {
+                report: body(pid, b"glimmer", false),
+                platform_tcb_svn: 5,
+            },
+        );
+        assert_eq!(avs.verify(&quote), AttestationVerdict::Ok);
+        assert!(avs.verify(&quote).is_ok());
+
+        // Unknown platform.
+        let other_quote = Quote::create(
+            &key,
+            QuoteBody {
+                report: body(platform_id(4), b"glimmer", false),
+                platform_tcb_svn: 5,
+            },
+        );
+        assert_eq!(avs.verify(&other_quote), AttestationVerdict::UnknownPlatform);
+
+        // Forged signature (wrong key).
+        let forged = Quote::create(
+            &[0u8; 32],
+            QuoteBody {
+                report: body(pid, b"glimmer", false),
+                platform_tcb_svn: 5,
+            },
+        );
+        assert_eq!(avs.verify(&forged), AttestationVerdict::SignatureInvalid);
+
+        // TCB out of date.
+        avs.set_min_tcb_svn(6);
+        assert_eq!(avs.verify(&quote), AttestationVerdict::GroupOutOfDate);
+        avs.set_min_tcb_svn(1);
+
+        // Debug enclave rejected by default, allowed when configured.
+        let debug_quote = Quote::create(
+            &key,
+            QuoteBody {
+                report: body(pid, b"glimmer", true),
+                platform_tcb_svn: 5,
+            },
+        );
+        assert_eq!(avs.verify(&debug_quote), AttestationVerdict::DebugNotAllowed);
+        avs.set_allow_debug(true);
+        assert_eq!(avs.verify(&debug_quote), AttestationVerdict::Ok);
+
+        // Revocation.
+        avs.revoke(pid);
+        assert_eq!(avs.verify(&quote), AttestationVerdict::Revoked);
+    }
+
+    #[test]
+    fn verify_expecting_checks_measurement() {
+        let mut avs = AttestationService::new([42u8; 32]);
+        let pid = platform_id(5);
+        let key = avs.provision(pid, 3);
+        let quote = Quote::create(
+            &key,
+            QuoteBody {
+                report: body(pid, b"approved glimmer", false),
+                platform_tcb_svn: 3,
+            },
+        );
+        let approved = Measurement::of_bytes(b"approved glimmer");
+        let report = avs.verify_expecting(&quote, &approved).unwrap();
+        assert_eq!(report.measurement, approved);
+        assert!(avs
+            .verify_expecting(&quote, &Measurement::of_bytes(b"rogue"))
+            .is_err());
+        avs.revoke(pid);
+        assert!(avs.verify_expecting(&quote, &approved).is_err());
+    }
+
+    #[test]
+    fn quote_serialization_round_trip() {
+        let key = [13u8; 32];
+        let quote = Quote::create(
+            &key,
+            QuoteBody {
+                report: body(platform_id(6), b"x", false),
+                platform_tcb_svn: 9,
+            },
+        );
+        let parsed = Quote::from_bytes(&quote.to_bytes()).unwrap();
+        assert_eq!(parsed, quote);
+        assert!(Quote::from_bytes(&[1u8; 4]).is_err());
+        // Corrupt one byte of the signature: parses but fails verification.
+        let mut bytes = quote.to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        let corrupt = Quote::from_bytes(&bytes).unwrap();
+        let mut avs = AttestationService::new([1u8; 32]);
+        let pid = platform_id(6);
+        let real_key = avs.provision(pid, 9);
+        // Re-sign with the real provisioned key so only corruption matters.
+        let good = Quote::create(&real_key, quote.body.clone());
+        assert_eq!(avs.verify(&good), AttestationVerdict::Ok);
+        let _ = corrupt;
+    }
+
+    #[test]
+    fn tcb_update_changes_verdict() {
+        let mut avs = AttestationService::new([2u8; 32]);
+        let pid = platform_id(7);
+        let key = avs.provision(pid, 1);
+        avs.set_min_tcb_svn(3);
+        let quote = Quote::create(
+            &key,
+            QuoteBody {
+                report: body(pid, b"g", false),
+                platform_tcb_svn: 1,
+            },
+        );
+        assert_eq!(avs.verify(&quote), AttestationVerdict::GroupOutOfDate);
+        // Platform patches its TCB and produces a new quote.
+        avs.update_tcb(pid, 3);
+        let newer = Quote::create(
+            &key,
+            QuoteBody {
+                report: body(pid, b"g", false),
+                platform_tcb_svn: 3,
+            },
+        );
+        assert_eq!(avs.verify(&newer), AttestationVerdict::Ok);
+    }
+}

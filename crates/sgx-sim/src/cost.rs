@@ -1,0 +1,249 @@
+//! Cost model and accounting for simulated SGX operations.
+//!
+//! The paper argues that a Glimmer is cheap because it is small and crosses
+//! the enclave boundary rarely ("all components in a single SGX enclave,
+//! which is more efficient as there is only one transition in and out of the
+//! enclave", Section 3). To let the overhead experiments (E5) explore that
+//! claim, every simulated hardware operation charges cycles to a
+//! [`CostMeter`]; the defaults below follow published SGX microbenchmark
+//! numbers (enclave round trip on the order of 8–14k cycles, EPC paging two
+//! orders of magnitude more).
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Cycle charges for each class of simulated operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Cycles for one ECALL entry (EENTER) including TLB/stack switching.
+    pub ecall_cycles: u64,
+    /// Cycles for returning from an enclave (EEXIT).
+    pub eexit_cycles: u64,
+    /// Cycles for one OCALL round trip initiated from inside the enclave.
+    pub ocall_cycles: u64,
+    /// Cycles to add and measure one EPC page at build time (EADD + EEXTEND).
+    pub page_add_cycles: u64,
+    /// Cycles to evict/reload one EPC page when the EPC is oversubscribed.
+    pub page_swap_cycles: u64,
+    /// Cycles per byte copied across the enclave boundary.
+    pub boundary_byte_cycles: u64,
+    /// Cycles for deriving a sealing key (EGETKEY).
+    pub getkey_cycles: u64,
+    /// Cycles for producing a local-attestation report (EREPORT).
+    pub ereport_cycles: u64,
+    /// Fixed cycles for the quoting enclave to produce a quote.
+    pub quote_cycles: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            ecall_cycles: 8_000,
+            eexit_cycles: 4_000,
+            ocall_cycles: 8_000,
+            page_add_cycles: 10_000,
+            page_swap_cycles: 400_000,
+            boundary_byte_cycles: 1,
+            getkey_cycles: 3_000,
+            ereport_cycles: 4_000,
+            quote_cycles: 500_000,
+        }
+    }
+}
+
+impl CostModel {
+    /// A model where every operation is free (useful in unit tests that do not
+    /// care about accounting).
+    #[must_use]
+    pub fn free() -> Self {
+        CostModel {
+            ecall_cycles: 0,
+            eexit_cycles: 0,
+            ocall_cycles: 0,
+            page_add_cycles: 0,
+            page_swap_cycles: 0,
+            boundary_byte_cycles: 0,
+            getkey_cycles: 0,
+            ereport_cycles: 0,
+            quote_cycles: 0,
+        }
+    }
+}
+
+/// Aggregated operation counts and cycle totals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CostReport {
+    /// Number of ECALLs performed.
+    pub ecalls: u64,
+    /// Number of OCALLs performed.
+    pub ocalls: u64,
+    /// Number of EPC pages added (enclave build).
+    pub pages_added: u64,
+    /// Number of EPC page swaps due to oversubscription.
+    pub page_swaps: u64,
+    /// Bytes copied across the enclave boundary (in + out).
+    pub boundary_bytes: u64,
+    /// Number of sealing-key derivations.
+    pub key_derivations: u64,
+    /// Number of reports generated.
+    pub reports: u64,
+    /// Number of quotes generated.
+    pub quotes: u64,
+    /// Total simulated cycles charged.
+    pub total_cycles: u64,
+}
+
+/// Shared, thread-safe cycle accounting.
+///
+/// Cloning a meter yields a handle onto the same underlying counters, so a
+/// platform, its enclaves, and a benchmark harness can all observe one total.
+#[derive(Clone)]
+pub struct CostMeter {
+    model: CostModel,
+    report: Arc<Mutex<CostReport>>,
+}
+
+impl CostMeter {
+    /// Creates a meter with the given model.
+    #[must_use]
+    pub fn new(model: CostModel) -> Self {
+        CostMeter {
+            model,
+            report: Arc::new(Mutex::new(CostReport::default())),
+        }
+    }
+
+    /// The cost model in effect.
+    #[must_use]
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Snapshot of the accumulated counters.
+    #[must_use]
+    pub fn report(&self) -> CostReport {
+        self.report.lock().clone()
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        *self.report.lock() = CostReport::default();
+    }
+
+    /// Charges an enclave entry/exit pair plus boundary copies of `bytes`.
+    pub fn charge_ecall(&self, bytes_in: usize, bytes_out: usize) {
+        let mut r = self.report.lock();
+        r.ecalls += 1;
+        let copied = (bytes_in + bytes_out) as u64;
+        r.boundary_bytes += copied;
+        r.total_cycles += self.model.ecall_cycles
+            + self.model.eexit_cycles
+            + copied * self.model.boundary_byte_cycles;
+    }
+
+    /// Charges an OCALL round trip plus boundary copies.
+    pub fn charge_ocall(&self, bytes_in: usize, bytes_out: usize) {
+        let mut r = self.report.lock();
+        r.ocalls += 1;
+        let copied = (bytes_in + bytes_out) as u64;
+        r.boundary_bytes += copied;
+        r.total_cycles += self.model.ocall_cycles + copied * self.model.boundary_byte_cycles;
+    }
+
+    /// Charges the addition of `pages` EPC pages.
+    pub fn charge_page_add(&self, pages: usize) {
+        let mut r = self.report.lock();
+        r.pages_added += pages as u64;
+        r.total_cycles += pages as u64 * self.model.page_add_cycles;
+    }
+
+    /// Charges `swaps` EPC page swaps.
+    pub fn charge_page_swap(&self, swaps: usize) {
+        let mut r = self.report.lock();
+        r.page_swaps += swaps as u64;
+        r.total_cycles += swaps as u64 * self.model.page_swap_cycles;
+    }
+
+    /// Charges one sealing-key derivation.
+    pub fn charge_getkey(&self) {
+        let mut r = self.report.lock();
+        r.key_derivations += 1;
+        r.total_cycles += self.model.getkey_cycles;
+    }
+
+    /// Charges one report generation.
+    pub fn charge_ereport(&self) {
+        let mut r = self.report.lock();
+        r.reports += 1;
+        r.total_cycles += self.model.ereport_cycles;
+    }
+
+    /// Charges one quote generation.
+    pub fn charge_quote(&self) {
+        let mut r = self.report.lock();
+        r.quotes += 1;
+        r.total_cycles += self.model.quote_cycles;
+    }
+}
+
+impl Default for CostMeter {
+    fn default() -> Self {
+        Self::new(CostModel::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_is_nontrivial() {
+        let m = CostModel::default();
+        assert!(m.ecall_cycles > 0);
+        assert!(m.page_swap_cycles > m.page_add_cycles);
+        assert_eq!(CostModel::free().ecall_cycles, 0);
+    }
+
+    #[test]
+    fn charges_accumulate() {
+        let meter = CostMeter::new(CostModel::default());
+        meter.charge_ecall(100, 50);
+        meter.charge_ocall(10, 10);
+        meter.charge_page_add(3);
+        meter.charge_page_swap(1);
+        meter.charge_getkey();
+        meter.charge_ereport();
+        meter.charge_quote();
+        let r = meter.report();
+        assert_eq!(r.ecalls, 1);
+        assert_eq!(r.ocalls, 1);
+        assert_eq!(r.pages_added, 3);
+        assert_eq!(r.page_swaps, 1);
+        assert_eq!(r.boundary_bytes, 170);
+        assert_eq!(r.key_derivations, 1);
+        assert_eq!(r.reports, 1);
+        assert_eq!(r.quotes, 1);
+        let m = CostModel::default();
+        let expected = m.ecall_cycles
+            + m.eexit_cycles
+            + 150
+            + m.ocall_cycles
+            + 20
+            + 3 * m.page_add_cycles
+            + m.page_swap_cycles
+            + m.getkey_cycles
+            + m.ereport_cycles
+            + m.quote_cycles;
+        assert_eq!(r.total_cycles, expected);
+    }
+
+    #[test]
+    fn clones_share_counters_and_reset_clears() {
+        let meter = CostMeter::default();
+        let clone = meter.clone();
+        clone.charge_ecall(0, 0);
+        assert_eq!(meter.report().ecalls, 1);
+        meter.reset();
+        assert_eq!(clone.report(), CostReport::default());
+    }
+}

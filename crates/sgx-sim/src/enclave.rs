@@ -1,0 +1,161 @@
+//! The enclave programming model: programs, the trusted environment they see,
+//! and the OCALL interface back to the untrusted host.
+//!
+//! A simulated enclave is a Rust value implementing [`EnclaveProgram`]. The
+//! host can only interact with it through [`crate::Platform::ecall`], which
+//! passes opaque bytes in and out — mirroring the ECALL marshalling of a real
+//! SGX SDK. Inside an ECALL, the program sees an [`EnclaveEnv`] that exposes
+//! exactly the trusted services hardware would: its own identity, sealing,
+//! report generation, randomness, and the ability to issue OCALLs to the
+//! (untrusted) host.
+
+use crate::attestation::{Report, TargetInfo, REPORT_DATA_LEN};
+use crate::image::EnclaveAttributes;
+use crate::measurement::Measurement;
+use crate::platform::PlatformId;
+use crate::sealing::{SealPolicy, SealedBlob};
+use crate::Result;
+
+/// The code that runs inside a simulated enclave.
+///
+/// Programs are written against [`EnclaveEnv`] only; they never see the
+/// platform, the host process, or other enclaves directly. The Glimmer
+/// enclave application in `glimmer-core` is the primary implementor.
+pub trait EnclaveProgram: Send {
+    /// A short, stable name used in debugging output.
+    fn name(&self) -> &str {
+        "enclave-program"
+    }
+
+    /// Handles one ECALL.
+    ///
+    /// `selector` identifies the entry point; `data` is the marshalled
+    /// request. The return value is marshalled back to the host. Returning
+    /// `Err` models an enclave abort: the error string is surfaced to the
+    /// host as [`crate::SgxError::EnclaveAbort`] and the enclave remains
+    /// usable (matching SGX, where an aborted ECALL does not destroy the
+    /// enclave).
+    fn handle_ecall(
+        &mut self,
+        env: &mut dyn EnclaveEnv,
+        selector: u16,
+        data: &[u8],
+    ) -> std::result::Result<Vec<u8>, String>;
+}
+
+/// The trusted services visible to code running inside an enclave.
+pub trait EnclaveEnv {
+    /// MRENCLAVE of the running enclave.
+    fn measurement(&self) -> Measurement;
+
+    /// MRSIGNER of the running enclave.
+    fn signer(&self) -> Measurement;
+
+    /// Attributes (debug flag, product id, security version).
+    fn attributes(&self) -> EnclaveAttributes;
+
+    /// Identity of the platform the enclave runs on.
+    fn platform_id(&self) -> PlatformId;
+
+    /// Seals `plaintext` (with authenticated `aad`) under `policy`.
+    fn seal(&mut self, policy: SealPolicy, aad: &[u8], plaintext: &[u8]) -> Result<SealedBlob>;
+
+    /// Unseals a blob previously sealed by an enclave this one is entitled to
+    /// impersonate under the blob's policy.
+    fn unseal(&mut self, blob: &SealedBlob) -> Result<Vec<u8>>;
+
+    /// Produces a local-attestation report targeted at `target`, binding
+    /// `report_data`.
+    fn create_report(&mut self, target: &TargetInfo, report_data: [u8; REPORT_DATA_LEN]) -> Report;
+
+    /// Verifies a report that was targeted at *this* enclave.
+    fn verify_report(&mut self, report: &Report) -> bool;
+
+    /// Returns `n` bytes of hardware randomness (RDRAND equivalent).
+    fn random_bytes(&mut self, n: usize) -> Vec<u8>;
+
+    /// Issues an OCALL to the untrusted host and returns its reply.
+    ///
+    /// The reply comes from untrusted code; enclave programs must treat it as
+    /// adversarial input.
+    fn ocall(&mut self, selector: u16, data: &[u8]) -> Result<Vec<u8>>;
+}
+
+/// The untrusted host's handler for OCALLs issued by an enclave during an
+/// ECALL.
+pub trait OcallHandler {
+    /// Handles one OCALL; the error string is surfaced to the enclave as
+    /// [`crate::SgxError::OcallFailed`].
+    fn handle_ocall(
+        &mut self,
+        selector: u16,
+        data: &[u8],
+    ) -> std::result::Result<Vec<u8>, String>;
+}
+
+/// An [`OcallHandler`] that rejects every OCALL.
+///
+/// Useful for enclaves (like the basic Glimmer validation path) that are
+/// expected to run fully isolated; any attempted OCALL is an error.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoOcalls;
+
+impl OcallHandler for NoOcalls {
+    fn handle_ocall(
+        &mut self,
+        selector: u16,
+        _data: &[u8],
+    ) -> std::result::Result<Vec<u8>, String> {
+        Err(format!("OCALL {selector} rejected: no OCALLs permitted"))
+    }
+}
+
+/// An [`OcallHandler`] backed by a closure, convenient in tests and examples.
+pub struct FnOcallHandler<F>(pub F)
+where
+    F: FnMut(u16, &[u8]) -> std::result::Result<Vec<u8>, String>;
+
+impl<F> OcallHandler for FnOcallHandler<F>
+where
+    F: FnMut(u16, &[u8]) -> std::result::Result<Vec<u8>, String>,
+{
+    fn handle_ocall(&mut self, selector: u16, data: &[u8]) -> std::result::Result<Vec<u8>, String> {
+        (self.0)(selector, data)
+    }
+}
+
+/// Lifecycle state of an instantiated enclave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnclaveState {
+    /// Initialized and accepting ECALLs.
+    Ready,
+    /// Currently executing an ECALL (re-entrancy is not supported).
+    InEcall,
+    /// Destroyed; all further operations fail.
+    Destroyed,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_ocalls_rejects() {
+        let mut handler = NoOcalls;
+        let err = handler.handle_ocall(3, b"x").unwrap_err();
+        assert!(err.contains('3'));
+    }
+
+    #[test]
+    fn fn_handler_delegates() {
+        let mut handler = FnOcallHandler(|sel, data: &[u8]| {
+            if sel == 1 {
+                Ok(data.to_vec())
+            } else {
+                Err("nope".to_string())
+            }
+        });
+        assert_eq!(handler.handle_ocall(1, b"echo").unwrap(), b"echo");
+        assert!(handler.handle_ocall(2, b"echo").is_err());
+    }
+}

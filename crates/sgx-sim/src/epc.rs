@@ -1,0 +1,159 @@
+//! Enclave Page Cache (EPC) accounting.
+//!
+//! SGX enclaves live in a limited region of protected memory; on the
+//! client-class CPUs the paper targets this is typically 93–128 MiB usable.
+//! The simulator tracks per-enclave page allocations against a configurable
+//! capacity, and optionally models oversubscription by charging page-swap
+//! costs instead of failing, so experiments can study Glimmer memory
+//! footprint pressure on small clients.
+
+use crate::cost::CostMeter;
+use crate::error::SgxError;
+use std::collections::HashMap;
+
+/// Size of one EPC page in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+/// The enclave page cache of one platform.
+#[derive(Debug)]
+pub struct Epc {
+    capacity_pages: usize,
+    allow_oversubscription: bool,
+    allocations: HashMap<u64, usize>,
+}
+
+impl Epc {
+    /// Creates an EPC with the given capacity in pages.
+    #[must_use]
+    pub fn new(capacity_pages: usize, allow_oversubscription: bool) -> Self {
+        Epc {
+            capacity_pages,
+            allow_oversubscription,
+            allocations: HashMap::new(),
+        }
+    }
+
+    /// Total capacity in pages.
+    #[must_use]
+    pub fn capacity_pages(&self) -> usize {
+        self.capacity_pages
+    }
+
+    /// Pages currently allocated across all enclaves.
+    #[must_use]
+    pub fn used_pages(&self) -> usize {
+        self.allocations.values().sum()
+    }
+
+    /// Pages still free (zero when oversubscribed).
+    #[must_use]
+    pub fn free_pages(&self) -> usize {
+        self.capacity_pages.saturating_sub(self.used_pages())
+    }
+
+    /// Pages allocated to one enclave.
+    #[must_use]
+    pub fn pages_of(&self, enclave: u64) -> usize {
+        self.allocations.get(&enclave).copied().unwrap_or(0)
+    }
+
+    /// Allocates `pages` pages to `enclave`.
+    ///
+    /// If the request does not fit and oversubscription is disabled, returns
+    /// [`SgxError::EpcExhausted`]. If oversubscription is enabled the request
+    /// succeeds but the overflowing pages are charged as swaps on `meter`,
+    /// modelling EPC paging.
+    pub fn allocate(&mut self, enclave: u64, pages: usize, meter: &CostMeter) -> Result<(), SgxError> {
+        let free = self.free_pages();
+        if pages > free {
+            if !self.allow_oversubscription {
+                return Err(SgxError::EpcExhausted {
+                    requested: pages,
+                    free,
+                });
+            }
+            meter.charge_page_swap(pages - free);
+        }
+        meter.charge_page_add(pages);
+        *self.allocations.entry(enclave).or_insert(0) += pages;
+        Ok(())
+    }
+
+    /// Releases all pages of `enclave` (idempotent).
+    pub fn release(&mut self, enclave: u64) {
+        self.allocations.remove(&enclave);
+    }
+
+    /// Number of enclaves with live allocations.
+    #[must_use]
+    pub fn enclave_count(&self) -> usize {
+        self.allocations.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+
+    fn meter() -> CostMeter {
+        CostMeter::new(CostModel::default())
+    }
+
+    #[test]
+    fn allocation_and_release() {
+        let m = meter();
+        let mut epc = Epc::new(100, false);
+        assert_eq!(epc.capacity_pages(), 100);
+        epc.allocate(1, 40, &m).unwrap();
+        epc.allocate(2, 30, &m).unwrap();
+        assert_eq!(epc.used_pages(), 70);
+        assert_eq!(epc.free_pages(), 30);
+        assert_eq!(epc.pages_of(1), 40);
+        assert_eq!(epc.pages_of(3), 0);
+        assert_eq!(epc.enclave_count(), 2);
+        epc.release(1);
+        assert_eq!(epc.used_pages(), 30);
+        epc.release(1); // Idempotent.
+        assert_eq!(epc.used_pages(), 30);
+    }
+
+    #[test]
+    fn exhaustion_without_oversubscription() {
+        let m = meter();
+        let mut epc = Epc::new(10, false);
+        epc.allocate(1, 8, &m).unwrap();
+        let err = epc.allocate(2, 5, &m).unwrap_err();
+        assert_eq!(
+            err,
+            SgxError::EpcExhausted {
+                requested: 5,
+                free: 2
+            }
+        );
+        // Failed allocation does not change accounting.
+        assert_eq!(epc.used_pages(), 8);
+    }
+
+    #[test]
+    fn oversubscription_charges_swaps() {
+        let m = meter();
+        let mut epc = Epc::new(10, true);
+        epc.allocate(1, 8, &m).unwrap();
+        epc.allocate(2, 5, &m).unwrap();
+        assert_eq!(epc.used_pages(), 13);
+        assert_eq!(epc.free_pages(), 0);
+        let report = m.report();
+        assert_eq!(report.pages_added, 13);
+        assert_eq!(report.page_swaps, 3);
+    }
+
+    #[test]
+    fn repeated_allocations_accumulate_per_enclave() {
+        let m = meter();
+        let mut epc = Epc::new(100, false);
+        epc.allocate(7, 10, &m).unwrap();
+        epc.allocate(7, 5, &m).unwrap();
+        assert_eq!(epc.pages_of(7), 15);
+    }
+}

@@ -1,0 +1,106 @@
+//! Error types for the SGX simulator.
+
+/// Errors produced by platform, enclave, sealing, and attestation operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SgxError {
+    /// The enclave page cache has no room for the requested pages.
+    EpcExhausted {
+        /// Pages requested.
+        requested: usize,
+        /// Pages still free.
+        free: usize,
+    },
+    /// The referenced enclave does not exist (or was destroyed).
+    NoSuchEnclave(u64),
+    /// The enclave is not in the right lifecycle state for the operation.
+    BadLifecycleState(&'static str),
+    /// The enclave image is malformed (e.g., no TCS page, empty code).
+    InvalidImage(&'static str),
+    /// The launch policy refused to start the enclave.
+    LaunchDenied(&'static str),
+    /// An ECALL selector was not recognized by the enclave program.
+    UnknownEcall(u16),
+    /// The enclave program aborted (simulated runtime error inside the TEE).
+    EnclaveAbort(String),
+    /// An OCALL failed or was rejected by the untrusted host.
+    OcallFailed(String),
+    /// A sealed blob could not be unsealed by the calling enclave.
+    UnsealDenied(&'static str),
+    /// A report or quote failed verification.
+    AttestationFailed(&'static str),
+    /// The platform is not provisioned with the attestation service.
+    NotProvisioned,
+    /// An underlying cryptographic operation failed.
+    Crypto(glimmer_crypto::CryptoError),
+    /// A malformed serialized structure was encountered.
+    Malformed(&'static str),
+}
+
+impl core::fmt::Display for SgxError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SgxError::EpcExhausted { requested, free } => {
+                write!(f, "EPC exhausted: requested {requested} pages, {free} free")
+            }
+            SgxError::NoSuchEnclave(id) => write!(f, "no such enclave: {id}"),
+            SgxError::BadLifecycleState(s) => write!(f, "bad enclave lifecycle state: {s}"),
+            SgxError::InvalidImage(s) => write!(f, "invalid enclave image: {s}"),
+            SgxError::LaunchDenied(s) => write!(f, "enclave launch denied: {s}"),
+            SgxError::UnknownEcall(sel) => write!(f, "unknown ECALL selector {sel}"),
+            SgxError::EnclaveAbort(s) => write!(f, "enclave aborted: {s}"),
+            SgxError::OcallFailed(s) => write!(f, "OCALL failed: {s}"),
+            SgxError::UnsealDenied(s) => write!(f, "unseal denied: {s}"),
+            SgxError::AttestationFailed(s) => write!(f, "attestation failed: {s}"),
+            SgxError::NotProvisioned => write!(f, "platform not provisioned for attestation"),
+            SgxError::Crypto(e) => write!(f, "crypto error: {e}"),
+            SgxError::Malformed(s) => write!(f, "malformed structure: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SgxError {}
+
+impl From<glimmer_crypto::CryptoError> for SgxError {
+    fn from(e: glimmer_crypto::CryptoError) -> Self {
+        SgxError::Crypto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let cases: Vec<(SgxError, &str)> = vec![
+            (
+                SgxError::EpcExhausted {
+                    requested: 10,
+                    free: 2,
+                },
+                "EPC",
+            ),
+            (SgxError::NoSuchEnclave(7), "7"),
+            (SgxError::BadLifecycleState("destroyed"), "destroyed"),
+            (SgxError::InvalidImage("no pages"), "no pages"),
+            (SgxError::LaunchDenied("unapproved signer"), "signer"),
+            (SgxError::UnknownEcall(3), "3"),
+            (SgxError::EnclaveAbort("oops".into()), "oops"),
+            (SgxError::OcallFailed("io".into()), "io"),
+            (SgxError::UnsealDenied("wrong measurement"), "measurement"),
+            (SgxError::AttestationFailed("bad mac"), "bad mac"),
+            (SgxError::NotProvisioned, "provisioned"),
+            (SgxError::Malformed("short"), "short"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn crypto_error_conversion() {
+        let e: SgxError = glimmer_crypto::CryptoError::VerificationFailed.into();
+        assert!(matches!(e, SgxError::Crypto(_)));
+        assert!(e.to_string().contains("crypto"));
+    }
+}

@@ -1,0 +1,255 @@
+//! Enclave images: the measured pages, signer identity, and attributes that
+//! define what an enclave *is* before it is instantiated on a platform.
+//!
+//! In real SGX the image is an ELF-like binary plus a SIGSTRUCT produced by
+//! the enclave author. In the simulator, the "code" of an enclave is a
+//! canonical descriptor byte string supplied by the program (for the Glimmer,
+//! this is the serialized program descriptor: component list, predicate
+//! configuration, declared declassifiers). The descriptor plays the role the
+//! binary plays on hardware: it is what gets measured, published, and vetted.
+
+use crate::epc::PAGE_SIZE;
+use crate::measurement::{Measurement, MeasurementBuilder};
+
+/// The type of an enclave page (subset of the SGX page types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageType {
+    /// SGX Enclave Control Structure page (one per enclave).
+    Secs,
+    /// Thread Control Structure page (one per supported thread).
+    Tcs,
+    /// Regular code/data page.
+    Regular,
+}
+
+impl PageType {
+    fn tag(self) -> u8 {
+        match self {
+            PageType::Secs => 0,
+            PageType::Tcs => 1,
+            PageType::Regular => 2,
+        }
+    }
+}
+
+/// One measured enclave page.
+#[derive(Debug, Clone)]
+pub struct Page {
+    /// Offset of the page within the enclave's linear range.
+    pub offset: usize,
+    /// Page type.
+    pub page_type: PageType,
+    /// Page contents (up to [`PAGE_SIZE`] bytes; shorter pages are
+    /// zero-padded conceptually and measured as given).
+    pub content: Vec<u8>,
+}
+
+/// Enclave attributes carried into reports and quotes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnclaveAttributes {
+    /// Debug enclaves can be inspected by the host; production Glimmers must
+    /// not set this (a debug Glimmer provides no input confidentiality).
+    pub debug: bool,
+    /// Product identifier assigned by the signer.
+    pub isv_prod_id: u16,
+    /// Security version number; bumped when vulnerabilities are fixed.
+    pub isv_svn: u16,
+}
+
+impl Default for EnclaveAttributes {
+    fn default() -> Self {
+        EnclaveAttributes {
+            debug: false,
+            isv_prod_id: 1,
+            isv_svn: 1,
+        }
+    }
+}
+
+impl EnclaveAttributes {
+    /// Serializes attributes for inclusion in measured structures.
+    #[must_use]
+    pub fn to_bytes(&self) -> [u8; 5] {
+        let mut out = [0u8; 5];
+        out[0] = u8::from(self.debug);
+        out[1..3].copy_from_slice(&self.isv_prod_id.to_le_bytes());
+        out[3..5].copy_from_slice(&self.isv_svn.to_le_bytes());
+        out
+    }
+}
+
+/// A buildable enclave image: pages + signer + attributes.
+#[derive(Debug, Clone)]
+pub struct EnclaveImage {
+    pages: Vec<Page>,
+    signer: Measurement,
+    attributes: EnclaveAttributes,
+    heap_pages: usize,
+    threads: usize,
+}
+
+impl EnclaveImage {
+    /// Builds an image from a code descriptor.
+    ///
+    /// The descriptor is split into page-sized chunks and measured as regular
+    /// pages, preceded by one SECS page and one TCS page per thread.
+    /// `heap_pages` unmeasured heap pages are reserved in the EPC but do not
+    /// affect MRENCLAVE (matching SGX, where heap is added as zero pages).
+    #[must_use]
+    pub fn from_code(
+        code_descriptor: &[u8],
+        signer: Measurement,
+        attributes: EnclaveAttributes,
+        heap_pages: usize,
+        threads: usize,
+    ) -> Self {
+        let threads = threads.max(1);
+        let mut pages = Vec::new();
+        pages.push(Page {
+            offset: 0,
+            page_type: PageType::Secs,
+            content: attributes.to_bytes().to_vec(),
+        });
+        for t in 0..threads {
+            pages.push(Page {
+                offset: PAGE_SIZE * (1 + t),
+                page_type: PageType::Tcs,
+                content: (t as u64).to_le_bytes().to_vec(),
+            });
+        }
+        let code_base = PAGE_SIZE * (1 + threads);
+        if code_descriptor.is_empty() {
+            pages.push(Page {
+                offset: code_base,
+                page_type: PageType::Regular,
+                content: Vec::new(),
+            });
+        } else {
+            for (i, chunk) in code_descriptor.chunks(PAGE_SIZE).enumerate() {
+                pages.push(Page {
+                    offset: code_base + i * PAGE_SIZE,
+                    page_type: PageType::Regular,
+                    content: chunk.to_vec(),
+                });
+            }
+        }
+        EnclaveImage {
+            pages,
+            signer,
+            attributes,
+            heap_pages,
+            threads,
+        }
+    }
+
+    /// The measured pages.
+    #[must_use]
+    pub fn pages(&self) -> &[Page] {
+        &self.pages
+    }
+
+    /// Signer identity (MRSIGNER).
+    #[must_use]
+    pub fn signer(&self) -> Measurement {
+        self.signer
+    }
+
+    /// Enclave attributes.
+    #[must_use]
+    pub fn attributes(&self) -> EnclaveAttributes {
+        self.attributes
+    }
+
+    /// Total EPC pages this image needs (measured pages + heap).
+    #[must_use]
+    pub fn total_pages(&self) -> usize {
+        self.pages.len() + self.heap_pages
+    }
+
+    /// Number of supported threads (TCS pages).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Computes the MRENCLAVE measurement of this image.
+    #[must_use]
+    pub fn measurement(&self) -> Measurement {
+        let mut builder = MeasurementBuilder::new();
+        for page in &self.pages {
+            builder.add_page(page.offset, page.page_type.tag(), &page.content);
+        }
+        builder.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signer() -> Measurement {
+        Measurement::of_bytes(b"vetting-org-signing-key")
+    }
+
+    #[test]
+    fn image_layout() {
+        let code = vec![0xABu8; PAGE_SIZE * 2 + 100];
+        let image = EnclaveImage::from_code(&code, signer(), EnclaveAttributes::default(), 4, 2);
+        // 1 SECS + 2 TCS + 3 code pages.
+        assert_eq!(image.pages().len(), 6);
+        assert_eq!(image.total_pages(), 10);
+        assert_eq!(image.threads(), 2);
+        assert_eq!(image.pages()[0].page_type, PageType::Secs);
+        assert_eq!(image.pages()[1].page_type, PageType::Tcs);
+        assert_eq!(image.pages()[3].page_type, PageType::Regular);
+        assert_eq!(image.signer(), signer());
+    }
+
+    #[test]
+    fn empty_code_still_has_a_regular_page() {
+        let image = EnclaveImage::from_code(b"", signer(), EnclaveAttributes::default(), 0, 0);
+        // Thread count is clamped to 1.
+        assert_eq!(image.threads(), 1);
+        assert!(image
+            .pages()
+            .iter()
+            .any(|p| p.page_type == PageType::Regular));
+    }
+
+    #[test]
+    fn measurement_depends_on_code_and_attributes() {
+        let base = EnclaveImage::from_code(b"glimmer-v1", signer(), EnclaveAttributes::default(), 2, 1);
+        let same = EnclaveImage::from_code(b"glimmer-v1", signer(), EnclaveAttributes::default(), 2, 1);
+        assert_eq!(base.measurement(), same.measurement());
+
+        let different_code =
+            EnclaveImage::from_code(b"glimmer-v2", signer(), EnclaveAttributes::default(), 2, 1);
+        assert_ne!(base.measurement(), different_code.measurement());
+
+        let debug_attrs = EnclaveAttributes {
+            debug: true,
+            ..EnclaveAttributes::default()
+        };
+        let debug_image = EnclaveImage::from_code(b"glimmer-v1", signer(), debug_attrs, 2, 1);
+        assert_ne!(base.measurement(), debug_image.measurement());
+
+        // Heap pages are not measured (they start as zero pages).
+        let more_heap = EnclaveImage::from_code(b"glimmer-v1", signer(), EnclaveAttributes::default(), 8, 1);
+        assert_eq!(base.measurement(), more_heap.measurement());
+
+        // Thread count is measured (extra TCS page).
+        let more_threads =
+            EnclaveImage::from_code(b"glimmer-v1", signer(), EnclaveAttributes::default(), 2, 2);
+        assert_ne!(base.measurement(), more_threads.measurement());
+    }
+
+    #[test]
+    fn attribute_bytes() {
+        let attrs = EnclaveAttributes {
+            debug: true,
+            isv_prod_id: 0x0102,
+            isv_svn: 0x0304,
+        };
+        assert_eq!(attrs.to_bytes(), [1, 0x02, 0x01, 0x04, 0x03]);
+    }
+}

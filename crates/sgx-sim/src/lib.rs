@@ -1,0 +1,57 @@
+//! A software simulation of Intel SGX client-side enclaves.
+//!
+//! The Glimmer architecture (Lie & Maniatis, HotOS 2017, Section 3) places a
+//! small trusted component — the Glimmer — inside an SGX enclave on the
+//! *client* device. Real SGX hardware is unavailable in this environment (and
+//! has been deprecated on client CPUs), so this crate reproduces the SGX
+//! programming model in software:
+//!
+//! * **Enclave lifecycle** — building an enclave image from measured pages,
+//!   creating it on a platform subject to EPC capacity, entering it via
+//!   ECALLs, and calling back out via OCALLs ([`platform`], [`enclave`],
+//!   [`epc`], [`image`]).
+//! * **Measurement** — an MRENCLAVE-style SHA-256 chain over the enclave's
+//!   pages and an MRSIGNER identity ([`measurement`]).
+//! * **Sealed storage** — keys derived from a per-platform fuse secret and
+//!   the sealing enclave's identity, so only the same enclave (or same-signer
+//!   enclaves) on the same platform can unseal ([`sealing`]).
+//! * **Local and remote attestation** — REPORT structures MAC'd with a
+//!   platform report key, converted into QUOTEs by a quoting enclave, and
+//!   verified by an Intel-Attestation-Service-like verification service with
+//!   TCB and revocation handling ([`attestation`]).
+//! * **A cost model** — cycle charges for enclave transitions and paging so
+//!   that overhead experiments (EXPERIMENTS.md E5) have the right shape
+//!   ([`cost`]).
+//!
+//! The simulator enforces the *API-visible* guarantees of SGX: host code can
+//! only exchange bytes with an enclave through ECALL/OCALL, sealed blobs can
+//! only be opened by an enclave with the right identity on the right
+//! platform, and quotes are only accepted by the verification service if they
+//! were produced by a provisioned platform at an acceptable TCB level. It
+//! does not attempt to model micro-architectural side channels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attestation;
+pub mod cost;
+pub mod enclave;
+pub mod epc;
+pub mod error;
+pub mod image;
+pub mod measurement;
+pub mod platform;
+pub mod sealing;
+
+pub use attestation::{AttestationService, AttestationVerdict, Quote, QuoteBody, Report, TargetInfo};
+pub use cost::{CostMeter, CostModel, CostReport};
+pub use enclave::{EnclaveEnv, EnclaveProgram, OcallHandler};
+pub use epc::{Epc, PAGE_SIZE};
+pub use error::SgxError;
+pub use image::{EnclaveAttributes, EnclaveImage, Page, PageType};
+pub use measurement::Measurement;
+pub use platform::{EnclaveId, Platform, PlatformConfig, PlatformId};
+pub use sealing::{SealPolicy, SealedBlob};
+
+/// Result alias used throughout the simulator.
+pub type Result<T> = core::result::Result<T, SgxError>;

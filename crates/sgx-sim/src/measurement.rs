@@ -1,0 +1,178 @@
+//! Enclave identity: MRENCLAVE-style measurements and MRSIGNER identities.
+//!
+//! Real SGX computes MRENCLAVE as a SHA-256 chain over every `EADD`ed page's
+//! content, offset, and permissions, and MRSIGNER as the hash of the public
+//! key that signed the enclave. The Glimmer design leans on both: the vetted
+//! Glimmer's measurement is published so users can check what runs on their
+//! device, and the service seals its signing key so that only the approved
+//! measurement can use it (Section 3).
+
+use glimmer_crypto::sha256::{Sha256, DIGEST_LEN};
+
+/// A 256-bit enclave identity value (MRENCLAVE, MRSIGNER, or key digest).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Measurement(pub [u8; DIGEST_LEN]);
+
+impl Measurement {
+    /// The all-zero measurement (used as a placeholder target).
+    #[must_use]
+    pub fn zero() -> Self {
+        Measurement([0u8; DIGEST_LEN])
+    }
+
+    /// Measurement of an arbitrary byte string (one hash invocation).
+    #[must_use]
+    pub fn of_bytes(data: &[u8]) -> Self {
+        Measurement(glimmer_crypto::sha256(data))
+    }
+
+    /// Raw bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8; DIGEST_LEN] {
+        &self.0
+    }
+
+    /// Hex rendering (lowercase, 64 chars).
+    #[must_use]
+    pub fn to_hex(&self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// Parses a 64-character hex string.
+    #[must_use]
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != DIGEST_LEN * 2 {
+            return None;
+        }
+        let mut out = [0u8; DIGEST_LEN];
+        for i in 0..DIGEST_LEN {
+            out[i] = u8::from_str_radix(&s[i * 2..i * 2 + 2], 16).ok()?;
+        }
+        Some(Measurement(out))
+    }
+}
+
+impl core::fmt::Debug for Measurement {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Measurement({}..)", &self.to_hex()[..16])
+    }
+}
+
+impl core::fmt::Display for Measurement {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+/// Incrementally builds an MRENCLAVE-style measurement from enclave pages.
+///
+/// The builder mirrors the `ECREATE` / `EADD` / `EEXTEND` / `EINIT` sequence:
+/// each page extends the running hash with a domain-separation tag, the page
+/// offset, the page type, and the page contents.
+pub struct MeasurementBuilder {
+    hasher: Sha256,
+    pages: usize,
+}
+
+impl Default for MeasurementBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MeasurementBuilder {
+    /// Starts a new measurement (ECREATE).
+    #[must_use]
+    pub fn new() -> Self {
+        let mut hasher = Sha256::new();
+        hasher.update(b"SGX-SIM-ECREATE-v1");
+        MeasurementBuilder { hasher, pages: 0 }
+    }
+
+    /// Extends the measurement with one page (EADD + EEXTEND).
+    pub fn add_page(&mut self, offset: usize, page_type: u8, content: &[u8]) {
+        self.hasher.update(b"EADD");
+        self.hasher.update(&(offset as u64).to_le_bytes());
+        self.hasher.update(&[page_type]);
+        self.hasher.update(&(content.len() as u64).to_le_bytes());
+        self.hasher.update(content);
+        self.pages += 1;
+    }
+
+    /// Number of pages measured so far.
+    #[must_use]
+    pub fn pages(&self) -> usize {
+        self.pages
+    }
+
+    /// Finalizes the measurement (EINIT).
+    #[must_use]
+    pub fn finalize(mut self) -> Measurement {
+        self.hasher.update(b"EINIT");
+        self.hasher.update(&(self.pages as u64).to_le_bytes());
+        Measurement(self.hasher.finalize())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let m = Measurement::of_bytes(b"glimmer enclave");
+        let hex = m.to_hex();
+        assert_eq!(hex.len(), 64);
+        assert_eq!(Measurement::from_hex(&hex), Some(m));
+        assert_eq!(Measurement::from_hex("abc"), None);
+        assert_eq!(Measurement::from_hex(&"zz".repeat(32)), None);
+    }
+
+    #[test]
+    fn builder_is_deterministic_and_order_sensitive() {
+        let build = |pages: &[(usize, u8, &[u8])]| {
+            let mut b = MeasurementBuilder::new();
+            for (off, ty, data) in pages {
+                b.add_page(*off, *ty, data);
+            }
+            b.finalize()
+        };
+        let a = build(&[(0, 1, b"code"), (4096, 2, b"data")]);
+        let b = build(&[(0, 1, b"code"), (4096, 2, b"data")]);
+        assert_eq!(a, b);
+        // Order matters.
+        let c = build(&[(4096, 2, b"data"), (0, 1, b"code")]);
+        assert_ne!(a, c);
+        // Offset matters.
+        let d = build(&[(0, 1, b"code"), (8192, 2, b"data")]);
+        assert_ne!(a, d);
+        // Page type matters.
+        let e = build(&[(0, 3, b"code"), (4096, 2, b"data")]);
+        assert_ne!(a, e);
+        // Content matters.
+        let f = build(&[(0, 1, b"code!"), (4096, 2, b"data")]);
+        assert_ne!(a, f);
+    }
+
+    #[test]
+    fn page_count_is_part_of_identity() {
+        let mut one = MeasurementBuilder::new();
+        one.add_page(0, 1, b"xy");
+        assert_eq!(one.pages(), 1);
+        let one = one.finalize();
+
+        // Concatenating the same bytes as two pages must measure differently.
+        let mut two = MeasurementBuilder::new();
+        two.add_page(0, 1, b"x");
+        two.add_page(1, 1, b"y");
+        assert_ne!(one, two.finalize());
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let m = Measurement::of_bytes(b"x");
+        assert_eq!(format!("{m}").len(), 64);
+        assert!(format!("{m:?}").starts_with("Measurement("));
+        assert_eq!(Measurement::zero().as_bytes(), &[0u8; 32]);
+    }
+}

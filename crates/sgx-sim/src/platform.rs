@@ -1,0 +1,762 @@
+//! The simulated SGX-capable client platform.
+//!
+//! A [`Platform`] owns the per-machine secrets (sealing fuse key, report key,
+//! provisioned attestation key), the EPC, and the set of live enclaves. It is
+//! the only way host code can create enclaves, enter them via ECALLs, and
+//! obtain quotes — exactly the narrow waist the Glimmer design relies on.
+
+use crate::attestation::{
+    AttestationService, Quote, QuoteBody, Report, ReportBody, TargetInfo, REPORT_DATA_LEN,
+};
+use crate::cost::{CostMeter, CostModel, CostReport};
+use crate::enclave::{EnclaveEnv, EnclaveProgram, EnclaveState, OcallHandler};
+use crate::epc::Epc;
+use crate::error::SgxError;
+use crate::image::{EnclaveAttributes, EnclaveImage};
+use crate::measurement::Measurement;
+use crate::sealing::{self, SealPolicy, SealedBlob, SealerIdentity};
+use crate::Result;
+use glimmer_crypto::drbg::Drbg;
+use std::collections::HashMap;
+
+/// A 128-bit platform identity (stands in for the EPID group / PPID).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlatformId(pub [u8; 16]);
+
+impl PlatformId {
+    /// Hex rendering.
+    #[must_use]
+    pub fn to_hex(&self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl core::fmt::Debug for PlatformId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "PlatformId({}..)", &self.to_hex()[..8])
+    }
+}
+
+/// Handle to an enclave instantiated on a platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EnclaveId(pub u64);
+
+/// Platform construction parameters.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// EPC capacity in 4 KiB pages (default: 24 576 pages = 96 MiB usable).
+    pub epc_pages: usize,
+    /// Whether EPC oversubscription is allowed (paging instead of failure).
+    pub allow_epc_oversubscription: bool,
+    /// Cycle cost model.
+    pub cost_model: CostModel,
+    /// If set, only images whose signer appears in this list may launch
+    /// (models launch control / an approved-Glimmer allowlist).
+    pub approved_signers: Option<Vec<Measurement>>,
+    /// Whether debug enclaves may launch.
+    pub allow_debug_launch: bool,
+    /// The platform's TCB security version, reflected in quotes.
+    pub tcb_svn: u16,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            epc_pages: 24_576,
+            allow_epc_oversubscription: false,
+            cost_model: CostModel::default(),
+            approved_signers: None,
+            allow_debug_launch: false,
+            tcb_svn: 2,
+        }
+    }
+}
+
+/// Identity of a live enclave, cached at creation time.
+#[derive(Debug, Clone, Copy)]
+struct EnclaveIdentity {
+    measurement: Measurement,
+    signer: Measurement,
+    attributes: EnclaveAttributes,
+}
+
+struct EnclaveSlot {
+    identity: EnclaveIdentity,
+    program: Option<Box<dyn EnclaveProgram>>,
+    state: EnclaveState,
+}
+
+/// Measurement of the built-in quoting enclave.
+fn quoting_enclave_measurement() -> Measurement {
+    Measurement::of_bytes(b"sgx-sim-quoting-enclave-v1")
+}
+
+/// A simulated SGX-capable machine.
+pub struct Platform {
+    id: PlatformId,
+    seal_secret: [u8; 32],
+    report_secret: [u8; 32],
+    attestation_key: Option<[u8; 32]>,
+    tcb_svn: u16,
+    epc: Epc,
+    meter: CostMeter,
+    enclaves: HashMap<u64, EnclaveSlot>,
+    next_enclave: u64,
+    approved_signers: Option<Vec<Measurement>>,
+    allow_debug_launch: bool,
+    rng: Drbg,
+}
+
+impl Platform {
+    /// Creates a platform, drawing its identity and secrets from `rng`.
+    #[must_use]
+    pub fn new(config: PlatformConfig, rng: &mut Drbg) -> Self {
+        let mut id = [0u8; 16];
+        rng.fill_bytes(&mut id);
+        let mut seal_secret = [0u8; 32];
+        rng.fill_bytes(&mut seal_secret);
+        let mut report_secret = [0u8; 32];
+        rng.fill_bytes(&mut report_secret);
+        let platform_rng = rng.fork("platform-rng");
+        Platform {
+            id: PlatformId(id),
+            seal_secret,
+            report_secret,
+            attestation_key: None,
+            tcb_svn: config.tcb_svn,
+            epc: Epc::new(config.epc_pages, config.allow_epc_oversubscription),
+            meter: CostMeter::new(config.cost_model),
+            enclaves: HashMap::new(),
+            next_enclave: 1,
+            approved_signers: config.approved_signers,
+            allow_debug_launch: config.allow_debug_launch,
+            rng: platform_rng,
+        }
+    }
+
+    /// The platform identity.
+    #[must_use]
+    pub fn id(&self) -> PlatformId {
+        self.id
+    }
+
+    /// The cost meter shared by this platform's operations.
+    #[must_use]
+    pub fn meter(&self) -> &CostMeter {
+        &self.meter
+    }
+
+    /// Convenience: a snapshot of accumulated costs.
+    #[must_use]
+    pub fn cost_report(&self) -> CostReport {
+        self.meter.report()
+    }
+
+    /// The platform's TCB security version.
+    #[must_use]
+    pub fn tcb_svn(&self) -> u16 {
+        self.tcb_svn
+    }
+
+    /// Simulates a TCB recovery (microcode update): bumps the SVN.
+    pub fn patch_tcb(&mut self, new_svn: u16) {
+        self.tcb_svn = new_svn;
+    }
+
+    /// The EPC (for inspection in tests and experiments).
+    #[must_use]
+    pub fn epc(&self) -> &Epc {
+        &self.epc
+    }
+
+    /// Provisions this platform with the attestation service, installing the
+    /// returned attestation key. Must be done before quotes can be produced.
+    pub fn provision(&mut self, avs: &mut AttestationService) {
+        let key = avs.provision(self.id, self.tcb_svn);
+        self.attestation_key = Some(key);
+    }
+
+    /// Whether the platform has been provisioned for remote attestation.
+    #[must_use]
+    pub fn is_provisioned(&self) -> bool {
+        self.attestation_key.is_some()
+    }
+
+    /// Target info for the quoting enclave, used by application enclaves to
+    /// direct their reports.
+    #[must_use]
+    pub fn quoting_enclave_target(&self) -> TargetInfo {
+        TargetInfo {
+            measurement: quoting_enclave_measurement(),
+        }
+    }
+
+    /// Creates (ECREATE/EADD/EINIT) an enclave from `image` running `program`.
+    pub fn create_enclave(
+        &mut self,
+        image: &EnclaveImage,
+        program: Box<dyn EnclaveProgram>,
+    ) -> Result<EnclaveId> {
+        if image.pages().is_empty() {
+            return Err(SgxError::InvalidImage("image has no pages"));
+        }
+        if image.attributes().debug && !self.allow_debug_launch {
+            return Err(SgxError::LaunchDenied("debug enclaves not allowed"));
+        }
+        if let Some(approved) = &self.approved_signers {
+            if !approved.contains(&image.signer()) {
+                return Err(SgxError::LaunchDenied("signer not in launch allowlist"));
+            }
+        }
+        let id = self.next_enclave;
+        self.epc.allocate(id, image.total_pages(), &self.meter)?;
+        self.next_enclave += 1;
+        let identity = EnclaveIdentity {
+            measurement: image.measurement(),
+            signer: image.signer(),
+            attributes: image.attributes(),
+        };
+        self.enclaves.insert(
+            id,
+            EnclaveSlot {
+                identity,
+                program: Some(program),
+                state: EnclaveState::Ready,
+            },
+        );
+        Ok(EnclaveId(id))
+    }
+
+    /// Destroys an enclave and releases its EPC pages.
+    pub fn destroy_enclave(&mut self, id: EnclaveId) -> Result<()> {
+        let slot = self
+            .enclaves
+            .get_mut(&id.0)
+            .ok_or(SgxError::NoSuchEnclave(id.0))?;
+        if slot.state == EnclaveState::InEcall {
+            return Err(SgxError::BadLifecycleState("enclave is executing an ECALL"));
+        }
+        slot.state = EnclaveState::Destroyed;
+        slot.program = None;
+        self.epc.release(id.0);
+        Ok(())
+    }
+
+    /// Number of live (non-destroyed) enclaves.
+    #[must_use]
+    pub fn live_enclaves(&self) -> usize {
+        self.enclaves
+            .values()
+            .filter(|s| s.state == EnclaveState::Ready)
+            .count()
+    }
+
+    /// The measurement of a live enclave.
+    pub fn enclave_measurement(&self, id: EnclaveId) -> Result<Measurement> {
+        let slot = self
+            .enclaves
+            .get(&id.0)
+            .ok_or(SgxError::NoSuchEnclave(id.0))?;
+        Ok(slot.identity.measurement)
+    }
+
+    /// Enters an enclave (ECALL) with an OCALL handler for any calls the
+    /// enclave makes back into untrusted code.
+    pub fn ecall(
+        &mut self,
+        id: EnclaveId,
+        selector: u16,
+        data: &[u8],
+        ocalls: &mut dyn OcallHandler,
+    ) -> Result<Vec<u8>> {
+        // Phase 1: take the program out of the slot so the platform can be
+        // reborrowed for the enclave environment.
+        let (mut program, identity) = {
+            let slot = self
+                .enclaves
+                .get_mut(&id.0)
+                .ok_or(SgxError::NoSuchEnclave(id.0))?;
+            match slot.state {
+                EnclaveState::Destroyed => {
+                    return Err(SgxError::BadLifecycleState("enclave destroyed"))
+                }
+                EnclaveState::InEcall => {
+                    return Err(SgxError::BadLifecycleState("re-entrant ECALL"))
+                }
+                EnclaveState::Ready => {}
+            }
+            slot.state = EnclaveState::InEcall;
+            let program = slot
+                .program
+                .take()
+                .ok_or(SgxError::BadLifecycleState("enclave program missing"))?;
+            (program, slot.identity)
+        };
+
+        // Phase 2: run the program against a fresh environment.
+        let result = {
+            let mut env = PlatformEnv {
+                identity,
+                platform_id: self.id,
+                seal_secret: self.seal_secret,
+                report_secret: self.report_secret,
+                meter: self.meter.clone(),
+                rng: &mut self.rng,
+                ocalls,
+            };
+            program.handle_ecall(&mut env, selector, data)
+        };
+
+        // Phase 3: restore the program and charge the transition.
+        let out_len = result.as_ref().map(|v| v.len()).unwrap_or(0);
+        self.meter.charge_ecall(data.len(), out_len);
+        if let Some(slot) = self.enclaves.get_mut(&id.0) {
+            slot.program = Some(program);
+            slot.state = EnclaveState::Ready;
+        }
+        result.map_err(SgxError::EnclaveAbort)
+    }
+
+    /// The quoting enclave: converts a report (targeted at the QE) into a
+    /// remote-attestation quote signed with the provisioned attestation key.
+    pub fn quote_report(&self, report: &Report) -> Result<Quote> {
+        let key = self.attestation_key.ok_or(SgxError::NotProvisioned)?;
+        if report.body.platform_id != self.id {
+            return Err(SgxError::AttestationFailed(
+                "report was produced on a different platform",
+            ));
+        }
+        if !report.verify(&self.report_secret, &quoting_enclave_measurement()) {
+            return Err(SgxError::AttestationFailed(
+                "report not targeted at the quoting enclave or MAC invalid",
+            ));
+        }
+        self.meter.charge_quote();
+        Ok(Quote::create(
+            &key,
+            QuoteBody {
+                report: report.body.clone(),
+                platform_tcb_svn: self.tcb_svn,
+            },
+        ))
+    }
+}
+
+/// The [`EnclaveEnv`] implementation backed by a platform during one ECALL.
+struct PlatformEnv<'a> {
+    identity: EnclaveIdentity,
+    platform_id: PlatformId,
+    seal_secret: [u8; 32],
+    report_secret: [u8; 32],
+    meter: CostMeter,
+    rng: &'a mut Drbg,
+    ocalls: &'a mut dyn OcallHandler,
+}
+
+impl<'a> PlatformEnv<'a> {
+    fn sealer_identity(&self) -> SealerIdentity {
+        SealerIdentity {
+            measurement: self.identity.measurement,
+            signer: self.identity.signer,
+            attributes: self.identity.attributes,
+        }
+    }
+}
+
+impl<'a> EnclaveEnv for PlatformEnv<'a> {
+    fn measurement(&self) -> Measurement {
+        self.identity.measurement
+    }
+
+    fn signer(&self) -> Measurement {
+        self.identity.signer
+    }
+
+    fn attributes(&self) -> EnclaveAttributes {
+        self.identity.attributes
+    }
+
+    fn platform_id(&self) -> PlatformId {
+        self.platform_id
+    }
+
+    fn seal(&mut self, policy: SealPolicy, aad: &[u8], plaintext: &[u8]) -> Result<SealedBlob> {
+        self.meter.charge_getkey();
+        let mut key_id = [0u8; 16];
+        self.rng.fill_bytes(&mut key_id);
+        let mut nonce = [0u8; 12];
+        self.rng.fill_bytes(&mut nonce);
+        Ok(sealing::seal(
+            &self.seal_secret,
+            policy,
+            &self.sealer_identity(),
+            key_id,
+            nonce,
+            aad,
+            plaintext,
+        ))
+    }
+
+    fn unseal(&mut self, blob: &SealedBlob) -> Result<Vec<u8>> {
+        self.meter.charge_getkey();
+        sealing::unseal(&self.seal_secret, &self.sealer_identity(), blob)
+    }
+
+    fn create_report(&mut self, target: &TargetInfo, report_data: [u8; REPORT_DATA_LEN]) -> Report {
+        self.meter.charge_ereport();
+        Report::create(
+            &self.report_secret,
+            ReportBody {
+                platform_id: self.platform_id,
+                measurement: self.identity.measurement,
+                signer: self.identity.signer,
+                attributes: self.identity.attributes,
+                report_data,
+            },
+            target,
+        )
+    }
+
+    fn verify_report(&mut self, report: &Report) -> bool {
+        report.verify(&self.report_secret, &self.identity.measurement)
+    }
+
+    fn random_bytes(&mut self, n: usize) -> Vec<u8> {
+        self.rng.bytes(n)
+    }
+
+    fn ocall(&mut self, selector: u16, data: &[u8]) -> Result<Vec<u8>> {
+        let result = self.ocalls.handle_ocall(selector, data);
+        let out_len = result.as_ref().map(|v| v.len()).unwrap_or(0);
+        self.meter.charge_ocall(data.len(), out_len);
+        result.map_err(SgxError::OcallFailed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enclave::{FnOcallHandler, NoOcalls};
+
+    /// A small test program exercising every environment service.
+    struct EchoProgram;
+
+    impl EnclaveProgram for EchoProgram {
+        fn name(&self) -> &str {
+            "echo"
+        }
+
+        fn handle_ecall(
+            &mut self,
+            env: &mut dyn EnclaveEnv,
+            selector: u16,
+            data: &[u8],
+        ) -> std::result::Result<Vec<u8>, String> {
+            match selector {
+                // Echo.
+                0 => Ok(data.to_vec()),
+                // Seal then unseal round trip inside the enclave.
+                1 => {
+                    let blob = env
+                        .seal(SealPolicy::MrEnclave, b"test", data)
+                        .map_err(|e| e.to_string())?;
+                    let plain = env.unseal(&blob).map_err(|e| e.to_string())?;
+                    Ok(plain)
+                }
+                // Seal and return the blob bytes to the host.
+                2 => {
+                    let blob = env
+                        .seal(SealPolicy::MrEnclave, b"persist", data)
+                        .map_err(|e| e.to_string())?;
+                    Ok(blob.to_bytes())
+                }
+                // Unseal host-provided blob bytes.
+                3 => {
+                    let blob = SealedBlob::from_bytes(data).map_err(|e| e.to_string())?;
+                    env.unseal(&blob).map_err(|e| e.to_string())
+                }
+                // Produce a report for the quoting enclave binding `data`.
+                4 => {
+                    let mut report_data = [0u8; REPORT_DATA_LEN];
+                    let n = data.len().min(REPORT_DATA_LEN);
+                    report_data[..n].copy_from_slice(&data[..n]);
+                    let target = TargetInfo {
+                        measurement: Measurement::of_bytes(b"sgx-sim-quoting-enclave-v1"),
+                    };
+                    let report = env.create_report(&target, report_data);
+                    Ok(report.to_bytes())
+                }
+                // OCALL out and return the host's answer.
+                5 => env.ocall(7, data).map_err(|e| e.to_string()),
+                // Random bytes.
+                6 => Ok(env.random_bytes(16)),
+                // Abort.
+                7 => Err("deliberate abort".to_string()),
+                // Identity information.
+                8 => {
+                    let mut out = Vec::new();
+                    out.extend_from_slice(env.measurement().as_bytes());
+                    out.extend_from_slice(env.signer().as_bytes());
+                    out.extend_from_slice(&env.platform_id().0);
+                    Ok(out)
+                }
+                other => Err(format!("unknown selector {other}")),
+            }
+        }
+    }
+
+    fn test_image(code: &[u8]) -> EnclaveImage {
+        EnclaveImage::from_code(
+            code,
+            Measurement::of_bytes(b"test-signer"),
+            EnclaveAttributes::default(),
+            4,
+            1,
+        )
+    }
+
+    fn new_platform() -> Platform {
+        Platform::new(PlatformConfig::default(), &mut Drbg::from_seed([1u8; 32]))
+    }
+
+    #[test]
+    fn create_ecall_destroy() {
+        let mut platform = new_platform();
+        let image = test_image(b"echo-program");
+        let id = platform
+            .create_enclave(&image, Box::new(EchoProgram))
+            .unwrap();
+        assert_eq!(platform.live_enclaves(), 1);
+        assert_eq!(
+            platform.enclave_measurement(id).unwrap(),
+            image.measurement()
+        );
+
+        let reply = platform.ecall(id, 0, b"hello", &mut NoOcalls).unwrap();
+        assert_eq!(reply, b"hello");
+
+        platform.destroy_enclave(id).unwrap();
+        assert_eq!(platform.live_enclaves(), 0);
+        assert!(matches!(
+            platform.ecall(id, 0, b"x", &mut NoOcalls),
+            Err(SgxError::BadLifecycleState(_))
+        ));
+        assert!(matches!(
+            platform.ecall(EnclaveId(999), 0, b"x", &mut NoOcalls),
+            Err(SgxError::NoSuchEnclave(_))
+        ));
+    }
+
+    #[test]
+    fn sealing_through_the_enclave() {
+        let mut platform = new_platform();
+        let id = platform
+            .create_enclave(&test_image(b"sealer"), Box::new(EchoProgram))
+            .unwrap();
+        // In-enclave round trip.
+        let plain = platform.ecall(id, 1, b"secret", &mut NoOcalls).unwrap();
+        assert_eq!(plain, b"secret");
+
+        // Seal, pass the blob through the host, unseal again.
+        let blob_bytes = platform.ecall(id, 2, b"persisted", &mut NoOcalls).unwrap();
+        let recovered = platform.ecall(id, 3, &blob_bytes, &mut NoOcalls).unwrap();
+        assert_eq!(recovered, b"persisted");
+
+        // A different enclave (different measurement) cannot unseal it.
+        let other = platform
+            .create_enclave(&test_image(b"different-code"), Box::new(EchoProgram))
+            .unwrap();
+        let err = platform.ecall(other, 3, &blob_bytes, &mut NoOcalls);
+        assert!(matches!(err, Err(SgxError::EnclaveAbort(_))));
+    }
+
+    #[test]
+    fn report_and_quote_flow() {
+        let mut platform = new_platform();
+        let mut avs = AttestationService::new([77u8; 32]);
+        platform.provision(&mut avs);
+        assert!(platform.is_provisioned());
+
+        let id = platform
+            .create_enclave(&test_image(b"attested"), Box::new(EchoProgram))
+            .unwrap();
+        let report_bytes = platform.ecall(id, 4, b"dh-public-hash", &mut NoOcalls).unwrap();
+        let report = Report::from_bytes(&report_bytes).unwrap();
+        let quote = platform.quote_report(&report).unwrap();
+
+        assert!(avs.verify(&quote).is_ok());
+        let body = avs
+            .verify_expecting(&quote, &platform.enclave_measurement(id).unwrap())
+            .unwrap();
+        assert_eq!(&body.report_data[..14], b"dh-public-hash");
+
+        // An unprovisioned platform cannot quote.
+        let mut fresh = Platform::new(PlatformConfig::default(), &mut Drbg::from_seed([2u8; 32]));
+        let fresh_id = fresh
+            .create_enclave(&test_image(b"attested"), Box::new(EchoProgram))
+            .unwrap();
+        let fresh_report_bytes = fresh.ecall(fresh_id, 4, b"x", &mut NoOcalls).unwrap();
+        let fresh_report = Report::from_bytes(&fresh_report_bytes).unwrap();
+        assert!(matches!(
+            fresh.quote_report(&fresh_report),
+            Err(SgxError::NotProvisioned)
+        ));
+
+        // A report from another platform is rejected by the QE.
+        assert!(matches!(
+            platform.quote_report(&fresh_report),
+            Err(SgxError::AttestationFailed(_))
+        ));
+    }
+
+    #[test]
+    fn host_cannot_forge_reports_for_the_quoting_enclave() {
+        let mut platform = new_platform();
+        let mut avs = AttestationService::new([77u8; 32]);
+        platform.provision(&mut avs);
+        // The host fabricates a report claiming an arbitrary measurement; it
+        // does not know the platform report secret, so the QE rejects it.
+        let forged = Report::create(
+            &[0u8; 32],
+            ReportBody {
+                platform_id: platform.id(),
+                measurement: Measurement::of_bytes(b"fake glimmer"),
+                signer: Measurement::of_bytes(b"fake signer"),
+                attributes: EnclaveAttributes::default(),
+                report_data: [0u8; REPORT_DATA_LEN],
+            },
+            &platform.quoting_enclave_target(),
+        );
+        assert!(matches!(
+            platform.quote_report(&forged),
+            Err(SgxError::AttestationFailed(_))
+        ));
+    }
+
+    #[test]
+    fn ocalls_are_routed_to_the_host_handler() {
+        let mut platform = new_platform();
+        let id = platform
+            .create_enclave(&test_image(b"ocall"), Box::new(EchoProgram))
+            .unwrap();
+        let mut handler = FnOcallHandler(|sel, data: &[u8]| {
+            assert_eq!(sel, 7);
+            let mut out = b"host:".to_vec();
+            out.extend_from_slice(data);
+            Ok(out)
+        });
+        let reply = platform.ecall(id, 5, b"ping", &mut handler).unwrap();
+        assert_eq!(reply, b"host:ping");
+        assert_eq!(platform.cost_report().ocalls, 1);
+
+        // A rejecting handler surfaces as an enclave abort (the program maps
+        // the error) — and the enclave stays usable.
+        assert!(platform.ecall(id, 5, b"ping", &mut NoOcalls).is_err());
+        assert_eq!(platform.ecall(id, 0, b"ok", &mut NoOcalls).unwrap(), b"ok");
+    }
+
+    #[test]
+    fn aborts_do_not_destroy_the_enclave() {
+        let mut platform = new_platform();
+        let id = platform
+            .create_enclave(&test_image(b"abort"), Box::new(EchoProgram))
+            .unwrap();
+        assert!(matches!(
+            platform.ecall(id, 7, b"", &mut NoOcalls),
+            Err(SgxError::EnclaveAbort(msg)) if msg.contains("deliberate")
+        ));
+        assert_eq!(platform.ecall(id, 0, b"still alive", &mut NoOcalls).unwrap(), b"still alive");
+    }
+
+    #[test]
+    fn launch_control_and_epc_limits() {
+        // Launch control: only approved signers.
+        let approved = Measurement::of_bytes(b"approved-signer");
+        let config = PlatformConfig {
+            approved_signers: Some(vec![approved]),
+            ..PlatformConfig::default()
+        };
+        let mut platform = Platform::new(config, &mut Drbg::from_seed([3u8; 32]));
+        let bad_image = test_image(b"x");
+        assert!(matches!(
+            platform.create_enclave(&bad_image, Box::new(EchoProgram)),
+            Err(SgxError::LaunchDenied(_))
+        ));
+        let good_image = EnclaveImage::from_code(
+            b"x",
+            approved,
+            EnclaveAttributes::default(),
+            2,
+            1,
+        );
+        assert!(platform.create_enclave(&good_image, Box::new(EchoProgram)).is_ok());
+
+        // Debug launch control.
+        let debug_image = EnclaveImage::from_code(
+            b"dbg",
+            approved,
+            EnclaveAttributes {
+                debug: true,
+                ..EnclaveAttributes::default()
+            },
+            0,
+            1,
+        );
+        assert!(matches!(
+            platform.create_enclave(&debug_image, Box::new(EchoProgram)),
+            Err(SgxError::LaunchDenied(_))
+        ));
+
+        // EPC exhaustion.
+        let tiny = PlatformConfig {
+            epc_pages: 4,
+            ..PlatformConfig::default()
+        };
+        let mut small = Platform::new(tiny, &mut Drbg::from_seed([4u8; 32]));
+        let big_image = test_image(&vec![0u8; 64 * 1024]);
+        assert!(matches!(
+            small.create_enclave(&big_image, Box::new(EchoProgram)),
+            Err(SgxError::EpcExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn cost_accounting_tracks_transitions() {
+        let mut platform = new_platform();
+        let id = platform
+            .create_enclave(&test_image(b"cost"), Box::new(EchoProgram))
+            .unwrap();
+        let before = platform.cost_report();
+        assert!(before.pages_added > 0);
+        platform.ecall(id, 0, b"0123456789", &mut NoOcalls).unwrap();
+        platform.ecall(id, 6, b"", &mut NoOcalls).unwrap();
+        let after = platform.cost_report();
+        assert_eq!(after.ecalls, 2);
+        assert!(after.total_cycles > before.total_cycles);
+        assert!(after.boundary_bytes >= 20);
+    }
+
+    #[test]
+    fn identity_visible_inside_matches_image() {
+        let mut platform = new_platform();
+        let image = test_image(b"identity");
+        let id = platform
+            .create_enclave(&image, Box::new(EchoProgram))
+            .unwrap();
+        let out = platform.ecall(id, 8, b"", &mut NoOcalls).unwrap();
+        assert_eq!(&out[..32], image.measurement().as_bytes());
+        assert_eq!(&out[32..64], image.signer().as_bytes());
+        assert_eq!(&out[64..80], &platform.id().0);
+    }
+
+    #[test]
+    fn random_bytes_vary_between_calls() {
+        let mut platform = new_platform();
+        let id = platform
+            .create_enclave(&test_image(b"rng"), Box::new(EchoProgram))
+            .unwrap();
+        let a = platform.ecall(id, 6, b"", &mut NoOcalls).unwrap();
+        let b = platform.ecall(id, 6, b"", &mut NoOcalls).unwrap();
+        assert_ne!(a, b);
+    }
+}

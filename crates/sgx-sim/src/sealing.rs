@@ -1,0 +1,375 @@
+//! Sealed storage.
+//!
+//! SGX sealing lets an enclave encrypt data such that only an enclave with
+//! the same identity, on the same platform, can decrypt it. The Glimmer uses
+//! sealing to persist the service-provided signing key ("the signing key used
+//! can be provided by the service, and sealed ... to the Glimmer code, so
+//! that it is only available to instances of Glimmer enclaves", Section 3)
+//! and to cache blinding secrets across restarts.
+//!
+//! Keys are derived as
+//! `HKDF(platform_fuse_secret, policy || identity || isv_svn || key_id)`
+//! where `identity` is MRENCLAVE (policy [`SealPolicy::MrEnclave`]) or
+//! MRSIGNER (policy [`SealPolicy::MrSigner`]). Because the platform fuse
+//! secret never leaves the platform, sealed blobs cannot migrate between
+//! machines, and because the identity is folded into the key, a different
+//! enclave on the same machine cannot unseal them either.
+
+use crate::error::SgxError;
+use crate::image::EnclaveAttributes;
+use crate::measurement::Measurement;
+use glimmer_crypto::aead::AeadKey;
+use glimmer_crypto::hkdf::hkdf;
+
+/// Which enclave identity the sealing key is bound to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SealPolicy {
+    /// Bound to the exact enclave measurement: only byte-identical enclave
+    /// code can unseal. This is what the Glimmer uses for the service signing
+    /// key.
+    MrEnclave,
+    /// Bound to the signer: any enclave from the same vendor (e.g., a newer
+    /// Glimmer version signed by the same vetting organization) can unseal.
+    MrSigner,
+}
+
+impl SealPolicy {
+    fn tag(self) -> u8 {
+        match self {
+            SealPolicy::MrEnclave => 0,
+            SealPolicy::MrSigner => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(SealPolicy::MrEnclave),
+            1 => Some(SealPolicy::MrSigner),
+            _ => None,
+        }
+    }
+}
+
+/// An encrypted, integrity-protected sealed blob.
+///
+/// The blob records the policy and a random key id, both of which are
+/// authenticated but not secret. The identity of the sealer is *not* stored:
+/// it is folded into the key derivation, so a mismatched unsealer simply
+/// fails authentication.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedBlob {
+    policy: SealPolicy,
+    key_id: [u8; 16],
+    nonce: [u8; 12],
+    aad: Vec<u8>,
+    ciphertext: Vec<u8>,
+}
+
+impl SealedBlob {
+    /// The sealing policy recorded in the blob.
+    #[must_use]
+    pub fn policy(&self) -> SealPolicy {
+        self.policy
+    }
+
+    /// Associated (authenticated, non-secret) data stored with the blob.
+    #[must_use]
+    pub fn aad(&self) -> &[u8] {
+        &self.aad
+    }
+
+    /// Total serialized size in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.to_bytes().len()
+    }
+
+    /// True when the blob carries no ciphertext (never produced by `seal`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ciphertext.is_empty()
+    }
+
+    /// Serializes the blob for storage or transport.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + 16 + 12 + 8 + self.aad.len() + 8 + self.ciphertext.len());
+        out.push(self.policy.tag());
+        out.extend_from_slice(&self.key_id);
+        out.extend_from_slice(&self.nonce);
+        out.extend_from_slice(&(self.aad.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.aad);
+        out.extend_from_slice(&(self.ciphertext.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.ciphertext);
+        out
+    }
+
+    /// Parses a blob serialized with [`SealedBlob::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        if bytes.len() < 1 + 16 + 12 + 8 {
+            return Err(SgxError::Malformed("sealed blob too short"));
+        }
+        let policy =
+            SealPolicy::from_tag(bytes[0]).ok_or(SgxError::Malformed("unknown seal policy"))?;
+        let mut key_id = [0u8; 16];
+        key_id.copy_from_slice(&bytes[1..17]);
+        let mut nonce = [0u8; 12];
+        nonce.copy_from_slice(&bytes[17..29]);
+        let mut offset = 29;
+        let aad_len = read_len(bytes, &mut offset)?;
+        let aad = read_slice(bytes, &mut offset, aad_len)?.to_vec();
+        let ct_len = read_len(bytes, &mut offset)?;
+        let ciphertext = read_slice(bytes, &mut offset, ct_len)?.to_vec();
+        if offset != bytes.len() {
+            return Err(SgxError::Malformed("trailing bytes in sealed blob"));
+        }
+        Ok(SealedBlob {
+            policy,
+            key_id,
+            nonce,
+            aad,
+            ciphertext,
+        })
+    }
+}
+
+fn read_len(bytes: &[u8], offset: &mut usize) -> Result<usize, SgxError> {
+    if bytes.len() < *offset + 8 {
+        return Err(SgxError::Malformed("truncated length field"));
+    }
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(&bytes[*offset..*offset + 8]);
+    *offset += 8;
+    usize::try_from(u64::from_le_bytes(buf)).map_err(|_| SgxError::Malformed("length overflow"))
+}
+
+fn read_slice<'a>(bytes: &'a [u8], offset: &mut usize, len: usize) -> Result<&'a [u8], SgxError> {
+    if bytes.len() < *offset + len {
+        return Err(SgxError::Malformed("truncated payload"));
+    }
+    let out = &bytes[*offset..*offset + len];
+    *offset += len;
+    Ok(out)
+}
+
+/// The identity of the enclave performing a seal/unseal operation.
+#[derive(Debug, Clone, Copy)]
+pub struct SealerIdentity {
+    /// MRENCLAVE of the enclave.
+    pub measurement: Measurement,
+    /// MRSIGNER of the enclave.
+    pub signer: Measurement,
+    /// Attributes (the security version participates in key derivation under
+    /// the MrSigner policy, so newer enclaves can read older data but not vice
+    /// versa; the simulator folds in the exact SVN for simplicity).
+    pub attributes: EnclaveAttributes,
+}
+
+fn derive_seal_key(
+    platform_secret: &[u8; 32],
+    policy: SealPolicy,
+    identity: &SealerIdentity,
+    key_id: &[u8; 16],
+) -> AeadKey {
+    let bound_identity = match policy {
+        SealPolicy::MrEnclave => identity.measurement,
+        SealPolicy::MrSigner => identity.signer,
+    };
+    let mut info = Vec::with_capacity(1 + 32 + 2 + 16);
+    info.push(policy.tag());
+    info.extend_from_slice(bound_identity.as_bytes());
+    info.extend_from_slice(&identity.attributes.isv_prod_id.to_le_bytes());
+    info.extend_from_slice(key_id);
+    let okm = hkdf(b"sgx-sim-seal-v1", platform_secret, &info, 32);
+    let mut master = [0u8; 32];
+    master.copy_from_slice(&okm);
+    AeadKey::from_master(&master)
+}
+
+/// Seals `plaintext` under the given policy and identity.
+///
+/// `key_id` and `nonce` must be fresh random values supplied by the caller
+/// (the enclave environment provides them from the platform RNG).
+#[must_use]
+pub fn seal(
+    platform_secret: &[u8; 32],
+    policy: SealPolicy,
+    identity: &SealerIdentity,
+    key_id: [u8; 16],
+    nonce: [u8; 12],
+    aad: &[u8],
+    plaintext: &[u8],
+) -> SealedBlob {
+    let key = derive_seal_key(platform_secret, policy, identity, &key_id);
+    let ciphertext = key.seal(&nonce, aad, plaintext);
+    SealedBlob {
+        policy,
+        key_id,
+        nonce,
+        aad: aad.to_vec(),
+        ciphertext,
+    }
+}
+
+/// Unseals a blob with the calling enclave's identity.
+///
+/// Fails with [`SgxError::UnsealDenied`] if the blob was sealed by a
+/// different identity (under the blob's policy) or on a different platform,
+/// or if it was tampered with.
+pub fn unseal(
+    platform_secret: &[u8; 32],
+    identity: &SealerIdentity,
+    blob: &SealedBlob,
+) -> Result<Vec<u8>, SgxError> {
+    let key = derive_seal_key(platform_secret, blob.policy, identity, &blob.key_id);
+    key.open(&blob.nonce, &blob.aad, &blob.ciphertext)
+        .map_err(|_| SgxError::UnsealDenied("identity or platform mismatch, or blob tampered"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn identity(code: &[u8], signer: &[u8]) -> SealerIdentity {
+        SealerIdentity {
+            measurement: Measurement::of_bytes(code),
+            signer: Measurement::of_bytes(signer),
+            attributes: EnclaveAttributes::default(),
+        }
+    }
+
+    const SECRET_A: [u8; 32] = [11u8; 32];
+    const SECRET_B: [u8; 32] = [22u8; 32];
+
+    #[test]
+    fn seal_unseal_round_trip() {
+        let id = identity(b"glimmer", b"eff");
+        let blob = seal(
+            &SECRET_A,
+            SealPolicy::MrEnclave,
+            &id,
+            [1u8; 16],
+            [2u8; 12],
+            b"signing key v1",
+            b"super secret scalar",
+        );
+        assert!(!blob.is_empty());
+        assert_eq!(blob.aad(), b"signing key v1");
+        assert_eq!(blob.policy(), SealPolicy::MrEnclave);
+        let plain = unseal(&SECRET_A, &id, &blob).unwrap();
+        assert_eq!(plain, b"super secret scalar");
+    }
+
+    #[test]
+    fn wrong_measurement_cannot_unseal_mrenclave_blob() {
+        let sealer = identity(b"glimmer-v1", b"eff");
+        let other = identity(b"glimmer-v2", b"eff");
+        let blob = seal(
+            &SECRET_A,
+            SealPolicy::MrEnclave,
+            &sealer,
+            [1u8; 16],
+            [2u8; 12],
+            b"",
+            b"data",
+        );
+        assert!(matches!(
+            unseal(&SECRET_A, &other, &blob),
+            Err(SgxError::UnsealDenied(_))
+        ));
+    }
+
+    #[test]
+    fn same_signer_can_unseal_mrsigner_blob() {
+        let v1 = identity(b"glimmer-v1", b"eff");
+        let v2 = identity(b"glimmer-v2", b"eff");
+        let stranger = identity(b"glimmer-v2", b"unknown-vendor");
+        let blob = seal(
+            &SECRET_A,
+            SealPolicy::MrSigner,
+            &v1,
+            [3u8; 16],
+            [4u8; 12],
+            b"",
+            b"migratable data",
+        );
+        assert_eq!(unseal(&SECRET_A, &v2, &blob).unwrap(), b"migratable data");
+        assert!(unseal(&SECRET_A, &stranger, &blob).is_err());
+    }
+
+    #[test]
+    fn different_platform_cannot_unseal() {
+        let id = identity(b"glimmer", b"eff");
+        let blob = seal(
+            &SECRET_A,
+            SealPolicy::MrEnclave,
+            &id,
+            [5u8; 16],
+            [6u8; 12],
+            b"",
+            b"data",
+        );
+        assert!(unseal(&SECRET_B, &id, &blob).is_err());
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let id = identity(b"glimmer", b"eff");
+        let blob = seal(
+            &SECRET_A,
+            SealPolicy::MrEnclave,
+            &id,
+            [7u8; 16],
+            [8u8; 12],
+            b"label",
+            b"data",
+        );
+        // Tamper with the AAD through serialization.
+        let mut bytes = blob.to_bytes();
+        let aad_pos = 1 + 16 + 12 + 8;
+        bytes[aad_pos] ^= 0xFF;
+        let tampered = SealedBlob::from_bytes(&bytes).unwrap();
+        assert!(unseal(&SECRET_A, &id, &tampered).is_err());
+    }
+
+    #[test]
+    fn serialization_round_trip_and_malformed_inputs() {
+        let id = identity(b"glimmer", b"eff");
+        let blob = seal(
+            &SECRET_A,
+            SealPolicy::MrSigner,
+            &id,
+            [9u8; 16],
+            [10u8; 12],
+            b"aad bytes",
+            b"payload",
+        );
+        let bytes = blob.to_bytes();
+        assert_eq!(bytes.len(), blob.len());
+        let parsed = SealedBlob::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed, blob);
+        assert_eq!(unseal(&SECRET_A, &id, &parsed).unwrap(), b"payload");
+
+        assert!(SealedBlob::from_bytes(&[]).is_err());
+        assert!(SealedBlob::from_bytes(&bytes[..10]).is_err());
+        // Unknown policy tag.
+        let mut bad = bytes.clone();
+        bad[0] = 99;
+        assert!(SealedBlob::from_bytes(&bad).is_err());
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(SealedBlob::from_bytes(&long).is_err());
+        // Truncated ciphertext.
+        let short = &bytes[..bytes.len() - 1];
+        assert!(SealedBlob::from_bytes(short).is_err());
+    }
+
+    #[test]
+    fn key_id_separates_blobs() {
+        let id = identity(b"glimmer", b"eff");
+        let a = seal(&SECRET_A, SealPolicy::MrEnclave, &id, [1u8; 16], [0u8; 12], b"", b"x");
+        let b = seal(&SECRET_A, SealPolicy::MrEnclave, &id, [2u8; 16], [0u8; 12], b"", b"x");
+        assert_ne!(a.to_bytes(), b.to_bytes());
+    }
+}

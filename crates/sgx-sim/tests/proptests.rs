@@ -1,0 +1,119 @@
+//! Property-based tests for the SGX simulator: sealing isolation,
+//! measurement sensitivity, and attestation structure round trips.
+
+use glimmer_crypto::drbg::Drbg;
+use proptest::prelude::*;
+use sgx_sim::attestation::{Quote, QuoteBody, Report, ReportBody, TargetInfo, REPORT_DATA_LEN};
+use sgx_sim::sealing::{seal, unseal, SealerIdentity};
+use sgx_sim::{
+    EnclaveAttributes, EnclaveImage, Measurement, PlatformId, SealPolicy, SealedBlob,
+};
+
+fn identity(code: &[u8], signer: &[u8]) -> SealerIdentity {
+    SealerIdentity {
+        measurement: Measurement::of_bytes(code),
+        signer: Measurement::of_bytes(signer),
+        attributes: EnclaveAttributes::default(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn sealed_blobs_round_trip_and_stay_sealed(
+        platform_secret in any::<[u8; 32]>(),
+        other_secret in any::<[u8; 32]>(),
+        code in proptest::collection::vec(any::<u8>(), 1..32),
+        plaintext in proptest::collection::vec(any::<u8>(), 0..128),
+        aad in proptest::collection::vec(any::<u8>(), 0..32),
+        key_id in any::<[u8; 16]>(),
+        nonce in any::<[u8; 12]>(),
+    ) {
+        prop_assume!(platform_secret != other_secret);
+        let sealer = identity(&code, b"signer");
+        let blob = seal(&platform_secret, SealPolicy::MrEnclave, &sealer, key_id, nonce, &aad, &plaintext);
+        // Serialization round trip.
+        let parsed = SealedBlob::from_bytes(&blob.to_bytes()).unwrap();
+        prop_assert_eq!(&parsed, &blob);
+        // The same identity on the same platform unseals.
+        prop_assert_eq!(unseal(&platform_secret, &sealer, &parsed).unwrap(), plaintext);
+        // A different platform never unseals.
+        prop_assert!(unseal(&other_secret, &sealer, &blob).is_err());
+        // A different enclave measurement never unseals under MrEnclave.
+        let mut other_code = code.clone();
+        other_code[0] ^= 1;
+        let other = identity(&other_code, b"signer");
+        prop_assert!(unseal(&platform_secret, &other, &blob).is_err());
+    }
+
+    #[test]
+    fn measurement_is_sensitive_to_every_code_byte(
+        code in proptest::collection::vec(any::<u8>(), 1..256),
+        flip in any::<usize>(),
+    ) {
+        let signer = Measurement::of_bytes(b"vetting");
+        let attrs = EnclaveAttributes::default();
+        let image = EnclaveImage::from_code(&code, signer, attrs, 4, 1);
+        let mut mutated = code.clone();
+        let idx = flip % mutated.len();
+        mutated[idx] ^= 0x01;
+        let other = EnclaveImage::from_code(&mutated, signer, attrs, 4, 1);
+        prop_assert_ne!(image.measurement(), other.measurement());
+        // Measurement is deterministic.
+        let again = EnclaveImage::from_code(&code, signer, attrs, 4, 1);
+        prop_assert_eq!(image.measurement(), again.measurement());
+    }
+
+    #[test]
+    fn reports_and_quotes_round_trip_and_resist_forgery(
+        report_secret in any::<[u8; 32]>(),
+        attestation_key in any::<[u8; 32]>(),
+        wrong_key in any::<[u8; 32]>(),
+        code in proptest::collection::vec(any::<u8>(), 1..32),
+        report_data_prefix in proptest::collection::vec(any::<u8>(), 0..REPORT_DATA_LEN),
+        platform in any::<[u8; 16]>(),
+        tcb in any::<u16>(),
+    ) {
+        prop_assume!(attestation_key != wrong_key);
+        let mut report_data = [0u8; REPORT_DATA_LEN];
+        report_data[..report_data_prefix.len()].copy_from_slice(&report_data_prefix);
+        let target = TargetInfo { measurement: Measurement::of_bytes(b"qe") };
+        let body = ReportBody {
+            platform_id: PlatformId(platform),
+            measurement: Measurement::of_bytes(&code),
+            signer: Measurement::of_bytes(b"signer"),
+            attributes: EnclaveAttributes::default(),
+            report_data,
+        };
+        let report = Report::create(&report_secret, body.clone(), &target);
+        let parsed = Report::from_bytes(&report.to_bytes()).unwrap();
+        prop_assert_eq!(&parsed, &report);
+        prop_assert!(parsed.verify(&report_secret, &target.measurement));
+        prop_assert!(!parsed.verify(&report_secret, &Measurement::of_bytes(b"other")));
+
+        let quote = Quote::create(&attestation_key, QuoteBody { report: body, platform_tcb_svn: tcb });
+        let parsed_quote = Quote::from_bytes(&quote.to_bytes()).unwrap();
+        prop_assert_eq!(&parsed_quote, &quote);
+        // A quote signed with the wrong key differs.
+        let forged = Quote::create(&wrong_key, parsed_quote.body.clone());
+        prop_assert_ne!(forged.to_bytes(), quote.to_bytes());
+    }
+
+    #[test]
+    fn heap_pages_never_change_identity(heap_a in 0usize..64, heap_b in 0usize..64, code in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let signer = Measurement::of_bytes(b"vetting");
+        let a = EnclaveImage::from_code(&code, signer, EnclaveAttributes::default(), heap_a, 1);
+        let b = EnclaveImage::from_code(&code, signer, EnclaveAttributes::default(), heap_b, 1);
+        prop_assert_eq!(a.measurement(), b.measurement());
+        prop_assert_eq!(a.total_pages() as i64 - b.total_pages() as i64, heap_a as i64 - heap_b as i64);
+    }
+
+    #[test]
+    fn platform_rng_seeds_do_not_collide(seed_a in any::<[u8; 32]>(), seed_b in any::<[u8; 32]>()) {
+        prop_assume!(seed_a != seed_b);
+        let a = sgx_sim::Platform::new(sgx_sim::PlatformConfig::default(), &mut Drbg::from_seed(seed_a));
+        let b = sgx_sim::Platform::new(sgx_sim::PlatformConfig::default(), &mut Drbg::from_seed(seed_b));
+        prop_assert_ne!(a.id(), b.id());
+    }
+}

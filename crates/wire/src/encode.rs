@@ -1,0 +1,197 @@
+//! The wire encoder.
+
+use bytes::{BufMut, BytesMut};
+
+/// Appends primitive values to a growable buffer in the wire format.
+///
+/// Integers are little-endian; variable-length integers use LEB128; byte
+/// strings and UTF-8 strings are varint-length-prefixed.
+///
+/// # Examples
+///
+/// ```
+/// use glimmer_wire::Encoder;
+/// let mut enc = Encoder::new();
+/// enc.put_u32(7);
+/// enc.put_str("hi");
+/// let bytes = enc.into_bytes();
+/// assert_eq!(bytes.len(), 4 + 1 + 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: BytesMut,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Encoder {
+            buf: BytesMut::new(),
+        }
+    }
+
+    /// Creates an encoder with pre-allocated capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Encoder {
+            buf: BytesMut::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the encoder and returns the bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+
+    /// Writes one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.put_u16_le(v);
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Writes a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.put_i64_le(v);
+    }
+
+    /// Writes an IEEE-754 `f64`.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    /// Writes a boolean as a single 0/1 byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.put_u8(u8::from(v));
+    }
+
+    /// Writes an LEB128 varint.
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.put_u8(byte);
+                break;
+            }
+            self.buf.put_u8(byte | 0x80);
+        }
+    }
+
+    /// Writes raw bytes without a length prefix.
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.put_slice(bytes);
+    }
+
+    /// Writes a varint-length-prefixed byte string.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_varint(bytes.len() as u64);
+        self.buf.put_slice(bytes);
+    }
+
+    /// Writes a varint-length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Writes a fixed 32-byte array (no length prefix).
+    pub fn put_array32(&mut self, bytes: &[u8; 32]) {
+        self.buf.put_slice(bytes);
+    }
+
+    /// Writes a length-prefixed vector of `u64` values.
+    pub fn put_u64_vec(&mut self, values: &[u64]) {
+        self.put_varint(values.len() as u64);
+        for v in values {
+            self.put_u64(*v);
+        }
+    }
+
+    /// Writes a length-prefixed vector of `f64` values.
+    pub fn put_f64_vec(&mut self, values: &[f64]) {
+        self.put_varint(values.len() as u64);
+        for v in values {
+            self.put_f64(*v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_of_primitives() {
+        let mut enc = Encoder::new();
+        assert!(enc.is_empty());
+        enc.put_u8(1);
+        enc.put_u16(2);
+        enc.put_u32(3);
+        enc.put_u64(4);
+        enc.put_i64(-5);
+        enc.put_f64(1.5);
+        enc.put_bool(true);
+        assert_eq!(enc.len(), 1 + 2 + 4 + 8 + 8 + 8 + 1);
+    }
+
+    #[test]
+    fn varint_sizes() {
+        let sizes = [
+            (0u64, 1usize),
+            (127, 1),
+            (128, 2),
+            (16_383, 2),
+            (16_384, 3),
+            (u64::MAX, 10),
+        ];
+        for (value, expected) in sizes {
+            let mut enc = Encoder::new();
+            enc.put_varint(value);
+            assert_eq!(enc.len(), expected, "varint({value})");
+        }
+    }
+
+    #[test]
+    fn prefixed_collections() {
+        let mut enc = Encoder::with_capacity(64);
+        enc.put_bytes(b"abc");
+        enc.put_str("de");
+        enc.put_u64_vec(&[1, 2, 3]);
+        enc.put_f64_vec(&[0.5]);
+        enc.put_array32(&[7u8; 32]);
+        enc.put_raw(b"xy");
+        assert_eq!(
+            enc.len(),
+            (1 + 3) + (1 + 2) + (1 + 24) + (1 + 8) + 32 + 2
+        );
+        let bytes = enc.into_bytes();
+        assert_eq!(&bytes[1..4], b"abc");
+    }
+}

@@ -1,0 +1,112 @@
+//! Message framing.
+//!
+//! Every message that crosses the client/service trust boundary is wrapped in
+//! a [`Frame`]: magic, version, a message-type tag, and a length-prefixed
+//! payload. The runtime auditor of Section 4.1 parses frames (never raw
+//! bytes) when it bounds what an encrypted validation predicate is allowed to
+//! send back to the service.
+
+use crate::{Decoder, Encoder, Result, WireError};
+
+/// Magic bytes identifying a Glimmers frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"GLMR";
+
+/// Current frame version.
+pub const FRAME_VERSION: u8 = 1;
+
+/// A framed wire message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Message type tag (namespaced by the protocol using the frame).
+    pub msg_type: u16,
+    /// Opaque payload bytes (themselves wire-encoded by the protocol).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Creates a frame.
+    #[must_use]
+    pub fn new(msg_type: u16, payload: Vec<u8>) -> Self {
+        Frame { msg_type, payload }
+    }
+
+    /// Serializes the frame.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::with_capacity(4 + 1 + 2 + 5 + self.payload.len());
+        enc.put_raw(&FRAME_MAGIC);
+        enc.put_u8(FRAME_VERSION);
+        enc.put_u16(self.msg_type);
+        enc.put_bytes(&self.payload);
+        enc.into_bytes()
+    }
+
+    /// Parses a frame, requiring the input to contain exactly one frame.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut dec = Decoder::new(bytes);
+        let magic = dec.get_raw(4)?;
+        if magic != FRAME_MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = dec.get_u8()?;
+        if version != FRAME_VERSION {
+            return Err(WireError::UnsupportedVersion(version));
+        }
+        let msg_type = dec.get_u16()?;
+        let payload = dec.get_bytes()?;
+        dec.finish()?;
+        Ok(Frame { msg_type, payload })
+    }
+
+    /// Total serialized size of this frame in bytes.
+    #[must_use]
+    pub fn wire_len(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let frame = Frame::new(42, b"hello".to_vec());
+        let bytes = frame.to_bytes();
+        assert_eq!(Frame::from_bytes(&bytes).unwrap(), frame);
+        assert_eq!(frame.wire_len(), bytes.len());
+    }
+
+    #[test]
+    fn empty_payload() {
+        let frame = Frame::new(0, Vec::new());
+        let parsed = Frame::from_bytes(&frame.to_bytes()).unwrap();
+        assert!(parsed.payload.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_and_trailing() {
+        let frame = Frame::new(7, b"x".to_vec());
+        let bytes = frame.to_bytes();
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(Frame::from_bytes(&bad_magic), Err(WireError::BadMagic));
+
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 99;
+        assert_eq!(
+            Frame::from_bytes(&bad_version),
+            Err(WireError::UnsupportedVersion(99))
+        );
+
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(matches!(
+            Frame::from_bytes(&trailing),
+            Err(WireError::TrailingBytes(1))
+        ));
+
+        assert!(Frame::from_bytes(&bytes[..3]).is_err());
+    }
+}

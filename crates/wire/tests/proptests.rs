@@ -1,0 +1,79 @@
+//! Property-based tests for the wire format.
+
+use glimmer_wire::{Decoder, Encoder, Frame};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn varint_round_trip(v in any::<u64>()) {
+        let mut enc = Encoder::new();
+        enc.put_varint(v);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        prop_assert_eq!(dec.get_varint().unwrap(), v);
+        prop_assert!(dec.is_exhausted());
+    }
+
+    #[test]
+    fn mixed_sequence_round_trip(
+        a in any::<u8>(),
+        b in any::<u64>(),
+        c in any::<i64>(),
+        d in any::<f64>(),
+        s in "[a-zA-Z0-9 ]{0,40}",
+        bytes in proptest::collection::vec(any::<u8>(), 0..128),
+        flag in any::<bool>(),
+        vals in proptest::collection::vec(any::<u64>(), 0..32),
+    ) {
+        let mut enc = Encoder::new();
+        enc.put_u8(a);
+        enc.put_u64(b);
+        enc.put_i64(c);
+        enc.put_f64(d);
+        enc.put_str(&s);
+        enc.put_bytes(&bytes);
+        enc.put_bool(flag);
+        enc.put_u64_vec(&vals);
+        let encoded = enc.into_bytes();
+
+        let mut dec = Decoder::new(&encoded);
+        prop_assert_eq!(dec.get_u8().unwrap(), a);
+        prop_assert_eq!(dec.get_u64().unwrap(), b);
+        prop_assert_eq!(dec.get_i64().unwrap(), c);
+        let decoded_f = dec.get_f64().unwrap();
+        prop_assert!(decoded_f == d || (decoded_f.is_nan() && d.is_nan()));
+        prop_assert_eq!(dec.get_str().unwrap(), s);
+        prop_assert_eq!(dec.get_bytes().unwrap(), bytes);
+        prop_assert_eq!(dec.get_bool().unwrap(), flag);
+        prop_assert_eq!(dec.get_u64_vec().unwrap(), vals);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn frame_round_trip(msg_type in any::<u16>(), payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let frame = Frame::new(msg_type, payload);
+        prop_assert_eq!(Frame::from_bytes(&frame.to_bytes()).unwrap(), frame);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(garbage in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Whatever the bytes, decoding returns a Result rather than panicking.
+        let mut dec = Decoder::new(&garbage);
+        let _ = dec.get_varint();
+        let _ = dec.get_bytes();
+        let _ = dec.get_str();
+        let _ = dec.get_u64_vec();
+        let _ = Frame::from_bytes(&garbage);
+    }
+
+    #[test]
+    fn truncated_frames_error(msg_type in any::<u16>(), payload in proptest::collection::vec(any::<u8>(), 1..128), cut in 1usize..64) {
+        let frame = Frame::new(msg_type, payload);
+        let bytes = frame.to_bytes();
+        let cut = cut.min(bytes.len() - 1).max(1);
+        let truncated = &bytes[..bytes.len() - cut];
+        prop_assert!(Frame::from_bytes(truncated).is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! Adversary mixes: which clients misbehave and how.
+//!
+//! Experiments E3/E4 sweep the fraction of malicious clients and the
+//! poisoning strategy (Figure 1d's out-of-range value, the stealthier
+//! in-range bias, and fully fabricated models).
+
+use glimmer_crypto::drbg::Drbg;
+use glimmer_federated::attacks::PoisonStrategy;
+
+/// The role assigned to one client in an experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientRole {
+    /// Trains and submits honestly.
+    Honest,
+    /// Applies the given poisoning strategy before submission.
+    Malicious(PoisonStrategy),
+}
+
+impl ClientRole {
+    /// True for malicious roles.
+    #[must_use]
+    pub fn is_malicious(&self) -> bool {
+        matches!(self, ClientRole::Malicious(_))
+    }
+}
+
+/// An assignment of roles to clients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdversaryMix {
+    roles: Vec<ClientRole>,
+}
+
+impl AdversaryMix {
+    /// Assigns `malicious_fraction` of the `clients` to be malicious with the
+    /// given strategy, chosen pseudo-randomly from `seed`.
+    #[must_use]
+    pub fn assign(
+        clients: usize,
+        malicious_fraction: f64,
+        strategy: &PoisonStrategy,
+        seed: [u8; 32],
+    ) -> Self {
+        let mut rng = Drbg::from_seed(seed);
+        let malicious_count =
+            ((clients as f64) * malicious_fraction.clamp(0.0, 1.0)).round() as usize;
+        let mut indices: Vec<usize> = (0..clients).collect();
+        rng.shuffle(&mut indices);
+        let malicious: std::collections::HashSet<usize> =
+            indices.into_iter().take(malicious_count).collect();
+        let roles = (0..clients)
+            .map(|i| {
+                if malicious.contains(&i) {
+                    ClientRole::Malicious(strategy.clone())
+                } else {
+                    ClientRole::Honest
+                }
+            })
+            .collect();
+        AdversaryMix { roles }
+    }
+
+    /// An all-honest mix.
+    #[must_use]
+    pub fn all_honest(clients: usize) -> Self {
+        AdversaryMix {
+            roles: vec![ClientRole::Honest; clients],
+        }
+    }
+
+    /// The role of client `i`.
+    #[must_use]
+    pub fn role(&self, i: usize) -> &ClientRole {
+        &self.roles[i]
+    }
+
+    /// All roles in client order.
+    #[must_use]
+    pub fn roles(&self) -> &[ClientRole] {
+        &self.roles
+    }
+
+    /// Number of malicious clients.
+    #[must_use]
+    pub fn malicious_count(&self) -> usize {
+        self.roles.iter().filter(|r| r.is_malicious()).count()
+    }
+
+    /// Number of clients in total.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// True when no clients are assigned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.roles.is_empty()
+    }
+}
+
+/// The standard poisoning strategies swept by the experiments.
+#[must_use]
+pub fn standard_strategies(target_slot: usize) -> Vec<(&'static str, PoisonStrategy)> {
+    vec![
+        (
+            "out-of-range-538",
+            PoisonStrategy::OutOfRange {
+                slot: target_slot,
+                value: 538.0,
+            },
+        ),
+        ("in-range-bias", PoisonStrategy::InRangeBias { slot: target_slot }),
+        ("fabricated", PoisonStrategy::Fabricated { value: 0.9 }),
+        ("scaled-10x", PoisonStrategy::Scaled { factor: 10.0 }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_respects_fraction() {
+        let strategy = PoisonStrategy::Fabricated { value: 0.9 };
+        let mix = AdversaryMix::assign(100, 0.25, &strategy, [1u8; 32]);
+        assert_eq!(mix.len(), 100);
+        assert!(!mix.is_empty());
+        assert_eq!(mix.malicious_count(), 25);
+        assert_eq!(mix.roles().len(), 100);
+
+        let none = AdversaryMix::assign(10, 0.0, &strategy, [1u8; 32]);
+        assert_eq!(none.malicious_count(), 0);
+        let all = AdversaryMix::assign(10, 1.0, &strategy, [1u8; 32]);
+        assert_eq!(all.malicious_count(), 10);
+        // Out-of-range fractions are clamped.
+        let clamped = AdversaryMix::assign(10, 7.0, &strategy, [1u8; 32]);
+        assert_eq!(clamped.malicious_count(), 10);
+    }
+
+    #[test]
+    fn assignment_is_deterministic_and_seed_sensitive() {
+        let strategy = PoisonStrategy::Scaled { factor: 2.0 };
+        let a = AdversaryMix::assign(50, 0.3, &strategy, [2u8; 32]);
+        let b = AdversaryMix::assign(50, 0.3, &strategy, [2u8; 32]);
+        assert_eq!(a, b);
+        let c = AdversaryMix::assign(50, 0.3, &strategy, [3u8; 32]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn roles_and_strategies() {
+        let mix = AdversaryMix::all_honest(5);
+        assert_eq!(mix.malicious_count(), 0);
+        assert!(!mix.role(0).is_malicious());
+
+        let strategies = standard_strategies(7);
+        assert_eq!(strategies.len(), 4);
+        assert!(strategies.iter().any(|(name, _)| *name == "out-of-range-538"));
+        for (_, s) in &strategies {
+            let mix = AdversaryMix::assign(4, 0.5, s, [4u8; 32]);
+            assert_eq!(mix.malicious_count(), 2);
+            let malicious_role = mix.roles().iter().find(|r| r.is_malicious()).unwrap();
+            assert!(matches!(malicious_role, ClientRole::Malicious(strategy) if strategy == s));
+        }
+    }
+}

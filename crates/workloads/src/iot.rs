@@ -1,0 +1,136 @@
+//! IoT sensor streams for the glimmer-as-a-service scenario (Section 4.2).
+//!
+//! Devices report normalized sensor readings in `[0, 1]`. Well-behaved
+//! devices produce smooth series around a per-device baseline; faulty or
+//! malicious devices inject out-of-range spikes or constant fabricated
+//! values.
+
+use glimmer_crypto::drbg::Drbg;
+
+/// How a device behaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceBehaviour {
+    /// Reports genuine, in-range readings.
+    Honest,
+    /// Injects out-of-range spikes (broken sensor or crude attack).
+    Spiky,
+    /// Reports a constant fabricated value.
+    Fabricating,
+}
+
+/// One device's reported series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorTrace {
+    /// Device identifier.
+    pub device_id: u64,
+    /// Ground-truth behaviour.
+    pub behaviour: DeviceBehaviour,
+    /// Reported samples.
+    pub samples: Vec<f64>,
+}
+
+/// Generator for IoT workloads.
+#[derive(Debug, Clone)]
+pub struct IotWorkload {
+    /// Generated device traces.
+    pub devices: Vec<SensorTrace>,
+}
+
+impl IotWorkload {
+    /// Generates `devices` traces of `samples_per_device` readings each, with
+    /// the given fraction of misbehaving devices.
+    #[must_use]
+    pub fn generate(
+        devices: usize,
+        samples_per_device: usize,
+        misbehaving_fraction: f64,
+        seed: [u8; 32],
+    ) -> Self {
+        let mut rng = Drbg::from_seed(seed);
+        let mut out = Vec::with_capacity(devices);
+        for device_id in 0..devices {
+            let behaviour = if rng.next_bool(misbehaving_fraction) {
+                if rng.next_bool(0.5) {
+                    DeviceBehaviour::Spiky
+                } else {
+                    DeviceBehaviour::Fabricating
+                }
+            } else {
+                DeviceBehaviour::Honest
+            };
+            let baseline = 0.3 + rng.next_f64() * 0.4;
+            let fabricated = rng.next_f64();
+            let samples = (0..samples_per_device)
+                .map(|i| match behaviour {
+                    DeviceBehaviour::Honest => {
+                        (baseline + rng.next_gaussian() * 0.05).clamp(0.0, 1.0)
+                    }
+                    DeviceBehaviour::Spiky => {
+                        if i % 7 == 3 {
+                            5.0 + rng.next_f64() * 10.0
+                        } else {
+                            (baseline + rng.next_gaussian() * 0.05).clamp(0.0, 1.0)
+                        }
+                    }
+                    DeviceBehaviour::Fabricating => fabricated,
+                })
+                .collect();
+            out.push(SensorTrace {
+                device_id: device_id as u64,
+                behaviour,
+                samples,
+            });
+        }
+        IotWorkload { devices: out }
+    }
+
+    /// Number of honest devices.
+    #[must_use]
+    pub fn honest_count(&self) -> usize {
+        self.devices
+            .iter()
+            .filter(|d| d.behaviour == DeviceBehaviour::Honest)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_structure() {
+        let a = IotWorkload::generate(40, 21, 0.3, [11u8; 32]);
+        let b = IotWorkload::generate(40, 21, 0.3, [11u8; 32]);
+        assert_eq!(a.devices, b.devices);
+        assert_eq!(a.devices.len(), 40);
+        assert!(a.devices.iter().all(|d| d.samples.len() == 21));
+        let honest = a.honest_count();
+        assert!(honest > 15 && honest < 40, "honest {honest}");
+    }
+
+    #[test]
+    fn behaviour_signatures() {
+        let w = IotWorkload::generate(60, 21, 0.5, [12u8; 32]);
+        for d in &w.devices {
+            match d.behaviour {
+                DeviceBehaviour::Honest => {
+                    assert!(d.samples.iter().all(|s| (0.0..=1.0).contains(s)));
+                }
+                DeviceBehaviour::Spiky => {
+                    assert!(d.samples.iter().any(|s| *s > 1.0));
+                }
+                DeviceBehaviour::Fabricating => {
+                    let first = d.samples[0];
+                    assert!(d.samples.iter().all(|s| (*s - first).abs() < 1e-12));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_honest_when_fraction_zero() {
+        let w = IotWorkload::generate(10, 5, 0.0, [13u8; 32]);
+        assert_eq!(w.honest_count(), 10);
+    }
+}

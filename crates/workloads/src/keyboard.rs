@@ -1,0 +1,247 @@
+//! Keyboard-trace generation for the predictive-keyboard scenario (Figure 1).
+//!
+//! Users type sentences drawn from a set of templates over a Zipf-distributed
+//! vocabulary. A configurable fraction of users also types a *trending
+//! phrase* ("donald trump" in the paper's example), which is what the shared
+//! model is supposed to learn and what no single honest user's model can
+//! establish alone.
+
+use glimmer_crypto::drbg::Drbg;
+use glimmer_federated::{ModelSchema, Vocabulary};
+
+/// Configuration for the keyboard workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyboardWorkloadConfig {
+    /// Number of users (clients).
+    pub users: usize,
+    /// Number of distinct filler words in the vocabulary.
+    pub vocab_size: usize,
+    /// Number of sentences each user types.
+    pub sentences_per_user: usize,
+    /// Average words per sentence.
+    pub words_per_sentence: usize,
+    /// Fraction of users who type the trending phrase.
+    pub trending_fraction: f64,
+    /// Zipf exponent for filler-word frequencies.
+    pub zipf_exponent: f64,
+    /// Number of the most frequent words tracked by the model schema.
+    pub schema_words: usize,
+}
+
+impl Default for KeyboardWorkloadConfig {
+    fn default() -> Self {
+        KeyboardWorkloadConfig {
+            users: 64,
+            vocab_size: 200,
+            sentences_per_user: 30,
+            words_per_sentence: 8,
+            trending_fraction: 0.3,
+            zipf_exponent: 1.1,
+            schema_words: 24,
+        }
+    }
+}
+
+/// One user's keyboard trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserTrace {
+    /// Client identifier.
+    pub client_id: u64,
+    /// Tokenized sentences (word ids in the shared vocabulary).
+    pub sentences: Vec<Vec<u32>>,
+    /// Whether this user typed the trending phrase.
+    pub typed_trending: bool,
+}
+
+/// The generated workload: vocabulary, schema, per-user traces, and held-out
+/// test sentences.
+#[derive(Debug, Clone)]
+pub struct KeyboardWorkload {
+    /// The shared vocabulary published by the service.
+    pub vocab: Vocabulary,
+    /// The parameter schema published by the service.
+    pub schema: ModelSchema,
+    /// Per-user traces.
+    pub users: Vec<UserTrace>,
+    /// Held-out test sentences containing the trending phrase.
+    pub test_sentences: Vec<Vec<u32>>,
+    /// The trending bigram as `(prev, next)` word ids.
+    pub trending_bigram: (u32, u32),
+}
+
+/// The trending phrase every experiment looks for.
+pub const TRENDING_PREV: &str = "donald";
+/// Second half of the trending phrase.
+pub const TRENDING_NEXT: &str = "trump";
+
+impl KeyboardWorkload {
+    /// Generates a workload from a config and seed.
+    #[must_use]
+    pub fn generate(config: &KeyboardWorkloadConfig, seed: [u8; 32]) -> Self {
+        let mut rng = Drbg::from_seed(seed);
+
+        // Vocabulary: fixed phrase words + filler words w0..wN.
+        let mut words: Vec<String> = vec![
+            "i'm".into(),
+            "voting".into(),
+            "for".into(),
+            TRENDING_PREV.into(),
+            TRENDING_NEXT.into(),
+            "don't".into(),
+            "like".into(),
+            "the".into(),
+            "world".into(),
+            "series".into(),
+        ];
+        for i in 0..config.vocab_size {
+            words.push(format!("w{i}"));
+        }
+        let vocab = Vocabulary::new(words.iter().map(String::as_str));
+
+        // Schema: all ordered pairs over the most frequent words (the fixed
+        // phrase words plus the first filler words).
+        let mut schema_words: Vec<&str> = words
+            .iter()
+            .take(config.schema_words.max(10))
+            .map(String::as_str)
+            .collect();
+        schema_words.truncate(config.schema_words.max(10));
+        let schema = ModelSchema::dense(vocab.clone(), &schema_words);
+
+        // Zipf sampling weights for filler words.
+        let zipf: Vec<f64> = (1..=config.vocab_size.max(1))
+            .map(|r| 1.0 / (r as f64).powf(config.zipf_exponent))
+            .collect();
+        let zipf_total: f64 = zipf.iter().sum();
+
+        let mut users = Vec::with_capacity(config.users);
+        for client_id in 0..config.users {
+            let mut user_rng = rng.fork(&format!("user-{client_id}"));
+            let typed_trending = user_rng.next_bool(config.trending_fraction);
+            let mut sentences = Vec::with_capacity(config.sentences_per_user);
+            for s in 0..config.sentences_per_user {
+                let sentence = if typed_trending && s % 5 == 0 {
+                    // A trending-phrase sentence, as in Figure 1a.
+                    if user_rng.next_bool(0.5) {
+                        format!("i'm voting for {TRENDING_PREV} {TRENDING_NEXT}")
+                    } else {
+                        format!("don't like {TRENDING_PREV} {TRENDING_NEXT}")
+                    }
+                } else {
+                    // Filler sentence from the Zipf vocabulary.
+                    let len = 2 + user_rng.gen_range(config.words_per_sentence.max(3) as u64 - 2)
+                        as usize;
+                    let mut parts = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        let mut pick = user_rng.next_f64() * zipf_total;
+                        let mut idx = 0usize;
+                        for (i, w) in zipf.iter().enumerate() {
+                            if pick < *w {
+                                idx = i;
+                                break;
+                            }
+                            pick -= w;
+                            idx = i;
+                        }
+                        parts.push(format!("w{idx}"));
+                    }
+                    parts.join(" ")
+                };
+                sentences.push(vocab.tokenize(&sentence));
+            }
+            users.push(UserTrace {
+                client_id: client_id as u64,
+                sentences,
+                typed_trending,
+            });
+        }
+
+        let test_sentences = vec![
+            vocab.tokenize(&format!("i'm voting for {TRENDING_PREV} {TRENDING_NEXT}")),
+            vocab.tokenize(&format!("don't like {TRENDING_PREV} {TRENDING_NEXT}")),
+        ];
+        let trending_bigram = (vocab.id(TRENDING_PREV), vocab.id(TRENDING_NEXT));
+
+        KeyboardWorkload {
+            vocab,
+            schema,
+            users,
+            test_sentences,
+            trending_bigram,
+        }
+    }
+
+    /// Client ids of all users.
+    #[must_use]
+    pub fn client_ids(&self) -> Vec<u64> {
+        self.users.iter().map(|u| u.client_id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glimmer_federated::aggregation::aggregate_mean;
+    use glimmer_federated::metrics::top_k_accuracy;
+    use glimmer_federated::trainer::train_local_model;
+
+    fn small_config() -> KeyboardWorkloadConfig {
+        KeyboardWorkloadConfig {
+            users: 24,
+            vocab_size: 50,
+            sentences_per_user: 20,
+            ..KeyboardWorkloadConfig::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = KeyboardWorkload::generate(&small_config(), [1u8; 32]);
+        let b = KeyboardWorkload::generate(&small_config(), [1u8; 32]);
+        assert_eq!(a.users, b.users);
+        let c = KeyboardWorkload::generate(&small_config(), [2u8; 32]);
+        assert_ne!(a.users, c.users);
+    }
+
+    #[test]
+    fn structure_matches_config() {
+        let config = small_config();
+        let w = KeyboardWorkload::generate(&config, [3u8; 32]);
+        assert_eq!(w.users.len(), config.users);
+        assert!(w.users.iter().all(|u| u.sentences.len() == config.sentences_per_user));
+        assert_eq!(w.client_ids().len(), config.users);
+        // Some but not all users type the trending phrase.
+        let trending = w.users.iter().filter(|u| u.typed_trending).count();
+        assert!(trending > 0 && trending < config.users, "trending {trending}");
+        // The trending bigram is tracked by the schema.
+        assert!(w
+            .schema
+            .slot_of(w.trending_bigram.0, w.trending_bigram.1)
+            .is_some());
+        assert!(!w.test_sentences.is_empty());
+    }
+
+    #[test]
+    fn federated_model_learns_the_trending_phrase() {
+        // The Figure 1a/1b claim: the aggregated model predicts "trump" after
+        // "donald" even though most individual users never typed it.
+        let w = KeyboardWorkload::generate(&small_config(), [4u8; 32]);
+        let locals: Vec<_> = w
+            .users
+            .iter()
+            .map(|u| train_local_model(&w.schema, &u.sentences).unwrap().0)
+            .collect();
+        let global = aggregate_mean(&w.schema, &locals).unwrap();
+        let predictions = global.predict_next(&w.schema, w.trending_bigram.0, 1);
+        assert!(!predictions.is_empty());
+        assert_eq!(predictions[0].0, w.trending_bigram.1);
+        let (acc, cases) = top_k_accuracy(&w.schema, &global, &w.test_sentences, 3);
+        assert!(cases > 0);
+        assert!(acc > 0.5, "top-3 accuracy {acc}");
+
+        // An individual non-trending user's model does not know the phrase.
+        let non_trending = w.users.iter().position(|u| !u.typed_trending).unwrap();
+        let solo = aggregate_mean(&w.schema, &locals[non_trending..=non_trending]).unwrap();
+        assert!(solo.predict_next(&w.schema, w.trending_bigram.0, 1).is_empty());
+    }
+}

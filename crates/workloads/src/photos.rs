@@ -1,0 +1,192 @@
+//! Geotagged photo contributions for the photos-for-maps scenario.
+//!
+//! Honest contributors photograph places they actually visited (their GPS
+//! track passes near the claimed location, and the photo comes from their
+//! registered camera). Cheaters claim locations they never visited, replay
+//! photos from other cameras, or strip their location history.
+
+use glimmer_crypto::drbg::Drbg;
+
+/// How a photo contribution was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhotoKind {
+    /// Taken at the claimed location by the registered camera.
+    Honest,
+    /// Claims a location the user never visited.
+    SpoofedLocation,
+    /// Photo from an unregistered camera (e.g., scraped from the web).
+    WrongCamera,
+    /// No location history available to corroborate the claim.
+    MissingTrack,
+}
+
+/// One photo contribution plus the private context needed to validate it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhotoContribution {
+    /// Contributor's client id.
+    pub client_id: u64,
+    /// Ground-truth kind (known to the experiment only).
+    pub kind: PhotoKind,
+    /// Hash of the photo contents.
+    pub photo_hash: [u8; 32],
+    /// Claimed latitude.
+    pub claimed_lat: f64,
+    /// Claimed longitude.
+    pub claimed_lon: f64,
+    /// Private GPS track `(lat, lon, unix_seconds)`.
+    pub gps_track: Vec<(f64, f64, u64)>,
+    /// Private camera fingerprint of the capturing device.
+    pub camera_fingerprint: [u8; 32],
+}
+
+/// Generator for photo-contribution workloads.
+#[derive(Debug, Clone)]
+pub struct PhotoWorkload {
+    /// Generated contributions.
+    pub contributions: Vec<PhotoContribution>,
+    /// The camera fingerprint registered with the service for each client.
+    pub registered_camera: [u8; 32],
+}
+
+/// A downtown-Toronto point of interest used as the map location.
+pub const POI: (f64, f64) = (43.6426, -79.3871);
+
+impl PhotoWorkload {
+    /// Generates `count` contributions; `cheater_fraction` of them are split
+    /// evenly across the three cheating kinds.
+    #[must_use]
+    pub fn generate(count: usize, cheater_fraction: f64, seed: [u8; 32]) -> Self {
+        let mut rng = Drbg::from_seed(seed);
+        let registered_camera = {
+            let mut c = [0u8; 32];
+            rng.fill_bytes(&mut c);
+            c
+        };
+        let mut contributions = Vec::with_capacity(count);
+        for client_id in 0..count {
+            let kind = if rng.next_bool(cheater_fraction) {
+                match rng.gen_range(3) {
+                    0 => PhotoKind::SpoofedLocation,
+                    1 => PhotoKind::WrongCamera,
+                    _ => PhotoKind::MissingTrack,
+                }
+            } else {
+                PhotoKind::Honest
+            };
+
+            let jitter = |rng: &mut Drbg, scale: f64| (rng.next_f64() - 0.5) * scale;
+            let claimed_lat = POI.0 + jitter(&mut rng, 0.002);
+            let claimed_lon = POI.1 + jitter(&mut rng, 0.002);
+
+            // Honest users (and wrong-camera cheaters, who did visit) have a
+            // track that passes near the claimed location; location spoofers
+            // have tracks far away; missing-track cheaters have none.
+            let gps_track = match kind {
+                PhotoKind::Honest | PhotoKind::WrongCamera => (0..10)
+                    .map(|i| {
+                        (
+                            claimed_lat + jitter(&mut rng, 0.004),
+                            claimed_lon + jitter(&mut rng, 0.004),
+                            1_700_000_000 + i * 300,
+                        )
+                    })
+                    .collect(),
+                PhotoKind::SpoofedLocation => (0..10)
+                    .map(|i| {
+                        (
+                            48.85 + jitter(&mut rng, 0.01),
+                            2.29 + jitter(&mut rng, 0.01),
+                            1_700_000_000 + i * 300,
+                        )
+                    })
+                    .collect(),
+                PhotoKind::MissingTrack => Vec::new(),
+            };
+
+            let camera_fingerprint = if kind == PhotoKind::WrongCamera {
+                let mut c = [0u8; 32];
+                rng.fill_bytes(&mut c);
+                c
+            } else {
+                registered_camera
+            };
+
+            let mut photo_hash = [0u8; 32];
+            rng.fill_bytes(&mut photo_hash);
+
+            contributions.push(PhotoContribution {
+                client_id: client_id as u64,
+                kind,
+                photo_hash,
+                claimed_lat,
+                claimed_lon,
+                gps_track,
+                camera_fingerprint,
+            });
+        }
+        PhotoWorkload {
+            contributions,
+            registered_camera,
+        }
+    }
+
+    /// Number of honest contributions.
+    #[must_use]
+    pub fn honest_count(&self) -> usize {
+        self.contributions
+            .iter()
+            .filter(|c| c.kind == PhotoKind::Honest)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_mixed() {
+        let a = PhotoWorkload::generate(100, 0.4, [8u8; 32]);
+        let b = PhotoWorkload::generate(100, 0.4, [8u8; 32]);
+        assert_eq!(a.contributions, b.contributions);
+        assert_eq!(a.contributions.len(), 100);
+        let honest = a.honest_count();
+        assert!(honest > 40 && honest < 80, "honest {honest}");
+        // Cheater kinds all appear.
+        for kind in [
+            PhotoKind::SpoofedLocation,
+            PhotoKind::WrongCamera,
+            PhotoKind::MissingTrack,
+        ] {
+            assert!(a.contributions.iter().any(|c| c.kind == kind), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn ground_truth_structure() {
+        let w = PhotoWorkload::generate(60, 0.5, [9u8; 32]);
+        for c in &w.contributions {
+            match c.kind {
+                PhotoKind::Honest => {
+                    assert_eq!(c.camera_fingerprint, w.registered_camera);
+                    assert!(!c.gps_track.is_empty());
+                    // Track points are near the claim (< ~1km in degrees).
+                    assert!(c.gps_track.iter().all(|(lat, _, _)| (lat - c.claimed_lat).abs() < 0.01));
+                }
+                PhotoKind::SpoofedLocation => {
+                    assert!(c.gps_track.iter().all(|(lat, _, _)| (lat - c.claimed_lat).abs() > 1.0));
+                }
+                PhotoKind::WrongCamera => {
+                    assert_ne!(c.camera_fingerprint, w.registered_camera);
+                }
+                PhotoKind::MissingTrack => assert!(c.gps_track.is_empty()),
+            }
+        }
+    }
+
+    #[test]
+    fn all_honest_when_fraction_zero() {
+        let w = PhotoWorkload::generate(20, 0.0, [10u8; 32]);
+        assert_eq!(w.honest_count(), 20);
+    }
+}

@@ -1,0 +1,73 @@
+//! Section 4.1: bot detection with validation confidentiality.
+//!
+//! Run with `cargo run --example bot_detection`.
+//!
+//! The web service ships an encrypted detector to the attested Glimmer; the
+//! Glimmer inspects the private interaction signals locally and releases
+//! exactly one audited bit per challenge.
+
+use glimmers::core::host::{GlimmerClient, GlimmerDescriptor};
+use glimmers::core::protocol::PrivateData;
+use glimmers::core::validation::BotDetectorSpec;
+use glimmers::crypto::dh::DhGroup;
+use glimmers::crypto::drbg::Drbg;
+use glimmers::crypto::schnorr::SigningKey;
+use glimmers::services::botdetect::BotDetectionService;
+use glimmers::sgx_sim::{AttestationService, PlatformConfig};
+use glimmers::workloads::botsignals::{BotSignalWorkload, SessionKind};
+
+fn main() {
+    let mut rng = Drbg::from_seed([21u8; 32]);
+    let mut avs = AttestationService::new([22u8; 32]);
+
+    // Service setup: identity key, secret detector, approved Glimmer hash.
+    let service_key = SigningKey::generate(DhGroup::default_group(), &mut rng).unwrap();
+    let descriptor =
+        GlimmerDescriptor::bot_detection_default(service_key.verifying_key().to_bytes(), 64);
+    let approved = descriptor.measurement();
+    let mut service = BotDetectionService::new(
+        BotDetectorSpec::example(),
+        service_key,
+        approved,
+        rng.fork("service"),
+    );
+
+    // Client setup: attested channel + encrypted predicate install.
+    let mut client = GlimmerClient::new(descriptor, PlatformConfig::default(), &mut rng).unwrap();
+    client.provision_platform(&mut avs);
+    let offer = client.start_channel().unwrap();
+    let (accept, mut session) = service.accept_channel(&offer, &avs).unwrap();
+    client.complete_channel(&accept).unwrap();
+    let encrypted = service.encrypted_detector(&session);
+    client.install_encrypted_predicate(&encrypted).unwrap();
+    println!("attested Glimmer: {}", session.glimmer_measurement());
+
+    // A mix of human and bot sessions.
+    let workload = BotSignalWorkload::generate(20, 0.4, [23u8; 32]);
+    let mut correct = 0usize;
+    let mut bytes_released = 0usize;
+    for s in &workload.sessions {
+        let challenge = service.issue_challenge(&mut session);
+        let frame = client
+            .confidential_check(
+                challenge,
+                PrivateData::BotSignals {
+                    signals: s.signals.clone(),
+                },
+            )
+            .unwrap();
+        bytes_released += frame.wire_len();
+        let human = service.accept_verdict(&mut session, &frame).unwrap();
+        if human == (s.kind == SessionKind::Human) {
+            correct += 1;
+        }
+    }
+    println!(
+        "sessions={} bots={} correct={} bytes released per session={} (vs ~{} bytes of raw private signals)",
+        workload.sessions.len(),
+        workload.bot_count(),
+        correct,
+        bytes_released / workload.sessions.len(),
+        workload.total_private_bytes() / workload.sessions.len(),
+    );
+}

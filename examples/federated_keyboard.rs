@@ -1,0 +1,146 @@
+//! The paper's running example end to end: federated next-word prediction,
+//! the Figure 1d poisoning attack, and the Glimmer defense.
+//!
+//! Run with `cargo run --example federated_keyboard`.
+
+use glimmers::core::blinding::BlindingService;
+use glimmers::core::host::{GlimmerClient, GlimmerDescriptor};
+use glimmers::core::protocol::{Contribution, ContributionPayload, PrivateData, ProcessResponse};
+use glimmers::core::signing::ServiceKeyMaterial;
+use glimmers::crypto::drbg::Drbg;
+use glimmers::federated::attacks::{apply_poison, PoisonStrategy};
+use glimmers::federated::fixed::encode_weights;
+use glimmers::federated::trainer::train_local_model;
+use glimmers::services::keyboard::{KeyboardService, KeyboardServiceConfig};
+use glimmers::sgx_sim::PlatformConfig;
+use glimmers::wire::Encoder;
+use glimmers::workloads::keyboard::{KeyboardWorkload, KeyboardWorkloadConfig};
+
+fn main() {
+    let seed = [7u8; 32];
+    let users = 24usize;
+    let workload = KeyboardWorkload::generate(
+        &KeyboardWorkloadConfig {
+            users,
+            vocab_size: 50,
+            sentences_per_user: 20,
+            ..KeyboardWorkloadConfig::default()
+        },
+        seed,
+    );
+    let schema = workload.schema.clone();
+    let mut rng = Drbg::from_seed(seed);
+    let material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+    let blinding = BlindingService::new([3u8; 32]);
+    let masks = blinding.zero_sum_masks(0, &workload.client_ids(), schema.dimension());
+    let trending_slot = schema
+        .slot_of(workload.trending_bigram.0, workload.trending_bigram.1)
+        .unwrap();
+
+    for protected in [false, true] {
+        let mut service = KeyboardService::new(
+            KeyboardServiceConfig {
+                require_endorsements: protected,
+                ..KeyboardServiceConfig::default()
+            },
+            schema.clone(),
+            Some(material.verifier()),
+        );
+        let mut rejected = 0usize;
+        let mut present: Vec<u64> = Vec::new();
+        for (i, user) in workload.users.iter().enumerate() {
+            let (honest, _) = train_local_model(&schema, &user.sentences).unwrap();
+            // Client 0 is Alice, the attacker from Figure 1d.
+            let submitted = if i == 0 {
+                apply_poison(
+                    &schema,
+                    &honest,
+                    &PoisonStrategy::OutOfRange {
+                        slot: trending_slot,
+                        value: 538.0,
+                    },
+                )
+            } else {
+                honest
+            };
+            if protected {
+                let mut glimmer = GlimmerClient::new(
+                    GlimmerDescriptor::keyboard_default(),
+                    PlatformConfig::default(),
+                    &mut rng,
+                )
+                .unwrap();
+                glimmer.install_service_key(&material.secret_bytes()).unwrap();
+                glimmer.install_mask(&masks[i]).unwrap();
+                let contribution = Contribution {
+                    app_id: "nextwordpredictive.com".to_string(),
+                    client_id: user.client_id,
+                    round: 0,
+                    payload: ContributionPayload::ModelUpdate {
+                        weights: submitted.weights.clone(),
+                    },
+                };
+                match glimmer
+                    .process(
+                        contribution,
+                        PrivateData::KeyboardLog {
+                            sentences: user.sentences.clone(),
+                        },
+                    )
+                    .unwrap()
+                {
+                    ProcessResponse::Endorsed(e) => {
+                        if service.submit(&e).is_err() {
+                            rejected += 1;
+                        } else {
+                            present.push(user.client_id);
+                        }
+                    }
+                    ProcessResponse::Rejected { reason } => {
+                        rejected += 1;
+                        if i == 0 {
+                            println!("[protected] Alice's contribution rejected: {reason}");
+                        }
+                    }
+                }
+            } else {
+                let blinded = masks[i].blind(&encode_weights(&submitted.weights));
+                let mut enc = Encoder::new();
+                enc.put_u64_vec(&blinded);
+                let endorsed = glimmers::core::protocol::EndorsedContribution {
+                    app_id: "nextwordpredictive.com".to_string(),
+                    client_id: user.client_id,
+                    round: 0,
+                    released_payload: enc.into_bytes(),
+                    blinded: true,
+                    signature: Vec::new(),
+                };
+                if service.submit(&endorsed).is_err() {
+                    rejected += 1;
+                } else {
+                    present.push(user.client_id);
+                }
+            }
+        }
+        // The blinding service supplies the correction for clients whose
+        // contributions were rejected, so the surviving masks still cancel.
+        if rejected > 0 {
+            let correction = blinding.dropout_correction(
+                0,
+                &workload.client_ids(),
+                schema.dimension(),
+                &present,
+            );
+            service.apply_dropout_correction(&correction).unwrap();
+        }
+        let outcome = service.finalize_round().unwrap();
+        let prediction = outcome
+            .model
+            .predict_next_word(&schema, "donald", 1);
+        let mode = if protected { "protected " } else { "unprotected" };
+        println!(
+            "[{mode}] accepted={} rejected={} prediction after 'donald' = {:?} (weight shown is the aggregated parameter)",
+            outcome.accepted, rejected, prediction
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! The photos-for-maps scenario: public contributions validated against
+//! private location history and camera identity.
+//!
+//! Run with `cargo run --example photos_for_maps`.
+
+use glimmers::core::host::{GlimmerClient, GlimmerDescriptor};
+use glimmers::core::protocol::{Contribution, ContributionPayload, PrivateData, ProcessResponse};
+use glimmers::core::signing::ServiceKeyMaterial;
+use glimmers::crypto::drbg::Drbg;
+use glimmers::services::maps::MapsService;
+use glimmers::sgx_sim::PlatformConfig;
+use glimmers::workloads::photos::{PhotoKind, PhotoWorkload};
+
+fn main() {
+    let mut rng = Drbg::from_seed([31u8; 32]);
+    let material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+    let workload = PhotoWorkload::generate(20, 0.4, [32u8; 32]);
+    let mut service = MapsService::new("crowdmaps.example", material.verifier());
+
+    let mut glimmer_rejections = 0usize;
+    for photo in &workload.contributions {
+        let mut glimmer = GlimmerClient::new(
+            GlimmerDescriptor::maps_default(workload.registered_camera),
+            PlatformConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        glimmer.install_service_key(&material.secret_bytes()).unwrap();
+        let contribution = Contribution {
+            app_id: "crowdmaps.example".to_string(),
+            client_id: photo.client_id,
+            round: 0,
+            payload: ContributionPayload::Photo {
+                photo_hash: photo.photo_hash,
+                claimed_lat: photo.claimed_lat,
+                claimed_lon: photo.claimed_lon,
+            },
+        };
+        let private = PrivateData::GpsTrack {
+            points: photo.gps_track.clone(),
+            camera_fingerprint: photo.camera_fingerprint,
+        };
+        match glimmer.process(contribution, private).unwrap() {
+            ProcessResponse::Endorsed(endorsed) => {
+                service.submit(&endorsed).expect("service accepts endorsed photos");
+            }
+            ProcessResponse::Rejected { reason } => {
+                glimmer_rejections += 1;
+                if photo.kind != PhotoKind::Honest {
+                    println!("cheater ({:?}) rejected locally: {reason}", photo.kind);
+                }
+            }
+        }
+    }
+    println!(
+        "contributions={} honest={} accepted by service={} rejected by Glimmer={}",
+        workload.contributions.len(),
+        workload.honest_count(),
+        service.photos().len(),
+        glimmer_rejections
+    );
+    println!("map coverage cells: {}", service.coverage().len());
+}

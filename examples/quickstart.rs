@@ -1,0 +1,86 @@
+//! Quickstart: one user contribution through the full Glimmer pipeline.
+//!
+//! Run with `cargo run --example quickstart`.
+//!
+//! The flow matches Figure 3 of the paper: the client trains a local model on
+//! the user's (private) keyboard trace, the Glimmer enclave validates it
+//! against the private trace, blinds it, signs it with the service-provided
+//! key, and the service verifies the endorsement before aggregating.
+
+use glimmers::core::blinding::BlindingService;
+use glimmers::core::host::{GlimmerClient, GlimmerDescriptor};
+use glimmers::core::protocol::{Contribution, ContributionPayload, PrivateData, ProcessResponse};
+use glimmers::core::signing::ServiceKeyMaterial;
+use glimmers::crypto::drbg::Drbg;
+use glimmers::federated::trainer::train_local_model;
+use glimmers::federated::{ModelSchema, Vocabulary};
+use glimmers::sgx_sim::PlatformConfig;
+
+fn main() {
+    let mut rng = Drbg::from_seed([1u8; 32]);
+
+    // 1. The service publishes a vocabulary/schema and generates its
+    //    endorsement key pair.
+    let vocab = Vocabulary::new(["i'm", "voting", "for", "donald", "trump", "don't", "like"]);
+    let schema = ModelSchema::dense(
+        vocab,
+        &["i'm", "voting", "for", "donald", "trump", "don't", "like"],
+    );
+    let material = ServiceKeyMaterial::generate(&mut rng).expect("key generation");
+
+    // 2. The user types; the client trains a local model on the private trace.
+    let sentences = vec![
+        schema.vocab().tokenize("I'm voting for Donald Trump"),
+        schema.vocab().tokenize("don't like Donald Trump"),
+    ];
+    let (local_model, _) = train_local_model(&schema, &sentences).expect("training");
+
+    // 3. The client instantiates the vetted Glimmer enclave and provisions it.
+    let mut glimmer = GlimmerClient::new(
+        GlimmerDescriptor::keyboard_default(),
+        PlatformConfig::default(),
+        &mut rng,
+    )
+    .expect("enclave creation");
+    println!("Glimmer measurement: {}", glimmer.measurement());
+    let sealed = glimmer
+        .install_service_key(&material.secret_bytes())
+        .expect("provisioning");
+    println!("service key sealed to the Glimmer ({} bytes)", sealed.len());
+
+    // 4. The blinding service issues this round's zero-sum mask.
+    let masks = BlindingService::new([2u8; 32]).zero_sum_masks(0, &[0, 1, 2], schema.dimension());
+    glimmer.install_mask(&masks[0]).expect("mask install");
+
+    // 5. Validate + blind + sign inside the enclave.
+    let contribution = Contribution {
+        app_id: "nextwordpredictive.com".to_string(),
+        client_id: 0,
+        round: 0,
+        payload: ContributionPayload::ModelUpdate {
+            weights: local_model.weights.clone(),
+        },
+    };
+    let response = glimmer
+        .process(
+            contribution,
+            PrivateData::KeyboardLog { sentences },
+        )
+        .expect("enclave call");
+
+    // 6. The service verifies the endorsement.
+    match response {
+        ProcessResponse::Endorsed(endorsed) => {
+            material.verifier().verify(&endorsed).expect("endorsement verification");
+            println!(
+                "endorsed contribution: round={} blinded={} payload={} bytes signature={} bytes",
+                endorsed.round,
+                endorsed.blinded,
+                endorsed.released_payload.len(),
+                endorsed.signature.len()
+            );
+            println!("enclave cost: {:?}", glimmer.cost_report());
+        }
+        ProcessResponse::Rejected { reason } => println!("rejected: {reason}"),
+    }
+}

@@ -1,0 +1,24 @@
+//! Umbrella crate for the Glimmers reproduction.
+//!
+//! Re-exports every workspace crate under a stable prefix so examples,
+//! integration tests, and downstream users can depend on a single crate:
+//!
+//! * [`crypto`] — the from-scratch cryptographic substrate.
+//! * [`sgx_sim`] — the SGX enclave simulator.
+//! * [`wire`] — the public wire format.
+//! * [`federated`] — the federated-learning substrate.
+//! * [`core`] — the Glimmer itself (validation, blinding, signing, enclave
+//!   program, attested channels, auditor, glimmer-as-a-service).
+//! * [`services`] — the service-side components.
+//! * [`workloads`] — deterministic synthetic workloads.
+//!
+//! See `README.md` for a tour and `DESIGN.md`/`EXPERIMENTS.md` for the
+//! reproduction methodology.
+
+pub use glimmer_core as core;
+pub use glimmer_crypto as crypto;
+pub use glimmer_federated as federated;
+pub use glimmer_services as services;
+pub use glimmer_wire as wire;
+pub use glimmer_workloads as workloads;
+pub use sgx_sim;

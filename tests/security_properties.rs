@@ -1,0 +1,176 @@
+//! Integration tests for the security properties the paper claims:
+//! input confidentiality, input integrity, and the attestation trust chain.
+
+use glimmers::core::blinding::BlindingService;
+use glimmers::core::host::{GlimmerClient, GlimmerDescriptor};
+use glimmers::core::protocol::{Contribution, ContributionPayload, PrivateData, ProcessResponse};
+use glimmers::core::signing::ServiceKeyMaterial;
+use glimmers::crypto::drbg::Drbg;
+use glimmers::federated::fixed::encode_weights;
+use glimmers::services::keyboard::{KeyboardService, KeyboardServiceConfig};
+use glimmers::services::ServiceError;
+use glimmers::sgx_sim::{AttestationService, PlatformConfig};
+use glimmers::federated::{ModelSchema, Vocabulary};
+
+const SEED: [u8; 32] = [200u8; 32];
+
+fn small_schema() -> ModelSchema {
+    let vocab = Vocabulary::new(["a", "b", "c", "d"]);
+    ModelSchema::dense(vocab, &["a", "b", "c", "d"])
+}
+
+/// Input integrity: the host cannot forge an endorsement for a contribution
+/// the Glimmer never validated, nor tamper with an endorsed one.
+#[test]
+fn endorsements_cannot_be_forged_or_tampered() {
+    let schema = small_schema();
+    let mut rng = Drbg::from_seed(SEED);
+    let material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+    let mut glimmer = GlimmerClient::new(
+        GlimmerDescriptor::keyboard_range_only(),
+        PlatformConfig::default(),
+        &mut rng,
+    )
+    .unwrap();
+    glimmer.install_service_key(&material.secret_bytes()).unwrap();
+    let masks = BlindingService::new([5u8; 32]).zero_sum_masks(0, &[0, 1], schema.dimension());
+    glimmer.install_mask(&masks[0]).unwrap();
+
+    let contribution = Contribution {
+        app_id: "nextwordpredictive.com".to_string(),
+        client_id: 0,
+        round: 0,
+        payload: ContributionPayload::ModelUpdate {
+            weights: vec![0.25; schema.dimension()],
+        },
+    };
+    let ProcessResponse::Endorsed(genuine) = glimmer
+        .process(contribution, PrivateData::None)
+        .unwrap()
+    else {
+        panic!("expected endorsement");
+    };
+
+    let mut service = KeyboardService::new(
+        KeyboardServiceConfig::default(),
+        schema.clone(),
+        Some(material.verifier()),
+    );
+    // The genuine endorsement is accepted.
+    service.submit(&genuine).unwrap();
+
+    // Tampering with the released payload breaks the endorsement.
+    let mut tampered = genuine.clone();
+    tampered.client_id = 7;
+    tampered.released_payload[0] ^= 0xFF;
+    assert_eq!(service.submit(&tampered), Err(ServiceError::BadEndorsement));
+
+    // A forged endorsement (host never went through the Glimmer) with an
+    // arbitrary signature is rejected.
+    let mut forged = genuine.clone();
+    forged.client_id = 8;
+    forged.released_payload = {
+        let mut enc = glimmers::wire::Encoder::new();
+        enc.put_u64_vec(&encode_weights(&vec![538.0; schema.dimension()]));
+        enc.into_bytes()
+    };
+    assert_eq!(service.submit(&forged), Err(ServiceError::BadEndorsement));
+}
+
+/// Input confidentiality: what leaves the Glimmer for a private payload is
+/// blinded — the raw fixed-point weights never appear in the released bytes,
+/// and an unblinded release is impossible because no mask means no release.
+#[test]
+fn private_contributions_never_leave_unblinded() {
+    let schema = small_schema();
+    let mut rng = Drbg::from_seed(SEED);
+    let material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+    let mut glimmer = GlimmerClient::new(
+        GlimmerDescriptor::keyboard_range_only(),
+        PlatformConfig::default(),
+        &mut rng,
+    )
+    .unwrap();
+    glimmer.install_service_key(&material.secret_bytes()).unwrap();
+
+    let weights = vec![0.625; schema.dimension()];
+    let contribution = Contribution {
+        app_id: "nextwordpredictive.com".to_string(),
+        client_id: 0,
+        round: 0,
+        payload: ContributionPayload::ModelUpdate {
+            weights: weights.clone(),
+        },
+    };
+    // Without a blinding mask the Glimmer refuses to release anything.
+    let response = glimmer
+        .process(contribution.clone(), PrivateData::None)
+        .unwrap();
+    assert!(matches!(response, ProcessResponse::Rejected { ref reason } if reason.contains("mask")));
+
+    // With a mask, the released payload is blinded: the encoding of the raw
+    // weights does not occur anywhere in the released bytes.
+    let masks = BlindingService::new([6u8; 32]).zero_sum_masks(0, &[0, 1], schema.dimension());
+    glimmer.install_mask(&masks[0]).unwrap();
+    let ProcessResponse::Endorsed(endorsed) =
+        glimmer.process(contribution, PrivateData::None).unwrap()
+    else {
+        panic!("expected endorsement");
+    };
+    assert!(endorsed.blinded);
+    let raw_encoding = encode_weights(&weights);
+    let raw_bytes: Vec<u8> = raw_encoding
+        .iter()
+        .flat_map(|v| v.to_le_bytes())
+        .collect();
+    assert!(!endorsed
+        .released_payload
+        .windows(raw_bytes.len().min(8))
+        .any(|w| w == &raw_bytes[..raw_bytes.len().min(8)]));
+}
+
+/// The attestation trust chain: the service only talks to approved Glimmer
+/// measurements on provisioned, non-revoked platforms.
+#[test]
+fn attestation_chain_rejects_rogue_enclaves_and_revoked_platforms() {
+    let mut rng = Drbg::from_seed(SEED);
+    let mut avs = AttestationService::new([7u8; 32]);
+    let service_key = glimmers::crypto::schnorr::SigningKey::generate(
+        glimmers::crypto::dh::DhGroup::default_group(),
+        &mut rng,
+    )
+    .unwrap();
+    let approved_descriptor =
+        GlimmerDescriptor::bot_detection_default(service_key.verifying_key().to_bytes(), 8);
+    let approved_measurement = approved_descriptor.measurement();
+
+    // A rogue enclave (different descriptor → different measurement) attests
+    // fine but the service refuses the channel.
+    let rogue_descriptor = GlimmerDescriptor::keyboard_default();
+    let mut rogue =
+        GlimmerClient::new(rogue_descriptor, PlatformConfig::default(), &mut rng).unwrap();
+    rogue.provision_platform(&mut avs);
+    let rogue_offer = rogue.start_channel().unwrap();
+    let mut service = glimmers::services::botdetect::BotDetectionService::new(
+        glimmers::core::validation::BotDetectorSpec::example(),
+        service_key,
+        approved_measurement,
+        rng.fork("svc"),
+    );
+    assert!(service.accept_channel(&rogue_offer, &avs).is_err());
+
+    // The approved Glimmer succeeds — until its platform is revoked.
+    let mut client = GlimmerClient::new(
+        approved_descriptor,
+        PlatformConfig::default(),
+        &mut rng,
+    )
+    .unwrap();
+    client.provision_platform(&mut avs);
+    let offer = client.start_channel().unwrap();
+    assert!(service.accept_channel(&offer, &avs).is_ok());
+
+    avs.revoke(client.platform().id());
+    let offer_after_revocation = client.start_channel().unwrap();
+    assert!(service.accept_channel(&offer_after_revocation, &avs).is_err());
+}
