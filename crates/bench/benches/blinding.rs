@@ -17,12 +17,16 @@ fn bench_masks(c: &mut Criterion) {
     let service = BlindingService::new([1u8; 32]);
     let clients: Vec<u64> = (0..64).collect();
     for dim in [64usize, 1024] {
-        group.bench_with_input(BenchmarkId::new("zero_sum_masks_64c", dim), &dim, |b, &d| {
-            b.iter(|| service.zero_sum_masks(1, &clients, d))
-        });
-        group.bench_with_input(BenchmarkId::new("pairwise_masks_64c", dim), &dim, |b, &d| {
-            b.iter(|| service.pairwise_masks(1, &clients, d))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("zero_sum_masks_64c", dim),
+            &dim,
+            |b, &d| b.iter(|| service.zero_sum_masks(1, &clients, d)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pairwise_masks_64c", dim),
+            &dim,
+            |b, &d| b.iter(|| service.pairwise_masks(1, &clients, d)),
+        );
         let masks = service.zero_sum_masks(1, &clients, dim);
         let contribution = encode_weights(&vec![0.5; dim]);
         group.bench_with_input(BenchmarkId::new("blind_apply", dim), &dim, |b, _| {

@@ -58,7 +58,9 @@ fn bench_public_key(c: &mut Criterion) {
     let mut rng = Drbg::from_seed([3u8; 32]);
     let key = SigningKey::generate(DhGroup::default_group(), &mut rng).unwrap();
     let sig = key.sign(b"endorsement").unwrap();
-    group.bench_function("schnorr_sign", |b| b.iter(|| key.sign(b"endorsement").unwrap()));
+    group.bench_function("schnorr_sign", |b| {
+        b.iter(|| key.sign(b"endorsement").unwrap())
+    });
     group.bench_function("schnorr_verify", |b| {
         b.iter(|| key.verifying_key().verify(b"endorsement", &sig).unwrap())
     });

@@ -37,25 +37,33 @@ fn bench_training_and_rounds(c: &mut Criterion) {
     });
 
     for protected in [false, true] {
-        let label = if protected { "protected" } else { "unprotected" };
-        group.bench_with_input(BenchmarkId::new("keyboard_round_8users", label), &protected, |b, &p| {
-            b.iter(|| {
-                run_keyboard_round(&KeyboardRoundConfig {
-                    users: 8,
-                    malicious_fraction: 0.125,
-                    attack: Some(AttackKind::OutOfRange538),
-                    protected: p,
-                    predicate_level: PredicateLevel::Corroborate,
-                    seed: [9u8; 32],
-                    workload: KeyboardWorkloadConfig {
+        let label = if protected {
+            "protected"
+        } else {
+            "unprotected"
+        };
+        group.bench_with_input(
+            BenchmarkId::new("keyboard_round_8users", label),
+            &protected,
+            |b, &p| {
+                b.iter(|| {
+                    run_keyboard_round(&KeyboardRoundConfig {
                         users: 8,
-                        vocab_size: 40,
-                        sentences_per_user: 10,
-                        ..KeyboardWorkloadConfig::default()
-                    },
+                        malicious_fraction: 0.125,
+                        attack: Some(AttackKind::OutOfRange538),
+                        protected: p,
+                        predicate_level: PredicateLevel::Corroborate,
+                        seed: [9u8; 32],
+                        workload: KeyboardWorkloadConfig {
+                            users: 8,
+                            vocab_size: 40,
+                            sentences_per_user: 10,
+                            ..KeyboardWorkloadConfig::default()
+                        },
+                    })
                 })
-            })
-        });
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,164 @@
+//! Gateway serving benches: batched-pool vs. per-device endorsement
+//! throughput at 1/8/64 concurrent sessions.
+//!
+//! `pooled_batched/N` measures steady-state serving: N established sessions
+//! each submit one encrypted contribution and the gateway drains them in
+//! batched ECALLs. `per_device/N` measures the Section 4.2 baseline where
+//! every device gets a freshly built, provisioned enclave host for its
+//! single contribution — the cost the pool amortizes away.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use glimmer_core::blinding::BlindingService;
+use glimmer_core::host::GlimmerDescriptor;
+use glimmer_core::protocol::{BatchOutcome, Contribution, ContributionPayload, PrivateData};
+use glimmer_core::remote::{IotDeviceSession, RemoteGlimmerHost};
+use glimmer_core::signing::ServiceKeyMaterial;
+use glimmer_crypto::drbg::Drbg;
+use glimmer_gateway::{Gateway, GatewayConfig, TenantConfig};
+use sgx_sim::{AttestationService, PlatformConfig};
+use std::time::Duration;
+
+const APP: &str = "iot-telemetry.example";
+const DIM: usize = 8;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+fn contribution(client_id: u64) -> Contribution {
+    Contribution {
+        app_id: APP.to_string(),
+        client_id,
+        round: 0,
+        payload: ContributionPayload::IotReadings {
+            samples: vec![0.4; DIM],
+        },
+    }
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gateway");
+    for &sessions in &[1usize, 8, 64] {
+        let clients: Vec<u64> = (0..sessions as u64).collect();
+        let masks = BlindingService::new([13u8; 32]).zero_sum_masks(0, &clients, DIM);
+        group.throughput(Throughput::Elements(sessions as u64));
+
+        // Steady state: pool built and sessions established outside the loop.
+        {
+            let mut rng = Drbg::from_seed([21u8; 32]);
+            let mut avs = AttestationService::new([22u8; 32]);
+            let material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+            let mut gateway = Gateway::new(
+                GatewayConfig {
+                    slots_per_tenant: (sessions / 16).max(1),
+                    max_batch: 256,
+                    max_queue_depth: 4096,
+                    platform_config: PlatformConfig::default(),
+                },
+                vec![TenantConfig::new(
+                    APP,
+                    GlimmerDescriptor::iot_default(Vec::new()),
+                    material.secret_bytes(),
+                )],
+                &mut avs,
+                &mut rng,
+            )
+            .unwrap();
+            let approved = gateway.measurement(APP).unwrap();
+            let mut established = Vec::with_capacity(sessions);
+            for client in &clients {
+                let (sid, offer) = gateway.open_session(APP).unwrap();
+                let (accept, device) =
+                    IotDeviceSession::connect(&offer, &avs, &approved, &mut rng).unwrap();
+                gateway.complete_session(sid, &accept).unwrap();
+                gateway.install_mask(sid, &masks[*client as usize]).unwrap();
+                established.push((sid, *client, device));
+            }
+            group.bench_with_input(
+                BenchmarkId::new("pooled_batched", sessions),
+                &sessions,
+                |b, _| {
+                    b.iter(|| {
+                        for (sid, client, device) in &mut established {
+                            let request =
+                                device.encrypt_request(contribution(*client), PrivateData::None);
+                            gateway.submit(*sid, request).unwrap();
+                        }
+                        // Decrypt every reply at the device, matching the
+                        // per-device baseline's client-side work.
+                        let mut endorsed = 0usize;
+                        for response in gateway.drain_all().unwrap() {
+                            // Fail loudly rather than silently timing an
+                            // error path (e.g. an exhausted nonce window).
+                            let BatchOutcome::Reply { ciphertext, .. } = &response.outcome else {
+                                panic!("bench item failed: {:?}", response.outcome);
+                            };
+                            let (_, _, device) = established
+                                .iter()
+                                .find(|(sid, _, _)| *sid == response.session_id)
+                                .unwrap();
+                            device.decrypt_response(ciphertext).unwrap();
+                            endorsed += 1;
+                        }
+                        endorsed
+                    })
+                },
+            );
+        }
+
+        // Baseline: every contribution pays a fresh enclave host.
+        {
+            let mut rng = Drbg::from_seed([23u8; 32]);
+            let mut avs = AttestationService::new([22u8; 32]);
+            let material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new("per_device", sessions),
+                &sessions,
+                |b, _| {
+                    b.iter(|| {
+                        let mut endorsed = 0usize;
+                        for client in &clients {
+                            let mut host = RemoteGlimmerHost::new(
+                                GlimmerDescriptor::iot_default(Vec::new()),
+                                PlatformConfig::default(),
+                                &mut rng,
+                                &mut avs,
+                            )
+                            .unwrap();
+                            host.client_mut()
+                                .install_service_key(&material.secret_bytes())
+                                .unwrap();
+                            host.client_mut()
+                                .install_mask(&masks[*client as usize])
+                                .unwrap();
+                            let approved = host.measurement();
+                            let offer = host.attestation_offer().unwrap();
+                            let (accept, mut device) =
+                                IotDeviceSession::connect(&offer, &avs, &approved, &mut rng)
+                                    .unwrap();
+                            host.accept_device(&accept).unwrap();
+                            let request =
+                                device.encrypt_request(contribution(*client), PrivateData::None);
+                            let reply = host.relay(&request).unwrap();
+                            if device.decrypt_response(&reply).is_ok() {
+                                endorsed += 1;
+                            }
+                        }
+                        endorsed
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_serving
+}
+criterion_main!(benches);

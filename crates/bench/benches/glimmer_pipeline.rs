@@ -27,7 +27,9 @@ fn bench_pipeline(c: &mut Criterion) {
             &mut rng,
         )
         .unwrap();
-        client.install_service_key(&material.secret_bytes()).unwrap();
+        client
+            .install_service_key(&material.secret_bytes())
+            .unwrap();
         let masks = BlindingService::new([3u8; 32]).zero_sum_masks(0, &[0, 1], dim);
         client.install_mask(&masks[0]).unwrap();
         let weights: Vec<f64> = (0..dim).map(|i| (i % 7) as f64 / 10.0).collect();

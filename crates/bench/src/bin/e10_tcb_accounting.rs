@@ -3,8 +3,20 @@ use glimmer_bench::e10_tcb_accounting;
 
 fn main() {
     println!("E10: Glimmer TCB accounting and verifiability");
-    println!("{:>28} {:>12} {:>8} {:>10} {:>11} {:>14} {:>11}", "glimmer", "descr bytes", "pages", "EPC KiB", "predicates", "declassifiers", "verifiable");
+    println!(
+        "{:>28} {:>12} {:>8} {:>10} {:>11} {:>14} {:>11}",
+        "glimmer", "descr bytes", "pages", "EPC KiB", "predicates", "declassifiers", "verifiable"
+    );
     for r in e10_tcb_accounting() {
-        println!("{:>28} {:>12} {:>8} {:>10} {:>11} {:>14} {:>11}", r.name, r.descriptor_bytes, r.total_pages, r.epc_kib, r.predicates, r.declassifiers, r.verifiable);
+        println!(
+            "{:>28} {:>12} {:>8} {:>10} {:>11} {:>14} {:>11}",
+            r.name,
+            r.descriptor_bytes,
+            r.total_pages,
+            r.epc_kib,
+            r.predicates,
+            r.declassifiers,
+            r.verifiable
+        );
     }
 }

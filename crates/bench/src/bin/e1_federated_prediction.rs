@@ -3,12 +3,19 @@ use glimmer_bench::e1_federated_prediction;
 
 fn main() {
     println!("E1: federated next-word prediction (Figure 1a/1b)");
-    println!("{:>6} {:>10} {:>10} {:>12} {:>10} {:>12}", "users", "fed top1", "fed top3", "single top1", "fed trend", "single trend");
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>10} {:>12}",
+        "users", "fed top1", "fed top3", "single top1", "fed trend", "single trend"
+    );
     for row in e1_federated_prediction(&[8, 16, 32, 64, 128], [42u8; 32]) {
         println!(
             "{:>6} {:>10.3} {:>10.3} {:>12.3} {:>10} {:>12}",
-            row.users, row.federated_top1, row.federated_top3, row.single_user_top1,
-            row.federated_trending, row.single_user_trending
+            row.users,
+            row.federated_top1,
+            row.federated_top3,
+            row.single_user_top1,
+            row.federated_trending,
+            row.single_user_trending
         );
     }
 }

@@ -3,8 +3,14 @@ use glimmer_bench::e2_secure_aggregation;
 
 fn main() {
     println!("E2: secure aggregation (Figure 1c)");
-    println!("{:>8} {:>10} {:>14} {:>14}", "clients", "dim", "max_abs_err", "masked_frac");
+    println!(
+        "{:>8} {:>10} {:>14} {:>14}",
+        "clients", "dim", "max_abs_err", "masked_frac"
+    );
     for row in e2_secure_aggregation(&[8, 32, 128, 512], &[16, 256, 4096], [42u8; 32]) {
-        println!("{:>8} {:>10} {:>14.2e} {:>14.4}", row.clients, row.dimension, row.max_abs_error, row.masked_fraction);
+        println!(
+            "{:>8} {:>10} {:>14.2e} {:>14.4}",
+            row.clients, row.dimension, row.max_abs_error, row.masked_fraction
+        );
     }
 }

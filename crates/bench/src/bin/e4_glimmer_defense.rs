@@ -3,9 +3,27 @@ use glimmer_bench::{e3_e4_poisoning_sweep, AttackKind};
 
 fn main() {
     println!("E4: the same attacks against the Glimmer-protected service");
-    println!("{:>18} {:>8} {:>9} {:>9} {:>12} {:>10} {:>9}", "attack", "mal%", "rejected", "top1", "L2-to-honest", "oor-frac", "trending");
-    let rows = e3_e4_poisoning_sweep(32, &[0.05, 0.10, 0.25], &AttackKind::all(), true, [42u8; 32]);
+    println!(
+        "{:>18} {:>8} {:>9} {:>9} {:>12} {:>10} {:>9}",
+        "attack", "mal%", "rejected", "top1", "L2-to-honest", "oor-frac", "trending"
+    );
+    let rows = e3_e4_poisoning_sweep(
+        32,
+        &[0.05, 0.10, 0.25],
+        &AttackKind::all(),
+        true,
+        [42u8; 32],
+    );
     for r in rows {
-        println!("{:>18} {:>8.2} {:>9} {:>9.3} {:>12.2} {:>10.4} {:>9}", r.attack, r.malicious_fraction, r.rejected, r.top1_accuracy, r.l2_from_honest, r.out_of_range_fraction, r.trending_top1);
+        println!(
+            "{:>18} {:>8.2} {:>9} {:>9.3} {:>12.2} {:>10.4} {:>9}",
+            r.attack,
+            r.malicious_fraction,
+            r.rejected,
+            r.top1_accuracy,
+            r.l2_from_honest,
+            r.out_of_range_fraction,
+            r.trending_top1
+        );
     }
 }

@@ -3,8 +3,18 @@ use glimmer_bench::e5_overhead;
 
 fn main() {
     println!("E5: Glimmer overhead per contribution");
-    println!("{:>8} {:>14} {:>16} {:>8} {:>18}", "dim", "wall us/contr", "cycles/contr", "ecalls", "split est cycles");
+    println!(
+        "{:>8} {:>14} {:>16} {:>8} {:>18}",
+        "dim", "wall us/contr", "cycles/contr", "ecalls", "split est cycles"
+    );
     for r in e5_overhead(&[16, 64, 256, 1024, 4096], 20, [42u8; 32]) {
-        println!("{:>8} {:>14.1} {:>16} {:>8} {:>18}", r.dimension, r.wall_micros_per_contribution, r.enclave_cycles_per_contribution, r.ecalls_single, r.estimated_cycles_split);
+        println!(
+            "{:>8} {:>14.1} {:>16} {:>8} {:>18}",
+            r.dimension,
+            r.wall_micros_per_contribution,
+            r.enclave_cycles_per_contribution,
+            r.ecalls_single,
+            r.estimated_cycles_split
+        );
     }
 }

@@ -3,8 +3,18 @@ use glimmer_bench::e6_validation_spectrum;
 
 fn main() {
     println!("E6: validation predicate spectrum");
-    println!("{:>12} {:>18} {:>14} {:>14} {:>16}", "level", "attack", "attack succ", "honest accept", "mean pred cost");
+    println!(
+        "{:>12} {:>18} {:>14} {:>14} {:>16}",
+        "level", "attack", "attack succ", "honest accept", "mean pred cost"
+    );
     for r in e6_validation_spectrum(32, [42u8; 32]) {
-        println!("{:>12} {:>18} {:>14.3} {:>14.3} {:>16.0}", r.level, r.attack, r.attack_success_rate, r.honest_acceptance_rate, r.mean_predicate_cost);
+        println!(
+            "{:>12} {:>18} {:>14.3} {:>14.3} {:>16.0}",
+            r.level,
+            r.attack,
+            r.attack_success_rate,
+            r.honest_acceptance_rate,
+            r.mean_predicate_cost
+        );
     }
 }

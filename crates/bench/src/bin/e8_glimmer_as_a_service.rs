@@ -3,9 +3,20 @@ use glimmer_bench::e8_glimmer_as_a_service;
 
 fn main() {
     println!("E8: glimmer-as-a-service");
-    println!("{:>8} {:>10} {:>10} {:>16} {:>16} {:>16}", "devices", "endorsed", "rejected", "remote ms/dev", "local ms/contr", "host cycles");
+    println!(
+        "{:>8} {:>10} {:>10} {:>16} {:>16} {:>16}",
+        "devices", "endorsed", "rejected", "remote ms/dev", "local ms/contr", "host cycles"
+    );
     for &devices in &[4usize, 16, 64] {
         let r = e8_glimmer_as_a_service(devices, 16, [42u8; 32]);
-        println!("{:>8} {:>10} {:>10} {:>16.2} {:>16.2} {:>16}", r.devices, r.endorsed, r.rejected, r.remote_ms_per_device, r.local_ms_per_contribution, r.host_enclave_cycles);
+        println!(
+            "{:>8} {:>10} {:>10} {:>16.2} {:>16.2} {:>16}",
+            r.devices,
+            r.endorsed,
+            r.rejected,
+            r.remote_ms_per_device,
+            r.local_ms_per_contribution,
+            r.host_enclave_cycles
+        );
     }
 }

@@ -3,9 +3,15 @@ use glimmer_bench::e9_model_inversion;
 
 fn main() {
     println!("E9: membership inversion against individual contributions");
-    println!("{:>6} {:>14} {:>12} {:>18} {:>16}", "users", "raw precision", "raw recall", "blinded precision", "blinded recall");
+    println!(
+        "{:>6} {:>14} {:>12} {:>18} {:>16}",
+        "users", "raw precision", "raw recall", "blinded precision", "blinded recall"
+    );
     for &users in &[16usize, 64] {
         let r = e9_model_inversion(users, [42u8; 32]);
-        println!("{:>6} {:>14.3} {:>12.3} {:>18.3} {:>16.3}", r.users, r.raw_precision, r.raw_recall, r.blinded_precision, r.blinded_recall);
+        println!(
+            "{:>6} {:>14.3} {:>12.3} {:>18.3} {:>16.3}",
+            r.users, r.raw_precision, r.raw_recall, r.blinded_precision, r.blinded_recall
+        );
     }
 }

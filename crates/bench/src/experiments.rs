@@ -1,5 +1,4 @@
-//! The E1–E10 experiment implementations (see DESIGN.md §4 and
-//! EXPERIMENTS.md).
+//! The E1–E11 experiment implementations.
 //!
 //! Every experiment is a pure function of its configuration and seed, so the
 //! binaries, the Criterion benches, and the integration tests can all run the
@@ -24,8 +23,8 @@ use glimmer_federated::trainer::train_local_model;
 use glimmer_federated::{GlobalModel, LocalModel};
 use glimmer_services::botdetect::BotDetectionService;
 use glimmer_services::keyboard::{KeyboardService, KeyboardServiceConfig};
-use glimmer_wire::Encoder;
 use glimmer_services::ServiceError;
+use glimmer_wire::Encoder;
 use glimmer_workloads::adversary::{AdversaryMix, ClientRole};
 use glimmer_workloads::botsignals::{BotSignalWorkload, SessionKind};
 use glimmer_workloads::keyboard::{KeyboardWorkload, KeyboardWorkloadConfig};
@@ -225,11 +224,8 @@ pub fn run_keyboard_round(cfg: &KeyboardRoundConfig) -> KeyboardRoundResult {
         require_blinding: true,
         ..KeyboardServiceConfig::default()
     };
-    let mut service = KeyboardService::new(
-        service_config,
-        schema.clone(),
-        Some(material.verifier()),
-    );
+    let mut service =
+        KeyboardService::new(service_config, schema.clone(), Some(material.verifier()));
     let blinding = BlindingService::new([7u8; 32]);
     let masks = blinding.zero_sum_masks(0, &client_ids, dimension);
 
@@ -255,10 +251,15 @@ pub fn run_keyboard_round(cfg: &KeyboardRoundConfig) -> KeyboardRoundResult {
         if cfg.protected {
             // Every client runs its own Glimmer.
             let mut client_rng = rng.fork(&format!("client-{i}"));
-            let mut glimmer =
-                GlimmerClient::new(descriptor.clone(), PlatformConfig::default(), &mut client_rng)
-                    .unwrap();
-            glimmer.install_service_key(&material.secret_bytes()).unwrap();
+            let mut glimmer = GlimmerClient::new(
+                descriptor.clone(),
+                PlatformConfig::default(),
+                &mut client_rng,
+            )
+            .unwrap();
+            glimmer
+                .install_service_key(&material.secret_bytes())
+                .unwrap();
             glimmer.install_mask(&masks[i]).unwrap();
             let private = PrivateData::KeyboardLog {
                 sentences: user.sentences.clone(),
@@ -306,7 +307,7 @@ pub fn run_keyboard_round(cfg: &KeyboardRoundConfig) -> KeyboardRoundResult {
             accepted: 0,
             rejected,
             model: GlobalModel::empty(&schema),
-            },
+        },
         Err(e) => panic!("unexpected service error: {e}"),
     };
 
@@ -476,7 +477,11 @@ pub struct E2Row {
 
 /// Runs E2 over a grid of client counts and dimensions.
 #[must_use]
-pub fn e2_secure_aggregation(clients: &[usize], dimensions: &[usize], seed: [u8; 32]) -> Vec<E2Row> {
+pub fn e2_secure_aggregation(
+    clients: &[usize],
+    dimensions: &[usize],
+    seed: [u8; 32],
+) -> Vec<E2Row> {
     let mut rng = Drbg::from_seed(seed);
     let mut rows = Vec::new();
     for &n in clients {
@@ -629,7 +634,9 @@ pub fn e5_overhead(dimensions: &[usize], repetitions: usize, seed: [u8; 32]) -> 
             &mut rng,
         )
         .unwrap();
-        glimmer.install_service_key(&material.secret_bytes()).unwrap();
+        glimmer
+            .install_service_key(&material.secret_bytes())
+            .unwrap();
         let masks = BlindingService::new([5u8; 32]).zero_sum_masks(0, &[0, 1], dim);
         glimmer.install_mask(&masks[0]).unwrap();
         let baseline = glimmer.cost_report();
@@ -730,7 +737,9 @@ pub fn e6_validation_spectrum(users: usize, seed: [u8; 32]) -> Vec<E6Row> {
             .map(PredicateSpec::instantiate)
             .collect();
         let validate = |contribution: &Contribution, private: &PrivateData| {
-            predicates.iter().all(|p| p.validate(contribution, private).passed)
+            predicates
+                .iter()
+                .all(|p| p.validate(contribution, private).passed)
         };
         let cost = |contribution: &Contribution, private: &PrivateData| -> u64 {
             predicates
@@ -874,7 +883,11 @@ pub fn e7_bot_detection(sessions: usize, bot_fraction: f64, seed: [u8; 32]) -> E
         match client.confidential_check(
             challenge,
             PrivateData::BotSignals {
-                signals: workload.sessions.first().map(|s| s.signals.clone()).unwrap_or_default(),
+                signals: workload
+                    .sessions
+                    .first()
+                    .map(|s| s.signals.clone())
+                    .unwrap_or_default(),
             },
         ) {
             Ok(frame) => {
@@ -889,8 +902,8 @@ pub fn e7_bot_detection(sessions: usize, bot_fraction: f64, seed: [u8; 32]) -> E
         bots: workload.bot_count(),
         glimmer_accuracy: glimmer_correct as f64 / sessions.max(1) as f64,
         raw_upload_accuracy: raw_correct as f64 / sessions.max(1) as f64,
-        glimmer_bytes_per_session: if sessions > 0 { glimmer_bytes / sessions } else { 0 },
-        raw_bytes_per_session: if sessions > 0 { raw_bytes / sessions } else { 0 },
+        glimmer_bytes_per_session: glimmer_bytes.checked_div(sessions).unwrap_or(0),
+        raw_bytes_per_session: raw_bytes.checked_div(sessions).unwrap_or(0),
         auditor_rejections,
         capacity_bound_bits: budget,
     }
@@ -921,10 +934,15 @@ pub struct E8Result {
 
 /// Runs E8.
 #[must_use]
-pub fn e8_glimmer_as_a_service(devices: usize, samples_per_device: usize, seed: [u8; 32]) -> E8Result {
+pub fn e8_glimmer_as_a_service(
+    devices: usize,
+    samples_per_device: usize,
+    seed: [u8; 32],
+) -> E8Result {
     let mut rng = Drbg::from_seed(seed);
     let mut avs = AttestationService::new([19u8; 32]);
-    let workload = glimmer_workloads::iot::IotWorkload::generate(devices, samples_per_device, 0.3, seed);
+    let workload =
+        glimmer_workloads::iot::IotWorkload::generate(devices, samples_per_device, 0.3, seed);
 
     let material = ServiceKeyMaterial::generate(&mut rng).unwrap();
     let mut host = RemoteGlimmerHost::new(
@@ -1134,6 +1152,225 @@ pub fn e10_tcb_accounting() -> Vec<E10Row> {
         .collect()
 }
 
+/// One row of the E11 gateway-serving comparison.
+#[derive(Debug, Clone)]
+pub struct E11Row {
+    /// Concurrent device sessions served.
+    pub sessions: usize,
+    /// Requests each session submits.
+    pub requests_per_session: usize,
+    /// Pool slots (shards) the gateway ran with.
+    pub slots: usize,
+    /// Requests that produced endorsements (identical on both paths).
+    pub endorsed: usize,
+    /// Requests rejected by validation (identical on both paths).
+    pub rejected: usize,
+    /// Wall-clock ms for the per-device baseline (one fresh
+    /// `RemoteGlimmerHost` per device, sequential encrypted round trips).
+    pub per_device_ms: f64,
+    /// Wall-clock ms for the pooled gateway to serve the same traffic
+    /// (handshakes + submits + batched drains; pool build excluded as a
+    /// one-time amortized cost).
+    pub pooled_ms: f64,
+    /// Wall-clock ms the gateway spent building + provisioning the pool
+    /// (paid once, independent of traffic volume).
+    pub pool_build_ms: f64,
+    /// Endorsements per second on the per-device path.
+    pub per_device_endorse_per_s: f64,
+    /// Endorsements per second on the pooled path.
+    pub pooled_endorse_per_s: f64,
+    /// `per_device_ms / pooled_ms`.
+    pub speedup: f64,
+    /// Simulated enclave cycles per request, per-device path (includes the
+    /// per-device enclave build).
+    pub per_device_cycles_per_req: f64,
+    /// Simulated enclave cycles per request spent in the gateway's batched
+    /// drains.
+    pub pooled_drain_cycles_per_req: f64,
+}
+
+/// Runs E11: pooled-batched gateway serving vs. the per-device
+/// `RemoteGlimmerHost` baseline over identical traffic.
+#[must_use]
+pub fn e11_gateway_serving(
+    sessions: usize,
+    requests_per_session: usize,
+    slots: usize,
+    seed: [u8; 32],
+) -> E11Row {
+    use glimmer_gateway::{Gateway, GatewayConfig, TenantConfig};
+    use glimmer_workloads::gateway::{GatewayTrafficWorkload, TenantTrafficSpec};
+
+    const APP: &str = "iot-telemetry.example";
+    let dimension = 8usize;
+    let workload = GatewayTrafficWorkload::generate(
+        &[TenantTrafficSpec {
+            name: APP.to_string(),
+            devices: sessions,
+            requests_per_device: requests_per_session,
+            dimension,
+            misbehaving_fraction: 0.2,
+        }],
+        seed,
+    );
+    let devices = &workload.tenants[0].devices;
+    let mut rng = Drbg::from_seed(seed);
+    let material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+    let client_ids: Vec<u64> = devices.iter().map(|d| d.device_id).collect();
+    // One mask per (round, client): round r is the device's r-th request.
+    let blinding = BlindingService::new([31u8; 32]);
+    let mask_rounds: Vec<Vec<glimmer_core::blinding::MaskShare>> = (0..requests_per_session)
+        .map(|round| blinding.zero_sum_masks(round as u64, &client_ids, dimension))
+        .collect();
+    let contribution =
+        |device: &glimmer_workloads::gateway::DeviceTraffic, round: usize| Contribution {
+            app_id: APP.to_string(),
+            client_id: device.device_id,
+            round: round as u64,
+            payload: ContributionPayload::IotReadings {
+                samples: device.requests[round].clone(),
+            },
+        };
+
+    // --- Per-device baseline: a fresh enclave host per device. ---
+    let mut avs = AttestationService::new([17u8; 32]);
+    let mut endorsed = 0usize;
+    let mut rejected = 0usize;
+    let mut per_device_cycles = 0u64;
+    let mut endorsements = Vec::new();
+    let per_device_start = Instant::now();
+    for (i, device) in devices.iter().enumerate() {
+        let mut host = RemoteGlimmerHost::new(
+            GlimmerDescriptor::iot_default(Vec::new()),
+            PlatformConfig::default(),
+            &mut rng,
+            &mut avs,
+        )
+        .unwrap();
+        host.client_mut()
+            .install_service_key(&material.secret_bytes())
+            .unwrap();
+        for round in mask_rounds.iter() {
+            host.client_mut().install_mask(&round[i]).unwrap();
+        }
+        let approved = host.measurement();
+        let offer = host.attestation_offer().unwrap();
+        let (accept, mut session) =
+            IotDeviceSession::connect(&offer, &avs, &approved, &mut rng).unwrap();
+        host.accept_device(&accept).unwrap();
+        for round in 0..requests_per_session {
+            let request = session.encrypt_request(contribution(device, round), PrivateData::None);
+            let response = session
+                .decrypt_response(&host.relay(&request).unwrap())
+                .unwrap();
+            match response {
+                ProcessResponse::Endorsed(e) => {
+                    endorsements.push(e);
+                    endorsed += 1;
+                }
+                ProcessResponse::Rejected { .. } => rejected += 1,
+            }
+        }
+        per_device_cycles += host.cost_report().total_cycles;
+    }
+    let per_device_elapsed = per_device_start.elapsed().as_secs_f64();
+    // Endorsement signatures are verified by the tenant service, identically
+    // on either architecture, so verification sits outside both timed
+    // regions; it still runs, to prove the produced endorsements are valid.
+    for e in endorsements.drain(..) {
+        material.verifier().verify(&e).unwrap();
+    }
+
+    // --- Pooled gateway: pre-provisioned slots, batched drains. ---
+    let mut avs = AttestationService::new([17u8; 32]);
+    let pool_build_start = Instant::now();
+    let mut gateway = Gateway::new(
+        GatewayConfig {
+            slots_per_tenant: slots,
+            max_batch: 256,
+            max_queue_depth: (sessions * requests_per_session).max(256),
+            platform_config: PlatformConfig::default(),
+        },
+        vec![TenantConfig::new(
+            APP,
+            GlimmerDescriptor::iot_default(Vec::new()),
+            material.secret_bytes(),
+        )],
+        &mut avs,
+        &mut rng,
+    )
+    .unwrap();
+    let pool_build_elapsed = pool_build_start.elapsed().as_secs_f64();
+
+    let pooled_start = Instant::now();
+    let approved = gateway.measurement(APP).unwrap();
+    let mut device_sessions = Vec::with_capacity(devices.len());
+    for (i, _device) in devices.iter().enumerate() {
+        let (sid, offer) = gateway.open_session(APP).unwrap();
+        let (accept, session) =
+            IotDeviceSession::connect(&offer, &avs, &approved, &mut rng).unwrap();
+        gateway.complete_session(sid, &accept).unwrap();
+        for round in mask_rounds.iter() {
+            gateway.install_mask(sid, &round[i]).unwrap();
+        }
+        device_sessions.push((sid, session));
+    }
+    // Replay the interleaved arrival schedule, then drain in batches.
+    for event in &workload.schedule {
+        let device = &workload.tenants[event.tenant].devices[event.device];
+        let (sid, session) = &mut device_sessions[event.device];
+        let request =
+            session.encrypt_request(contribution(device, event.request), PrivateData::None);
+        gateway.submit(*sid, request).unwrap();
+    }
+    let responses = gateway.drain_all().unwrap();
+    // Devices decrypt their replies inside the timed region, mirroring the
+    // per-device baseline's client-side work; signature verification happens
+    // after timing on both paths (see above).
+    let mut pooled_endorsed = 0usize;
+    for response in &responses {
+        let glimmer_core::protocol::BatchOutcome::Reply { ciphertext, .. } = &response.outcome
+        else {
+            continue;
+        };
+        let (_, session) = device_sessions
+            .iter()
+            .find(|(sid, _)| *sid == response.session_id)
+            .unwrap();
+        if let ProcessResponse::Endorsed(e) = session.decrypt_response(ciphertext).unwrap() {
+            endorsements.push(e);
+            pooled_endorsed += 1;
+        }
+    }
+    let pooled_elapsed = pooled_start.elapsed().as_secs_f64();
+    for e in endorsements.drain(..) {
+        material.verifier().verify(&e).unwrap();
+    }
+    assert_eq!(
+        pooled_endorsed, endorsed,
+        "pooled and per-device paths must agree on endorsements"
+    );
+
+    let stats = gateway.stats();
+    let drain_cycles: u64 = stats.slots.iter().map(|s| s.stats.drain_cycles).sum();
+    let total_requests = (sessions * requests_per_session).max(1) as f64;
+    E11Row {
+        sessions,
+        requests_per_session,
+        slots,
+        endorsed,
+        rejected,
+        per_device_ms: per_device_elapsed * 1e3,
+        pooled_ms: pooled_elapsed * 1e3,
+        pool_build_ms: pool_build_elapsed * 1e3,
+        per_device_endorse_per_s: endorsed as f64 / per_device_elapsed.max(1e-9),
+        pooled_endorse_per_s: endorsed as f64 / pooled_elapsed.max(1e-9),
+        speedup: per_device_elapsed / pooled_elapsed.max(1e-9),
+        per_device_cycles_per_req: per_device_cycles as f64 / total_requests,
+        pooled_drain_cycles_per_req: drain_cycles as f64 / total_requests,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1162,13 +1399,8 @@ mod tests {
     #[test]
     fn e3_unprotected_round_is_poisoned_and_e4_protected_recovers() {
         let users = 12;
-        let unprotected = e3_e4_poisoning_sweep(
-            users,
-            &[0.1],
-            &[AttackKind::OutOfRange538],
-            false,
-            SEED,
-        );
+        let unprotected =
+            e3_e4_poisoning_sweep(users, &[0.1], &[AttackKind::OutOfRange538], false, SEED);
         let protected =
             e3_e4_poisoning_sweep(users, &[0.1], &[AttackKind::OutOfRange538], true, SEED);
         assert_eq!(unprotected.len(), 1);
@@ -1204,7 +1436,10 @@ mod tests {
                 .unwrap()
         };
         // The 538 attack is caught by every level.
-        assert_eq!(find("range-only", "out-of-range-538").attack_success_rate, 0.0);
+        assert_eq!(
+            find("range-only", "out-of-range-538").attack_success_rate,
+            0.0
+        );
         // The in-range bias slips past the range check but not retraining.
         assert_eq!(find("range-only", "in-range-bias").attack_success_rate, 1.0);
         assert!(find("retrain", "in-range-bias").attack_success_rate < 0.5);
@@ -1244,6 +1479,32 @@ mod tests {
         assert!(result.host_enclave_cycles > 0);
         assert!(result.remote_ms_per_device > 0.0);
         assert!(result.local_ms_per_contribution > 0.0);
+    }
+
+    #[test]
+    fn e11_pooled_gateway_beats_per_device_hosting() {
+        let row = e11_gateway_serving(8, 4, 2, SEED);
+        assert_eq!(row.sessions, 8);
+        assert_eq!(row.endorsed + row.rejected, 8 * 4);
+        assert!(row.endorsed > 0);
+        // The pool amortizes enclave build + attestation. The simulated
+        // enclave-cycle metric is deterministic, so it is asserted always:
+        // batching must cut per-request enclave cost by at least an order of
+        // magnitude.
+        assert!(
+            row.pooled_drain_cycles_per_req * 10.0 < row.per_device_cycles_per_req,
+            "batched drains did not amortize: {} vs {}",
+            row.pooled_drain_cycles_per_req,
+            row.per_device_cycles_per_req
+        );
+        // Wall-clock speedup is reported but not asserted: both timed
+        // regions are dominated by identical device-side handshake crypto,
+        // and the enclave costs pooling amortizes are *simulated* cycles
+        // that consume no wall-clock in this simulator. The steady-state
+        // Criterion bench (benches/gateway.rs) is the wall-clock
+        // demonstration; this experiment's deterministic cycle metric is
+        // the architectural one.
+        assert!(row.per_device_ms > 0.0 && row.pooled_ms > 0.0);
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! Experiment harness for the Glimmers reproduction.
 //!
 //! The paper (HotOS 2017) has no measurement tables; its figures are
-//! architecture and scenario illustrations. EXPERIMENTS.md therefore defines
-//! ten experiments (E1–E10) derived from the figures, worked examples, and
-//! quantitative claims, and this crate implements each one as a reusable
-//! function plus a binary that prints the corresponding table. The Criterion
+//! architecture and scenario illustrations. This crate therefore defines
+//! eleven experiments derived from the figures, worked examples, and
+//! quantitative claims — E1–E10 from the paper plus E11, the gateway
+//! serving comparison — and implements each one as a reusable function
+//! plus a binary that prints the corresponding table. The Criterion
 //! benches under `benches/` cover the micro-benchmarks (crypto, enclave
 //! transitions, blinding, validation, end-to-end pipeline).
 

@@ -394,11 +394,7 @@ impl BigUint {
     /// Uses Montgomery arithmetic when the modulus is odd (the common case for
     /// the prime moduli used here), falling back to multiply-and-reduce for
     /// even moduli.
-    pub fn mod_exp(
-        &self,
-        exponent: &BigUint,
-        modulus: &BigUint,
-    ) -> Result<BigUint, CryptoError> {
+    pub fn mod_exp(&self, exponent: &BigUint, modulus: &BigUint) -> Result<BigUint, CryptoError> {
         if modulus.is_zero() {
             return Err(CryptoError::DivisionByZero);
         }
@@ -464,7 +460,7 @@ impl BigUint {
         if bound.is_zero() {
             return BigUint::zero();
         }
-        let byte_len = (bound.bit_len() + 7) / 8;
+        let byte_len = bound.bit_len().div_ceil(8);
         let top_bits = bound.bit_len() % 8;
         loop {
             let mut bytes = rng.bytes(byte_len);
@@ -556,7 +552,9 @@ impl MontgomeryCtx {
     /// Creates a context; the modulus must be odd and greater than one.
     pub fn new(modulus: &BigUint) -> Result<Self, CryptoError> {
         if modulus.is_zero() || !modulus.is_odd() || modulus == &BigUint::one() {
-            return Err(CryptoError::OutOfRange("Montgomery modulus must be odd and > 1"));
+            return Err(CryptoError::OutOfRange(
+                "Montgomery modulus must be odd and > 1",
+            ));
         }
         let n = modulus.limbs.clone();
         let s = n.len();
@@ -589,6 +587,7 @@ impl MontgomeryCtx {
     fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
         let s = self.limbs();
         let mut t = vec![0u64; s + 2];
+        #[allow(clippy::needless_range_loop)]
         for i in 0..s {
             // t += a * b[i]
             let mut carry: u64 = 0;
@@ -789,8 +788,8 @@ mod tests {
         let a = big(999999);
         let b = big(777777);
         assert_eq!(a.mod_add(&b, &m).unwrap(), big((999999 + 777777) % 1000003));
-        assert_eq!(a.mod_sub(&b, &m).unwrap(), big((999999 - 777777) % 1000003));
-        assert_eq!(b.mod_sub(&a, &m).unwrap(), big((777777 + 1000003 - 999999) % 1000003));
+        assert_eq!(a.mod_sub(&b, &m).unwrap(), big(999999 - 777777));
+        assert_eq!(b.mod_sub(&a, &m).unwrap(), big(777777 + 1000003 - 999999));
         assert_eq!(a.mod_mul(&b, &m).unwrap(), big((999999 * 777777) % 1000003));
     }
 
@@ -815,7 +814,10 @@ mod tests {
             );
         }
         // Edge cases.
-        assert_eq!(big(5).mod_exp(&BigUint::zero(), &p).unwrap(), BigUint::one());
+        assert_eq!(
+            big(5).mod_exp(&BigUint::zero(), &p).unwrap(),
+            BigUint::one()
+        );
         assert_eq!(
             big(5).mod_exp(&big(3), &BigUint::one()).unwrap(),
             BigUint::zero()
@@ -825,7 +827,10 @@ mod tests {
 
     #[test]
     fn mod_exp_even_modulus_fallback() {
-        assert_eq!(big(7).mod_exp(&big(13), &big(1000)).unwrap(), big(7u128.pow(13) % 1000));
+        assert_eq!(
+            big(7).mod_exp(&big(13), &big(1000)).unwrap(),
+            big(7u128.pow(13) % 1000)
+        );
     }
 
     #[test]
@@ -858,7 +863,11 @@ mod tests {
         let p = big(1000003);
         for a in [2u128, 3, 999999, 500000] {
             let inv = big(a).mod_inverse(&p).unwrap();
-            assert_eq!(big(a).mod_mul(&inv, &p).unwrap(), BigUint::one(), "inverse of {a}");
+            assert_eq!(
+                big(a).mod_mul(&inv, &p).unwrap(),
+                BigUint::one(),
+                "inverse of {a}"
+            );
         }
         // Non-invertible: gcd(6, 9) != 1.
         assert!(big(6).mod_inverse(&big(9)).is_err());
@@ -877,7 +886,10 @@ mod tests {
         }
         let nz = BigUint::random_nonzero_below(&mut rng, &big(2));
         assert_eq!(nz, BigUint::one());
-        assert_eq!(BigUint::random_below(&mut rng, &BigUint::zero()), BigUint::zero());
+        assert_eq!(
+            BigUint::random_below(&mut rng, &BigUint::zero()),
+            BigUint::zero()
+        );
     }
 
     #[test]

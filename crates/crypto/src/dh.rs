@@ -125,7 +125,7 @@ impl DhGroup {
     /// Size of a serialized group element in bytes.
     #[must_use]
     pub fn element_len(&self) -> usize {
-        (self.p.bit_len() + 7) / 8
+        self.p.bit_len().div_ceil(8)
     }
 
     /// Computes `g^exponent mod p`.
@@ -150,7 +150,9 @@ impl DhGroup {
         if strict {
             let check = element.mod_exp(&self.q, &self.p)?;
             if check != BigUint::one() {
-                return Err(CryptoError::OutOfRange("DH element not in prime-order subgroup"));
+                return Err(CryptoError::OutOfRange(
+                    "DH element not in prime-order subgroup",
+                ));
             }
         }
         Ok(())

@@ -47,13 +47,36 @@ impl Drbg {
         Self::from_seed(derive_key_32(material, "drbg-seed"))
     }
 
-    /// Creates a generator seeded from the operating system RNG.
+    /// Creates a generator seeded from ambient process entropy.
+    ///
+    /// Gathers wall-clock time, a monotonic instant, the process id, the
+    /// per-process `RandomState` keys, and fresh allocation addresses, and
+    /// hashes them into a seed. This is *not* a substitute for an OS CSPRNG
+    /// in production cryptography, but the simulator only needs distinct,
+    /// unpredictable-enough streams per process — and the build environment
+    /// offers no `rand`/`getrandom` crate to do better with.
     #[must_use]
     pub fn from_os_entropy() -> Self {
-        use rand::RngCore;
-        let mut seed = [0u8; KEY_LEN];
-        rand::thread_rng().fill_bytes(&mut seed);
-        Self::from_seed(seed)
+        use std::collections::hash_map::RandomState;
+        use std::hash::{BuildHasher, Hasher};
+        use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+        let mut material = Vec::with_capacity(64);
+        if let Ok(elapsed) = SystemTime::now().duration_since(UNIX_EPOCH) {
+            material.extend_from_slice(&elapsed.as_nanos().to_le_bytes());
+        }
+        let instant = Instant::now();
+        material.extend_from_slice(&std::process::id().to_le_bytes());
+        // RandomState seeds itself from OS entropy once per process.
+        for _ in 0..4 {
+            let mut hasher = RandomState::new().build_hasher();
+            hasher.write(&material);
+            material.extend_from_slice(&hasher.finish().to_le_bytes());
+        }
+        let probe = Box::new(0u8);
+        material.extend_from_slice(&(std::ptr::addr_of!(*probe) as usize).to_le_bytes());
+        material.extend_from_slice(&instant.elapsed().subsec_nanos().to_le_bytes());
+        Self::from_material(&material)
     }
 
     /// Creates a generator with an explicit stream identifier, so that many
@@ -216,7 +239,10 @@ mod tests {
         let mut parent2 = Drbg::from_seed([7u8; 32]);
         let mut c1b = parent2.fork("client-1");
         // `c1` already produced 32 bytes above; reproduce that prefix first.
-        assert_eq!(c1b.bytes(32), Drbg::from_seed([7u8; 32]).fork("client-1").bytes(32));
+        assert_eq!(
+            c1b.bytes(32),
+            Drbg::from_seed([7u8; 32]).fork("client-1").bytes(32)
+        );
         let _ = c1b.bytes(0);
         assert_eq!(c1.bytes(16), {
             let mut fresh = Drbg::from_seed([7u8; 32]).fork("client-1");

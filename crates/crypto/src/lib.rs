@@ -100,8 +100,12 @@ mod tests {
             expected: 32,
         };
         assert!(e.to_string().contains("32"));
-        assert!(CryptoError::VerificationFailed.to_string().contains("verification"));
-        assert!(CryptoError::OutOfRange("scalar").to_string().contains("scalar"));
+        assert!(CryptoError::VerificationFailed
+            .to_string()
+            .contains("verification"));
+        assert!(CryptoError::OutOfRange("scalar")
+            .to_string()
+            .contains("scalar"));
         assert!(CryptoError::DivisionByZero.to_string().contains("zero"));
     }
 }

@@ -269,8 +269,9 @@ mod tests {
     #[test]
     fn verify_rejects_wrong_key() {
         let key = test_key();
-        let other = SigningKey::generate(DhGroup::default_group(), &mut Drbg::from_seed([99u8; 32]))
-            .unwrap();
+        let other =
+            SigningKey::generate(DhGroup::default_group(), &mut Drbg::from_seed([99u8; 32]))
+                .unwrap();
         let sig = key.sign(b"msg").unwrap();
         assert!(other.verifying_key().verify(b"msg", &sig).is_err());
     }
@@ -321,8 +322,7 @@ mod tests {
     fn key_restore_from_sealed_bytes() {
         let key = test_key();
         let secret = key.secret_bytes();
-        let restored =
-            SigningKey::from_secret_bytes(DhGroup::default_group(), &secret).unwrap();
+        let restored = SigningKey::from_secret_bytes(DhGroup::default_group(), &secret).unwrap();
         assert_eq!(restored.verifying_key(), key.verifying_key());
         let sig = restored.sign(b"resealed").unwrap();
         assert!(key.verifying_key().verify(b"resealed", &sig).is_ok());

@@ -168,7 +168,12 @@ mod tests {
     #[test]
     fn fixed_sum_matches_mean_aggregation() {
         let s = schema();
-        let contributions = vec![local(&s, 0.25), local(&s, 0.5), local(&s, 0.75), local(&s, 1.0)];
+        let contributions = vec![
+            local(&s, 0.25),
+            local(&s, 0.5),
+            local(&s, 0.75),
+            local(&s, 1.0),
+        ];
         let plain = aggregate_mean(&s, &contributions).unwrap();
         let encoded: Vec<Vec<u64>> = contributions
             .iter()

@@ -81,10 +81,15 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(FederatedError::DimensionMismatch { got: 3, expected: 5 }
+        assert!(FederatedError::DimensionMismatch {
+            got: 3,
+            expected: 5
+        }
+        .to_string()
+        .contains('5'));
+        assert!(FederatedError::EmptyRound
             .to_string()
-            .contains('5'));
-        assert!(FederatedError::EmptyRound.to_string().contains("no contributions"));
+            .contains("no contributions"));
         assert!(FederatedError::UnknownWord("trump".into())
             .to_string()
             .contains("trump"));

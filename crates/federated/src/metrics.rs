@@ -140,7 +140,7 @@ mod tests {
             s.vocab().tokenize("voting for donald trump"),
         ];
         let (honest, _) = train_local_model(&s, &train).unwrap();
-        let honest_global = aggregate_mean(&s, &[honest.clone()]).unwrap();
+        let honest_global = aggregate_mean(&s, std::slice::from_ref(&honest)).unwrap();
 
         // Poisoned global model: "donald" now predicts "clinton".
         let mut poisoned_global = honest_global.clone();

@@ -179,7 +179,12 @@ impl GlobalModel {
 
     /// Predicts next words for a word given as a string.
     #[must_use]
-    pub fn predict_next_word(&self, schema: &ModelSchema, prev: &str, k: usize) -> Vec<(String, f64)> {
+    pub fn predict_next_word(
+        &self,
+        schema: &ModelSchema,
+        prev: &str,
+        k: usize,
+    ) -> Vec<(String, f64)> {
         self.predict_next(schema, schema.vocab().id(prev), k)
             .into_iter()
             .map(|(id, w)| (schema.vocab().word(id).to_string(), w))
@@ -193,7 +198,10 @@ mod tests {
 
     fn schema() -> ModelSchema {
         let vocab = Vocabulary::new(["donald", "trump", "voting", "for", "don't", "like"]);
-        ModelSchema::dense(vocab, &["donald", "trump", "voting", "for", "don't", "like"])
+        ModelSchema::dense(
+            vocab,
+            &["donald", "trump", "voting", "for", "don't", "like"],
+        )
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Gateway and tenant configuration.
+
+use glimmer_core::host::GlimmerDescriptor;
+use sgx_sim::PlatformConfig;
+
+/// Limits a tenant buys when it enrolls with the gateway.
+#[derive(Debug, Clone)]
+pub struct TenantQuota {
+    /// Most concurrent device sessions (pending + established).
+    pub max_sessions: usize,
+    /// Most requests queued across the tenant's pool slots at once.
+    pub max_queued: usize,
+    /// Endorsement budget: total endorsements the tenant will accept from
+    /// this gateway, or `None` for unlimited. Only *successful* endorsements
+    /// consume it — a rejected (poisoned, out-of-range, maskless)
+    /// contribution never does.
+    pub endorsement_budget: Option<u64>,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        TenantQuota {
+            max_sessions: 1024,
+            max_queued: 4096,
+            endorsement_budget: None,
+        }
+    }
+}
+
+/// One tenant of the gateway: a service whose vetted Glimmer the pool runs on
+/// behalf of TEE-less devices.
+#[derive(Clone)]
+pub struct TenantConfig {
+    /// Tenant key; by convention the service's application id.
+    pub name: String,
+    /// The tenant's published, vetted Glimmer build. Its measurement is what
+    /// connecting devices verify through attestation, so two tenants can
+    /// never share an enclave unless their descriptors are identical.
+    pub descriptor: GlimmerDescriptor,
+    /// Secret endorsement-signing key material, installed into every pool
+    /// slot at provisioning time.
+    pub service_key_secret: Vec<u8>,
+    /// Admission-control limits for this tenant.
+    pub quota: TenantQuota,
+}
+
+impl TenantConfig {
+    /// Convenience constructor with default quotas.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        descriptor: GlimmerDescriptor,
+        service_key_secret: Vec<u8>,
+    ) -> Self {
+        TenantConfig {
+            name: name.into(),
+            descriptor,
+            service_key_secret,
+            quota: TenantQuota::default(),
+        }
+    }
+}
+
+/// Gateway-wide construction parameters.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Pre-provisioned enclave slots per tenant (the shard count).
+    pub slots_per_tenant: usize,
+    /// Most items drained through one enclave in a single `PROCESS_BATCH`
+    /// transition.
+    pub max_batch: usize,
+    /// Most requests queued on one slot before submits are rejected with
+    /// backpressure.
+    pub max_queue_depth: usize,
+    /// Platform parameters for every pool slot.
+    pub platform_config: PlatformConfig,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            slots_per_tenant: 4,
+            max_batch: 256,
+            max_queue_depth: 1024,
+            platform_config: PlatformConfig::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_serving_friendly() {
+        let config = GatewayConfig::default();
+        assert!(config.slots_per_tenant >= 1);
+        assert!(config.max_batch >= 1);
+        assert!(config.max_queue_depth >= config.max_batch);
+
+        let quota = TenantQuota::default();
+        assert!(quota.endorsement_budget.is_none());
+        assert!(quota.max_sessions > 0);
+
+        let tenant = TenantConfig::new(
+            "iot-telemetry.example",
+            GlimmerDescriptor::iot_default(Vec::new()),
+            vec![1, 2, 3],
+        );
+        assert_eq!(tenant.name, "iot-telemetry.example");
+        assert_eq!(tenant.quota.max_queued, 4096);
+    }
+}

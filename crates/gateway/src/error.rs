@@ -1,0 +1,167 @@
+//! Typed gateway rejections.
+
+use glimmer_core::GlimmerError;
+
+/// Which per-tenant limit an admission decision tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuotaResource {
+    /// `TenantQuota::max_sessions`.
+    Sessions,
+    /// `TenantQuota::max_queued`.
+    QueuedRequests,
+    /// `TenantQuota::endorsement_budget`.
+    Endorsements,
+}
+
+impl core::fmt::Display for QuotaResource {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            QuotaResource::Sessions => write!(f, "sessions"),
+            QuotaResource::QueuedRequests => write!(f, "queued requests"),
+            QuotaResource::Endorsements => write!(f, "endorsements"),
+        }
+    }
+}
+
+/// Errors returned by the gateway's admission and serving paths.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GatewayError {
+    /// The named tenant is not enrolled.
+    UnknownTenant(String),
+    /// Two tenants were enrolled under the same name.
+    DuplicateTenant(String),
+    /// No session with this id exists.
+    UnknownSession(u64),
+    /// The tenant has no pool slot with this index.
+    UnknownSlot {
+        /// The tenant whose pool was addressed.
+        tenant: String,
+        /// The out-of-range slot index.
+        slot: usize,
+    },
+    /// The session exists but its handshake has not completed.
+    SessionNotEstablished(u64),
+    /// The session's handshake already completed.
+    SessionAlreadyEstablished(u64),
+    /// The slot's queue is full; the caller should back off and retry.
+    Backpressure {
+        /// Owning tenant.
+        tenant: String,
+        /// The overloaded slot.
+        slot: usize,
+        /// Its queue depth at rejection time.
+        depth: usize,
+    },
+    /// A per-tenant quota is exhausted.
+    QuotaExceeded {
+        /// The tenant whose quota tripped.
+        tenant: String,
+        /// Which limit.
+        resource: QuotaResource,
+    },
+    /// An underlying Glimmer/enclave operation failed.
+    Glimmer(GlimmerError),
+}
+
+impl core::fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GatewayError::UnknownTenant(name) => write!(f, "unknown tenant {name:?}"),
+            GatewayError::DuplicateTenant(name) => {
+                write!(f, "tenant {name:?} enrolled more than once")
+            }
+            GatewayError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            GatewayError::UnknownSlot { tenant, slot } => {
+                write!(f, "tenant {tenant:?} has no pool slot {slot}")
+            }
+            GatewayError::SessionNotEstablished(id) => {
+                write!(f, "session {id} has not completed its handshake")
+            }
+            GatewayError::SessionAlreadyEstablished(id) => {
+                write!(f, "session {id} already completed its handshake")
+            }
+            GatewayError::Backpressure {
+                tenant,
+                slot,
+                depth,
+            } => write!(
+                f,
+                "backpressure: tenant {tenant:?} slot {slot} queue depth {depth}"
+            ),
+            GatewayError::QuotaExceeded { tenant, resource } => {
+                write!(f, "tenant {tenant:?} exceeded its {resource} quota")
+            }
+            GatewayError::Glimmer(e) => write!(f, "glimmer error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}
+
+impl From<GlimmerError> for GatewayError {
+    fn from(e: GlimmerError) -> Self {
+        GatewayError::Glimmer(e)
+    }
+}
+
+/// Result alias for gateway operations.
+pub type Result<T> = core::result::Result<T, GatewayError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        for (err, needle) in [
+            (
+                GatewayError::UnknownTenant("maps".to_string()),
+                "unknown tenant",
+            ),
+            (
+                GatewayError::DuplicateTenant("maps".to_string()),
+                "more than once",
+            ),
+            (GatewayError::UnknownSession(7), "unknown session 7"),
+            (
+                GatewayError::UnknownSlot {
+                    tenant: "iot".to_string(),
+                    slot: 9,
+                },
+                "no pool slot 9",
+            ),
+            (GatewayError::SessionNotEstablished(8), "handshake"),
+            (GatewayError::SessionAlreadyEstablished(9), "already"),
+            (
+                GatewayError::Backpressure {
+                    tenant: "iot".to_string(),
+                    slot: 2,
+                    depth: 64,
+                },
+                "backpressure",
+            ),
+            (
+                GatewayError::QuotaExceeded {
+                    tenant: "iot".to_string(),
+                    resource: QuotaResource::Endorsements,
+                },
+                "endorsements",
+            ),
+            (
+                GatewayError::Glimmer(GlimmerError::NotProvisioned("key")),
+                "glimmer error",
+            ),
+        ] {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+        for resource in [
+            QuotaResource::Sessions,
+            QuotaResource::QueuedRequests,
+            QuotaResource::Endorsements,
+        ] {
+            assert!(!resource.to_string().is_empty());
+        }
+        let from: GatewayError = GlimmerError::Protocol("x").into();
+        assert!(matches!(from, GatewayError::Glimmer(_)));
+    }
+}

@@ -1,0 +1,431 @@
+//! The gateway facade: admission, routing, and batched serving.
+
+use crate::config::{GatewayConfig, TenantConfig};
+use crate::error::{GatewayError, QuotaResource, Result};
+use crate::pool::TenantPool;
+use crate::session::{SessionState, SessionTable};
+use crate::stats::{GatewayStats, SlotStatsRow, TenantStats};
+use glimmer_core::blinding::MaskShare;
+use glimmer_core::channel::{ChannelAccept, ChannelOffer};
+use glimmer_core::enclave_app::MaskDelivery;
+use glimmer_core::protocol::{BatchItem, BatchOutcome};
+use glimmer_crypto::drbg::Drbg;
+use sgx_sim::{AttestationService, Measurement};
+use std::collections::BTreeMap;
+
+/// One drained reply, routed back to the device that owns the session.
+#[derive(Debug, Clone)]
+pub struct GatewayResponse {
+    /// The session the reply belongs to.
+    pub session_id: u64,
+    /// The owning tenant.
+    pub tenant: String,
+    /// The enclave's outcome for the item.
+    pub outcome: BatchOutcome,
+}
+
+struct TenantState {
+    pool: TenantPool,
+    stats: TenantStats,
+}
+
+/// A sharded, multi-tenant enclave-pool server for glimmer-as-a-service
+/// traffic.
+///
+/// The gateway owns, per tenant, a pool of pre-provisioned Glimmer enclaves
+/// (image built, platform attested, endorsement key installed — all paid once
+/// at start-up), a session table mapping device sessions onto pool slots with
+/// least-loaded sharding, per-slot request queues drained through one
+/// `PROCESS_BATCH` ECALL per round, and admission control (session quotas,
+/// queue-depth backpressure, endorsement budgets).
+///
+/// The gateway itself is *untrusted*, exactly like the remote host of
+/// Section 4.2: it only ever sees ciphertext, attestation transcripts, and
+/// the public one-bit endorsed/failed outcome per request.
+pub struct Gateway {
+    config: GatewayConfig,
+    tenants: BTreeMap<String, TenantState>,
+    table: SessionTable,
+}
+
+impl Gateway {
+    /// Builds the gateway: creates and provisions `slots_per_tenant` enclaves
+    /// for every tenant up front.
+    pub fn new(
+        config: GatewayConfig,
+        tenants: Vec<TenantConfig>,
+        avs: &mut AttestationService,
+        rng: &mut Drbg,
+    ) -> Result<Self> {
+        let mut states: BTreeMap<String, TenantState> = BTreeMap::new();
+        for tenant in tenants {
+            let name = tenant.name.clone();
+            if states.contains_key(&name) {
+                return Err(GatewayError::DuplicateTenant(name));
+            }
+            let pool = TenantPool::new(
+                tenant,
+                config.slots_per_tenant,
+                &config.platform_config,
+                rng,
+                avs,
+            )?;
+            states.insert(
+                name,
+                TenantState {
+                    pool,
+                    stats: TenantStats::default(),
+                },
+            );
+        }
+        Ok(Gateway {
+            config,
+            tenants: states,
+            table: SessionTable::new(),
+        })
+    }
+
+    /// The enrolled tenant names, in deterministic order.
+    #[must_use]
+    pub fn tenant_names(&self) -> Vec<String> {
+        self.tenants.keys().cloned().collect()
+    }
+
+    /// The measurement a device connecting to `tenant` must verify.
+    pub fn measurement(&self, tenant: &str) -> Result<Measurement> {
+        Ok(self.tenant(tenant)?.pool.measurement())
+    }
+
+    fn tenant(&self, name: &str) -> Result<&TenantState> {
+        self.tenants
+            .get(name)
+            .ok_or_else(|| GatewayError::UnknownTenant(name.to_string()))
+    }
+
+    fn tenant_mut(&mut self, name: &str) -> Result<&mut TenantState> {
+        self.tenants
+            .get_mut(name)
+            .ok_or_else(|| GatewayError::UnknownTenant(name.to_string()))
+    }
+
+    /// Opens a device session for `tenant`: admits it against the session
+    /// quota, pins it to the least-loaded pool slot, and returns the
+    /// attestation offer the device verifies.
+    pub fn open_session(&mut self, tenant: &str) -> Result<(u64, ChannelOffer)> {
+        let slot_id = {
+            let state = self.tenant_mut(tenant)?;
+            if state.pool.total_sessions() >= state.pool.config.quota.max_sessions {
+                state.stats.throttled += 1;
+                return Err(GatewayError::QuotaExceeded {
+                    tenant: tenant.to_string(),
+                    resource: QuotaResource::Sessions,
+                });
+            }
+            state.pool.least_loaded_slot()
+        };
+        let session_id = self.table.open(tenant, slot_id);
+        let state = self.tenant_mut(tenant)?;
+        let slot = &mut state.pool.slots[slot_id];
+        match slot.client_mut().open_session(session_id) {
+            Ok(offer) => {
+                slot.session_opened();
+                state.stats.sessions_opened += 1;
+                Ok((session_id, offer))
+            }
+            Err(e) => {
+                let _ = self.table.close(session_id);
+                Err(GatewayError::Glimmer(e))
+            }
+        }
+    }
+
+    /// Completes a session's attested handshake with the device's response.
+    pub fn complete_session(&mut self, session_id: u64, accept: &ChannelAccept) -> Result<()> {
+        let entry = self.table.get(session_id)?;
+        if entry.state == SessionState::Established {
+            return Err(GatewayError::SessionAlreadyEstablished(session_id));
+        }
+        let (tenant, slot_id) = (entry.tenant.clone(), entry.slot);
+        let state = self.tenant_mut(&tenant)?;
+        if let Err(e) = state.pool.slots[slot_id]
+            .client_mut()
+            .accept_session(session_id, accept)
+        {
+            // The enclave consumed the pending handshake, so this session id
+            // can never complete; tear it down instead of leaving a wedged
+            // Pending entry pinning the slot and the tenant's session quota.
+            // The device retries by opening a fresh session.
+            let _ = self.close_session(session_id);
+            return Err(GatewayError::Glimmer(e));
+        }
+        self.table.establish(session_id)?;
+        Ok(())
+    }
+
+    /// Closes a session: erases its channel keys inside the enclave and
+    /// discards any requests it still had queued.
+    pub fn close_session(&mut self, session_id: u64) -> Result<()> {
+        let entry = self.table.close(session_id)?;
+        let state = self.tenant_mut(&entry.tenant)?;
+        let slot = &mut state.pool.slots[entry.slot];
+        let dropped = slot.discard_session_items(session_id);
+        slot.session_closed();
+        slot.client_mut()
+            .close_session(session_id)
+            .map_err(GatewayError::Glimmer)?;
+        state.stats.dropped += dropped as u64;
+        state.stats.sessions_closed += 1;
+        Ok(())
+    }
+
+    /// Installs a blinding mask share into the enclave serving `session_id`
+    /// (the tenant's blinding service issues one per client and round).
+    ///
+    /// The mask is bound to the session inside the enclave: the session
+    /// becomes authorized to contribute as the mask's client id, and only as
+    /// client ids bound this way. That binding is what stops co-located
+    /// sessions on a pooled slot from impersonating each other's devices.
+    ///
+    /// This plaintext variant hands the mask values to the gateway process,
+    /// so it is only appropriate when the tenant operates the gateway
+    /// itself. Against an untrusted gateway, use the attested tenant
+    /// channel ([`Gateway::tenant_channel_offer`]) and
+    /// [`Gateway::install_mask_encrypted`], which keep mask values sealed
+    /// end-to-end between the tenant and the enclave.
+    pub fn install_mask(&mut self, session_id: u64, mask: &MaskShare) -> Result<()> {
+        self.install_mask_delivery(session_id, &MaskDelivery::plain(mask))
+    }
+
+    /// Installs a session-bound mask from an AEAD-encrypted delivery sealed
+    /// under the tenant's attested channel to the session's slot. The
+    /// gateway relays the ciphertext; only the enclave can open it.
+    pub fn install_mask_encrypted(
+        &mut self,
+        session_id: u64,
+        nonce: [u8; 12],
+        ciphertext: Vec<u8>,
+    ) -> Result<()> {
+        self.install_mask_delivery(session_id, &MaskDelivery::Encrypted { nonce, ciphertext })
+    }
+
+    fn install_mask_delivery(&mut self, session_id: u64, delivery: &MaskDelivery) -> Result<()> {
+        let entry = self.table.get(session_id)?;
+        let (tenant, slot_id) = (entry.tenant.clone(), entry.slot);
+        let state = self.tenant_mut(&tenant)?;
+        state.pool.slots[slot_id]
+            .client_mut()
+            .install_session_mask_delivery(session_id, delivery)
+            .map_err(GatewayError::Glimmer)
+    }
+
+    /// The pool slot a session is pinned to — the tenant needs it to seal
+    /// mask deliveries under the right slot's channel key.
+    pub fn session_slot(&self, session_id: u64) -> Result<usize> {
+        Ok(self.table.get(session_id)?.slot)
+    }
+
+    /// Number of pool slots serving `tenant`.
+    pub fn slot_count(&self, tenant: &str) -> Result<usize> {
+        Ok(self.tenant(tenant)?.pool.slots.len())
+    }
+
+    /// Starts the attested tenant channel on one pool slot: returns the
+    /// enclave's offer for the *tenant* (not a device) to verify and answer.
+    /// Once completed, the tenant can seal mask deliveries to that slot.
+    pub fn tenant_channel_offer(&mut self, tenant: &str, slot: usize) -> Result<ChannelOffer> {
+        let state = self.tenant_mut(tenant)?;
+        let slot_state =
+            state
+                .pool
+                .slots
+                .get_mut(slot)
+                .ok_or_else(|| GatewayError::UnknownSlot {
+                    tenant: tenant.to_string(),
+                    slot,
+                })?;
+        slot_state
+            .client_mut()
+            .start_channel()
+            .map_err(GatewayError::Glimmer)
+    }
+
+    /// Completes the attested tenant channel on one pool slot.
+    pub fn complete_tenant_channel(
+        &mut self,
+        tenant: &str,
+        slot: usize,
+        accept: &ChannelAccept,
+    ) -> Result<()> {
+        let state = self.tenant_mut(tenant)?;
+        let slot_state =
+            state
+                .pool
+                .slots
+                .get_mut(slot)
+                .ok_or_else(|| GatewayError::UnknownSlot {
+                    tenant: tenant.to_string(),
+                    slot,
+                })?;
+        slot_state
+            .client_mut()
+            .complete_channel(accept)
+            .map_err(GatewayError::Glimmer)
+    }
+
+    /// Admits one encrypted request into its session's slot queue.
+    ///
+    /// Rejections are typed: quota exhaustion ([`GatewayError::QuotaExceeded`])
+    /// and queue-depth backpressure ([`GatewayError::Backpressure`]) both leave
+    /// the request unqueued so the device can retry elsewhere or later.
+    pub fn submit(&mut self, session_id: u64, ciphertext: Vec<u8>) -> Result<()> {
+        let entry = self.table.get(session_id)?;
+        if entry.state != SessionState::Established {
+            return Err(GatewayError::SessionNotEstablished(session_id));
+        }
+        let (tenant, slot_id) = (entry.tenant.clone(), entry.slot);
+        let max_queue_depth = self.config.max_queue_depth;
+        let state = self.tenant_mut(&tenant)?;
+
+        if state.pool.total_queued() >= state.pool.config.quota.max_queued {
+            state.stats.throttled += 1;
+            return Err(GatewayError::QuotaExceeded {
+                tenant,
+                resource: QuotaResource::QueuedRequests,
+            });
+        }
+        // Endorsement budget: only endorsements consume it, but queued
+        // requests reserve against it so the budget can never overshoot
+        // mid-batch. A rejected contribution releases its reservation at
+        // drain time (queue shrinks, `endorsed` does not grow).
+        if let Some(budget) = state.pool.config.quota.endorsement_budget {
+            let reserved = state.stats.endorsed + state.pool.total_queued() as u64;
+            if reserved >= budget {
+                state.stats.throttled += 1;
+                return Err(GatewayError::QuotaExceeded {
+                    tenant,
+                    resource: QuotaResource::Endorsements,
+                });
+            }
+        }
+        let slot = &mut state.pool.slots[slot_id];
+        if slot.queue_depth() >= max_queue_depth {
+            state.stats.throttled += 1;
+            return Err(GatewayError::Backpressure {
+                tenant,
+                slot: slot_id,
+                depth: slot.queue_depth(),
+            });
+        }
+        slot.enqueue(BatchItem {
+            session_id,
+            ciphertext,
+        });
+        state.stats.submitted += 1;
+        Ok(())
+    }
+
+    /// Drains every slot's queue through its enclave — one `PROCESS_BATCH`
+    /// ECALL per non-empty slot, up to `max_batch` items each — and returns
+    /// the replies for the caller to route back to devices.
+    ///
+    /// A slot whose whole-batch ECALL fails keeps its items queued and does
+    /// not abort the sweep: replies already produced by other slots carry
+    /// endorsements that consumed budget and replay nonces, so they must
+    /// reach their devices. The first slot error is reported only after the
+    /// sweep, and only if no responses were produced at all.
+    pub fn drain(&mut self) -> Result<Vec<GatewayResponse>> {
+        let max_batch = self.config.max_batch;
+        let mut responses = Vec::new();
+        let mut first_error: Option<GatewayError> = None;
+        for (name, state) in &mut self.tenants {
+            for slot in &mut state.pool.slots {
+                let reply = match slot.drain(max_batch) {
+                    Ok(Some(reply)) => reply,
+                    Ok(None) => continue,
+                    Err(e) => {
+                        first_error.get_or_insert(e);
+                        continue;
+                    }
+                };
+                for item in reply.items {
+                    match &item.outcome {
+                        BatchOutcome::Reply { endorsed: true, .. } => state.stats.endorsed += 1,
+                        BatchOutcome::Reply {
+                            endorsed: false, ..
+                        } => state.stats.rejected += 1,
+                        BatchOutcome::Failed(_) => state.stats.failed += 1,
+                    }
+                    responses.push(GatewayResponse {
+                        session_id: item.session_id,
+                        tenant: name.clone(),
+                        outcome: item.outcome,
+                    });
+                }
+            }
+        }
+        match first_error {
+            Some(e) if responses.is_empty() => Err(e),
+            _ => Ok(responses),
+        }
+    }
+
+    /// Drains repeatedly until every queue is empty (bounded by queue sizes,
+    /// since devices cannot enqueue while this runs).
+    ///
+    /// Like [`Gateway::drain`], replies already produced are never dropped:
+    /// if a sweep fails after earlier sweeps yielded replies, the replies
+    /// collected so far are returned and the error resurfaces on the next
+    /// call (the failing slot keeps its items queued).
+    pub fn drain_all(&mut self) -> Result<Vec<GatewayResponse>> {
+        let mut all = Vec::new();
+        loop {
+            match self.drain() {
+                Ok(batch) if batch.is_empty() => break,
+                Ok(batch) => all.extend(batch),
+                Err(e) if all.is_empty() => return Err(e),
+                Err(_) => break,
+            }
+        }
+        Ok(all)
+    }
+
+    /// Requests currently queued for `tenant` across its slots.
+    pub fn queued(&self, tenant: &str) -> Result<usize> {
+        Ok(self.tenant(tenant)?.pool.total_queued())
+    }
+
+    /// Live sessions (pending + established) across all tenants.
+    #[must_use]
+    pub fn live_sessions(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Closes every session still pending after `older_than` and returns the
+    /// evicted ids. Without this, a client that requests handshake offers
+    /// and never completes them would pin its tenant's session quota
+    /// forever; operators call this on a timer.
+    pub fn evict_stale_pending(&mut self, older_than: std::time::Duration) -> Vec<u64> {
+        let stale = self.table.stale_pending(older_than);
+        for &session_id in &stale {
+            let _ = self.close_session(session_id);
+        }
+        stale
+    }
+
+    /// A labelled snapshot of every counter the gateway keeps.
+    #[must_use]
+    pub fn stats(&self) -> GatewayStats {
+        let mut stats = GatewayStats::default();
+        for (name, state) in &self.tenants {
+            stats.tenants.push((name.clone(), state.stats.clone()));
+            for slot in &state.pool.slots {
+                stats.slots.push(SlotStatsRow {
+                    tenant: name.clone(),
+                    slot: slot.slot_id,
+                    stats: slot.stats(),
+                });
+            }
+        }
+        stats
+    }
+}

@@ -1,0 +1,55 @@
+//! Glimmer Gateway: a sharded, multi-tenant enclave-pool server for
+//! glimmer-as-a-service traffic.
+//!
+//! Section 4.2 of the paper envisions neutral third parties running Glimmers
+//! on behalf of TEE-less IoT devices. The single-device
+//! [`RemoteGlimmerHost`](glimmer_core::remote::RemoteGlimmerHost) pays the
+//! full enclave cost — image build and measurement, attestation
+//! provisioning, key installation — for every device it serves, which cannot
+//! scale to "glimmer-as-a-service" traffic. This crate is the serving
+//! architecture for that traffic:
+//!
+//! * **Enclave pool** ([`pool`]) — per tenant, a fixed set of
+//!   pre-provisioned Glimmer enclaves on independent simulated platforms.
+//!   Build + attestation + key provisioning are paid once per slot at
+//!   start-up and amortized over every request the slot ever serves.
+//! * **Session table** ([`session`]) — device sessions are pinned to pool
+//!   slots with least-loaded sharding; session ids are the routing key and a
+//!   tenant-isolation boundary.
+//! * **Request batching** ([`gateway`]) — each slot queues encrypted
+//!   `ProcessRequest`s and drains them through a single `PROCESS_BATCH`
+//!   ECALL per round, so the enclave-transition cost is paid per batch, not
+//!   per contribution.
+//! * **Admission control** ([`config`], [`error`]) — per-tenant session
+//!   quotas, queued-request quotas, endorsement budgets (only successful
+//!   endorsements consume them), and per-slot queue-depth backpressure, all
+//!   rejected with typed [`GatewayError`]s.
+//! * **Stats** ([`stats`]) — per-tenant endorsement/rejection/throttle
+//!   counters and per-slot batch sizes, enclave cycles, and wall-clock drain
+//!   latency.
+//!
+//! The gateway is untrusted, exactly like the paper's remote host: devices
+//! authenticate the pooled Glimmers through remote attestation, traffic is
+//! end-to-end encrypted between device and enclave, blinding masks can be
+//! delivered sealed under the tenant's own attested channel to each slot
+//! ([`Gateway::tenant_channel_offer`] + [`Gateway::install_mask_encrypted`];
+//! the plaintext [`Gateway::install_mask`] is for tenants operating their
+//! own gateway), and the only per-request fact the gateway learns is the
+//! public one-bit endorsed/failed outcome it needs for quota accounting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod gateway;
+pub mod pool;
+pub mod session;
+pub mod stats;
+
+pub use config::{GatewayConfig, TenantConfig, TenantQuota};
+pub use error::{GatewayError, QuotaResource, Result};
+pub use gateway::{Gateway, GatewayResponse};
+pub use pool::{PoolSlot, TenantPool};
+pub use session::{SessionEntry, SessionState, SessionTable};
+pub use stats::{GatewayStats, SlotStats, SlotStatsRow, TenantStats};

@@ -1,0 +1,276 @@
+//! The pre-provisioned enclave pool.
+//!
+//! Building a Glimmer enclave for one request is what makes the naive
+//! glimmer-as-a-service path slow: every device pays image build and
+//! measurement (EADD/EEXTEND cycles per page), attestation provisioning, and
+//! key installation before its first contribution. A pool slot pays those
+//! costs once, at gateway start-up, and then serves an open-ended stream of
+//! sessions; the only per-request work left is one share of a batched ECALL.
+
+use crate::config::TenantConfig;
+use crate::error::{GatewayError, Result};
+use crate::stats::SlotStats;
+use glimmer_core::host::GlimmerClient;
+use glimmer_core::protocol::{BatchItem, BatchReply, BatchRequest};
+use glimmer_crypto::drbg::Drbg;
+use sgx_sim::{AttestationService, Measurement, PlatformConfig};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// One pre-provisioned enclave and its request queue.
+pub struct PoolSlot {
+    /// Index within the tenant's pool.
+    pub slot_id: usize,
+    client: GlimmerClient,
+    queue: VecDeque<BatchItem>,
+    active_sessions: usize,
+    stats: SlotStats,
+}
+
+impl PoolSlot {
+    fn new(
+        slot_id: usize,
+        tenant: &TenantConfig,
+        platform_config: PlatformConfig,
+        rng: &mut Drbg,
+        avs: &mut AttestationService,
+    ) -> Result<Self> {
+        let mut client = GlimmerClient::new(
+            tenant.descriptor.clone(),
+            platform_config,
+            &mut rng.fork(&format!("gateway-slot-{}-{}", tenant.name, slot_id)),
+        )
+        .map_err(GatewayError::Glimmer)?;
+        client.provision_platform(avs);
+        client
+            .install_service_key(&tenant.service_key_secret)
+            .map_err(GatewayError::Glimmer)?;
+        Ok(PoolSlot {
+            slot_id,
+            client,
+            queue: VecDeque::new(),
+            active_sessions: 0,
+            stats: SlotStats::default(),
+        })
+    }
+
+    /// The slot's enclave runtime.
+    pub fn client_mut(&mut self) -> &mut GlimmerClient {
+        &mut self.client
+    }
+
+    /// Sessions currently routed here.
+    #[must_use]
+    pub fn active_sessions(&self) -> usize {
+        self.active_sessions
+    }
+
+    /// Requests currently queued here.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub(crate) fn session_opened(&mut self) {
+        self.active_sessions += 1;
+    }
+
+    pub(crate) fn session_closed(&mut self) {
+        self.active_sessions = self.active_sessions.saturating_sub(1);
+    }
+
+    pub(crate) fn enqueue(&mut self, item: BatchItem) {
+        self.queue.push_back(item);
+    }
+
+    /// Discards queued items belonging to `session_id`; returns how many.
+    pub(crate) fn discard_session_items(&mut self, session_id: u64) -> usize {
+        let before = self.queue.len();
+        self.queue.retain(|item| item.session_id != session_id);
+        before - self.queue.len()
+    }
+
+    /// Drains up to `max_batch` queued items through the enclave in one
+    /// ECALL. Returns `None` when the queue is empty.
+    pub(crate) fn drain(&mut self, max_batch: usize) -> Result<Option<BatchReply>> {
+        if self.queue.is_empty() {
+            return Ok(None);
+        }
+        // Never exceed the enclave's own batch limit, whatever the config
+        // says — an oversized batch would be rejected wholesale.
+        let take = self
+            .queue
+            .len()
+            .min(max_batch.clamp(1, glimmer_core::enclave_app::MAX_BATCH_ITEMS));
+        let request = BatchRequest {
+            items: self.queue.drain(..take).collect(),
+        };
+        let n = request.items.len() as u64;
+        let cycles_before = self.client.cost_report().total_cycles;
+        let start = Instant::now();
+        let reply = match self.client.process_batch(&request) {
+            Ok(reply) => reply,
+            Err(e) => {
+                // A whole-batch ECALL failure leaves every item unprocessed;
+                // put them back at the front so nothing is silently lost.
+                for item in request.items.into_iter().rev() {
+                    self.queue.push_front(item);
+                }
+                return Err(GatewayError::Glimmer(e));
+            }
+        };
+        let elapsed = start.elapsed();
+        let cycles_after = self.client.cost_report().total_cycles;
+        self.stats.batches += 1;
+        self.stats.items += n;
+        self.stats.max_batch = self.stats.max_batch.max(n);
+        self.stats.drain_cycles += cycles_after - cycles_before;
+        self.stats.drain_nanos += elapsed.as_nanos() as u64;
+        Ok(Some(reply))
+    }
+
+    /// Snapshot of this slot's counters.
+    #[must_use]
+    pub fn stats(&self) -> SlotStats {
+        let mut stats = self.stats.clone();
+        stats.active_sessions = self.active_sessions;
+        stats.queue_depth = self.queue.len();
+        stats
+    }
+}
+
+/// All pool slots belonging to one tenant, plus its published measurement.
+pub struct TenantPool {
+    pub(crate) config: TenantConfig,
+    pub(crate) measurement: Measurement,
+    pub(crate) slots: Vec<PoolSlot>,
+}
+
+impl TenantPool {
+    pub(crate) fn new(
+        config: TenantConfig,
+        slots_per_tenant: usize,
+        platform_config: &PlatformConfig,
+        rng: &mut Drbg,
+        avs: &mut AttestationService,
+    ) -> Result<Self> {
+        let measurement = config.descriptor.measurement();
+        let mut slots = Vec::with_capacity(slots_per_tenant);
+        for slot_id in 0..slots_per_tenant.max(1) {
+            slots.push(PoolSlot::new(
+                slot_id,
+                &config,
+                platform_config.clone(),
+                rng,
+                avs,
+            )?);
+        }
+        Ok(TenantPool {
+            config,
+            measurement,
+            slots,
+        })
+    }
+
+    /// The measurement devices must verify through attestation.
+    #[must_use]
+    pub fn measurement(&self) -> Measurement {
+        self.measurement
+    }
+
+    /// Picks the least-loaded slot for a new session: fewest active sessions,
+    /// breaking ties by shallowest queue, then lowest slot id.
+    #[must_use]
+    pub fn least_loaded_slot(&self) -> usize {
+        self.slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(id, slot)| (slot.active_sessions(), slot.queue_depth(), *id))
+            .map(|(id, _)| id)
+            .expect("tenant pool always has at least one slot")
+    }
+
+    /// Total requests queued across the tenant's slots.
+    #[must_use]
+    pub fn total_queued(&self) -> usize {
+        self.slots.iter().map(PoolSlot::queue_depth).sum()
+    }
+
+    /// Total sessions across the tenant's slots.
+    #[must_use]
+    pub fn total_sessions(&self) -> usize {
+        self.slots.iter().map(PoolSlot::active_sessions).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glimmer_core::host::GlimmerDescriptor;
+    use glimmer_core::signing::ServiceKeyMaterial;
+
+    fn pool(slots: usize) -> TenantPool {
+        let mut rng = Drbg::from_seed([41u8; 32]);
+        let mut avs = AttestationService::new([42u8; 32]);
+        let material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+        TenantPool::new(
+            TenantConfig::new(
+                "iot-telemetry.example",
+                GlimmerDescriptor::iot_default(Vec::new()),
+                material.secret_bytes(),
+            ),
+            slots,
+            &PlatformConfig::default(),
+            &mut rng,
+            &mut avs,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn slots_are_preprovisioned_and_isolated_platforms() {
+        let mut p = pool(3);
+        assert_eq!(p.slots.len(), 3);
+        let ids: Vec<_> = p.slots.iter().map(|s| s.client.platform().id()).collect();
+        assert_ne!(ids[0], ids[1]);
+        assert_ne!(ids[1], ids[2]);
+        for slot in &mut p.slots {
+            // Key already installed, platform provisioned for attestation.
+            assert!(slot.client_mut().status().unwrap().signing_key);
+            assert!(slot.client_mut().platform().is_provisioned());
+        }
+        // All slots share the tenant measurement.
+        assert_eq!(p.measurement(), p.config.descriptor.measurement());
+    }
+
+    #[test]
+    fn least_loaded_prefers_fewest_sessions_then_queue() {
+        let mut p = pool(3);
+        assert_eq!(p.least_loaded_slot(), 0);
+        p.slots[0].session_opened();
+        assert_eq!(p.least_loaded_slot(), 1);
+        p.slots[1].session_opened();
+        assert_eq!(p.least_loaded_slot(), 2);
+        p.slots[2].session_opened();
+        // Tie on sessions: queue depth breaks it.
+        p.slots[0].enqueue(BatchItem {
+            session_id: 1,
+            ciphertext: vec![],
+        });
+        assert_eq!(p.least_loaded_slot(), 1);
+        p.slots[0].session_closed();
+        assert_eq!(p.least_loaded_slot(), 0);
+        assert_eq!(p.total_queued(), 1);
+        assert_eq!(p.total_sessions(), 2);
+        assert_eq!(p.slots[0].discard_session_items(1), 1);
+        assert_eq!(p.total_queued(), 0);
+    }
+
+    #[test]
+    fn drain_on_empty_queue_is_none() {
+        let mut p = pool(1);
+        assert!(p.slots[0].drain(16).unwrap().is_none());
+        let stats = p.slots[0].stats();
+        assert_eq!(stats.batches, 0);
+    }
+}

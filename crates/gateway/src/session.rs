@@ -1,0 +1,154 @@
+//! The session table: device sessions mapped onto pool slots.
+
+use crate::error::{GatewayError, Result};
+use std::collections::HashMap;
+
+/// Lifecycle of one device session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Handshake offer produced; waiting for the device's accept.
+    Pending,
+    /// Channel established; the session can submit requests.
+    Established,
+}
+
+/// One row of the session table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionEntry {
+    /// The owning tenant's name.
+    pub tenant: String,
+    /// The pool slot (shard) the session is pinned to.
+    pub slot: usize,
+    /// Lifecycle state.
+    pub state: SessionState,
+    /// When the session was opened (drives stale-pending eviction).
+    pub opened_at: std::time::Instant,
+}
+
+/// Maps gateway-issued session ids to (tenant, slot) and tracks lifecycle.
+///
+/// Session ids are issued from a single counter across all tenants, so an id
+/// can never be valid under two tenants — routing by session id is therefore
+/// also a tenant-isolation boundary (see the `isolation` integration test).
+#[derive(Default)]
+pub struct SessionTable {
+    sessions: HashMap<u64, SessionEntry>,
+    next_id: u64,
+}
+
+impl SessionTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        SessionTable {
+            sessions: HashMap::new(),
+            next_id: 1,
+        }
+    }
+
+    /// Number of live sessions (pending + established).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True when no sessions are live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Allocates a fresh session id pinned to `(tenant, slot)`.
+    pub fn open(&mut self, tenant: &str, slot: usize) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.sessions.insert(
+            id,
+            SessionEntry {
+                tenant: tenant.to_string(),
+                slot,
+                state: SessionState::Pending,
+                opened_at: std::time::Instant::now(),
+            },
+        );
+        id
+    }
+
+    /// Looks up a session.
+    pub fn get(&self, id: u64) -> Result<&SessionEntry> {
+        self.sessions
+            .get(&id)
+            .ok_or(GatewayError::UnknownSession(id))
+    }
+
+    /// Marks a pending session established.
+    pub fn establish(&mut self, id: u64) -> Result<&SessionEntry> {
+        let entry = self
+            .sessions
+            .get_mut(&id)
+            .ok_or(GatewayError::UnknownSession(id))?;
+        if entry.state == SessionState::Established {
+            return Err(GatewayError::SessionAlreadyEstablished(id));
+        }
+        entry.state = SessionState::Established;
+        Ok(entry)
+    }
+
+    /// Removes a session, returning its entry.
+    pub fn close(&mut self, id: u64) -> Result<SessionEntry> {
+        self.sessions
+            .remove(&id)
+            .ok_or(GatewayError::UnknownSession(id))
+    }
+
+    /// Iterates over `(id, entry)` pairs (diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = (&u64, &SessionEntry)> {
+        self.sessions.iter()
+    }
+
+    /// Ids of pending sessions opened longer than `older_than` ago.
+    #[must_use]
+    pub fn stale_pending(&self, older_than: std::time::Duration) -> Vec<u64> {
+        self.sessions
+            .iter()
+            .filter(|(_, e)| {
+                e.state == SessionState::Pending && e.opened_at.elapsed() >= older_than
+            })
+            .map(|(id, _)| *id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_and_errors() {
+        let mut table = SessionTable::new();
+        assert!(table.is_empty());
+        let a = table.open("iot", 0);
+        let b = table.open("keyboard", 1);
+        assert_ne!(a, b);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.get(a).unwrap().tenant, "iot");
+        assert_eq!(table.get(b).unwrap().slot, 1);
+        assert_eq!(table.get(a).unwrap().state, SessionState::Pending);
+
+        table.establish(a).unwrap();
+        assert_eq!(table.get(a).unwrap().state, SessionState::Established);
+        assert_eq!(
+            table.establish(a),
+            Err(GatewayError::SessionAlreadyEstablished(a))
+        );
+
+        assert_eq!(
+            table.get(999).err(),
+            Some(GatewayError::UnknownSession(999))
+        );
+        let closed = table.close(a).unwrap();
+        assert_eq!(closed.tenant, "iot");
+        assert_eq!(table.close(a), Err(GatewayError::UnknownSession(a)));
+        assert_eq!(table.iter().count(), 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Per-tenant and per-slot serving statistics.
+
+/// Counters the gateway keeps for one tenant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Sessions opened (handshake started).
+    pub sessions_opened: u64,
+    /// Sessions closed (by the device or the gateway).
+    pub sessions_closed: u64,
+    /// Requests accepted into a slot queue.
+    pub submitted: u64,
+    /// Requests that produced an endorsement.
+    pub endorsed: u64,
+    /// Requests the enclave processed but rejected (failed validation or
+    /// missing mask); the reason stays encrypted end-to-end.
+    pub rejected: u64,
+    /// Requests that failed before the pipeline ran (unknown session,
+    /// undecryptable ciphertext).
+    pub failed: u64,
+    /// Submissions and session opens refused by admission control.
+    pub throttled: u64,
+    /// Queued requests discarded because their session closed first.
+    pub dropped: u64,
+}
+
+impl TenantStats {
+    /// Requests drained through an enclave so far.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.endorsed + self.rejected + self.failed
+    }
+}
+
+/// Counters the gateway keeps for one pool slot (one enclave).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SlotStats {
+    /// Batch drains performed.
+    pub batches: u64,
+    /// Items drained across all batches.
+    pub items: u64,
+    /// Largest single batch drained.
+    pub max_batch: u64,
+    /// Simulated enclave cycles consumed by this slot's drains.
+    pub drain_cycles: u64,
+    /// Wall-clock nanoseconds spent inside drains.
+    pub drain_nanos: u64,
+    /// Sessions currently routed to this slot.
+    pub active_sessions: usize,
+    /// Requests currently queued on this slot.
+    pub queue_depth: usize,
+}
+
+impl SlotStats {
+    /// Mean simulated cycles per drained item (the batching amortization
+    /// shows up directly here).
+    #[must_use]
+    pub fn cycles_per_item(&self) -> f64 {
+        if self.items == 0 {
+            0.0
+        } else {
+            self.drain_cycles as f64 / self.items as f64
+        }
+    }
+
+    /// Mean wall-clock latency per drained item, in microseconds.
+    #[must_use]
+    pub fn micros_per_item(&self) -> f64 {
+        if self.items == 0 {
+            0.0
+        } else {
+            self.drain_nanos as f64 / 1e3 / self.items as f64
+        }
+    }
+
+    /// Mean items per batch.
+    #[must_use]
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.items as f64 / self.batches as f64
+        }
+    }
+}
+
+/// A labelled snapshot row for one slot.
+#[derive(Debug, Clone)]
+pub struct SlotStatsRow {
+    /// Owning tenant.
+    pub tenant: String,
+    /// Slot index within the tenant's pool.
+    pub slot: usize,
+    /// The counters.
+    pub stats: SlotStats,
+}
+
+/// A labelled snapshot of the whole gateway.
+#[derive(Debug, Clone, Default)]
+pub struct GatewayStats {
+    /// Per-tenant counters, keyed by tenant name.
+    pub tenants: Vec<(String, TenantStats)>,
+    /// Per-slot counters.
+    pub slots: Vec<SlotStatsRow>,
+}
+
+impl GatewayStats {
+    /// Total endorsements across tenants.
+    #[must_use]
+    pub fn total_endorsed(&self) -> u64 {
+        self.tenants.iter().map(|(_, t)| t.endorsed).sum()
+    }
+
+    /// Total items drained across slots.
+    #[must_use]
+    pub fn total_items(&self) -> u64 {
+        self.slots.iter().map(|s| s.stats.items).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let mut slot = SlotStats::default();
+        assert_eq!(slot.cycles_per_item(), 0.0);
+        assert_eq!(slot.micros_per_item(), 0.0);
+        assert_eq!(slot.mean_batch(), 0.0);
+        slot.batches = 2;
+        slot.items = 8;
+        slot.drain_cycles = 80;
+        slot.drain_nanos = 8_000;
+        assert!((slot.cycles_per_item() - 10.0).abs() < 1e-12);
+        assert!((slot.micros_per_item() - 1.0).abs() < 1e-12);
+        assert!((slot.mean_batch() - 4.0).abs() < 1e-12);
+
+        let tenant = TenantStats {
+            endorsed: 3,
+            rejected: 2,
+            failed: 1,
+            ..TenantStats::default()
+        };
+        assert_eq!(tenant.completed(), 6);
+
+        let stats = GatewayStats {
+            tenants: vec![("a".into(), tenant)],
+            slots: vec![SlotStatsRow {
+                tenant: "a".into(),
+                slot: 0,
+                stats: slot,
+            }],
+        };
+        assert_eq!(stats.total_endorsed(), 3);
+        assert_eq!(stats.total_items(), 8);
+    }
+}

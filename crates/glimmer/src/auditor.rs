@@ -49,10 +49,16 @@ impl core::fmt::Display for AuditError {
             AuditError::UnknownMessageType(t) => write!(f, "unknown message type {t}"),
             AuditError::MalformedPayload(what) => write!(f, "malformed payload: {what}"),
             AuditError::UnexpectedLength { got, expected } => {
-                write!(f, "unexpected payload length {got} (public format allows {expected})")
+                write!(
+                    f,
+                    "unexpected payload length {got} (public format allows {expected})"
+                )
             }
             AuditError::BitBudgetExceeded { released, budget } => {
-                write!(f, "verdict bit budget exceeded: {released} of {budget} bits already released")
+                write!(
+                    f,
+                    "verdict bit budget exceeded: {released} of {budget} bits already released"
+                )
             }
             AuditError::UnblindedPrivatePayload => {
                 write!(f, "private contribution released without blinding")
@@ -286,13 +292,21 @@ mod tests {
         assert!(auditor
             .audit(&Frame::new(frame_type::ENCRYPTED_PREDICATE, vec![1]))
             .is_ok());
-        assert!(auditor.audit(&Frame::new(frame_type::REJECTION, vec![])).is_ok());
+        assert!(auditor
+            .audit(&Frame::new(frame_type::REJECTION, vec![]))
+            .is_ok());
 
         for err in [
             AuditError::UnknownMessageType(9),
             AuditError::MalformedPayload("x"),
-            AuditError::UnexpectedLength { got: 1, expected: 2 },
-            AuditError::BitBudgetExceeded { released: 3, budget: 3 },
+            AuditError::UnexpectedLength {
+                got: 1,
+                expected: 2,
+            },
+            AuditError::BitBudgetExceeded {
+                released: 3,
+                budget: 3,
+            },
             AuditError::UnblindedPrivatePayload,
         ] {
             assert!(!err.to_string().is_empty());

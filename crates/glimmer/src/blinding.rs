@@ -224,7 +224,11 @@ mod tests {
         let clients: Vec<u64> = (0..5).collect();
         let dimension = 6;
         let contributions: Vec<Vec<f64>> = (0..5)
-            .map(|i| (0..dimension).map(|j| ((i + j) % 3) as f64 * 0.25).collect())
+            .map(|i| {
+                (0..dimension)
+                    .map(|j| ((i + j) % 3) as f64 * 0.25)
+                    .collect()
+            })
             .collect();
         let encoded: Vec<Vec<u64>> = contributions.iter().map(|c| encode_weights(c)).collect();
 

@@ -111,12 +111,9 @@ fn transcript(app_id: &str, glimmer_pub: &[u8], service_pub: &[u8]) -> Vec<u8> {
     enc.into_bytes()
 }
 
-fn derive_channel_keys(
-    keypair: &DhKeyPair,
-    peer: &DhPublic,
-    app_id: &str,
-) -> Result<ChannelKeys> {
-    let material = keypair.derive_shared_key(peer, format!("glimmer-channel:{app_id}").as_bytes(), 96)?;
+fn derive_channel_keys(keypair: &DhKeyPair, peer: &DhPublic, app_id: &str) -> Result<ChannelKeys> {
+    let material =
+        keypair.derive_shared_key(peer, format!("glimmer-channel:{app_id}").as_bytes(), 96)?;
     let mut s2g = [0u8; 32];
     let mut g2s = [0u8; 32];
     let mut mac = [0u8; 32];
@@ -326,10 +323,11 @@ mod tests {
 
         // Both directions agree: what the service encrypts, the glimmer opens.
         let nonce = [1u8; 12];
-        let ct = service_channel
-            .keys
-            .service_to_glimmer
-            .seal(&nonce, b"predicate", b"secret detector");
+        let ct =
+            service_channel
+                .keys
+                .service_to_glimmer
+                .seal(&nonce, b"predicate", b"secret detector");
         assert_eq!(
             glimmer_keys
                 .service_to_glimmer

@@ -52,7 +52,11 @@ impl WireCodec for EncryptedPredicate {
 
 /// Service side: encrypts a detector spec for delivery over the channel.
 #[must_use]
-pub fn seal_predicate(spec: &BotDetectorSpec, key: &AeadKey, nonce: [u8; 12]) -> EncryptedPredicate {
+pub fn seal_predicate(
+    spec: &BotDetectorSpec,
+    key: &AeadKey,
+    nonce: [u8; 12],
+) -> EncryptedPredicate {
     EncryptedPredicate {
         nonce,
         ciphertext: key.seal(&nonce, PREDICATE_AAD, &spec.to_wire()),
@@ -162,7 +166,10 @@ mod tests {
         let encrypted = seal_predicate(&spec, &key(), [3u8; 12]);
         // The ciphertext does not contain the plaintext spec bytes.
         let plain = spec.to_wire();
-        assert_ne!(&encrypted.ciphertext[..plain.len().min(encrypted.ciphertext.len())], &plain[..plain.len().min(encrypted.ciphertext.len())]);
+        assert_ne!(
+            &encrypted.ciphertext[..plain.len().min(encrypted.ciphertext.len())],
+            &plain[..plain.len().min(encrypted.ciphertext.len())]
+        );
 
         let other_key = AeadKey::from_master(&[7u8; 32]);
         assert!(open_predicate(&encrypted, &other_key).is_err());

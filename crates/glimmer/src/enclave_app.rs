@@ -14,7 +14,9 @@ use crate::channel::{ChannelAccept, ChannelKeys, GlimmerChannel};
 use crate::confidential::{open_predicate, BotVerdict, EncryptedPredicate};
 use crate::host::GlimmerDescriptor;
 use crate::protocol::{
-    ecall, EndorsedContribution, PrivateData, ProcessRequest, ProcessResponse,
+    ecall, BatchOutcome, BatchReply, BatchReplyItem, BatchRequest, EndorsedContribution,
+    PrivateData, ProcessRequest, ProcessResponse, SessionAcceptRequest, SessionMaskRequest,
+    SessionOpenRequest,
 };
 use crate::signing::{sign_endorsement, signing_key_from_secret};
 use crate::validation::{AllOf, BotDetector, ValidationPredicate};
@@ -23,10 +25,23 @@ use glimmer_crypto::schnorr::{SigningKey, VerifyingKey};
 use glimmer_federated::fixed::encode_weights;
 use glimmer_wire::{Decoder, Encoder, WireCodec, WireError};
 use sgx_sim::{EnclaveEnv, EnclaveProgram, SealPolicy, SealedBlob, TargetInfo};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Product id carried in the Glimmer enclave's attributes.
 pub const GLIMMER_ISV_PROD_ID: u16 = 0x6C17;
+
+/// Most sessions a single Glimmer enclave will hold channels for at once
+/// (bounds enclave memory; the gateway shards across pool slots well before
+/// this).
+pub const MAX_SESSIONS_PER_ENCLAVE: usize = 4096;
+
+/// Most items accepted in one `PROCESS_BATCH` ECALL.
+pub const MAX_BATCH_ITEMS: usize = 4096;
+
+/// Most request nonces remembered per session for replay protection. A
+/// session that submits more requests than this must be reopened (fresh
+/// keys), which bounds enclave memory per session (~192 KiB worst case).
+pub const MAX_NONCES_PER_SESSION: usize = 16_384;
 
 /// Associated data under which the service signing key is sealed.
 const SERVICE_KEY_AAD: &[u8] = b"glimmer-service-signing-key-v1";
@@ -193,6 +208,8 @@ pub struct GlimmerStatus {
     pub masks: u32,
     /// Verdict bits released by the auditor so far.
     pub verdict_bits_released: u64,
+    /// Number of established device sessions (gateway serving path).
+    pub sessions: u32,
 }
 
 impl WireCodec for GlimmerStatus {
@@ -202,6 +219,7 @@ impl WireCodec for GlimmerStatus {
         enc.put_bool(self.confidential_predicate);
         enc.put_u32(self.masks);
         enc.put_u64(self.verdict_bits_released);
+        enc.put_u32(self.sessions);
     }
 
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
@@ -211,6 +229,7 @@ impl WireCodec for GlimmerStatus {
             confidential_predicate: dec.get_bool()?,
             masks: dec.get_u32()?,
             verdict_bits_released: dec.get_u64()?,
+            sessions: dec.get_u32()?,
         })
     }
 }
@@ -246,9 +265,14 @@ pub struct GlimmerEnclaveProgram {
     service_verifying_key: Option<VerifyingKey>,
     signing_key: Option<SigningKey>,
     sealed_key: Option<SealedBlob>,
-    masks: HashMap<u64, MaskShare>,
+    masks: HashMap<(u64, u64), MaskShare>,
     pending_channel: Option<GlimmerChannel>,
     channel: Option<ChannelKeys>,
+    pending_sessions: HashMap<u64, GlimmerChannel>,
+    sessions: HashMap<u64, ChannelKeys>,
+    session_clients: HashMap<u64, HashSet<u64>>,
+    session_masks: HashMap<u64, HashSet<(u64, u64)>>,
+    session_nonces: HashMap<u64, HashSet<[u8; 12]>>,
     confidential_detector: Option<BotDetector>,
     auditor: OutputAuditor,
 }
@@ -278,6 +302,11 @@ impl GlimmerEnclaveProgram {
             masks: HashMap::new(),
             pending_channel: None,
             channel: None,
+            pending_sessions: HashMap::new(),
+            sessions: HashMap::new(),
+            session_clients: HashMap::new(),
+            session_masks: HashMap::new(),
+            session_nonces: HashMap::new(),
             confidential_detector: None,
             auditor: OutputAuditor::new(descriptor.verdict_bit_budget),
         }
@@ -314,6 +343,13 @@ impl GlimmerEnclaveProgram {
     }
 
     fn install_mask(&mut self, delivery: MaskDelivery) -> Result<Vec<u8>, String> {
+        self.store_mask(delivery)?;
+        Ok(Vec::new())
+    }
+
+    /// Decodes a mask delivery and stores the share keyed by (round, client);
+    /// returns that key.
+    fn store_mask(&mut self, delivery: MaskDelivery) -> Result<(u64, u64), String> {
         let (round, client_id, mask) = match delivery {
             MaskDelivery::Plain {
                 round,
@@ -342,17 +378,41 @@ impl GlimmerEnclaveProgram {
             }
         };
         self.masks.insert(
-            round,
+            (round, client_id),
             MaskShare {
                 round,
                 client_id,
                 mask,
             },
         );
+        Ok((round, client_id))
+    }
+
+    /// Installs a mask scoped to one session and records the binding: the
+    /// session becomes authorized to contribute as the mask's client id.
+    /// Without this binding, co-located sessions on a pooled enclave could
+    /// claim each other's client ids and consume each other's mask shares.
+    fn session_install_mask(&mut self, data: &[u8]) -> Result<Vec<u8>, String> {
+        let request = SessionMaskRequest::from_wire(data).map_err(|e| e.to_string())?;
+        if !self.sessions.contains_key(&request.session_id)
+            && !self.pending_sessions.contains_key(&request.session_id)
+        {
+            return Err(format!("no such session {}", request.session_id));
+        }
+        let delivery = MaskDelivery::from_wire(&request.delivery).map_err(|e| e.to_string())?;
+        let (round, client_id) = self.store_mask(delivery)?;
+        self.session_clients
+            .entry(request.session_id)
+            .or_default()
+            .insert(client_id);
+        self.session_masks
+            .entry(request.session_id)
+            .or_default()
+            .insert((round, client_id));
         Ok(Vec::new())
     }
 
-    fn process_contribution(&mut self, request: ProcessRequest) -> Result<Vec<u8>, String> {
+    fn process_contribution(&mut self, request: ProcessRequest) -> Result<ProcessResponse, String> {
         let contribution = request.contribution;
         let private = request.private_data;
 
@@ -361,8 +421,7 @@ impl GlimmerEnclaveProgram {
         if !verdict.passed {
             return Ok(ProcessResponse::Rejected {
                 reason: verdict.reason,
-            }
-            .to_wire());
+            });
         }
 
         // 2. Blinding (only for private payloads).
@@ -373,20 +432,21 @@ impl GlimmerEnclaveProgram {
                 crate::protocol::ContributionPayload::IotReadings { samples } => samples.clone(),
                 crate::protocol::ContributionPayload::Photo { .. } => unreachable!(),
             };
-            let Some(mask) = self.masks.get(&contribution.round) else {
+            let Some(mask) = self
+                .masks
+                .get(&(contribution.round, contribution.client_id))
+            else {
                 return Ok(ProcessResponse::Rejected {
                     reason: format!(
-                        "no blinding mask installed for round {}; refusing to release private data",
-                        contribution.round
+                        "no blinding mask installed for round {} client {}; refusing to release private data",
+                        contribution.round, contribution.client_id
                     ),
-                }
-                .to_wire());
+                });
             };
             if mask.mask.len() != values.len() {
                 return Ok(ProcessResponse::Rejected {
                     reason: "blinding mask dimension mismatch".to_string(),
-                }
-                .to_wire());
+                });
             }
             let blinded_vec = mask.blind(&encode_weights(&values));
             let mut enc = Encoder::new();
@@ -416,19 +476,16 @@ impl GlimmerEnclaveProgram {
             .audit_endorsement(&endorsed, is_private)
             .map_err(|e| e.to_string())?;
 
-        Ok(ProcessResponse::Endorsed(endorsed).to_wire())
+        Ok(ProcessResponse::Endorsed(endorsed))
     }
 
-    fn channel_report(
-        &mut self,
+    /// Starts a handshake and binds its DH value into a report targeted at
+    /// the quoting enclave. Shared by the single-channel and session paths.
+    fn make_channel_report(
+        &self,
         env: &mut dyn EnclaveEnv,
-        data: &[u8],
-    ) -> Result<Vec<u8>, String> {
-        if data.len() != 32 {
-            return Err("CHANNEL_REPORT expects the 32-byte quoting-enclave measurement".into());
-        }
-        let mut target = [0u8; 32];
-        target.copy_from_slice(data);
+        target: [u8; 32],
+    ) -> Result<(GlimmerChannel, ChannelReportReply), String> {
         let mut rng_seed = [0u8; 32];
         rng_seed.copy_from_slice(&env.random_bytes(32));
         let mut rng = Drbg::from_seed(rng_seed);
@@ -443,7 +500,213 @@ impl GlimmerEnclaveProgram {
             dh_public: channel.public_bytes(),
             report: report.to_bytes(),
         };
+        Ok((channel, reply))
+    }
+
+    fn channel_report(&mut self, env: &mut dyn EnclaveEnv, data: &[u8]) -> Result<Vec<u8>, String> {
+        if data.len() != 32 {
+            return Err("CHANNEL_REPORT expects the 32-byte quoting-enclave measurement".into());
+        }
+        let mut target = [0u8; 32];
+        target.copy_from_slice(data);
+        let (channel, reply) = self.make_channel_report(env, target)?;
         self.pending_channel = Some(channel);
+        Ok(reply.to_wire())
+    }
+
+    fn session_open(&mut self, env: &mut dyn EnclaveEnv, data: &[u8]) -> Result<Vec<u8>, String> {
+        let request = SessionOpenRequest::from_wire(data).map_err(|e| e.to_string())?;
+        if self.sessions.contains_key(&request.session_id) {
+            return Err(format!(
+                "session {} already established",
+                request.session_id
+            ));
+        }
+        // Restarting an already-pending handshake replaces its state and
+        // does not grow the table, so it is exempt from the capacity guard.
+        if !self.pending_sessions.contains_key(&request.session_id)
+            && self.sessions.len() + self.pending_sessions.len() >= MAX_SESSIONS_PER_ENCLAVE
+        {
+            return Err(format!(
+                "session table full ({MAX_SESSIONS_PER_ENCLAVE} sessions)"
+            ));
+        }
+        let (channel, reply) = self.make_channel_report(env, request.qe_measurement)?;
+        // Re-opening a pending session restarts its handshake.
+        self.pending_sessions.insert(request.session_id, channel);
+        Ok(reply.to_wire())
+    }
+
+    fn session_accept(&mut self, data: &[u8]) -> Result<Vec<u8>, String> {
+        let request = SessionAcceptRequest::from_wire(data).map_err(|e| e.to_string())?;
+        let accept = ChannelAccept::from_wire(&request.accept).map_err(|e| e.to_string())?;
+        let channel = self
+            .pending_sessions
+            .remove(&request.session_id)
+            .ok_or_else(|| format!("no pending handshake for session {}", request.session_id))?;
+        // Like the single-channel glimmer-as-a-service path: the device
+        // authenticated *us* through attestation; with an embedded service
+        // key the peer must additionally prove it is the service.
+        let keys = match &self.service_verifying_key {
+            Some(service_key) => channel.complete(&accept, service_key),
+            None => channel.complete_unauthenticated(&accept),
+        }
+        .map_err(|e| e.to_string())?;
+        self.sessions.insert(request.session_id, keys);
+        Ok(Vec::new())
+    }
+
+    fn session_close(&mut self, data: &[u8]) -> Result<Vec<u8>, String> {
+        if data.len() != 8 {
+            return Err("SESSION_CLOSE expects an 8-byte session id".into());
+        }
+        let mut id = [0u8; 8];
+        id.copy_from_slice(data);
+        let session_id = u64::from_le_bytes(id);
+        self.pending_sessions.remove(&session_id);
+        self.sessions.remove(&session_id);
+        self.session_clients.remove(&session_id);
+        self.session_nonces.remove(&session_id);
+        // Session-scoped masks die with the session: a pool slot serves an
+        // open-ended stream of sessions, so without eviction the mask table
+        // would grow without bound — and a later session re-bound to the
+        // same (round, client) must install a fresh share, not inherit a
+        // stale one.
+        if let Some(keys) = self.session_masks.remove(&session_id) {
+            for key in keys {
+                // A reconnected device may have the same (round, client) mask
+                // bound to its replacement session; only evict shares no live
+                // session still claims.
+                let still_bound = self.session_masks.values().any(|set| set.contains(&key));
+                if !still_bound {
+                    self.masks.remove(&key);
+                }
+            }
+        }
+        Ok(Vec::new())
+    }
+
+    /// Decrypts one session's request, runs the pipeline, and re-encrypts the
+    /// response under the same session's keys. Returns the ciphertext plus
+    /// the public one-bit endorsement outcome (see
+    /// [`BatchOutcome`](crate::protocol::BatchOutcome)).
+    fn process_for_session(
+        &mut self,
+        env: &mut dyn EnclaveEnv,
+        keys: &ChannelKeys,
+        session_id: Option<u64>,
+        data: &[u8],
+    ) -> Result<(Vec<u8>, bool), String> {
+        if data.len() < 12 {
+            return Err("encrypted request too short".to_string());
+        }
+        let mut nonce = [0u8; 12];
+        nonce.copy_from_slice(&data[..12]);
+        // Replay protection (pooled path): AEAD opening is stateless, so a
+        // replayed ciphertext would re-endorse the same contribution and
+        // burn the tenant's endorsement budget twice. Remember each
+        // session's request nonces and refuse repeats; the per-session cap
+        // bounds enclave memory (reopen the session past it).
+        if let Some(sid) = session_id {
+            let seen = self.session_nonces.entry(sid).or_default();
+            if seen.contains(&nonce) {
+                return Err("replayed request nonce".to_string());
+            }
+            if seen.len() >= MAX_NONCES_PER_SESSION {
+                return Err(format!(
+                    "session exceeded {MAX_NONCES_PER_SESSION} requests; reopen it"
+                ));
+            }
+        }
+        let plain = keys
+            .service_to_glimmer
+            .open(&nonce, b"glimmer-remote-request-v1", &data[12..])
+            .map_err(|e| e.to_string())?;
+        let request = ProcessRequest::from_wire(&plain).map_err(|e| e.to_string())?;
+        // On a pooled enclave many devices' masks coexist, so a session may
+        // only contribute as client ids that were bound to it via
+        // SESSION_INSTALL_MASK — otherwise one device could impersonate
+        // another and consume its mask share. The legacy single-channel path
+        // (session_id None) serves exactly one device and needs no binding.
+        let authorized = match session_id {
+            None => true,
+            Some(sid) => self
+                .session_clients
+                .get(&sid)
+                .is_some_and(|clients| clients.contains(&request.contribution.client_id)),
+        };
+        let response = if authorized {
+            self.process_contribution(request)?
+        } else {
+            ProcessResponse::Rejected {
+                reason: format!(
+                    "session not authorized to contribute as client {}",
+                    request.contribution.client_id
+                ),
+            }
+        };
+        let endorsed = matches!(response, ProcessResponse::Endorsed(_));
+        // Record the nonce only now that the request was actually processed:
+        // a corrupted ciphertext must not burn the nonce of the legitimate
+        // request the device will retransmit.
+        if let Some(sid) = session_id {
+            self.session_nonces.entry(sid).or_default().insert(nonce);
+        }
+        let mut reply_nonce = [0u8; 12];
+        reply_nonce.copy_from_slice(&env.random_bytes(12));
+        let ciphertext = keys.glimmer_to_service.seal(
+            &reply_nonce,
+            b"glimmer-remote-response-v1",
+            &response.to_wire(),
+        );
+        let mut out = reply_nonce.to_vec();
+        out.extend_from_slice(&ciphertext);
+        Ok((out, endorsed))
+    }
+
+    fn process_batch(&mut self, env: &mut dyn EnclaveEnv, data: &[u8]) -> Result<Vec<u8>, String> {
+        let batch = BatchRequest::from_wire(data).map_err(|e| e.to_string())?;
+        if batch.items.len() > MAX_BATCH_ITEMS {
+            return Err(format!(
+                "batch of {} items exceeds the {MAX_BATCH_ITEMS}-item limit",
+                batch.items.len()
+            ));
+        }
+        let mut reply = BatchReply {
+            items: Vec::with_capacity(batch.items.len()),
+        };
+        // Clone each session's keys at most once per batch, not per item
+        // (the cache is a local, so borrowing from it is disjoint from the
+        // `&mut self` the processing call needs).
+        let mut key_cache: HashMap<u64, ChannelKeys> = HashMap::new();
+        for item in batch.items {
+            if let std::collections::hash_map::Entry::Vacant(slot) =
+                key_cache.entry(item.session_id)
+            {
+                if let Some(keys) = self.sessions.get(&item.session_id) {
+                    slot.insert(keys.clone());
+                }
+            }
+            let outcome = match key_cache.get(&item.session_id) {
+                Some(keys) => match self.process_for_session(
+                    env,
+                    keys,
+                    Some(item.session_id),
+                    &item.ciphertext,
+                ) {
+                    Ok((ciphertext, endorsed)) => BatchOutcome::Reply {
+                        ciphertext,
+                        endorsed,
+                    },
+                    Err(reason) => BatchOutcome::Failed(reason),
+                },
+                None => BatchOutcome::Failed(format!("no such session {}", item.session_id)),
+            };
+            reply.items.push(BatchReplyItem {
+                session_id: item.session_id,
+                outcome,
+            });
+        }
         Ok(reply.to_wire())
     }
 
@@ -473,31 +736,13 @@ impl GlimmerEnclaveProgram {
         env: &mut dyn EnclaveEnv,
         data: &[u8],
     ) -> Result<Vec<u8>, String> {
-        if data.len() < 12 {
-            return Err("encrypted request too short".to_string());
-        }
         let channel = self
             .channel
             .as_ref()
             .ok_or("encrypted processing requires an established channel")?
             .clone();
-        let mut nonce = [0u8; 12];
-        nonce.copy_from_slice(&data[..12]);
-        let plain = channel
-            .service_to_glimmer
-            .open(&nonce, b"glimmer-remote-request-v1", &data[12..])
-            .map_err(|e| e.to_string())?;
-        let request = ProcessRequest::from_wire(&plain).map_err(|e| e.to_string())?;
-        let response = self.process_contribution(request)?;
-        let mut reply_nonce = [0u8; 12];
-        reply_nonce.copy_from_slice(&env.random_bytes(12));
-        let ciphertext =
-            channel
-                .glimmer_to_service
-                .seal(&reply_nonce, b"glimmer-remote-response-v1", &response);
-        let mut out = reply_nonce.to_vec();
-        out.extend_from_slice(&ciphertext);
-        Ok(out)
+        self.process_for_session(env, &channel, None, data)
+            .map(|(ciphertext, _endorsed)| ciphertext)
     }
 
     fn install_predicate(&mut self, data: &[u8]) -> Result<Vec<u8>, String> {
@@ -540,6 +785,7 @@ impl GlimmerEnclaveProgram {
             confidential_predicate: self.confidential_detector.is_some(),
             masks: self.masks.len() as u32,
             verdict_bits_released: self.auditor.verdict_bits_released(),
+            sessions: self.sessions.len() as u32,
         }
         .to_wire()
     }
@@ -563,9 +809,14 @@ impl EnclaveProgram for GlimmerEnclaveProgram {
             }
             ecall::PROCESS_CONTRIBUTION => {
                 let request = ProcessRequest::from_wire(data).map_err(|e| e.to_string())?;
-                self.process_contribution(request)
+                self.process_contribution(request).map(|r| r.to_wire())
             }
             ecall::PROCESS_ENCRYPTED => self.process_encrypted(env, data),
+            ecall::PROCESS_BATCH => self.process_batch(env, data),
+            ecall::SESSION_INSTALL_MASK => self.session_install_mask(data),
+            ecall::SESSION_OPEN => self.session_open(env, data),
+            ecall::SESSION_ACCEPT => self.session_accept(data),
+            ecall::SESSION_CLOSE => self.session_close(data),
             ecall::CHANNEL_REPORT => self.channel_report(env, data),
             ecall::CHANNEL_COMPLETE => self.channel_complete(data),
             ecall::INSTALL_PREDICATE => self.install_predicate(data),
@@ -633,6 +884,7 @@ mod tests {
             confidential_predicate: true,
             masks: 4,
             verdict_bits_released: 9,
+            sessions: 3,
         };
         assert_eq!(GlimmerStatus::from_wire(&status.to_wire()).unwrap(), status);
 

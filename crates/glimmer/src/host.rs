@@ -14,7 +14,10 @@ use crate::enclave_app::{
     ChannelReportReply, ConfidentialCheckRequest, GlimmerEnclaveProgram, GlimmerStatus,
     MaskDelivery, ProvisionRequest, GLIMMER_ISV_PROD_ID,
 };
-use crate::protocol::{ecall, Contribution, PrivateData, ProcessRequest, ProcessResponse};
+use crate::protocol::{
+    ecall, BatchReply, BatchRequest, Contribution, PrivateData, ProcessRequest, ProcessResponse,
+    SessionAcceptRequest, SessionMaskRequest, SessionOpenRequest,
+};
 use crate::validation::{BotDetectorSpec, PredicateKind, PredicateSpec};
 use crate::{GlimmerError, Result};
 use glimmer_crypto::drbg::Drbg;
@@ -88,10 +91,7 @@ impl GlimmerDescriptor {
                 PredicateKind::KeyboardCorroboration,
             ],
             secret_inputs: vec!["keyboard-log".to_string(), "local-model".to_string()],
-            declassifiers: vec![
-                "blinding".to_string(),
-                "endorsement-signature".to_string(),
-            ],
+            declassifiers: vec!["blinding".to_string(), "endorsement-signature".to_string()],
             bounded_loops: true,
             uses_function_pointers: false,
             heap_pages: 16,
@@ -190,10 +190,7 @@ impl GlimmerDescriptor {
             ],
             predicates: vec![PredicateKind::RangeCheck, PredicateKind::Plausibility],
             secret_inputs: vec!["sensor-stream".to_string()],
-            declassifiers: vec![
-                "blinding".to_string(),
-                "endorsement-signature".to_string(),
-            ],
+            declassifiers: vec!["blinding".to_string(), "endorsement-signature".to_string()],
             bounded_loops: true,
             uses_function_pointers: false,
             heap_pages: 8,
@@ -415,6 +412,73 @@ impl GlimmerClient {
         self.ecall(ecall::PROCESS_ENCRYPTED, request_ciphertext)
     }
 
+    /// Opens a session-scoped attested channel (multi-tenant serving): the
+    /// enclave starts a handshake bound to `session_id` and the host quotes
+    /// the resulting report into an offer for the connecting device.
+    pub fn open_session(&mut self, session_id: u64) -> Result<ChannelOffer> {
+        let target = self.platform.quoting_enclave_target();
+        let request = SessionOpenRequest {
+            session_id,
+            qe_measurement: target.measurement.0,
+        };
+        let reply_bytes = self.ecall(ecall::SESSION_OPEN, &request.to_wire())?;
+        let reply = ChannelReportReply::from_wire(&reply_bytes)?;
+        let report = Report::from_bytes(&reply.report)?;
+        let quote = self.platform.quote_report(&report)?;
+        Ok(ChannelOffer {
+            app_id: self.descriptor.app_id.clone(),
+            glimmer_dh_public: reply.dh_public,
+            quote: quote.to_bytes(),
+        })
+    }
+
+    /// Completes a session-scoped handshake with the device's response.
+    pub fn accept_session(&mut self, session_id: u64, accept: &ChannelAccept) -> Result<()> {
+        let request = SessionAcceptRequest {
+            session_id,
+            accept: accept.to_wire(),
+        };
+        self.ecall(ecall::SESSION_ACCEPT, &request.to_wire())?;
+        Ok(())
+    }
+
+    /// Installs a blinding mask bound to `session_id`, authorizing that
+    /// session to contribute as the mask's client id (pooled serving path).
+    pub fn install_session_mask(&mut self, session_id: u64, mask: &MaskShare) -> Result<()> {
+        self.install_session_mask_delivery(session_id, &MaskDelivery::plain(mask))
+    }
+
+    /// Installs a session-bound mask from an arbitrary delivery — in
+    /// particular [`MaskDelivery::Encrypted`], sealed under the tenant's
+    /// attested channel so an untrusted pool host never sees mask values.
+    pub fn install_session_mask_delivery(
+        &mut self,
+        session_id: u64,
+        delivery: &MaskDelivery,
+    ) -> Result<()> {
+        let request = SessionMaskRequest {
+            session_id,
+            delivery: delivery.to_wire(),
+        };
+        self.ecall(ecall::SESSION_INSTALL_MASK, &request.to_wire())?;
+        Ok(())
+    }
+
+    /// Tears down a session, erasing its channel keys inside the enclave.
+    pub fn close_session(&mut self, session_id: u64) -> Result<()> {
+        self.ecall(ecall::SESSION_CLOSE, &session_id.to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Drains a whole batch of encrypted requests through the enclave in a
+    /// single ECALL transition, returning one outcome per item (in order).
+    /// This is the gateway's amortized serving path: the per-transition cost
+    /// is paid once per batch instead of once per contribution.
+    pub fn process_batch(&mut self, batch: &BatchRequest) -> Result<BatchReply> {
+        let reply_bytes = self.ecall(ecall::PROCESS_BATCH, &batch.to_wire())?;
+        BatchReply::from_wire(&reply_bytes).map_err(GlimmerError::from)
+    }
+
     /// Runs the confidential bot check and returns the audited verdict frame
     /// ready to forward to the service.
     pub fn confidential_check(
@@ -484,7 +548,9 @@ mod tests {
         assert_eq!(status.masks, 0);
 
         let material = ServiceKeyMaterial::generate(&mut rng()).unwrap();
-        let sealed = client.install_service_key(&material.secret_bytes()).unwrap();
+        let sealed = client
+            .install_service_key(&material.secret_bytes())
+            .unwrap();
         assert!(!sealed.is_empty());
         let status = client.status().unwrap();
         assert!(status.signing_key);
@@ -504,7 +570,9 @@ mod tests {
     fn sealed_key_export_and_restore_on_same_platform() {
         let mut client = keyboard_client();
         let material = ServiceKeyMaterial::generate(&mut rng()).unwrap();
-        client.install_service_key(&material.secret_bytes()).unwrap();
+        client
+            .install_service_key(&material.secret_bytes())
+            .unwrap();
         let sealed = client.export_sealed_key().unwrap();
 
         // Simulate a restart: rebuild the enclave on the same platform... the
@@ -536,11 +604,18 @@ mod tests {
         };
         // Without a blinding mask the Glimmer refuses to release private data.
         let material = ServiceKeyMaterial::generate(&mut rng()).unwrap();
-        client.install_service_key(&material.secret_bytes()).unwrap();
-        let response = client
-            .process(contribution.clone(), PrivateData::KeyboardLog { sentences: vec![] })
+        client
+            .install_service_key(&material.secret_bytes())
             .unwrap();
-        assert!(matches!(response, ProcessResponse::Rejected { ref reason } if reason.contains("mask")));
+        let response = client
+            .process(
+                contribution.clone(),
+                PrivateData::KeyboardLog { sentences: vec![] },
+            )
+            .unwrap();
+        assert!(
+            matches!(response, ProcessResponse::Rejected { ref reason } if reason.contains("mask"))
+        );
 
         // Without a signing key processing aborts.
         let mut unprovisioned = keyboard_client();
@@ -551,7 +626,8 @@ mod tests {
                 mask: vec![0u64; 4],
             })
             .unwrap();
-        let err = unprovisioned.process(contribution, PrivateData::KeyboardLog { sentences: vec![] });
+        let err =
+            unprovisioned.process(contribution, PrivateData::KeyboardLog { sentences: vec![] });
         assert!(err.is_err());
     }
 }

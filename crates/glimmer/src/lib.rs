@@ -46,8 +46,9 @@ pub use enclave_app::{GlimmerEnclaveProgram, GlimmerStatus, MaskDelivery, GLIMME
 pub use host::{GlimmerClient, GlimmerDescriptor};
 pub use policy::{check_verifiability, PolicyLimits, PolicyViolation, TcbReport};
 pub use protocol::{
-    Contribution, ContributionPayload, EndorsedContribution, PrivateData, ProcessRequest,
-    ProcessResponse, ValidationVerdict,
+    BatchItem, BatchOutcome, BatchReply, BatchReplyItem, BatchRequest, Contribution,
+    ContributionPayload, EndorsedContribution, PrivateData, ProcessRequest, ProcessResponse,
+    SessionAcceptRequest, SessionMaskRequest, SessionOpenRequest, ValidationVerdict,
 };
 pub use remote::{IotDeviceSession, RemoteGlimmerHost};
 pub use signing::{EndorsementVerifier, ServiceKeyMaterial};
@@ -129,8 +130,12 @@ mod tests {
         assert!(GlimmerError::AuditRejected("too many bits".into())
             .to_string()
             .contains("too many bits"));
-        assert!(GlimmerError::Channel("no quote".into()).to_string().contains("no quote"));
-        assert!(GlimmerError::Protocol("bad round").to_string().contains("bad round"));
+        assert!(GlimmerError::Channel("no quote".into())
+            .to_string()
+            .contains("no quote"));
+        assert!(GlimmerError::Protocol("bad round")
+            .to_string()
+            .contains("bad round"));
 
         let crypto: GlimmerError = glimmer_crypto::CryptoError::VerificationFailed.into();
         assert!(matches!(crypto, GlimmerError::Crypto(_)));

@@ -247,7 +247,9 @@ mod tests {
 
         // A Glimmer with more predicates has a strictly larger measured TCB.
         let mut bigger = d.clone();
-        bigger.predicate_specs.push(PredicateSpec::RetrainCheck { tolerance: 1e-9 });
+        bigger
+            .predicate_specs
+            .push(PredicateSpec::RetrainCheck { tolerance: 1e-9 });
         bigger.predicates.push(PredicateKind::RetrainCheck);
         let bigger_report = TcbReport::from_build(&bigger, &bigger.build_image());
         assert!(bigger_report.descriptor_bytes > report.descriptor_bytes);

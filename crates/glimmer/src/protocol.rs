@@ -32,6 +32,20 @@ pub mod ecall {
     /// Validate, blind, and sign a contribution delivered encrypted over the
     /// attested channel (glimmer-as-a-service, Section 4.2).
     pub const PROCESS_ENCRYPTED: u16 = 10;
+    /// Open a session-scoped attested channel handshake (multi-tenant
+    /// glimmer-as-a-service: one enclave, many concurrent device sessions).
+    pub const SESSION_OPEN: u16 = 11;
+    /// Complete a session-scoped handshake with the device's response.
+    pub const SESSION_ACCEPT: u16 = 12;
+    /// Tear down a session and erase its channel keys.
+    pub const SESSION_CLOSE: u16 = 13;
+    /// Validate, blind, and sign a whole batch of encrypted contributions
+    /// from many sessions in a single enclave transition (the gateway's
+    /// amortized serving path).
+    pub const PROCESS_BATCH: u16 = 14;
+    /// Install a blinding mask bound to one session: the mask's client id
+    /// becomes a client the session is authorized to contribute as.
+    pub const SESSION_INSTALL_MASK: u16 = 15;
 }
 
 /// Frame message types used on the client/service wire.
@@ -451,12 +465,232 @@ impl WireCodec for ProcessResponse {
 
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
         match dec.get_u8()? {
-            1 => Ok(ProcessResponse::Endorsed(EndorsedContribution::decode(dec)?)),
+            1 => Ok(ProcessResponse::Endorsed(EndorsedContribution::decode(
+                dec,
+            )?)),
             0 => Ok(ProcessResponse::Rejected {
                 reason: dec.get_str()?,
             }),
             other => Err(WireError::InvalidBool(other)),
         }
+    }
+}
+
+/// Request marshalled into the `SESSION_OPEN` ECALL: which session to open
+/// and the quoting enclave's measurement (so the enclave can target its
+/// report).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionOpenRequest {
+    /// Gateway-assigned session identifier (unique per enclave).
+    pub session_id: u64,
+    /// Measurement of the platform's quoting enclave.
+    pub qe_measurement: [u8; 32],
+}
+
+impl WireCodec for SessionOpenRequest {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.session_id);
+        enc.put_array32(&self.qe_measurement);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(SessionOpenRequest {
+            session_id: dec.get_u64()?,
+            qe_measurement: dec.get_array32()?,
+        })
+    }
+}
+
+/// Request marshalled into the `SESSION_ACCEPT` ECALL: the device's handshake
+/// response for one pending session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionAcceptRequest {
+    /// The session the response belongs to.
+    pub session_id: u64,
+    /// The device's raw `ChannelAccept` encoding.
+    pub accept: Vec<u8>,
+}
+
+impl WireCodec for SessionAcceptRequest {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.session_id);
+        enc.put_bytes(&self.accept);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(SessionAcceptRequest {
+            session_id: dec.get_u64()?,
+            accept: dec.get_bytes()?,
+        })
+    }
+}
+
+/// Request marshalled into the `SESSION_INSTALL_MASK` ECALL: a mask delivery
+/// scoped to one session. Installing it authorizes the session to contribute
+/// as the mask's client id — the binding that keeps co-located sessions on a
+/// pooled enclave from impersonating each other.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionMaskRequest {
+    /// The session the mask belongs to.
+    pub session_id: u64,
+    /// The raw `MaskDelivery` encoding.
+    pub delivery: Vec<u8>,
+}
+
+impl WireCodec for SessionMaskRequest {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.session_id);
+        enc.put_bytes(&self.delivery);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(SessionMaskRequest {
+            session_id: dec.get_u64()?,
+            delivery: dec.get_bytes()?,
+        })
+    }
+}
+
+/// One encrypted request travelling into the `PROCESS_BATCH` ECALL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchItem {
+    /// The session whose channel keys protect `ciphertext`.
+    pub session_id: u64,
+    /// Nonce-prefixed AEAD ciphertext of a [`ProcessRequest`].
+    pub ciphertext: Vec<u8>,
+}
+
+impl WireCodec for BatchItem {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.session_id);
+        enc.put_bytes(&self.ciphertext);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(BatchItem {
+            session_id: dec.get_u64()?,
+            ciphertext: dec.get_bytes()?,
+        })
+    }
+}
+
+/// Request marshalled into the `PROCESS_BATCH` ECALL: every queued encrypted
+/// contribution for this enclave, crossing the boundary in one transition.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BatchRequest {
+    /// The queued items, in arrival order.
+    pub items: Vec<BatchItem>,
+}
+
+impl WireCodec for BatchRequest {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_varint(self.items.len() as u64);
+        for item in &self.items {
+            item.encode(enc);
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let n = dec.get_varint()? as usize;
+        let mut items = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            items.push(BatchItem::decode(dec)?);
+        }
+        Ok(BatchRequest { items })
+    }
+}
+
+/// Per-item outcome of a `PROCESS_BATCH` ECALL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOutcome {
+    /// The item was processed; the payload is the nonce-prefixed encrypted
+    /// [`ProcessResponse`] (which may itself be a rejection).
+    ///
+    /// `endorsed` publicly releases exactly one bit — whether the pipeline
+    /// produced an endorsement — so the untrusted gateway can do admission
+    /// control and billing without opening the response. The device forwards
+    /// any endorsement to the service anyway, so this bit becomes public the
+    /// moment the contribution is used; releasing it here (and nothing else)
+    /// mirrors the paper's one-bit-verdict auditor discipline.
+    Reply {
+        /// Nonce-prefixed encrypted [`ProcessResponse`].
+        ciphertext: Vec<u8>,
+        /// Whether an endorsement was produced (validation passed).
+        endorsed: bool,
+    },
+    /// The item could not be processed at all (unknown session, undecryptable
+    /// ciphertext); nothing was released for it.
+    Failed(String),
+}
+
+/// One reply slot of a batch, paired with the session it belongs to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReplyItem {
+    /// The session the reply belongs to.
+    pub session_id: u64,
+    /// What happened to the item.
+    pub outcome: BatchOutcome,
+}
+
+impl WireCodec for BatchReplyItem {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.session_id);
+        match &self.outcome {
+            BatchOutcome::Reply {
+                ciphertext,
+                endorsed,
+            } => {
+                enc.put_u8(1);
+                enc.put_bytes(ciphertext);
+                enc.put_bool(*endorsed);
+            }
+            BatchOutcome::Failed(reason) => {
+                enc.put_u8(0);
+                enc.put_str(reason);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let session_id = dec.get_u64()?;
+        let outcome = match dec.get_u8()? {
+            1 => BatchOutcome::Reply {
+                ciphertext: dec.get_bytes()?,
+                endorsed: dec.get_bool()?,
+            },
+            0 => BatchOutcome::Failed(dec.get_str()?),
+            other => return Err(WireError::InvalidBool(other)),
+        };
+        Ok(BatchReplyItem {
+            session_id,
+            outcome,
+        })
+    }
+}
+
+/// Reply marshalled out of the `PROCESS_BATCH` ECALL: one outcome per input
+/// item, in the same order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BatchReply {
+    /// Per-item outcomes.
+    pub items: Vec<BatchReplyItem>,
+}
+
+impl WireCodec for BatchReply {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_varint(self.items.len() as u64);
+        for item in &self.items {
+            item.encode(enc);
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let n = dec.get_varint()? as usize;
+        let mut items = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            items.push(BatchReplyItem::decode(dec)?);
+        }
+        Ok(BatchReply { items })
     }
 }
 
@@ -517,11 +751,17 @@ mod tests {
                 sentences: vec![vec![1, 2, 3], vec![], vec![7]],
             },
             PrivateData::GpsTrack {
-                points: vec![(43.66, -79.39, 1_700_000_000), (43.67, -79.38, 1_700_000_060)],
+                points: vec![
+                    (43.66, -79.39, 1_700_000_000),
+                    (43.67, -79.38, 1_700_000_060),
+                ],
                 camera_fingerprint: [3u8; 32],
             },
             PrivateData::BotSignals {
-                signals: vec![("mouse_entropy".to_string(), 0.8), ("js_fidelity".to_string(), 1.0)],
+                signals: vec![
+                    ("mouse_entropy".to_string(), 0.8),
+                    ("js_fidelity".to_string(), 1.0),
+                ],
             },
         ];
         for c in cases {
@@ -543,7 +783,10 @@ mod tests {
                 sentences: vec![vec![1, 2]],
             },
         };
-        assert_eq!(ProcessRequest::from_wire(&request.to_wire()).unwrap(), request);
+        assert_eq!(
+            ProcessRequest::from_wire(&request.to_wire()).unwrap(),
+            request
+        );
     }
 
     #[test]
@@ -588,6 +831,63 @@ mod tests {
         for r in responses {
             assert_eq!(ProcessResponse::from_wire(&r.to_wire()).unwrap(), r);
         }
+    }
+
+    #[test]
+    fn session_and_batch_messages_round_trip() {
+        let open = SessionOpenRequest {
+            session_id: 9,
+            qe_measurement: [4u8; 32],
+        };
+        assert_eq!(
+            SessionOpenRequest::from_wire(&open.to_wire()).unwrap(),
+            open
+        );
+
+        let accept = SessionAcceptRequest {
+            session_id: 9,
+            accept: vec![1, 2, 3],
+        };
+        assert_eq!(
+            SessionAcceptRequest::from_wire(&accept.to_wire()).unwrap(),
+            accept
+        );
+
+        let batch = BatchRequest {
+            items: vec![
+                BatchItem {
+                    session_id: 1,
+                    ciphertext: vec![5; 20],
+                },
+                BatchItem {
+                    session_id: 2,
+                    ciphertext: vec![],
+                },
+            ],
+        };
+        assert_eq!(BatchRequest::from_wire(&batch.to_wire()).unwrap(), batch);
+        assert_eq!(
+            BatchRequest::from_wire(&BatchRequest::default().to_wire()).unwrap(),
+            BatchRequest::default()
+        );
+
+        let reply = BatchReply {
+            items: vec![
+                BatchReplyItem {
+                    session_id: 1,
+                    outcome: BatchOutcome::Reply {
+                        ciphertext: vec![9; 16],
+                        endorsed: true,
+                    },
+                },
+                BatchReplyItem {
+                    session_id: 2,
+                    outcome: BatchOutcome::Failed("no such session".to_string()),
+                },
+            ],
+        };
+        assert_eq!(BatchReply::from_wire(&reply.to_wire()).unwrap(), reply);
+        assert!(BatchReplyItem::from_wire(&[0u8; 9]).is_err());
     }
 
     #[test]

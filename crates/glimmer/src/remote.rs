@@ -275,7 +275,142 @@ mod tests {
         let response = session
             .decrypt_response(&host.relay(&request).unwrap())
             .unwrap();
-        assert!(matches!(response, ProcessResponse::Rejected { ref reason } if reason.contains("538")));
+        assert!(
+            matches!(response, ProcessResponse::Rejected { ref reason } if reason.contains("538"))
+        );
+    }
+
+    #[test]
+    fn batched_multi_session_processing_shares_one_enclave() {
+        use crate::protocol::{BatchItem, BatchOutcome, BatchRequest};
+
+        let (mut host, avs, mut rng) = setup();
+        let material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+        host.client_mut()
+            .install_service_key(&material.secret_bytes())
+            .unwrap();
+        let devices: Vec<u64> = vec![300, 301, 302];
+        let masks = BlindingService::new([8u8; 32]).zero_sum_masks(2, &devices, 3);
+        let approved = host.measurement();
+
+        // Three devices hold *concurrent* sessions against the same enclave;
+        // each session gets its own device's mask bound to it.
+        let mut sessions = Vec::new();
+        for (i, device) in devices.iter().enumerate() {
+            let session_id = 1000 + i as u64;
+            let offer = host.client_mut().open_session(session_id).unwrap();
+            let (accept, session) =
+                IotDeviceSession::connect(&offer, &avs, &approved, &mut rng).unwrap();
+            host.client_mut()
+                .accept_session(session_id, &accept)
+                .unwrap();
+            host.client_mut()
+                .install_session_mask(session_id, &masks[i])
+                .unwrap();
+            sessions.push((session_id, *device, session));
+        }
+        assert_eq!(host.client_mut().status().unwrap().sessions, 3);
+
+        // All three contributions cross the boundary in ONE ecall.
+        let ecalls_before = host.cost_report().ecalls;
+        let items = sessions
+            .iter_mut()
+            .map(|(session_id, device, session)| BatchItem {
+                session_id: *session_id,
+                ciphertext: session.encrypt_request(
+                    Contribution {
+                        app_id: "iot-telemetry.example".to_string(),
+                        client_id: *device,
+                        round: 2,
+                        payload: ContributionPayload::IotReadings {
+                            samples: vec![0.1, 0.5, 0.9],
+                        },
+                    },
+                    PrivateData::None,
+                ),
+            })
+            .collect();
+        let reply = host
+            .client_mut()
+            .process_batch(&BatchRequest { items })
+            .unwrap();
+        assert_eq!(host.cost_report().ecalls, ecalls_before + 1);
+        assert_eq!(reply.items.len(), 3);
+        for ((_, device, session), item) in sessions.iter().zip(&reply.items) {
+            let BatchOutcome::Reply {
+                ciphertext,
+                endorsed,
+            } = &item.outcome
+            else {
+                panic!("expected reply, got {:?}", item.outcome);
+            };
+            assert!(*endorsed);
+            let response = session.decrypt_response(ciphertext).unwrap();
+            let ProcessResponse::Endorsed(endorsed) = response else {
+                panic!("expected endorsement");
+            };
+            assert_eq!(endorsed.client_id, *device);
+            assert!(material.verifier().verify(&endorsed).is_ok());
+        }
+
+        // A batch item for an unknown session fails without poisoning others,
+        // and closed sessions stop decrypting.
+        let (first_id, _, session) = &mut sessions[0];
+        let good = BatchItem {
+            session_id: *first_id,
+            ciphertext: session.encrypt_request(
+                Contribution {
+                    app_id: "iot-telemetry.example".to_string(),
+                    client_id: 300,
+                    round: 2,
+                    payload: ContributionPayload::IotReadings {
+                        samples: vec![0.2, 0.2, 0.2],
+                    },
+                },
+                PrivateData::None,
+            ),
+        };
+        let reply = host
+            .client_mut()
+            .process_batch(&BatchRequest {
+                items: vec![
+                    BatchItem {
+                        session_id: 9999,
+                        ciphertext: vec![0u8; 40],
+                    },
+                    good.clone(),
+                ],
+            })
+            .unwrap();
+        assert!(matches!(&reply.items[0].outcome, BatchOutcome::Failed(r) if r.contains("9999")));
+        assert!(matches!(
+            &reply.items[1].outcome,
+            BatchOutcome::Reply { endorsed: true, .. }
+        ));
+
+        // Replaying an already-processed ciphertext on the live session is
+        // refused (stateless AEAD would otherwise re-endorse it).
+        let reply = host
+            .client_mut()
+            .process_batch(&BatchRequest {
+                items: vec![good.clone()],
+            })
+            .unwrap();
+        assert!(
+            matches!(&reply.items[0].outcome, BatchOutcome::Failed(r) if r.contains("replayed")),
+            "{:?}",
+            reply.items[0].outcome
+        );
+
+        host.client_mut().close_session(*first_id).unwrap();
+        assert_eq!(host.client_mut().status().unwrap().sessions, 2);
+        // The closed session's mask was evicted with it.
+        assert_eq!(host.client_mut().status().unwrap().masks, 2);
+        let reply = host
+            .client_mut()
+            .process_batch(&BatchRequest { items: vec![good] })
+            .unwrap();
+        assert!(matches!(&reply.items[0].outcome, BatchOutcome::Failed(_)));
     }
 
     #[test]

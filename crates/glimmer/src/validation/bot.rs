@@ -235,7 +235,11 @@ mod tests {
     #[test]
     fn requires_bot_signals_private_data() {
         let detector = BotDetector::new(BotDetectorSpec::example());
-        assert!(!detector.validate(&contribution(), &PrivateData::None).passed);
+        assert!(
+            !detector
+                .validate(&contribution(), &PrivateData::None)
+                .passed
+        );
         assert_eq!(detector.kind(), PredicateKind::BotDetector);
         assert!(detector.cost_estimate(&contribution(), &PrivateData::None) > 0);
     }

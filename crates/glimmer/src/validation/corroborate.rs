@@ -349,14 +349,20 @@ mod tests {
             weights: honest_weights,
         };
         let slot = schema.slot_of_words("donald", "trump").unwrap();
-        let biased = apply_poison(&schema, &honest_model, &PoisonStrategy::InRangeBias { slot });
+        let biased = apply_poison(
+            &schema,
+            &honest_model,
+            &PoisonStrategy::InRangeBias { slot },
+        );
         let verdict = predicate.validate(&contribution(biased.weights), &private);
         assert!(!verdict.passed);
 
         // Wrong private data type.
-        assert!(!predicate
-            .validate(&contribution(vec![0.5]), &PrivateData::None)
-            .passed);
+        assert!(
+            !predicate
+                .validate(&contribution(vec![0.5]), &PrivateData::None)
+                .passed
+        );
     }
 
     #[test]

@@ -129,7 +129,10 @@ mod tests {
         let cn_to_union = haversine_km(CN_TOWER.0, CN_TOWER.1, UNION_STATION.0, UNION_STATION.1);
         assert!(cn_to_union > 0.3 && cn_to_union < 1.0, "{cn_to_union}");
         let toronto_to_paris = haversine_km(CN_TOWER.0, CN_TOWER.1, EIFFEL_TOWER.0, EIFFEL_TOWER.1);
-        assert!(toronto_to_paris > 5500.0 && toronto_to_paris < 6500.0, "{toronto_to_paris}");
+        assert!(
+            toronto_to_paris > 5500.0 && toronto_to_paris < 6500.0,
+            "{toronto_to_paris}"
+        );
     }
 
     #[test]
@@ -165,13 +168,17 @@ mod tests {
             points: vec![],
             camera_fingerprint: [8u8; 32],
         };
-        assert!(!predicate()
-            .validate(&photo(CN_TOWER.0, CN_TOWER.1), &empty_track)
-            .passed);
+        assert!(
+            !predicate()
+                .validate(&photo(CN_TOWER.0, CN_TOWER.1), &empty_track)
+                .passed
+        );
 
-        assert!(!predicate()
-            .validate(&photo(CN_TOWER.0, CN_TOWER.1), &PrivateData::None)
-            .passed);
+        assert!(
+            !predicate()
+                .validate(&photo(CN_TOWER.0, CN_TOWER.1), &PrivateData::None)
+                .passed
+        );
     }
 
     #[test]
@@ -182,9 +189,11 @@ mod tests {
             round: 0,
             payload: ContributionPayload::ModelUpdate { weights: vec![0.5] },
         };
-        assert!(!predicate()
-            .validate(&model, &track_near_cn_tower([8u8; 32]))
-            .passed);
+        assert!(
+            !predicate()
+                .validate(&model, &track_near_cn_tower([8u8; 32]))
+                .passed
+        );
         assert_eq!(predicate().kind(), PredicateKind::PhotoLocation);
         assert!(predicate().cost_estimate(&model, &track_near_cn_tower([8u8; 32])) > 500);
     }

@@ -333,9 +333,7 @@ impl ValidationPredicate for Plausibility {
             // A constant weight of exactly 1.0 is the natural shape of a small
             // honest trace (every observed bigram was deterministic), so only
             // other constants are treated as fabricated.
-            if (first - 1.0).abs() > 1e-12
-                && nonzero.iter().all(|w| (*w - first).abs() < 1e-12)
-            {
+            if (first - 1.0).abs() > 1e-12 && nonzero.iter().all(|w| (*w - first).abs() < 1e-12) {
                 return ValidationVerdict::with_confidence(
                     false,
                     0.9,
@@ -465,10 +463,18 @@ mod tests {
         // A small trace where every observed bigram is deterministic (all
         // weights exactly 1.0) is honest, not fabricated.
         let deterministic = model_contribution(vec![1.0, 1.0, 0.0, 1.0, 1.0, 1.0]);
-        assert!(predicate.validate(&deterministic, &PrivateData::None).passed);
+        assert!(
+            predicate
+                .validate(&deterministic, &PrivateData::None)
+                .passed
+        );
 
         // Empty update fails.
-        assert!(!predicate.validate(&model_contribution(vec![]), &PrivateData::None).passed);
+        assert!(
+            !predicate
+                .validate(&model_contribution(vec![]), &PrivateData::None)
+                .passed
+        );
 
         // Non-model payloads pass trivially.
         let photo = Contribution {

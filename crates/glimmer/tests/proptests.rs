@@ -98,7 +98,7 @@ proptest! {
         let clients: Vec<u64> = (0..weights.len() as u64).collect();
         let masks = BlindingService::new(seed).zero_sum_masks(0, &clients, 8);
         let mut blinded_sum = vec![0u64; 8];
-        let mut plain_sum = vec![0.0f64; 8];
+        let mut plain_sum = [0.0f64; 8];
         for (w, m) in weights.iter().zip(&masks) {
             blinded_sum = add_vectors(&blinded_sum, &m.blind(&encode_weights(w)));
             for (p, v) in plain_sum.iter_mut().zip(w) {

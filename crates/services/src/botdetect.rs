@@ -121,7 +121,11 @@ impl BotDetectionService {
     pub fn encrypted_detector(&mut self, session: &BotSession) -> EncryptedPredicate {
         let mut nonce = [0u8; 12];
         self.rng.fill_bytes(&mut nonce);
-        seal_predicate(&self.detector, &session.channel.keys.service_to_glimmer, nonce)
+        seal_predicate(
+            &self.detector,
+            &session.channel.keys.service_to_glimmer,
+            nonce,
+        )
     }
 
     /// Accepts a verdict frame from the client, verifying format, challenge
@@ -203,8 +207,7 @@ mod tests {
     #[test]
     fn end_to_end_confidential_bot_check() {
         let (mut service, mut avs, mut rng) = service_and_avs();
-        let descriptor =
-            GlimmerDescriptor::bot_detection_default(service.verifying_key_bytes(), 8);
+        let descriptor = GlimmerDescriptor::bot_detection_default(service.verifying_key_bytes(), 8);
         service.approved_glimmer = descriptor.measurement();
 
         let mut client =
@@ -242,8 +245,7 @@ mod tests {
     #[test]
     fn forged_and_replayed_verdicts_are_rejected() {
         let (mut service, mut avs, mut rng) = service_and_avs();
-        let descriptor =
-            GlimmerDescriptor::bot_detection_default(service.verifying_key_bytes(), 8);
+        let descriptor = GlimmerDescriptor::bot_detection_default(service.verifying_key_bytes(), 8);
         service.approved_glimmer = descriptor.measurement();
         let mut client =
             GlimmerClient::new(descriptor, PlatformConfig::default(), &mut rng).unwrap();
@@ -284,8 +286,7 @@ mod tests {
     #[test]
     fn unattested_clients_cannot_open_sessions() {
         let (mut service, avs, mut rng) = service_and_avs();
-        let descriptor =
-            GlimmerDescriptor::bot_detection_default(service.verifying_key_bytes(), 8);
+        let descriptor = GlimmerDescriptor::bot_detection_default(service.verifying_key_bytes(), 8);
         service.approved_glimmer = descriptor.measurement();
         let mut client =
             GlimmerClient::new(descriptor, PlatformConfig::default(), &mut rng).unwrap();

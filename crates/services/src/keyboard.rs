@@ -119,10 +119,9 @@ impl KeyboardService {
             return Err(ServiceError::Duplicate(endorsed.client_id));
         }
         if self.config.require_endorsements {
-            let verifier = self
-                .verifier
-                .as_ref()
-                .ok_or(ServiceError::WrongTarget("service has no verifier configured"))?;
+            let verifier = self.verifier.as_ref().ok_or(ServiceError::WrongTarget(
+                "service has no verifier configured",
+            ))?;
             verifier
                 .verify(endorsed)
                 .map_err(|_| ServiceError::BadEndorsement)?;
@@ -247,8 +246,11 @@ mod tests {
     fn protected_round_rejects_bad_submissions() {
         let s = schema();
         let m = material();
-        let mut service =
-            KeyboardService::new(KeyboardServiceConfig::default(), s.clone(), Some(m.verifier()));
+        let mut service = KeyboardService::new(
+            KeyboardServiceConfig::default(),
+            s.clone(),
+            Some(m.verifier()),
+        );
         let vector = encode_weights(&vec![0.5; s.dimension()]);
 
         // Unsigned / wrongly signed contribution.
@@ -263,11 +265,17 @@ mod tests {
         // Wrong app id.
         let mut wrong_app = endorsed(&m, 3, 0, &vector, true);
         wrong_app.app_id = "other".to_string();
-        assert_eq!(service.submit(&wrong_app), Err(ServiceError::WrongTarget("app id")));
+        assert_eq!(
+            service.submit(&wrong_app),
+            Err(ServiceError::WrongTarget("app id"))
+        );
 
         // Wrong round.
         let wrong_round = endorsed(&m, 3, 9, &vector, true);
-        assert!(matches!(service.submit(&wrong_round), Err(ServiceError::WrongTarget(_))));
+        assert!(matches!(
+            service.submit(&wrong_round),
+            Err(ServiceError::WrongTarget(_))
+        ));
 
         // Duplicate client.
         let ok = endorsed(&m, 4, 0, &vector, true);
@@ -277,14 +285,20 @@ mod tests {
 
         // Wrong dimension.
         let short = endorsed(&m, 5, 0, &vector[..2], true);
-        assert!(matches!(service.submit(&short), Err(ServiceError::Malformed(_))));
+        assert!(matches!(
+            service.submit(&short),
+            Err(ServiceError::Malformed(_))
+        ));
 
         // Malformed payload bytes.
         let mut garbage = endorsed(&m, 6, 0, &vector, true);
         garbage.released_payload = vec![0xFF];
         let key = signing_key_from_secret(&m.secret_bytes()).unwrap();
         garbage.signature = sign_endorsement(&key, &garbage).unwrap();
-        assert!(matches!(service.submit(&garbage), Err(ServiceError::Malformed(_))));
+        assert!(matches!(
+            service.submit(&garbage),
+            Err(ServiceError::Malformed(_))
+        ));
 
         let outcome = service.finalize_round().unwrap();
         assert_eq!(outcome.accepted, 1);

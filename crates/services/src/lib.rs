@@ -52,7 +52,9 @@ impl core::fmt::Display for ServiceError {
             ServiceError::Malformed(what) => write!(f, "malformed contribution: {what}"),
             ServiceError::EmptyRound => write!(f, "no contributions in round"),
             ServiceError::Channel(msg) => write!(f, "channel error: {msg}"),
-            ServiceError::Duplicate(client) => write!(f, "duplicate contribution from client {client}"),
+            ServiceError::Duplicate(client) => {
+                write!(f, "duplicate contribution from client {client}")
+            }
         }
     }
 }

@@ -107,7 +107,10 @@ impl MapsService {
     pub fn coverage(&self) -> HashMap<(i64, i64), usize> {
         let mut out = HashMap::new();
         for p in &self.photos {
-            let cell = ((p.lat * 1000.0).round() as i64, (p.lon * 1000.0).round() as i64);
+            let cell = (
+                (p.lat * 1000.0).round() as i64,
+                (p.lon * 1000.0).round() as i64,
+            );
             *out.entry(cell).or_insert(0) += 1;
         }
         out
@@ -152,9 +155,15 @@ mod tests {
     fn accepts_endorsed_photos_and_builds_coverage() {
         let m = material();
         let mut service = MapsService::new("crowdmaps.example", m.verifier());
-        service.submit(&endorsed_photo(&m, 1, 43.6426, -79.3871)).unwrap();
-        service.submit(&endorsed_photo(&m, 2, 43.6426, -79.3871)).unwrap();
-        service.submit(&endorsed_photo(&m, 3, 48.8584, 2.2945)).unwrap();
+        service
+            .submit(&endorsed_photo(&m, 1, 43.6426, -79.3871))
+            .unwrap();
+        service
+            .submit(&endorsed_photo(&m, 2, 43.6426, -79.3871))
+            .unwrap();
+        service
+            .submit(&endorsed_photo(&m, 3, 48.8584, 2.2945))
+            .unwrap();
         assert_eq!(service.photos().len(), 3);
         assert_eq!(service.rejected(), 0);
         let coverage = service.coverage();
@@ -177,21 +186,29 @@ mod tests {
         // Wrong app id.
         let mut wrong_app = endorsed_photo(&m, 2, 43.0, -79.0);
         wrong_app.app_id = "other".to_string();
-        assert!(matches!(service.submit(&wrong_app), Err(ServiceError::WrongTarget(_))));
+        assert!(matches!(
+            service.submit(&wrong_app),
+            Err(ServiceError::WrongTarget(_))
+        ));
 
         // A blinded "photo" makes no sense.
         let mut blinded = endorsed_photo(&m, 3, 43.0, -79.0);
         blinded.blinded = true;
         let key = signing_key_from_secret(&m.secret_bytes()).unwrap();
         blinded.signature = sign_endorsement(&key, &blinded).unwrap();
-        assert!(matches!(service.submit(&blinded), Err(ServiceError::Malformed(_))));
+        assert!(matches!(
+            service.submit(&blinded),
+            Err(ServiceError::Malformed(_))
+        ));
 
         // A model update endorsed for the maps app is rejected as malformed.
         let mut model = endorsed_photo(&m, 4, 43.0, -79.0);
-        model.released_payload =
-            ContributionPayload::ModelUpdate { weights: vec![0.5] }.to_wire();
+        model.released_payload = ContributionPayload::ModelUpdate { weights: vec![0.5] }.to_wire();
         model.signature = sign_endorsement(&key, &model).unwrap();
-        assert!(matches!(service.submit(&model), Err(ServiceError::Malformed(_))));
+        assert!(matches!(
+            service.submit(&model),
+            Err(ServiceError::Malformed(_))
+        ));
 
         assert_eq!(service.rejected(), 4);
         assert!(service.photos().is_empty());

@@ -401,7 +401,11 @@ mod tests {
         let target = TargetInfo {
             measurement: Measurement::of_bytes(b"quoting-enclave"),
         };
-        let report = Report::create(&REPORT_SECRET, body(platform_id(1), b"glimmer", false), &target);
+        let report = Report::create(
+            &REPORT_SECRET,
+            body(platform_id(1), b"glimmer", false),
+            &target,
+        );
         assert!(report.verify(&REPORT_SECRET, &target.measurement));
         // A different target enclave cannot verify it.
         assert!(!report.verify(&REPORT_SECRET, &Measurement::of_bytes(b"other")));
@@ -446,7 +450,10 @@ mod tests {
                 platform_tcb_svn: 5,
             },
         );
-        assert_eq!(avs.verify(&other_quote), AttestationVerdict::UnknownPlatform);
+        assert_eq!(
+            avs.verify(&other_quote),
+            AttestationVerdict::UnknownPlatform
+        );
 
         // Forged signature (wrong key).
         let forged = Quote::create(
@@ -471,7 +478,10 @@ mod tests {
                 platform_tcb_svn: 5,
             },
         );
-        assert_eq!(avs.verify(&debug_quote), AttestationVerdict::DebugNotAllowed);
+        assert_eq!(
+            avs.verify(&debug_quote),
+            AttestationVerdict::DebugNotAllowed
+        );
         avs.set_allow_debug(true);
         assert_eq!(avs.verify(&debug_quote), AttestationVerdict::Ok);
 

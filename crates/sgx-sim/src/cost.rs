@@ -9,8 +9,7 @@
 //! numbers (enclave round trip on the order of 8–14k cycles, EPC paging two
 //! orders of magnitude more).
 
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Cycle charges for each class of simulated operation.
 #[derive(Debug, Clone, PartialEq)]
@@ -122,17 +121,20 @@ impl CostMeter {
     /// Snapshot of the accumulated counters.
     #[must_use]
     pub fn report(&self) -> CostReport {
-        self.report.lock().clone()
+        self.report
+            .lock()
+            .expect("cost meter lock poisoned")
+            .clone()
     }
 
     /// Resets all counters to zero.
     pub fn reset(&self) {
-        *self.report.lock() = CostReport::default();
+        *self.report.lock().expect("cost meter lock poisoned") = CostReport::default();
     }
 
     /// Charges an enclave entry/exit pair plus boundary copies of `bytes`.
     pub fn charge_ecall(&self, bytes_in: usize, bytes_out: usize) {
-        let mut r = self.report.lock();
+        let mut r = self.report.lock().expect("cost meter lock poisoned");
         r.ecalls += 1;
         let copied = (bytes_in + bytes_out) as u64;
         r.boundary_bytes += copied;
@@ -143,7 +145,7 @@ impl CostMeter {
 
     /// Charges an OCALL round trip plus boundary copies.
     pub fn charge_ocall(&self, bytes_in: usize, bytes_out: usize) {
-        let mut r = self.report.lock();
+        let mut r = self.report.lock().expect("cost meter lock poisoned");
         r.ocalls += 1;
         let copied = (bytes_in + bytes_out) as u64;
         r.boundary_bytes += copied;
@@ -152,35 +154,35 @@ impl CostMeter {
 
     /// Charges the addition of `pages` EPC pages.
     pub fn charge_page_add(&self, pages: usize) {
-        let mut r = self.report.lock();
+        let mut r = self.report.lock().expect("cost meter lock poisoned");
         r.pages_added += pages as u64;
         r.total_cycles += pages as u64 * self.model.page_add_cycles;
     }
 
     /// Charges `swaps` EPC page swaps.
     pub fn charge_page_swap(&self, swaps: usize) {
-        let mut r = self.report.lock();
+        let mut r = self.report.lock().expect("cost meter lock poisoned");
         r.page_swaps += swaps as u64;
         r.total_cycles += swaps as u64 * self.model.page_swap_cycles;
     }
 
     /// Charges one sealing-key derivation.
     pub fn charge_getkey(&self) {
-        let mut r = self.report.lock();
+        let mut r = self.report.lock().expect("cost meter lock poisoned");
         r.key_derivations += 1;
         r.total_cycles += self.model.getkey_cycles;
     }
 
     /// Charges one report generation.
     pub fn charge_ereport(&self) {
-        let mut r = self.report.lock();
+        let mut r = self.report.lock().expect("cost meter lock poisoned");
         r.reports += 1;
         r.total_cycles += self.model.ereport_cycles;
     }
 
     /// Charges one quote generation.
     pub fn charge_quote(&self) {
-        let mut r = self.report.lock();
+        let mut r = self.report.lock().expect("cost meter lock poisoned");
         r.quotes += 1;
         r.total_cycles += self.model.quote_cycles;
     }

@@ -86,11 +86,7 @@ pub trait EnclaveEnv {
 pub trait OcallHandler {
     /// Handles one OCALL; the error string is surfaced to the enclave as
     /// [`crate::SgxError::OcallFailed`].
-    fn handle_ocall(
-        &mut self,
-        selector: u16,
-        data: &[u8],
-    ) -> std::result::Result<Vec<u8>, String>;
+    fn handle_ocall(&mut self, selector: u16, data: &[u8]) -> std::result::Result<Vec<u8>, String>;
 }
 
 /// An [`OcallHandler`] that rejects every OCALL.

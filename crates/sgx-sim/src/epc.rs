@@ -63,7 +63,12 @@ impl Epc {
     /// [`SgxError::EpcExhausted`]. If oversubscription is enabled the request
     /// succeeds but the overflowing pages are charged as swaps on `meter`,
     /// modelling EPC paging.
-    pub fn allocate(&mut self, enclave: u64, pages: usize, meter: &CostMeter) -> Result<(), SgxError> {
+    pub fn allocate(
+        &mut self,
+        enclave: u64,
+        pages: usize,
+        meter: &CostMeter,
+    ) -> Result<(), SgxError> {
         let free = self.free_pages();
         if pages > free {
             if !self.allow_oversubscription {

@@ -218,8 +218,10 @@ mod tests {
 
     #[test]
     fn measurement_depends_on_code_and_attributes() {
-        let base = EnclaveImage::from_code(b"glimmer-v1", signer(), EnclaveAttributes::default(), 2, 1);
-        let same = EnclaveImage::from_code(b"glimmer-v1", signer(), EnclaveAttributes::default(), 2, 1);
+        let base =
+            EnclaveImage::from_code(b"glimmer-v1", signer(), EnclaveAttributes::default(), 2, 1);
+        let same =
+            EnclaveImage::from_code(b"glimmer-v1", signer(), EnclaveAttributes::default(), 2, 1);
         assert_eq!(base.measurement(), same.measurement());
 
         let different_code =
@@ -234,7 +236,8 @@ mod tests {
         assert_ne!(base.measurement(), debug_image.measurement());
 
         // Heap pages are not measured (they start as zero pages).
-        let more_heap = EnclaveImage::from_code(b"glimmer-v1", signer(), EnclaveAttributes::default(), 8, 1);
+        let more_heap =
+            EnclaveImage::from_code(b"glimmer-v1", signer(), EnclaveAttributes::default(), 8, 1);
         assert_eq!(base.measurement(), more_heap.measurement());
 
         // Thread count is measured (extra TCS page).

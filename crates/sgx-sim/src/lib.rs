@@ -43,7 +43,9 @@ pub mod measurement;
 pub mod platform;
 pub mod sealing;
 
-pub use attestation::{AttestationService, AttestationVerdict, Quote, QuoteBody, Report, TargetInfo};
+pub use attestation::{
+    AttestationService, AttestationVerdict, Quote, QuoteBody, Report, TargetInfo,
+};
 pub use cost::{CostMeter, CostModel, CostReport};
 pub use enclave::{EnclaveEnv, EnclaveProgram, OcallHandler};
 pub use epc::{Epc, PAGE_SIZE};

@@ -580,7 +580,9 @@ mod tests {
         let id = platform
             .create_enclave(&test_image(b"attested"), Box::new(EchoProgram))
             .unwrap();
-        let report_bytes = platform.ecall(id, 4, b"dh-public-hash", &mut NoOcalls).unwrap();
+        let report_bytes = platform
+            .ecall(id, 4, b"dh-public-hash", &mut NoOcalls)
+            .unwrap();
         let report = Report::from_bytes(&report_bytes).unwrap();
         let quote = platform.quote_report(&report).unwrap();
 
@@ -665,7 +667,12 @@ mod tests {
             platform.ecall(id, 7, b"", &mut NoOcalls),
             Err(SgxError::EnclaveAbort(msg)) if msg.contains("deliberate")
         ));
-        assert_eq!(platform.ecall(id, 0, b"still alive", &mut NoOcalls).unwrap(), b"still alive");
+        assert_eq!(
+            platform
+                .ecall(id, 0, b"still alive", &mut NoOcalls)
+                .unwrap(),
+            b"still alive"
+        );
     }
 
     #[test]
@@ -682,14 +689,11 @@ mod tests {
             platform.create_enclave(&bad_image, Box::new(EchoProgram)),
             Err(SgxError::LaunchDenied(_))
         ));
-        let good_image = EnclaveImage::from_code(
-            b"x",
-            approved,
-            EnclaveAttributes::default(),
-            2,
-            1,
-        );
-        assert!(platform.create_enclave(&good_image, Box::new(EchoProgram)).is_ok());
+        let good_image =
+            EnclaveImage::from_code(b"x", approved, EnclaveAttributes::default(), 2, 1);
+        assert!(platform
+            .create_enclave(&good_image, Box::new(EchoProgram))
+            .is_ok());
 
         // Debug launch control.
         let debug_image = EnclaveImage::from_code(

@@ -93,7 +93,8 @@ impl SealedBlob {
     /// Serializes the blob for storage or transport.
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(1 + 16 + 12 + 8 + self.aad.len() + 8 + self.ciphertext.len());
+        let mut out =
+            Vec::with_capacity(1 + 16 + 12 + 8 + self.aad.len() + 8 + self.ciphertext.len());
         out.push(self.policy.tag());
         out.extend_from_slice(&self.key_id);
         out.extend_from_slice(&self.nonce);
@@ -368,8 +369,24 @@ mod tests {
     #[test]
     fn key_id_separates_blobs() {
         let id = identity(b"glimmer", b"eff");
-        let a = seal(&SECRET_A, SealPolicy::MrEnclave, &id, [1u8; 16], [0u8; 12], b"", b"x");
-        let b = seal(&SECRET_A, SealPolicy::MrEnclave, &id, [2u8; 16], [0u8; 12], b"", b"x");
+        let a = seal(
+            &SECRET_A,
+            SealPolicy::MrEnclave,
+            &id,
+            [1u8; 16],
+            [0u8; 12],
+            b"",
+            b"x",
+        );
+        let b = seal(
+            &SECRET_A,
+            SealPolicy::MrEnclave,
+            &id,
+            [2u8; 16],
+            [0u8; 12],
+            b"",
+            b"x",
+        );
         assert_ne!(a.to_bytes(), b.to_bytes());
     }
 }

@@ -5,9 +5,7 @@ use glimmer_crypto::drbg::Drbg;
 use proptest::prelude::*;
 use sgx_sim::attestation::{Quote, QuoteBody, Report, ReportBody, TargetInfo, REPORT_DATA_LEN};
 use sgx_sim::sealing::{seal, unseal, SealerIdentity};
-use sgx_sim::{
-    EnclaveAttributes, EnclaveImage, Measurement, PlatformId, SealPolicy, SealedBlob,
-};
+use sgx_sim::{EnclaveAttributes, EnclaveImage, Measurement, PlatformId, SealPolicy, SealedBlob};
 
 fn identity(code: &[u8], signer: &[u8]) -> SealerIdentity {
     SealerIdentity {

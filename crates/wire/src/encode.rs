@@ -1,7 +1,5 @@
 //! The wire encoder.
 
-use bytes::{BufMut, BytesMut};
-
 /// Appends primitive values to a growable buffer in the wire format.
 ///
 /// Integers are little-endian; variable-length integers use LEB128; byte
@@ -19,23 +17,21 @@ use bytes::{BufMut, BytesMut};
 /// ```
 #[derive(Debug, Default)]
 pub struct Encoder {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl Encoder {
     /// Creates an empty encoder.
     #[must_use]
     pub fn new() -> Self {
-        Encoder {
-            buf: BytesMut::new(),
-        }
+        Encoder { buf: Vec::new() }
     }
 
     /// Creates an encoder with pre-allocated capacity.
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
         Encoder {
-            buf: BytesMut::with_capacity(capacity),
+            buf: Vec::with_capacity(capacity),
         }
     }
 
@@ -54,42 +50,42 @@ impl Encoder {
     /// Consumes the encoder and returns the bytes.
     #[must_use]
     pub fn into_bytes(self) -> Vec<u8> {
-        self.buf.to_vec()
+        self.buf
     }
 
     /// Writes one byte.
     pub fn put_u8(&mut self, v: u8) {
-        self.buf.put_u8(v);
+        self.buf.push(v);
     }
 
     /// Writes a little-endian `u16`.
     pub fn put_u16(&mut self, v: u16) {
-        self.buf.put_u16_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Writes a little-endian `u32`.
     pub fn put_u32(&mut self, v: u32) {
-        self.buf.put_u32_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Writes a little-endian `u64`.
     pub fn put_u64(&mut self, v: u64) {
-        self.buf.put_u64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Writes a little-endian `i64`.
     pub fn put_i64(&mut self, v: i64) {
-        self.buf.put_i64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Writes an IEEE-754 `f64`.
     pub fn put_f64(&mut self, v: f64) {
-        self.buf.put_f64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Writes a boolean as a single 0/1 byte.
     pub fn put_bool(&mut self, v: bool) {
-        self.buf.put_u8(u8::from(v));
+        self.buf.push(u8::from(v));
     }
 
     /// Writes an LEB128 varint.
@@ -98,22 +94,22 @@ impl Encoder {
             let byte = (v & 0x7F) as u8;
             v >>= 7;
             if v == 0 {
-                self.buf.put_u8(byte);
+                self.buf.push(byte);
                 break;
             }
-            self.buf.put_u8(byte | 0x80);
+            self.buf.push(byte | 0x80);
         }
     }
 
     /// Writes raw bytes without a length prefix.
     pub fn put_raw(&mut self, bytes: &[u8]) {
-        self.buf.put_slice(bytes);
+        self.buf.extend_from_slice(bytes);
     }
 
     /// Writes a varint-length-prefixed byte string.
     pub fn put_bytes(&mut self, bytes: &[u8]) {
         self.put_varint(bytes.len() as u64);
-        self.buf.put_slice(bytes);
+        self.buf.extend_from_slice(bytes);
     }
 
     /// Writes a varint-length-prefixed UTF-8 string.
@@ -123,7 +119,7 @@ impl Encoder {
 
     /// Writes a fixed 32-byte array (no length prefix).
     pub fn put_array32(&mut self, bytes: &[u8; 32]) {
-        self.buf.put_slice(bytes);
+        self.buf.extend_from_slice(bytes);
     }
 
     /// Writes a length-prefixed vector of `u64` values.
@@ -187,10 +183,7 @@ mod tests {
         enc.put_f64_vec(&[0.5]);
         enc.put_array32(&[7u8; 32]);
         enc.put_raw(b"xy");
-        assert_eq!(
-            enc.len(),
-            (1 + 3) + (1 + 2) + (1 + 24) + (1 + 8) + 32 + 2
-        );
+        assert_eq!(enc.len(), (1 + 3) + (1 + 2) + (1 + 24) + (1 + 8) + 32 + 2);
         let bytes = enc.into_bytes();
         assert_eq!(&bytes[1..4], b"abc");
     }

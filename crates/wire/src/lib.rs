@@ -55,7 +55,10 @@ impl core::fmt::Display for WireError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             WireError::UnexpectedEnd { needed, remaining } => {
-                write!(f, "unexpected end of input: needed {needed}, have {remaining}")
+                write!(
+                    f,
+                    "unexpected end of input: needed {needed}, have {remaining}"
+                )
             }
             WireError::LengthOverflow(len) => write!(f, "length prefix too large: {len}"),
             WireError::VarintTooLong => write!(f, "varint longer than 10 bytes"),

@@ -109,7 +109,10 @@ pub fn standard_strategies(target_slot: usize) -> Vec<(&'static str, PoisonStrat
                 value: 538.0,
             },
         ),
-        ("in-range-bias", PoisonStrategy::InRangeBias { slot: target_slot }),
+        (
+            "in-range-bias",
+            PoisonStrategy::InRangeBias { slot: target_slot },
+        ),
         ("fabricated", PoisonStrategy::Fabricated { value: 0.9 }),
         ("scaled-10x", PoisonStrategy::Scaled { factor: 10.0 }),
     ]
@@ -155,7 +158,9 @@ mod tests {
 
         let strategies = standard_strategies(7);
         assert_eq!(strategies.len(), 4);
-        assert!(strategies.iter().any(|(name, _)| *name == "out-of-range-538"));
+        assert!(strategies
+            .iter()
+            .any(|(name, _)| *name == "out-of-range-538"));
         for (_, s) in &strategies {
             let mix = AdversaryMix::assign(4, 0.5, s, [4u8; 32]);
             assert_eq!(mix.malicious_count(), 2);

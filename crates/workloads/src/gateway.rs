@@ -1,0 +1,235 @@
+//! Mixed multi-tenant traffic for the gateway serving experiments (E11).
+//!
+//! Real glimmer-as-a-service hosts see interleaved traffic from many tenants
+//! at once: different services, different device populations, different
+//! misbehaviour rates. This generator produces, from one seed, a set of
+//! tenant traffic profiles plus a deterministic interleaved arrival schedule
+//! the gateway experiments replay.
+
+use crate::iot::DeviceBehaviour;
+use glimmer_crypto::drbg::Drbg;
+
+/// One device's planned request stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceTraffic {
+    /// Device identifier (the `client_id` its contributions carry).
+    pub device_id: u64,
+    /// Ground-truth behaviour.
+    pub behaviour: DeviceBehaviour,
+    /// One sample vector per planned request.
+    pub requests: Vec<Vec<f64>>,
+}
+
+impl DeviceTraffic {
+    /// True when the device only ever sends in-range readings.
+    #[must_use]
+    pub fn is_honest(&self) -> bool {
+        self.behaviour == DeviceBehaviour::Honest
+    }
+}
+
+/// One tenant's device population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantTraffic {
+    /// Tenant name (application id).
+    pub name: String,
+    /// The tenant's devices.
+    pub devices: Vec<DeviceTraffic>,
+}
+
+/// One arrival in the interleaved schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficEvent {
+    /// Index into [`GatewayTrafficWorkload::tenants`].
+    pub tenant: usize,
+    /// Index into that tenant's `devices`.
+    pub device: usize,
+    /// Which of the device's requests arrives.
+    pub request: usize,
+}
+
+/// Parameters for one tenant's traffic.
+#[derive(Debug, Clone)]
+pub struct TenantTrafficSpec {
+    /// Tenant name.
+    pub name: String,
+    /// Device count.
+    pub devices: usize,
+    /// Requests each device sends.
+    pub requests_per_device: usize,
+    /// Samples per request (the contribution dimension).
+    pub dimension: usize,
+    /// Fraction of misbehaving devices.
+    pub misbehaving_fraction: f64,
+}
+
+/// The generated multi-tenant workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatewayTrafficWorkload {
+    /// Per-tenant device populations.
+    pub tenants: Vec<TenantTraffic>,
+    /// Interleaved arrival order over every (tenant, device, request).
+    pub schedule: Vec<TrafficEvent>,
+}
+
+impl GatewayTrafficWorkload {
+    /// Generates the workload deterministically from `seed`.
+    #[must_use]
+    pub fn generate(specs: &[TenantTrafficSpec], seed: [u8; 32]) -> Self {
+        let mut rng = Drbg::from_material(&[&seed[..], b"gateway-traffic"].concat());
+        let mut tenants = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let mut devices = Vec::with_capacity(spec.devices);
+            for device_id in 0..spec.devices as u64 {
+                let behaviour = if rng.next_bool(spec.misbehaving_fraction) {
+                    if rng.next_bool(0.5) {
+                        DeviceBehaviour::Spiky
+                    } else {
+                        DeviceBehaviour::Fabricating
+                    }
+                } else {
+                    DeviceBehaviour::Honest
+                };
+                let baseline = 0.25 + rng.next_f64() * 0.5;
+                let fabricated = rng.next_f64();
+                let requests = (0..spec.requests_per_device)
+                    .map(|r| {
+                        (0..spec.dimension)
+                            .map(|i| match behaviour {
+                                DeviceBehaviour::Honest => {
+                                    (baseline + rng.next_gaussian() * 0.05).clamp(0.0, 1.0)
+                                }
+                                DeviceBehaviour::Spiky => {
+                                    if (r + i) % 5 == 2 {
+                                        2.0 + rng.next_f64() * 20.0
+                                    } else {
+                                        (baseline + rng.next_gaussian() * 0.05).clamp(0.0, 1.0)
+                                    }
+                                }
+                                DeviceBehaviour::Fabricating => fabricated,
+                            })
+                            .collect()
+                    })
+                    .collect();
+                devices.push(DeviceTraffic {
+                    device_id,
+                    behaviour,
+                    requests,
+                });
+            }
+            tenants.push(TenantTraffic {
+                name: spec.name.clone(),
+                devices,
+            });
+        }
+
+        // Deterministic interleave: list every arrival, then Fisher-Yates.
+        let mut schedule = Vec::new();
+        for (t, spec) in specs.iter().enumerate() {
+            for d in 0..spec.devices {
+                for r in 0..spec.requests_per_device {
+                    schedule.push(TrafficEvent {
+                        tenant: t,
+                        device: d,
+                        request: r,
+                    });
+                }
+            }
+        }
+        for i in (1..schedule.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            schedule.swap(i, j);
+        }
+        GatewayTrafficWorkload { tenants, schedule }
+    }
+
+    /// Total planned requests across tenants.
+    #[must_use]
+    pub fn total_requests(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// Requests whose device is honest (expected endorsements, mask
+    /// permitting).
+    #[must_use]
+    pub fn honest_requests(&self) -> usize {
+        self.schedule
+            .iter()
+            .filter(|e| self.tenants[e.tenant].devices[e.device].is_honest())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs() -> Vec<TenantTrafficSpec> {
+        vec![
+            TenantTrafficSpec {
+                name: "iot-telemetry.example".to_string(),
+                devices: 6,
+                requests_per_device: 3,
+                dimension: 4,
+                misbehaving_fraction: 0.3,
+            },
+            TenantTrafficSpec {
+                name: "nextwordpredictive.com".to_string(),
+                devices: 4,
+                requests_per_device: 2,
+                dimension: 8,
+                misbehaving_fraction: 0.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_complete() {
+        let a = GatewayTrafficWorkload::generate(&specs(), [9u8; 32]);
+        let b = GatewayTrafficWorkload::generate(&specs(), [9u8; 32]);
+        assert_eq!(a, b);
+        let c = GatewayTrafficWorkload::generate(&specs(), [10u8; 32]);
+        assert_ne!(a.schedule, c.schedule);
+
+        assert_eq!(a.total_requests(), 6 * 3 + 4 * 2);
+        assert_eq!(a.tenants.len(), 2);
+        assert_eq!(a.tenants[0].devices.len(), 6);
+        assert!(a.tenants[0].devices.iter().all(|d| d.requests.len() == 3));
+        assert!(a.tenants[0]
+            .devices
+            .iter()
+            .all(|d| d.requests.iter().all(|r| r.len() == 4)));
+
+        // Every (tenant, device, request) triple appears exactly once.
+        let mut seen: Vec<TrafficEvent> = a.schedule.clone();
+        seen.sort_by_key(|e| (e.tenant, e.device, e.request));
+        seen.dedup();
+        assert_eq!(seen.len(), a.total_requests());
+    }
+
+    #[test]
+    fn behaviour_signatures_hold() {
+        let w = GatewayTrafficWorkload::generate(&specs(), [11u8; 32]);
+        for device in w.tenants.iter().flat_map(|t| &t.devices) {
+            match device.behaviour {
+                DeviceBehaviour::Honest => assert!(device
+                    .requests
+                    .iter()
+                    .all(|r| r.iter().all(|s| (0.0..=1.0).contains(s)))),
+                DeviceBehaviour::Spiky => {
+                    assert!(device.requests.iter().any(|r| r.iter().any(|s| *s > 1.0)))
+                }
+                DeviceBehaviour::Fabricating => {
+                    let first = device.requests[0][0];
+                    assert!(device
+                        .requests
+                        .iter()
+                        .all(|r| r.iter().all(|s| (*s - first).abs() < 1e-12)));
+                }
+            }
+        }
+        // All keyboard-tenant devices were forced honest.
+        assert!(w.tenants[1].devices.iter().all(DeviceTraffic::is_honest));
+        assert!(w.honest_requests() >= 4 * 2);
+    }
+}

@@ -208,11 +208,17 @@ mod tests {
         let config = small_config();
         let w = KeyboardWorkload::generate(&config, [3u8; 32]);
         assert_eq!(w.users.len(), config.users);
-        assert!(w.users.iter().all(|u| u.sentences.len() == config.sentences_per_user));
+        assert!(w
+            .users
+            .iter()
+            .all(|u| u.sentences.len() == config.sentences_per_user));
         assert_eq!(w.client_ids().len(), config.users);
         // Some but not all users type the trending phrase.
         let trending = w.users.iter().filter(|u| u.typed_trending).count();
-        assert!(trending > 0 && trending < config.users, "trending {trending}");
+        assert!(
+            trending > 0 && trending < config.users,
+            "trending {trending}"
+        );
         // The trending bigram is tracked by the schema.
         assert!(w
             .schema
@@ -242,6 +248,8 @@ mod tests {
         // An individual non-trending user's model does not know the phrase.
         let non_trending = w.users.iter().position(|u| !u.typed_trending).unwrap();
         let solo = aggregate_mean(&w.schema, &locals[non_trending..=non_trending]).unwrap();
-        assert!(solo.predict_next(&w.schema, w.trending_bigram.0, 1).is_empty());
+        assert!(solo
+            .predict_next(&w.schema, w.trending_bigram.0, 1)
+            .is_empty());
     }
 }

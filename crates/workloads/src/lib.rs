@@ -16,18 +16,24 @@
 //! * [`photos`] — geotagged photo contributions with honest and spoofed GPS
 //!   tracks.
 //! * [`iot`] — sensor streams from well-behaved and faulty/malicious devices.
+//! * [`gateway`] — interleaved multi-tenant traffic for the gateway serving
+//!   experiments.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adversary;
 pub mod botsignals;
+pub mod gateway;
 pub mod iot;
 pub mod keyboard;
 pub mod photos;
 
 pub use adversary::{AdversaryMix, ClientRole};
 pub use botsignals::{BotSignalWorkload, Session, SessionKind};
+pub use gateway::{
+    DeviceTraffic, GatewayTrafficWorkload, TenantTraffic, TenantTrafficSpec, TrafficEvent,
+};
 pub use iot::{IotWorkload, SensorTrace};
 pub use keyboard::{KeyboardWorkload, KeyboardWorkloadConfig, UserTrace};
 pub use photos::{PhotoContribution, PhotoWorkload};

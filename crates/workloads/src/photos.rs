@@ -171,10 +171,16 @@ mod tests {
                     assert_eq!(c.camera_fingerprint, w.registered_camera);
                     assert!(!c.gps_track.is_empty());
                     // Track points are near the claim (< ~1km in degrees).
-                    assert!(c.gps_track.iter().all(|(lat, _, _)| (lat - c.claimed_lat).abs() < 0.01));
+                    assert!(c
+                        .gps_track
+                        .iter()
+                        .all(|(lat, _, _)| (lat - c.claimed_lat).abs() < 0.01));
                 }
                 PhotoKind::SpoofedLocation => {
-                    assert!(c.gps_track.iter().all(|(lat, _, _)| (lat - c.claimed_lat).abs() > 1.0));
+                    assert!(c
+                        .gps_track
+                        .iter()
+                        .all(|(lat, _, _)| (lat - c.claimed_lat).abs() > 1.0));
                 }
                 PhotoKind::WrongCamera => {
                     assert_ne!(c.camera_fingerprint, w.registered_camera);

@@ -70,7 +70,9 @@ fn main() {
                     &mut rng,
                 )
                 .unwrap();
-                glimmer.install_service_key(&material.secret_bytes()).unwrap();
+                glimmer
+                    .install_service_key(&material.secret_bytes())
+                    .unwrap();
                 glimmer.install_mask(&masks[i]).unwrap();
                 let contribution = Contribution {
                     app_id: "nextwordpredictive.com".to_string(),
@@ -134,10 +136,12 @@ fn main() {
             service.apply_dropout_correction(&correction).unwrap();
         }
         let outcome = service.finalize_round().unwrap();
-        let prediction = outcome
-            .model
-            .predict_next_word(&schema, "donald", 1);
-        let mode = if protected { "protected " } else { "unprotected" };
+        let prediction = outcome.model.predict_next_word(&schema, "donald", 1);
+        let mode = if protected {
+            "protected "
+        } else {
+            "unprotected"
+        };
         println!(
             "[{mode}] accepted={} rejected={} prediction after 'donald' = {:?} (weight shown is the aggregated parameter)",
             outcome.accepted, rejected, prediction

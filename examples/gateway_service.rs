@@ -1,0 +1,231 @@
+//! Glimmer-as-a-service at scale: a multi-tenant gateway serving interleaved
+//! traffic from two services through a pool of pre-provisioned enclaves.
+//!
+//! Run with `cargo run --example gateway_service`.
+
+use glimmers::core::blinding::BlindingService;
+use glimmers::core::channel::AttestedChannel;
+use glimmers::core::enclave_app::MaskDelivery;
+use glimmers::core::host::GlimmerDescriptor;
+use glimmers::core::protocol::{
+    BatchOutcome, Contribution, ContributionPayload, PrivateData, ProcessResponse,
+};
+use glimmers::core::remote::IotDeviceSession;
+use glimmers::core::signing::ServiceKeyMaterial;
+use glimmers::crypto::dh::DhGroup;
+use glimmers::crypto::drbg::Drbg;
+use glimmers::crypto::schnorr::SigningKey;
+use glimmers::gateway::{Gateway, GatewayConfig, TenantConfig};
+use glimmers::services::iot::IotTelemetryService;
+use glimmers::sgx_sim::AttestationService;
+use glimmers::workloads::gateway::{GatewayTrafficWorkload, TenantTrafficSpec};
+
+const IOT: &str = "iot-telemetry.example";
+const KEYBOARD: &str = "nextwordpredictive.com";
+const IOT_DIM: usize = 8;
+const KEYBOARD_DIM: usize = 16;
+
+fn main() {
+    let mut rng = Drbg::from_seed([51u8; 32]);
+    let mut avs = AttestationService::new([52u8; 32]);
+    let iot_material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+    let keyboard_material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+
+    // The gateway operator enrolls two tenants and pre-provisions a pool of
+    // enclaves for each: image build, attestation, and key installation all
+    // happen here, before any device connects.
+    let mut gateway = Gateway::new(
+        GatewayConfig {
+            slots_per_tenant: 3,
+            max_batch: 64,
+            ..GatewayConfig::default()
+        },
+        vec![
+            TenantConfig::new(
+                IOT,
+                GlimmerDescriptor::iot_default(Vec::new()),
+                iot_material.secret_bytes(),
+            ),
+            TenantConfig::new(
+                KEYBOARD,
+                GlimmerDescriptor::keyboard_range_only(),
+                keyboard_material.secret_bytes(),
+            ),
+        ],
+        &mut avs,
+        &mut rng,
+    )
+    .expect("gateway start-up");
+    println!("gateway up: tenants {:?}", gateway.tenant_names());
+
+    // Mixed traffic: 10 IoT devices (some misbehaving) and 6 keyboard
+    // clients, interleaved.
+    let workload = GatewayTrafficWorkload::generate(
+        &[
+            TenantTrafficSpec {
+                name: IOT.to_string(),
+                devices: 10,
+                requests_per_device: 2,
+                dimension: IOT_DIM,
+                misbehaving_fraction: 0.3,
+            },
+            TenantTrafficSpec {
+                name: KEYBOARD.to_string(),
+                devices: 6,
+                requests_per_device: 2,
+                dimension: KEYBOARD_DIM,
+                misbehaving_fraction: 0.0,
+            },
+        ],
+        [53u8; 32],
+    );
+
+    // Each tenant's blinding service establishes its own attested channel
+    // to every pool slot, so masks can travel to the enclaves sealed — the
+    // gateway operator relays ciphertext it cannot open.
+    let tenant_channel_key = SigningKey::generate(DhGroup::default_group(), &mut rng).unwrap();
+    let mut slot_channels: Vec<Vec<AttestedChannel>> = Vec::new();
+    for tenant in [IOT, KEYBOARD] {
+        let measurement = gateway.measurement(tenant).unwrap();
+        let mut channels = Vec::new();
+        for slot in 0..gateway.slot_count(tenant).unwrap() {
+            let offer = gateway.tenant_channel_offer(tenant, slot).unwrap();
+            let (accept, channel) =
+                AttestedChannel::respond(&offer, &avs, &measurement, &tenant_channel_key, &mut rng)
+                    .unwrap();
+            gateway
+                .complete_tenant_channel(tenant, slot, &accept)
+                .unwrap();
+            channels.push(channel);
+        }
+        slot_channels.push(channels);
+    }
+
+    // Devices connect: each verifies its tenant's published measurement
+    // through attestation before trusting the pool, then its blinding masks
+    // are sealed to the slot its session landed on.
+    let blinding = BlindingService::new([54u8; 32]);
+    let mut sessions: Vec<Vec<(u64, IotDeviceSession)>> = Vec::new();
+    for (t, tenant) in workload.tenants.iter().enumerate() {
+        let approved = gateway.measurement(&tenant.name).unwrap();
+        let dimension = if t == 0 { IOT_DIM } else { KEYBOARD_DIM };
+        let ids: Vec<u64> = tenant.devices.iter().map(|d| d.device_id).collect();
+        let mask_rounds: Vec<_> = (0..2u64)
+            .map(|round| blinding.zero_sum_masks(round, &ids, dimension))
+            .collect();
+        let mut tenant_sessions = Vec::new();
+        for (i, _device) in tenant.devices.iter().enumerate() {
+            let (sid, offer) = gateway.open_session(&tenant.name).unwrap();
+            let (accept, session) =
+                IotDeviceSession::connect(&offer, &avs, &approved, &mut rng).unwrap();
+            gateway.complete_session(sid, &accept).unwrap();
+            let slot = gateway.session_slot(sid).unwrap();
+            for round in &mask_rounds {
+                let mut nonce = [0u8; 12];
+                rng.fill_bytes(&mut nonce);
+                let MaskDelivery::Encrypted { nonce, ciphertext } = MaskDelivery::encrypted(
+                    &round[i],
+                    &slot_channels[t][slot].keys.service_to_glimmer,
+                    nonce,
+                ) else {
+                    unreachable!("encrypted delivery");
+                };
+                gateway
+                    .install_mask_encrypted(sid, nonce, ciphertext)
+                    .unwrap();
+            }
+            tenant_sessions.push((sid, session));
+        }
+        sessions.push(tenant_sessions);
+    }
+
+    // Replay the interleaved arrival schedule.
+    for event in &workload.schedule {
+        let device = &workload.tenants[event.tenant].devices[event.device];
+        let (sid, session) = &mut sessions[event.tenant][event.device];
+        let payload = if event.tenant == 0 {
+            ContributionPayload::IotReadings {
+                samples: device.requests[event.request].clone(),
+            }
+        } else {
+            ContributionPayload::ModelUpdate {
+                weights: device.requests[event.request].clone(),
+            }
+        };
+        let contribution = Contribution {
+            app_id: workload.tenants[event.tenant].name.clone(),
+            client_id: device.device_id,
+            round: event.request as u64,
+            payload,
+        };
+        let request = session.encrypt_request(contribution, PrivateData::None);
+        gateway.submit(*sid, request).unwrap();
+    }
+
+    // Serve: batched drains, one ECALL per non-empty slot per round.
+    let responses = gateway.drain_all().unwrap();
+
+    // Devices decrypt their replies and forward IoT endorsements to the
+    // telemetry service (round 0 only, for a clean aggregate).
+    let mut iot_service = IotTelemetryService::new(IOT, iot_material.verifier(), IOT_DIM);
+    let iot_ids: Vec<u64> = workload.tenants[0]
+        .devices
+        .iter()
+        .map(|d| d.device_id)
+        .collect();
+    let mut present: Vec<u64> = Vec::new();
+    for response in &responses {
+        let BatchOutcome::Reply { ciphertext, .. } = &response.outcome else {
+            continue;
+        };
+        let Some((_, session)) = sessions
+            .iter_mut()
+            .flatten()
+            .find(|(sid, _)| *sid == response.session_id)
+        else {
+            continue;
+        };
+        match session.decrypt_response(ciphertext).unwrap() {
+            ProcessResponse::Endorsed(endorsed)
+                if response.tenant == IOT && endorsed.round == 0 =>
+            {
+                iot_service.submit(&endorsed).unwrap();
+                present.push(endorsed.client_id);
+            }
+            ProcessResponse::Endorsed(_) => {}
+            ProcessResponse::Rejected { reason } => {
+                println!("rejected ({}): {reason}", response.tenant);
+            }
+        }
+    }
+    if present.len() < iot_ids.len() {
+        let correction = blinding.dropout_correction(0, &iot_ids, IOT_DIM, &present);
+        iot_service.apply_dropout_correction(&correction).unwrap();
+    }
+    let summary = iot_service.finalize_round().unwrap();
+    println!(
+        "iot round 0: {} devices aggregated, mean of first 4 readings = {:?}",
+        summary.devices,
+        &summary.mean_readings[..4]
+    );
+
+    // The gateway's own view: admission, batching, and amortization numbers.
+    let stats = gateway.stats();
+    for (name, tenant) in &stats.tenants {
+        println!(
+            "tenant {name}: submitted={} endorsed={} rejected={} failed={} throttled={}",
+            tenant.submitted, tenant.endorsed, tenant.rejected, tenant.failed, tenant.throttled
+        );
+    }
+    for row in &stats.slots {
+        println!(
+            "slot {}/{}: batches={} items={} mean_batch={:.1} cycles/item={:.0}",
+            row.tenant,
+            row.slot,
+            row.stats.batches,
+            row.stats.items,
+            row.stats.mean_batch(),
+            row.stats.cycles_per_item()
+        );
+    }
+}

@@ -34,7 +34,8 @@ fn main() {
     let device_ids: Vec<u64> = workload.devices.iter().map(|d| d.device_id).collect();
     let blinding = BlindingService::new([44u8; 32]);
     let masks = blinding.zero_sum_masks(0, &device_ids, samples);
-    let mut service = IotTelemetryService::new("iot-telemetry.example", material.verifier(), samples);
+    let mut service =
+        IotTelemetryService::new("iot-telemetry.example", material.verifier(), samples);
 
     let mut present: Vec<u64> = Vec::new();
     for (i, device) in workload.devices.iter().enumerate() {
@@ -60,11 +61,16 @@ fn main() {
             .unwrap();
         match response {
             ProcessResponse::Endorsed(endorsed) => {
-                service.submit(&endorsed).expect("service accepts endorsed readings");
+                service
+                    .submit(&endorsed)
+                    .expect("service accepts endorsed readings");
                 present.push(device.device_id);
             }
             ProcessResponse::Rejected { reason } => {
-                println!("device {} rejected by remote Glimmer: {reason}", device.device_id);
+                println!(
+                    "device {} rejected by remote Glimmer: {reason}",
+                    device.device_id
+                );
             }
         }
     }
@@ -79,5 +85,8 @@ fn main() {
         workload.devices.len(),
         &summary.mean_readings[..4.min(summary.mean_readings.len())]
     );
-    println!("remote host enclave cycles: {}", host.cost_report().total_cycles);
+    println!(
+        "remote host enclave cycles: {}",
+        host.cost_report().total_cycles
+    );
 }

@@ -25,7 +25,9 @@ fn main() {
             &mut rng,
         )
         .unwrap();
-        glimmer.install_service_key(&material.secret_bytes()).unwrap();
+        glimmer
+            .install_service_key(&material.secret_bytes())
+            .unwrap();
         let contribution = Contribution {
             app_id: "crowdmaps.example".to_string(),
             client_id: photo.client_id,
@@ -42,7 +44,9 @@ fn main() {
         };
         match glimmer.process(contribution, private).unwrap() {
             ProcessResponse::Endorsed(endorsed) => {
-                service.submit(&endorsed).expect("service accepts endorsed photos");
+                service
+                    .submit(&endorsed)
+                    .expect("service accepts endorsed photos");
             }
             ProcessResponse::Rejected { reason } => {
                 glimmer_rejections += 1;

@@ -62,16 +62,16 @@ fn main() {
         },
     };
     let response = glimmer
-        .process(
-            contribution,
-            PrivateData::KeyboardLog { sentences },
-        )
+        .process(contribution, PrivateData::KeyboardLog { sentences })
         .expect("enclave call");
 
     // 6. The service verifies the endorsement.
     match response {
         ProcessResponse::Endorsed(endorsed) => {
-            material.verifier().verify(&endorsed).expect("endorsement verification");
+            material
+                .verifier()
+                .verify(&endorsed)
+                .expect("endorsement verification");
             println!(
                 "endorsed contribution: round={} blinded={} payload={} bytes signature={} bytes",
                 endorsed.round,

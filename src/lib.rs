@@ -11,13 +11,17 @@
 //!   program, attested channels, auditor, glimmer-as-a-service).
 //! * [`services`] — the service-side components.
 //! * [`workloads`] — deterministic synthetic workloads.
+//! * [`gateway`] — the sharded, multi-tenant enclave-pool server for
+//!   glimmer-as-a-service traffic.
 //!
-//! See `README.md` for a tour and `DESIGN.md`/`EXPERIMENTS.md` for the
-//! reproduction methodology.
+//! See `README.md` for a workspace tour, build/test/bench instructions, and
+//! the gateway serving architecture; the experiment definitions (E1-E11)
+//! live in `glimmer_bench`'s crate docs.
 
 pub use glimmer_core as core;
 pub use glimmer_crypto as crypto;
 pub use glimmer_federated as federated;
+pub use glimmer_gateway as gateway;
 pub use glimmer_services as services;
 pub use glimmer_wire as wire;
 pub use glimmer_workloads as workloads;

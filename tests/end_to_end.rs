@@ -72,7 +72,9 @@ fn keyboard_poisoning_blocked_by_glimmer() {
             &mut rng,
         )
         .unwrap();
-        glimmer.install_service_key(&material.secret_bytes()).unwrap();
+        glimmer
+            .install_service_key(&material.secret_bytes())
+            .unwrap();
         glimmer.install_mask(&masks[i]).unwrap();
         let contribution = Contribution {
             app_id: "nextwordpredictive.com".to_string(),
@@ -113,8 +115,14 @@ fn keyboard_poisoning_blocked_by_glimmer() {
     assert_eq!(outcome.accepted, users - 1);
     // Every aggregated parameter is back in the legal range and the trending
     // phrase is still learned.
-    assert!(outcome.model.weights.iter().all(|w| (0.0..=1.0).contains(w)));
-    let prediction = outcome.model.predict_next(&schema, workload.trending_bigram.0, 1);
+    assert!(outcome
+        .model
+        .weights
+        .iter()
+        .all(|w| (0.0..=1.0).contains(w)));
+    let prediction = outcome
+        .model
+        .predict_next(&schema, workload.trending_bigram.0, 1);
     assert_eq!(prediction[0].0, workload.trending_bigram.1);
 }
 
@@ -183,7 +191,9 @@ fn photos_for_maps_filters_cheaters() {
             &mut rng,
         )
         .unwrap();
-        glimmer.install_service_key(&material.secret_bytes()).unwrap();
+        glimmer
+            .install_service_key(&material.secret_bytes())
+            .unwrap();
         let contribution = Contribution {
             app_id: "crowdmaps.example".to_string(),
             client_id: photo.client_id,
@@ -242,7 +252,8 @@ fn iot_remote_glimmer_end_to_end() {
     let device_ids: Vec<u64> = workload.devices.iter().map(|d| d.device_id).collect();
     let blinding = BlindingService::new([4u8; 32]);
     let masks = blinding.zero_sum_masks(0, &device_ids, samples);
-    let mut service = IotTelemetryService::new("iot-telemetry.example", material.verifier(), samples);
+    let mut service =
+        IotTelemetryService::new("iot-telemetry.example", material.verifier(), samples);
 
     let mut present = Vec::new();
     for (i, device) in workload.devices.iter().enumerate() {
@@ -276,7 +287,10 @@ fn iot_remote_glimmer_end_to_end() {
     let summary = service.finalize_round().unwrap();
     assert_eq!(summary.devices, present.len());
     // Means over endorsed (honest-passing) devices are in the valid range.
-    assert!(summary.mean_readings.iter().all(|v| (0.0..=1.0).contains(v)));
+    assert!(summary
+        .mean_readings
+        .iter()
+        .all(|v| (0.0..=1.0).contains(v)));
 }
 
 /// Section 3: every shipped Glimmer flavour satisfies the structural

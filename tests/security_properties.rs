@@ -7,10 +7,10 @@ use glimmers::core::protocol::{Contribution, ContributionPayload, PrivateData, P
 use glimmers::core::signing::ServiceKeyMaterial;
 use glimmers::crypto::drbg::Drbg;
 use glimmers::federated::fixed::encode_weights;
+use glimmers::federated::{ModelSchema, Vocabulary};
 use glimmers::services::keyboard::{KeyboardService, KeyboardServiceConfig};
 use glimmers::services::ServiceError;
 use glimmers::sgx_sim::{AttestationService, PlatformConfig};
-use glimmers::federated::{ModelSchema, Vocabulary};
 
 const SEED: [u8; 32] = [200u8; 32];
 
@@ -32,7 +32,9 @@ fn endorsements_cannot_be_forged_or_tampered() {
         &mut rng,
     )
     .unwrap();
-    glimmer.install_service_key(&material.secret_bytes()).unwrap();
+    glimmer
+        .install_service_key(&material.secret_bytes())
+        .unwrap();
     let masks = BlindingService::new([5u8; 32]).zero_sum_masks(0, &[0, 1], schema.dimension());
     glimmer.install_mask(&masks[0]).unwrap();
 
@@ -44,9 +46,8 @@ fn endorsements_cannot_be_forged_or_tampered() {
             weights: vec![0.25; schema.dimension()],
         },
     };
-    let ProcessResponse::Endorsed(genuine) = glimmer
-        .process(contribution, PrivateData::None)
-        .unwrap()
+    let ProcessResponse::Endorsed(genuine) =
+        glimmer.process(contribution, PrivateData::None).unwrap()
     else {
         panic!("expected endorsement");
     };
@@ -91,7 +92,9 @@ fn private_contributions_never_leave_unblinded() {
         &mut rng,
     )
     .unwrap();
-    glimmer.install_service_key(&material.secret_bytes()).unwrap();
+    glimmer
+        .install_service_key(&material.secret_bytes())
+        .unwrap();
 
     let weights = vec![0.625; schema.dimension()];
     let contribution = Contribution {
@@ -106,7 +109,9 @@ fn private_contributions_never_leave_unblinded() {
     let response = glimmer
         .process(contribution.clone(), PrivateData::None)
         .unwrap();
-    assert!(matches!(response, ProcessResponse::Rejected { ref reason } if reason.contains("mask")));
+    assert!(
+        matches!(response, ProcessResponse::Rejected { ref reason } if reason.contains("mask"))
+    );
 
     // With a mask, the released payload is blinded: the encoding of the raw
     // weights does not occur anywhere in the released bytes.
@@ -119,10 +124,7 @@ fn private_contributions_never_leave_unblinded() {
     };
     assert!(endorsed.blinded);
     let raw_encoding = encode_weights(&weights);
-    let raw_bytes: Vec<u8> = raw_encoding
-        .iter()
-        .flat_map(|v| v.to_le_bytes())
-        .collect();
+    let raw_bytes: Vec<u8> = raw_encoding.iter().flat_map(|v| v.to_le_bytes()).collect();
     assert!(!endorsed
         .released_payload
         .windows(raw_bytes.len().min(8))
@@ -160,17 +162,15 @@ fn attestation_chain_rejects_rogue_enclaves_and_revoked_platforms() {
     assert!(service.accept_channel(&rogue_offer, &avs).is_err());
 
     // The approved Glimmer succeeds — until its platform is revoked.
-    let mut client = GlimmerClient::new(
-        approved_descriptor,
-        PlatformConfig::default(),
-        &mut rng,
-    )
-    .unwrap();
+    let mut client =
+        GlimmerClient::new(approved_descriptor, PlatformConfig::default(), &mut rng).unwrap();
     client.provision_platform(&mut avs);
     let offer = client.start_channel().unwrap();
     assert!(service.accept_channel(&offer, &avs).is_ok());
 
     avs.revoke(client.platform().id());
     let offer_after_revocation = client.start_channel().unwrap();
-    assert!(service.accept_channel(&offer_after_revocation, &avs).is_err());
+    assert!(service
+        .accept_channel(&offer_after_revocation, &avs)
+        .is_err());
 }

@@ -1,0 +1,361 @@
+//! An offline, API-compatible stand-in for the subset of the `criterion`
+//! benchmarking crate this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! Criterion cannot be vendored. This shim keeps the same programming model
+//! (`criterion_group!` / `criterion_main!`, benchmark groups, `Bencher::iter`,
+//! throughput annotations) and performs honest wall-clock measurement: each
+//! benchmark is warmed up for `warm_up_time`, then timed over `sample_size`
+//! samples whose iteration counts are sized to fill `measurement_time`.
+//! Results are printed as mean / min / max nanoseconds per iteration (plus
+//! throughput when configured), so `cargo bench` output remains comparable
+//! run-to-run even though the statistical machinery of real Criterion
+//! (outlier classification, regression detection) is absent.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier composed of a function name and a parameter label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id such as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        if self.parameter.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, self.parameter)
+        }
+    }
+}
+
+/// Conversion into a printable benchmark id (so `bench_function` accepts both
+/// string literals and [`BenchmarkId`]s, as real Criterion does).
+pub trait IntoBenchmarkId {
+    /// The rendered `group/name` label.
+    fn into_id_string(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id_string(self) -> String {
+        self.render()
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id_string(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id_string(self) -> String {
+        self
+    }
+}
+
+/// The measurement configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    significance_level: f64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            significance_level: 0.05,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples collected per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget for the measurement phase of one benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up duration before measurement starts.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim performs no significance
+    /// testing.
+    #[must_use]
+    pub fn significance_level(mut self, sl: f64) -> Self {
+        self.significance_level = sl;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_id_string();
+        run_benchmark(self, &label, None, &mut f);
+        self
+    }
+}
+
+/// A named group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_id_string());
+        run_benchmark(self.criterion, &label, self.throughput, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value under `group/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.render());
+        run_benchmark(self.criterion, &label, self.throughput, &mut |b| {
+            f(b, input);
+        });
+        self
+    }
+
+    /// Ends the group (drop would do; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` performs the timed loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(config: &Criterion, label: &str, throughput: Option<Throughput>, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: run single iterations until the warm-up budget is spent, and
+    // estimate the per-iteration cost as we go.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    let mut warm_elapsed = Duration::ZERO;
+    while warm_start.elapsed() < config.warm_up_time || warm_iters == 0 {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        warm_elapsed += b.elapsed;
+        warm_iters += b.iters;
+        if warm_iters >= 1_000_000 {
+            break;
+        }
+    }
+    let est_per_iter = warm_elapsed
+        .checked_div(warm_iters as u32)
+        .unwrap_or(Duration::from_nanos(1))
+        .max(Duration::from_nanos(1));
+
+    // Size each sample so all samples together roughly fill measurement_time.
+    let per_sample = config.measurement_time / config.sample_size as u32;
+    let iters_per_sample = (per_sample.as_nanos() / est_per_iter.as_nanos().max(1)).max(1) as u64;
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    let min = samples_ns.first().copied().unwrap_or(0.0);
+    let max = samples_ns.last().copied().unwrap_or(0.0);
+
+    let mut line = format!(
+        "{label:<56} time: [{} {} {}]",
+        format_ns(min),
+        format_ns(mean),
+        format_ns(max)
+    );
+    if let Some(tp) = throughput {
+        let per_second = 1e9 / mean;
+        match tp {
+            Throughput::Bytes(bytes) => {
+                let bps = bytes as f64 * per_second;
+                line.push_str(&format!(" thrpt: {}/s", format_bytes(bps)));
+            }
+            Throughput::Elements(elems) => {
+                let eps = elems as f64 * per_second;
+                line.push_str(&format!(" thrpt: {eps:.0} elem/s"));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} us", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+fn format_bytes(bps: f64) -> String {
+    if bps >= 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.2} GiB", bps / (1024.0 * 1024.0 * 1024.0))
+    } else if bps >= 1024.0 * 1024.0 {
+        format!("{:.2} MiB", bps / (1024.0 * 1024.0))
+    } else if bps >= 1024.0 {
+        format!("{:.2} KiB", bps / 1024.0)
+    } else {
+        format!("{bps:.0} B")
+    }
+}
+
+/// Declares a benchmark group runner, mirroring Criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Bytes(8));
+        let mut count = 0u64;
+        group.bench_function("counter", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn formatting_units() {
+        assert!(format_ns(12.0).contains("ns"));
+        assert!(format_ns(12_000.0).contains("us"));
+        assert!(format_ns(12_000_000.0).contains("ms"));
+        assert!(format_ns(2e9).contains(" s"));
+        assert!(format_bytes(10.0).contains('B'));
+        assert!(format_bytes(10_000.0).contains("KiB"));
+        assert!(format_bytes(2e7).contains("MiB"));
+        assert!(format_bytes(2e10).contains("GiB"));
+    }
+}

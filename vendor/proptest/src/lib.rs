@@ -1,0 +1,679 @@
+//! An offline, API-compatible stand-in for the subset of the `proptest`
+//! property-testing crate this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! proptest cannot be vendored. This shim keeps the same programming model —
+//! the `proptest!` macro over `pattern in strategy` arguments, `any::<T>()`,
+//! range and collection strategies, `prop_map`, `prop_oneof!`, and the
+//! `prop_assert*` / `prop_assume!` macros — driven by a deterministic
+//! splitmix64 generator seeded from the test name and case index. It runs
+//! `ProptestConfig::cases` generated inputs per property. It does **not**
+//! implement shrinking: a failing case panics with the assertion message, and
+//! the deterministic seeding makes the failure reproducible.
+
+// Let code inside this crate (the inline tests below) refer to the crate by
+// its public name, exactly as downstream users do.
+extern crate self as proptest;
+
+pub mod test_runner {
+    //! Configuration and the deterministic random source.
+
+    /// Mirror of `proptest::test_runner::Config` (only `cases` is honoured).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful (non-rejected) cases required per property.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    impl Config {
+        /// Creates a config that runs `cases` cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    /// Marker returned (via `Err`) when `prop_assume!` rejects a case.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Rejected;
+
+    /// Deterministic splitmix64 generator.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from a test name and case index, so every
+        /// property sees a reproducible but distinct stream per case.
+        #[must_use]
+        pub fn for_case(test_name: &str, case: u64) -> Self {
+            let mut seed: u64 = 0x9E37_79B9_7F4A_7C15 ^ case.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            for b in test_name.bytes() {
+                seed = seed.rotate_left(7) ^ u64::from(b);
+                seed = seed.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            }
+            TestRng { state: seed }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Next 128 random bits.
+        pub fn next_u128(&mut self) -> u128 {
+            (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Fills a byte slice.
+        pub fn fill_bytes(&mut self, out: &mut [u8]) {
+            for chunk in out.chunks_mut(8) {
+                let v = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&v[..chunk.len()]);
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type `Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (needed by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(std::rc::Rc::new(move |rng: &mut TestRng| {
+                self.generate(rng)
+            }))
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A type-erased strategy.
+    #[derive(Clone)]
+    pub struct BoxedStrategy<T>(std::rc::Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Uniform choice among boxed strategies (backs `prop_oneof!`).
+    pub struct OneOf<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> OneOf<T> {
+        /// Creates the union; panics if `options` is empty.
+        #[must_use]
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { options }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! unsigned_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u128;
+                    self.start + (rng.next_u128() % span) as $t
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end - start) as u128 + 1;
+                    start + (rng.next_u128() % span) as $t
+                }
+            }
+
+            impl Strategy for core::ops::RangeFrom<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    // Rejection sampling: the start is almost always tiny
+                    // relative to the type's range, so this terminates fast.
+                    loop {
+                        let v = (rng.next_u128() & (<$t>::MAX as u128)) as $t;
+                        if v >= self.start {
+                            return v;
+                        }
+                    }
+                }
+            }
+        )*};
+    }
+
+    unsigned_range_strategies!(u8, u16, u32, u64, u128, usize);
+
+    macro_rules! signed_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u128() % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    signed_range_strategies!(i8, i16, i32, i64);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for core::ops::Range<f32> {
+        type Value = f32;
+
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    /// String-literal strategies: a small regex subset of the form
+    /// `[class]{min,max}` or `[class]{len}`, where the class may contain
+    /// literal characters and `a-z`-style ranges.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (alphabet, min, max) = parse_class_pattern(self)
+                .unwrap_or_else(|| panic!("unsupported string strategy pattern: {self:?}"));
+            let len = if max > min {
+                min + rng.below((max - min + 1) as u64) as usize
+            } else {
+                min
+            };
+            (0..len)
+                .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pattern.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let class: Vec<char> = rest[..close].chars().collect();
+        let mut alphabet = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+                for c in lo..=hi {
+                    alphabet.push(char::from_u32(c)?);
+                }
+                i += 3;
+            } else {
+                alphabet.push(class[i]);
+                i += 1;
+            }
+        }
+        if alphabet.is_empty() {
+            return None;
+        }
+        let counts = rest[close + 1..]
+            .strip_prefix('{')?
+            .strip_suffix('}')?
+            .to_string();
+        let (min, max) = match counts.split_once(',') {
+            Some((lo, hi)) => (lo.parse().ok()?, hi.parse().ok()?),
+            None => {
+                let n = counts.parse().ok()?;
+                (n, n)
+            }
+        };
+        Some((alphabet, min, max))
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($name:ident),+)),+ $(,)?) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategies!(
+        (A, B),
+        (A, B, C),
+        (A, B, C, D),
+        (A, B, C, D, E),
+        (A, B, C, D, E, F)
+    );
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` and the [`Arbitrary`] trait.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary {
+        /// Generates an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Strategy generating arbitrary values of `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    (rng.next_u128() & (<$t>::MAX as u128)) as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, u128, usize);
+
+    macro_rules! signed_arbitrary {
+        ($($t:ty : $u:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    <$u as Arbitrary>::arbitrary(rng) as $t
+                }
+            }
+        )*};
+    }
+
+    signed_arbitrary!(i8: u8, i16: u16, i32: u32, i64: u64, i128: u128, isize: usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, sign-bearing values across a wide magnitude range.
+            // (Real proptest's default f64 strategy also excludes NaN, which
+            // would break round-trip equality assertions.)
+            let mantissa = (rng.next_u64() as i64) as f64;
+            let scale = [1e-12, 1e-6, 1e-3, 1.0, 1e3, 1e6][rng.below(6) as usize];
+            mantissa * scale
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f64::arbitrary(rng) as f32
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            char::from_u32(rng.below(0x7F).max(0x20) as u32).unwrap_or('a')
+        }
+    }
+
+    impl<const N: usize> Arbitrary for [u8; N] {
+        fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+            let mut out = [0u8; N];
+            rng.fill_bytes(&mut out);
+            out
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length specification for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for vectors whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.max_inclusive - self.size.min + 1;
+            let len = self.size.min + rng.below(span as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude::*`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests over generated inputs.
+///
+/// Mirrors `proptest::proptest!`: an optional
+/// `#![proptest_config(...)]` header followed by `#[test]` functions whose
+/// arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { cfg = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        cfg = $cfg:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut executed: u32 = 0;
+                let mut rejected: u32 = 0;
+                let mut case: u64 = 0;
+                while executed < config.cases {
+                    let mut __proptest_rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    case += 1;
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(
+                            &$strat,
+                            &mut __proptest_rng,
+                        );
+                    )+
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome: ::core::result::Result<(), $crate::test_runner::Rejected> =
+                        (move || { $body ::core::result::Result::Ok(()) })();
+                    match outcome {
+                        Ok(()) => executed += 1,
+                        Err($crate::test_runner::Rejected) => {
+                            rejected += 1;
+                            assert!(
+                                rejected < config.cases.saturating_mul(64).saturating_add(1024),
+                                "too many cases rejected by prop_assume! in {}",
+                                stringify!($name),
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (panics with the case's message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+);
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+);
+    };
+}
+
+/// Rejects the current case (it is regenerated, not counted as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+/// Uniform choice among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        let mut a = crate::test_runner::TestRng::for_case("t", 3);
+        let mut b = crate::test_runner::TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::for_case("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn string_pattern_generation() {
+        let mut rng = crate::test_runner::TestRng::for_case("s", 0);
+        for _ in 0..64 {
+            let s = Strategy::generate(&"[a-z.]{1,20}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 20);
+            assert!(s.chars().all(|c| c == '.' || c.is_ascii_lowercase()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(
+            a in 3u64..17,
+            b in 0usize..5,
+            f in -2.0f64..2.0,
+            bytes in proptest::collection::vec(any::<u8>(), 1..9),
+            s in "[A-C]{2,4}",
+            arr in any::<[u8; 12]>(),
+        ) {
+            prop_assume!(a != 16);
+            prop_assert!((3..17).contains(&a));
+            prop_assert!(b < 5);
+            prop_assert!((-2.0..2.0).contains(&f));
+            prop_assert!(!bytes.is_empty() && bytes.len() < 9);
+            prop_assert!(s.len() >= 2 && s.len() <= 4);
+            prop_assert_eq!(arr.len(), 12);
+            prop_assert_ne!(a, 16);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![
+            (0u32..4).prop_map(|x| x * 2),
+            (10u32..14).prop_map(|x| x * 3),
+        ]) {
+            prop_assert!(v % 2 == 0 || v % 3 == 0);
+        }
+    }
+}
