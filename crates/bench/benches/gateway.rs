@@ -1,11 +1,15 @@
 //! Gateway serving benches: batched-pool vs. per-device endorsement
-//! throughput at 1/8/64 concurrent sessions.
+//! throughput at 1/8/64 concurrent sessions, plus drain throughput vs.
+//! shard count.
 //!
 //! `pooled_batched/N` measures steady-state serving: N established sessions
 //! each submit one encrypted contribution and the gateway drains them in
 //! batched ECALLs. `per_device/N` measures the Section 4.2 baseline where
 //! every device gets a freshly built, provisioned enclave host for its
 //! single contribution — the cost the pool amortizes away.
+//! `shard_scaling/S` serves an identical 8-slot workload with S worker
+//! shards; on a multicore host the drain wall-clock drops as S grows (the
+//! deterministic counterpart is E12's critical-path cycle metric).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use glimmer_core::blinding::BlindingService;
@@ -51,9 +55,10 @@ fn bench_serving(c: &mut Criterion) {
             let mut rng = Drbg::from_seed([21u8; 32]);
             let mut avs = AttestationService::new([22u8; 32]);
             let material = ServiceKeyMaterial::generate(&mut rng).unwrap();
-            let mut gateway = Gateway::new(
+            let gateway = Gateway::new(
                 GatewayConfig {
                     slots_per_tenant: (sessions / 16).max(1),
+                    shards: 1,
                     max_batch: 256,
                     max_queue_depth: 4096,
                     platform_config: PlatformConfig::default(),
@@ -156,9 +161,73 @@ fn bench_serving(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_shard_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gateway_shards");
+    const SLOTS: usize = 8;
+    const SESSIONS: usize = 16;
+    for &shards in &[1usize, 2, 4] {
+        let clients: Vec<u64> = (0..SESSIONS as u64).collect();
+        let masks = BlindingService::new([14u8; 32]).zero_sum_masks(0, &clients, DIM);
+        group.throughput(Throughput::Elements(SESSIONS as u64));
+        let mut rng = Drbg::from_seed([24u8; 32]);
+        let mut avs = AttestationService::new([25u8; 32]);
+        let material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+        let gateway = Gateway::new(
+            GatewayConfig {
+                slots_per_tenant: SLOTS,
+                shards,
+                max_batch: 256,
+                max_queue_depth: 4096,
+                platform_config: PlatformConfig::default(),
+            },
+            vec![TenantConfig::new(
+                APP,
+                GlimmerDescriptor::iot_default(Vec::new()),
+                material.secret_bytes(),
+            )],
+            &mut avs,
+            &mut rng,
+        )
+        .unwrap();
+        let approved = gateway.measurement(APP).unwrap();
+        let mut established = Vec::with_capacity(SESSIONS);
+        for client in &clients {
+            let (sid, offer) = gateway.open_session(APP).unwrap();
+            let (accept, device) =
+                IotDeviceSession::connect(&offer, &avs, &approved, &mut rng).unwrap();
+            gateway.complete_session(sid, &accept).unwrap();
+            gateway.install_mask(sid, &masks[*client as usize]).unwrap();
+            established.push((sid, *client, device));
+        }
+        group.bench_with_input(
+            BenchmarkId::new("shard_scaling", shards),
+            &shards,
+            |b, _| {
+                b.iter(|| {
+                    for (sid, client, device) in &mut established {
+                        let request =
+                            device.encrypt_request(contribution(*client), PrivateData::None);
+                        gateway.submit(*sid, request).unwrap();
+                    }
+                    let mut endorsed = 0usize;
+                    for response in gateway.drain_all().unwrap() {
+                        let BatchOutcome::Reply { endorsed: e, .. } = &response.outcome else {
+                            panic!("bench item failed: {:?}", response.outcome);
+                        };
+                        assert!(e, "bench traffic is honest");
+                        endorsed += 1;
+                    }
+                    endorsed
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_serving
+    targets = bench_serving, bench_shard_scaling
 }
 criterion_main!(benches);

@@ -2,12 +2,13 @@
 //!
 //! The paper (HotOS 2017) has no measurement tables; its figures are
 //! architecture and scenario illustrations. This crate therefore defines
-//! eleven experiments derived from the figures, worked examples, and
-//! quantitative claims — E1–E10 from the paper plus E11, the gateway
-//! serving comparison — and implements each one as a reusable function
-//! plus a binary that prints the corresponding table. The Criterion
-//! benches under `benches/` cover the micro-benchmarks (crypto, enclave
-//! transitions, blinding, validation, end-to-end pipeline).
+//! twelve experiments derived from the figures, worked examples, and
+//! quantitative claims — E1–E10 from the paper plus E11 (the gateway
+//! serving comparison) and E12 (shard-per-core runtime scaling) — and
+//! implements each one as a reusable function plus a binary that prints
+//! the corresponding table. The Criterion benches under `benches/` cover
+//! the micro-benchmarks (crypto, enclave transitions, blinding,
+//! validation, end-to-end pipeline).
 
 #![forbid(unsafe_code)]
 

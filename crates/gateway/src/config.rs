@@ -64,8 +64,18 @@ impl TenantConfig {
 /// Gateway-wide construction parameters.
 #[derive(Debug, Clone)]
 pub struct GatewayConfig {
-    /// Pre-provisioned enclave slots per tenant (the shard count).
+    /// Pre-provisioned enclave slots per tenant (the pool width).
     pub slots_per_tenant: usize,
+    /// Shard-per-core worker threads. Every pool slot is owned by exactly
+    /// one shard (round-robin across tenants' slots), each shard drains its
+    /// slots on its own thread, and shards share no mutable state.
+    ///
+    /// `1` (the default) is the deterministic single-shard mode: one worker
+    /// drains every slot in tenant-name/slot order, exactly like the
+    /// pre-runtime gateway, so experiment cycle counts stay reproducible.
+    /// Values above the slot total waste nothing — surplus shards just own
+    /// zero slots. `0` is treated as 1.
+    pub shards: usize,
     /// Most items drained through one enclave in a single `PROCESS_BATCH`
     /// transition.
     pub max_batch: usize,
@@ -80,6 +90,7 @@ impl Default for GatewayConfig {
     fn default() -> Self {
         GatewayConfig {
             slots_per_tenant: 4,
+            shards: 1,
             max_batch: 256,
             max_queue_depth: 1024,
             platform_config: PlatformConfig::default(),
@@ -95,6 +106,8 @@ mod tests {
     fn defaults_are_serving_friendly() {
         let config = GatewayConfig::default();
         assert!(config.slots_per_tenant >= 1);
+        // The default shard count is the deterministic single-shard mode.
+        assert_eq!(config.shards, 1);
         assert!(config.max_batch >= 1);
         assert!(config.max_queue_depth >= config.max_batch);
 

@@ -59,6 +59,9 @@ pub enum GatewayError {
         /// Which limit.
         resource: QuotaResource,
     },
+    /// A shard worker thread is gone (the runtime is shutting down or a
+    /// worker panicked), so the command could not be served.
+    RuntimeUnavailable,
     /// An underlying Glimmer/enclave operation failed.
     Glimmer(GlimmerError),
 }
@@ -90,6 +93,9 @@ impl core::fmt::Display for GatewayError {
             ),
             GatewayError::QuotaExceeded { tenant, resource } => {
                 write!(f, "tenant {tenant:?} exceeded its {resource} quota")
+            }
+            GatewayError::RuntimeUnavailable => {
+                write!(f, "gateway runtime unavailable (shard worker stopped)")
             }
             GatewayError::Glimmer(e) => write!(f, "glimmer error: {e}"),
         }
@@ -147,6 +153,7 @@ mod tests {
                 },
                 "endorsements",
             ),
+            (GatewayError::RuntimeUnavailable, "runtime unavailable"),
             (
                 GatewayError::Glimmer(GlimmerError::NotProvisioned("key")),
                 "glimmer error",

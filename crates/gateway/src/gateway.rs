@@ -1,32 +1,37 @@
 //! The gateway facade: admission, routing, and batched serving.
 
+use crate::clock::{Clock, SystemClock};
 use crate::config::{GatewayConfig, TenantConfig};
 use crate::error::{GatewayError, QuotaResource, Result};
 use crate::pool::TenantPool;
-use crate::session::{SessionState, SessionTable};
-use crate::stats::{GatewayStats, SlotStatsRow, TenantStats};
+use crate::runtime::{
+    ShardCommand, ShardDrainReport, ShardWorker, Shared, SlotGauges, SlotInfo, TenantCounters,
+    TenantMeta, WorkerSlot,
+};
+use crate::session::{SessionEntry, SessionState, SessionTable};
+use crate::stats::GatewayStats;
 use glimmer_core::blinding::MaskShare;
 use glimmer_core::channel::{ChannelAccept, ChannelOffer};
 use glimmer_core::enclave_app::MaskDelivery;
 use glimmer_core::protocol::{BatchItem, BatchOutcome};
 use glimmer_crypto::drbg::Drbg;
 use sgx_sim::{AttestationService, Measurement};
-use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 
 /// One drained reply, routed back to the device that owns the session.
 #[derive(Debug, Clone)]
 pub struct GatewayResponse {
     /// The session the reply belongs to.
     pub session_id: u64,
-    /// The owning tenant.
-    pub tenant: String,
+    /// The owning tenant's interned name — an `Arc<str>` clone, not a string
+    /// allocation, so the drain path stays allocation-free per endorsement.
+    pub tenant: Arc<str>,
     /// The enclave's outcome for the item.
     pub outcome: BatchOutcome,
-}
-
-struct TenantState {
-    pool: TenantPool,
-    stats: TenantStats,
 }
 
 /// A sharded, multi-tenant enclave-pool server for glimmer-as-a-service
@@ -39,142 +44,386 @@ struct TenantState {
 /// `PROCESS_BATCH` ECALL per round, and admission control (session quotas,
 /// queue-depth backpressure, endorsement budgets).
 ///
+/// # Runtime
+///
+/// Serving runs on a shard-per-core runtime ([`crate::runtime`]): pool slots
+/// are distributed round-robin over [`GatewayConfig::shards`] worker
+/// threads, each of which exclusively owns its slots (enclaves, queues,
+/// drain counters — shared-nothing). The `Gateway` value itself is a thin
+/// routing handle: every method takes `&self`, the type is `Send + Sync`,
+/// and callers on any number of threads may submit and drain concurrently.
+/// Dropping the gateway shuts the workers down; [`Gateway::shutdown`] does
+/// the same after draining in-flight work first.
+///
 /// The gateway itself is *untrusted*, exactly like the remote host of
 /// Section 4.2: it only ever sees ciphertext, attestation transcripts, and
 /// the public one-bit endorsed/failed outcome per request.
 pub struct Gateway {
-    config: GatewayConfig,
-    tenants: BTreeMap<String, TenantState>,
-    table: SessionTable,
+    shared: Arc<Shared>,
+    senders: Vec<Sender<ShardCommand>>,
+    workers: Vec<JoinHandle<()>>,
 }
+
+// The whole point of the `&self` API: one gateway handle may be shared
+// across threads. The compiler proves it, these assertions document it.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Gateway>();
+};
 
 impl Gateway {
     /// Builds the gateway: creates and provisions `slots_per_tenant` enclaves
-    /// for every tenant up front.
+    /// for every tenant up front, then spawns the shard workers and hands
+    /// each its share of the slots. Uses the production [`SystemClock`].
     pub fn new(
         config: GatewayConfig,
         tenants: Vec<TenantConfig>,
         avs: &mut AttestationService,
         rng: &mut Drbg,
     ) -> Result<Self> {
-        let mut states: BTreeMap<String, TenantState> = BTreeMap::new();
-        for tenant in tenants {
-            let name = tenant.name.clone();
-            if states.contains_key(&name) {
-                return Err(GatewayError::DuplicateTenant(name));
+        Self::with_clock(config, tenants, avs, rng, Arc::new(SystemClock::new()))
+    }
+
+    /// [`Gateway::new`] with an injected [`Clock`] (deterministic
+    /// stale-pending eviction under test).
+    pub fn with_clock(
+        config: GatewayConfig,
+        tenants: Vec<TenantConfig>,
+        avs: &mut AttestationService,
+        rng: &mut Drbg,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self> {
+        // Provision pools in deterministic (name) order, refusing duplicate
+        // enrollments before any enclave is built for the duplicate.
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        for tenant in &tenants {
+            if !seen.insert(tenant.name.as_str()) {
+                return Err(GatewayError::DuplicateTenant(tenant.name.clone()));
             }
+        }
+        let mut tenants = tenants;
+        tenants.sort_by(|a, b| a.name.cmp(&b.name));
+
+        let shards = config.shards.max(1);
+        let mut metas = Vec::with_capacity(tenants.len());
+        let mut worker_slots: Vec<Vec<WorkerSlot>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut next_shard = 0usize;
+        for (tenant_idx, tenant) in tenants.into_iter().enumerate() {
             let pool = TenantPool::new(
-                tenant,
+                &tenant,
                 config.slots_per_tenant,
                 &config.platform_config,
                 rng,
                 avs,
             )?;
-            states.insert(
-                name,
-                TenantState {
-                    pool,
-                    stats: TenantStats::default(),
-                },
-            );
+            let measurement = pool.measurement();
+            let mut slot_infos = Vec::with_capacity(pool.slots.len());
+            for slot in pool.slots {
+                let gauges = Arc::new(SlotGauges::default());
+                let shard = next_shard;
+                next_shard = (next_shard + 1) % shards;
+                slot_infos.push(SlotInfo {
+                    shard,
+                    worker_idx: worker_slots[shard].len(),
+                    gauges: Arc::clone(&gauges),
+                });
+                worker_slots[shard].push(WorkerSlot {
+                    tenant_idx,
+                    slot,
+                    gauges,
+                });
+            }
+            metas.push(TenantMeta {
+                name: Arc::from(tenant.name.as_str()),
+                quota: tenant.quota,
+                measurement,
+                counters: TenantCounters::default(),
+                live_sessions: std::sync::atomic::AtomicUsize::new(0),
+                queued: std::sync::atomic::AtomicUsize::new(0),
+                slots: slot_infos,
+            });
         }
-        Ok(Gateway {
+
+        let shared = Arc::new(Shared {
             config,
-            tenants: states,
-            table: SessionTable::new(),
+            clock,
+            tenants: metas,
+            table: Mutex::new(SessionTable::new()),
+        });
+
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for (shard_id, slots) in worker_slots.into_iter().enumerate() {
+            let (tx, rx) = channel();
+            let worker = ShardWorker {
+                shard_id,
+                shared: Arc::clone(&shared),
+                slots,
+                rx,
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("gateway-shard-{shard_id}"))
+                .spawn(move || worker.run())
+                .map_err(|_| GatewayError::RuntimeUnavailable)?;
+            senders.push(tx);
+            workers.push(handle);
+        }
+
+        Ok(Gateway {
+            shared,
+            senders,
+            workers,
         })
+    }
+
+    /// Number of shard worker threads serving this gateway.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.senders.len()
     }
 
     /// The enrolled tenant names, in deterministic order.
     #[must_use]
     pub fn tenant_names(&self) -> Vec<String> {
-        self.tenants.keys().cloned().collect()
+        self.shared
+            .tenants
+            .iter()
+            .map(|t| t.name.to_string())
+            .collect()
     }
 
     /// The measurement a device connecting to `tenant` must verify.
     pub fn measurement(&self, tenant: &str) -> Result<Measurement> {
-        Ok(self.tenant(tenant)?.pool.measurement())
+        let idx = self.shared.tenant_idx(tenant)?;
+        Ok(self.shared.tenants[idx].measurement)
     }
 
-    fn tenant(&self, name: &str) -> Result<&TenantState> {
-        self.tenants
-            .get(name)
-            .ok_or_else(|| GatewayError::UnknownTenant(name.to_string()))
+    fn tenant(&self, name: &str) -> Result<&TenantMeta> {
+        Ok(&self.shared.tenants[self.shared.tenant_idx(name)?])
     }
 
-    fn tenant_mut(&mut self, name: &str) -> Result<&mut TenantState> {
-        self.tenants
-            .get_mut(name)
-            .ok_or_else(|| GatewayError::UnknownTenant(name.to_string()))
+    fn send(&self, shard: usize, command: ShardCommand) -> Result<()> {
+        self.senders[shard]
+            .send(command)
+            .map_err(|_| GatewayError::RuntimeUnavailable)
+    }
+
+    fn recv<T>(rx: &Receiver<T>) -> Result<T> {
+        rx.recv().map_err(|_| GatewayError::RuntimeUnavailable)
+    }
+
+    fn session_entry(&self, session_id: u64) -> Result<SessionEntry> {
+        Ok(self
+            .shared
+            .table
+            .lock()
+            .expect("session table poisoned")
+            .get(session_id)?
+            .clone())
+    }
+
+    /// Picks the least-loaded slot of a tenant for a new session: fewest
+    /// active sessions, breaking ties by shallowest queue, then lowest slot
+    /// id — same policy as the pre-runtime pool, now over shared gauges.
+    fn least_loaded_slot(meta: &TenantMeta) -> usize {
+        meta.slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(id, info)| {
+                (
+                    info.gauges.active_sessions.load(Ordering::SeqCst),
+                    info.gauges.queue_depth.load(Ordering::SeqCst),
+                    *id,
+                )
+            })
+            .map(|(id, _)| id)
+            .expect("tenant pool always has at least one slot")
     }
 
     /// Opens a device session for `tenant`: admits it against the session
     /// quota, pins it to the least-loaded pool slot, and returns the
     /// attestation offer the device verifies.
-    pub fn open_session(&mut self, tenant: &str) -> Result<(u64, ChannelOffer)> {
-        let slot_id = {
-            let state = self.tenant_mut(tenant)?;
-            if state.pool.total_sessions() >= state.pool.config.quota.max_sessions {
-                state.stats.throttled += 1;
-                return Err(GatewayError::QuotaExceeded {
-                    tenant: tenant.to_string(),
-                    resource: QuotaResource::Sessions,
-                });
-            }
-            state.pool.least_loaded_slot()
-        };
-        let session_id = self.table.open(tenant, slot_id);
-        let state = self.tenant_mut(tenant)?;
-        let slot = &mut state.pool.slots[slot_id];
-        match slot.client_mut().open_session(session_id) {
+    pub fn open_session(&self, tenant: &str) -> Result<(u64, ChannelOffer)> {
+        let tenant_idx = self.shared.tenant_idx(tenant)?;
+        let meta = &self.shared.tenants[tenant_idx];
+        // Reserve a session-quota slot first; roll back on any failure so a
+        // racing open can never overshoot the quota.
+        let prev = meta.live_sessions.fetch_add(1, Ordering::SeqCst);
+        if prev >= meta.quota.max_sessions {
+            meta.live_sessions.fetch_sub(1, Ordering::SeqCst);
+            meta.counters.throttled.fetch_add(1, Ordering::SeqCst);
+            return Err(GatewayError::QuotaExceeded {
+                tenant: tenant.to_string(),
+                resource: QuotaResource::Sessions,
+            });
+        }
+        let slot_id = Self::least_loaded_slot(meta);
+        let info = &meta.slots[slot_id];
+        info.gauges.active_sessions.fetch_add(1, Ordering::SeqCst);
+        let session_id = self
+            .shared
+            .table
+            .lock()
+            .expect("session table poisoned")
+            .open(
+                meta.name.clone(),
+                tenant_idx,
+                slot_id,
+                self.shared.clock.now_nanos(),
+            );
+
+        let (tx, rx) = channel();
+        let outcome = self
+            .send(
+                info.shard,
+                ShardCommand::OpenSession {
+                    slot: info.worker_idx,
+                    session_id,
+                    reply: tx,
+                },
+            )
+            .and_then(|()| Self::recv(&rx))
+            .and_then(|result| result);
+        match outcome {
             Ok(offer) => {
-                slot.session_opened();
-                state.stats.sessions_opened += 1;
+                meta.counters.sessions_opened.fetch_add(1, Ordering::SeqCst);
                 Ok((session_id, offer))
             }
             Err(e) => {
-                let _ = self.table.close(session_id);
-                Err(GatewayError::Glimmer(e))
+                // Roll the reservation back only if this thread actually
+                // removed the entry: a concurrent close/eviction that beat
+                // us here already ran the gauge rollback, and decrementing
+                // twice would wrap the unsigned gauges.
+                let removed = self
+                    .shared
+                    .table
+                    .lock()
+                    .expect("session table poisoned")
+                    .close(session_id)
+                    .is_ok();
+                if removed {
+                    info.gauges.active_sessions.fetch_sub(1, Ordering::SeqCst);
+                    meta.live_sessions.fetch_sub(1, Ordering::SeqCst);
+                }
+                Err(e)
             }
         }
     }
 
     /// Completes a session's attested handshake with the device's response.
-    pub fn complete_session(&mut self, session_id: u64, accept: &ChannelAccept) -> Result<()> {
-        let entry = self.table.get(session_id)?;
+    pub fn complete_session(&self, session_id: u64, accept: &ChannelAccept) -> Result<()> {
+        let entry = self.session_entry(session_id)?;
         if entry.state == SessionState::Established {
             return Err(GatewayError::SessionAlreadyEstablished(session_id));
         }
-        let (tenant, slot_id) = (entry.tenant.clone(), entry.slot);
-        let state = self.tenant_mut(&tenant)?;
-        if let Err(e) = state.pool.slots[slot_id]
-            .client_mut()
-            .accept_session(session_id, accept)
-        {
+        let info = &self.shared.tenants[entry.tenant_idx].slots[entry.slot];
+        let (tx, rx) = channel();
+        let outcome = self
+            .send(
+                info.shard,
+                ShardCommand::AcceptSession {
+                    slot: info.worker_idx,
+                    session_id,
+                    accept: accept.clone(),
+                    reply: tx,
+                },
+            )
+            .and_then(|()| Self::recv(&rx))
+            .and_then(|result| result);
+        if let Err(e) = outcome {
             // The enclave consumed the pending handshake, so this session id
             // can never complete; tear it down instead of leaving a wedged
             // Pending entry pinning the slot and the tenant's session quota.
-            // The device retries by opening a fresh session.
-            let _ = self.close_session(session_id);
-            return Err(GatewayError::Glimmer(e));
+            // The device retries by opening a fresh session. Only a session
+            // that is STILL pending is torn down: if a concurrent duplicate
+            // completion won the race and established it, this loser's error
+            // must not destroy the now-valid session.
+            self.close_session_if_pending(session_id);
+            return Err(e);
         }
-        self.table.establish(session_id)?;
-        Ok(())
+        let established = self
+            .shared
+            .table
+            .lock()
+            .expect("session table poisoned")
+            .establish(session_id)
+            .map(|_| ());
+        if let Err(GatewayError::UnknownSession(_)) = established {
+            // A concurrent eviction removed the entry between the enclave
+            // accept succeeding and this establish (the evictor's enclave
+            // close raced the in-flight handshake). The gateway will never
+            // route this id again, so erase the keys the enclave just
+            // installed rather than leaking the session in the slot forever.
+            // Gauges were already rolled back by whoever removed the entry.
+            let (tx, rx) = channel();
+            if self
+                .send(
+                    info.shard,
+                    ShardCommand::CloseSession {
+                        slot: info.worker_idx,
+                        session_id,
+                        reply: tx,
+                    },
+                )
+                .is_ok()
+            {
+                let _ = Self::recv(&rx);
+            }
+        }
+        established
     }
 
     /// Closes a session: erases its channel keys inside the enclave and
     /// discards any requests it still had queued.
-    pub fn close_session(&mut self, session_id: u64) -> Result<()> {
-        let entry = self.table.close(session_id)?;
-        let state = self.tenant_mut(&entry.tenant)?;
-        let slot = &mut state.pool.slots[entry.slot];
-        let dropped = slot.discard_session_items(session_id);
-        slot.session_closed();
-        slot.client_mut()
-            .close_session(session_id)
-            .map_err(GatewayError::Glimmer)?;
-        state.stats.dropped += dropped as u64;
-        state.stats.sessions_closed += 1;
+    pub fn close_session(&self, session_id: u64) -> Result<()> {
+        let entry = self
+            .shared
+            .table
+            .lock()
+            .expect("session table poisoned")
+            .close(session_id)?;
+        self.finish_close(session_id, &entry)
+    }
+
+    /// Tears the session down only if it is still pending — the
+    /// check-and-remove happens under one table lock, so it can never race a
+    /// concurrent establishment into closing an established session. Returns
+    /// whether the session was actually removed.
+    fn close_session_if_pending(&self, session_id: u64) -> bool {
+        let entry = {
+            let mut table = self.shared.table.lock().expect("session table poisoned");
+            match table.get(session_id) {
+                Ok(e) if e.state == SessionState::Pending => table.close(session_id).ok(),
+                _ => None,
+            }
+        };
+        match entry {
+            Some(entry) => {
+                let _ = self.finish_close(session_id, &entry);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Gauge rollback + enclave teardown for an entry already removed from
+    /// the session table.
+    fn finish_close(&self, session_id: u64, entry: &SessionEntry) -> Result<()> {
+        let meta = &self.shared.tenants[entry.tenant_idx];
+        let info = &meta.slots[entry.slot];
+        info.gauges.active_sessions.fetch_sub(1, Ordering::SeqCst);
+        meta.live_sessions.fetch_sub(1, Ordering::SeqCst);
+        let (tx, rx) = channel();
+        self.send(
+            info.shard,
+            ShardCommand::CloseSession {
+                slot: info.worker_idx,
+                session_id,
+                reply: tx,
+            },
+        )?;
+        Self::recv(&rx)??;
+        meta.counters.sessions_closed.fetch_add(1, Ordering::SeqCst);
         Ok(())
     }
 
@@ -192,84 +441,93 @@ impl Gateway {
     /// channel ([`Gateway::tenant_channel_offer`]) and
     /// [`Gateway::install_mask_encrypted`], which keep mask values sealed
     /// end-to-end between the tenant and the enclave.
-    pub fn install_mask(&mut self, session_id: u64, mask: &MaskShare) -> Result<()> {
-        self.install_mask_delivery(session_id, &MaskDelivery::plain(mask))
+    pub fn install_mask(&self, session_id: u64, mask: &MaskShare) -> Result<()> {
+        self.install_mask_delivery(session_id, MaskDelivery::plain(mask))
     }
 
     /// Installs a session-bound mask from an AEAD-encrypted delivery sealed
     /// under the tenant's attested channel to the session's slot. The
     /// gateway relays the ciphertext; only the enclave can open it.
     pub fn install_mask_encrypted(
-        &mut self,
+        &self,
         session_id: u64,
         nonce: [u8; 12],
         ciphertext: Vec<u8>,
     ) -> Result<()> {
-        self.install_mask_delivery(session_id, &MaskDelivery::Encrypted { nonce, ciphertext })
+        self.install_mask_delivery(session_id, MaskDelivery::Encrypted { nonce, ciphertext })
     }
 
-    fn install_mask_delivery(&mut self, session_id: u64, delivery: &MaskDelivery) -> Result<()> {
-        let entry = self.table.get(session_id)?;
-        let (tenant, slot_id) = (entry.tenant.clone(), entry.slot);
-        let state = self.tenant_mut(&tenant)?;
-        state.pool.slots[slot_id]
-            .client_mut()
-            .install_session_mask_delivery(session_id, delivery)
-            .map_err(GatewayError::Glimmer)
+    fn install_mask_delivery(&self, session_id: u64, delivery: MaskDelivery) -> Result<()> {
+        let entry = self.session_entry(session_id)?;
+        let info = &self.shared.tenants[entry.tenant_idx].slots[entry.slot];
+        let (tx, rx) = channel();
+        self.send(
+            info.shard,
+            ShardCommand::InstallMask {
+                slot: info.worker_idx,
+                session_id,
+                delivery,
+                reply: tx,
+            },
+        )?;
+        Self::recv(&rx)?
     }
 
     /// The pool slot a session is pinned to — the tenant needs it to seal
     /// mask deliveries under the right slot's channel key.
     pub fn session_slot(&self, session_id: u64) -> Result<usize> {
-        Ok(self.table.get(session_id)?.slot)
+        Ok(self.session_entry(session_id)?.slot)
     }
 
     /// Number of pool slots serving `tenant`.
     pub fn slot_count(&self, tenant: &str) -> Result<usize> {
-        Ok(self.tenant(tenant)?.pool.slots.len())
+        Ok(self.tenant(tenant)?.slots.len())
+    }
+
+    fn tenant_slot(&self, tenant: &str, slot: usize) -> Result<&SlotInfo> {
+        let meta = self.tenant(tenant)?;
+        meta.slots
+            .get(slot)
+            .ok_or_else(|| GatewayError::UnknownSlot {
+                tenant: tenant.to_string(),
+                slot,
+            })
     }
 
     /// Starts the attested tenant channel on one pool slot: returns the
     /// enclave's offer for the *tenant* (not a device) to verify and answer.
     /// Once completed, the tenant can seal mask deliveries to that slot.
-    pub fn tenant_channel_offer(&mut self, tenant: &str, slot: usize) -> Result<ChannelOffer> {
-        let state = self.tenant_mut(tenant)?;
-        let slot_state =
-            state
-                .pool
-                .slots
-                .get_mut(slot)
-                .ok_or_else(|| GatewayError::UnknownSlot {
-                    tenant: tenant.to_string(),
-                    slot,
-                })?;
-        slot_state
-            .client_mut()
-            .start_channel()
-            .map_err(GatewayError::Glimmer)
+    pub fn tenant_channel_offer(&self, tenant: &str, slot: usize) -> Result<ChannelOffer> {
+        let info = self.tenant_slot(tenant, slot)?;
+        let (tx, rx) = channel();
+        self.send(
+            info.shard,
+            ShardCommand::TenantChannelOffer {
+                slot: info.worker_idx,
+                reply: tx,
+            },
+        )?;
+        Self::recv(&rx)?
     }
 
     /// Completes the attested tenant channel on one pool slot.
     pub fn complete_tenant_channel(
-        &mut self,
+        &self,
         tenant: &str,
         slot: usize,
         accept: &ChannelAccept,
     ) -> Result<()> {
-        let state = self.tenant_mut(tenant)?;
-        let slot_state =
-            state
-                .pool
-                .slots
-                .get_mut(slot)
-                .ok_or_else(|| GatewayError::UnknownSlot {
-                    tenant: tenant.to_string(),
-                    slot,
-                })?;
-        slot_state
-            .client_mut()
-            .complete_channel(accept)
-            .map_err(GatewayError::Glimmer)
+        let info = self.tenant_slot(tenant, slot)?;
+        let (tx, rx) = channel();
+        self.send(
+            info.shard,
+            ShardCommand::TenantChannelComplete {
+                slot: info.worker_idx,
+                accept: accept.clone(),
+                reply: tx,
+            },
+        )?;
+        Self::recv(&rx)?
     }
 
     /// Admits one encrypted request into its session's slot queue.
@@ -277,19 +535,26 @@ impl Gateway {
     /// Rejections are typed: quota exhaustion ([`GatewayError::QuotaExceeded`])
     /// and queue-depth backpressure ([`GatewayError::Backpressure`]) both leave
     /// the request unqueued so the device can retry elsewhere or later.
-    pub fn submit(&mut self, session_id: u64, ciphertext: Vec<u8>) -> Result<()> {
-        let entry = self.table.get(session_id)?;
+    ///
+    /// Admission is reserve-then-check over atomic gauges, so concurrent
+    /// submitters can never overshoot a quota: the loser of a race has its
+    /// reservation rolled back and sees the same typed rejection a
+    /// sequential caller would.
+    pub fn submit(&self, session_id: u64, ciphertext: Vec<u8>) -> Result<()> {
+        let entry = self.session_entry(session_id)?;
         if entry.state != SessionState::Established {
             return Err(GatewayError::SessionNotEstablished(session_id));
         }
-        let (tenant, slot_id) = (entry.tenant.clone(), entry.slot);
-        let max_queue_depth = self.config.max_queue_depth;
-        let state = self.tenant_mut(&tenant)?;
+        let meta = &self.shared.tenants[entry.tenant_idx];
+        let tenant_name = || meta.name.to_string();
 
-        if state.pool.total_queued() >= state.pool.config.quota.max_queued {
-            state.stats.throttled += 1;
+        // Tenant-wide queued-request quota.
+        let prev_queued = meta.queued.fetch_add(1, Ordering::SeqCst);
+        if prev_queued >= meta.quota.max_queued {
+            meta.queued.fetch_sub(1, Ordering::SeqCst);
+            meta.counters.throttled.fetch_add(1, Ordering::SeqCst);
             return Err(GatewayError::QuotaExceeded {
-                tenant,
+                tenant: tenant_name(),
                 resource: QuotaResource::QueuedRequests,
             });
         }
@@ -297,69 +562,90 @@ impl Gateway {
         // requests reserve against it so the budget can never overshoot
         // mid-batch. A rejected contribution releases its reservation at
         // drain time (queue shrinks, `endorsed` does not grow).
-        if let Some(budget) = state.pool.config.quota.endorsement_budget {
-            let reserved = state.stats.endorsed + state.pool.total_queued() as u64;
+        if let Some(budget) = meta.quota.endorsement_budget {
+            let reserved = meta.counters.endorsed.load(Ordering::SeqCst) + prev_queued as u64;
             if reserved >= budget {
-                state.stats.throttled += 1;
+                meta.queued.fetch_sub(1, Ordering::SeqCst);
+                meta.counters.throttled.fetch_add(1, Ordering::SeqCst);
                 return Err(GatewayError::QuotaExceeded {
-                    tenant,
+                    tenant: tenant_name(),
                     resource: QuotaResource::Endorsements,
                 });
             }
         }
-        let slot = &mut state.pool.slots[slot_id];
-        if slot.queue_depth() >= max_queue_depth {
-            state.stats.throttled += 1;
+        // Per-slot queue-depth backpressure.
+        let info = &meta.slots[entry.slot];
+        let prev_depth = info.gauges.queue_depth.fetch_add(1, Ordering::SeqCst);
+        if prev_depth >= self.shared.config.max_queue_depth {
+            info.gauges.queue_depth.fetch_sub(1, Ordering::SeqCst);
+            meta.queued.fetch_sub(1, Ordering::SeqCst);
+            meta.counters.throttled.fetch_add(1, Ordering::SeqCst);
             return Err(GatewayError::Backpressure {
-                tenant,
-                slot: slot_id,
-                depth: slot.queue_depth(),
+                tenant: tenant_name(),
+                slot: entry.slot,
+                depth: prev_depth,
             });
         }
-        slot.enqueue(BatchItem {
-            session_id,
-            ciphertext,
-        });
-        state.stats.submitted += 1;
+        let sent = self.send(
+            info.shard,
+            ShardCommand::Submit {
+                slot: info.worker_idx,
+                item: BatchItem {
+                    session_id,
+                    ciphertext,
+                },
+            },
+        );
+        if sent.is_err() {
+            info.gauges.queue_depth.fetch_sub(1, Ordering::SeqCst);
+            meta.queued.fetch_sub(1, Ordering::SeqCst);
+            return sent;
+        }
+        meta.counters.submitted.fetch_add(1, Ordering::SeqCst);
         Ok(())
     }
 
     /// Drains every slot's queue through its enclave — one `PROCESS_BATCH`
     /// ECALL per non-empty slot, up to `max_batch` items each — and returns
-    /// the replies for the caller to route back to devices.
+    /// the replies for the caller to route back to devices. All shards drain
+    /// their slots concurrently; replies are aggregated in shard order, so
+    /// the result is deterministic for a deterministic workload.
     ///
-    /// A slot whose whole-batch ECALL fails keeps its items queued and does
-    /// not abort the sweep: replies already produced by other slots carry
-    /// endorsements that consumed budget and replay nonces, so they must
-    /// reach their devices. The first slot error is reported only after the
-    /// sweep, and only if no responses were produced at all.
-    pub fn drain(&mut self) -> Result<Vec<GatewayResponse>> {
-        let max_batch = self.config.max_batch;
-        let mut responses = Vec::new();
+    /// A slot whose whole-batch ECALL fails keeps its items queued — and a
+    /// shard whose worker is gone is skipped — without aborting the sweep:
+    /// replies already produced by other slots carry endorsements that
+    /// consumed budget and replay nonces, so they must reach their devices.
+    /// The first error is reported only after the sweep, and only if no
+    /// responses were produced at all.
+    pub fn drain(&self) -> Result<Vec<GatewayResponse>> {
+        // Fan out first so every shard drains in parallel, then gather in
+        // shard order. A dead shard contributes an error, never an abort:
+        // the healthy shards' replies must still be gathered and returned.
+        let mut pending = Vec::with_capacity(self.senders.len());
         let mut first_error: Option<GatewayError> = None;
-        for (name, state) in &mut self.tenants {
-            for slot in &mut state.pool.slots {
-                let reply = match slot.drain(max_batch) {
-                    Ok(Some(reply)) => reply,
-                    Ok(None) => continue,
-                    Err(e) => {
+        for shard in 0..self.senders.len() {
+            let (tx, rx) = channel();
+            match self.send(shard, ShardCommand::Drain { reply: tx }) {
+                Ok(()) => pending.push(rx),
+                Err(e) => {
+                    first_error.get_or_insert(e);
+                }
+            }
+        }
+        let mut responses = Vec::new();
+        for rx in &pending {
+            match Self::recv(rx) {
+                Ok(ShardDrainReport {
+                    responses: shard_responses,
+                    first_error: shard_error,
+                }) => {
+                    responses.extend(shard_responses);
+                    if let Some(e) = shard_error {
                         first_error.get_or_insert(e);
-                        continue;
                     }
-                };
-                for item in reply.items {
-                    match &item.outcome {
-                        BatchOutcome::Reply { endorsed: true, .. } => state.stats.endorsed += 1,
-                        BatchOutcome::Reply {
-                            endorsed: false, ..
-                        } => state.stats.rejected += 1,
-                        BatchOutcome::Failed(_) => state.stats.failed += 1,
-                    }
-                    responses.push(GatewayResponse {
-                        session_id: item.session_id,
-                        tenant: name.clone(),
-                        outcome: item.outcome,
-                    });
+                }
+                Err(e) => {
+                    first_error.get_or_insert(e);
                 }
             }
         }
@@ -369,14 +655,14 @@ impl Gateway {
         }
     }
 
-    /// Drains repeatedly until every queue is empty (bounded by queue sizes,
-    /// since devices cannot enqueue while this runs).
+    /// Drains repeatedly until every queue is empty (bounded by queue sizes
+    /// when no new work arrives concurrently).
     ///
     /// Like [`Gateway::drain`], replies already produced are never dropped:
     /// if a sweep fails after earlier sweeps yielded replies, the replies
     /// collected so far are returned and the error resurfaces on the next
     /// call (the failing slot keeps its items queued).
-    pub fn drain_all(&mut self) -> Result<Vec<GatewayResponse>> {
+    pub fn drain_all(&self) -> Result<Vec<GatewayResponse>> {
         let mut all = Vec::new();
         loop {
             match self.drain() {
@@ -391,41 +677,113 @@ impl Gateway {
 
     /// Requests currently queued for `tenant` across its slots.
     pub fn queued(&self, tenant: &str) -> Result<usize> {
-        Ok(self.tenant(tenant)?.pool.total_queued())
+        Ok(self.tenant(tenant)?.queued.load(Ordering::SeqCst))
     }
 
     /// Live sessions (pending + established) across all tenants.
     #[must_use]
     pub fn live_sessions(&self) -> usize {
-        self.table.len()
+        self.shared
+            .table
+            .lock()
+            .expect("session table poisoned")
+            .len()
     }
 
-    /// Closes every session still pending after `older_than` and returns the
-    /// evicted ids. Without this, a client that requests handshake offers
-    /// and never completes them would pin its tenant's session quota
-    /// forever; operators call this on a timer.
-    pub fn evict_stale_pending(&mut self, older_than: std::time::Duration) -> Vec<u64> {
-        let stale = self.table.stale_pending(older_than);
-        for &session_id in &stale {
-            let _ = self.close_session(session_id);
-        }
+    /// Closes every session still pending after `older_than` (per the
+    /// gateway's injected [`Clock`]) and returns the evicted ids. Without
+    /// this, a client that requests handshake offers and never completes
+    /// them would pin its tenant's session quota forever; operators call
+    /// this on a timer.
+    pub fn evict_stale_pending(&self, older_than: std::time::Duration) -> Vec<u64> {
+        let now = self.shared.clock.now_nanos();
+        let stale = self
+            .shared
+            .table
+            .lock()
+            .expect("session table poisoned")
+            .stale_pending(older_than, now);
+        // The stale list is a snapshot; a device may complete its handshake
+        // between the snapshot and this loop. Each teardown therefore
+        // re-checks pending-ness under the table lock, so a session that
+        // just established is spared (and not reported as evicted).
         stale
+            .into_iter()
+            .filter(|&session_id| self.close_session_if_pending(session_id))
+            .collect()
     }
 
-    /// A labelled snapshot of every counter the gateway keeps.
+    /// A labelled snapshot of every counter the gateway keeps: tenant
+    /// counters read from the shared atomics, per-slot drain counters
+    /// collected from each shard worker and merged (rows come back in
+    /// deterministic tenant/slot order).
     #[must_use]
     pub fn stats(&self) -> GatewayStats {
         let mut stats = GatewayStats::default();
-        for (name, state) in &self.tenants {
-            stats.tenants.push((name.clone(), state.stats.clone()));
-            for slot in &state.pool.slots {
-                stats.slots.push(SlotStatsRow {
-                    tenant: name.clone(),
-                    slot: slot.slot_id,
-                    stats: slot.stats(),
-                });
+        for meta in &self.shared.tenants {
+            stats
+                .tenants
+                .push((meta.name.to_string(), meta.counters.snapshot()));
+        }
+        let mut pending = Vec::with_capacity(self.senders.len());
+        for shard in 0..self.senders.len() {
+            let (tx, rx) = channel();
+            if self
+                .send(shard, ShardCommand::CollectStats { reply: tx })
+                .is_ok()
+            {
+                pending.push(rx);
+            }
+        }
+        for rx in &pending {
+            if let Ok(rows) = Self::recv(rx) {
+                stats.slots.extend(rows);
             }
         }
         stats
+            .slots
+            .sort_by(|a, b| (&a.tenant, a.slot).cmp(&(&b.tenant, b.slot)));
+        stats
+    }
+
+    /// Graceful shutdown: drains in-flight work to completion, stops every
+    /// shard worker, and returns the final responses. (Plain `drop` also
+    /// stops the workers, but abandons whatever was still queued.)
+    ///
+    /// Requests stuck behind a *persistently failing* enclave cannot ever
+    /// produce replies — keeping the gateway alive would not deliver them
+    /// either — so they are abandoned, counted into their tenant's `dropped`
+    /// counter, and the drain error is returned only when nothing at all was
+    /// drained. Everything drainable is drained and returned.
+    pub fn shutdown(mut self) -> Result<Vec<GatewayResponse>> {
+        let drained = self.drain_all();
+        // Account (visibly, not silently) for anything a failing slot left
+        // behind: `drain_all` only leaves a queue non-empty when its enclave
+        // kept erroring.
+        for meta in &self.shared.tenants {
+            let abandoned = meta.queued.load(Ordering::SeqCst) as u64;
+            if abandoned > 0 {
+                meta.counters.dropped.fetch_add(abandoned, Ordering::SeqCst);
+            }
+        }
+        self.stop_workers();
+        drained
+    }
+
+    fn stop_workers(&mut self) {
+        for sender in &self.senders {
+            // Workers that already exited have dropped their receiver; that
+            // is fine.
+            let _ = sender.send(ShardCommand::Shutdown);
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.stop_workers();
     }
 }

@@ -13,6 +13,11 @@
 //!   pre-provisioned Glimmer enclaves on independent simulated platforms.
 //!   Build + attestation + key provisioning are paid once per slot at
 //!   start-up and amortized over every request the slot ever serves.
+//! * **Shard-per-core runtime** ([`runtime`](crate::gateway::Gateway)) —
+//!   pool slots are distributed round-robin over `GatewayConfig::shards`
+//!   worker threads that share no mutable state; the [`Gateway`] handle is
+//!   `Send + Sync` with a concurrent `&self` API, and `shards: 1` is a
+//!   deterministic mode that reproduces the serial drain order exactly.
 //! * **Session table** ([`session`]) — device sessions are pinned to pool
 //!   slots with least-loaded sharding; session ids are the routing key and a
 //!   tenant-isolation boundary.
@@ -40,13 +45,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod config;
 pub mod error;
 pub mod gateway;
 pub mod pool;
+pub(crate) mod runtime;
 pub mod session;
 pub mod stats;
 
+pub use clock::{Clock, ManualClock, SystemClock};
 pub use config::{GatewayConfig, TenantConfig, TenantQuota};
 pub use error::{GatewayError, QuotaResource, Result};
 pub use gateway::{Gateway, GatewayResponse};

@@ -6,6 +6,13 @@
 //! key installation before its first contribution. A pool slot pays those
 //! costs once, at gateway start-up, and then serves an open-ended stream of
 //! sessions; the only per-request work left is one share of a batched ECALL.
+//!
+//! Pools are *construction-time* objects: [`TenantPool::new`] provisions a
+//! tenant's slots on the start-up thread, and the gateway then moves each
+//! [`PoolSlot`] into the shard worker that will own it exclusively for the
+//! rest of its life (see [`crate::runtime`]). Session-count and queue-depth
+//! gauges live in the shared routing layer, not here — a slot only knows its
+//! enclave, its queue, and its drain counters.
 
 use crate::config::TenantConfig;
 use crate::error::{GatewayError, Result};
@@ -23,7 +30,6 @@ pub struct PoolSlot {
     pub slot_id: usize,
     client: GlimmerClient,
     queue: VecDeque<BatchItem>,
-    active_sessions: usize,
     stats: SlotStats,
 }
 
@@ -49,7 +55,6 @@ impl PoolSlot {
             slot_id,
             client,
             queue: VecDeque::new(),
-            active_sessions: 0,
             stats: SlotStats::default(),
         })
     }
@@ -59,24 +64,10 @@ impl PoolSlot {
         &mut self.client
     }
 
-    /// Sessions currently routed here.
-    #[must_use]
-    pub fn active_sessions(&self) -> usize {
-        self.active_sessions
-    }
-
     /// Requests currently queued here.
     #[must_use]
     pub fn queue_depth(&self) -> usize {
         self.queue.len()
-    }
-
-    pub(crate) fn session_opened(&mut self) {
-        self.active_sessions += 1;
-    }
-
-    pub(crate) fn session_closed(&mut self) {
-        self.active_sessions = self.active_sessions.saturating_sub(1);
     }
 
     pub(crate) fn enqueue(&mut self, item: BatchItem) {
@@ -129,26 +120,27 @@ impl PoolSlot {
         Ok(Some(reply))
     }
 
-    /// Snapshot of this slot's counters.
+    /// Snapshot of this slot's drain counters. The routing-layer gauges
+    /// (active sessions) are filled in by the shard worker that owns the
+    /// slot; `queue_depth` reflects the worker-local queue.
     #[must_use]
     pub fn stats(&self) -> SlotStats {
         let mut stats = self.stats.clone();
-        stats.active_sessions = self.active_sessions;
         stats.queue_depth = self.queue.len();
         stats
     }
 }
 
-/// All pool slots belonging to one tenant, plus its published measurement.
+/// A tenant's freshly provisioned pool: its published measurement plus the
+/// slots the runtime will distribute across shard workers.
 pub struct TenantPool {
-    pub(crate) config: TenantConfig,
     pub(crate) measurement: Measurement,
     pub(crate) slots: Vec<PoolSlot>,
 }
 
 impl TenantPool {
     pub(crate) fn new(
-        config: TenantConfig,
+        config: &TenantConfig,
         slots_per_tenant: usize,
         platform_config: &PlatformConfig,
         rng: &mut Drbg,
@@ -159,17 +151,13 @@ impl TenantPool {
         for slot_id in 0..slots_per_tenant.max(1) {
             slots.push(PoolSlot::new(
                 slot_id,
-                &config,
+                config,
                 platform_config.clone(),
                 rng,
                 avs,
             )?);
         }
-        Ok(TenantPool {
-            config,
-            measurement,
-            slots,
-        })
+        Ok(TenantPool { measurement, slots })
     }
 
     /// The measurement devices must verify through attestation.
@@ -178,28 +166,16 @@ impl TenantPool {
         self.measurement
     }
 
-    /// Picks the least-loaded slot for a new session: fewest active sessions,
-    /// breaking ties by shallowest queue, then lowest slot id.
+    /// Number of provisioned slots.
     #[must_use]
-    pub fn least_loaded_slot(&self) -> usize {
-        self.slots
-            .iter()
-            .enumerate()
-            .min_by_key(|(id, slot)| (slot.active_sessions(), slot.queue_depth(), *id))
-            .map(|(id, _)| id)
-            .expect("tenant pool always has at least one slot")
+    pub fn len(&self) -> usize {
+        self.slots.len()
     }
 
-    /// Total requests queued across the tenant's slots.
+    /// Always false: a pool provisions at least one slot.
     #[must_use]
-    pub fn total_queued(&self) -> usize {
-        self.slots.iter().map(PoolSlot::queue_depth).sum()
-    }
-
-    /// Total sessions across the tenant's slots.
-    #[must_use]
-    pub fn total_sessions(&self) -> usize {
-        self.slots.iter().map(PoolSlot::active_sessions).sum()
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
     }
 }
 
@@ -213,12 +189,13 @@ mod tests {
         let mut rng = Drbg::from_seed([41u8; 32]);
         let mut avs = AttestationService::new([42u8; 32]);
         let material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+        let config = TenantConfig::new(
+            "iot-telemetry.example",
+            GlimmerDescriptor::iot_default(Vec::new()),
+            material.secret_bytes(),
+        );
         TenantPool::new(
-            TenantConfig::new(
-                "iot-telemetry.example",
-                GlimmerDescriptor::iot_default(Vec::new()),
-                material.secret_bytes(),
-            ),
+            &config,
             slots,
             &PlatformConfig::default(),
             &mut rng,
@@ -230,7 +207,8 @@ mod tests {
     #[test]
     fn slots_are_preprovisioned_and_isolated_platforms() {
         let mut p = pool(3);
-        assert_eq!(p.slots.len(), 3);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
         let ids: Vec<_> = p.slots.iter().map(|s| s.client.platform().id()).collect();
         assert_ne!(ids[0], ids[1]);
         assert_ne!(ids[1], ids[2]);
@@ -240,30 +218,28 @@ mod tests {
             assert!(slot.client_mut().platform().is_provisioned());
         }
         // All slots share the tenant measurement.
-        assert_eq!(p.measurement(), p.config.descriptor.measurement());
+        assert_eq!(
+            p.measurement(),
+            GlimmerDescriptor::iot_default(Vec::new()).measurement()
+        );
     }
 
     #[test]
-    fn least_loaded_prefers_fewest_sessions_then_queue() {
-        let mut p = pool(3);
-        assert_eq!(p.least_loaded_slot(), 0);
-        p.slots[0].session_opened();
-        assert_eq!(p.least_loaded_slot(), 1);
-        p.slots[1].session_opened();
-        assert_eq!(p.least_loaded_slot(), 2);
-        p.slots[2].session_opened();
-        // Tie on sessions: queue depth breaks it.
-        p.slots[0].enqueue(BatchItem {
+    fn queueing_and_discard() {
+        let mut p = pool(1);
+        let slot = &mut p.slots[0];
+        slot.enqueue(BatchItem {
             session_id: 1,
             ciphertext: vec![],
         });
-        assert_eq!(p.least_loaded_slot(), 1);
-        p.slots[0].session_closed();
-        assert_eq!(p.least_loaded_slot(), 0);
-        assert_eq!(p.total_queued(), 1);
-        assert_eq!(p.total_sessions(), 2);
-        assert_eq!(p.slots[0].discard_session_items(1), 1);
-        assert_eq!(p.total_queued(), 0);
+        slot.enqueue(BatchItem {
+            session_id: 2,
+            ciphertext: vec![],
+        });
+        assert_eq!(slot.queue_depth(), 2);
+        assert_eq!(slot.discard_session_items(1), 1);
+        assert_eq!(slot.queue_depth(), 1);
+        assert_eq!(slot.stats().queue_depth, 1);
     }
 
     #[test]

@@ -1,0 +1,364 @@
+//! The shard-per-core runtime: shared-nothing worker threads that own the
+//! enclave slots.
+//!
+//! # Ownership model
+//!
+//! The gateway's construction thread provisions every tenant's pool slots,
+//! then distributes them **round-robin** over `GatewayConfig::shards` worker
+//! threads. From that moment on, each slot — its enclave, its request
+//! queue, its drain counters — is touched by exactly one thread, ever.
+//! There are no locks on the serving path; the only cross-thread state is:
+//!
+//! * per-shard mpsc **command queues** (the only way work reaches a shard),
+//! * **atomic gauges** (per-slot session/queue depth) and **atomic tenant
+//!   counters**, which admission control reads and both sides update, and
+//! * the session table (a mutex the routing layer holds for microseconds;
+//!   workers never take it).
+//!
+//! # Ordering guarantees
+//!
+//! A shard's command queue is FIFO, so everything the routing layer sent
+//! before a `Drain` command is in the slot queues by the time the drain
+//! runs: a single-threaded caller that submits then drains always gets its
+//! items back, shard count notwithstanding. Replies to a gateway-wide drain
+//! are aggregated in shard order, and each shard walks its slots in global
+//! (tenant-name, slot-id) order — with `shards: 1` this reproduces the
+//! pre-runtime gateway's serial drain order exactly, which is what keeps
+//! E11's deterministic cycle metric stable.
+
+use crate::clock::Clock;
+use crate::config::{GatewayConfig, TenantQuota};
+use crate::error::{GatewayError, Result};
+use crate::gateway::GatewayResponse;
+use crate::pool::PoolSlot;
+use crate::session::SessionTable;
+use crate::stats::{SlotStatsRow, TenantStats};
+use glimmer_core::channel::{ChannelAccept, ChannelOffer};
+use glimmer_core::enclave_app::MaskDelivery;
+use glimmer_core::protocol::{BatchItem, BatchOutcome};
+use sgx_sim::Measurement;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+
+/// Routing-layer gauges for one slot. The routing side increments them as it
+/// admits work; the owning worker decrements them as work leaves its queue.
+#[derive(Default)]
+pub(crate) struct SlotGauges {
+    pub(crate) active_sessions: AtomicUsize,
+    pub(crate) queue_depth: AtomicUsize,
+}
+
+/// Atomic per-tenant counters; snapshotted into [`TenantStats`] on read.
+#[derive(Default)]
+pub(crate) struct TenantCounters {
+    pub(crate) sessions_opened: AtomicU64,
+    pub(crate) sessions_closed: AtomicU64,
+    pub(crate) submitted: AtomicU64,
+    pub(crate) endorsed: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) throttled: AtomicU64,
+    pub(crate) dropped: AtomicU64,
+}
+
+impl TenantCounters {
+    pub(crate) fn snapshot(&self) -> TenantStats {
+        TenantStats {
+            sessions_opened: self.sessions_opened.load(Ordering::SeqCst),
+            sessions_closed: self.sessions_closed.load(Ordering::SeqCst),
+            submitted: self.submitted.load(Ordering::SeqCst),
+            endorsed: self.endorsed.load(Ordering::SeqCst),
+            rejected: self.rejected.load(Ordering::SeqCst),
+            failed: self.failed.load(Ordering::SeqCst),
+            throttled: self.throttled.load(Ordering::SeqCst),
+            dropped: self.dropped.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// Where one slot lives: which shard owns it and the shared gauges.
+pub(crate) struct SlotInfo {
+    pub(crate) shard: usize,
+    /// Index of the slot within its shard's worker-local slot vector.
+    pub(crate) worker_idx: usize,
+    pub(crate) gauges: Arc<SlotGauges>,
+}
+
+/// Immutable tenant metadata plus its shared counters.
+pub(crate) struct TenantMeta {
+    pub(crate) name: Arc<str>,
+    pub(crate) quota: TenantQuota,
+    pub(crate) measurement: Measurement,
+    pub(crate) counters: TenantCounters,
+    /// Live sessions (pending + established) — the session-quota gauge.
+    pub(crate) live_sessions: AtomicUsize,
+    /// Requests queued across the tenant's slots — the queued-quota gauge.
+    pub(crate) queued: AtomicUsize,
+    pub(crate) slots: Vec<SlotInfo>,
+}
+
+/// State shared between the routing layer and every shard worker.
+pub(crate) struct Shared {
+    pub(crate) config: GatewayConfig,
+    pub(crate) clock: Arc<dyn Clock>,
+    /// Tenants in deterministic (name) order; `tenant_idx` indexes here.
+    pub(crate) tenants: Vec<TenantMeta>,
+    pub(crate) table: Mutex<SessionTable>,
+}
+
+impl Shared {
+    pub(crate) fn tenant_idx(&self, name: &str) -> Result<usize> {
+        // `tenants` is sorted by name at construction; use it.
+        self.tenants
+            .binary_search_by(|t| (*t.name).cmp(name))
+            .map_err(|_| GatewayError::UnknownTenant(name.to_string()))
+    }
+}
+
+/// What a shard reports back from one drain sweep over its slots.
+pub(crate) struct ShardDrainReport {
+    pub(crate) responses: Vec<GatewayResponse>,
+    pub(crate) first_error: Option<GatewayError>,
+}
+
+/// Commands a shard worker serves, in FIFO order. `slot` is always the
+/// worker-local index ([`SlotInfo::worker_idx`]).
+pub(crate) enum ShardCommand {
+    OpenSession {
+        slot: usize,
+        session_id: u64,
+        reply: Sender<Result<ChannelOffer>>,
+    },
+    AcceptSession {
+        slot: usize,
+        session_id: u64,
+        accept: ChannelAccept,
+        reply: Sender<Result<()>>,
+    },
+    CloseSession {
+        slot: usize,
+        session_id: u64,
+        reply: Sender<Result<()>>,
+    },
+    InstallMask {
+        slot: usize,
+        session_id: u64,
+        delivery: MaskDelivery,
+        reply: Sender<Result<()>>,
+    },
+    TenantChannelOffer {
+        slot: usize,
+        reply: Sender<Result<ChannelOffer>>,
+    },
+    TenantChannelComplete {
+        slot: usize,
+        accept: ChannelAccept,
+        reply: Sender<Result<()>>,
+    },
+    /// Fire-and-forget: gauges were already bumped by the routing layer.
+    Submit {
+        slot: usize,
+        item: BatchItem,
+    },
+    Drain {
+        reply: Sender<ShardDrainReport>,
+    },
+    CollectStats {
+        reply: Sender<Vec<SlotStatsRow>>,
+    },
+    Shutdown,
+}
+
+/// One slot as owned by its shard worker.
+pub(crate) struct WorkerSlot {
+    pub(crate) tenant_idx: usize,
+    pub(crate) slot: PoolSlot,
+    pub(crate) gauges: Arc<SlotGauges>,
+}
+
+/// A shard worker: exclusively owns its slots and serves its command queue
+/// until shutdown.
+pub(crate) struct ShardWorker {
+    pub(crate) shard_id: usize,
+    pub(crate) shared: Arc<Shared>,
+    /// Worker-local slots in global (tenant, slot) order.
+    pub(crate) slots: Vec<WorkerSlot>,
+    pub(crate) rx: Receiver<ShardCommand>,
+}
+
+impl ShardWorker {
+    /// The worker loop. Exits on `Shutdown` or when every sender is gone.
+    /// Replies are best-effort: a caller that gave up (dropped its receiver)
+    /// doesn't stop the worker.
+    pub(crate) fn run(mut self) {
+        while let Ok(command) = self.rx.recv() {
+            match command {
+                ShardCommand::OpenSession {
+                    slot,
+                    session_id,
+                    reply,
+                } => {
+                    let result = self.slots[slot]
+                        .slot
+                        .client_mut()
+                        .open_session(session_id)
+                        .map_err(GatewayError::Glimmer);
+                    let _ = reply.send(result);
+                }
+                ShardCommand::AcceptSession {
+                    slot,
+                    session_id,
+                    accept,
+                    reply,
+                } => {
+                    let result = self.slots[slot]
+                        .slot
+                        .client_mut()
+                        .accept_session(session_id, &accept)
+                        .map_err(GatewayError::Glimmer);
+                    let _ = reply.send(result);
+                }
+                ShardCommand::CloseSession {
+                    slot,
+                    session_id,
+                    reply,
+                } => {
+                    let _ = reply.send(self.close_session(slot, session_id));
+                }
+                ShardCommand::InstallMask {
+                    slot,
+                    session_id,
+                    delivery,
+                    reply,
+                } => {
+                    let result = self.slots[slot]
+                        .slot
+                        .client_mut()
+                        .install_session_mask_delivery(session_id, &delivery)
+                        .map_err(GatewayError::Glimmer);
+                    let _ = reply.send(result);
+                }
+                ShardCommand::TenantChannelOffer { slot, reply } => {
+                    let result = self.slots[slot]
+                        .slot
+                        .client_mut()
+                        .start_channel()
+                        .map_err(GatewayError::Glimmer);
+                    let _ = reply.send(result);
+                }
+                ShardCommand::TenantChannelComplete {
+                    slot,
+                    accept,
+                    reply,
+                } => {
+                    let result = self.slots[slot]
+                        .slot
+                        .client_mut()
+                        .complete_channel(&accept)
+                        .map_err(GatewayError::Glimmer);
+                    let _ = reply.send(result);
+                }
+                ShardCommand::Submit { slot, item } => {
+                    self.slots[slot].slot.enqueue(item);
+                }
+                ShardCommand::Drain { reply } => {
+                    let report = self.drain();
+                    let _ = reply.send(report);
+                }
+                ShardCommand::CollectStats { reply } => {
+                    let _ = reply.send(self.collect_stats());
+                }
+                ShardCommand::Shutdown => break,
+            }
+        }
+    }
+
+    fn close_session(&mut self, slot: usize, session_id: u64) -> Result<()> {
+        let ws = &mut self.slots[slot];
+        let tenant = &self.shared.tenants[ws.tenant_idx];
+        let dropped = ws.slot.discard_session_items(session_id);
+        ws.gauges.queue_depth.fetch_sub(dropped, Ordering::SeqCst);
+        tenant.queued.fetch_sub(dropped, Ordering::SeqCst);
+        ws.slot
+            .client_mut()
+            .close_session(session_id)
+            .map_err(GatewayError::Glimmer)?;
+        tenant
+            .counters
+            .dropped
+            .fetch_add(dropped as u64, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// One sweep over this shard's slots — at most one `PROCESS_BATCH` ECALL
+    /// per non-empty slot. Mirrors the pre-runtime drain semantics: a slot
+    /// whose whole-batch ECALL fails keeps its items queued and does not
+    /// abort the sweep; the first error is reported alongside whatever
+    /// responses the other slots produced.
+    fn drain(&mut self) -> ShardDrainReport {
+        let max_batch = self.shared.config.max_batch;
+        let mut responses = Vec::new();
+        let mut first_error = None;
+        for ws in &mut self.slots {
+            let tenant = &self.shared.tenants[ws.tenant_idx];
+            let reply = match ws.slot.drain(max_batch) {
+                Ok(Some(reply)) => reply,
+                Ok(None) => continue,
+                Err(e) => {
+                    first_error.get_or_insert(e);
+                    continue;
+                }
+            };
+            let drained = reply.items.len();
+            // Outcome counters FIRST, reservation release LAST. The
+            // endorsement-budget check reads `endorsed + queued`, so an item
+            // must never be simultaneously absent from both (that window
+            // would let a racing submit overshoot the budget). The reverse
+            // overlap — counted in `endorsed` while still counted in
+            // `queued` — only over-rejects transiently, which is safe.
+            for item in reply.items {
+                match &item.outcome {
+                    BatchOutcome::Reply { endorsed: true, .. } => {
+                        tenant.counters.endorsed.fetch_add(1, Ordering::SeqCst);
+                    }
+                    BatchOutcome::Reply {
+                        endorsed: false, ..
+                    } => {
+                        tenant.counters.rejected.fetch_add(1, Ordering::SeqCst);
+                    }
+                    BatchOutcome::Failed(_) => {
+                        tenant.counters.failed.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                responses.push(GatewayResponse {
+                    session_id: item.session_id,
+                    tenant: tenant.name.clone(),
+                    outcome: item.outcome,
+                });
+            }
+            ws.gauges.queue_depth.fetch_sub(drained, Ordering::SeqCst);
+            tenant.queued.fetch_sub(drained, Ordering::SeqCst);
+        }
+        ShardDrainReport {
+            responses,
+            first_error,
+        }
+    }
+
+    fn collect_stats(&self) -> Vec<SlotStatsRow> {
+        self.slots
+            .iter()
+            .map(|ws| {
+                let mut stats = ws.slot.stats();
+                stats.active_sessions = ws.gauges.active_sessions.load(Ordering::SeqCst);
+                SlotStatsRow {
+                    tenant: self.shared.tenants[ws.tenant_idx].name.to_string(),
+                    slot: ws.slot.slot_id,
+                    shard: self.shard_id,
+                    stats,
+                }
+            })
+            .collect()
+    }
+}

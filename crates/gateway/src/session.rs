@@ -2,6 +2,7 @@
 
 use crate::error::{GatewayError, Result};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Lifecycle of one device session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -15,14 +16,18 @@ pub enum SessionState {
 /// One row of the session table.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SessionEntry {
-    /// The owning tenant's name.
-    pub tenant: String,
-    /// The pool slot (shard) the session is pinned to.
+    /// The owning tenant's interned name.
+    pub tenant: Arc<str>,
+    /// Index of the owning tenant in the gateway's (name-ordered) tenant
+    /// list — the routing key the runtime uses.
+    pub tenant_idx: usize,
+    /// The pool slot (within the tenant's pool) the session is pinned to.
     pub slot: usize,
     /// Lifecycle state.
     pub state: SessionState,
-    /// When the session was opened (drives stale-pending eviction).
-    pub opened_at: std::time::Instant,
+    /// Clock reading when the session was opened, in nanoseconds (drives
+    /// stale-pending eviction; see [`crate::clock::Clock`]).
+    pub opened_at_nanos: u64,
 }
 
 /// Maps gateway-issued session ids to (tenant, slot) and tracks lifecycle.
@@ -30,6 +35,10 @@ pub struct SessionEntry {
 /// Session ids are issued from a single counter across all tenants, so an id
 /// can never be valid under two tenants — routing by session id is therefore
 /// also a tenant-isolation boundary (see the `isolation` integration test).
+///
+/// The table is pure state: it never reads the clock itself. Callers pass
+/// the current clock reading in, which is what makes eviction deterministic
+/// under test.
 #[derive(Default)]
 pub struct SessionTable {
     sessions: HashMap<u64, SessionEntry>,
@@ -58,17 +67,25 @@ impl SessionTable {
         self.sessions.is_empty()
     }
 
-    /// Allocates a fresh session id pinned to `(tenant, slot)`.
-    pub fn open(&mut self, tenant: &str, slot: usize) -> u64 {
+    /// Allocates a fresh session id pinned to `(tenant, slot)`, stamped with
+    /// the caller's clock reading.
+    pub fn open(
+        &mut self,
+        tenant: Arc<str>,
+        tenant_idx: usize,
+        slot: usize,
+        now_nanos: u64,
+    ) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
         self.sessions.insert(
             id,
             SessionEntry {
-                tenant: tenant.to_string(),
+                tenant,
+                tenant_idx,
                 slot,
                 state: SessionState::Pending,
-                opened_at: std::time::Instant::now(),
+                opened_at_nanos: now_nanos,
             },
         );
         id
@@ -106,13 +123,16 @@ impl SessionTable {
         self.sessions.iter()
     }
 
-    /// Ids of pending sessions opened longer than `older_than` ago.
+    /// Ids of pending sessions opened at least `older_than` before
+    /// `now_nanos` (per the same clock their `opened_at_nanos` came from).
     #[must_use]
-    pub fn stale_pending(&self, older_than: std::time::Duration) -> Vec<u64> {
+    pub fn stale_pending(&self, older_than: std::time::Duration, now_nanos: u64) -> Vec<u64> {
+        let older_than = older_than.as_nanos() as u64;
         self.sessions
             .iter()
             .filter(|(_, e)| {
-                e.state == SessionState::Pending && e.opened_at.elapsed() >= older_than
+                e.state == SessionState::Pending
+                    && now_nanos.saturating_sub(e.opened_at_nanos) >= older_than
             })
             .map(|(id, _)| *id)
             .collect()
@@ -122,24 +142,30 @@ impl SessionTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
+
+    fn name(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
 
     #[test]
     fn lifecycle_and_errors() {
         let mut table = SessionTable::new();
         assert!(table.is_empty());
-        let a = table.open("iot", 0);
-        let b = table.open("keyboard", 1);
+        let a = table.open(name("iot"), 0, 0, 0);
+        let b = table.open(name("keyboard"), 1, 1, 0);
         assert_ne!(a, b);
         assert_eq!(table.len(), 2);
-        assert_eq!(table.get(a).unwrap().tenant, "iot");
+        assert_eq!(&*table.get(a).unwrap().tenant, "iot");
         assert_eq!(table.get(b).unwrap().slot, 1);
+        assert_eq!(table.get(b).unwrap().tenant_idx, 1);
         assert_eq!(table.get(a).unwrap().state, SessionState::Pending);
 
         table.establish(a).unwrap();
         assert_eq!(table.get(a).unwrap().state, SessionState::Established);
         assert_eq!(
-            table.establish(a),
-            Err(GatewayError::SessionAlreadyEstablished(a))
+            table.establish(a).err(),
+            Some(GatewayError::SessionAlreadyEstablished(a))
         );
 
         assert_eq!(
@@ -147,8 +173,35 @@ mod tests {
             Some(GatewayError::UnknownSession(999))
         );
         let closed = table.close(a).unwrap();
-        assert_eq!(closed.tenant, "iot");
-        assert_eq!(table.close(a), Err(GatewayError::UnknownSession(a)));
+        assert_eq!(&*closed.tenant, "iot");
+        assert_eq!(table.close(a).err(), Some(GatewayError::UnknownSession(a)));
         assert_eq!(table.iter().count(), 1);
+    }
+
+    #[test]
+    fn stale_pending_is_driven_by_the_injected_now() {
+        let mut table = SessionTable::new();
+        let early = table.open(name("iot"), 0, 0, 0);
+        let late = table.open(name("iot"), 0, 0, 1_000);
+        let established = table.open(name("iot"), 0, 0, 0);
+        table.establish(established).unwrap();
+
+        // At now=0 nothing has aged (0 - 0 >= 0 holds only for zero cutoff).
+        assert!(table
+            .stale_pending(Duration::from_nanos(500), 0)
+            .iter()
+            .all(|id| *id == early));
+        // At now=600, only the early pending session crosses the cutoff.
+        assert_eq!(
+            table.stale_pending(Duration::from_nanos(500), 600),
+            vec![early]
+        );
+        // At now=2000 both pending sessions are stale; the established one
+        // never is.
+        let mut stale = table.stale_pending(Duration::from_nanos(500), 2_000);
+        stale.sort_unstable();
+        assert_eq!(stale, vec![early, late]);
+        // A zero cutoff sweeps every pending session regardless of age.
+        assert_eq!(table.stale_pending(Duration::ZERO, 0).len(), 2);
     }
 }

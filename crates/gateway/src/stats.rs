@@ -1,4 +1,11 @@
 //! Per-tenant and per-slot serving statistics.
+//!
+//! Counters live in two places to keep the runtime shared-nothing:
+//! admission-side tenant counters are atomics updated by whichever thread
+//! observes the event, while per-slot drain counters are owned exclusively
+//! by the shard worker that owns the slot and are *merged on read* — a
+//! [`crate::Gateway::stats`] call asks every shard for its rows and stitches
+//! the snapshot together.
 
 /// Counters the gateway keeps for one tenant.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -90,6 +97,8 @@ pub struct SlotStatsRow {
     pub tenant: String,
     /// Slot index within the tenant's pool.
     pub slot: usize,
+    /// The shard (worker thread) that owns the slot.
+    pub shard: usize,
     /// The counters.
     pub stats: SlotStats,
 }
@@ -114,6 +123,36 @@ impl GatewayStats {
     #[must_use]
     pub fn total_items(&self) -> u64 {
         self.slots.iter().map(|s| s.stats.items).sum()
+    }
+
+    /// Total simulated enclave cycles spent in drains, across all slots.
+    #[must_use]
+    pub fn total_drain_cycles(&self) -> u64 {
+        self.slots.iter().map(|s| s.stats.drain_cycles).sum()
+    }
+
+    /// Simulated drain cycles grouped by owning shard, keyed by shard index.
+    #[must_use]
+    pub fn drain_cycles_by_shard(&self) -> std::collections::BTreeMap<usize, u64> {
+        let mut by_shard = std::collections::BTreeMap::new();
+        for row in &self.slots {
+            *by_shard.entry(row.shard).or_insert(0) += row.stats.drain_cycles;
+        }
+        by_shard
+    }
+
+    /// The serving makespan in simulated cycles: shards drain their slots
+    /// sequentially but run concurrently with each other, so the workload's
+    /// critical path is the *busiest* shard's cycle total. With one shard
+    /// this equals [`GatewayStats::total_drain_cycles`]; the gap between the
+    /// two is exactly what shard-per-core parallelism buys (experiment E12).
+    #[must_use]
+    pub fn critical_path_drain_cycles(&self) -> u64 {
+        self.drain_cycles_by_shard()
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -148,10 +187,37 @@ mod tests {
             slots: vec![SlotStatsRow {
                 tenant: "a".into(),
                 slot: 0,
+                shard: 0,
                 stats: slot,
             }],
         };
         assert_eq!(stats.total_endorsed(), 3);
         assert_eq!(stats.total_items(), 8);
+    }
+
+    #[test]
+    fn shard_cycle_aggregation() {
+        let row = |shard: usize, cycles: u64| SlotStatsRow {
+            tenant: "a".into(),
+            slot: 0,
+            shard,
+            stats: SlotStats {
+                drain_cycles: cycles,
+                ..SlotStats::default()
+            },
+        };
+        let empty = GatewayStats::default();
+        assert_eq!(empty.critical_path_drain_cycles(), 0);
+
+        let stats = GatewayStats {
+            tenants: Vec::new(),
+            slots: vec![row(0, 10), row(1, 25), row(0, 5), row(1, 1)],
+        };
+        assert_eq!(stats.total_drain_cycles(), 41);
+        let by_shard = stats.drain_cycles_by_shard();
+        assert_eq!(by_shard[&0], 15);
+        assert_eq!(by_shard[&1], 26);
+        // The busiest shard is the critical path.
+        assert_eq!(stats.critical_path_drain_cycles(), 26);
     }
 }

@@ -165,7 +165,7 @@ fn mixed_tenant_serving_end_to_end() {
             panic!("expected endorsement");
         };
         assert_eq!(endorsement.client_id, *client);
-        let (own, other) = if response.tenant == IOT {
+        let (own, other) = if &*response.tenant == IOT {
             (&s.iot_material, &s.keyboard_material)
         } else {
             (&s.keyboard_material, &s.iot_material)

@@ -1,0 +1,371 @@
+//! Shard-per-core runtime invariants: the `&self` gateway handle really is
+//! safe to share across threads, concurrent serving neither loses nor
+//! duplicates nor cross-routes endorsements, shutdown drains in-flight work,
+//! sharding does not change what is computed (only who computes it), and
+//! stale-pending eviction follows the injected clock rather than wall time.
+
+use glimmer_core::blinding::BlindingService;
+use glimmer_core::host::GlimmerDescriptor;
+use glimmer_core::protocol::{
+    BatchOutcome, Contribution, ContributionPayload, PrivateData, ProcessResponse,
+};
+use glimmer_core::remote::IotDeviceSession;
+use glimmer_core::signing::ServiceKeyMaterial;
+use glimmer_crypto::drbg::Drbg;
+use glimmer_gateway::{Gateway, GatewayConfig, GatewayError, ManualClock, TenantConfig};
+use sgx_sim::AttestationService;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+const IOT: &str = "iot-telemetry.example";
+const KEYBOARD: &str = "nextwordpredictive.com";
+const DIM: usize = 4;
+
+// The tentpole claim, stated to the compiler: the gateway handle is a
+// shared-reference API safe to hand to any number of threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Gateway>();
+    assert_send_sync::<glimmer_gateway::GatewayResponse>();
+};
+
+struct Setup {
+    gateway: Gateway,
+    avs: AttestationService,
+    rng: Drbg,
+}
+
+fn setup(shards: usize, slots_per_tenant: usize) -> Setup {
+    let mut rng = Drbg::from_seed([80u8; 32]);
+    let mut avs = AttestationService::new([81u8; 32]);
+    let iot_material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+    let kb_material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+    let gateway = Gateway::new(
+        GatewayConfig {
+            slots_per_tenant,
+            shards,
+            ..GatewayConfig::default()
+        },
+        vec![
+            TenantConfig::new(
+                IOT,
+                GlimmerDescriptor::iot_default(Vec::new()),
+                iot_material.secret_bytes(),
+            ),
+            TenantConfig::new(
+                KEYBOARD,
+                GlimmerDescriptor::keyboard_range_only(),
+                kb_material.secret_bytes(),
+            ),
+        ],
+        &mut avs,
+        &mut rng,
+    )
+    .unwrap();
+    Setup { gateway, avs, rng }
+}
+
+/// One established device session plus everything needed to submit honest
+/// contributions and recognize its replies.
+struct Device {
+    tenant: &'static str,
+    session_id: u64,
+    client_id: u64,
+    session: IotDeviceSession,
+}
+
+/// Opens `per_tenant` sessions for both tenants, binds per-round masks, and
+/// returns the devices. `rounds` masks are installed per device.
+fn connect_devices(s: &mut Setup, per_tenant: usize, rounds: usize) -> Vec<Device> {
+    let mut devices = Vec::new();
+    for tenant in [IOT, KEYBOARD] {
+        let dim = if tenant == IOT { DIM } else { 8 };
+        let approved = s.gateway.measurement(tenant).unwrap();
+        let client_ids: Vec<u64> = (0..per_tenant as u64).collect();
+        let blinding = BlindingService::new([82u8; 32]);
+        let mask_rounds: Vec<_> = (0..rounds as u64)
+            .map(|round| blinding.zero_sum_masks(round, &client_ids, dim))
+            .collect();
+        for (i, client_id) in client_ids.iter().enumerate() {
+            let (session_id, offer) = s.gateway.open_session(tenant).unwrap();
+            let (accept, session) =
+                IotDeviceSession::connect(&offer, &s.avs, &approved, &mut s.rng).unwrap();
+            s.gateway.complete_session(session_id, &accept).unwrap();
+            for round in &mask_rounds {
+                s.gateway.install_mask(session_id, &round[i]).unwrap();
+            }
+            devices.push(Device {
+                tenant,
+                session_id,
+                client_id: *client_id,
+                session,
+            });
+        }
+    }
+    devices
+}
+
+fn contribution(tenant: &str, client_id: u64, round: u64) -> Contribution {
+    let dim = if tenant == IOT { DIM } else { 8 };
+    Contribution {
+        app_id: tenant.to_string(),
+        client_id,
+        round,
+        payload: if tenant == IOT {
+            ContributionPayload::IotReadings {
+                samples: vec![0.25; dim],
+            }
+        } else {
+            ContributionPayload::ModelUpdate {
+                weights: vec![0.5; dim],
+            }
+        },
+    }
+}
+
+#[test]
+fn concurrent_submit_and_drain_neither_loses_nor_duplicates_nor_cross_routes() {
+    const ROUNDS: usize = 3;
+    const PER_TENANT: usize = 4;
+    let mut s = setup(4, 2);
+    assert_eq!(s.gateway.shard_count(), 4);
+    let devices = connect_devices(&mut s, PER_TENANT, ROUNDS);
+    let expected_total = devices.len() * ROUNDS;
+    let expected_tenant: HashMap<u64, &'static str> =
+        devices.iter().map(|d| (d.session_id, d.tenant)).collect();
+
+    // Partition the devices into owned per-thread chunks: each submitter
+    // thread exclusively owns its devices (encryption needs `&mut`), while
+    // all threads share the one `&Gateway` handle.
+    let mut chunks: Vec<Vec<Device>> = Vec::new();
+    let mut iter = devices.into_iter();
+    loop {
+        let chunk: Vec<Device> = iter.by_ref().take(2).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+
+    let gateway = &s.gateway;
+    let submitted = AtomicUsize::new(0);
+    let responses = Mutex::new(Vec::new());
+    let devices_back: Mutex<Vec<Device>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        // Four submitter threads, submitting concurrently with each other
+        // and with the drainer.
+        for mut chunk in chunks {
+            let submitted = &submitted;
+            let devices_back = &devices_back;
+            scope.spawn(move || {
+                // Interleave rounds across this thread's devices.
+                for round in 0..ROUNDS {
+                    for device in chunk.iter_mut() {
+                        let request = device.session.encrypt_request(
+                            contribution(device.tenant, device.client_id, round as u64),
+                            PrivateData::None,
+                        );
+                        gateway.submit(device.session_id, request).unwrap();
+                        submitted.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                devices_back.lock().unwrap().extend(chunk);
+            });
+        }
+        // One drainer thread racing the submitters: keeps sweeping until
+        // every submitted request has come back.
+        let responses = &responses;
+        scope.spawn(move || {
+            let mut collected = 0usize;
+            let mut sweeps = 0usize;
+            while collected < expected_total {
+                sweeps += 1;
+                assert!(sweeps < 100_000, "drain loop did not converge");
+                let batch = gateway.drain().unwrap();
+                collected += batch.len();
+                responses.lock().unwrap().extend(batch);
+                // Let submitters make progress between empty sweeps.
+                if collected < expected_total {
+                    std::thread::yield_now();
+                }
+            }
+        });
+    });
+
+    let devices = devices_back.into_inner().unwrap();
+    assert_eq!(submitted.load(Ordering::SeqCst), expected_total);
+    let responses = responses.into_inner().unwrap();
+    // Nothing lost, nothing duplicated: exactly `ROUNDS` replies per session.
+    assert_eq!(responses.len(), expected_total);
+    let mut per_session: HashMap<u64, usize> = HashMap::new();
+    for response in &responses {
+        *per_session.entry(response.session_id).or_default() += 1;
+        // No cross-tenant leak: the reply is labelled with the tenant the
+        // session belongs to.
+        assert_eq!(
+            &*response.tenant, expected_tenant[&response.session_id],
+            "response for session {} routed under the wrong tenant",
+            response.session_id
+        );
+    }
+    assert_eq!(per_session.len(), devices.len());
+    assert!(per_session.values().all(|n| *n == ROUNDS));
+
+    // Every reply decrypts under its own device's channel keys (a reply
+    // produced by another tenant's enclave, or another session's keys, would
+    // fail AEAD opening) and every honest contribution was endorsed.
+    let mut devices: HashMap<u64, Device> =
+        devices.into_iter().map(|d| (d.session_id, d)).collect();
+    for response in &responses {
+        let BatchOutcome::Reply {
+            ciphertext,
+            endorsed,
+        } = &response.outcome
+        else {
+            panic!("unexpected outcome {:?}", response.outcome);
+        };
+        assert!(endorsed);
+        let device = devices.get_mut(&response.session_id).unwrap();
+        let ProcessResponse::Endorsed(endorsement) =
+            device.session.decrypt_response(ciphertext).unwrap()
+        else {
+            panic!("honest contribution was not endorsed");
+        };
+        assert_eq!(endorsement.client_id, device.client_id);
+        assert_eq!(endorsement.app_id, device.tenant);
+    }
+
+    // The merged stats agree with what the threads observed.
+    let stats = s.gateway.stats();
+    assert_eq!(stats.total_endorsed(), expected_total as u64);
+    assert_eq!(stats.total_items(), expected_total as u64);
+    for (name, tenant) in &stats.tenants {
+        assert_eq!(tenant.submitted, (PER_TENANT * ROUNDS) as u64, "{name}");
+        assert_eq!(tenant.endorsed, (PER_TENANT * ROUNDS) as u64, "{name}");
+        assert_eq!(tenant.failed, 0, "{name}");
+        assert_eq!(tenant.rejected, 0, "{name}");
+    }
+    // Every shard owns at least one slot at this shape (4 slots, 4 shards).
+    let shards: std::collections::BTreeSet<usize> =
+        stats.slots.iter().map(|row| row.shard).collect();
+    assert_eq!(shards.len(), 4);
+}
+
+#[test]
+fn shutdown_drains_in_flight_work() {
+    const ROUNDS: usize = 2;
+    let mut s = setup(2, 2);
+    let mut devices = connect_devices(&mut s, 3, ROUNDS);
+    for round in 0..ROUNDS {
+        for device in &mut devices {
+            let request = device.session.encrypt_request(
+                contribution(device.tenant, device.client_id, round as u64),
+                PrivateData::None,
+            );
+            s.gateway.submit(device.session_id, request).unwrap();
+        }
+    }
+    // Nothing drained yet: every request is still in-flight inside the
+    // runtime when shutdown begins.
+    assert_eq!(s.gateway.queued(IOT).unwrap(), 3 * ROUNDS);
+    let responses = s.gateway.shutdown().unwrap();
+    assert_eq!(responses.len(), devices.len() * ROUNDS);
+    assert!(responses
+        .iter()
+        .all(|r| matches!(r.outcome, BatchOutcome::Reply { endorsed: true, .. })));
+}
+
+#[test]
+fn sharding_changes_who_computes_not_what() {
+    // The same deterministic workload served at 1 and 4 shards must produce
+    // identical outcomes per session and identical total enclave cycles —
+    // sharding only redistributes the work. (This is the property that lets
+    // `shards: 1` stand in as the reproducible mode for E11.)
+    const ROUNDS: usize = 2;
+    let run = |shards: usize| {
+        let mut s = setup(shards, 4);
+        let mut devices = connect_devices(&mut s, 4, ROUNDS);
+        for round in 0..ROUNDS {
+            for device in &mut devices {
+                let request = device.session.encrypt_request(
+                    contribution(device.tenant, device.client_id, round as u64),
+                    PrivateData::None,
+                );
+                s.gateway.submit(device.session_id, request).unwrap();
+            }
+        }
+        let mut outcomes: Vec<(u64, String, bool)> = s
+            .gateway
+            .drain_all()
+            .unwrap()
+            .into_iter()
+            .map(|r| {
+                let endorsed = matches!(r.outcome, BatchOutcome::Reply { endorsed: true, .. });
+                (r.session_id, r.tenant.to_string(), endorsed)
+            })
+            .collect();
+        outcomes.sort();
+        (outcomes, s.gateway.stats().total_drain_cycles())
+    };
+    let (serial_outcomes, serial_cycles) = run(1);
+    let (sharded_outcomes, sharded_cycles) = run(4);
+    assert_eq!(serial_outcomes, sharded_outcomes);
+    assert_eq!(serial_cycles, sharded_cycles);
+    assert!(serial_cycles > 0);
+}
+
+#[test]
+fn eviction_follows_the_injected_clock() {
+    let clock = Arc::new(ManualClock::new());
+    let mut rng = Drbg::from_seed([83u8; 32]);
+    let mut avs = AttestationService::new([84u8; 32]);
+    let material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+    let gateway = Gateway::with_clock(
+        GatewayConfig::default(),
+        vec![TenantConfig::new(
+            IOT,
+            GlimmerDescriptor::iot_default(Vec::new()),
+            material.secret_bytes(),
+        )],
+        &mut avs,
+        &mut rng,
+        clock.clone(),
+    )
+    .unwrap();
+
+    // Two abandoned handshakes, opened thirty (manual) seconds apart.
+    let (early, _) = gateway.open_session(IOT).unwrap();
+    clock.advance(Duration::from_secs(30));
+    let (late, _) = gateway.open_session(IOT).unwrap();
+    // An established session never becomes stale, however old.
+    let approved = gateway.measurement(IOT).unwrap();
+    let (established, offer) = gateway.open_session(IOT).unwrap();
+    let (accept, _device) = IotDeviceSession::connect(&offer, &avs, &approved, &mut rng).unwrap();
+    gateway.complete_session(established, &accept).unwrap();
+
+    // Time has not advanced past the cutoff for anyone: nothing to evict.
+    assert!(gateway
+        .evict_stale_pending(Duration::from_secs(45))
+        .is_empty());
+    // Fifteen more seconds: only the early session has aged 45s.
+    clock.advance(Duration::from_secs(15));
+    assert_eq!(
+        gateway.evict_stale_pending(Duration::from_secs(45)),
+        vec![early]
+    );
+    // Another thirty: now the late one has aged past the cutoff too.
+    clock.advance(Duration::from_secs(30));
+    assert_eq!(
+        gateway.evict_stale_pending(Duration::from_secs(45)),
+        vec![late]
+    );
+    // The established session survived every sweep; the evicted ids are gone.
+    assert_eq!(gateway.live_sessions(), 1);
+    assert!(matches!(
+        gateway.submit(early, vec![0u8; 16]),
+        Err(GatewayError::UnknownSession(_))
+    ));
+}

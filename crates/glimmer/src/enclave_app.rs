@@ -14,7 +14,7 @@ use crate::channel::{ChannelAccept, ChannelKeys, GlimmerChannel};
 use crate::confidential::{open_predicate, BotVerdict, EncryptedPredicate};
 use crate::host::GlimmerDescriptor;
 use crate::protocol::{
-    ecall, BatchOutcome, BatchReply, BatchReplyItem, BatchRequest, EndorsedContribution,
+    ecall, BatchOutcome, BatchReply, BatchReplyItem, BatchRequestView, EndorsedContribution,
     PrivateData, ProcessRequest, ProcessResponse, SessionAcceptRequest, SessionMaskRequest,
     SessionOpenRequest,
 };
@@ -665,21 +665,38 @@ impl GlimmerEnclaveProgram {
     }
 
     fn process_batch(&mut self, env: &mut dyn EnclaveEnv, data: &[u8]) -> Result<Vec<u8>, String> {
-        let batch = BatchRequest::from_wire(data).map_err(|e| e.to_string())?;
-        if batch.items.len() > MAX_BATCH_ITEMS {
+        // Zero-copy parse: each item's ciphertext borrows `data` instead of
+        // being copied into a fresh Vec. The batch limit is enforced from the
+        // declared count, before any payload is touched.
+        let view = BatchRequestView::new(data).map_err(|e| e.to_string())?;
+        if view.len() > MAX_BATCH_ITEMS {
             return Err(format!(
                 "batch of {} items exceeds the {MAX_BATCH_ITEMS}-item limit",
-                batch.items.len()
+                view.len()
             ));
         }
+        // Parse the WHOLE batch before processing any of it (the collected
+        // refs are (id, &[u8]) pairs — still no ciphertext copies). Batch
+        // processing must stay all-or-nothing on malformed encodings: if a
+        // decode error surfaced mid-loop, the already-processed items would
+        // have consumed replay nonces inside an ECALL that then failed, and
+        // the host's retry of those items would be rejected as replays.
+        let mut view = view;
+        let mut items = Vec::with_capacity(view.len());
+        for item in view.by_ref() {
+            items.push(item.map_err(|e| e.to_string())?);
+        }
+        // Reject trailing garbage after the declared items, exactly like the
+        // owned `BatchRequest::from_wire` path did.
+        view.finish().map_err(|e| e.to_string())?;
         let mut reply = BatchReply {
-            items: Vec::with_capacity(batch.items.len()),
+            items: Vec::with_capacity(items.len()),
         };
         // Clone each session's keys at most once per batch, not per item
         // (the cache is a local, so borrowing from it is disjoint from the
         // `&mut self` the processing call needs).
         let mut key_cache: HashMap<u64, ChannelKeys> = HashMap::new();
-        for item in batch.items {
+        for item in items {
             if let std::collections::hash_map::Entry::Vacant(slot) =
                 key_cache.entry(item.session_id)
             {
@@ -692,7 +709,7 @@ impl GlimmerEnclaveProgram {
                     env,
                     keys,
                     Some(item.session_id),
-                    &item.ciphertext,
+                    item.ciphertext,
                 ) {
                     Ok((ciphertext, endorsed)) => BatchOutcome::Reply {
                         ciphertext,

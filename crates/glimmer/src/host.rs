@@ -269,6 +269,14 @@ pub struct GlimmerClient {
     descriptor: GlimmerDescriptor,
 }
 
+// A client owns its platform outright, so it can move to whichever thread
+// serves it — the gateway runtime relies on this to hand pool slots to
+// shard workers. Not `Sync`: ECALLs take `&mut self`.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<GlimmerClient>();
+};
+
 impl GlimmerClient {
     /// Creates a fresh platform and instantiates the Glimmer on it.
     pub fn new(

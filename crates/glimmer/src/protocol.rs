@@ -574,6 +574,107 @@ impl WireCodec for BatchItem {
     }
 }
 
+/// A [`BatchItem`] decoded without copying: the ciphertext borrows the wire
+/// buffer it arrived in.
+///
+/// This is the enclave's zero-copy fast path for `PROCESS_BATCH`: a batch of
+/// N contributions used to cost N ciphertext allocations just to *parse* the
+/// request, before any of them was processed. Borrowing instead makes the
+/// parse allocation-free, which matters once shard workers drain batches in
+/// parallel and the allocator becomes a shared bottleneck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchItemRef<'a> {
+    /// The session whose channel keys protect `ciphertext`.
+    pub session_id: u64,
+    /// Nonce-prefixed AEAD ciphertext of a [`ProcessRequest`], borrowed from
+    /// the batch's wire encoding.
+    pub ciphertext: &'a [u8],
+}
+
+impl<'a> BatchItemRef<'a> {
+    /// Decodes one item, borrowing the ciphertext from the decoder's buffer.
+    pub fn decode(dec: &mut Decoder<'a>) -> Result<Self, WireError> {
+        Ok(BatchItemRef {
+            session_id: dec.get_u64()?,
+            ciphertext: dec.get_bytes_ref()?,
+        })
+    }
+
+    /// An owning copy of this item.
+    #[must_use]
+    pub fn to_owned(&self) -> BatchItem {
+        BatchItem {
+            session_id: self.session_id,
+            ciphertext: self.ciphertext.to_vec(),
+        }
+    }
+}
+
+/// A lazily-decoded view over a `BatchRequest` wire encoding: yields
+/// [`BatchItemRef`]s that borrow their ciphertexts from the input buffer.
+///
+/// The item count is read eagerly (so callers can enforce batch limits
+/// before touching any payload); the items themselves decode as the view is
+/// iterated. Wire-format errors surface as `Err` items, after which the
+/// iterator fuses.
+#[derive(Debug)]
+pub struct BatchRequestView<'a> {
+    dec: Decoder<'a>,
+    remaining: usize,
+    poisoned: bool,
+}
+
+impl<'a> BatchRequestView<'a> {
+    /// Opens a view over `data`, reading only the item count.
+    pub fn new(data: &'a [u8]) -> Result<Self, WireError> {
+        let mut dec = Decoder::new(data);
+        let remaining = dec.get_varint()? as usize;
+        Ok(BatchRequestView {
+            dec,
+            remaining,
+            poisoned: false,
+        })
+    }
+
+    /// Declared number of items not yet yielded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.remaining
+    }
+
+    /// True when no items remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Fails with [`WireError::TrailingBytes`] unless every declared item
+    /// has been yielded and the underlying buffer is exhausted — the same
+    /// strictness `BatchRequest::from_wire` enforces via `Decoder::finish`.
+    /// Call after iteration when the encoding comes from an untrusted peer.
+    pub fn finish(&self) -> Result<(), WireError> {
+        self.dec.finish()
+    }
+}
+
+impl<'a> Iterator for BatchRequestView<'a> {
+    type Item = Result<BatchItemRef<'a>, WireError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.poisoned || self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        match BatchItemRef::decode(&mut self.dec) {
+            Ok(item) => Some(Ok(item)),
+            Err(e) => {
+                self.poisoned = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
 /// Request marshalled into the `PROCESS_BATCH` ECALL: every queued encrypted
 /// contribution for this enclave, crossing the boundary in one transition.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -888,6 +989,70 @@ mod tests {
         };
         assert_eq!(BatchReply::from_wire(&reply.to_wire()).unwrap(), reply);
         assert!(BatchReplyItem::from_wire(&[0u8; 9]).is_err());
+    }
+
+    #[test]
+    fn batch_view_borrows_without_copying_and_agrees_with_owned_decode() {
+        let batch = BatchRequest {
+            items: vec![
+                BatchItem {
+                    session_id: 7,
+                    ciphertext: vec![0xAB; 24],
+                },
+                BatchItem {
+                    session_id: 9,
+                    ciphertext: vec![],
+                },
+                BatchItem {
+                    session_id: 7,
+                    ciphertext: vec![1, 2, 3],
+                },
+            ],
+        };
+        let wire = batch.to_wire();
+        let view = BatchRequestView::new(&wire).unwrap();
+        assert_eq!(view.len(), 3);
+        let items: Vec<BatchItemRef<'_>> = view.map(Result::unwrap).collect();
+        // Same contents as the owned decode...
+        assert_eq!(
+            items.iter().map(BatchItemRef::to_owned).collect::<Vec<_>>(),
+            BatchRequest::from_wire(&wire).unwrap().items
+        );
+        // ...and the ciphertexts alias the wire buffer (true zero-copy).
+        let wire_range = wire.as_ptr() as usize..wire.as_ptr() as usize + wire.len();
+        for item in &items {
+            if !item.ciphertext.is_empty() {
+                assert!(wire_range.contains(&(item.ciphertext.as_ptr() as usize)));
+            }
+        }
+
+        // A fully-consumed well-formed view passes the finish check.
+        let mut view = BatchRequestView::new(&wire).unwrap();
+        assert!(view.by_ref().all(|item| item.is_ok()));
+        view.finish().unwrap();
+
+        // Trailing garbage after the declared items is rejected, exactly as
+        // the owned decode path rejects it.
+        let mut trailing = wire.clone();
+        trailing.push(0xEE);
+        let mut view = BatchRequestView::new(&trailing).unwrap();
+        assert!(view.by_ref().all(|item| item.is_ok()));
+        assert_eq!(view.finish(), Err(WireError::TrailingBytes(1)));
+        assert!(BatchRequest::from_wire(&trailing).is_err());
+
+        // A truncated encoding yields an error item, then fuses.
+        let mut view = BatchRequestView::new(&wire[..wire.len() - 2]).unwrap();
+        assert!(view.next().unwrap().is_ok());
+        assert!(view.next().unwrap().is_ok());
+        assert!(view.next().unwrap().is_err());
+        assert!(view.next().is_none());
+
+        // Empty batches are empty views.
+        assert!(BatchRequestView::new(&BatchRequest::default().to_wire())
+            .unwrap()
+            .is_empty());
+        // Garbage input errors at open (count varint) rather than panicking.
+        assert!(BatchRequestView::new(&[0x80u8; 11]).is_err());
     }
 
     #[test]

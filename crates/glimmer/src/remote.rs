@@ -35,6 +35,15 @@ pub struct RemoteGlimmerHost {
     client: GlimmerClient,
 }
 
+// Hosts and device sessions are self-contained state machines, so serving
+// stacks may move them freely across threads (the gateway's stress tests
+// drive device sessions from multiple submitter threads).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<RemoteGlimmerHost>();
+    assert_send::<IotDeviceSession>();
+};
+
 impl RemoteGlimmerHost {
     /// Creates the host, instantiates the Glimmer, and provisions the
     /// platform for remote attestation.

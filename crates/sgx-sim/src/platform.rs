@@ -107,6 +107,17 @@ pub struct Platform {
     rng: Drbg,
 }
 
+// A platform (and everything inside it, including hosted enclave programs —
+// `EnclaveProgram: Send` is part of that trait's contract) can migrate to a
+// worker thread: the gateway's shard-per-core runtime moves each pool slot's
+// platform into the shard that owns it. `Sync` is deliberately NOT promised:
+// enclave transitions take `&mut self`, so a platform is single-threaded at
+// any instant, and cross-thread serving goes through message passing.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Platform>();
+};
+
 impl Platform {
     /// Creates a platform, drawing its identity and secrets from `rng`.
     #[must_use]

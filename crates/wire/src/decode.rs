@@ -133,19 +133,36 @@ impl<'a> Decoder<'a> {
         Ok(out)
     }
 
-    /// Reads a varint-length-prefixed byte string.
-    pub fn get_bytes(&mut self) -> Result<Vec<u8>> {
+    /// Reads a varint-length-prefixed byte string as a borrow of the input.
+    ///
+    /// This is the zero-copy fast path: the returned slice aliases the
+    /// decoder's underlying buffer, so hot paths (the gateway's
+    /// `PROCESS_BATCH` decoding) can hand ciphertexts onward without an
+    /// allocation per field. Use [`Decoder::get_bytes`] when an owned copy
+    /// is actually needed.
+    pub fn get_bytes_ref(&mut self) -> Result<&'a [u8]> {
         let len = self.get_varint()?;
         if len > MAX_FIELD_LEN {
             return Err(WireError::LengthOverflow(len));
         }
-        self.get_raw(len as usize)
+        self.take(len as usize)
+    }
+
+    /// Reads a varint-length-prefixed UTF-8 string as a borrow of the input
+    /// (zero-copy counterpart of [`Decoder::get_str`]).
+    pub fn get_str_ref(&mut self) -> Result<&'a str> {
+        let bytes = self.get_bytes_ref()?;
+        core::str::from_utf8(bytes).map_err(|_| WireError::InvalidUtf8)
+    }
+
+    /// Reads a varint-length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>> {
+        Ok(self.get_bytes_ref()?.to_vec())
     }
 
     /// Reads a varint-length-prefixed UTF-8 string.
     pub fn get_str(&mut self) -> Result<String> {
-        let bytes = self.get_bytes()?;
-        String::from_utf8(bytes).map_err(|_| WireError::InvalidUtf8)
+        Ok(self.get_str_ref()?.to_string())
     }
 
     /// Reads a length-prefixed vector of `u64` values.
@@ -249,6 +266,56 @@ mod tests {
         // Trailing bytes are reported by finish().
         let dec = Decoder::new(&[1, 2, 3]);
         assert_eq!(dec.finish(), Err(WireError::TrailingBytes(3)));
+    }
+
+    #[test]
+    fn borrowed_variants_agree_with_owned_and_outlive_the_decoder() {
+        let mut enc = Encoder::new();
+        enc.put_bytes(b"ciphertext-bytes");
+        enc.put_str("naïve");
+        enc.put_bytes(b"");
+        let bytes = enc.into_bytes();
+
+        // The borrows tie to the input buffer, not the decoder value: they
+        // remain usable after the decoder itself is dropped.
+        let (raw, s, empty) = {
+            let mut dec = Decoder::new(&bytes);
+            let raw = dec.get_bytes_ref().unwrap();
+            let s = dec.get_str_ref().unwrap();
+            let empty = dec.get_bytes_ref().unwrap();
+            dec.finish().unwrap();
+            (raw, s, empty)
+        };
+        assert_eq!(raw, b"ciphertext-bytes");
+        assert_eq!(s, "naïve");
+        assert!(empty.is_empty());
+
+        // And the owned variants decode identically.
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_bytes().unwrap(), raw);
+        assert_eq!(dec.get_str().unwrap(), s);
+
+        // Error behaviour matches the owned paths.
+        let mut truncated = Encoder::new();
+        truncated.put_varint(100);
+        let truncated = truncated.into_bytes();
+        assert!(Decoder::new(&truncated).get_bytes_ref().is_err());
+
+        let mut oversized = Encoder::new();
+        oversized.put_varint(MAX_FIELD_LEN + 1);
+        let oversized = oversized.into_bytes();
+        assert!(matches!(
+            Decoder::new(&oversized).get_bytes_ref(),
+            Err(WireError::LengthOverflow(_))
+        ));
+
+        let mut invalid = Encoder::new();
+        invalid.put_bytes(&[0xFF, 0xFE]);
+        let invalid = invalid.into_bytes();
+        assert_eq!(
+            Decoder::new(&invalid).get_str_ref(),
+            Err(WireError::InvalidUtf8)
+        );
     }
 
     #[test]

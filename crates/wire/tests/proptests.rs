@@ -52,6 +52,31 @@ proptest! {
     }
 
     #[test]
+    fn borrowed_decodes_agree_with_owned(
+        s in "[a-zA-Z0-9 àéïöü]{0,40}",
+        bytes in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let mut enc = Encoder::new();
+        enc.put_str(&s);
+        enc.put_bytes(&bytes);
+        let encoded = enc.into_bytes();
+
+        let mut owned = Decoder::new(&encoded);
+        let mut borrowed = Decoder::new(&encoded);
+        prop_assert_eq!(owned.get_str().unwrap(), borrowed.get_str_ref().unwrap());
+        prop_assert_eq!(owned.get_bytes().unwrap(), borrowed.get_bytes_ref().unwrap());
+        borrowed.finish().unwrap();
+
+        // On arbitrary garbage, the two paths agree on success/failure.
+        let mut owned = Decoder::new(&bytes);
+        let mut borrowed = Decoder::new(&bytes);
+        prop_assert_eq!(owned.get_bytes().ok(), borrowed.get_bytes_ref().ok().map(<[u8]>::to_vec));
+        let mut owned = Decoder::new(&bytes);
+        let mut borrowed = Decoder::new(&bytes);
+        prop_assert_eq!(owned.get_str().ok(), borrowed.get_str_ref().ok().map(str::to_string));
+    }
+
+    #[test]
     fn frame_round_trip(msg_type in any::<u16>(), payload in proptest::collection::vec(any::<u8>(), 0..512)) {
         let frame = Frame::new(msg_type, payload);
         prop_assert_eq!(Frame::from_bytes(&frame.to_bytes()).unwrap(), frame);

@@ -34,9 +34,12 @@ fn main() {
     // The gateway operator enrolls two tenants and pre-provisions a pool of
     // enclaves for each: image build, attestation, and key installation all
     // happen here, before any device connects.
-    let mut gateway = Gateway::new(
+    let gateway = Gateway::new(
         GatewayConfig {
             slots_per_tenant: 3,
+            // Two shard workers split the six slots; the handle stays `&self`
+            // either way, so serving code is identical at any shard count.
+            shards: 2,
             max_batch: 64,
             ..GatewayConfig::default()
         },
@@ -187,7 +190,7 @@ fn main() {
         };
         match session.decrypt_response(ciphertext).unwrap() {
             ProcessResponse::Endorsed(endorsed)
-                if response.tenant == IOT && endorsed.round == 0 =>
+                if &*response.tenant == IOT && endorsed.round == 0 =>
             {
                 iot_service.submit(&endorsed).unwrap();
                 present.push(endorsed.client_id);
