@@ -10,6 +10,11 @@
 //! `shard_scaling/S` serves an identical 8-slot workload with S worker
 //! shards; on a multicore host the drain wall-clock drops as S grows (the
 //! deterministic counterpart is E12's critical-path cycle metric).
+//! `gateway_batched/*` compares admission paths over identical steady-state
+//! traffic: per-request `submit`, bulk `submit_batch` in chunks, and
+//! per-session `submit_many` — the batched paths pay the admission atomics
+//! and the shard-queue command once per group (E13 is the deterministic
+//! counterpart).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use glimmer_core::blinding::BlindingService;
@@ -61,6 +66,7 @@ fn bench_serving(c: &mut Criterion) {
                     shards: 1,
                     max_batch: 256,
                     max_queue_depth: 4096,
+                    placement_session_weight: 4,
                     platform_config: PlatformConfig::default(),
                 },
                 vec![TenantConfig::new(
@@ -178,6 +184,7 @@ fn bench_shard_scaling(c: &mut Criterion) {
                 shards,
                 max_batch: 256,
                 max_queue_depth: 4096,
+                placement_session_weight: 4,
                 platform_config: PlatformConfig::default(),
             },
             vec![TenantConfig::new(
@@ -225,9 +232,144 @@ fn bench_shard_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// A gateway plus established device sessions, ready for steady-state
+/// submission benches.
+struct BatchedSetup {
+    gateway: Gateway,
+    established: Vec<(u64, u64, IotDeviceSession)>,
+}
+
+fn batched_setup(sessions: usize, slots: usize, seeds: (u8, u8)) -> BatchedSetup {
+    let clients: Vec<u64> = (0..sessions as u64).collect();
+    let masks = BlindingService::new([15u8; 32]).zero_sum_masks(0, &clients, DIM);
+    let mut rng = Drbg::from_seed([seeds.0; 32]);
+    let mut avs = AttestationService::new([seeds.1; 32]);
+    let material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+    let gateway = Gateway::new(
+        GatewayConfig {
+            slots_per_tenant: slots,
+            shards: 1,
+            max_batch: 256,
+            max_queue_depth: 4096,
+            placement_session_weight: 4,
+            platform_config: PlatformConfig::default(),
+        },
+        vec![TenantConfig::new(
+            APP,
+            GlimmerDescriptor::iot_default(Vec::new()),
+            material.secret_bytes(),
+        )],
+        &mut avs,
+        &mut rng,
+    )
+    .unwrap();
+    let approved = gateway.measurement(APP).unwrap();
+    let mut established = Vec::with_capacity(sessions);
+    for client in &clients {
+        let (sid, offer) = gateway.open_session(APP).unwrap();
+        let (accept, device) =
+            IotDeviceSession::connect(&offer, &avs, &approved, &mut rng).unwrap();
+        gateway.complete_session(sid, &accept).unwrap();
+        gateway.install_mask(sid, &masks[*client as usize]).unwrap();
+        established.push((sid, *client, device));
+    }
+    BatchedSetup {
+        gateway,
+        established,
+    }
+}
+
+/// Drains everything queued and asserts every reply is an endorsement.
+fn drain_all_endorsed(gateway: &Gateway) -> usize {
+    let mut endorsed = 0usize;
+    for response in gateway.drain_all().unwrap() {
+        let BatchOutcome::Reply { endorsed: e, .. } = &response.outcome else {
+            panic!("bench item failed: {:?}", response.outcome);
+        };
+        assert!(e, "bench traffic is honest");
+        endorsed += 1;
+    }
+    endorsed
+}
+
+fn bench_batched_submission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gateway_batched");
+    const SESSIONS: usize = 64;
+    const SLOTS: usize = 2;
+    const CHUNK: usize = 16;
+
+    // Per-request baseline: one `submit` call (one admission sequence, one
+    // shard-queue command) per request.
+    {
+        let BatchedSetup {
+            gateway,
+            mut established,
+        } = batched_setup(SESSIONS, SLOTS, (26, 27));
+        group.throughput(Throughput::Elements(SESSIONS as u64));
+        group.bench_function(BenchmarkId::new("per_request", SESSIONS), |b| {
+            b.iter(|| {
+                for (sid, client, device) in &mut established {
+                    let request = device.encrypt_request(contribution(*client), PrivateData::None);
+                    gateway.submit(*sid, request).unwrap();
+                }
+                drain_all_endorsed(&gateway)
+            })
+        });
+    }
+
+    // Bulk producer: the same traffic admitted in `submit_batch` chunks —
+    // admission reservation and the shard command are paid per chunk.
+    {
+        let BatchedSetup {
+            gateway,
+            mut established,
+        } = batched_setup(SESSIONS, SLOTS, (28, 29));
+        group.throughput(Throughput::Elements(SESSIONS as u64));
+        group.bench_function(BenchmarkId::new("submit_batch", CHUNK), |b| {
+            b.iter(|| {
+                for window in established.chunks_mut(CHUNK) {
+                    let mut chunk = Vec::with_capacity(window.len());
+                    for (sid, client, device) in window.iter_mut() {
+                        let request =
+                            device.encrypt_request(contribution(*client), PrivateData::None);
+                        chunk.push((*sid, request));
+                    }
+                    gateway.submit_batch(chunk).unwrap();
+                }
+                drain_all_endorsed(&gateway)
+            })
+        });
+    }
+
+    // Per-session streams: each session submits CHUNK requests as one
+    // `submit_many` group.
+    {
+        const STREAM_SESSIONS: usize = 16;
+        let BatchedSetup {
+            gateway,
+            mut established,
+        } = batched_setup(STREAM_SESSIONS, SLOTS, (30, 31));
+        group.throughput(Throughput::Elements((STREAM_SESSIONS * CHUNK) as u64));
+        group.bench_function(BenchmarkId::new("submit_many", CHUNK), |b| {
+            b.iter(|| {
+                for (sid, client, device) in &mut established {
+                    let mut stream = Vec::with_capacity(CHUNK);
+                    for _ in 0..CHUNK {
+                        stream
+                            .push(device.encrypt_request(contribution(*client), PrivateData::None));
+                    }
+                    gateway.submit_many(*sid, stream).unwrap();
+                }
+                drain_all_endorsed(&gateway)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_serving, bench_shard_scaling
+    targets = bench_serving, bench_shard_scaling, bench_batched_submission
 }
 criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! A counting global allocator, so experiments can report
+//! **allocations/request** as a first-class metric (E13).
+//!
+//! The counters are always compiled (and always readable), but the
+//! allocator itself is only installed as `#[global_allocator]` when the
+//! crate is built with the `count-allocs` feature:
+//!
+//! ```text
+//! cargo run --release -p glimmer_bench --features count-allocs \
+//!     --bin e13_batched_hot_path -- --smoke
+//! ```
+//!
+//! Without the feature the counters simply stay at zero and
+//! [`counting_enabled`] returns `false`, which is how E13 decides whether
+//! its allocation columns (and the test bar on them) are meaningful.
+//! Counting is intentionally cheap — two relaxed atomic adds per
+//! allocation — but still perturbs timing, which is why it is opt-in
+//! rather than always on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Whether the counting allocator is installed in this build
+/// (`count-allocs` feature).
+#[must_use]
+pub fn counting_enabled() -> bool {
+    cfg!(feature = "count-allocs")
+}
+
+/// Heap allocations observed since process start (`realloc` counts as one).
+/// Always zero unless [`counting_enabled`].
+#[must_use]
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Total bytes requested from the allocator since process start. Always
+/// zero unless [`counting_enabled`].
+#[must_use]
+pub fn allocated_bytes() -> u64 {
+    ALLOCATED_BYTES.load(Ordering::Relaxed)
+}
+
+/// Allocation counters captured at one instant; subtract two snapshots to
+/// get the cost of a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Allocations at snapshot time.
+    pub allocations: u64,
+    /// Bytes at snapshot time.
+    pub bytes: u64,
+}
+
+impl AllocSnapshot {
+    /// Captures the current counters.
+    #[must_use]
+    pub fn now() -> Self {
+        AllocSnapshot {
+            allocations: allocations(),
+            bytes: allocated_bytes(),
+        }
+    }
+
+    /// Allocations that happened after `earlier`.
+    #[must_use]
+    pub fn allocations_since(&self, earlier: &AllocSnapshot) -> u64 {
+        self.allocations.saturating_sub(earlier.allocations)
+    }
+
+    /// Bytes allocated after `earlier`.
+    #[must_use]
+    pub fn bytes_since(&self, earlier: &AllocSnapshot) -> u64 {
+        self.bytes.saturating_sub(earlier.bytes)
+    }
+}
+
+#[cfg(feature = "count-allocs")]
+mod install {
+    use super::{ALLOCATED_BYTES, ALLOCATIONS};
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::Ordering;
+
+    /// Delegates every call to the [`System`] allocator, counting
+    /// allocations and requested bytes on the way through. Deallocations
+    /// are not tracked: the metric of interest is allocator *pressure*
+    /// (calls into the allocator per request), not live-heap size.
+    pub struct CountingAllocator;
+
+    #[allow(unsafe_code)] // GlobalAlloc is an unsafe trait; pure delegation.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAllocator = CountingAllocator;
+}
+
+#[cfg(feature = "count-allocs")]
+pub use install::CountingAllocator;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_reflect_the_build_mode() {
+        let before = AllocSnapshot::now();
+        let grown: Vec<u8> = (0..4096).map(|i| i as u8).collect();
+        assert_eq!(grown.len(), 4096);
+        let after = AllocSnapshot::now();
+        if counting_enabled() {
+            assert!(after.allocations_since(&before) >= 1);
+            assert!(after.bytes_since(&before) >= 4096);
+        } else {
+            assert_eq!(allocations(), 0);
+            assert_eq!(allocated_bytes(), 0);
+            assert_eq!(after.allocations_since(&before), 0);
+        }
+    }
+}

@@ -2,16 +2,21 @@
 //!
 //! The paper (HotOS 2017) has no measurement tables; its figures are
 //! architecture and scenario illustrations. This crate therefore defines
-//! twelve experiments derived from the figures, worked examples, and
+//! the experiments derived from the figures, worked examples, and
 //! quantitative claims — E1–E10 from the paper plus E11 (the gateway
-//! serving comparison) and E12 (shard-per-core runtime scaling) — and
-//! implements each one as a reusable function plus a binary that prints
-//! the corresponding table. The Criterion benches under `benches/` cover
-//! the micro-benchmarks (crypto, enclave transitions, blinding,
-//! validation, end-to-end pipeline).
+//! serving comparison), E12 (shard-per-core runtime scaling), and E13
+//! (the batched, allocation-lean hot path) — and implements each one as a
+//! reusable function plus a binary that prints the corresponding table.
+//! The Criterion benches under `benches/` cover the micro-benchmarks
+//! (crypto, enclave transitions, blinding, validation, end-to-end
+//! pipeline).
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the opt-in `count-allocs` feature installs a
+// counting global allocator, whose `GlobalAlloc` impl is necessarily
+// `unsafe` and carries a scoped `allow` (see `alloc_track`).
+#![deny(unsafe_code)]
 
+pub mod alloc_track;
 pub mod experiments;
 
 pub use experiments::*;

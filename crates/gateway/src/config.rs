@@ -82,6 +82,15 @@ pub struct GatewayConfig {
     /// Most requests queued on one slot before submits are rejected with
     /// backpressure.
     pub max_queue_depth: usize,
+    /// Weight of one live session, in queued-request units, in the
+    /// queue-depth-aware placement score `open_session` minimizes
+    /// (`queue_depth + weight * active_sessions`). A bound-but-idle session
+    /// predicts future queue depth, so it counts as this many queued
+    /// requests when choosing the least-loaded slot; `0` places purely by
+    /// instantaneous queue depth. With idle queues any weight `>= 1`
+    /// reproduces the historical round-robin-by-session placement, which is
+    /// what keeps the E11/E12 cycle metrics stable.
+    pub placement_session_weight: usize,
     /// Platform parameters for every pool slot.
     pub platform_config: PlatformConfig,
 }
@@ -93,6 +102,7 @@ impl Default for GatewayConfig {
             shards: 1,
             max_batch: 256,
             max_queue_depth: 1024,
+            placement_session_weight: 4,
             platform_config: PlatformConfig::default(),
         }
     }
@@ -110,6 +120,9 @@ mod tests {
         assert_eq!(config.shards, 1);
         assert!(config.max_batch >= 1);
         assert!(config.max_queue_depth >= config.max_batch);
+        // Weight >= 1 keeps idle-queue placement identical to the
+        // pre-placement-policy round-robin-by-session behaviour.
+        assert!(config.placement_session_weight >= 1);
 
         let quota = TenantQuota::default();
         assert!(quota.endorsement_budget.is_none());

@@ -1,6 +1,7 @@
 //! Typed gateway rejections.
 
 use glimmer_core::GlimmerError;
+use std::sync::Arc;
 
 /// Which per-tenant limit an admission decision tripped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,8 +46,10 @@ pub enum GatewayError {
     SessionAlreadyEstablished(u64),
     /// The slot's queue is full; the caller should back off and retry.
     Backpressure {
-        /// Owning tenant.
-        tenant: String,
+        /// Owning tenant — the gateway's interned label (an `Arc<str>`
+        /// clone), so the throttle/backpressure rejection path never
+        /// allocates a fresh `String` per rejected request.
+        tenant: Arc<str>,
         /// The overloaded slot.
         slot: usize,
         /// Its queue depth at rejection time.
@@ -54,8 +57,9 @@ pub enum GatewayError {
     },
     /// A per-tenant quota is exhausted.
     QuotaExceeded {
-        /// The tenant whose quota tripped.
-        tenant: String,
+        /// The tenant whose quota tripped (interned label; see
+        /// [`GatewayError::Backpressure`]).
+        tenant: Arc<str>,
         /// Which limit.
         resource: QuotaResource,
     },
@@ -140,7 +144,7 @@ mod tests {
             (GatewayError::SessionAlreadyEstablished(9), "already"),
             (
                 GatewayError::Backpressure {
-                    tenant: "iot".to_string(),
+                    tenant: Arc::from("iot"),
                     slot: 2,
                     depth: 64,
                 },
@@ -148,7 +152,7 @@ mod tests {
             ),
             (
                 GatewayError::QuotaExceeded {
-                    tenant: "iot".to_string(),
+                    tenant: Arc::from("iot"),
                     resource: QuotaResource::Endorsements,
                 },
                 "endorsements",

@@ -149,6 +149,7 @@ impl Gateway {
             clock,
             tenants: metas,
             table: Mutex::new(SessionTable::new()),
+            submit_commands: std::sync::atomic::AtomicU64::new(0),
         });
 
         let mut senders = Vec::with_capacity(shards);
@@ -160,6 +161,7 @@ impl Gateway {
                 shared: Arc::clone(&shared),
                 slots,
                 rx,
+                scratch: Default::default(),
             };
             let handle = std::thread::Builder::new()
                 .name(format!("gateway-shard-{shard_id}"))
@@ -222,17 +224,26 @@ impl Gateway {
             .clone())
     }
 
-    /// Picks the least-loaded slot of a tenant for a new session: fewest
-    /// active sessions, breaking ties by shallowest queue, then lowest slot
-    /// id — same policy as the pre-runtime pool, now over shared gauges.
-    fn least_loaded_slot(meta: &TenantMeta) -> usize {
+    /// Queue-depth-aware placement: scores every slot of the tenant as
+    /// `queue_depth + session_weight * active_sessions` and picks the
+    /// minimum (ties: fewest sessions, then lowest slot id).
+    ///
+    /// Counting live queue depth — not just session count — is what keeps a
+    /// hot tenant from skewing one shard: slots map statically to shards, so
+    /// steering new sessions away from deep queues flattens the E12
+    /// critical-path metric. Sessions still weigh in (at
+    /// [`crate::GatewayConfig::placement_session_weight`] queued-request
+    /// units each) because a bound-but-idle session predicts future load.
+    fn least_loaded_slot(meta: &TenantMeta, session_weight: usize) -> usize {
         meta.slots
             .iter()
             .enumerate()
             .min_by_key(|(id, info)| {
+                let sessions = info.gauges.active_sessions.load(Ordering::SeqCst);
+                let depth = info.gauges.queue_depth.load(Ordering::SeqCst);
                 (
-                    info.gauges.active_sessions.load(Ordering::SeqCst),
-                    info.gauges.queue_depth.load(Ordering::SeqCst),
+                    depth.saturating_add(session_weight.saturating_mul(sessions)),
+                    sessions,
                     *id,
                 )
             })
@@ -253,11 +264,11 @@ impl Gateway {
             meta.live_sessions.fetch_sub(1, Ordering::SeqCst);
             meta.counters.throttled.fetch_add(1, Ordering::SeqCst);
             return Err(GatewayError::QuotaExceeded {
-                tenant: tenant.to_string(),
+                tenant: meta.name.clone(),
                 resource: QuotaResource::Sessions,
             });
         }
-        let slot_id = Self::least_loaded_slot(meta);
+        let slot_id = Self::least_loaded_slot(meta, self.shared.config.placement_session_weight);
         let info = &meta.slots[slot_id];
         info.gauges.active_sessions.fetch_add(1, Ordering::SeqCst);
         let session_id = self
@@ -530,6 +541,82 @@ impl Gateway {
         Self::recv(&rx)?
     }
 
+    /// Reserve-then-check admission for a group of `n` requests bound for
+    /// one slot, paid as **one** atomic sequence regardless of group size:
+    /// one `fetch_add(n)` per gauge, rolled back in full on any failure so
+    /// rejection is atomic — either the whole group is admitted or none of
+    /// it is.
+    ///
+    /// The failing request's tenant label is the interned `Arc<str>`, so a
+    /// throttle/backpressure storm does not allocate a `String` per
+    /// rejection.
+    fn reserve_admission(&self, meta: &TenantMeta, slot_id: usize, n: usize) -> Result<()> {
+        // Tenant-wide queued-request quota.
+        let prev_queued = meta.queued.fetch_add(n, Ordering::SeqCst);
+        if prev_queued + n > meta.quota.max_queued {
+            meta.queued.fetch_sub(n, Ordering::SeqCst);
+            meta.counters
+                .throttled
+                .fetch_add(n as u64, Ordering::SeqCst);
+            return Err(GatewayError::QuotaExceeded {
+                tenant: meta.name.clone(),
+                resource: QuotaResource::QueuedRequests,
+            });
+        }
+        // Endorsement budget: only endorsements consume it, but queued
+        // requests reserve against it so the budget can never overshoot
+        // mid-batch — a group that would cross the line mid-batch rejects
+        // here, atomically, before anything is enqueued. A rejected
+        // contribution releases its reservation at drain time (queue
+        // shrinks, `endorsed` does not grow).
+        if let Some(budget) = meta.quota.endorsement_budget {
+            let reserved = meta.counters.endorsed.load(Ordering::SeqCst) + (prev_queued + n) as u64;
+            if reserved > budget {
+                meta.queued.fetch_sub(n, Ordering::SeqCst);
+                meta.counters
+                    .throttled
+                    .fetch_add(n as u64, Ordering::SeqCst);
+                return Err(GatewayError::QuotaExceeded {
+                    tenant: meta.name.clone(),
+                    resource: QuotaResource::Endorsements,
+                });
+            }
+        }
+        // Per-slot queue-depth backpressure.
+        let info = &meta.slots[slot_id];
+        let prev_depth = info.gauges.queue_depth.fetch_add(n, Ordering::SeqCst);
+        if prev_depth + n > self.shared.config.max_queue_depth {
+            info.gauges.queue_depth.fetch_sub(n, Ordering::SeqCst);
+            meta.queued.fetch_sub(n, Ordering::SeqCst);
+            meta.counters
+                .throttled
+                .fetch_add(n as u64, Ordering::SeqCst);
+            return Err(GatewayError::Backpressure {
+                tenant: meta.name.clone(),
+                slot: slot_id,
+                depth: prev_depth,
+            });
+        }
+        Ok(())
+    }
+
+    /// Undoes a successful [`Gateway::reserve_admission`] (used when the
+    /// runtime refuses the command after the gauges were already bumped).
+    fn release_admission(meta: &TenantMeta, slot_id: usize, n: usize) {
+        meta.slots[slot_id]
+            .gauges
+            .queue_depth
+            .fetch_sub(n, Ordering::SeqCst);
+        meta.queued.fetch_sub(n, Ordering::SeqCst);
+    }
+
+    /// Sends a submit-path command and counts it (the E13 command metric).
+    fn send_submit(&self, shard: usize, command: ShardCommand) -> Result<()> {
+        self.send(shard, command)?;
+        self.shared.submit_commands.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
     /// Admits one encrypted request into its session's slot queue.
     ///
     /// Rejections are typed: quota exhaustion ([`GatewayError::QuotaExceeded`])
@@ -539,54 +626,19 @@ impl Gateway {
     /// Admission is reserve-then-check over atomic gauges, so concurrent
     /// submitters can never overshoot a quota: the loser of a race has its
     /// reservation rolled back and sees the same typed rejection a
-    /// sequential caller would.
+    /// sequential caller would. Bulk producers should prefer
+    /// [`Gateway::submit_many`] / [`Gateway::submit_batch`], which pay this
+    /// admission sequence and the shard-queue command once per group instead
+    /// of once per request.
     pub fn submit(&self, session_id: u64, ciphertext: Vec<u8>) -> Result<()> {
         let entry = self.session_entry(session_id)?;
         if entry.state != SessionState::Established {
             return Err(GatewayError::SessionNotEstablished(session_id));
         }
         let meta = &self.shared.tenants[entry.tenant_idx];
-        let tenant_name = || meta.name.to_string();
-
-        // Tenant-wide queued-request quota.
-        let prev_queued = meta.queued.fetch_add(1, Ordering::SeqCst);
-        if prev_queued >= meta.quota.max_queued {
-            meta.queued.fetch_sub(1, Ordering::SeqCst);
-            meta.counters.throttled.fetch_add(1, Ordering::SeqCst);
-            return Err(GatewayError::QuotaExceeded {
-                tenant: tenant_name(),
-                resource: QuotaResource::QueuedRequests,
-            });
-        }
-        // Endorsement budget: only endorsements consume it, but queued
-        // requests reserve against it so the budget can never overshoot
-        // mid-batch. A rejected contribution releases its reservation at
-        // drain time (queue shrinks, `endorsed` does not grow).
-        if let Some(budget) = meta.quota.endorsement_budget {
-            let reserved = meta.counters.endorsed.load(Ordering::SeqCst) + prev_queued as u64;
-            if reserved >= budget {
-                meta.queued.fetch_sub(1, Ordering::SeqCst);
-                meta.counters.throttled.fetch_add(1, Ordering::SeqCst);
-                return Err(GatewayError::QuotaExceeded {
-                    tenant: tenant_name(),
-                    resource: QuotaResource::Endorsements,
-                });
-            }
-        }
-        // Per-slot queue-depth backpressure.
+        self.reserve_admission(meta, entry.slot, 1)?;
         let info = &meta.slots[entry.slot];
-        let prev_depth = info.gauges.queue_depth.fetch_add(1, Ordering::SeqCst);
-        if prev_depth >= self.shared.config.max_queue_depth {
-            info.gauges.queue_depth.fetch_sub(1, Ordering::SeqCst);
-            meta.queued.fetch_sub(1, Ordering::SeqCst);
-            meta.counters.throttled.fetch_add(1, Ordering::SeqCst);
-            return Err(GatewayError::Backpressure {
-                tenant: tenant_name(),
-                slot: entry.slot,
-                depth: prev_depth,
-            });
-        }
-        let sent = self.send(
+        let sent = self.send_submit(
             info.shard,
             ShardCommand::Submit {
                 slot: info.worker_idx,
@@ -597,12 +649,196 @@ impl Gateway {
             },
         );
         if sent.is_err() {
-            info.gauges.queue_depth.fetch_sub(1, Ordering::SeqCst);
-            meta.queued.fetch_sub(1, Ordering::SeqCst);
+            Self::release_admission(meta, entry.slot, 1);
             return sent;
         }
         meta.counters.submitted.fetch_add(1, Ordering::SeqCst);
         Ok(())
+    }
+
+    /// Admits a whole group of encrypted requests from **one session** with
+    /// a single admission sequence and a single shard-queue command.
+    ///
+    /// Compared to calling [`Gateway::submit`] in a loop, a group of `n`
+    /// requests pays one `fetch_add(n)` reservation per gauge instead of
+    /// `n` CAS sequences, and pushes one `SubmitMany` command instead of
+    /// `n` `Submit` commands — cutting channel and atomic traffic by the
+    /// batch factor on the hot path.
+    ///
+    /// Admission is **atomic across the group**: a group that would exceed
+    /// the queued quota, the endorsement budget, or the slot's queue depth
+    /// mid-batch is rejected whole — no items are enqueued and every
+    /// reservation is rolled back — so a retrying producer never has to
+    /// guess which suffix was admitted. Items are enqueued in vector order.
+    /// An empty group is a no-op.
+    pub fn submit_many(&self, session_id: u64, ciphertexts: Vec<Vec<u8>>) -> Result<()> {
+        let n = ciphertexts.len();
+        if n == 0 {
+            return Ok(());
+        }
+        let entry = self.session_entry(session_id)?;
+        if entry.state != SessionState::Established {
+            return Err(GatewayError::SessionNotEstablished(session_id));
+        }
+        let meta = &self.shared.tenants[entry.tenant_idx];
+        self.reserve_admission(meta, entry.slot, n)?;
+        let info = &meta.slots[entry.slot];
+        // One exact-capacity vector is the whole per-call allocation cost.
+        let items = ciphertexts
+            .into_iter()
+            .map(|ciphertext| {
+                (
+                    info.worker_idx,
+                    BatchItem {
+                        session_id,
+                        ciphertext,
+                    },
+                )
+            })
+            .collect();
+        let sent = self.send_submit(info.shard, ShardCommand::SubmitMany { items });
+        if sent.is_err() {
+            Self::release_admission(meta, entry.slot, n);
+            return sent;
+        }
+        meta.counters
+            .submitted
+            .fetch_add(n as u64, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Bulk admission across **many sessions** (the workload-generator /
+    /// connection-multiplexer path): requests are grouped per slot, every
+    /// group is reserved with one atomic sequence, and each shard receives
+    /// at most one `SubmitMany` command for the whole call.
+    ///
+    /// Admission control is atomic across the call: if any session is
+    /// unknown or unestablished, or any group trips a quota or
+    /// backpressure, **nothing** is enqueued and every reservation already
+    /// taken is rolled back before the error returns. The only partial
+    /// outcome is a dying runtime ([`GatewayError::RuntimeUnavailable`]):
+    /// shards are independent, so groups already handed to healthy shards
+    /// stay queued while the dead shard's reservations are released.
+    ///
+    /// Within each slot, items keep the order they have in `requests`, so a
+    /// single-threaded producer that replaces per-request `submit` calls
+    /// with `submit_batch` chunks observes bit-identical drain results.
+    pub fn submit_batch(&self, requests: Vec<(u64, Vec<u8>)>) -> Result<()> {
+        if requests.is_empty() {
+            return Ok(());
+        }
+        // Resolve every request's route once, under one table lock, into a
+        // compact per-request vector. The bulk path deliberately avoids
+        // maps: a chunk touches few distinct slots and shards, so
+        // linear-probe count vectors keep the whole call at a handful of
+        // allocations however many requests it carries.
+        let mut routes: Vec<(usize, usize)> = Vec::with_capacity(requests.len());
+        {
+            let table = self.shared.table.lock().expect("session table poisoned");
+            for (session_id, _) in &requests {
+                let entry = table.get(*session_id)?;
+                if entry.state != SessionState::Established {
+                    return Err(GatewayError::SessionNotEstablished(*session_id));
+                }
+                routes.push((entry.tenant_idx, entry.slot));
+            }
+        }
+        // Per-(tenant, slot) group sizes.
+        let mut group_counts: Vec<(usize, usize, usize)> = Vec::new();
+        for &(tenant_idx, slot_id) in &routes {
+            match group_counts
+                .iter_mut()
+                .find(|(t, s, _)| *t == tenant_idx && *s == slot_id)
+            {
+                Some((_, _, n)) => *n += 1,
+                None => group_counts.push((tenant_idx, slot_id, 1)),
+            }
+        }
+        // Reserve group by group; the first failure rolls back every group
+        // already reserved, so the whole batch rejects atomically.
+        for (i, &(tenant_idx, slot_id, n)) in group_counts.iter().enumerate() {
+            if let Err(e) = self.reserve_admission(&self.shared.tenants[tenant_idx], slot_id, n) {
+                for &(t, s, m) in &group_counts[..i] {
+                    Self::release_admission(&self.shared.tenants[t], s, m);
+                }
+                // Every request in the batch is refused, not just the group
+                // that tripped the limit: count the rolled-back and
+                // never-attempted groups as throttled too (the failing
+                // group's `n` was already counted by reserve_admission), so
+                // the per-tenant stat matches what the same rejection would
+                // record arriving through `submit`/`submit_many`.
+                for (j, &(t, _, m)) in group_counts.iter().enumerate() {
+                    if j != i {
+                        self.shared.tenants[t]
+                            .counters
+                            .throttled
+                            .fetch_add(m as u64, Ordering::SeqCst);
+                    }
+                }
+                return Err(e);
+            }
+        }
+        // One flat, exact-capacity item vector per shard, filled in arrival
+        // order (per-slot order is therefore the caller's order).
+        let shard_of = |tenant_idx: usize, slot_id: usize| {
+            self.shared.tenants[tenant_idx].slots[slot_id].shard
+        };
+        let mut shard_counts: Vec<(usize, usize)> = Vec::new();
+        for &(tenant_idx, slot_id) in &routes {
+            let shard = shard_of(tenant_idx, slot_id);
+            match shard_counts.iter_mut().find(|(s, _)| *s == shard) {
+                Some((_, n)) => *n += 1,
+                None => shard_counts.push((shard, 1)),
+            }
+        }
+        let mut per_shard: Vec<(usize, Vec<(usize, BatchItem)>)> = shard_counts
+            .iter()
+            .map(|&(shard, n)| (shard, Vec::with_capacity(n)))
+            .collect();
+        for ((session_id, ciphertext), &(tenant_idx, slot_id)) in requests.into_iter().zip(&routes)
+        {
+            let info = &self.shared.tenants[tenant_idx].slots[slot_id];
+            let bucket = per_shard
+                .iter_mut()
+                .find(|(s, _)| *s == info.shard)
+                .expect("every shard was counted above");
+            bucket.1.push((
+                info.worker_idx,
+                BatchItem {
+                    session_id,
+                    ciphertext,
+                },
+            ));
+        }
+        let mut first_error: Option<GatewayError> = None;
+        for (shard, items) in per_shard {
+            match self.send_submit(shard, ShardCommand::SubmitMany { items }) {
+                Ok(()) => {
+                    for &(t, s, n) in &group_counts {
+                        if shard_of(t, s) == shard {
+                            self.shared.tenants[t]
+                                .counters
+                                .submitted
+                                .fetch_add(n as u64, Ordering::SeqCst);
+                        }
+                    }
+                }
+                Err(e) => {
+                    // This shard's worker is gone; its items were never
+                    // enqueued, so release exactly its groups' reservations.
+                    for &(t, s, n) in &group_counts {
+                        if shard_of(t, s) == shard {
+                            Self::release_admission(&self.shared.tenants[t], s, n);
+                        }
+                    }
+                    first_error.get_or_insert(e);
+                }
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Drains every slot's queue through its enclave — one `PROCESS_BATCH`
@@ -719,7 +955,10 @@ impl Gateway {
     /// deterministic tenant/slot order).
     #[must_use]
     pub fn stats(&self) -> GatewayStats {
-        let mut stats = GatewayStats::default();
+        let mut stats = GatewayStats {
+            submit_commands: self.shared.submit_commands.load(Ordering::SeqCst),
+            ..GatewayStats::default()
+        };
         for meta in &self.shared.tenants {
             stats
                 .tenants

@@ -18,11 +18,33 @@ use crate::config::TenantConfig;
 use crate::error::{GatewayError, Result};
 use crate::stats::SlotStats;
 use glimmer_core::host::GlimmerClient;
-use glimmer_core::protocol::{BatchItem, BatchReply, BatchRequest};
+#[cfg(test)]
+use glimmer_core::protocol::BatchReply;
+use glimmer_core::protocol::{BatchItem, BatchReplyItem, BatchRequest};
 use glimmer_crypto::drbg::Drbg;
+use glimmer_wire::Encoder;
 use sgx_sim::{AttestationService, Measurement, PlatformConfig};
 use std::collections::VecDeque;
 use std::time::Instant;
+
+/// Reusable drain buffers, owned by one shard worker and shared across every
+/// slot that worker drains. Both buffers are cleared — never reallocated —
+/// between sweeps, so the host side of a steady-state drain performs no heap
+/// allocation per request: the request encoder stops growing once it has
+/// seen the largest batch, and the reply vector keeps its capacity while the
+/// decoded outcomes are moved out to the caller.
+///
+/// Ownership rule: the scratch belongs to the *worker*, not the slot. A slot
+/// only borrows it for the duration of one [`PoolSlot::drain_into`] call and
+/// leaves its replies inside for the worker to consume (`drain(..)`) before
+/// the next slot is drained.
+#[derive(Default)]
+pub(crate) struct DrainScratch {
+    /// Wire encoding of the outgoing `BatchRequest` (reset per sweep).
+    request: Encoder,
+    /// Decoded reply items (cleared per sweep; capacity kept).
+    pub(crate) replies: Vec<BatchReplyItem>,
+}
 
 /// One pre-provisioned enclave and its request queue.
 pub struct PoolSlot {
@@ -74,6 +96,14 @@ impl PoolSlot {
         self.queue.push_back(item);
     }
 
+    /// Appends a whole group of admitted items in order (test convenience;
+    /// the runtime enqueues `SubmitMany` items one by one as it fans them
+    /// out to their slots).
+    #[cfg(test)]
+    pub(crate) fn enqueue_many(&mut self, items: impl IntoIterator<Item = BatchItem>) {
+        self.queue.extend(items);
+    }
+
     /// Discards queued items belonging to `session_id`; returns how many.
     pub(crate) fn discard_session_items(&mut self, session_id: u64) -> usize {
         let before = self.queue.len();
@@ -82,8 +112,21 @@ impl PoolSlot {
     }
 
     /// Drains up to `max_batch` queued items through the enclave in one
-    /// ECALL. Returns `None` when the queue is empty.
-    pub(crate) fn drain(&mut self, max_batch: usize) -> Result<Option<BatchReply>> {
+    /// ECALL, leaving the decoded outcomes in `scratch.replies` (cleared
+    /// first). Returns the number of items drained, or `None` when the queue
+    /// is empty.
+    ///
+    /// The batch is encoded straight from the queue into the scratch
+    /// encoder *without popping*: a whole-batch ECALL failure leaves the
+    /// queue untouched (no put-back loop, nothing silently lost), and a
+    /// success drops the drained prefix in one `drain` call. Together with
+    /// the reusable buffers this makes the steady-state host side of a
+    /// sweep allocation-free per request.
+    pub(crate) fn drain_into(
+        &mut self,
+        max_batch: usize,
+        scratch: &mut DrainScratch,
+    ) -> Result<Option<usize>> {
         if self.queue.is_empty() {
             return Ok(None);
         }
@@ -93,31 +136,35 @@ impl PoolSlot {
             .queue
             .len()
             .min(max_batch.clamp(1, glimmer_core::enclave_app::MAX_BATCH_ITEMS));
-        let request = BatchRequest {
-            items: self.queue.drain(..take).collect(),
-        };
-        let n = request.items.len() as u64;
+        BatchRequest::encode_items_into(&mut scratch.request, self.queue.iter().take(take));
         let cycles_before = self.client.cost_report().total_cycles;
         let start = Instant::now();
-        let reply = match self.client.process_batch(&request) {
-            Ok(reply) => reply,
-            Err(e) => {
-                // A whole-batch ECALL failure leaves every item unprocessed;
-                // put them back at the front so nothing is silently lost.
-                for item in request.items.into_iter().rev() {
-                    self.queue.push_front(item);
-                }
-                return Err(GatewayError::Glimmer(e));
-            }
-        };
+        self.client
+            .process_batch_into(scratch.request.as_slice(), &mut scratch.replies)
+            .map_err(GatewayError::Glimmer)?;
         let elapsed = start.elapsed();
         let cycles_after = self.client.cost_report().total_cycles;
+        self.queue.drain(..take);
+        let n = take as u64;
         self.stats.batches += 1;
         self.stats.items += n;
         self.stats.max_batch = self.stats.max_batch.max(n);
         self.stats.drain_cycles += cycles_after - cycles_before;
         self.stats.drain_nanos += elapsed.as_nanos() as u64;
-        Ok(Some(reply))
+        Ok(Some(take))
+    }
+
+    /// [`PoolSlot::drain_into`] with one-shot buffers: allocates a fresh
+    /// scratch per call, so it is test-only — the shard workers always use
+    /// the reusable-scratch path.
+    #[cfg(test)]
+    pub(crate) fn drain(&mut self, max_batch: usize) -> Result<Option<BatchReply>> {
+        let mut scratch = DrainScratch::default();
+        Ok(self
+            .drain_into(max_batch, &mut scratch)?
+            .map(|_| BatchReply {
+                items: std::mem::take(&mut scratch.replies),
+            }))
     }
 
     /// Snapshot of this slot's drain counters. The routing-layer gauges
@@ -248,5 +295,36 @@ mod tests {
         assert!(p.slots[0].drain(16).unwrap().is_none());
         let stats = p.slots[0].stats();
         assert_eq!(stats.batches, 0);
+    }
+
+    #[test]
+    fn enqueue_many_preserves_order_and_drain_into_reuses_the_scratch() {
+        let mut p = pool(1);
+        let slot = &mut p.slots[0];
+        slot.enqueue_many((0..5u64).map(|session_id| BatchItem {
+            session_id,
+            ciphertext: vec![0u8; 16],
+        }));
+        assert_eq!(slot.queue_depth(), 5);
+
+        let mut scratch = DrainScratch::default();
+        // First sweep: three of five items, outcomes in arrival order.
+        assert_eq!(slot.drain_into(3, &mut scratch).unwrap(), Some(3));
+        let first: Vec<u64> = scratch.replies.iter().map(|r| r.session_id).collect();
+        assert_eq!(first, vec![0, 1, 2]);
+        assert_eq!(slot.queue_depth(), 2);
+        let request_capacity = scratch.request.capacity();
+        assert!(request_capacity > 0);
+
+        // Second sweep reuses both buffers: the smaller batch replaces the
+        // replies (no stale items) and fits the grown request buffer.
+        assert_eq!(slot.drain_into(3, &mut scratch).unwrap(), Some(2));
+        let second: Vec<u64> = scratch.replies.iter().map(|r| r.session_id).collect();
+        assert_eq!(second, vec![3, 4]);
+        assert_eq!(scratch.request.capacity(), request_capacity);
+        assert_eq!(slot.queue_depth(), 0);
+        assert_eq!(slot.drain_into(3, &mut scratch).unwrap(), None);
+        assert_eq!(slot.stats().batches, 2);
+        assert_eq!(slot.stats().items, 5);
     }
 }

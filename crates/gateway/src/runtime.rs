@@ -30,7 +30,7 @@ use crate::clock::Clock;
 use crate::config::{GatewayConfig, TenantQuota};
 use crate::error::{GatewayError, Result};
 use crate::gateway::GatewayResponse;
-use crate::pool::PoolSlot;
+use crate::pool::{DrainScratch, PoolSlot};
 use crate::session::SessionTable;
 use crate::stats::{SlotStatsRow, TenantStats};
 use glimmer_core::channel::{ChannelAccept, ChannelOffer};
@@ -105,6 +105,9 @@ pub(crate) struct Shared {
     /// Tenants in deterministic (name) order; `tenant_idx` indexes here.
     pub(crate) tenants: Vec<TenantMeta>,
     pub(crate) table: Mutex<SessionTable>,
+    /// Commands pushed onto shard queues by the submit paths (one per
+    /// `Submit`, one per `SubmitMany`) — the E13 batching metric.
+    pub(crate) submit_commands: AtomicU64,
 }
 
 impl Shared {
@@ -161,6 +164,16 @@ pub(crate) enum ShardCommand {
         slot: usize,
         item: BatchItem,
     },
+    /// Fire-and-forget batched admission: one command carries every
+    /// already-reserved item this shard receives from a `submit_many` /
+    /// `submit_batch` call — channel and atomic traffic are paid per call,
+    /// not per request. Items are `(worker-local slot, item)` pairs in
+    /// arrival order (one flat vector, so the whole command costs one
+    /// allocation however many requests it carries); the worker fans them
+    /// out to their slot queues, which preserves per-slot arrival order.
+    SubmitMany {
+        items: Vec<(usize, BatchItem)>,
+    },
     Drain {
         reply: Sender<ShardDrainReport>,
     },
@@ -185,6 +198,9 @@ pub(crate) struct ShardWorker {
     /// Worker-local slots in global (tenant, slot) order.
     pub(crate) slots: Vec<WorkerSlot>,
     pub(crate) rx: Receiver<ShardCommand>,
+    /// Worker-owned drain buffers, reused across every slot and sweep (see
+    /// [`DrainScratch`] for the ownership rules).
+    pub(crate) scratch: DrainScratch,
 }
 
 impl ShardWorker {
@@ -262,6 +278,11 @@ impl ShardWorker {
                 ShardCommand::Submit { slot, item } => {
                     self.slots[slot].slot.enqueue(item);
                 }
+                ShardCommand::SubmitMany { items } => {
+                    for (slot, item) in items {
+                        self.slots[slot].slot.enqueue(item);
+                    }
+                }
                 ShardCommand::Drain { reply } => {
                     let report = self.drain();
                     let _ = reply.send(report);
@@ -300,24 +321,27 @@ impl ShardWorker {
         let max_batch = self.shared.config.max_batch;
         let mut responses = Vec::new();
         let mut first_error = None;
+        // One scratch for the whole sweep: each slot encodes its request and
+        // leaves its replies in the worker's reusable buffers, which are
+        // consumed (drained, capacity kept) before the next slot runs.
+        let scratch = &mut self.scratch;
         for ws in &mut self.slots {
             let tenant = &self.shared.tenants[ws.tenant_idx];
-            let reply = match ws.slot.drain(max_batch) {
-                Ok(Some(reply)) => reply,
+            let drained = match ws.slot.drain_into(max_batch, scratch) {
+                Ok(Some(drained)) => drained,
                 Ok(None) => continue,
                 Err(e) => {
                     first_error.get_or_insert(e);
                     continue;
                 }
             };
-            let drained = reply.items.len();
             // Outcome counters FIRST, reservation release LAST. The
             // endorsement-budget check reads `endorsed + queued`, so an item
             // must never be simultaneously absent from both (that window
             // would let a racing submit overshoot the budget). The reverse
             // overlap — counted in `endorsed` while still counted in
             // `queued` — only over-rejects transiently, which is safe.
-            for item in reply.items {
+            for item in scratch.replies.drain(..) {
                 match &item.outcome {
                     BatchOutcome::Reply { endorsed: true, .. } => {
                         tenant.counters.endorsed.fetch_add(1, Ordering::SeqCst);

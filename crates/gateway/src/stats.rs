@@ -110,6 +110,11 @@ pub struct GatewayStats {
     pub tenants: Vec<(String, TenantStats)>,
     /// Per-slot counters.
     pub slots: Vec<SlotStatsRow>,
+    /// Commands pushed onto shard queues by the submit paths: `submit` costs
+    /// one command per request, `submit_many`/`submit_batch` one per shard
+    /// per call. The gap between this and `submitted` is the channel and
+    /// atomic traffic batched admission saved (experiment E13's metric).
+    pub submit_commands: u64,
 }
 
 impl GatewayStats {
@@ -190,6 +195,7 @@ mod tests {
                 shard: 0,
                 stats: slot,
             }],
+            submit_commands: 0,
         };
         assert_eq!(stats.total_endorsed(), 3);
         assert_eq!(stats.total_items(), 8);
@@ -212,6 +218,7 @@ mod tests {
         let stats = GatewayStats {
             tenants: Vec::new(),
             slots: vec![row(0, 10), row(1, 25), row(0, 5), row(1, 1)],
+            submit_commands: 0,
         };
         assert_eq!(stats.total_drain_cycles(), 41);
         let by_shard = stats.drain_cycles_by_shard();

@@ -14,9 +14,8 @@ use crate::channel::{ChannelAccept, ChannelKeys, GlimmerChannel};
 use crate::confidential::{open_predicate, BotVerdict, EncryptedPredicate};
 use crate::host::GlimmerDescriptor;
 use crate::protocol::{
-    ecall, BatchOutcome, BatchReply, BatchReplyItem, BatchRequestView, EndorsedContribution,
-    PrivateData, ProcessRequest, ProcessResponse, SessionAcceptRequest, SessionMaskRequest,
-    SessionOpenRequest,
+    ecall, BatchOutcome, BatchReplyItem, BatchRequestView, EndorsedContribution, PrivateData,
+    ProcessRequest, ProcessResponse, SessionAcceptRequest, SessionMaskRequest, SessionOpenRequest,
 };
 use crate::signing::{sign_endorsement, signing_key_from_secret};
 use crate::validation::{AllOf, BotDetector, ValidationPredicate};
@@ -275,6 +274,11 @@ pub struct GlimmerEnclaveProgram {
     session_nonces: HashMap<u64, HashSet<[u8; 12]>>,
     confidential_detector: Option<BotDetector>,
     auditor: OutputAuditor,
+    /// Reusable wire buffer for `PROCESS_BATCH` replies: reset (capacity
+    /// kept) at the start of every batch, so steady-state batches encode
+    /// their reply without growing this buffer (the copy-out the ecall
+    /// interface requires still allocates once per batch).
+    reply_scratch: Encoder,
 }
 
 impl GlimmerEnclaveProgram {
@@ -309,6 +313,7 @@ impl GlimmerEnclaveProgram {
             session_nonces: HashMap::new(),
             confidential_detector: None,
             auditor: OutputAuditor::new(descriptor.verdict_bit_budget),
+            reply_scratch: Encoder::new(),
         }
     }
 
@@ -689,9 +694,17 @@ impl GlimmerEnclaveProgram {
         // Reject trailing garbage after the declared items, exactly like the
         // owned `BatchRequest::from_wire` path did.
         view.finish().map_err(|e| e.to_string())?;
-        let mut reply = BatchReply {
-            items: Vec::with_capacity(items.len()),
-        };
+        // Encode each outcome straight into the enclave's reusable reply
+        // encoder as it is produced — no intermediate `BatchReply` vector,
+        // and the wire buffer itself stops growing once it has seen the
+        // largest batch. (The final `to_vec` copy-out below still allocates
+        // once per batch: the ecall interface returns an owned `Vec<u8>`.)
+        // The scratch is moved out for the loop because processing needs
+        // `&mut self`; there are no early returns between the take and the
+        // put-back.
+        let mut scratch = std::mem::take(&mut self.reply_scratch);
+        scratch.reset();
+        scratch.put_varint(items.len() as u64);
         // Clone each session's keys at most once per batch, not per item
         // (the cache is a local, so borrowing from it is disjoint from the
         // `&mut self` the processing call needs).
@@ -719,12 +732,15 @@ impl GlimmerEnclaveProgram {
                 },
                 None => BatchOutcome::Failed(format!("no such session {}", item.session_id)),
             };
-            reply.items.push(BatchReplyItem {
+            BatchReplyItem {
                 session_id: item.session_id,
                 outcome,
-            });
+            }
+            .encode(&mut scratch);
         }
-        Ok(reply.to_wire())
+        let out = scratch.as_slice().to_vec();
+        self.reply_scratch = scratch;
+        Ok(out)
     }
 
     fn channel_complete(&mut self, data: &[u8]) -> Result<Vec<u8>, String> {

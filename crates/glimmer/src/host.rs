@@ -483,8 +483,25 @@ impl GlimmerClient {
     /// This is the gateway's amortized serving path: the per-transition cost
     /// is paid once per batch instead of once per contribution.
     pub fn process_batch(&mut self, batch: &BatchRequest) -> Result<BatchReply> {
-        let reply_bytes = self.ecall(ecall::PROCESS_BATCH, &batch.to_wire())?;
-        BatchReply::from_wire(&reply_bytes).map_err(GlimmerError::from)
+        let mut items = Vec::new();
+        self.process_batch_into(&batch.to_wire(), &mut items)?;
+        Ok(BatchReply { items })
+    }
+
+    /// The scratch-reuse variant of [`GlimmerClient::process_batch`]: takes a
+    /// request already encoded in the `BatchRequest` wire format (see
+    /// [`BatchRequest::encode_items_into`]) and decodes the outcomes into a
+    /// caller-owned vector that is cleared, not reallocated, between drains.
+    /// The gateway's shard workers own both buffers and reuse them across
+    /// sweeps, so the steady-state host side of a drain allocates nothing
+    /// per request.
+    pub fn process_batch_into(
+        &mut self,
+        request_wire: &[u8],
+        replies: &mut Vec<crate::protocol::BatchReplyItem>,
+    ) -> Result<()> {
+        let reply_bytes = self.ecall(ecall::PROCESS_BATCH, request_wire)?;
+        BatchReply::decode_items_into(&reply_bytes, replies).map_err(GlimmerError::from)
     }
 
     /// Runs the confidential bot check and returns the audited verdict frame

@@ -683,6 +683,28 @@ pub struct BatchRequest {
     pub items: Vec<BatchItem>,
 }
 
+impl BatchRequest {
+    /// Streams `items` into `enc` in the exact `BatchRequest` wire format
+    /// without materializing an owned `BatchRequest` first. The encoder is
+    /// reset, so afterwards it holds a complete encoding that
+    /// [`BatchRequest::from_wire`] and [`BatchRequestView`] both accept.
+    ///
+    /// This is the gateway's allocation-free drain path: the shard worker
+    /// encodes its queue directly from the `VecDeque` into a long-lived
+    /// per-worker encoder, so steady-state sweeps reuse one buffer instead
+    /// of collecting a fresh item vector plus a fresh wire vector per batch.
+    pub fn encode_items_into<'a, I>(enc: &mut Encoder, items: I)
+    where
+        I: ExactSizeIterator<Item = &'a BatchItem>,
+    {
+        enc.reset();
+        enc.put_varint(items.len() as u64);
+        for item in items {
+            item.encode(enc);
+        }
+    }
+}
+
 impl WireCodec for BatchRequest {
     fn encode(&self, enc: &mut Encoder) {
         enc.put_varint(self.items.len() as u64);
@@ -775,6 +797,27 @@ impl WireCodec for BatchReplyItem {
 pub struct BatchReply {
     /// Per-item outcomes.
     pub items: Vec<BatchReplyItem>,
+}
+
+impl BatchReply {
+    /// Decodes a reply's items into a reusable vector — cleared first, with
+    /// its capacity kept — instead of allocating a fresh `BatchReply` per
+    /// drain sweep. On error the vector's contents are unspecified (the next
+    /// call clears it again); full-consumption strictness matches
+    /// [`BatchReply::from_wire`].
+    pub fn decode_items_into(
+        bytes: &[u8],
+        items: &mut Vec<BatchReplyItem>,
+    ) -> Result<(), WireError> {
+        items.clear();
+        let mut dec = Decoder::new(bytes);
+        let n = dec.get_varint()? as usize;
+        items.reserve(n.min(1 << 16));
+        for _ in 0..n {
+            items.push(BatchReplyItem::decode(&mut dec)?);
+        }
+        dec.finish()
+    }
 }
 
 impl WireCodec for BatchReply {
@@ -989,6 +1032,63 @@ mod tests {
         };
         assert_eq!(BatchReply::from_wire(&reply.to_wire()).unwrap(), reply);
         assert!(BatchReplyItem::from_wire(&[0u8; 9]).is_err());
+    }
+
+    #[test]
+    fn streamed_batch_encode_and_reusable_reply_decode_match_owned_paths() {
+        let batch = BatchRequest {
+            items: vec![
+                BatchItem {
+                    session_id: 3,
+                    ciphertext: vec![0xCD; 40],
+                },
+                BatchItem {
+                    session_id: 5,
+                    ciphertext: vec![1, 2],
+                },
+            ],
+        };
+        // Streaming from an iterator produces byte-identical wire encoding,
+        // and resetting means a dirty encoder can be reused directly.
+        let mut enc = Encoder::new();
+        enc.put_str("stale bytes from the previous sweep");
+        BatchRequest::encode_items_into(&mut enc, batch.items.iter());
+        assert_eq!(enc.as_slice(), batch.to_wire().as_slice());
+        // Empty sweeps encode an empty batch.
+        BatchRequest::encode_items_into(&mut enc, std::iter::empty());
+        assert_eq!(enc.as_slice(), BatchRequest::default().to_wire().as_slice());
+
+        let reply = BatchReply {
+            items: vec![
+                BatchReplyItem {
+                    session_id: 3,
+                    outcome: BatchOutcome::Reply {
+                        ciphertext: vec![9; 16],
+                        endorsed: true,
+                    },
+                },
+                BatchReplyItem {
+                    session_id: 5,
+                    outcome: BatchOutcome::Failed("nope".to_string()),
+                },
+            ],
+        };
+        let wire = reply.to_wire();
+        let mut items = vec![BatchReplyItem {
+            session_id: 999,
+            outcome: BatchOutcome::Failed("stale".to_string()),
+        }];
+        BatchReply::decode_items_into(&wire, &mut items).unwrap();
+        assert_eq!(items, reply.items);
+        // Trailing garbage is rejected with the same strictness as from_wire.
+        let mut trailing = wire.clone();
+        trailing.push(0xAA);
+        assert_eq!(
+            BatchReply::decode_items_into(&trailing, &mut items),
+            Err(WireError::TrailingBytes(1))
+        );
+        // Truncation errors out rather than yielding a partial success.
+        assert!(BatchReply::decode_items_into(&wire[..wire.len() - 3], &mut items).is_err());
     }
 
     #[test]

@@ -53,6 +53,28 @@ impl Encoder {
         self.buf
     }
 
+    /// The bytes written so far, without consuming the encoder.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Bytes the buffer can hold before reallocating.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Clears the encoder for reuse, keeping the allocated capacity.
+    ///
+    /// This is the allocation-free hot path: a long-lived encoder that is
+    /// `reset` between messages stops allocating once it has grown to the
+    /// workload's steady-state message size (see
+    /// [`WireCodec::encode_into`](crate::WireCodec::encode_into)).
+    pub fn reset(&mut self) {
+        self.buf.clear();
+    }
+
     /// Writes one byte.
     pub fn put_u8(&mut self, v: u8) {
         self.buf.push(v);
@@ -172,6 +194,23 @@ mod tests {
             enc.put_varint(value);
             assert_eq!(enc.len(), expected, "varint({value})");
         }
+    }
+
+    #[test]
+    fn reset_keeps_capacity_and_as_slice_views_without_consuming() {
+        let mut enc = Encoder::with_capacity(4);
+        enc.put_bytes(b"steady-state message body");
+        let grown = enc.capacity();
+        assert!(grown >= enc.len());
+        assert_eq!(&enc.as_slice()[1..], b"steady-state message body");
+
+        enc.reset();
+        assert!(enc.is_empty());
+        assert_eq!(enc.capacity(), grown, "reset must not shed capacity");
+        enc.put_str("hi");
+        assert_eq!(enc.as_slice(), &[2, b'h', b'i']);
+        // Re-encoding something that fits never reallocates.
+        assert_eq!(enc.capacity(), grown);
     }
 
     #[test]

@@ -91,6 +91,19 @@ pub trait WireCodec: Sized {
         enc.into_bytes()
     }
 
+    /// Encodes into a reusable encoder: the encoder is [`Encoder::reset`]
+    /// first, so afterwards it holds exactly this value's wire bytes
+    /// ([`Encoder::as_slice`]) while keeping whatever capacity it had.
+    ///
+    /// Hot paths that encode the same message shape over and over (the
+    /// gateway's batched drain loop) call this with a long-lived encoder and
+    /// stop paying a heap allocation per message once the buffer has grown
+    /// to the steady-state size.
+    fn encode_into(&self, enc: &mut Encoder) {
+        enc.reset();
+        self.encode(enc);
+    }
+
     /// Convenience: decodes from a byte slice, requiring full consumption.
     fn from_wire(bytes: &[u8]) -> Result<Self> {
         let mut dec = Decoder::new(bytes);
@@ -154,6 +167,34 @@ mod tests {
                 score: dec.get_f64()?,
             })
         }
+    }
+
+    #[test]
+    fn encode_into_replaces_contents_and_matches_to_wire() {
+        let a = Sample {
+            id: 1,
+            name: "first".to_string(),
+            payload: vec![9; 64],
+            flag: false,
+            score: 1.25,
+        };
+        let b = Sample {
+            id: 2,
+            name: "second".to_string(),
+            payload: vec![7; 8],
+            flag: true,
+            score: -0.5,
+        };
+        let mut enc = Encoder::new();
+        a.encode_into(&mut enc);
+        assert_eq!(enc.as_slice(), a.to_wire().as_slice());
+        let grown = enc.capacity();
+        // Reusing the encoder for a smaller message keeps the capacity and
+        // yields exactly the new message's bytes — no stale prefix.
+        b.encode_into(&mut enc);
+        assert_eq!(enc.as_slice(), b.to_wire().as_slice());
+        assert_eq!(enc.capacity(), grown);
+        assert_eq!(Sample::from_wire(enc.as_slice()).unwrap(), b);
     }
 
     #[test]

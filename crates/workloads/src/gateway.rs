@@ -158,6 +158,20 @@ impl GatewayTrafficWorkload {
             .filter(|e| self.tenants[e.tenant].devices[e.device].is_honest())
             .count()
     }
+
+    /// The arrival schedule chopped into bulk-producer submission groups of
+    /// at most `batch` events, preserving arrival order (a `batch` of `0` is
+    /// treated as `1`).
+    ///
+    /// This is the shape the gateway's batched admission path
+    /// (`submit_batch`) consumes: a front-end that buffers arrivals for one
+    /// scheduling quantum submits each chunk as one call, paying the
+    /// admission and shard-command cost per chunk instead of per request.
+    /// Concatenating the chunks reproduces the schedule exactly, so a
+    /// batched replay serves the same traffic as a per-request replay.
+    pub fn schedule_chunks(&self, batch: usize) -> impl Iterator<Item = &[TrafficEvent]> {
+        self.schedule.chunks(batch.max(1))
+    }
 }
 
 #[cfg(test)]
@@ -205,6 +219,21 @@ mod tests {
         seen.sort_by_key(|e| (e.tenant, e.device, e.request));
         seen.dedup();
         assert_eq!(seen.len(), a.total_requests());
+    }
+
+    #[test]
+    fn schedule_chunks_partition_the_schedule_in_order() {
+        let w = GatewayTrafficWorkload::generate(&specs(), [12u8; 32]);
+        for batch in [1usize, 4, 7, 1000] {
+            let chunks: Vec<&[TrafficEvent]> = w.schedule_chunks(batch).collect();
+            // Every chunk but the last is full; concatenation reproduces the
+            // schedule exactly.
+            assert!(chunks[..chunks.len() - 1].iter().all(|c| c.len() == batch));
+            let flat: Vec<TrafficEvent> = chunks.into_iter().flatten().copied().collect();
+            assert_eq!(flat, w.schedule);
+        }
+        // A zero batch degrades to per-request chunks instead of panicking.
+        assert_eq!(w.schedule_chunks(0).count(), w.total_requests());
     }
 
     #[test]
