@@ -1,0 +1,73 @@
+//! E14: restart recovery — cold rebuild vs sealed checkpoint restore.
+//!
+//! A crashed gateway can come back two ways: rebuild everything (re-provision
+//! every slot, re-handshake every device, re-deliver every mask) or restore
+//! from a sealed checkpoint (one `IMPORT_STATE` ECALL per slot, devices keep
+//! their sessions). This binary measures both paths over identical traffic
+//! and asserts the restore path's provisioning-ECALL advantage.
+//!
+//! Run with `--smoke` for the fast CI configuration; the smoke run asserts
+//! the ≥10x ECALL bar, zero re-provisioning on restore, and outcome
+//! equivalence between the two recovery paths.
+
+use glimmer_bench::e14_restart_recovery;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (sessions, requests_per_session, slots): (usize, usize, usize) =
+        if smoke { (8, 4, 4) } else { (32, 8, 4) };
+
+    println!("E14: restart recovery (cold rebuild vs sealed checkpoint restore)");
+    println!(
+        "{:>9} {:>6} {:>6} {:>9} {:>10} {:>12} {:>11} {:>13} {:>10} {:>11} {:>11}",
+        "sessions",
+        "reqs",
+        "slots",
+        "endorsed",
+        "cold ecall",
+        "restore ecall",
+        "ecall redux",
+        "cold ms",
+        "restore ms",
+        "snap bytes",
+        "post endo"
+    );
+    let r = e14_restart_recovery(sessions, requests_per_session, slots, [44u8; 32]);
+    println!(
+        "{:>9} {:>6} {:>6} {:>9} {:>10} {:>12} {:>10.1}x {:>13.2} {:>10.2} {:>11} {:>11}",
+        r.sessions,
+        r.requests_per_session,
+        r.slots,
+        r.pre_endorsed,
+        r.cold_ready_ecalls,
+        r.restore_ready_ecalls,
+        r.ecall_reduction,
+        r.cold_rebuild_ms,
+        r.restore_ms,
+        r.snapshot_bytes,
+        r.post_endorsed_restore,
+    );
+
+    // Recovery must change cost, never outcomes.
+    assert_eq!(
+        r.post_endorsed_cold, r.post_endorsed_restore,
+        "cold rebuild and checkpoint restore must endorse identically"
+    );
+    // Zero re-provisioning for already-provisioned tenants: exactly one
+    // IMPORT_STATE ECALL per slot, nothing per session or per mask.
+    assert_eq!(
+        r.restore_ready_ecalls, r.slots as u64,
+        "restore must pay exactly one ECALL per slot"
+    );
+    // The headline bar: at least 10x fewer provisioning ECALLs on restore.
+    assert!(
+        r.ecall_reduction >= 10.0,
+        "restore must cut provisioning ECALLs >=10x (got {:.1}x)",
+        r.ecall_reduction
+    );
+    println!(
+        "\nrestore is {:.1}x fewer serve-ready ECALLs and {:.1}x faster wall-clock than a cold rebuild",
+        r.ecall_reduction,
+        r.cold_rebuild_ms / r.restore_ms.max(1e-9)
+    );
+}

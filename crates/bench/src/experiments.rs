@@ -1,4 +1,4 @@
-//! The E1–E12 experiment implementations.
+//! The E1–E14 experiment implementations.
 //!
 //! Every experiment is a pure function of its configuration and seed, so the
 //! binaries, the Criterion benches, and the integration tests can all run the
@@ -1847,6 +1847,232 @@ pub fn e13_drain_buffer_churn(batch: usize, sweeps: usize) -> (u64, u64) {
     (one_shot, scratch)
 }
 
+/// One row of the E14 restart-recovery experiment.
+#[derive(Debug, Clone)]
+pub struct E14Row {
+    /// Concurrent established device sessions at crash time.
+    pub sessions: usize,
+    /// Requests each session submits over the whole workload.
+    pub requests_per_session: usize,
+    /// Pool slots serving the tenant.
+    pub slots: usize,
+    /// Endorsements produced before the simulated crash.
+    pub pre_endorsed: usize,
+    /// Endorsements for the remaining workload after a cold rebuild.
+    pub post_endorsed_cold: usize,
+    /// Endorsements for the remaining workload after a checkpoint restore
+    /// (must equal the cold count — recovery changes cost, not outcomes).
+    pub post_endorsed_restore: usize,
+    /// ECALLs to make the cold-rebuilt gateway serve-ready again: one
+    /// provisioning ECALL per slot, a handshake pair per session, and a mask
+    /// install per (session, round).
+    pub cold_ready_ecalls: u64,
+    /// ECALLs to make the restored gateway serve-ready: exactly one
+    /// `IMPORT_STATE` per slot — zero re-provisioning for already
+    /// provisioned tenants, zero per-session work.
+    pub restore_ready_ecalls: u64,
+    /// `cold_ready_ecalls / restore_ready_ecalls`.
+    pub ecall_reduction: f64,
+    /// Wall-clock ms to cold-rebuild to serve-ready (enclave builds,
+    /// provisioning, re-handshakes, mask re-installs).
+    pub cold_rebuild_ms: f64,
+    /// Wall-clock ms to restore to serve-ready from the snapshot.
+    pub restore_ms: f64,
+    /// Serialized snapshot size in bytes.
+    pub snapshot_bytes: usize,
+}
+
+/// Runs E14: recovery after a gateway crash, cold rebuild versus sealed
+/// checkpoint restore, over the E11 traffic generator.
+///
+/// The scenario: a serving gateway (established sessions, installed masks,
+/// half the workload already endorsed) checkpoints and then dies. Recovery
+/// path A rebuilds from scratch — every slot re-provisioned, every device
+/// re-handshaking, every mask re-delivered. Recovery path B calls
+/// [`glimmer_gateway::Gateway::restore`] on the snapshot: each slot pays one
+/// `IMPORT_STATE` ECALL and the original devices keep serving on their
+/// existing sessions. Both paths then serve the remaining workload; they
+/// must produce the same endorsements.
+#[must_use]
+pub fn e14_restart_recovery(
+    sessions: usize,
+    requests_per_session: usize,
+    slots: usize,
+    seed: [u8; 32],
+) -> E14Row {
+    use glimmer_gateway::{Gateway, GatewayConfig, GatewaySnapshot, TenantConfig};
+    use glimmer_workloads::gateway::{GatewayTrafficWorkload, TenantTrafficSpec};
+
+    const APP: &str = "iot-telemetry.example";
+    let dimension = 8usize;
+    let pre_rounds = requests_per_session / 2;
+    let workload = GatewayTrafficWorkload::generate(
+        &[TenantTrafficSpec {
+            name: APP.to_string(),
+            devices: sessions,
+            requests_per_device: requests_per_session,
+            dimension,
+            misbehaving_fraction: 0.2,
+        }],
+        seed,
+    );
+    let devices = &workload.tenants[0].devices;
+    let client_ids: Vec<u64> = devices.iter().map(|d| d.device_id).collect();
+    let blinding = BlindingService::new([71u8; 32]);
+    let mask_rounds: Vec<Vec<glimmer_core::blinding::MaskShare>> = (0..requests_per_session)
+        .map(|round| blinding.zero_sum_masks(round as u64, &client_ids, dimension))
+        .collect();
+    let mut rng = Drbg::from_seed(seed);
+    let material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+    let config = || GatewayConfig {
+        slots_per_tenant: slots,
+        shards: 1,
+        max_batch: 256,
+        max_queue_depth: (sessions * requests_per_session).max(256),
+        placement_session_weight: 4,
+        platform_config: PlatformConfig::default(),
+    };
+    let tenants = || {
+        vec![TenantConfig::new(
+            APP,
+            GlimmerDescriptor::iot_default(Vec::new()),
+            material.secret_bytes(),
+        )]
+    };
+    let contribution =
+        |device: &glimmer_workloads::gateway::DeviceTraffic, round: usize| Contribution {
+            app_id: APP.to_string(),
+            client_id: device.device_id,
+            round: round as u64,
+            payload: ContributionPayload::IotReadings {
+                samples: device.requests[round].clone(),
+            },
+        };
+    // Connects every device: handshake plus a mask install per round.
+    let connect = |gateway: &Gateway,
+                   avs: &AttestationService,
+                   rng: &mut Drbg|
+     -> Vec<(u64, IotDeviceSession)> {
+        let approved = gateway.measurement(APP).unwrap();
+        devices
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let (sid, offer) = gateway.open_session(APP).unwrap();
+                let (accept, session) =
+                    IotDeviceSession::connect(&offer, avs, &approved, rng).unwrap();
+                gateway.complete_session(sid, &accept).unwrap();
+                for round in &mask_rounds {
+                    gateway.install_mask(sid, &round[i]).unwrap();
+                }
+                (sid, session)
+            })
+            .collect()
+    };
+    let serve = |gateway: &Gateway,
+                 device_sessions: &mut [(u64, IotDeviceSession)],
+                 rounds: core::ops::Range<usize>|
+     -> usize {
+        for event in &workload.schedule {
+            if !rounds.contains(&event.request) {
+                continue;
+            }
+            let device = &workload.tenants[event.tenant].devices[event.device];
+            let (sid, session) = &mut device_sessions[event.device];
+            let request =
+                session.encrypt_request(contribution(device, event.request), PrivateData::None);
+            gateway.submit(*sid, request).unwrap();
+        }
+        gateway
+            .drain_all()
+            .unwrap()
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.outcome,
+                    glimmer_core::protocol::BatchOutcome::Reply { endorsed: true, .. }
+                )
+            })
+            .count()
+    };
+    let ready_ecalls = |gateway: &Gateway| -> u64 {
+        gateway
+            .stats()
+            .slots
+            .iter()
+            .map(|row| row.stats.ecalls)
+            .sum()
+    };
+
+    // --- Serve, checkpoint, crash. ---
+    // The dedicated gateway rng stands in for the machine identity: restore
+    // reproduces the platforms from the same seed.
+    let machine_seed = [73u8; 32];
+    let mut avs = AttestationService::new([72u8; 32]);
+    let gateway = Gateway::new(
+        config(),
+        tenants(),
+        &mut avs,
+        &mut Drbg::from_seed(machine_seed),
+    )
+    .unwrap();
+    let mut original_sessions = connect(&gateway, &avs, &mut rng);
+    let pre_endorsed = serve(&gateway, &mut original_sessions, 0..pre_rounds);
+    let snapshot_bytes_vec = gateway.checkpoint().unwrap().to_bytes();
+    drop(gateway); // the crash: every enclave dies with the process
+
+    // --- Recovery path A: cold rebuild (what PR 3 and earlier had). ---
+    let cold_start = Instant::now();
+    let cold = Gateway::new(
+        config(),
+        tenants(),
+        &mut avs,
+        &mut Drbg::from_seed([74u8; 32]),
+    )
+    .unwrap();
+    let mut cold_sessions = connect(&cold, &avs, &mut rng);
+    let cold_rebuild_ms = cold_start.elapsed().as_secs_f64() * 1e3;
+    let cold_ready_ecalls = ready_ecalls(&cold);
+    let post_endorsed_cold = serve(&cold, &mut cold_sessions, pre_rounds..requests_per_session);
+    drop(cold);
+
+    // --- Recovery path B: restore from the sealed checkpoint. ---
+    let restore_start = Instant::now();
+    let snapshot = GatewaySnapshot::from_bytes(&snapshot_bytes_vec).unwrap();
+    let restored = Gateway::restore(
+        config(),
+        tenants(),
+        &snapshot,
+        &mut avs,
+        &mut Drbg::from_seed(machine_seed),
+    )
+    .unwrap();
+    let restore_ms = restore_start.elapsed().as_secs_f64() * 1e3;
+    let restore_ready_ecalls = ready_ecalls(&restored);
+    // The original devices keep their sessions: no re-handshake, no mask
+    // re-delivery, straight back to serving.
+    let post_endorsed_restore = serve(
+        &restored,
+        &mut original_sessions,
+        pre_rounds..requests_per_session,
+    );
+
+    E14Row {
+        sessions,
+        requests_per_session,
+        slots,
+        pre_endorsed,
+        post_endorsed_cold,
+        post_endorsed_restore,
+        cold_ready_ecalls,
+        restore_ready_ecalls,
+        ecall_reduction: cold_ready_ecalls as f64 / (restore_ready_ecalls as f64).max(1.0),
+        cold_rebuild_ms,
+        restore_ms,
+        snapshot_bytes: snapshot_bytes_vec.len(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2054,6 +2280,25 @@ mod tests {
         if !crate::alloc_track::counting_enabled() {
             assert!(rows.iter().all(|r| r.allocs_per_req == 0.0));
         }
+    }
+
+    #[test]
+    fn e14_restore_cuts_provisioning_ecalls_without_changing_outcomes() {
+        let row = e14_restart_recovery(8, 4, 4, SEED);
+        assert!(row.pre_endorsed > 0, "pre-crash traffic must endorse");
+        // Recovery changes cost, never outcomes.
+        assert_eq!(row.post_endorsed_cold, row.post_endorsed_restore);
+        // Zero re-provisioning on restore: one IMPORT_STATE ECALL per slot.
+        assert_eq!(row.restore_ready_ecalls, row.slots as u64);
+        // The acceptance bar: >=10x fewer provisioning ECALLs than a cold
+        // rebuild (which pays per-slot provisioning plus per-session
+        // handshakes and mask installs).
+        assert!(
+            row.ecall_reduction >= 10.0,
+            "got only {:.1}x",
+            row.ecall_reduction
+        );
+        assert!(row.snapshot_bytes > 0);
     }
 
     #[test]

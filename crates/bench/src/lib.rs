@@ -4,8 +4,9 @@
 //! architecture and scenario illustrations. This crate therefore defines
 //! the experiments derived from the figures, worked examples, and
 //! quantitative claims — E1–E10 from the paper plus E11 (the gateway
-//! serving comparison), E12 (shard-per-core runtime scaling), and E13
-//! (the batched, allocation-lean hot path) — and implements each one as a
+//! serving comparison), E12 (shard-per-core runtime scaling), E13 (the
+//! batched, allocation-lean hot path), and E14 (restart recovery: cold
+//! rebuild vs sealed checkpoint restore) — and implements each one as a
 //! reusable function plus a binary that prints the corresponding table.
 //! The Criterion benches under `benches/` cover the micro-benchmarks
 //! (crypto, enclave transitions, blinding, validation, end-to-end

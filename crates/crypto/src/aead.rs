@@ -57,6 +57,34 @@ impl AeadKey {
         Self::from_master(&master)
     }
 
+    /// Exports the derived sub-keys (`enc || mac`, 64 bytes) for sealed
+    /// persistence.
+    ///
+    /// This deliberately reveals the working key material, so it must only
+    /// ever be called on data that goes straight into a sealed blob (the
+    /// enclave checkpoint/restore path). It exists because channel keys are
+    /// derived from ephemeral DH exchanges whose secrets are long gone by
+    /// checkpoint time — the derived keys are the only form that can be
+    /// persisted.
+    #[must_use]
+    pub fn export_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.enc_key);
+        out[32..].copy_from_slice(&self.mac_key);
+        out
+    }
+
+    /// Rebuilds a key from [`AeadKey::export_bytes`] output (the inverse used
+    /// when unsealing a checkpoint).
+    #[must_use]
+    pub fn from_export(bytes: &[u8; 64]) -> Self {
+        let mut enc_key = [0u8; KEY_LEN];
+        let mut mac_key = [0u8; KEY_LEN];
+        enc_key.copy_from_slice(&bytes[..32]);
+        mac_key.copy_from_slice(&bytes[32..]);
+        AeadKey { enc_key, mac_key }
+    }
+
     /// Encrypts `plaintext`, binding it to `aad`, and returns
     /// `ciphertext || tag`.
     #[must_use]
@@ -133,6 +161,19 @@ mod tests {
         let nonce = [2u8; 12];
         let ct = key.seal(&nonce, b"aad", b"hello glimmer");
         assert_eq!(key.open(&nonce, b"aad", &ct).unwrap(), b"hello glimmer");
+    }
+
+    #[test]
+    fn export_round_trips_to_an_equivalent_key() {
+        let key = AeadKey::from_master(&[5u8; 32]);
+        let restored = AeadKey::from_export(&key.export_bytes());
+        let nonce = [9u8; 12];
+        // The restored key opens what the original sealed, and vice versa.
+        let ct = key.seal(&nonce, b"checkpoint", b"state");
+        assert_eq!(restored.open(&nonce, b"checkpoint", &ct).unwrap(), b"state");
+        let ct2 = restored.seal(&nonce, b"checkpoint", b"state2");
+        assert_eq!(key.open(&nonce, b"checkpoint", &ct2).unwrap(), b"state2");
+        assert_eq!(key.export_bytes(), restored.export_bytes());
     }
 
     #[test]

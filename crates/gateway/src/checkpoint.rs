@@ -1,0 +1,485 @@
+//! Crash-safe checkpoint/restore: the gateway's snapshot format and the
+//! crash-fault-injection hooks that prove it correct.
+//!
+//! A gateway restart used to throw away every provisioned enclave, sealed
+//! service key, and session table — millions of devices re-handshaking at
+//! once. A [`GatewaySnapshot`] captures everything needed to resume serving
+//! instead: per-slot enclave state **sealed by the enclaves themselves**
+//! (under `SealPolicy::MrEnclave`, with the snapshot header as AAD), the
+//! established-session table, per-tenant quota counters, and serving stats.
+//! [`crate::Gateway::checkpoint`] produces one; [`crate::Gateway::restore`]
+//! rebuilds a serving gateway from one without re-running a single tenant
+//! provisioning or session-handshake ECALL.
+//!
+//! # What is deliberately *not* persisted
+//!
+//! * **In-flight queue entries** — a queued request is not yet acknowledged
+//!   to its device, so the device retransmits it after a restart (its replay
+//!   nonce was only recorded at processing time, so the retransmission is
+//!   accepted exactly once).
+//! * **Pending handshakes** — their ephemeral DH secrets must die with the
+//!   process; devices reopen their sessions.
+//! * **Tenant confidential predicates** — re-installed by the tenant over
+//!   its attested channel.
+//!
+//! # Integrity and binding
+//!
+//! The snapshot envelope is the CRC-guarded, versioned
+//! [`glimmer_wire::snapshot`] frame: truncation, bit rot, and version skew
+//! all surface as typed [`crate::GatewayError::SnapshotCorrupt`] errors.
+//! Each slot's sealed state uses the frame's header bytes as sealing AAD, so
+//! a blob spliced in from a different snapshot (or tampered, or sealed by a
+//! different enclave build, or on a different machine) fails closed as
+//! [`crate::GatewayError::SealedBlobRejected`].
+//!
+//! # Security notes and limitations
+//!
+//! * **No rollback protection.** A snapshot is a point-in-time capture with
+//!   nothing binding it to "latest": whoever holds the machine can restore
+//!   an *older* snapshot, resetting replay-nonce sets, endorsement
+//!   counters, and auditor budgets to their values *as of that capture* —
+//!   traffic processed after the capture becomes replayable and budget
+//!   consumed after it is forgotten. Real SGX pairs sealed state with
+//!   hardware monotonic counters to close exactly this; the simulator does
+//!   not model them. What restore *does* guarantee is that counters never
+//!   regress past the restored snapshot's own capture point, and that a
+//!   snapshot cannot be altered, spliced, or moved between machines.
+//! * **Point-in-time restore forks history.** A restored gateway resumes
+//!   epoch numbering at the snapshot's epoch, so restoring a non-latest
+//!   snapshot can mint a second snapshot with an epoch an abandoned one
+//!   already used. Operators must discard snapshots with epochs above the
+//!   restored one (the same log-truncation rule as any point-in-time
+//!   recovery); the clock reading in the header separates such twins only
+//!   when the clock actually advanced.
+//!
+//! # Crash-fault injection
+//!
+//! The checkpoint/restore paths are threaded with labelled [`CrashPoint`]s,
+//! reported to an injected [`CrashHooks`] — the same injection pattern as
+//! [`crate::Clock`]/[`crate::ManualClock`]. Production uses the no-op
+//! [`NoCrash`]; the crash-matrix test kills the gateway at every labelled
+//! point and asserts each snapshot either restores bit-identically or is
+//! rejected with a typed error.
+
+use crate::error::{GatewayError, Result};
+use crate::stats::{SlotStats, TenantStats};
+use glimmer_wire::snapshot::{self, SnapshotFrame};
+use glimmer_wire::{Decoder, Encoder};
+use sgx_sim::Measurement;
+
+/// Snapshot-frame kind tag for a full gateway snapshot.
+pub const GATEWAY_SNAPSHOT_KIND: u16 = 1;
+
+/// The labelled points at which an injected fault can kill the gateway
+/// between checkpoint and restore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// Before any checkpoint work has started.
+    BeforeCheckpoint,
+    /// Every shard worker has paused at its checkpoint barrier.
+    WorkersQuiesced,
+    /// The session table, quota counters, and stats have been captured, but
+    /// no enclave state has been exported yet.
+    StateCaptured,
+    /// Every slot's sealed state export has been collected; the snapshot is
+    /// not yet assembled.
+    SlotsExported,
+    /// The snapshot value is fully assembled but not yet returned/persisted.
+    SnapshotAssembled,
+    /// Before any restore work has started.
+    BeforeRestore,
+    /// Mid-restore: the first tenant's slots have imported their sealed
+    /// state; the rest have not.
+    MidRestore,
+}
+
+impl CrashPoint {
+    /// Every labelled crash point, in checkpoint-then-restore order (the
+    /// crash-matrix test iterates this).
+    pub const ALL: [CrashPoint; 7] = [
+        CrashPoint::BeforeCheckpoint,
+        CrashPoint::WorkersQuiesced,
+        CrashPoint::StateCaptured,
+        CrashPoint::SlotsExported,
+        CrashPoint::SnapshotAssembled,
+        CrashPoint::BeforeRestore,
+        CrashPoint::MidRestore,
+    ];
+}
+
+impl core::fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let name = match self {
+            CrashPoint::BeforeCheckpoint => "before-checkpoint",
+            CrashPoint::WorkersQuiesced => "workers-quiesced",
+            CrashPoint::StateCaptured => "state-captured",
+            CrashPoint::SlotsExported => "slots-exported",
+            CrashPoint::SnapshotAssembled => "snapshot-assembled",
+            CrashPoint::BeforeRestore => "before-restore",
+            CrashPoint::MidRestore => "mid-restore",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Injected crash decisions, mirroring the [`crate::Clock`] pattern:
+/// production passes the no-op [`NoCrash`], deterministic tests pass
+/// [`CrashAt`] (or their own implementation) to kill the gateway at an
+/// exact labelled point.
+pub trait CrashHooks: Send + Sync {
+    /// Called when execution reaches `point`; returning `true` makes the
+    /// surrounding operation abort with
+    /// [`crate::GatewayError::CrashInjected`] — the deterministic stand-in
+    /// for the process dying right there.
+    fn reached(&self, point: CrashPoint) -> bool;
+}
+
+/// The production hooks: never crash.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoCrash;
+
+impl CrashHooks for NoCrash {
+    fn reached(&self, _point: CrashPoint) -> bool {
+        false
+    }
+}
+
+/// Test hooks that crash at exactly one labelled point.
+#[derive(Debug, Clone, Copy)]
+pub struct CrashAt(pub CrashPoint);
+
+impl CrashHooks for CrashAt {
+    fn reached(&self, point: CrashPoint) -> bool {
+        point == self.0
+    }
+}
+
+/// One pool slot's checkpointed state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotSnapshot {
+    /// Slot index within the tenant's pool.
+    pub slot_id: usize,
+    /// The enclave's serving state, sealed by the enclave itself under
+    /// `MrEnclave` with the snapshot header as AAD. Opaque to the gateway.
+    pub sealed_state: Vec<u8>,
+    /// The slot's drain counters at capture time. Per-incarnation fields
+    /// (`active_sessions`, `queue_depth`, `ecalls`, `drain_nanos`) are
+    /// zeroed at capture — they are not persisted by the codec, restart
+    /// with the process, and zeroing them keeps the value equal across a
+    /// serialization round trip.
+    pub stats: SlotStats,
+}
+
+/// One tenant's checkpointed state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSnapshot {
+    /// Tenant name (application id).
+    pub name: String,
+    /// The measurement devices verify — restore refuses a config whose
+    /// descriptor measures differently before any unseal is attempted.
+    pub measurement: Measurement,
+    /// Per-tenant quota/serving counters at capture time (restoring
+    /// `endorsed` is what keeps endorsement budgets enforced across
+    /// restarts).
+    pub counters: TenantStats,
+    /// Per-slot sealed state, in slot-id order.
+    pub slots: Vec<SlotSnapshot>,
+}
+
+/// One established session row, as persisted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionRecord {
+    /// The gateway-issued session id.
+    pub session_id: u64,
+    /// Index of the owning tenant in the snapshot's tenant list.
+    pub tenant_idx: usize,
+    /// The pool slot the session is pinned to.
+    pub slot: usize,
+    /// Clock reading when the session was opened.
+    pub opened_at_nanos: u64,
+}
+
+/// A full gateway checkpoint: everything needed to rebuild a serving
+/// gateway on the same machine without re-running tenant provisioning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatewaySnapshot {
+    /// Checkpoint sequence number. Unique within one gateway incarnation
+    /// and resumed from the snapshot on restore; sealed slot state is
+    /// AAD-bound to it, so blobs cannot migrate between snapshots. After
+    /// restoring a non-latest snapshot, discard the abandoned
+    /// higher-epoch snapshots (see the module's security notes).
+    pub epoch: u64,
+    /// The gateway clock's reading when the snapshot was captured.
+    pub created_at_nanos: u64,
+    /// Pool width the snapshot was taken under; restore requires the same.
+    pub slots_per_tenant: usize,
+    /// The session-id counter, so a restored gateway never reissues an id
+    /// that a live device still holds.
+    pub next_session_id: u64,
+    /// Gateway-wide submit-command counter (the E13 metric), preserved so
+    /// stats stay cumulative across restarts.
+    pub submit_commands: u64,
+    /// Tenants in deterministic (name) order.
+    pub tenants: Vec<TenantSnapshot>,
+    /// Established sessions, in session-id order. Pending sessions are
+    /// deliberately dropped (devices reopen them).
+    pub sessions: Vec<SessionRecord>,
+}
+
+impl GatewaySnapshot {
+    /// The canonical header bytes of this snapshot — the sealing AAD every
+    /// slot's state export is bound to.
+    #[must_use]
+    pub fn header_bytes(&self) -> Vec<u8> {
+        snapshot::header_bytes(GATEWAY_SNAPSHOT_KIND, self.epoch, self.created_at_nanos)
+    }
+
+    /// Serializes the snapshot into the CRC-guarded persistence format.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_varint(self.slots_per_tenant as u64);
+        enc.put_u64(self.next_session_id);
+        enc.put_u64(self.submit_commands);
+        enc.put_varint(self.tenants.len() as u64);
+        for tenant in &self.tenants {
+            enc.put_str(&tenant.name);
+            enc.put_array32(tenant.measurement.as_bytes());
+            let c = &tenant.counters;
+            for v in [
+                c.sessions_opened,
+                c.sessions_closed,
+                c.submitted,
+                c.endorsed,
+                c.rejected,
+                c.failed,
+                c.throttled,
+                c.dropped,
+            ] {
+                enc.put_u64(v);
+            }
+            enc.put_varint(tenant.slots.len() as u64);
+            for slot in &tenant.slots {
+                enc.put_varint(slot.slot_id as u64);
+                enc.put_bytes(&slot.sealed_state);
+                // `drain_nanos` is deliberately not persisted: wall-clock
+                // latency totals are per-incarnation (and would make
+                // snapshot bytes non-deterministic — the canary's contract).
+                let s = &slot.stats;
+                for v in [s.batches, s.items, s.max_batch, s.drain_cycles] {
+                    enc.put_u64(v);
+                }
+            }
+        }
+        enc.put_varint(self.sessions.len() as u64);
+        for record in &self.sessions {
+            enc.put_u64(record.session_id);
+            enc.put_varint(record.tenant_idx as u64);
+            enc.put_varint(record.slot as u64);
+            enc.put_u64(record.opened_at_nanos);
+        }
+        SnapshotFrame {
+            kind: GATEWAY_SNAPSHOT_KIND,
+            epoch: self.epoch,
+            created_at_nanos: self.created_at_nanos,
+            payload: enc.into_bytes(),
+        }
+        .to_bytes()
+    }
+
+    /// Parses a serialized snapshot, failing closed with typed errors:
+    /// [`GatewayError::SnapshotCorrupt`] for truncation, corruption, version
+    /// skew, or malformed payloads — never a panic, never a partial value.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let frame = SnapshotFrame::from_bytes(bytes).map_err(GatewayError::SnapshotCorrupt)?;
+        if frame.kind != GATEWAY_SNAPSHOT_KIND {
+            return Err(GatewayError::SnapshotMismatch {
+                reason: "not a gateway snapshot",
+            });
+        }
+        fn parse<T>(result: core::result::Result<T, glimmer_wire::WireError>) -> Result<T> {
+            result.map_err(GatewayError::SnapshotCorrupt)
+        }
+        let mut dec = Decoder::new(&frame.payload);
+        let slots_per_tenant = parse(dec.get_varint())? as usize;
+        let next_session_id = parse(dec.get_u64())?;
+        let submit_commands = parse(dec.get_u64())?;
+        let tenant_count = parse(dec.get_varint())? as usize;
+        let mut tenants = Vec::with_capacity(tenant_count.min(1024));
+        for _ in 0..tenant_count {
+            let name = parse(dec.get_str())?;
+            let measurement = Measurement(parse(dec.get_array32())?);
+            let counters = TenantStats {
+                sessions_opened: parse(dec.get_u64())?,
+                sessions_closed: parse(dec.get_u64())?,
+                submitted: parse(dec.get_u64())?,
+                endorsed: parse(dec.get_u64())?,
+                rejected: parse(dec.get_u64())?,
+                failed: parse(dec.get_u64())?,
+                throttled: parse(dec.get_u64())?,
+                dropped: parse(dec.get_u64())?,
+            };
+            let slot_count = parse(dec.get_varint())? as usize;
+            let mut slots = Vec::with_capacity(slot_count.min(1024));
+            for _ in 0..slot_count {
+                let slot_id = parse(dec.get_varint())? as usize;
+                let sealed_state = parse(dec.get_bytes())?;
+                let stats = SlotStats {
+                    batches: parse(dec.get_u64())?,
+                    items: parse(dec.get_u64())?,
+                    max_batch: parse(dec.get_u64())?,
+                    drain_cycles: parse(dec.get_u64())?,
+                    ..SlotStats::default()
+                };
+                slots.push(SlotSnapshot {
+                    slot_id,
+                    sealed_state,
+                    stats,
+                });
+            }
+            tenants.push(TenantSnapshot {
+                name,
+                measurement,
+                counters,
+                slots,
+            });
+        }
+        let session_count = parse(dec.get_varint())? as usize;
+        let mut sessions = Vec::with_capacity(session_count.min(65_536));
+        for _ in 0..session_count {
+            sessions.push(SessionRecord {
+                session_id: parse(dec.get_u64())?,
+                tenant_idx: parse(dec.get_varint())? as usize,
+                slot: parse(dec.get_varint())? as usize,
+                opened_at_nanos: parse(dec.get_u64())?,
+            });
+        }
+        parse(dec.finish())?;
+        Ok(GatewaySnapshot {
+            epoch: frame.epoch,
+            created_at_nanos: frame.created_at_nanos,
+            slots_per_tenant,
+            next_session_id,
+            submit_commands,
+            tenants,
+            sessions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GatewaySnapshot {
+        GatewaySnapshot {
+            epoch: 3,
+            created_at_nanos: 42,
+            slots_per_tenant: 2,
+            next_session_id: 17,
+            submit_commands: 9,
+            tenants: vec![TenantSnapshot {
+                name: "iot-telemetry.example".to_string(),
+                measurement: Measurement::of_bytes(b"glimmer"),
+                counters: TenantStats {
+                    sessions_opened: 4,
+                    endorsed: 11,
+                    ..TenantStats::default()
+                },
+                slots: vec![
+                    SlotSnapshot {
+                        slot_id: 0,
+                        sealed_state: vec![1, 2, 3],
+                        stats: SlotStats {
+                            batches: 2,
+                            items: 8,
+                            ..SlotStats::default()
+                        },
+                    },
+                    SlotSnapshot {
+                        slot_id: 1,
+                        sealed_state: vec![4, 5],
+                        stats: SlotStats::default(),
+                    },
+                ],
+            }],
+            sessions: vec![
+                SessionRecord {
+                    session_id: 1,
+                    tenant_idx: 0,
+                    slot: 0,
+                    opened_at_nanos: 7,
+                },
+                SessionRecord {
+                    session_id: 2,
+                    tenant_idx: 0,
+                    slot: 1,
+                    opened_at_nanos: 8,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let snap = sample();
+        let bytes = snap.to_bytes();
+        assert_eq!(GatewaySnapshot::from_bytes(&bytes).unwrap(), snap);
+        // Serialization is deterministic.
+        assert_eq!(bytes, sample().to_bytes());
+    }
+
+    #[test]
+    fn corruption_and_truncation_are_typed() {
+        let bytes = sample().to_bytes();
+        for cut in [0, 4, 12, bytes.len() / 2, bytes.len() - 1] {
+            assert!(matches!(
+                GatewaySnapshot::from_bytes(&bytes[..cut]),
+                Err(GatewayError::SnapshotCorrupt(_))
+            ));
+        }
+        for pos in (0..bytes.len()).step_by(7) {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x40;
+            assert!(
+                matches!(
+                    GatewaySnapshot::from_bytes(&corrupt),
+                    Err(GatewayError::SnapshotCorrupt(_))
+                ),
+                "flip at {pos} must be typed corruption"
+            );
+        }
+    }
+
+    #[test]
+    fn foreign_kind_is_rejected() {
+        let mut frame = SnapshotFrame::from_bytes(&sample().to_bytes()).expect("valid frame");
+        frame.kind = 99;
+        assert!(matches!(
+            GatewaySnapshot::from_bytes(&frame.to_bytes()),
+            Err(GatewayError::SnapshotMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn header_bytes_bind_kind_epoch_and_time() {
+        let snap = sample();
+        assert_eq!(
+            snap.header_bytes(),
+            snapshot::header_bytes(GATEWAY_SNAPSHOT_KIND, 3, 42)
+        );
+        let mut other = sample();
+        other.epoch = 4;
+        assert_ne!(snap.header_bytes(), other.header_bytes());
+    }
+
+    #[test]
+    fn crash_points_display_and_hooks() {
+        for point in CrashPoint::ALL {
+            assert!(!point.to_string().is_empty());
+            assert!(!NoCrash.reached(point));
+            assert!(CrashAt(point).reached(point));
+        }
+        assert!(!CrashAt(CrashPoint::MidRestore).reached(CrashPoint::BeforeRestore));
+    }
+}

@@ -1,5 +1,6 @@
 //! Typed gateway rejections.
 
+use crate::checkpoint::CrashPoint;
 use glimmer_core::GlimmerError;
 use std::sync::Arc;
 
@@ -66,6 +67,28 @@ pub enum GatewayError {
     /// A shard worker thread is gone (the runtime is shutting down or a
     /// worker panicked), so the command could not be served.
     RuntimeUnavailable,
+    /// An enclave refused a sealed or AEAD-protected input for this tenant:
+    /// a tampered/spliced sealed state blob on the restore path, or an
+    /// encrypted mask delivery that failed channel authentication. The
+    /// tenant label is the gateway's interned `Arc<str>` (no allocation per
+    /// rejection, matching the quota/backpressure errors).
+    SealedBlobRejected {
+        /// The tenant whose sealed input was rejected.
+        tenant: Arc<str>,
+    },
+    /// A snapshot and the restore-time configuration disagree (different
+    /// tenant set, measurement, or pool shape) — restore fails closed before
+    /// touching any enclave.
+    SnapshotMismatch {
+        /// What disagreed.
+        reason: &'static str,
+    },
+    /// Snapshot bytes failed envelope validation (truncation, bit rot,
+    /// version skew, malformed payload).
+    SnapshotCorrupt(glimmer_wire::WireError),
+    /// An injected crash fault fired at the given point (test harness only;
+    /// the deterministic stand-in for the process dying there).
+    CrashInjected(CrashPoint),
     /// An underlying Glimmer/enclave operation failed.
     Glimmer(GlimmerError),
 }
@@ -100,6 +123,19 @@ impl core::fmt::Display for GatewayError {
             }
             GatewayError::RuntimeUnavailable => {
                 write!(f, "gateway runtime unavailable (shard worker stopped)")
+            }
+            GatewayError::SealedBlobRejected { tenant } => {
+                write!(f, "enclave rejected sealed input for tenant {tenant:?}")
+            }
+            GatewayError::SnapshotMismatch { reason } => {
+                write!(
+                    f,
+                    "snapshot does not match the restore configuration: {reason}"
+                )
+            }
+            GatewayError::SnapshotCorrupt(e) => write!(f, "snapshot corrupt: {e}"),
+            GatewayError::CrashInjected(point) => {
+                write!(f, "injected crash fault at {point}")
             }
             GatewayError::Glimmer(e) => write!(f, "glimmer error: {e}"),
         }
@@ -158,6 +194,26 @@ mod tests {
                 "endorsements",
             ),
             (GatewayError::RuntimeUnavailable, "runtime unavailable"),
+            (
+                GatewayError::SealedBlobRejected {
+                    tenant: Arc::from("iot"),
+                },
+                "sealed input",
+            ),
+            (
+                GatewayError::SnapshotMismatch {
+                    reason: "tenant set",
+                },
+                "tenant set",
+            ),
+            (
+                GatewayError::SnapshotCorrupt(glimmer_wire::WireError::BadMagic),
+                "snapshot corrupt",
+            ),
+            (
+                GatewayError::CrashInjected(CrashPoint::BeforeRestore),
+                "injected crash",
+            ),
             (
                 GatewayError::Glimmer(GlimmerError::NotProvisioned("key")),
                 "glimmer error",

@@ -1,12 +1,16 @@
 //! The gateway facade: admission, routing, and batched serving.
 
+use crate::checkpoint::{
+    CrashHooks, CrashPoint, GatewaySnapshot, NoCrash, SessionRecord, SlotSnapshot, TenantSnapshot,
+    GATEWAY_SNAPSHOT_KIND,
+};
 use crate::clock::{Clock, SystemClock};
-use crate::config::{GatewayConfig, TenantConfig};
+use crate::config::{GatewayConfig, TenantConfig, TenantQuota};
 use crate::error::{GatewayError, QuotaResource, Result};
-use crate::pool::TenantPool;
+use crate::pool::{PoolSlot, TenantPool};
 use crate::runtime::{
-    ShardCommand, ShardDrainReport, ShardWorker, Shared, SlotGauges, SlotInfo, TenantCounters,
-    TenantMeta, WorkerSlot,
+    ShardCommand, ShardDrainReport, ShardWorker, Shared, SlotCheckpoint, SlotGauges, SlotInfo,
+    TenantCounters, TenantMeta, WorkerSlot,
 };
 use crate::session::{SessionEntry, SessionState, SessionTable};
 use crate::stats::GatewayStats;
@@ -14,10 +18,11 @@ use glimmer_core::blinding::MaskShare;
 use glimmer_core::channel::{ChannelAccept, ChannelOffer};
 use glimmer_core::enclave_app::MaskDelivery;
 use glimmer_core::protocol::{BatchItem, BatchOutcome};
+use glimmer_core::GlimmerError;
 use glimmer_crypto::drbg::Drbg;
-use sgx_sim::{AttestationService, Measurement};
+use sgx_sim::{AttestationService, Measurement, SgxError};
 use std::collections::BTreeSet;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -71,6 +76,26 @@ const _: () = {
     assert_send_sync::<Gateway>();
 };
 
+impl core::fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Gateway")
+            .field("shards", &self.senders.len())
+            .field("tenants", &self.shared.tenants.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// One tenant's pool, ready for the runtime — either freshly provisioned
+/// ([`Gateway::with_clock`]) or rebuilt from sealed checkpoint state
+/// ([`Gateway::restore_with_hooks`]).
+struct TenantBuild {
+    name: Arc<str>,
+    quota: TenantQuota,
+    measurement: Measurement,
+    counters: TenantCounters,
+    slots: Vec<PoolSlot>,
+}
+
 impl Gateway {
     /// Builds the gateway: creates and provisions `slots_per_tenant` enclaves
     /// for every tenant up front, then spawns the shard workers and hands
@@ -104,11 +129,8 @@ impl Gateway {
         let mut tenants = tenants;
         tenants.sort_by(|a, b| a.name.cmp(&b.name));
 
-        let shards = config.shards.max(1);
-        let mut metas = Vec::with_capacity(tenants.len());
-        let mut worker_slots: Vec<Vec<WorkerSlot>> = (0..shards).map(|_| Vec::new()).collect();
-        let mut next_shard = 0usize;
-        for (tenant_idx, tenant) in tenants.into_iter().enumerate() {
+        let mut builds = Vec::with_capacity(tenants.len());
+        for tenant in tenants {
             let pool = TenantPool::new(
                 &tenant,
                 config.slots_per_tenant,
@@ -117,8 +139,239 @@ impl Gateway {
                 avs,
             )?;
             let measurement = pool.measurement();
-            let mut slot_infos = Vec::with_capacity(pool.slots.len());
-            for slot in pool.slots {
+            builds.push(TenantBuild {
+                name: Arc::from(tenant.name.as_str()),
+                quota: tenant.quota,
+                measurement,
+                counters: TenantCounters::default(),
+                slots: pool.slots,
+            });
+        }
+        Self::assemble(config, clock, builds, SessionTable::new(), 0, 0)
+    }
+
+    /// Rebuilds a serving gateway from a checkpoint, on the same (simulated)
+    /// machine, without re-running tenant provisioning: each pool slot's
+    /// enclave is recreated from the descriptor and refilled from its
+    /// sealed state export in a single `IMPORT_STATE` ECALL — no service-key
+    /// provisioning, no session re-handshakes, no mask re-installs. Devices
+    /// that held established sessions keep serving with the channel keys
+    /// they already have.
+    ///
+    /// `rng` stands in for the machine's hardware identity: the platform
+    /// fuse secrets are drawn from it with the same fork labels as the
+    /// original construction, so it must be a generator in the same state
+    /// the original `Gateway::new` received (same seed, same position).
+    /// Sealed blobs from any other machine fail closed with
+    /// [`GatewayError::SealedBlobRejected`].
+    ///
+    /// Restore fails closed, with typed errors, on every mismatch: a
+    /// snapshot taken under a different pool shape or tenant set
+    /// ([`GatewayError::SnapshotMismatch`]), corrupted snapshot bytes
+    /// ([`GatewayError::SnapshotCorrupt`] from
+    /// [`GatewaySnapshot::from_bytes`]), and tampered, spliced, or
+    /// cross-measurement sealed state ([`GatewayError::SealedBlobRejected`]).
+    pub fn restore(
+        config: GatewayConfig,
+        tenants: Vec<TenantConfig>,
+        snapshot: &GatewaySnapshot,
+        avs: &mut AttestationService,
+        rng: &mut Drbg,
+    ) -> Result<Self> {
+        Self::restore_with_clock(
+            config,
+            tenants,
+            snapshot,
+            avs,
+            rng,
+            Arc::new(SystemClock::new()),
+        )
+    }
+
+    /// [`Gateway::restore`] with an injected [`Clock`].
+    pub fn restore_with_clock(
+        config: GatewayConfig,
+        tenants: Vec<TenantConfig>,
+        snapshot: &GatewaySnapshot,
+        avs: &mut AttestationService,
+        rng: &mut Drbg,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self> {
+        Self::restore_with_hooks(config, tenants, snapshot, avs, rng, clock, &NoCrash)
+    }
+
+    /// [`Gateway::restore_with_clock`] with injected [`CrashHooks`] (the
+    /// crash-fault-injection harness; production uses [`NoCrash`]).
+    pub fn restore_with_hooks(
+        config: GatewayConfig,
+        tenants: Vec<TenantConfig>,
+        snapshot: &GatewaySnapshot,
+        avs: &mut AttestationService,
+        rng: &mut Drbg,
+        clock: Arc<dyn Clock>,
+        hooks: &dyn CrashHooks,
+    ) -> Result<Self> {
+        let crash = |point: CrashPoint| -> Result<()> {
+            if hooks.reached(point) {
+                Err(GatewayError::CrashInjected(point))
+            } else {
+                Ok(())
+            }
+        };
+        crash(CrashPoint::BeforeRestore)?;
+        // Fail closed on any config/snapshot disagreement BEFORE touching an
+        // enclave: a wrong restore must never half-build a gateway.
+        if config.slots_per_tenant != snapshot.slots_per_tenant {
+            return Err(GatewayError::SnapshotMismatch {
+                reason: "pool width (slots_per_tenant) differs",
+            });
+        }
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        for tenant in &tenants {
+            if !seen.insert(tenant.name.as_str()) {
+                return Err(GatewayError::DuplicateTenant(tenant.name.clone()));
+            }
+        }
+        let mut tenants = tenants;
+        tenants.sort_by(|a, b| a.name.cmp(&b.name));
+        if tenants.len() != snapshot.tenants.len() {
+            return Err(GatewayError::SnapshotMismatch {
+                reason: "tenant set differs",
+            });
+        }
+        let expected_slots = config.slots_per_tenant.max(1);
+        for (tenant, snap) in tenants.iter().zip(&snapshot.tenants) {
+            if tenant.name != snap.name {
+                return Err(GatewayError::SnapshotMismatch {
+                    reason: "tenant names differ",
+                });
+            }
+            if tenant.descriptor.measurement() != snap.measurement {
+                return Err(GatewayError::SnapshotMismatch {
+                    reason: "tenant measurement differs",
+                });
+            }
+            if snap.slots.len() != expected_slots {
+                return Err(GatewayError::SnapshotMismatch {
+                    reason: "slot count differs",
+                });
+            }
+            for (i, slot) in snap.slots.iter().enumerate() {
+                if slot.slot_id != i {
+                    return Err(GatewayError::SnapshotMismatch {
+                        reason: "slot ids not contiguous",
+                    });
+                }
+            }
+        }
+        let mut seen_ids: BTreeSet<u64> = BTreeSet::new();
+        for record in &snapshot.sessions {
+            let valid = record.tenant_idx < snapshot.tenants.len()
+                && record.slot < snapshot.tenants[record.tenant_idx].slots.len()
+                && record.session_id < snapshot.next_session_id
+                && seen_ids.insert(record.session_id);
+            if !valid {
+                return Err(GatewayError::SnapshotMismatch {
+                    reason: "invalid session record",
+                });
+            }
+        }
+
+        let header = snapshot.header_bytes();
+        let mut builds = Vec::with_capacity(tenants.len());
+        for (tenant_idx, (tenant, snap)) in tenants.iter().zip(&snapshot.tenants).enumerate() {
+            let name: Arc<str> = Arc::from(tenant.name.as_str());
+            let mut slots = Vec::with_capacity(snap.slots.len());
+            for slot_snap in &snap.slots {
+                // The authoritative live set for this slot: the enclave
+                // keeps exactly these sessions and erases any orphans its
+                // sealed export carried (sessions closed concurrently with
+                // the checkpoint barrier).
+                let live_sessions: Vec<u64> = snapshot
+                    .sessions
+                    .iter()
+                    .filter(|r| r.tenant_idx == tenant_idx && r.slot == slot_snap.slot_id)
+                    .map(|r| r.session_id)
+                    .collect();
+                let slot = PoolSlot::restore(
+                    tenant,
+                    config.platform_config.clone(),
+                    rng,
+                    avs,
+                    &header,
+                    slot_snap,
+                    &live_sessions,
+                )
+                .map_err(|e| match e {
+                    // The enclave refused the sealed state: tampered,
+                    // spliced from another snapshot, wrong measurement, or
+                    // wrong machine. Typed, tenant-labelled, fail-closed.
+                    GatewayError::Glimmer(GlimmerError::Sgx(SgxError::UnsealDenied(_))) => {
+                        GatewayError::SealedBlobRejected {
+                            tenant: name.clone(),
+                        }
+                    }
+                    other => other,
+                })?;
+                slots.push(slot);
+            }
+            builds.push(TenantBuild {
+                name,
+                quota: tenant.quota.clone(),
+                measurement: snap.measurement,
+                counters: TenantCounters::from_stats(&snap.counters),
+                slots,
+            });
+            if tenant_idx == 0 {
+                crash(CrashPoint::MidRestore)?;
+            }
+        }
+
+        // Re-seat the established sessions: the enclaves hold their channel
+        // keys again (restored from sealed state), the devices never lost
+        // theirs, so the table entry is all the routing layer needs.
+        let entries = snapshot.sessions.iter().map(|record| {
+            (
+                record.session_id,
+                SessionEntry {
+                    tenant: builds[record.tenant_idx].name.clone(),
+                    tenant_idx: record.tenant_idx,
+                    slot: record.slot,
+                    state: SessionState::Established,
+                    opened_at_nanos: record.opened_at_nanos,
+                },
+            )
+        });
+        let table = SessionTable::restore(entries, snapshot.next_session_id);
+        Self::assemble(
+            config,
+            clock,
+            builds,
+            table,
+            snapshot.epoch,
+            snapshot.submit_commands,
+        )
+    }
+
+    /// Final construction step shared by [`Gateway::with_clock`] and
+    /// [`Gateway::restore_with_hooks`]: distributes the (provisioned or
+    /// restored) pool slots round-robin over the shard workers, recomputes
+    /// the session gauges from the table, and spawns the runtime.
+    fn assemble(
+        config: GatewayConfig,
+        clock: Arc<dyn Clock>,
+        builds: Vec<TenantBuild>,
+        table: SessionTable,
+        checkpoint_epoch: u64,
+        submit_commands: u64,
+    ) -> Result<Self> {
+        let shards = config.shards.max(1);
+        let mut metas = Vec::with_capacity(builds.len());
+        let mut worker_slots: Vec<Vec<WorkerSlot>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut next_shard = 0usize;
+        for (tenant_idx, build) in builds.into_iter().enumerate() {
+            let mut slot_infos = Vec::with_capacity(build.slots.len());
+            for slot in build.slots {
                 let gauges = Arc::new(SlotGauges::default());
                 let shard = next_shard;
                 next_shard = (next_shard + 1) % shards;
@@ -134,22 +387,36 @@ impl Gateway {
                 });
             }
             metas.push(TenantMeta {
-                name: Arc::from(tenant.name.as_str()),
-                quota: tenant.quota,
-                measurement,
-                counters: TenantCounters::default(),
-                live_sessions: std::sync::atomic::AtomicUsize::new(0),
-                queued: std::sync::atomic::AtomicUsize::new(0),
+                name: build.name,
+                quota: build.quota,
+                measurement: build.measurement,
+                counters: build.counters,
+                live_sessions: AtomicUsize::new(0),
+                queued: AtomicUsize::new(0),
                 slots: slot_infos,
             });
+        }
+
+        // Recompute the session gauges from the (possibly restored) table:
+        // every live entry holds one unit of its tenant's session quota and
+        // pins one slot. For a fresh gateway the table is empty and this is
+        // a no-op.
+        for (_, entry) in table.iter() {
+            let meta = &metas[entry.tenant_idx];
+            meta.live_sessions.fetch_add(1, Ordering::SeqCst);
+            meta.slots[entry.slot]
+                .gauges
+                .active_sessions
+                .fetch_add(1, Ordering::SeqCst);
         }
 
         let shared = Arc::new(Shared {
             config,
             clock,
             tenants: metas,
-            table: Mutex::new(SessionTable::new()),
-            submit_commands: std::sync::atomic::AtomicU64::new(0),
+            table: Mutex::new(table),
+            submit_commands: AtomicU64::new(submit_commands),
+            checkpoint_epoch: AtomicU64::new(checkpoint_epoch),
         });
 
         let mut senders = Vec::with_capacity(shards);
@@ -481,7 +748,18 @@ impl Gateway {
                 reply: tx,
             },
         )?;
-        Self::recv(&rx)?
+        Self::recv(&rx)?.map_err(|e| match e {
+            // The enclave's channel AEAD refused the sealed delivery
+            // (tampered ciphertext, wrong slot's channel key, replayed
+            // nonce). Surface the typed, tenant-labelled rejection instead
+            // of a stringly enclave abort.
+            GatewayError::Glimmer(GlimmerError::Sgx(SgxError::UnsealDenied(_))) => {
+                GatewayError::SealedBlobRejected {
+                    tenant: entry.tenant.clone(),
+                }
+            }
+            other => other,
+        })
     }
 
     /// The pool slot a session is pinned to — the tenant needs it to seal
@@ -947,6 +1225,175 @@ impl Gateway {
             .into_iter()
             .filter(|&session_id| self.close_session_if_pending(session_id))
             .collect()
+    }
+
+    /// Captures a crash-consistent checkpoint of the serving gateway:
+    /// sealed per-slot enclave state (service keys, session channel keys,
+    /// masks, replay nonces, auditor counters — sealed *by the enclaves*,
+    /// opaque to the gateway), the established-session table, per-tenant
+    /// quota counters, and per-slot stats.
+    ///
+    /// The capture quiesces the shard workers with a two-phase barrier:
+    /// every worker pauses at its command queue, the routing layer snapshots
+    /// the shared state while nothing mutates enclave state, then the
+    /// workers export their slots' sealed state and resume. Traffic
+    /// submitted concurrently is simply ordered after the checkpoint (FIFO
+    /// shard queues), so the snapshot is a consistent cut in the direction
+    /// that matters: every session in the captured table has its keys in
+    /// the captured enclave state (the enclave accept always precedes the
+    /// table establish). The reverse can transiently fail — a
+    /// `close_session` racing the barrier removes the table entry first,
+    /// leaving the session's keys in the sealed export — which is why
+    /// restore hands each enclave the authoritative live set and prunes
+    /// everything else at import.
+    ///
+    /// Deliberately **not** captured: in-flight queue entries (unacked —
+    /// devices retransmit after a restart, and their replay nonces are only
+    /// recorded at processing time, so the retransmission is accepted
+    /// exactly once) and pending handshakes (ephemeral DH secrets must die
+    /// with the process).
+    pub fn checkpoint(&self) -> Result<GatewaySnapshot> {
+        self.checkpoint_with_hooks(&NoCrash)
+    }
+
+    /// [`Gateway::checkpoint`] with injected [`CrashHooks`] — the
+    /// crash-fault-injection harness kills the checkpoint at any labelled
+    /// [`CrashPoint`]; an aborted checkpoint releases the paused workers
+    /// untouched and returns [`GatewayError::CrashInjected`].
+    pub fn checkpoint_with_hooks(&self, hooks: &dyn CrashHooks) -> Result<GatewaySnapshot> {
+        let crash = |point: CrashPoint| -> Result<()> {
+            if hooks.reached(point) {
+                Err(GatewayError::CrashInjected(point))
+            } else {
+                Ok(())
+            }
+        };
+        crash(CrashPoint::BeforeCheckpoint)?;
+        let epoch = self.shared.checkpoint_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let created_at_nanos = self.shared.clock.now_nanos();
+        let header = Arc::new(glimmer_wire::snapshot::header_bytes(
+            GATEWAY_SNAPSHOT_KIND,
+            epoch,
+            created_at_nanos,
+        ));
+
+        // Phase 1: barrier in. Every worker acknowledges the checkpoint and
+        // pauses. On any failure (or injected crash) from here on, dropping
+        // the `go` senders releases the paused workers untouched.
+        let mut readies = Vec::with_capacity(self.senders.len());
+        let mut gos = Vec::with_capacity(self.senders.len());
+        let mut replies = Vec::with_capacity(self.senders.len());
+        for shard in 0..self.senders.len() {
+            let (ready_tx, ready_rx) = channel();
+            let (go_tx, go_rx) = channel();
+            let (reply_tx, reply_rx) = channel();
+            self.send(
+                shard,
+                ShardCommand::Checkpoint {
+                    header: Arc::clone(&header),
+                    ready: ready_tx,
+                    go: go_rx,
+                    reply: reply_tx,
+                },
+            )?;
+            readies.push(ready_rx);
+            gos.push(go_tx);
+            replies.push(reply_rx);
+        }
+        for rx in &readies {
+            Self::recv(rx)?;
+        }
+        crash(CrashPoint::WorkersQuiesced)?;
+
+        // Consistent capture of the shared state while every worker is
+        // paused: only Established sessions are persisted (their enclave
+        // keys are in the exports below; pending handshakes are dropped and
+        // devices reopen them).
+        let (sessions, next_session_id) = {
+            let table = self.shared.table.lock().expect("session table poisoned");
+            let mut records: Vec<SessionRecord> = table
+                .iter()
+                .filter(|(_, entry)| entry.state == SessionState::Established)
+                .map(|(id, entry)| SessionRecord {
+                    session_id: *id,
+                    tenant_idx: entry.tenant_idx,
+                    slot: entry.slot,
+                    opened_at_nanos: entry.opened_at_nanos,
+                })
+                .collect();
+            records.sort_unstable_by_key(|record| record.session_id);
+            (records, table.next_id())
+        };
+        let counters: Vec<_> = self
+            .shared
+            .tenants
+            .iter()
+            .map(|meta| meta.counters.snapshot())
+            .collect();
+        let submit_commands = self.shared.submit_commands.load(Ordering::SeqCst);
+        crash(CrashPoint::StateCaptured)?;
+
+        // Phase 2: barrier out. Workers export their slots' sealed state
+        // (still before any queued command runs on them) and resume.
+        for go in &gos {
+            let _ = go.send(true);
+        }
+        let mut exported: Vec<SlotCheckpoint> = Vec::new();
+        for rx in &replies {
+            exported.extend(Self::recv(rx)??);
+        }
+        crash(CrashPoint::SlotsExported)?;
+
+        // Assemble, grouping slots per tenant in slot-id order (exports
+        // arrive in shard order).
+        let mut per_tenant: Vec<Vec<SlotSnapshot>> =
+            (0..self.shared.tenants.len()).map(|_| Vec::new()).collect();
+        for export in exported {
+            // Per-incarnation fields are zeroed at capture so the snapshot
+            // value round-trips exactly through its serialization (the
+            // codec does not persist them): wall-clock latency and ECALL
+            // counts restart with the process, queues are not persisted,
+            // and sessions re-pin via the restored table.
+            let stats = crate::stats::SlotStats {
+                drain_nanos: 0,
+                ecalls: 0,
+                active_sessions: 0,
+                queue_depth: 0,
+                ..export.stats
+            };
+            per_tenant[export.tenant_idx].push(SlotSnapshot {
+                slot_id: export.slot_id,
+                sealed_state: export.sealed_state,
+                stats,
+            });
+        }
+        let tenants = self
+            .shared
+            .tenants
+            .iter()
+            .zip(per_tenant)
+            .zip(counters)
+            .map(|((meta, mut slots), tenant_counters)| {
+                slots.sort_unstable_by_key(|slot| slot.slot_id);
+                TenantSnapshot {
+                    name: meta.name.to_string(),
+                    measurement: meta.measurement,
+                    counters: tenant_counters,
+                    slots,
+                }
+            })
+            .collect();
+        let snapshot = GatewaySnapshot {
+            epoch,
+            created_at_nanos,
+            slots_per_tenant: self.shared.config.slots_per_tenant,
+            next_session_id,
+            submit_commands,
+            tenants,
+            sessions,
+        };
+        crash(CrashPoint::SnapshotAssembled)?;
+        Ok(snapshot)
     }
 
     /// A labelled snapshot of every counter the gateway keeps: tenant

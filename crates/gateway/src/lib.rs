@@ -32,6 +32,15 @@
 //! * **Stats** ([`stats`]) — per-tenant endorsement/rejection/throttle
 //!   counters and per-slot batch sizes, enclave cycles, and wall-clock drain
 //!   latency.
+//! * **Checkpoint/restore** ([`checkpoint`]) — a crash-safe snapshot of the
+//!   whole serving state: per-slot enclave state sealed *by the enclaves*
+//!   (MrEnclave policy, snapshot header as AAD), the established-session
+//!   table, and quota counters, in a CRC-guarded versioned envelope.
+//!   [`Gateway::restore`] resumes serving after a crash with one
+//!   `IMPORT_STATE` ECALL per slot — no re-provisioning, no device
+//!   re-handshakes — and every tampered, spliced, or mismatched snapshot
+//!   fails closed with a typed error, proven by a deterministic
+//!   crash-fault-injection matrix over every [`CrashPoint`].
 //!
 //! The gateway is untrusted, exactly like the paper's remote host: devices
 //! authenticate the pooled Glimmers through remote attestation, traffic is
@@ -45,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod clock;
 pub mod config;
 pub mod error;
@@ -54,6 +64,10 @@ pub(crate) mod runtime;
 pub mod session;
 pub mod stats;
 
+pub use checkpoint::{
+    CrashAt, CrashHooks, CrashPoint, GatewaySnapshot, NoCrash, SessionRecord, SlotSnapshot,
+    TenantSnapshot, GATEWAY_SNAPSHOT_KIND,
+};
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use config::{GatewayConfig, TenantConfig, TenantQuota};
 pub use error::{GatewayError, QuotaResource, Result};

@@ -81,6 +81,64 @@ impl PoolSlot {
         })
     }
 
+    /// Rebuilds a slot from a checkpoint: the enclave is created exactly as
+    /// in [`PoolSlot::new`] — same rng fork label, so the platform's
+    /// simulated fuse secrets are those of the original machine — but
+    /// instead of the provisioning ECALL sequence (service key install, and
+    /// later a handshake pair plus mask installs per session) the serving
+    /// state arrives in **one** `IMPORT_STATE` ECALL, unsealed inside the
+    /// enclave. `restored_stats` carries the previous incarnation's drain
+    /// counters so serving metrics stay cumulative across the restart.
+    ///
+    /// Fails closed with the glimmer-level unseal rejection (mapped to
+    /// [`GatewayError::SealedBlobRejected`] by the caller) when the blob was
+    /// tampered with, sealed under a different snapshot header, a different
+    /// measurement, or a different platform.
+    pub(crate) fn restore(
+        tenant: &TenantConfig,
+        platform_config: PlatformConfig,
+        rng: &mut Drbg,
+        avs: &mut AttestationService,
+        header: &[u8],
+        snap: &crate::checkpoint::SlotSnapshot,
+        live_sessions: &[u64],
+    ) -> Result<Self> {
+        let mut client = GlimmerClient::new(
+            tenant.descriptor.clone(),
+            platform_config,
+            &mut rng.fork(&format!("gateway-slot-{}-{}", tenant.name, snap.slot_id)),
+        )
+        .map_err(GatewayError::Glimmer)?;
+        client.provision_platform(avs);
+        client
+            .import_state(header, &snap.sealed_state, live_sessions)
+            .map_err(GatewayError::Glimmer)?;
+        Ok(PoolSlot {
+            slot_id: snap.slot_id,
+            client,
+            queue: VecDeque::new(),
+            stats: SlotStats {
+                // Transient gauges restart at zero; the queue is empty by
+                // construction (in-flight entries are deliberately not
+                // persisted) and sessions re-pin via the restored table.
+                active_sessions: 0,
+                queue_depth: 0,
+                ecalls: 0,
+                ..snap.stats.clone()
+            },
+        })
+    }
+
+    /// Seals this slot's enclave serving state under `header` (the snapshot
+    /// AAD) and returns it together with the slot's current drain counters.
+    pub(crate) fn export_checkpoint(&mut self, header: &[u8]) -> Result<(Vec<u8>, SlotStats)> {
+        let sealed = self
+            .client
+            .export_state(header)
+            .map_err(GatewayError::Glimmer)?;
+        Ok((sealed, self.stats()))
+    }
+
     /// The slot's enclave runtime.
     pub fn client_mut(&mut self) -> &mut GlimmerClient {
         &mut self.client
@@ -174,6 +232,7 @@ impl PoolSlot {
     pub fn stats(&self) -> SlotStats {
         let mut stats = self.stats.clone();
         stats.queue_depth = self.queue.len();
+        stats.ecalls = self.client.cost_report().ecalls;
         stats
     }
 }

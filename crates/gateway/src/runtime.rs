@@ -63,6 +63,22 @@ pub(crate) struct TenantCounters {
 }
 
 impl TenantCounters {
+    /// Rebuilds counters from a checkpointed snapshot (the restore path);
+    /// in particular `endorsed` must survive restarts or endorsement
+    /// budgets would reset on every crash.
+    pub(crate) fn from_stats(stats: &TenantStats) -> Self {
+        TenantCounters {
+            sessions_opened: AtomicU64::new(stats.sessions_opened),
+            sessions_closed: AtomicU64::new(stats.sessions_closed),
+            submitted: AtomicU64::new(stats.submitted),
+            endorsed: AtomicU64::new(stats.endorsed),
+            rejected: AtomicU64::new(stats.rejected),
+            failed: AtomicU64::new(stats.failed),
+            throttled: AtomicU64::new(stats.throttled),
+            dropped: AtomicU64::new(stats.dropped),
+        }
+    }
+
     pub(crate) fn snapshot(&self) -> TenantStats {
         TenantStats {
             sessions_opened: self.sessions_opened.load(Ordering::SeqCst),
@@ -108,6 +124,10 @@ pub(crate) struct Shared {
     /// Commands pushed onto shard queues by the submit paths (one per
     /// `Submit`, one per `SubmitMany`) — the E13 batching metric.
     pub(crate) submit_commands: AtomicU64,
+    /// Checkpoint sequence counter: each checkpoint takes the next epoch,
+    /// which is folded into the snapshot header every sealed slot export is
+    /// AAD-bound to. Restored gateways resume from the snapshot's epoch.
+    pub(crate) checkpoint_epoch: AtomicU64,
 }
 
 impl Shared {
@@ -177,10 +197,32 @@ pub(crate) enum ShardCommand {
     Drain {
         reply: Sender<ShardDrainReport>,
     },
+    /// Two-phase checkpoint barrier. The worker signals `ready` (it is now
+    /// paused — nothing on this shard mutates enclave or stats state), then
+    /// blocks on `go`. `go = true` means the routing layer finished its
+    /// consistent capture of the shared state: the worker exports every
+    /// slot's sealed enclave state under `header` and replies. `go = false`
+    /// (or a dropped sender — the checkpointing caller died) abandons the
+    /// checkpoint; the worker resumes serving untouched.
+    Checkpoint {
+        header: Arc<Vec<u8>>,
+        ready: Sender<()>,
+        go: Receiver<bool>,
+        reply: Sender<Result<Vec<SlotCheckpoint>>>,
+    },
     CollectStats {
         reply: Sender<Vec<SlotStatsRow>>,
     },
     Shutdown,
+}
+
+/// One slot's contribution to a checkpoint, as reported by its shard worker.
+pub(crate) struct SlotCheckpoint {
+    pub(crate) tenant_idx: usize,
+    pub(crate) slot_id: usize,
+    /// Enclave-sealed serving state (AAD-bound to the snapshot header).
+    pub(crate) sealed_state: Vec<u8>,
+    pub(crate) stats: crate::stats::SlotStats,
 }
 
 /// One slot as owned by its shard worker.
@@ -287,12 +329,45 @@ impl ShardWorker {
                     let report = self.drain();
                     let _ = reply.send(report);
                 }
+                ShardCommand::Checkpoint {
+                    header,
+                    ready,
+                    go,
+                    reply,
+                } => {
+                    let _ = ready.send(());
+                    // Block until every shard is paused and the routing
+                    // layer has captured the shared state; an abandoned
+                    // checkpoint (false, or the caller died) resumes serving
+                    // with nothing exported.
+                    if !matches!(go.recv(), Ok(true)) {
+                        continue;
+                    }
+                    let _ = reply.send(self.export_slots(&header));
+                }
                 ShardCommand::CollectStats { reply } => {
                     let _ = reply.send(self.collect_stats());
                 }
                 ShardCommand::Shutdown => break,
             }
         }
+    }
+
+    /// Seals every owned slot's enclave state under the snapshot header.
+    /// Runs strictly between the checkpoint barrier and the next command,
+    /// so the exports are consistent with the captured shared state.
+    fn export_slots(&mut self, header: &[u8]) -> Result<Vec<SlotCheckpoint>> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for ws in &mut self.slots {
+            let (sealed_state, stats) = ws.slot.export_checkpoint(header)?;
+            out.push(SlotCheckpoint {
+                tenant_idx: ws.tenant_idx,
+                slot_id: ws.slot.slot_id,
+                sealed_state,
+                stats,
+            });
+        }
+        Ok(out)
     }
 
     fn close_session(&mut self, slot: usize, session_id: u64) -> Result<()> {

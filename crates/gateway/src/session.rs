@@ -55,6 +55,23 @@ impl SessionTable {
         }
     }
 
+    /// Rebuilds a table from checkpointed entries, resuming id issuance at
+    /// `next_id` so a restored gateway never reissues an id a live device
+    /// still holds.
+    #[must_use]
+    pub fn restore(entries: impl IntoIterator<Item = (u64, SessionEntry)>, next_id: u64) -> Self {
+        SessionTable {
+            sessions: entries.into_iter().collect(),
+            next_id,
+        }
+    }
+
+    /// The next session id this table would issue (persisted by checkpoints).
+    #[must_use]
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
     /// Number of live sessions (pending + established).
     #[must_use]
     pub fn len(&self) -> usize {

@@ -55,6 +55,12 @@ pub struct SlotStats {
     pub active_sessions: usize,
     /// Requests currently queued on this slot.
     pub queue_depth: usize,
+    /// ECALLs made by this slot's platform since the slot was (re)built —
+    /// the E14 restart-recovery metric: a freshly provisioned slot pays a
+    /// provisioning ECALL plus a handshake pair and a mask install per
+    /// session, while a checkpoint-restored slot pays exactly one
+    /// `IMPORT_STATE` ECALL regardless of session count.
+    pub ecalls: u64,
 }
 
 impl SlotStats {

@@ -1,0 +1,735 @@
+//! Crash-safe checkpoint/restore invariants, proven by deterministic
+//! crash-fault injection.
+//!
+//! The matrix kills the gateway at every labelled [`CrashPoint`] between
+//! checkpoint and restore and replays the E11 mixed-tenant workload. For
+//! every point it asserts: no lost or duplicated endorsements, no
+//! cross-tenant leakage, and — at `shards: 1` — a drain order bit-identical
+//! to an uninterrupted run. Corrupted, truncated, spliced, cross-machine,
+//! and cross-measurement snapshots must all fail closed with typed errors.
+//! A determinism canary runs the checkpoint scenario twice and diffs the
+//! snapshot bytes.
+
+use glimmer_core::blinding::{BlindingService, MaskShare};
+use glimmer_core::host::GlimmerDescriptor;
+use glimmer_core::protocol::{BatchOutcome, Contribution, ContributionPayload, PrivateData};
+use glimmer_core::remote::IotDeviceSession;
+use glimmer_core::signing::ServiceKeyMaterial;
+use glimmer_crypto::drbg::Drbg;
+use glimmer_gateway::{
+    CrashAt, CrashPoint, Gateway, GatewayConfig, GatewayError, GatewaySnapshot, ManualClock,
+    QuotaResource, TenantConfig, TenantQuota,
+};
+use glimmer_workloads::gateway::{GatewayTrafficWorkload, TenantTrafficSpec};
+use sgx_sim::{AttestationService, PlatformConfig};
+use std::ops::Range;
+use std::sync::Arc;
+
+const IOT: &str = "iot-telemetry.example";
+const KEYBOARD: &str = "nextwordpredictive.com";
+const DIM: usize = 4;
+const DEVICES_PER_TENANT: usize = 2;
+const ROUNDS: usize = 4;
+const PRE_ROUNDS: usize = 2;
+
+const GW_SEED: [u8; 32] = [90u8; 32];
+const DEV_SEED: [u8; 32] = [91u8; 32];
+const AVS_SEED: [u8; 32] = [92u8; 32];
+const WORKLOAD_SEED: [u8; 32] = [93u8; 32];
+const MATERIAL_SEED: [u8; 32] = [94u8; 32];
+
+fn config() -> GatewayConfig {
+    GatewayConfig {
+        slots_per_tenant: 2,
+        // Deterministic single-shard mode: the matrix compares drain order
+        // bit-for-bit against an uninterrupted run.
+        shards: 1,
+        max_batch: 64,
+        max_queue_depth: 256,
+        placement_session_weight: 4,
+        platform_config: PlatformConfig::default(),
+    }
+}
+
+fn tenant_configs() -> Vec<TenantConfig> {
+    let mut rng = Drbg::from_seed(MATERIAL_SEED);
+    let iot_material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+    let kb_material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+    vec![
+        TenantConfig::new(
+            IOT,
+            GlimmerDescriptor::iot_default(Vec::new()),
+            iot_material.secret_bytes(),
+        ),
+        TenantConfig::new(
+            KEYBOARD,
+            GlimmerDescriptor::keyboard_range_only(),
+            kb_material.secret_bytes(),
+        ),
+    ]
+}
+
+fn workload() -> GatewayTrafficWorkload {
+    GatewayTrafficWorkload::generate(
+        &[
+            TenantTrafficSpec {
+                name: IOT.to_string(),
+                devices: DEVICES_PER_TENANT,
+                requests_per_device: ROUNDS,
+                dimension: DIM,
+                misbehaving_fraction: 0.25,
+            },
+            TenantTrafficSpec {
+                name: KEYBOARD.to_string(),
+                devices: DEVICES_PER_TENANT,
+                requests_per_device: ROUNDS,
+                dimension: DIM,
+                misbehaving_fraction: 0.25,
+            },
+        ],
+        WORKLOAD_SEED,
+    )
+}
+
+struct Device {
+    tenant: String,
+    session_id: u64,
+    session: IotDeviceSession,
+}
+
+/// One scheduled arrival: which device (index into the fixture's device
+/// vector), which round, and the encrypted request. Requests are encrypted
+/// exactly once, up front — after a crash, devices retransmit the *stored*
+/// ciphertext of every unacknowledged request, exactly like real devices.
+struct Event {
+    device: usize,
+    round: usize,
+    ciphertext: Vec<u8>,
+}
+
+struct Fixture {
+    gateway: Option<Gateway>,
+    avs: AttestationService,
+    clock: Arc<ManualClock>,
+    devices: Vec<Device>,
+    events: Vec<Event>,
+}
+
+fn build_fixture() -> Fixture {
+    let workload = workload();
+    let mut avs = AttestationService::new(AVS_SEED);
+    let clock = Arc::new(ManualClock::new());
+    let gateway = Gateway::with_clock(
+        config(),
+        tenant_configs(),
+        &mut avs,
+        &mut Drbg::from_seed(GW_SEED),
+        clock.clone(),
+    )
+    .unwrap();
+
+    let mut dev_rng = Drbg::from_seed(DEV_SEED);
+    let mut devices = Vec::new();
+    for (t_idx, tenant) in workload.tenants.iter().enumerate() {
+        let approved = gateway.measurement(&tenant.name).unwrap();
+        let client_ids: Vec<u64> = tenant.devices.iter().map(|d| d.device_id).collect();
+        let blinding = BlindingService::new([95 + t_idx as u8; 32]);
+        let mask_rounds: Vec<Vec<MaskShare>> = (0..ROUNDS)
+            .map(|round| blinding.zero_sum_masks(round as u64, &client_ids, DIM))
+            .collect();
+        for (d_idx, _device) in tenant.devices.iter().enumerate() {
+            let (session_id, offer) = gateway.open_session(&tenant.name).unwrap();
+            let (accept, session) =
+                IotDeviceSession::connect(&offer, &avs, &approved, &mut dev_rng).unwrap();
+            gateway.complete_session(session_id, &accept).unwrap();
+            for round in &mask_rounds {
+                gateway.install_mask(session_id, &round[d_idx]).unwrap();
+            }
+            devices.push(Device {
+                tenant: tenant.name.clone(),
+                session_id,
+                session,
+            });
+        }
+    }
+
+    let mut events = Vec::new();
+    for event in &workload.schedule {
+        let device_idx = event.tenant * DEVICES_PER_TENANT + event.device;
+        let traffic = &workload.tenants[event.tenant].devices[event.device];
+        let samples = traffic.requests[event.request].clone();
+        let payload = if workload.tenants[event.tenant].name == IOT {
+            ContributionPayload::IotReadings { samples }
+        } else {
+            ContributionPayload::ModelUpdate { weights: samples }
+        };
+        let contribution = Contribution {
+            app_id: workload.tenants[event.tenant].name.clone(),
+            client_id: traffic.device_id,
+            round: event.request as u64,
+            payload,
+        };
+        let ciphertext = devices[device_idx]
+            .session
+            .encrypt_request(contribution, PrivateData::None);
+        events.push(Event {
+            device: device_idx,
+            round: event.request,
+            ciphertext,
+        });
+    }
+
+    Fixture {
+        gateway: Some(gateway),
+        avs,
+        clock,
+        devices,
+        events,
+    }
+}
+
+/// One decrypted reply, in drain order: (session id, tenant label, decrypted
+/// device-side view of the response). Two runs agreeing on this sequence
+/// agree on drain order, endorsement outcomes, and the exact endorsement
+/// contents (signatures are deterministic), i.e. bit-identically.
+type RespRec = (u64, String, String);
+
+fn submit_rounds(
+    devices: &[Device],
+    events: &[Event],
+    gateway: &Gateway,
+    rounds: Range<usize>,
+) -> Vec<RespRec> {
+    for event in events.iter().filter(|e| rounds.contains(&e.round)) {
+        gateway
+            .submit(devices[event.device].session_id, event.ciphertext.clone())
+            .unwrap();
+    }
+    let responses = gateway.drain_all().unwrap();
+    responses
+        .iter()
+        .map(|response| {
+            let device = devices
+                .iter()
+                .find(|d| d.session_id == response.session_id)
+                .expect("response for unknown session");
+            // No cross-tenant leakage: the reply is labelled with the
+            // session's own tenant and decrypts under the device's own
+            // channel keys (another tenant's enclave or another session's
+            // keys would fail AEAD opening).
+            assert_eq!(&*response.tenant, device.tenant.as_str());
+            let BatchOutcome::Reply { ciphertext, .. } = &response.outcome else {
+                panic!("unexpected outcome {:?}", response.outcome);
+            };
+            let decrypted = device.session.decrypt_response(ciphertext).unwrap();
+            (
+                response.session_id,
+                device.tenant.clone(),
+                format!("{decrypted:?}"),
+            )
+        })
+        .collect()
+}
+
+fn run_uninterrupted() -> Vec<RespRec> {
+    let mut fixture = build_fixture();
+    let gateway = fixture.gateway.take().unwrap();
+    let mut records = submit_rounds(&fixture.devices, &fixture.events, &gateway, 0..PRE_ROUNDS);
+    records.extend(submit_rounds(
+        &fixture.devices,
+        &fixture.events,
+        &gateway,
+        PRE_ROUNDS..ROUNDS,
+    ));
+    records
+}
+
+/// Serves the first half of the workload, checkpoints, kills the gateway at
+/// `point`, restores from the surviving snapshot bytes, and serves the rest.
+/// Returns the full decrypted reply sequence and the snapshot bytes.
+fn run_with_crash_at(point: CrashPoint) -> (Vec<RespRec>, Vec<u8>) {
+    let mut fixture = build_fixture();
+    let gateway = fixture.gateway.take().unwrap();
+    let mut records = submit_rounds(&fixture.devices, &fixture.events, &gateway, 0..PRE_ROUNDS);
+
+    // The last good checkpoint — what the operator has persisted.
+    let snapshot_bytes = gateway.checkpoint().unwrap().to_bytes();
+
+    let restore_side = matches!(point, CrashPoint::BeforeRestore | CrashPoint::MidRestore);
+    if !restore_side {
+        // A later checkpoint attempt dies at the labelled point: it must
+        // fail atomically (typed error, workers released, nothing emitted).
+        let err = gateway.checkpoint_with_hooks(&CrashAt(point)).unwrap_err();
+        assert_eq!(err, GatewayError::CrashInjected(point));
+        // The gateway is still fully serviceable after the aborted attempt.
+        assert!(gateway.drain().unwrap().is_empty());
+    }
+
+    // The crash: the serving process dies, taking every enclave with it.
+    drop(gateway);
+
+    // Restore from the persisted bytes (full envelope validation en route).
+    let snapshot = GatewaySnapshot::from_bytes(&snapshot_bytes).unwrap();
+    if restore_side {
+        // The first restore attempt dies at the labelled point; the snapshot
+        // is untouched, so a clean retry (fresh machine-identity rng in its
+        // original state) must succeed.
+        let err = Gateway::restore_with_hooks(
+            config(),
+            tenant_configs(),
+            &snapshot,
+            &mut fixture.avs,
+            &mut Drbg::from_seed(GW_SEED),
+            fixture.clock.clone(),
+            &CrashAt(point),
+        )
+        .unwrap_err();
+        assert_eq!(err, GatewayError::CrashInjected(point));
+    }
+    let restored = Gateway::restore_with_clock(
+        config(),
+        tenant_configs(),
+        &snapshot,
+        &mut fixture.avs,
+        &mut Drbg::from_seed(GW_SEED),
+        fixture.clock.clone(),
+    )
+    .unwrap();
+
+    // Zero re-provisioning: each slot paid exactly one IMPORT_STATE ECALL —
+    // no service-key install, no session re-handshakes, no mask re-installs.
+    let stats = restored.stats();
+    assert_eq!(stats.slots.len(), 4);
+    for row in &stats.slots {
+        assert_eq!(
+            row.stats.ecalls, 1,
+            "slot {}/{} paid provisioning ecalls on restore",
+            row.tenant, row.slot
+        );
+    }
+    // Restored counters are cumulative: the pre-crash endorsements are
+    // still accounted.
+    let pre_endorsed: usize = records
+        .iter()
+        .filter(|(_, _, d)| d.contains("Endorsed"))
+        .count();
+    assert_eq!(stats.total_endorsed(), pre_endorsed as u64);
+
+    // Devices retransmit everything unacknowledged and keep serving.
+    records.extend(submit_rounds(
+        &fixture.devices,
+        &fixture.events,
+        &restored,
+        PRE_ROUNDS..ROUNDS,
+    ));
+
+    // A restored gateway never reissues a session id a device still holds.
+    let (fresh_id, _offer) = restored.open_session(IOT).unwrap();
+    assert!(fresh_id >= snapshot.next_session_id);
+    assert!(fixture.devices.iter().all(|d| d.session_id != fresh_id));
+
+    (records, snapshot_bytes)
+}
+
+#[test]
+fn crash_matrix_restores_bit_identically_at_every_point() {
+    let baseline = run_uninterrupted();
+    assert!(
+        baseline.iter().any(|(_, _, d)| d.contains("Endorsed")),
+        "workload must produce endorsements"
+    );
+    assert!(
+        baseline.iter().any(|(_, t, _)| t == IOT) && baseline.iter().any(|(_, t, _)| t == KEYBOARD),
+        "workload must span both tenants"
+    );
+    for point in CrashPoint::ALL {
+        let (records, _) = run_with_crash_at(point);
+        assert_eq!(
+            records, baseline,
+            "crash at {point}: restored serving diverged from the uninterrupted run"
+        );
+    }
+}
+
+#[test]
+fn snapshot_determinism_canary() {
+    // The non-determinism canary: the same scenario, run twice from
+    // scratch, must produce byte-identical snapshots (sorted map encodings,
+    // injected clock, seeded DRBGs). A diff here means restore correctness
+    // can no longer be argued from determinism.
+    let (records_a, bytes_a) = run_with_crash_at(CrashPoint::SnapshotAssembled);
+    let (records_b, bytes_b) = run_with_crash_at(CrashPoint::SnapshotAssembled);
+    assert_eq!(records_a, records_b, "reply sequences diverged across runs");
+    assert_eq!(bytes_a, bytes_b, "snapshot bytes diverged across runs");
+}
+
+#[test]
+fn corrupted_snapshots_fail_closed_with_typed_errors() {
+    let mut fixture = build_fixture();
+    let gateway = fixture.gateway.take().unwrap();
+    submit_rounds(&fixture.devices, &fixture.events, &gateway, 0..PRE_ROUNDS);
+    let snapshot = gateway.checkpoint().unwrap();
+    let bytes = snapshot.to_bytes();
+    drop(gateway);
+
+    // Truncation at every prefix length: typed corruption, never a panic.
+    for cut in [0, 4, 12, bytes.len() / 3, bytes.len() / 2, bytes.len() - 1] {
+        assert!(matches!(
+            GatewaySnapshot::from_bytes(&bytes[..cut]),
+            Err(GatewayError::SnapshotCorrupt(_))
+        ));
+    }
+    // Bit flips across the whole frame: the CRC (or magic/version check)
+    // catches every one.
+    for pos in (0..bytes.len()).step_by(13) {
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 0x10;
+        assert!(
+            matches!(
+                GatewaySnapshot::from_bytes(&corrupt),
+                Err(GatewayError::SnapshotCorrupt(_) | GatewayError::SnapshotMismatch { .. })
+            ),
+            "flip at byte {pos} must be rejected"
+        );
+    }
+
+    // A tampered sealed blob passes the envelope (the attacker can re-CRC)
+    // but the enclave refuses it: typed, tenant-labelled.
+    let mut tampered = snapshot.clone();
+    let mid = tampered.tenants[0].slots[0].sealed_state.len() / 2;
+    tampered.tenants[0].slots[0].sealed_state[mid] ^= 0x01;
+    let err = Gateway::restore_with_clock(
+        config(),
+        tenant_configs(),
+        &tampered,
+        &mut fixture.avs,
+        &mut Drbg::from_seed(GW_SEED),
+        fixture.clock.clone(),
+    )
+    .unwrap_err();
+    assert_eq!(
+        err,
+        GatewayError::SealedBlobRejected {
+            tenant: Arc::from(IOT),
+        }
+    );
+
+    // Restoring on a different machine (different fuse secrets): rejected.
+    let err = Gateway::restore_with_clock(
+        config(),
+        tenant_configs(),
+        &snapshot,
+        &mut fixture.avs,
+        &mut Drbg::from_seed([7u8; 32]),
+        fixture.clock.clone(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, GatewayError::SealedBlobRejected { .. }));
+
+    // Cross-measurement: a v2 descriptor (even with the snapshot's
+    // measurement field forged to match) cannot unseal v1 state.
+    let mut v2_tenants = tenant_configs();
+    for tenant in &mut v2_tenants {
+        tenant.descriptor.version += 1;
+    }
+    let mut forged = snapshot.clone();
+    for (snap, tenant) in forged.tenants.iter_mut().zip(&v2_tenants) {
+        snap.measurement = tenant.descriptor.measurement();
+    }
+    let err = Gateway::restore_with_clock(
+        config(),
+        v2_tenants,
+        &forged,
+        &mut fixture.avs,
+        &mut Drbg::from_seed(GW_SEED),
+        fixture.clock.clone(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, GatewayError::SealedBlobRejected { .. }));
+
+    // Honest version skew (unforged snapshot, v2 config) fails even earlier,
+    // at the measurement check.
+    let mut v2_only = tenant_configs();
+    for tenant in &mut v2_only {
+        tenant.descriptor.version += 1;
+    }
+    let err = Gateway::restore_with_clock(
+        config(),
+        v2_only,
+        &snapshot,
+        &mut fixture.avs,
+        &mut Drbg::from_seed(GW_SEED),
+        fixture.clock.clone(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, GatewayError::SnapshotMismatch { .. }));
+
+    // Config drift: a different pool width is refused before any enclave
+    // work.
+    let mut wide = config();
+    wide.slots_per_tenant = 3;
+    let err = Gateway::restore_with_clock(
+        wide,
+        tenant_configs(),
+        &snapshot,
+        &mut fixture.avs,
+        &mut Drbg::from_seed(GW_SEED),
+        fixture.clock.clone(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, GatewayError::SnapshotMismatch { .. }));
+
+    // A forged session record (id at/after the issuance counter) is refused.
+    let mut bogus = snapshot.clone();
+    if let Some(record) = bogus.sessions.first().copied() {
+        let mut forged_record = record;
+        forged_record.session_id = bogus.next_session_id + 5;
+        bogus.sessions.push(forged_record);
+    }
+    let err = Gateway::restore_with_clock(
+        config(),
+        tenant_configs(),
+        &bogus,
+        &mut fixture.avs,
+        &mut Drbg::from_seed(GW_SEED),
+        fixture.clock.clone(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, GatewayError::SnapshotMismatch { .. }));
+}
+
+#[test]
+fn sealed_state_cannot_be_spliced_across_snapshots() {
+    let mut fixture = build_fixture();
+    let gateway = fixture.gateway.take().unwrap();
+    submit_rounds(&fixture.devices, &fixture.events, &gateway, 0..1);
+    let epoch1 = gateway.checkpoint().unwrap();
+    submit_rounds(&fixture.devices, &fixture.events, &gateway, 1..PRE_ROUNDS);
+    let epoch2 = gateway.checkpoint().unwrap();
+    assert_eq!(epoch1.epoch, 1);
+    assert_eq!(epoch2.epoch, 2);
+    drop(gateway);
+
+    // Both snapshots restore cleanly on their own; a blob moved from epoch 1
+    // into the epoch-2 snapshot is sealed under the wrong header (AAD) and
+    // the enclave refuses it — even though the same enclave code on the
+    // same machine sealed both.
+    let mut spliced = epoch2.clone();
+    spliced.tenants[0].slots[0].sealed_state = epoch1.tenants[0].slots[0].sealed_state.clone();
+    let err = Gateway::restore_with_clock(
+        config(),
+        tenant_configs(),
+        &spliced,
+        &mut fixture.avs,
+        &mut Drbg::from_seed(GW_SEED),
+        fixture.clock.clone(),
+    )
+    .unwrap_err();
+    assert_eq!(
+        err,
+        GatewayError::SealedBlobRejected {
+            tenant: Arc::from(IOT),
+        }
+    );
+
+    // The unspliced epoch-2 snapshot still restores.
+    let restored = Gateway::restore_with_clock(
+        config(),
+        tenant_configs(),
+        &epoch2,
+        &mut fixture.avs,
+        &mut Drbg::from_seed(GW_SEED),
+        fixture.clock.clone(),
+    )
+    .unwrap();
+    assert_eq!(restored.live_sessions(), fixture.devices.len());
+}
+
+#[test]
+fn restore_prunes_sessions_missing_from_the_captured_table() {
+    let mut fixture = build_fixture();
+    let gateway = fixture.gateway.take().unwrap();
+    submit_rounds(&fixture.devices, &fixture.events, &gateway, 0..PRE_ROUNDS);
+    let mut snapshot = gateway.checkpoint().unwrap();
+    drop(gateway);
+
+    // Simulate the close-racing-the-barrier window: a session that closed
+    // concurrently with the checkpoint is in the sealed enclave exports but
+    // not in the captured table.
+    let dropped = snapshot.sessions.remove(0);
+    let restored = Gateway::restore_with_clock(
+        config(),
+        tenant_configs(),
+        &snapshot,
+        &mut fixture.avs,
+        &mut Drbg::from_seed(GW_SEED),
+        fixture.clock.clone(),
+    )
+    .unwrap();
+
+    // The routing layer never routes the dropped id again...
+    assert_eq!(restored.live_sessions(), fixture.devices.len() - 1);
+    let orphan_event = fixture
+        .events
+        .iter()
+        .find(|e| {
+            fixture.devices[e.device].session_id == dropped.session_id && e.round >= PRE_ROUNDS
+        })
+        .unwrap();
+    assert!(matches!(
+        restored.submit(dropped.session_id, orphan_event.ciphertext.clone()),
+        Err(GatewayError::UnknownSession(_))
+    ));
+    // ...and the surviving sessions keep serving normally (their enclave
+    // state was kept through the prune).
+    let survivor = fixture
+        .events
+        .iter()
+        .find(|e| {
+            fixture.devices[e.device].session_id != dropped.session_id && e.round >= PRE_ROUNDS
+        })
+        .unwrap();
+    restored
+        .submit(
+            fixture.devices[survivor.device].session_id,
+            survivor.ciphertext.clone(),
+        )
+        .unwrap();
+    let responses = restored.drain_all().unwrap();
+    assert_eq!(responses.len(), 1);
+    assert!(matches!(responses[0].outcome, BatchOutcome::Reply { .. }));
+}
+
+#[test]
+fn replayed_requests_stay_rejected_across_restarts() {
+    let mut fixture = build_fixture();
+    let gateway = fixture.gateway.take().unwrap();
+    let records = submit_rounds(&fixture.devices, &fixture.events, &gateway, 0..PRE_ROUNDS);
+    assert!(!records.is_empty());
+    let snapshot = gateway.checkpoint().unwrap();
+    drop(gateway);
+
+    let restored = Gateway::restore_with_clock(
+        config(),
+        tenant_configs(),
+        &snapshot,
+        &mut fixture.avs,
+        &mut Drbg::from_seed(GW_SEED),
+        fixture.clock.clone(),
+    )
+    .unwrap();
+
+    // An attacker replaying an already-processed pre-crash request against
+    // the restored gateway gains nothing: the per-session replay nonces
+    // were part of the sealed state, so the enclave refuses the duplicate
+    // instead of re-endorsing it (which would double-bill the tenant's
+    // endorsement budget).
+    let replayed = fixture
+        .events
+        .iter()
+        .find(|e| e.round < PRE_ROUNDS)
+        .unwrap();
+    restored
+        .submit(
+            fixture.devices[replayed.device].session_id,
+            replayed.ciphertext.clone(),
+        )
+        .unwrap();
+    let responses = restored.drain_all().unwrap();
+    assert_eq!(responses.len(), 1);
+    match &responses[0].outcome {
+        BatchOutcome::Failed(reason) => assert!(
+            reason.contains("replay"),
+            "expected replay rejection, got {reason:?}"
+        ),
+        other => panic!("replay must not produce a reply: {other:?}"),
+    }
+}
+
+#[test]
+fn endorsement_budget_survives_restarts() {
+    // One tenant, one device, a budget of exactly one endorsement. The
+    // budget is consumed before the crash; after restore the counter must
+    // still be there, or a crash loop would mint unlimited endorsements.
+    let mut rng = Drbg::from_seed([60u8; 32]);
+    let material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+    let tenants = || {
+        let mut tenant = TenantConfig::new(
+            IOT,
+            GlimmerDescriptor::iot_default(Vec::new()),
+            material.secret_bytes(),
+        );
+        tenant.quota = TenantQuota {
+            endorsement_budget: Some(1),
+            ..TenantQuota::default()
+        };
+        vec![tenant]
+    };
+    let small_config = GatewayConfig {
+        slots_per_tenant: 1,
+        ..config()
+    };
+    let mut avs = AttestationService::new([61u8; 32]);
+    let clock = Arc::new(ManualClock::new());
+    let gateway = Gateway::with_clock(
+        small_config.clone(),
+        tenants(),
+        &mut avs,
+        &mut Drbg::from_seed([62u8; 32]),
+        clock.clone(),
+    )
+    .unwrap();
+
+    let approved = gateway.measurement(IOT).unwrap();
+    let (sid, offer) = gateway.open_session(IOT).unwrap();
+    let (accept, mut session) =
+        IotDeviceSession::connect(&offer, &avs, &approved, &mut rng).unwrap();
+    gateway.complete_session(sid, &accept).unwrap();
+    let blinding = BlindingService::new([63u8; 32]);
+    for round in 0..2u64 {
+        let masks = blinding.zero_sum_masks(round, &[1], DIM);
+        gateway.install_mask(sid, &masks[0]).unwrap();
+    }
+    let contribution = |round: u64| Contribution {
+        app_id: IOT.to_string(),
+        client_id: 1,
+        round,
+        payload: ContributionPayload::IotReadings {
+            samples: vec![0.5; DIM],
+        },
+    };
+    let first = session.encrypt_request(contribution(0), PrivateData::None);
+    gateway.submit(sid, first).unwrap();
+    let responses = gateway.drain_all().unwrap();
+    assert!(
+        matches!(
+            &responses[0].outcome,
+            BatchOutcome::Reply { endorsed: true, .. }
+        ),
+        "first contribution must consume the budget"
+    );
+
+    let snapshot = gateway.checkpoint().unwrap();
+    drop(gateway);
+    let restored = Gateway::restore_with_clock(
+        small_config,
+        tenants(),
+        &snapshot,
+        &mut avs,
+        &mut Drbg::from_seed([62u8; 32]),
+        clock,
+    )
+    .unwrap();
+
+    // The budget is spent; a post-restart submission is throttled at
+    // admission, with the typed quota error.
+    let second = session.encrypt_request(contribution(1), PrivateData::None);
+    let err = restored.submit(sid, second).unwrap_err();
+    assert_eq!(
+        err,
+        GatewayError::QuotaExceeded {
+            tenant: Arc::from(IOT),
+            resource: QuotaResource::Endorsements,
+        }
+    );
+}

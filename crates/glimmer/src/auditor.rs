@@ -99,6 +99,29 @@ impl OutputAuditor {
         self.verdict_bits_released
     }
 
+    /// Restores the auditor's release counters from a checkpoint.
+    ///
+    /// The budget itself always comes from the (measured) descriptor, never
+    /// from the checkpoint. Without this restoration, every crash/restore
+    /// cycle would reset `verdict_bits_released` to zero. Note the limit of
+    /// what it buys: counts never regress past the *restored snapshot's*
+    /// capture point, but there is no rollback protection across snapshots
+    /// — an adversarial host restoring an older snapshot recovers that
+    /// snapshot's (smaller) counts, so bits released after the capture are
+    /// not accounted. Closing that needs a hardware monotonic counter,
+    /// which the simulator does not model (see
+    /// `glimmer_gateway::checkpoint`'s security notes).
+    pub fn restore_counts(
+        &mut self,
+        verdict_bits_released: u64,
+        frames_released: u64,
+        frames_rejected: u64,
+    ) {
+        self.verdict_bits_released = verdict_bits_released;
+        self.frames_released = frames_released;
+        self.frames_rejected = frames_rejected;
+    }
+
     /// Frames approved so far.
     #[must_use]
     pub fn frames_released(&self) -> u64 {

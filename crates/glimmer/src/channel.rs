@@ -93,6 +93,45 @@ pub struct ChannelKeys {
     pub mac_key: [u8; 32],
 }
 
+/// Byte length of a [`ChannelKeys::export_bytes`] encoding.
+pub const CHANNEL_KEYS_EXPORT_LEN: usize = 64 + 64 + 32;
+
+impl ChannelKeys {
+    /// Exports the working key material (160 bytes) for sealed persistence.
+    ///
+    /// The DH secrets the keys were derived from are ephemeral and erased
+    /// after the handshake, so a checkpointed enclave can only persist the
+    /// *derived* keys. The export must go straight into a sealed blob — it
+    /// is exactly the session's channel security.
+    #[must_use]
+    pub fn export_bytes(&self) -> [u8; CHANNEL_KEYS_EXPORT_LEN] {
+        let mut out = [0u8; CHANNEL_KEYS_EXPORT_LEN];
+        out[..64].copy_from_slice(&self.service_to_glimmer.export_bytes());
+        out[64..128].copy_from_slice(&self.glimmer_to_service.export_bytes());
+        out[128..].copy_from_slice(&self.mac_key);
+        out
+    }
+
+    /// Rebuilds channel keys from [`ChannelKeys::export_bytes`] output
+    /// (the unseal side of a checkpoint restore).
+    pub fn from_export(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() != CHANNEL_KEYS_EXPORT_LEN {
+            return Err(GlimmerError::Protocol("channel key export length"));
+        }
+        let mut s2g = [0u8; 64];
+        let mut g2s = [0u8; 64];
+        let mut mac_key = [0u8; 32];
+        s2g.copy_from_slice(&bytes[..64]);
+        g2s.copy_from_slice(&bytes[64..128]);
+        mac_key.copy_from_slice(&bytes[128..]);
+        Ok(ChannelKeys {
+            service_to_glimmer: AeadKey::from_export(&s2g),
+            glimmer_to_service: AeadKey::from_export(&g2s),
+            mac_key,
+        })
+    }
+}
+
 /// Binds the Glimmer DH public value and app id into 64 bytes of report data.
 #[must_use]
 pub fn report_data_for(glimmer_dh_public: &[u8], app_id: &str) -> [u8; 64] {

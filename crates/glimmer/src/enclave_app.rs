@@ -45,6 +45,18 @@ pub const MAX_NONCES_PER_SESSION: usize = 16_384;
 /// Associated data under which the service signing key is sealed.
 const SERVICE_KEY_AAD: &[u8] = b"glimmer-service-signing-key-v1";
 
+/// Marker prefix the enclave puts on abort messages caused by rejected
+/// sealed/encrypted input (AEAD authentication failures, AAD mismatches,
+/// cross-identity unseals). Real SGX surfaces these as a distinct status
+/// code; the simulator's ecall error channel is a string, so the host
+/// runtime ([`crate::host::GlimmerClient`]) recognizes this marker and maps
+/// the abort back to the typed [`sgx_sim::SgxError::UnsealDenied`].
+pub const SEALED_REJECTED_MARKER: &str = "[sealed-rejected]";
+
+/// Version tag leading every serialized enclave-state export; bumping it
+/// makes older sealed exports fail import (closed) instead of misparsing.
+const STATE_EXPORT_TAG: &str = "glimmer-enclave-state-v1";
+
 /// Provisioning request: either fresh secret key bytes from the service, or a
 /// previously exported sealed blob to restore.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -263,6 +275,10 @@ pub struct GlimmerEnclaveProgram {
     predicate: AllOf,
     service_verifying_key: Option<VerifyingKey>,
     signing_key: Option<SigningKey>,
+    /// The raw service-key secret, kept (inside the enclave only) so the
+    /// serving state can be checkpointed: the sealed state export embeds it,
+    /// and a restored enclave re-derives the signing key from it.
+    service_key_secret: Option<Vec<u8>>,
     sealed_key: Option<SealedBlob>,
     masks: HashMap<(u64, u64), MaskShare>,
     pending_channel: Option<GlimmerChannel>,
@@ -302,6 +318,7 @@ impl GlimmerEnclaveProgram {
             predicate,
             service_verifying_key,
             signing_key: None,
+            service_key_secret: None,
             sealed_key: None,
             masks: HashMap::new(),
             pending_channel: None,
@@ -330,17 +347,23 @@ impl GlimmerEnclaveProgram {
                     .map_err(|e| e.to_string())?;
                 let sealed_bytes = sealed.to_bytes();
                 self.signing_key = Some(key);
+                self.service_key_secret = Some(secret);
                 self.sealed_key = Some(sealed);
                 Ok(sealed_bytes)
             }
             ProvisionRequest::Sealed(blob_bytes) => {
                 let blob = SealedBlob::from_bytes(&blob_bytes).map_err(|e| e.to_string())?;
                 if blob.aad() != SERVICE_KEY_AAD {
-                    return Err("sealed blob is not a glimmer service key".to_string());
+                    return Err(format!(
+                        "{SEALED_REJECTED_MARKER} sealed blob is not a glimmer service key"
+                    ));
                 }
-                let secret = env.unseal(&blob).map_err(|e| e.to_string())?;
+                let secret = env
+                    .unseal(&blob)
+                    .map_err(|e| format!("{SEALED_REJECTED_MARKER} {e}"))?;
                 let key = signing_key_from_secret(&secret).map_err(|e| e.to_string())?;
                 self.signing_key = Some(key);
+                self.service_key_secret = Some(secret);
                 self.sealed_key = Some(blob);
                 Ok(Vec::new())
             }
@@ -369,7 +392,7 @@ impl GlimmerEnclaveProgram {
                 let plain = channel
                     .service_to_glimmer
                     .open(&nonce, b"glimmer-mask-v1", &ciphertext)
-                    .map_err(|e| e.to_string())?;
+                    .map_err(|e| format!("{SEALED_REJECTED_MARKER} mask delivery rejected: {e}"))?;
                 match MaskDelivery::from_wire(&plain).map_err(|e| e.to_string())? {
                     MaskDelivery::Plain {
                         round,
@@ -568,6 +591,14 @@ impl GlimmerEnclaveProgram {
         let mut id = [0u8; 8];
         id.copy_from_slice(data);
         let session_id = u64::from_le_bytes(id);
+        self.drop_session_state(session_id);
+        Ok(Vec::new())
+    }
+
+    /// Erases every trace of one session: channel keys, client bindings,
+    /// replay nonces, and its masks. Shared by `SESSION_CLOSE` and the
+    /// state-import pruning path.
+    fn drop_session_state(&mut self, session_id: u64) {
         self.pending_sessions.remove(&session_id);
         self.sessions.remove(&session_id);
         self.session_clients.remove(&session_id);
@@ -588,7 +619,6 @@ impl GlimmerEnclaveProgram {
                 }
             }
         }
-        Ok(Vec::new())
     }
 
     /// Decrypts one session's request, runs the pipeline, and re-encrypts the
@@ -743,6 +773,242 @@ impl GlimmerEnclaveProgram {
         Ok(out)
     }
 
+    /// Serializes the enclave's full serving state. Every map is emitted in
+    /// sorted key order, so identical state always produces identical bytes
+    /// — the gateway's snapshot-determinism canary depends on this (std
+    /// `HashMap` iteration order varies between processes).
+    ///
+    /// Deliberately *not* exported: pending handshakes (their ephemeral DH
+    /// secrets must die with the process; devices simply reopen), the
+    /// confidential predicate (the tenant re-installs it over its channel),
+    /// and the reply scratch buffer.
+    fn encode_state(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_str(STATE_EXPORT_TAG);
+        match &self.service_key_secret {
+            Some(secret) => {
+                enc.put_bool(true);
+                enc.put_bytes(secret);
+            }
+            None => enc.put_bool(false),
+        }
+        match &self.channel {
+            Some(keys) => {
+                enc.put_bool(true);
+                enc.put_raw(&keys.export_bytes());
+            }
+            None => enc.put_bool(false),
+        }
+        let mut session_ids: Vec<u64> = self.sessions.keys().copied().collect();
+        session_ids.sort_unstable();
+        enc.put_varint(session_ids.len() as u64);
+        for sid in &session_ids {
+            enc.put_u64(*sid);
+            enc.put_raw(&self.sessions[sid].export_bytes());
+        }
+        let mut client_ids: Vec<u64> = self.session_clients.keys().copied().collect();
+        client_ids.sort_unstable();
+        enc.put_varint(client_ids.len() as u64);
+        for sid in &client_ids {
+            enc.put_u64(*sid);
+            let mut clients: Vec<u64> = self.session_clients[sid].iter().copied().collect();
+            clients.sort_unstable();
+            enc.put_u64_vec(&clients);
+        }
+        let mut mask_sids: Vec<u64> = self.session_masks.keys().copied().collect();
+        mask_sids.sort_unstable();
+        enc.put_varint(mask_sids.len() as u64);
+        for sid in &mask_sids {
+            enc.put_u64(*sid);
+            let mut keys: Vec<(u64, u64)> = self.session_masks[sid].iter().copied().collect();
+            keys.sort_unstable();
+            enc.put_varint(keys.len() as u64);
+            for (round, client) in keys {
+                enc.put_u64(round);
+                enc.put_u64(client);
+            }
+        }
+        let mut nonce_sids: Vec<u64> = self.session_nonces.keys().copied().collect();
+        nonce_sids.sort_unstable();
+        enc.put_varint(nonce_sids.len() as u64);
+        for sid in &nonce_sids {
+            enc.put_u64(*sid);
+            let mut nonces: Vec<[u8; 12]> = self.session_nonces[sid].iter().copied().collect();
+            nonces.sort_unstable();
+            enc.put_varint(nonces.len() as u64);
+            for nonce in nonces {
+                enc.put_raw(&nonce);
+            }
+        }
+        let mut mask_keys: Vec<(u64, u64)> = self.masks.keys().copied().collect();
+        mask_keys.sort_unstable();
+        enc.put_varint(mask_keys.len() as u64);
+        for key in &mask_keys {
+            let share = &self.masks[key];
+            enc.put_u64(share.round);
+            enc.put_u64(share.client_id);
+            enc.put_u64_vec(&share.mask);
+        }
+        enc.put_u64(self.auditor.verdict_bits_released());
+        enc.put_u64(self.auditor.frames_released());
+        enc.put_u64(self.auditor.frames_rejected());
+        enc.into_bytes()
+    }
+
+    /// `EXPORT_STATE`: seals the serving state under [`SealPolicy::MrEnclave`]
+    /// with the caller's snapshot header as AAD and returns the blob bytes.
+    /// Only byte-identical Glimmer code on this platform can ever open the
+    /// result, and only when presenting the same header — which binds the
+    /// blob to exactly one snapshot.
+    fn export_state(&mut self, env: &mut dyn EnclaveEnv, header: &[u8]) -> Result<Vec<u8>, String> {
+        let state = self.encode_state();
+        let blob = env
+            .seal(SealPolicy::MrEnclave, header, &state)
+            .map_err(|e| e.to_string())?;
+        Ok(blob.to_bytes())
+    }
+
+    /// `IMPORT_STATE`: the restore half of [`Self::export_state`]. The
+    /// request carries the snapshot header and the sealed blob; a blob bound
+    /// to a different snapshot, sealed by different code, or sealed on a
+    /// different platform fails closed with a [`SEALED_REJECTED_MARKER`]
+    /// abort (mapped to a typed error by the host).
+    fn import_state(&mut self, env: &mut dyn EnclaveEnv, data: &[u8]) -> Result<Vec<u8>, String> {
+        let mut dec = Decoder::new(data);
+        let header = dec.get_bytes().map_err(|e| e.to_string())?;
+        let blob_bytes = dec.get_bytes().map_err(|e| e.to_string())?;
+        let live_sessions = dec.get_u64_vec().map_err(|e| e.to_string())?;
+        dec.finish().map_err(|e| e.to_string())?;
+        // Import only into a freshly built enclave: merging a checkpoint
+        // into live serving state could resurrect closed sessions, roll
+        // replay-nonce sets backwards, or clobber a live tenant channel.
+        if self.signing_key.is_some()
+            || self.channel.is_some()
+            || self.pending_channel.is_some()
+            || !self.sessions.is_empty()
+            || !self.pending_sessions.is_empty()
+            || !self.masks.is_empty()
+            || !self.session_nonces.is_empty()
+        {
+            return Err("state import requires a freshly built enclave".to_string());
+        }
+        let blob = SealedBlob::from_bytes(&blob_bytes).map_err(|e| e.to_string())?;
+        let plain = env
+            .unseal_expecting(&blob, &header)
+            .map_err(|e| format!("{SEALED_REJECTED_MARKER} {e}"))?;
+        self.install_state(env, &plain)?;
+        // Prune session state the routing layer no longer routes: a session
+        // closed concurrently with the checkpoint barrier can be present in
+        // the sealed export but absent from the captured table. Keeping
+        // exactly the caller's live set erases those orphans' keys, nonces,
+        // and masks instead of carrying them forever across restarts.
+        let live: HashSet<u64> = live_sessions.into_iter().collect();
+        let dead: Vec<u64> = self
+            .sessions
+            .keys()
+            .chain(self.session_clients.keys())
+            .chain(self.session_masks.keys())
+            .chain(self.session_nonces.keys())
+            .filter(|sid| !live.contains(sid))
+            .copied()
+            .collect::<HashSet<u64>>()
+            .into_iter()
+            .collect();
+        for session_id in dead {
+            self.drop_session_state(session_id);
+        }
+        Ok(Vec::new())
+    }
+
+    /// Decodes and installs an unsealed state export.
+    fn install_state(&mut self, env: &mut dyn EnclaveEnv, bytes: &[u8]) -> Result<(), String> {
+        let w = |e: WireError| e.to_string();
+        let mut dec = Decoder::new(bytes);
+        let tag = dec.get_str().map_err(w)?;
+        if tag != STATE_EXPORT_TAG {
+            return Err(format!("unsupported state export tag {tag:?}"));
+        }
+        if dec.get_bool().map_err(w)? {
+            let secret = dec.get_bytes().map_err(w)?;
+            let key = signing_key_from_secret(&secret).map_err(|e| e.to_string())?;
+            // Re-seal the service key fresh so EXPORT_SEALED_KEY keeps
+            // working after a restore.
+            let sealed = env
+                .seal(SealPolicy::MrEnclave, SERVICE_KEY_AAD, &secret)
+                .map_err(|e| e.to_string())?;
+            self.signing_key = Some(key);
+            self.service_key_secret = Some(secret);
+            self.sealed_key = Some(sealed);
+        }
+        if dec.get_bool().map_err(w)? {
+            let raw = dec
+                .get_raw(crate::channel::CHANNEL_KEYS_EXPORT_LEN)
+                .map_err(w)?;
+            self.channel = Some(ChannelKeys::from_export(&raw).map_err(|e| e.to_string())?);
+        }
+        let n = dec.get_varint().map_err(w)? as usize;
+        for _ in 0..n {
+            let sid = dec.get_u64().map_err(w)?;
+            let raw = dec
+                .get_raw(crate::channel::CHANNEL_KEYS_EXPORT_LEN)
+                .map_err(w)?;
+            self.sessions.insert(
+                sid,
+                ChannelKeys::from_export(&raw).map_err(|e| e.to_string())?,
+            );
+        }
+        let n = dec.get_varint().map_err(w)? as usize;
+        for _ in 0..n {
+            let sid = dec.get_u64().map_err(w)?;
+            let clients = dec.get_u64_vec().map_err(w)?;
+            self.session_clients
+                .insert(sid, clients.into_iter().collect());
+        }
+        let n = dec.get_varint().map_err(w)? as usize;
+        for _ in 0..n {
+            let sid = dec.get_u64().map_err(w)?;
+            let m = dec.get_varint().map_err(w)? as usize;
+            let mut keys = HashSet::with_capacity(m);
+            for _ in 0..m {
+                keys.insert((dec.get_u64().map_err(w)?, dec.get_u64().map_err(w)?));
+            }
+            self.session_masks.insert(sid, keys);
+        }
+        let n = dec.get_varint().map_err(w)? as usize;
+        for _ in 0..n {
+            let sid = dec.get_u64().map_err(w)?;
+            let m = dec.get_varint().map_err(w)? as usize;
+            let mut nonces = HashSet::with_capacity(m);
+            for _ in 0..m {
+                let raw = dec.get_raw(12).map_err(w)?;
+                let mut nonce = [0u8; 12];
+                nonce.copy_from_slice(&raw);
+                nonces.insert(nonce);
+            }
+            self.session_nonces.insert(sid, nonces);
+        }
+        let n = dec.get_varint().map_err(w)? as usize;
+        for _ in 0..n {
+            let round = dec.get_u64().map_err(w)?;
+            let client_id = dec.get_u64().map_err(w)?;
+            let mask = dec.get_u64_vec().map_err(w)?;
+            self.masks.insert(
+                (round, client_id),
+                MaskShare {
+                    round,
+                    client_id,
+                    mask,
+                },
+            );
+        }
+        let bits = dec.get_u64().map_err(w)?;
+        let released = dec.get_u64().map_err(w)?;
+        let rejected = dec.get_u64().map_err(w)?;
+        dec.finish().map_err(w)?;
+        self.auditor.restore_counts(bits, released, rejected);
+        Ok(())
+    }
+
     fn channel_complete(&mut self, data: &[u8]) -> Result<Vec<u8>, String> {
         let accept = ChannelAccept::from_wire(data).map_err(|e| e.to_string())?;
         let channel = self
@@ -863,6 +1129,8 @@ impl EnclaveProgram for GlimmerEnclaveProgram {
                 let delivery = MaskDelivery::from_wire(data).map_err(|e| e.to_string())?;
                 self.install_mask(delivery)
             }
+            ecall::EXPORT_STATE => self.export_state(env, data),
+            ecall::IMPORT_STATE => self.import_state(env, data),
             ecall::STATUS => Ok(self.status()),
             other => Err(format!("unknown ECALL selector {other}")),
         }

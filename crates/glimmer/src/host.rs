@@ -333,7 +333,21 @@ impl GlimmerClient {
     fn ecall(&mut self, selector: u16, data: &[u8]) -> Result<Vec<u8>> {
         self.platform
             .ecall(self.enclave, selector, data, &mut NoOcalls)
-            .map_err(GlimmerError::from)
+            .map_err(|e| match e {
+                // The enclave marks aborts caused by rejected sealed or
+                // AEAD-protected input (real SGX reports these as a status
+                // code, not free text); surface them as the typed unseal
+                // rejection so callers — the gateway's restore and encrypted
+                // mask paths — can fail closed without string matching.
+                sgx_sim::SgxError::EnclaveAbort(msg)
+                    if msg.contains(crate::enclave_app::SEALED_REJECTED_MARKER) =>
+                {
+                    GlimmerError::Sgx(sgx_sim::SgxError::UnsealDenied(
+                        "enclave rejected sealed or encrypted input",
+                    ))
+                }
+                other => GlimmerError::from(other),
+            })
     }
 
     /// Installs fresh service signing-key material; returns the sealed blob
@@ -358,6 +372,40 @@ impl GlimmerClient {
     /// Exports the sealed service-key blob for persistence.
     pub fn export_sealed_key(&mut self) -> Result<Vec<u8>> {
         self.ecall(ecall::EXPORT_SEALED_KEY, &[])
+    }
+
+    /// Exports the enclave's full serving state (signing key, session
+    /// channel keys, masks, replay nonces, auditor counters) as a sealed
+    /// blob bound to `header` — the gateway's checkpoint path. Only
+    /// byte-identical Glimmer code on this platform, presenting the same
+    /// header, can import the result.
+    pub fn export_state(&mut self, header: &[u8]) -> Result<Vec<u8>> {
+        self.ecall(ecall::EXPORT_STATE, header)
+    }
+
+    /// Imports a sealed serving-state blob into this (freshly built)
+    /// enclave — the gateway's restore path. A blob bound to a different
+    /// snapshot header, sealed by a different measurement, or sealed on a
+    /// different platform fails closed with
+    /// [`sgx_sim::SgxError::UnsealDenied`].
+    ///
+    /// `live_sessions` is the authoritative set of session ids the caller
+    /// still routes: the enclave keeps exactly those and erases any other
+    /// session state the export carried (sessions closed concurrently with
+    /// the checkpoint barrier are in the sealed state but not the captured
+    /// table — without pruning their keys would persist forever).
+    pub fn import_state(
+        &mut self,
+        header: &[u8],
+        sealed_state: &[u8],
+        live_sessions: &[u64],
+    ) -> Result<()> {
+        let mut enc = Encoder::new();
+        enc.put_bytes(header);
+        enc.put_bytes(sealed_state);
+        enc.put_u64_vec(live_sessions);
+        self.ecall(ecall::IMPORT_STATE, enc.as_slice())?;
+        Ok(())
     }
 
     /// Installs a blinding mask share (plaintext delivery).
@@ -614,6 +662,132 @@ mod tests {
         )
         .unwrap();
         assert!(other.restore_service_key(&sealed).is_err());
+    }
+
+    #[test]
+    fn state_export_imports_only_on_the_same_platform_with_the_same_header() {
+        use sgx_sim::SgxError;
+        let seed = [52u8; 32];
+        let mut client = GlimmerClient::new(
+            GlimmerDescriptor::keyboard_default(),
+            PlatformConfig::default(),
+            &mut Drbg::from_seed(seed),
+        )
+        .unwrap();
+        let material = ServiceKeyMaterial::generate(&mut rng()).unwrap();
+        client
+            .install_service_key(&material.secret_bytes())
+            .unwrap();
+        client
+            .install_mask(&MaskShare {
+                round: 2,
+                client_id: 9,
+                mask: vec![1, 2, 3, 4],
+            })
+            .unwrap();
+        let header = b"snapshot-header-epoch-1";
+        let sealed = client.export_state(header).unwrap();
+
+        // "Reboot the machine": the identical host rng stream reproduces the
+        // platform (same simulated fuse secrets), and the enclave is rebuilt
+        // empty — then refilled from the sealed export in one ECALL.
+        let mut restored = GlimmerClient::new(
+            GlimmerDescriptor::keyboard_default(),
+            PlatformConfig::default(),
+            &mut Drbg::from_seed(seed),
+        )
+        .unwrap();
+        restored.import_state(header, &sealed, &[]).unwrap();
+        let status = restored.status().unwrap();
+        assert!(status.signing_key);
+        assert_eq!(status.masks, 1);
+        // The restored signing key still works end to end.
+        assert!(restored.export_sealed_key().is_ok());
+
+        // A different snapshot header fails closed, typed.
+        let mut wrong_header = GlimmerClient::new(
+            GlimmerDescriptor::keyboard_default(),
+            PlatformConfig::default(),
+            &mut Drbg::from_seed(seed),
+        )
+        .unwrap();
+        assert!(matches!(
+            wrong_header.import_state(b"snapshot-header-epoch-2", &sealed, &[]),
+            Err(GlimmerError::Sgx(SgxError::UnsealDenied(_)))
+        ));
+
+        // A different platform (different fuse secrets) fails closed, typed.
+        let mut other_platform = GlimmerClient::new(
+            GlimmerDescriptor::keyboard_default(),
+            PlatformConfig::default(),
+            &mut Drbg::from_seed([53u8; 32]),
+        )
+        .unwrap();
+        assert!(matches!(
+            other_platform.import_state(header, &sealed, &[]),
+            Err(GlimmerError::Sgx(SgxError::UnsealDenied(_)))
+        ));
+
+        // A different measurement (v2 of the Glimmer) fails closed, typed.
+        let mut v2_descriptor = GlimmerDescriptor::keyboard_default();
+        v2_descriptor.version = 2;
+        let mut other_code = GlimmerClient::new(
+            v2_descriptor,
+            PlatformConfig::default(),
+            &mut Drbg::from_seed(seed),
+        )
+        .unwrap();
+        assert!(matches!(
+            other_code.import_state(header, &sealed, &[]),
+            Err(GlimmerError::Sgx(SgxError::UnsealDenied(_)))
+        ));
+
+        // Import into an already-provisioned enclave is refused (it could
+        // roll replay-nonce state backwards).
+        assert!(restored.import_state(header, &sealed, &[]).is_err());
+    }
+
+    #[test]
+    fn import_keeps_exactly_the_live_session_set() {
+        use crate::remote::IotDeviceSession;
+        let seed = [54u8; 32];
+        let mut avs = AttestationService::new([55u8; 32]);
+        let mut client = GlimmerClient::new(
+            GlimmerDescriptor::iot_default(Vec::new()),
+            PlatformConfig::default(),
+            &mut Drbg::from_seed(seed),
+        )
+        .unwrap();
+        client.provision_platform(&mut avs);
+        let material = ServiceKeyMaterial::generate(&mut rng()).unwrap();
+        client
+            .install_service_key(&material.secret_bytes())
+            .unwrap();
+        let approved = client.measurement();
+        let mut dev_rng = Drbg::from_seed([56u8; 32]);
+        for sid in [1u64, 2] {
+            let offer = client.open_session(sid).unwrap();
+            let (accept, _session) =
+                IotDeviceSession::connect(&offer, &avs, &approved, &mut dev_rng).unwrap();
+            client.accept_session(sid, &accept).unwrap();
+        }
+        assert_eq!(client.status().unwrap().sessions, 2);
+        let header = b"snapshot-header";
+        let sealed = client.export_state(header).unwrap();
+
+        // A session can be closed concurrently with a gateway checkpoint
+        // barrier: present in the sealed export, absent from the captured
+        // table. Import keeps exactly the caller's live set and erases the
+        // orphan's keys instead of carrying them across restarts forever.
+        let mut restored = GlimmerClient::new(
+            GlimmerDescriptor::iot_default(Vec::new()),
+            PlatformConfig::default(),
+            &mut Drbg::from_seed(seed),
+        )
+        .unwrap();
+        restored.import_state(header, &sealed, &[2]).unwrap();
+        assert_eq!(restored.status().unwrap().sessions, 1);
+        assert!(restored.status().unwrap().signing_key);
     }
 
     #[test]

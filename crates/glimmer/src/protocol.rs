@@ -46,6 +46,13 @@ pub mod ecall {
     /// Install a blinding mask bound to one session: the mask's client id
     /// becomes a client the session is authorized to contribute as.
     pub const SESSION_INSTALL_MASK: u16 = 15;
+    /// Export the enclave's full serving state (signing key, session channel
+    /// keys, masks, replay nonces, auditor counters) as a sealed blob bound
+    /// to a caller-supplied snapshot header (checkpoint/restore).
+    pub const EXPORT_STATE: u16 = 16;
+    /// Import a sealed serving-state blob into a freshly built enclave on
+    /// the same platform with the same measurement (restore after restart).
+    pub const IMPORT_STATE: u16 = 17;
 }
 
 /// Frame message types used on the client/service wire.

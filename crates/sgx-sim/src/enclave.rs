@@ -64,6 +64,22 @@ pub trait EnclaveEnv {
     /// impersonate under the blob's policy.
     fn unseal(&mut self, blob: &SealedBlob) -> Result<Vec<u8>>;
 
+    /// Unseals a blob, additionally requiring its associated data to equal
+    /// `expected_aad` — the fail-closed path for blobs that must be bound to
+    /// one specific context (e.g. an enclave state export bound to the
+    /// snapshot header it was captured under). A mismatched AAD is rejected
+    /// *before* any key derivation, with the same
+    /// [`crate::SgxError::UnsealDenied`] an AEAD failure would produce, so a
+    /// spliced or relabelled blob is indistinguishable from a tampered one.
+    fn unseal_expecting(&mut self, blob: &SealedBlob, expected_aad: &[u8]) -> Result<Vec<u8>> {
+        if !blob.matches_aad(expected_aad) {
+            return Err(crate::SgxError::UnsealDenied(
+                "blob bound to different associated data",
+            ));
+        }
+        self.unseal(blob)
+    }
+
     /// Produces a local-attestation report targeted at `target`, binding
     /// `report_data`.
     fn create_report(&mut self, target: &TargetInfo, report_data: [u8; REPORT_DATA_LEN]) -> Report;

@@ -78,6 +78,16 @@ impl SealedBlob {
         &self.aad
     }
 
+    /// Whether the blob's associated data equals `expected` — the cheap
+    /// pre-check unsealers use to fail closed on blobs bound to a different
+    /// context (the AAD is authenticated, so a liar here still fails the
+    /// AEAD tag check; the pre-check just produces the rejection before any
+    /// key derivation happens).
+    #[must_use]
+    pub fn matches_aad(&self, expected: &[u8]) -> bool {
+        self.aad == expected
+    }
+
     /// Total serialized size in bytes.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -364,6 +374,23 @@ mod tests {
         // Truncated ciphertext.
         let short = &bytes[..bytes.len() - 1];
         assert!(SealedBlob::from_bytes(short).is_err());
+    }
+
+    #[test]
+    fn aad_binding_is_checkable_before_unsealing() {
+        let id = identity(b"glimmer", b"eff");
+        let blob = seal(
+            &SECRET_A,
+            SealPolicy::MrEnclave,
+            &id,
+            [1u8; 16],
+            [2u8; 12],
+            b"snapshot-header-epoch-1",
+            b"state",
+        );
+        assert!(blob.matches_aad(b"snapshot-header-epoch-1"));
+        assert!(!blob.matches_aad(b"snapshot-header-epoch-2"));
+        assert!(!blob.matches_aad(b""));
     }
 
     #[test]

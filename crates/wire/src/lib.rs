@@ -20,10 +20,12 @@
 pub mod decode;
 pub mod encode;
 pub mod frame;
+pub mod snapshot;
 
 pub use decode::Decoder;
 pub use encode::Encoder;
 pub use frame::{Frame, FRAME_MAGIC, FRAME_VERSION};
+pub use snapshot::{SnapshotFrame, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 
 /// Errors produced while decoding wire data.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,6 +51,13 @@ pub enum WireError {
     UnsupportedVersion(u8),
     /// Trailing bytes remained after a complete decode.
     TrailingBytes(usize),
+    /// A CRC-guarded frame failed its integrity check (snapshot corruption).
+    ChecksumMismatch {
+        /// The checksum stored in the frame.
+        stored: u32,
+        /// The checksum computed over the received bytes.
+        computed: u32,
+    },
 }
 
 impl core::fmt::Display for WireError {
@@ -67,6 +76,10 @@ impl core::fmt::Display for WireError {
             WireError::BadMagic => write!(f, "bad frame magic"),
             WireError::UnsupportedVersion(v) => write!(f, "unsupported frame version: {v}"),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
         }
     }
 }
@@ -134,6 +147,13 @@ mod tests {
             (WireError::BadMagic, "magic"),
             (WireError::UnsupportedVersion(9), "9"),
             (WireError::TrailingBytes(3), "3"),
+            (
+                WireError::ChecksumMismatch {
+                    stored: 1,
+                    computed: 2,
+                },
+                "checksum",
+            ),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err}");

@@ -1,6 +1,7 @@
 //! Property-based tests for the wire format.
 
-use glimmer_wire::{Decoder, Encoder, Frame};
+use glimmer_wire::snapshot::{crc32, SnapshotFrame, SNAPSHOT_VERSION};
+use glimmer_wire::{Decoder, Encoder, Frame, WireError};
 use proptest::prelude::*;
 
 proptest! {
@@ -100,5 +101,116 @@ proptest! {
         let cut = cut.min(bytes.len() - 1).max(1);
         let truncated = &bytes[..bytes.len() - cut];
         prop_assert!(Frame::from_bytes(truncated).is_err());
+    }
+
+    // --- Snapshot envelope (checkpoint/restore persistence format). ---
+
+    #[test]
+    fn snapshot_round_trip(
+        kind in any::<u16>(),
+        epoch in any::<u64>(),
+        created in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let frame = SnapshotFrame { kind, epoch, created_at_nanos: created, payload };
+        let bytes = frame.to_bytes();
+        prop_assert_eq!(SnapshotFrame::from_bytes(&bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn snapshot_with_structured_payload_round_trips(
+        // A payload shaped like what the gateway snapshots: an arbitrary
+        // session table (id, tenant, slot, opened_at rows) plus quota-gauge
+        // counters, encoded with the same Encoder primitives.
+        sessions in proptest::collection::vec(
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+            0..64,
+        ),
+        gauges in proptest::collection::vec(any::<u64>(), 0..16),
+        epoch in any::<u64>(),
+    ) {
+        let mut enc = Encoder::new();
+        enc.put_varint(sessions.len() as u64);
+        for (id, tenant, slot, opened) in &sessions {
+            enc.put_u64(*id);
+            enc.put_varint(*tenant);
+            enc.put_varint(*slot);
+            enc.put_u64(*opened);
+        }
+        enc.put_varint(gauges.len() as u64);
+        for g in &gauges {
+            enc.put_u64(*g);
+        }
+        let frame = SnapshotFrame { kind: 1, epoch, created_at_nanos: 0, payload: enc.into_bytes() };
+        let decoded = SnapshotFrame::from_bytes(&frame.to_bytes()).unwrap();
+        let mut dec = Decoder::new(&decoded.payload);
+        let n = dec.get_varint().unwrap() as usize;
+        let mut got = Vec::with_capacity(n);
+        for _ in 0..n {
+            got.push((
+                dec.get_u64().unwrap(),
+                dec.get_varint().unwrap(),
+                dec.get_varint().unwrap(),
+                dec.get_u64().unwrap(),
+            ));
+        }
+        prop_assert_eq!(got, sessions);
+        let m = dec.get_varint().unwrap() as usize;
+        let mut got_gauges = Vec::with_capacity(m);
+        for _ in 0..m {
+            got_gauges.push(dec.get_u64().unwrap());
+        }
+        prop_assert_eq!(got_gauges, gauges);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn snapshot_truncation_is_a_typed_error(
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let frame = SnapshotFrame { kind: 1, epoch: 3, created_at_nanos: 9, payload };
+        let bytes = frame.to_bytes();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize; // strictly < len
+        prop_assert!(SnapshotFrame::from_bytes(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn snapshot_bit_flip_is_a_typed_error(
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let frame = SnapshotFrame { kind: 7, epoch: 11, created_at_nanos: 13, payload };
+        let mut bytes = frame.to_bytes();
+        let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        let err = SnapshotFrame::from_bytes(&bytes).expect_err("flip must be detected");
+        prop_assert!(matches!(
+            err,
+            WireError::ChecksumMismatch { .. }
+                | WireError::BadMagic
+                | WireError::UnsupportedVersion(_)
+        ));
+    }
+
+    #[test]
+    fn snapshot_version_skew_is_a_typed_error(
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        skew in 1u8..=255,
+    ) {
+        let frame = SnapshotFrame { kind: 1, epoch: 0, created_at_nanos: 0, payload };
+        let mut bytes = frame.to_bytes();
+        bytes[4] = SNAPSHOT_VERSION.wrapping_add(skew);
+        prop_assert_eq!(
+            SnapshotFrame::from_bytes(&bytes),
+            Err(WireError::UnsupportedVersion(SNAPSHOT_VERSION.wrapping_add(skew)))
+        );
+    }
+
+    #[test]
+    fn snapshot_decode_never_panics_on_garbage(garbage in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = SnapshotFrame::from_bytes(&garbage);
+        let _ = crc32(&garbage);
     }
 }
