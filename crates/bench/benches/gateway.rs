@@ -23,8 +23,11 @@ use glimmer_core::protocol::{BatchOutcome, Contribution, ContributionPayload, Pr
 use glimmer_core::remote::{IotDeviceSession, RemoteGlimmerHost};
 use glimmer_core::signing::ServiceKeyMaterial;
 use glimmer_crypto::drbg::Drbg;
+use glimmer_gateway::frontend::{AsyncGateway, SessionExecutor};
 use glimmer_gateway::{Gateway, GatewayConfig, TenantConfig};
 use sgx_sim::{AttestationService, PlatformConfig};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
 use std::time::Duration;
 
 const APP: &str = "iot-telemetry.example";
@@ -367,9 +370,95 @@ fn bench_batched_submission(c: &mut Criterion) {
     group.finish();
 }
 
+/// `gateway_async/*`: identical steady-state traffic (64 established
+/// sessions, one request each, drain to completion) through the blocking
+/// driver and through the async front-end — one executor task per session
+/// plus a drainer, every poll on the bench thread. The delta is the cost of
+/// the async machinery itself (executor scheduling, waker round trips,
+/// completion cells) since the enclave work is identical; the async path's
+/// *architectural* win — no thread per parked reply — is E15's metric, not
+/// a wall-clock one.
+fn bench_async_frontend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gateway_async");
+    const SESSIONS: usize = 64;
+    const SLOTS: usize = 2;
+
+    // Blocking driver at equal traffic (same shape as pooled_batched, here
+    // as the in-group baseline).
+    {
+        let BatchedSetup {
+            gateway,
+            mut established,
+        } = batched_setup(SESSIONS, SLOTS, (32, 33));
+        group.throughput(Throughput::Elements(SESSIONS as u64));
+        group.bench_function(BenchmarkId::new("blocking_driver", SESSIONS), |b| {
+            b.iter(|| {
+                for (sid, client, device) in &mut established {
+                    let request = device.encrypt_request(contribution(*client), PrivateData::None);
+                    gateway.submit(*sid, request).unwrap();
+                }
+                drain_all_endorsed(&gateway)
+            })
+        });
+    }
+
+    // Async front-end: the same traffic as session tasks on one executor.
+    {
+        let BatchedSetup {
+            gateway,
+            established,
+        } = batched_setup(SESSIONS, SLOTS, (34, 35));
+        let frontend = AsyncGateway::new(gateway);
+        let established = Rc::new(RefCell::new(established));
+        group.throughput(Throughput::Elements(SESSIONS as u64));
+        group.bench_function(BenchmarkId::new("async_session_tasks", SESSIONS), |b| {
+            b.iter(|| {
+                let mut executor = SessionExecutor::new();
+                let endorsed = Rc::new(Cell::new(0usize));
+                for i in 0..SESSIONS {
+                    let frontend = frontend.clone();
+                    let established = Rc::clone(&established);
+                    executor.spawn(async move {
+                        let (sid, request) = {
+                            let mut sessions = established.borrow_mut();
+                            let (sid, client, device) = &mut sessions[i];
+                            (
+                                *sid,
+                                device.encrypt_request(contribution(*client), PrivateData::None),
+                            )
+                        };
+                        frontend.submit(sid, request).await.unwrap();
+                    });
+                }
+                {
+                    let frontend = frontend.clone();
+                    let endorsed = Rc::clone(&endorsed);
+                    executor.spawn(async move {
+                        let mut collected = 0usize;
+                        while collected < SESSIONS {
+                            for response in frontend.drain_replies().await.unwrap() {
+                                let BatchOutcome::Reply { endorsed: e, .. } = &response.outcome
+                                else {
+                                    panic!("bench item failed: {:?}", response.outcome);
+                                };
+                                assert!(e, "bench traffic is honest");
+                                collected += 1;
+                            }
+                        }
+                        endorsed.set(collected);
+                    });
+                }
+                executor.run();
+                endorsed.get()
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_serving, bench_shard_scaling, bench_batched_submission
+    targets = bench_serving, bench_shard_scaling, bench_batched_submission, bench_async_frontend
 }
 criterion_main!(benches);

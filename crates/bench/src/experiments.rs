@@ -1583,7 +1583,7 @@ pub struct E13Row {
 
 /// Runs E13: the same single-tenant workload admitted per-request
 /// (`submit`), per-session (`submit_many`), and in bulk-producer chunks
-/// (`submit_batch` over [`GatewayTrafficWorkload::schedule_chunks`]-style
+/// (`submit_batch` over [`glimmer_workloads::gateway::GatewayTrafficWorkload::schedule_chunks`]-style
 /// windows), always at `shards: 1` so the drain-cycle determinism bar is
 /// checkable bit-for-bit.
 ///
@@ -1781,8 +1781,9 @@ pub fn e13_batched_hot_path(
 /// calls made by `sweeps` encode+decode rounds of a `batch`-item drain, with
 /// the PR 2 one-shot buffers (a fresh held-items container, a fresh wire
 /// encoder, and a fresh `BatchReply` per sweep) versus the current reusable
-/// scratch (`Encoder::reset` via [`BatchRequest::encode_items_into`] plus
-/// [`BatchReply::decode_items_into`]).
+/// scratch (`Encoder::reset` via
+/// [`glimmer_core::protocol::BatchRequest::encode_items_into`] plus
+/// [`glimmer_core::protocol::BatchReply::decode_items_into`]).
 ///
 /// Both disciplines pay the per-item reply-ciphertext allocations (replies
 /// are owned by the caller either way), so the difference is exactly the
@@ -2073,6 +2074,338 @@ pub fn e14_restart_recovery(
     }
 }
 
+/// One row of the E15 async-front-end experiment.
+#[derive(Debug, Clone)]
+pub struct E15Row {
+    /// Concurrent device sessions multiplexed on one front-end thread.
+    pub sessions: usize,
+    /// Requests each session submits.
+    pub requests_per_session: usize,
+    /// Pool slots (one tenant, `shards: 1` for determinism).
+    pub slots: usize,
+    /// Requests that produced endorsements (identical on both paths).
+    pub endorsed: usize,
+    /// Requests rejected by validation (identical on both paths).
+    pub rejected: usize,
+    /// Wall-clock ms for the blocking driver (same phase structure).
+    pub blocking_ms: f64,
+    /// Wall-clock ms for the async driver: every session task plus the
+    /// submitter/drainer runs on ONE executor thread.
+    pub async_ms: f64,
+    /// OS threads the async front-end added beyond the baseline process
+    /// (gateway shard workers included in the baseline) — measured from
+    /// `/proc/self/status` mid-serving where available, `None` elsewhere.
+    /// The executor spawns none, so this must be `Some(0)` on Linux.
+    pub extra_frontend_threads: Option<usize>,
+    /// Sessions simultaneously live when submission began (the concurrency
+    /// actually achieved, asserted `== sessions`).
+    pub peak_live_sessions: usize,
+    /// Task polls the executor performed.
+    pub executor_polls: u64,
+    /// Scheduling events (spawns + wakes, including cross-thread wakes from
+    /// the shard worker) the executor's ready queue saw.
+    pub executor_wakeups: u64,
+    /// Whether the async path's reply sequence `(session_id, outcome)` was
+    /// bit-identical to the blocking path's.
+    pub identical_outputs: bool,
+}
+
+/// OS thread count of this process, where the platform exposes it.
+fn os_threads() -> Option<usize> {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()?
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// Runs E15: the hand-rolled async front-end serving N concurrent device
+/// sessions on one executor thread, compared against a blocking driver with
+/// the identical phase structure (open all → handshake all → masks
+/// round-major → each session's arrival-ordered stream via `submit_many` →
+/// drain). At `shards: 1` both
+/// paths present each enclave the same sequence of randomness-consuming
+/// operations (session opens, batch processing — executor micro-timing
+/// races never reorder those), so their endorsement outputs — down to the
+/// reply ciphertext bytes — must be identical; the
+/// async path's win is architectural: thousands of in-flight sessions with
+/// zero extra front-end threads, instead of a parked OS thread per
+/// outstanding reply.
+#[must_use]
+pub fn e15_async_frontend(
+    sessions: usize,
+    requests_per_session: usize,
+    slots: usize,
+    seed: [u8; 32],
+) -> E15Row {
+    use glimmer_core::protocol::BatchOutcome;
+    use glimmer_gateway::frontend::{AsyncGateway, SessionExecutor, WaitGroup};
+    use glimmer_gateway::{Gateway, GatewayConfig, GatewayResponse, TenantConfig};
+    use glimmer_workloads::gateway::{GatewayTrafficWorkload, TenantTrafficSpec};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    const APP: &str = "iot-telemetry.example";
+    let dimension = 8usize;
+    let workload = Rc::new(GatewayTrafficWorkload::generate(
+        &[TenantTrafficSpec {
+            name: APP.to_string(),
+            devices: sessions,
+            requests_per_device: requests_per_session,
+            dimension,
+            misbehaving_fraction: 0.2,
+        }],
+        seed,
+    ));
+    let client_ids: Vec<u64> = workload.tenants[0]
+        .devices
+        .iter()
+        .map(|d| d.device_id)
+        .collect();
+    let blinding = BlindingService::new([31u8; 32]);
+    let mask_rounds: Rc<Vec<Vec<glimmer_core::blinding::MaskShare>>> = Rc::new(
+        (0..requests_per_session)
+            .map(|round| blinding.zero_sum_masks(round as u64, &client_ids, dimension))
+            .collect(),
+    );
+    let mut rng = Drbg::from_seed(seed);
+    let material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+    let config = || GatewayConfig {
+        slots_per_tenant: slots,
+        // Deterministic single-shard mode: the bit-identical-outputs claim
+        // depends on a single FIFO command stream per the frontend docs.
+        shards: 1,
+        max_batch: 256,
+        max_queue_depth: (sessions * requests_per_session).max(256),
+        placement_session_weight: 4,
+        platform_config: PlatformConfig::default(),
+    };
+    let tenants = || {
+        let mut tenant = TenantConfig::new(
+            APP,
+            GlimmerDescriptor::iot_default(Vec::new()),
+            material.secret_bytes(),
+        );
+        // The whole point is concurrency scale, so the default quota
+        // (1024 sessions, 4096 queued) must grow with the experiment: all
+        // sessions are live at once and the entire schedule is queued
+        // before the first drain.
+        tenant.quota = glimmer_gateway::TenantQuota {
+            max_sessions: sessions.max(1024),
+            max_queued: (sessions * requests_per_session).max(4096),
+            endorsement_budget: None,
+        };
+        vec![tenant]
+    };
+    let contribution =
+        |device: &glimmer_workloads::gateway::DeviceTraffic, round: usize| Contribution {
+            app_id: APP.to_string(),
+            client_id: device.device_id,
+            round: round as u64,
+            payload: ContributionPayload::IotReadings {
+                samples: device.requests[round].clone(),
+            },
+        };
+    // Both paths must consume identical randomness streams: the machine rng
+    // rebuilds identical platforms, the device rng identical handshakes.
+    let machine_seed = [101u8; 32];
+    let device_seed = [102u8; 32];
+    let expected_replies = workload.total_requests();
+
+    // Per-session request streams, extracted once from the interleaved
+    // schedule: each driver submits them through `submit_many` — one
+    // atomic admission + one shard command per session — in device order.
+    // (Single tenant, so streams[i].device == i.)
+    let streams = Rc::new(workload.session_streams());
+
+    // --- Blocking driver, phased exactly like the async task lifecycle:
+    // all opens, then all handshakes (device order), then masks
+    // round-major, then each session's stream via submit_many, then
+    // drain-to-empty. ---
+    let mut avs = AttestationService::new([17u8; 32]);
+    let gateway = Gateway::new(
+        config(),
+        tenants(),
+        &mut avs,
+        &mut Drbg::from_seed(machine_seed),
+    )
+    .unwrap();
+    let blocking_start = Instant::now();
+    let approved = gateway.measurement(APP).unwrap();
+    let opened: Vec<(u64, glimmer_core::channel::ChannelOffer)> = (0..sessions)
+        .map(|_| gateway.open_session(APP).unwrap())
+        .collect();
+    let mut device_rng = Drbg::from_seed(device_seed);
+    let mut device_sessions = Vec::with_capacity(sessions);
+    for (sid, offer) in opened {
+        let (accept, session) =
+            IotDeviceSession::connect(&offer, &avs, &approved, &mut device_rng).unwrap();
+        gateway.complete_session(sid, &accept).unwrap();
+        device_sessions.push((sid, session));
+    }
+    for round in mask_rounds.iter() {
+        for (i, (sid, _)) in device_sessions.iter().enumerate() {
+            gateway.install_mask(*sid, &round[i]).unwrap();
+        }
+    }
+    for stream in streams.iter() {
+        let device = &workload.tenants[stream.tenant].devices[stream.device];
+        let (sid, session) = &mut device_sessions[stream.device];
+        let requests: Vec<Vec<u8>> = stream
+            .requests
+            .iter()
+            .map(|&round| session.encrypt_request(contribution(device, round), PrivateData::None))
+            .collect();
+        gateway.submit_many(*sid, requests).unwrap();
+    }
+    let blocking_responses = gateway.drain_all().unwrap();
+    let blocking_ms = blocking_start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(blocking_responses.len(), expected_replies);
+    drop(gateway);
+
+    // --- Async driver: one self-contained task per session (lifecycle
+    // through submitting its own stream), one drainer task, every poll on
+    // this thread. ---
+    let mut avs = AttestationService::new([17u8; 32]);
+    let gateway = Gateway::new(
+        config(),
+        tenants(),
+        &mut avs,
+        &mut Drbg::from_seed(machine_seed),
+    )
+    .unwrap();
+    // Baseline AFTER the shard workers exist: any growth from here on would
+    // be threads the front-end itself added (it must add none).
+    let baseline_threads = os_threads();
+    let frontend = AsyncGateway::new(gateway);
+    let mut executor = SessionExecutor::new();
+    let async_start = Instant::now();
+    let approved = frontend.gateway().measurement(APP).unwrap();
+    let device_rng = Rc::new(RefCell::new(Drbg::from_seed(device_seed)));
+    let avs = Rc::new(avs);
+    let ready = WaitGroup::new(sessions);
+    // Session tasks park their established device sessions here for the
+    // submitter task (slot i = device i, so ids line up with the streams).
+    type Established = Vec<Option<(u64, IotDeviceSession)>>;
+    let established: Rc<RefCell<Established>> =
+        Rc::new(RefCell::new((0..sessions).map(|_| None).collect()));
+    let async_responses: Rc<RefCell<Vec<GatewayResponse>>> = Rc::new(RefCell::new(Vec::new()));
+    let peak_live = Rc::new(std::cell::Cell::new(0usize));
+    let threads_mid_serving = Rc::new(std::cell::Cell::new(None::<usize>));
+
+    for i in 0..sessions {
+        let frontend = frontend.clone();
+        let device_rng = Rc::clone(&device_rng);
+        let avs = Rc::clone(&avs);
+        let mask_rounds = Rc::clone(&mask_rounds);
+        let established = Rc::clone(&established);
+        let ready = ready.clone();
+        executor.spawn(async move {
+            let (sid, offer) = frontend.open_session(APP).await.unwrap();
+            let (accept, session) = {
+                let mut rng = device_rng.borrow_mut();
+                IotDeviceSession::connect(&offer, &avs, &approved, &mut rng).unwrap()
+            };
+            frontend.complete_session(sid, &accept).await.unwrap();
+            for round in mask_rounds.iter() {
+                frontend.install_mask(sid, &round[i]).await.unwrap();
+            }
+            established.borrow_mut()[i] = Some((sid, session));
+            ready.done();
+        });
+    }
+    {
+        let frontend = frontend.clone();
+        let workload = Rc::clone(&workload);
+        let streams = Rc::clone(&streams);
+        let established = Rc::clone(&established);
+        let async_responses = Rc::clone(&async_responses);
+        let peak_live = Rc::clone(&peak_live);
+        let threads_mid_serving = Rc::clone(&threads_mid_serving);
+        executor.spawn(async move {
+            // Hold submission back until every session finished its
+            // handshake — the same phase boundary the blocking driver has,
+            // and the moment all N sessions are provably live at once.
+            //
+            // Submission runs in ONE task, walking the per-session streams
+            // in device order, because a completion delivered before its
+            // first poll resolves inline: session tasks that submit from
+            // inside their own lifecycle would race each other's
+            // submission order (harmless for correctness, fatal for the
+            // bit-identical comparison — the per-slot queue order feeds
+            // the enclave's reply-nonce stream at drain time).
+            ready.wait().await;
+            peak_live.set(frontend.gateway().live_sessions());
+            threads_mid_serving.set(os_threads());
+            // Take ownership of the established sessions (every session
+            // task has finished, so the cell is fully populated): holding
+            // a RefCell borrow across the awaits below would be fragile.
+            let mut established: Established = std::mem::take(&mut established.borrow_mut());
+            for stream in streams.iter() {
+                let device = &workload.tenants[stream.tenant].devices[stream.device];
+                let (sid, session) = established[stream.device]
+                    .as_mut()
+                    .expect("all sessions established");
+                let requests: Vec<Vec<u8>> = stream
+                    .requests
+                    .iter()
+                    .map(|&round| {
+                        session.encrypt_request(contribution(device, round), PrivateData::None)
+                    })
+                    .collect();
+                frontend.submit_many(*sid, requests).await.unwrap();
+            }
+            loop {
+                let batch = frontend.drain_replies().await.unwrap();
+                let mut collected = async_responses.borrow_mut();
+                collected.extend(batch);
+                if collected.len() >= expected_replies {
+                    break;
+                }
+            }
+        });
+    }
+    executor.run();
+    let async_ms = async_start.elapsed().as_secs_f64() * 1e3;
+    let executor_polls = executor.polls();
+    let executor_wakeups = executor.wakeups();
+
+    // The acceptance bar: bit-identical reply sequences, byte-for-byte
+    // (every reply ciphertext depends on the per-slot enclave rng stream,
+    // so this holds only because both drivers present each enclave the
+    // same order of randomness-consuming operations).
+    let async_responses = async_responses.borrow();
+    let identical_outputs = blocking_responses.len() == async_responses.len()
+        && blocking_responses
+            .iter()
+            .zip(async_responses.iter())
+            .all(|(b, a)| b.session_id == a.session_id && b.outcome == a.outcome);
+    let endorsed = async_responses
+        .iter()
+        .filter(|r| matches!(r.outcome, BatchOutcome::Reply { endorsed: true, .. }))
+        .count();
+    let rejected = expected_replies - endorsed;
+    let extra_frontend_threads = match (baseline_threads, threads_mid_serving.get()) {
+        (Some(before), Some(during)) => Some(during.saturating_sub(before)),
+        _ => None,
+    };
+
+    E15Row {
+        sessions,
+        requests_per_session,
+        slots,
+        endorsed,
+        rejected,
+        blocking_ms,
+        async_ms,
+        extra_frontend_threads,
+        peak_live_sessions: peak_live.get(),
+        executor_polls,
+        executor_wakeups,
+        identical_outputs,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2299,6 +2632,34 @@ mod tests {
             row.ecall_reduction
         );
         assert!(row.snapshot_bytes > 0);
+    }
+
+    #[test]
+    fn e15_async_frontend_reproduces_blocking_outputs_bit_for_bit() {
+        let row = e15_async_frontend(16, 3, 2, SEED);
+        assert_eq!(row.sessions, 16);
+        assert_eq!(row.endorsed + row.rejected, 16 * 3);
+        assert!(row.endorsed > 0, "honest majority must endorse");
+        assert!(row.rejected > 0, "misbehaving fraction must reject");
+        // The determinism bar: the async front-end changes costs, never
+        // outcomes — reply sequences identical down to the ciphertexts.
+        assert!(row.identical_outputs);
+        // All sessions were live at once on one executor...
+        assert_eq!(row.peak_live_sessions, 16);
+        // ...which spawned no threads of its own (measurable on Linux).
+        if let Some(extra) = row.extra_frontend_threads {
+            assert_eq!(extra, 0, "executor must not spawn threads");
+        }
+        // Scheduling-event counts are timing-dependent — a completion the
+        // worker delivers before the task's first poll resolves inline and
+        // consumes no wake — so only the guaranteed floor is asserted:
+        // every task (16 sessions plus the submitter/drainer) is scheduled
+        // once at spawn and polled at least once.
+        const TASKS: usize = 16 + 1;
+        assert!(row.executor_wakeups as usize >= TASKS);
+        assert!(row.executor_polls as usize >= TASKS);
+        // A pop never polls without a push: polls cannot exceed wakeups.
+        assert!(row.executor_polls <= row.executor_wakeups);
     }
 
     #[test]

@@ -17,9 +17,9 @@
 //!
 //! # Module map
 //!
-//! * [`sha256`] — FIPS 180-4 SHA-256.
+//! * [`mod@sha256`] — FIPS 180-4 SHA-256.
 //! * [`hmac`] — HMAC-SHA-256 (RFC 2104).
-//! * [`hkdf`] — HKDF extract/expand (RFC 5869).
+//! * [`mod@hkdf`] — HKDF extract/expand (RFC 5869).
 //! * [`chacha20`] — the ChaCha20 stream cipher (RFC 8439, without Poly1305).
 //! * [`aead`] — encrypt-then-MAC authenticated encryption built from
 //!   ChaCha20 + HMAC-SHA-256.

@@ -1,6 +1,7 @@
 //! Typed gateway rejections.
 
 use crate::checkpoint::CrashPoint;
+use crate::runtime::BarrierOp;
 use glimmer_core::GlimmerError;
 use std::sync::Arc;
 
@@ -86,6 +87,18 @@ pub enum GatewayError {
     /// Snapshot bytes failed envelope validation (truncation, bit rot,
     /// version skew, malformed payload).
     SnapshotCorrupt(glimmer_wire::WireError),
+    /// A whole-gateway quiesce operation (checkpoint or shutdown) was
+    /// requested while another one held the worker barrier. Interleaving two
+    /// two-phase barriers would deadlock the shard workers (each paused
+    /// waiting for the other operation's release), so the loser fails typed
+    /// and the caller retries after the winner finishes — except after
+    /// shutdown, whose claim is terminal.
+    BarrierConflict {
+        /// The operation currently holding the barrier.
+        in_progress: BarrierOp,
+        /// The operation that was refused.
+        requested: BarrierOp,
+    },
     /// An injected crash fault fired at the given point (test harness only;
     /// the deterministic stand-in for the process dying there).
     CrashInjected(CrashPoint),
@@ -134,6 +147,13 @@ impl core::fmt::Display for GatewayError {
                 )
             }
             GatewayError::SnapshotCorrupt(e) => write!(f, "snapshot corrupt: {e}"),
+            GatewayError::BarrierConflict {
+                in_progress,
+                requested,
+            } => write!(
+                f,
+                "cannot {requested}: a {in_progress} already holds the quiesce barrier"
+            ),
             GatewayError::CrashInjected(point) => {
                 write!(f, "injected crash fault at {point}")
             }
@@ -209,6 +229,13 @@ mod tests {
             (
                 GatewayError::SnapshotCorrupt(glimmer_wire::WireError::BadMagic),
                 "snapshot corrupt",
+            ),
+            (
+                GatewayError::BarrierConflict {
+                    in_progress: BarrierOp::Checkpoint,
+                    requested: BarrierOp::Shutdown,
+                },
+                "quiesce barrier",
             ),
             (
                 GatewayError::CrashInjected(CrashPoint::BeforeRestore),

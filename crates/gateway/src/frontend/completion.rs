@@ -1,0 +1,169 @@
+//! Waker-notified completion cells: the async replacement for the blocking
+//! per-command reply channel.
+//!
+//! Every gateway command that used to answer over a one-shot
+//! `std::sync::mpsc` channel (the caller parked in `recv`) can instead carry
+//! a [`Completer`]: the shard worker delivers the result into the shared
+//! cell and wakes whichever task is parked on the matching [`Completion`]
+//! future. One front-end thread can therefore have thousands of commands in
+//! flight — one per session task — where the blocking path pinned a whole
+//! OS thread per outstanding reply.
+//!
+//! The pair is deliberately tiny: a mutex-guarded `Option<T>` plus an
+//! `Option<Waker>`. A dropped-without-delivering [`Completer`] (the worker
+//! died, or the command was abandoned in a shard queue at shutdown) closes
+//! the cell, so the future resolves to
+//! [`GatewayError::RuntimeUnavailable`](crate::GatewayError::RuntimeUnavailable)
+//! instead of pending forever — the exact analogue of `recv` returning
+//! `RecvError` when the sender side is gone.
+
+use crate::error::{GatewayError, Result};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// Shared state of one completion cell.
+struct State<T> {
+    /// The delivered value, if any (taken by the awaiting future).
+    value: Option<T>,
+    /// The waker of the task currently parked on the future, if any.
+    waker: Option<Waker>,
+    /// True once the [`Completer`] was dropped without delivering.
+    closed: bool,
+}
+
+/// Creates a linked completer/future pair for one command's reply.
+pub(crate) fn completion_pair<T>() -> (Completer<T>, Completion<T>) {
+    let state = Arc::new(Mutex::new(State {
+        value: None,
+        waker: None,
+        closed: false,
+    }));
+    (
+        Completer {
+            state: Arc::clone(&state),
+            delivered: false,
+        },
+        Completion { state },
+    )
+}
+
+/// The delivering half, carried inside a shard command. Exactly one of
+/// [`Completer::complete`] or the drop-without-delivering close will run.
+pub(crate) struct Completer<T> {
+    state: Arc<Mutex<State<T>>>,
+    delivered: bool,
+}
+
+impl<T> Completer<T> {
+    /// Delivers the reply and wakes the awaiting task, if one is parked.
+    pub(crate) fn complete(mut self, value: T) {
+        let waker = {
+            let mut state = self.state.lock().expect("completion cell poisoned");
+            state.value = Some(value);
+            state.waker.take()
+        };
+        self.delivered = true;
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+}
+
+impl<T> Drop for Completer<T> {
+    fn drop(&mut self) {
+        if self.delivered {
+            return;
+        }
+        // The command died before producing a reply (worker gone, queue
+        // abandoned). Close the cell and wake the waiter so it observes
+        // `RuntimeUnavailable` instead of parking forever.
+        let waker = {
+            let mut state = self.state.lock().expect("completion cell poisoned");
+            state.closed = true;
+            state.waker.take()
+        };
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+}
+
+/// The awaiting half: a future resolving to the delivered reply, or to
+/// [`GatewayError::RuntimeUnavailable`] when the command was abandoned.
+pub(crate) struct Completion<T> {
+    state: Arc<Mutex<State<T>>>,
+}
+
+impl<T> Future for Completion<T> {
+    type Output = Result<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut state = self.state.lock().expect("completion cell poisoned");
+        if let Some(value) = state.value.take() {
+            return Poll::Ready(Ok(value));
+        }
+        if state.closed {
+            return Poll::Ready(Err(GatewayError::RuntimeUnavailable));
+        }
+        // Re-register every poll: the executor may poll through a fresh
+        // waker after moving the task, and only the latest one may be woken.
+        state.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::task::Wake;
+
+    struct Flag(std::sync::atomic::AtomicBool);
+
+    impl Wake for Flag {
+        fn wake(self: Arc<Self>) {
+            self.0.store(true, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    fn flag_waker() -> (Arc<Flag>, Waker) {
+        let flag = Arc::new(Flag(std::sync::atomic::AtomicBool::new(false)));
+        (Arc::clone(&flag), Waker::from(Arc::clone(&flag)))
+    }
+
+    fn poll_once<T>(completion: &mut Completion<T>, waker: &Waker) -> Poll<Result<T>> {
+        Pin::new(completion).poll(&mut Context::from_waker(waker))
+    }
+
+    #[test]
+    fn delivery_wakes_and_resolves() {
+        let (completer, mut completion) = completion_pair::<u32>();
+        let (flag, waker) = flag_waker();
+        assert!(poll_once(&mut completion, &waker).is_pending());
+        completer.complete(7);
+        assert!(flag.0.load(std::sync::atomic::Ordering::SeqCst));
+        assert_eq!(poll_once(&mut completion, &waker), Poll::Ready(Ok(7)));
+    }
+
+    #[test]
+    fn delivery_before_first_poll_is_immediate() {
+        let (completer, mut completion) = completion_pair::<u32>();
+        completer.complete(9);
+        let (_, waker) = flag_waker();
+        assert_eq!(poll_once(&mut completion, &waker), Poll::Ready(Ok(9)));
+    }
+
+    #[test]
+    fn dropped_completer_closes_with_runtime_unavailable() {
+        let (completer, mut completion) = completion_pair::<u32>();
+        let (flag, waker) = flag_waker();
+        assert!(poll_once(&mut completion, &waker).is_pending());
+        drop(completer);
+        assert!(flag.0.load(std::sync::atomic::Ordering::SeqCst));
+        assert_eq!(
+            poll_once(&mut completion, &waker),
+            Poll::Ready(Err(GatewayError::RuntimeUnavailable))
+        );
+    }
+}

@@ -7,10 +7,11 @@ use crate::checkpoint::{
 use crate::clock::{Clock, SystemClock};
 use crate::config::{GatewayConfig, TenantConfig, TenantQuota};
 use crate::error::{GatewayError, QuotaResource, Result};
+use crate::frontend::completion::{completion_pair, Completion};
 use crate::pool::{PoolSlot, TenantPool};
 use crate::runtime::{
-    ShardCommand, ShardDrainReport, ShardWorker, Shared, SlotCheckpoint, SlotGauges, SlotInfo,
-    TenantCounters, TenantMeta, WorkerSlot,
+    BarrierGuard, BarrierOp, Reply, ShardCommand, ShardDrainReport, ShardWorker, Shared,
+    SlotCheckpoint, SlotGauges, SlotInfo, TenantCounters, TenantMeta, WorkerSlot,
 };
 use crate::session::{SessionEntry, SessionState, SessionTable};
 use crate::stats::GatewayStats;
@@ -22,7 +23,7 @@ use glimmer_core::GlimmerError;
 use glimmer_crypto::drbg::Drbg;
 use sgx_sim::{AttestationService, Measurement, SgxError};
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -51,7 +52,8 @@ pub struct GatewayResponse {
 ///
 /// # Runtime
 ///
-/// Serving runs on a shard-per-core runtime ([`crate::runtime`]): pool slots
+/// Serving runs on a shard-per-core runtime (the crate-internal `runtime`
+/// module): pool slots
 /// are distributed round-robin over [`GatewayConfig::shards`] worker
 /// threads, each of which exclusively owns its slots (enclaves, queues,
 /// drain counters — shared-nothing). The `Gateway` value itself is a thin
@@ -165,12 +167,19 @@ impl Gateway {
     /// Sealed blobs from any other machine fail closed with
     /// [`GatewayError::SealedBlobRejected`].
     ///
+    /// # Errors
+    ///
     /// Restore fails closed, with typed errors, on every mismatch: a
     /// snapshot taken under a different pool shape or tenant set
     /// ([`GatewayError::SnapshotMismatch`]), corrupted snapshot bytes
     /// ([`GatewayError::SnapshotCorrupt`] from
     /// [`GatewaySnapshot::from_bytes`]), and tampered, spliced, or
     /// cross-measurement sealed state ([`GatewayError::SealedBlobRejected`]).
+    ///
+    /// # Examples
+    ///
+    /// See [`Gateway::checkpoint`] for the full checkpoint → crash →
+    /// restore round trip.
     pub fn restore(
         config: GatewayConfig,
         tenants: Vec<TenantConfig>,
@@ -417,6 +426,7 @@ impl Gateway {
             table: Mutex::new(table),
             submit_commands: AtomicU64::new(submit_commands),
             checkpoint_epoch: AtomicU64::new(checkpoint_epoch),
+            barrier: AtomicU8::new(crate::runtime::BARRIER_IDLE),
         });
 
         let mut senders = Vec::with_capacity(shards);
@@ -518,10 +528,11 @@ impl Gateway {
             .expect("tenant pool always has at least one slot")
     }
 
-    /// Opens a device session for `tenant`: admits it against the session
-    /// quota, pins it to the least-loaded pool slot, and returns the
-    /// attestation offer the device verifies.
-    pub fn open_session(&self, tenant: &str) -> Result<(u64, ChannelOffer)> {
+    /// Admission, placement, and table insert for a new session — the
+    /// front-end-independent first half of an open. Returns the routing
+    /// triple `(session_id, tenant_idx, slot_id)` the enclave command and
+    /// its settle step need.
+    fn open_session_admit(&self, tenant: &str) -> Result<(u64, usize, usize)> {
         let tenant_idx = self.shared.tenant_idx(tenant)?;
         let meta = &self.shared.tenants[tenant_idx];
         // Reserve a session-quota slot first; roll back on any failure so a
@@ -549,7 +560,71 @@ impl Gateway {
                 slot_id,
                 self.shared.clock.now_nanos(),
             );
+        Ok((session_id, tenant_idx, slot_id))
+    }
 
+    /// Undoes [`Gateway::open_session_admit`] after the enclave side failed.
+    fn open_session_rollback(&self, session_id: u64, tenant_idx: usize, slot_id: usize) {
+        let meta = &self.shared.tenants[tenant_idx];
+        // Roll the reservation back only if this thread actually removed
+        // the entry: a concurrent close/eviction that beat us here already
+        // ran the gauge rollback, and decrementing twice would wrap the
+        // unsigned gauges.
+        let removed = self
+            .shared
+            .table
+            .lock()
+            .expect("session table poisoned")
+            .close(session_id)
+            .is_ok();
+        if removed {
+            meta.slots[slot_id]
+                .gauges
+                .active_sessions
+                .fetch_sub(1, Ordering::SeqCst);
+            meta.live_sessions.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Outcome handling shared by the blocking and async front-ends: commit
+    /// the open on success, roll back admission on failure.
+    pub(crate) fn open_session_settle(
+        &self,
+        session_id: u64,
+        tenant_idx: usize,
+        slot_id: usize,
+        outcome: Result<ChannelOffer>,
+    ) -> Result<(u64, ChannelOffer)> {
+        match outcome {
+            Ok(offer) => {
+                self.shared.tenants[tenant_idx]
+                    .counters
+                    .sessions_opened
+                    .fetch_add(1, Ordering::SeqCst);
+                Ok((session_id, offer))
+            }
+            Err(e) => {
+                self.open_session_rollback(session_id, tenant_idx, slot_id);
+                Err(e)
+            }
+        }
+    }
+
+    /// Opens a device session for `tenant`: admits it against the session
+    /// quota, pins it to the least-loaded pool slot, and returns the
+    /// attestation offer the device verifies.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::UnknownTenant`] for an unenrolled tenant,
+    /// [`GatewayError::QuotaExceeded`] when the tenant's session quota is
+    /// full, [`GatewayError::RuntimeUnavailable`] when the owning shard
+    /// worker is gone, and any enclave-side failure as
+    /// [`GatewayError::Glimmer`]. On every error the admission reservation
+    /// is rolled back.
+    pub fn open_session(&self, tenant: &str) -> Result<(u64, ChannelOffer)> {
+        let (session_id, tenant_idx, slot_id) = self.open_session_admit(tenant)?;
+        let info = &self.shared.tenants[tenant_idx].slots[slot_id];
         let (tx, rx) = channel();
         let outcome = self
             .send(
@@ -557,57 +632,73 @@ impl Gateway {
                 ShardCommand::OpenSession {
                     slot: info.worker_idx,
                     session_id,
-                    reply: tx,
+                    reply: Reply::Sync(tx),
                 },
             )
             .and_then(|()| Self::recv(&rx))
             .and_then(|result| result);
-        match outcome {
-            Ok(offer) => {
-                meta.counters.sessions_opened.fetch_add(1, Ordering::SeqCst);
-                Ok((session_id, offer))
-            }
+        self.open_session_settle(session_id, tenant_idx, slot_id, outcome)
+    }
+
+    /// Async-front-end first half of [`Gateway::open_session`]: admits and
+    /// sends the enclave command with a waker-notified completion instead of
+    /// parking in `recv`. The caller awaits the completion and passes its
+    /// outcome to [`Gateway::open_session_settle`] —
+    /// [`AsyncGateway`](crate::frontend::AsyncGateway) owns that pairing.
+    pub(crate) fn open_session_begin(
+        &self,
+        tenant: &str,
+    ) -> Result<(u64, usize, usize, Completion<Result<ChannelOffer>>)> {
+        let (session_id, tenant_idx, slot_id) = self.open_session_admit(tenant)?;
+        let info = &self.shared.tenants[tenant_idx].slots[slot_id];
+        let (completer, completion) = completion_pair();
+        match self.send(
+            info.shard,
+            ShardCommand::OpenSession {
+                slot: info.worker_idx,
+                session_id,
+                reply: Reply::Async(completer),
+            },
+        ) {
+            Ok(()) => Ok((session_id, tenant_idx, slot_id, completion)),
             Err(e) => {
-                // Roll the reservation back only if this thread actually
-                // removed the entry: a concurrent close/eviction that beat
-                // us here already ran the gauge rollback, and decrementing
-                // twice would wrap the unsigned gauges.
-                let removed = self
-                    .shared
-                    .table
-                    .lock()
-                    .expect("session table poisoned")
-                    .close(session_id)
-                    .is_ok();
-                if removed {
-                    info.gauges.active_sessions.fetch_sub(1, Ordering::SeqCst);
-                    meta.live_sessions.fetch_sub(1, Ordering::SeqCst);
-                }
+                self.open_session_rollback(session_id, tenant_idx, slot_id);
                 Err(e)
             }
         }
     }
 
-    /// Completes a session's attested handshake with the device's response.
-    pub fn complete_session(&self, session_id: u64, accept: &ChannelAccept) -> Result<()> {
+    /// Route lookup + state check for a handshake completion, shared by
+    /// both front-ends.
+    fn complete_session_route(&self, session_id: u64) -> Result<SessionEntry> {
         let entry = self.session_entry(session_id)?;
         if entry.state == SessionState::Established {
             return Err(GatewayError::SessionAlreadyEstablished(session_id));
         }
+        Ok(entry)
+    }
+
+    /// Outcome handling shared by the blocking and async front-ends: on
+    /// enclave success, mark the table entry established (cleaning up the
+    /// eviction race); on failure, tear the wedged pending session down.
+    ///
+    /// The failure and race cleanups inside perform a synchronous enclave
+    /// close: they park until the owning shard worker reaches the command —
+    /// behind whatever that shard already has queued, which on a loaded
+    /// gateway can include whole drain sweeps. An async caller's executor
+    /// thread stalls for that backlog when it hits one of these paths. That
+    /// is a deliberate trade: they only run when a handshake actually
+    /// failed or lost an eviction race — error paths, not steady-state
+    /// serving — and the alternative (fire-and-forget cleanup) would leave
+    /// the enclave's session table silently divergent on exactly the paths
+    /// where consistency matters most.
+    pub(crate) fn complete_session_settle(
+        &self,
+        session_id: u64,
+        entry: &SessionEntry,
+        outcome: Result<()>,
+    ) -> Result<()> {
         let info = &self.shared.tenants[entry.tenant_idx].slots[entry.slot];
-        let (tx, rx) = channel();
-        let outcome = self
-            .send(
-                info.shard,
-                ShardCommand::AcceptSession {
-                    slot: info.worker_idx,
-                    session_id,
-                    accept: accept.clone(),
-                    reply: tx,
-                },
-            )
-            .and_then(|()| Self::recv(&rx))
-            .and_then(|result| result);
         if let Err(e) = outcome {
             // The enclave consumed the pending handshake, so this session id
             // can never complete; tear it down instead of leaving a wedged
@@ -640,7 +731,7 @@ impl Gateway {
                     ShardCommand::CloseSession {
                         slot: info.worker_idx,
                         session_id,
-                        reply: tx,
+                        reply: Reply::Sync(tx),
                     },
                 )
                 .is_ok()
@@ -651,8 +742,74 @@ impl Gateway {
         established
     }
 
+    /// Completes a session's attested handshake with the device's response.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::UnknownSession`] for a dead id,
+    /// [`GatewayError::SessionAlreadyEstablished`] for a duplicate
+    /// completion, [`GatewayError::RuntimeUnavailable`] when the shard
+    /// worker is gone, and enclave rejections as [`GatewayError::Glimmer`].
+    /// A failed completion tears the pending session down (the enclave
+    /// consumed the handshake), so the device retries with a fresh
+    /// [`Gateway::open_session`].
+    pub fn complete_session(&self, session_id: u64, accept: &ChannelAccept) -> Result<()> {
+        let entry = self.complete_session_route(session_id)?;
+        let info = &self.shared.tenants[entry.tenant_idx].slots[entry.slot];
+        let (tx, rx) = channel();
+        let outcome = self
+            .send(
+                info.shard,
+                ShardCommand::AcceptSession {
+                    slot: info.worker_idx,
+                    session_id,
+                    accept: accept.clone(),
+                    reply: Reply::Sync(tx),
+                },
+            )
+            .and_then(|()| Self::recv(&rx))
+            .and_then(|result| result);
+        self.complete_session_settle(session_id, &entry, outcome)
+    }
+
+    /// Async-front-end first half of [`Gateway::complete_session`]; the
+    /// caller awaits the completion and settles through
+    /// [`Gateway::complete_session_settle`].
+    pub(crate) fn complete_session_begin(
+        &self,
+        session_id: u64,
+        accept: &ChannelAccept,
+    ) -> Result<(SessionEntry, Completion<Result<()>>)> {
+        let entry = self.complete_session_route(session_id)?;
+        let info = &self.shared.tenants[entry.tenant_idx].slots[entry.slot];
+        let (completer, completion) = completion_pair();
+        match self.send(
+            info.shard,
+            ShardCommand::AcceptSession {
+                slot: info.worker_idx,
+                session_id,
+                accept: accept.clone(),
+                reply: Reply::Async(completer),
+            },
+        ) {
+            Ok(()) => Ok((entry, completion)),
+            Err(e) => {
+                let _ = self.complete_session_settle(session_id, &entry, Err(e.clone()));
+                Err(e)
+            }
+        }
+    }
+
     /// Closes a session: erases its channel keys inside the enclave and
     /// discards any requests it still had queued.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::UnknownSession`] when the id is not live,
+    /// [`GatewayError::RuntimeUnavailable`] when the owning shard worker is
+    /// gone, and enclave-side failures as [`GatewayError::Glimmer`]. The
+    /// table entry and its quota reservation are released even when the
+    /// enclave-side erase fails.
     pub fn close_session(&self, session_id: u64) -> Result<()> {
         let entry = self
             .shared
@@ -661,6 +818,50 @@ impl Gateway {
             .expect("session table poisoned")
             .close(session_id)?;
         self.finish_close(session_id, &entry)
+    }
+
+    /// Async-front-end first half of [`Gateway::close_session`]: removes the
+    /// table entry, rolls the gauges back, and sends the enclave close with
+    /// a completion. The caller awaits it and settles through
+    /// [`Gateway::close_session_settle`].
+    pub(crate) fn close_session_begin(
+        &self,
+        session_id: u64,
+    ) -> Result<(usize, Completion<Result<()>>)> {
+        let entry = self
+            .shared
+            .table
+            .lock()
+            .expect("session table poisoned")
+            .close(session_id)?;
+        let meta = &self.shared.tenants[entry.tenant_idx];
+        let info = &meta.slots[entry.slot];
+        info.gauges.active_sessions.fetch_sub(1, Ordering::SeqCst);
+        meta.live_sessions.fetch_sub(1, Ordering::SeqCst);
+        let (completer, completion) = completion_pair();
+        self.send(
+            info.shard,
+            ShardCommand::CloseSession {
+                slot: info.worker_idx,
+                session_id,
+                reply: Reply::Async(completer),
+            },
+        )?;
+        Ok((entry.tenant_idx, completion))
+    }
+
+    /// Outcome handling for an async close: count the close on success.
+    pub(crate) fn close_session_settle(
+        &self,
+        tenant_idx: usize,
+        outcome: Result<()>,
+    ) -> Result<()> {
+        outcome?;
+        self.shared.tenants[tenant_idx]
+            .counters
+            .sessions_closed
+            .fetch_add(1, Ordering::SeqCst);
+        Ok(())
     }
 
     /// Tears the session down only if it is still pending — the
@@ -697,12 +898,11 @@ impl Gateway {
             ShardCommand::CloseSession {
                 slot: info.worker_idx,
                 session_id,
-                reply: tx,
+                reply: Reply::Sync(tx),
             },
         )?;
-        Self::recv(&rx)??;
-        meta.counters.sessions_closed.fetch_add(1, Ordering::SeqCst);
-        Ok(())
+        let outcome = Self::recv(&rx).and_then(|result| result);
+        self.close_session_settle(entry.tenant_idx, outcome)
     }
 
     /// Installs a blinding mask share into the enclave serving `session_id`
@@ -735,6 +935,20 @@ impl Gateway {
         self.install_mask_delivery(session_id, MaskDelivery::Encrypted { nonce, ciphertext })
     }
 
+    /// Maps an enclave AEAD refusal of a sealed mask delivery (tampered
+    /// ciphertext, wrong slot's channel key, replayed nonce) to the typed,
+    /// tenant-labelled rejection instead of a stringly enclave abort.
+    pub(crate) fn install_mask_settle(tenant: &Arc<str>, outcome: Result<()>) -> Result<()> {
+        outcome.map_err(|e| match e {
+            GatewayError::Glimmer(GlimmerError::Sgx(SgxError::UnsealDenied(_))) => {
+                GatewayError::SealedBlobRejected {
+                    tenant: tenant.clone(),
+                }
+            }
+            other => other,
+        })
+    }
+
     fn install_mask_delivery(&self, session_id: u64, delivery: MaskDelivery) -> Result<()> {
         let entry = self.session_entry(session_id)?;
         let info = &self.shared.tenants[entry.tenant_idx].slots[entry.slot];
@@ -745,21 +959,35 @@ impl Gateway {
                 slot: info.worker_idx,
                 session_id,
                 delivery,
-                reply: tx,
+                reply: Reply::Sync(tx),
             },
         )?;
-        Self::recv(&rx)?.map_err(|e| match e {
-            // The enclave's channel AEAD refused the sealed delivery
-            // (tampered ciphertext, wrong slot's channel key, replayed
-            // nonce). Surface the typed, tenant-labelled rejection instead
-            // of a stringly enclave abort.
-            GatewayError::Glimmer(GlimmerError::Sgx(SgxError::UnsealDenied(_))) => {
-                GatewayError::SealedBlobRejected {
-                    tenant: entry.tenant.clone(),
-                }
-            }
-            other => other,
-        })
+        let outcome = Self::recv(&rx).and_then(|result| result);
+        Self::install_mask_settle(&entry.tenant, outcome)
+    }
+
+    /// Async-front-end first half of [`Gateway::install_mask`] /
+    /// [`Gateway::install_mask_encrypted`]: routes the delivery with a
+    /// completion; the caller awaits and settles through
+    /// [`Gateway::install_mask_settle`] with the returned tenant label.
+    pub(crate) fn install_mask_begin(
+        &self,
+        session_id: u64,
+        delivery: MaskDelivery,
+    ) -> Result<(Arc<str>, Completion<Result<()>>)> {
+        let entry = self.session_entry(session_id)?;
+        let info = &self.shared.tenants[entry.tenant_idx].slots[entry.slot];
+        let (completer, completion) = completion_pair();
+        self.send(
+            info.shard,
+            ShardCommand::InstallMask {
+                slot: info.worker_idx,
+                session_id,
+                delivery,
+                reply: Reply::Async(completer),
+            },
+        )?;
+        Ok((entry.tenant, completion))
     }
 
     /// The pool slot a session is pinned to — the tenant needs it to seal
@@ -793,7 +1021,7 @@ impl Gateway {
             info.shard,
             ShardCommand::TenantChannelOffer {
                 slot: info.worker_idx,
-                reply: tx,
+                reply: Reply::Sync(tx),
             },
         )?;
         Self::recv(&rx)?
@@ -813,7 +1041,7 @@ impl Gateway {
             ShardCommand::TenantChannelComplete {
                 slot: info.worker_idx,
                 accept: accept.clone(),
-                reply: tx,
+                reply: Reply::Sync(tx),
             },
         )?;
         Self::recv(&rx)?
@@ -897,6 +1125,8 @@ impl Gateway {
 
     /// Admits one encrypted request into its session's slot queue.
     ///
+    /// # Errors
+    ///
     /// Rejections are typed: quota exhaustion ([`GatewayError::QuotaExceeded`])
     /// and queue-depth backpressure ([`GatewayError::Backpressure`]) both leave
     /// the request unqueued so the device can retry elsewhere or later.
@@ -949,6 +1179,70 @@ impl Gateway {
     /// reservation is rolled back — so a retrying producer never has to
     /// guess which suffix was admitted. Items are enqueued in vector order.
     /// An empty group is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::UnknownSession`] / [`GatewayError::SessionNotEstablished`]
+    /// for a bad route, [`GatewayError::QuotaExceeded`] and
+    /// [`GatewayError::Backpressure`] when the whole group does not fit, and
+    /// [`GatewayError::RuntimeUnavailable`] when the shard worker is gone —
+    /// in every case nothing was enqueued.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use glimmer_core::blinding::BlindingService;
+    /// use glimmer_core::host::GlimmerDescriptor;
+    /// use glimmer_core::protocol::{Contribution, ContributionPayload, PrivateData};
+    /// use glimmer_core::remote::IotDeviceSession;
+    /// use glimmer_core::signing::ServiceKeyMaterial;
+    /// use glimmer_crypto::drbg::Drbg;
+    /// use glimmer_gateway::{Gateway, GatewayConfig, TenantConfig};
+    /// use sgx_sim::AttestationService;
+    ///
+    /// const APP: &str = "iot-telemetry.example";
+    /// let mut rng = Drbg::from_seed([1u8; 32]);
+    /// let mut avs = AttestationService::new([2u8; 32]);
+    /// let material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+    /// let gateway = Gateway::new(
+    ///     GatewayConfig { slots_per_tenant: 1, ..GatewayConfig::default() },
+    ///     vec![TenantConfig::new(
+    ///         APP,
+    ///         GlimmerDescriptor::iot_default(Vec::new()),
+    ///         material.secret_bytes(),
+    ///     )],
+    ///     &mut avs,
+    ///     &mut rng,
+    /// )
+    /// .unwrap();
+    ///
+    /// // Establish one device session and authorize it for client id 0.
+    /// let approved = gateway.measurement(APP).unwrap();
+    /// let (sid, offer) = gateway.open_session(APP).unwrap();
+    /// let (accept, mut device) =
+    ///     IotDeviceSession::connect(&offer, &avs, &approved, &mut rng).unwrap();
+    /// gateway.complete_session(sid, &accept).unwrap();
+    /// let masks = BlindingService::new([3u8; 32]).zero_sum_masks(0, &[0], 4);
+    /// gateway.install_mask(sid, &masks[0]).unwrap();
+    ///
+    /// // The session's stream rides in as ONE admission sequence and ONE
+    /// // shard-queue command, instead of one of each per request.
+    /// let stream: Vec<Vec<u8>> = (0..3)
+    ///     .map(|_| {
+    ///         device.encrypt_request(
+    ///             Contribution {
+    ///                 app_id: APP.to_string(),
+    ///                 client_id: 0,
+    ///                 round: 0,
+    ///                 payload: ContributionPayload::IotReadings { samples: vec![0.5; 4] },
+    ///             },
+    ///             PrivateData::None,
+    ///         )
+    ///     })
+    ///     .collect();
+    /// gateway.submit_many(sid, stream).unwrap();
+    /// assert_eq!(gateway.drain_all().unwrap().len(), 3);
+    /// ```
     pub fn submit_many(&self, session_id: u64, ciphertexts: Vec<Vec<u8>>) -> Result<()> {
         let n = ciphertexts.len();
         if n == 0 {
@@ -1139,7 +1433,12 @@ impl Gateway {
         let mut first_error: Option<GatewayError> = None;
         for shard in 0..self.senders.len() {
             let (tx, rx) = channel();
-            match self.send(shard, ShardCommand::Drain { reply: tx }) {
+            match self.send(
+                shard,
+                ShardCommand::Drain {
+                    reply: Reply::Sync(tx),
+                },
+            ) {
                 Ok(()) => pending.push(rx),
                 Err(e) => {
                     first_error.get_or_insert(e);
@@ -1149,24 +1448,62 @@ impl Gateway {
         let mut responses = Vec::new();
         for rx in &pending {
             match Self::recv(rx) {
-                Ok(ShardDrainReport {
-                    responses: shard_responses,
-                    first_error: shard_error,
-                }) => {
-                    responses.extend(shard_responses);
-                    if let Some(e) = shard_error {
-                        first_error.get_or_insert(e);
-                    }
-                }
+                Ok(report) => Self::fold_drain_report(report, &mut responses, &mut first_error),
                 Err(e) => {
                     first_error.get_or_insert(e);
                 }
             }
         }
+        Self::drain_finish(responses, first_error)
+    }
+
+    /// Merges one shard's drain report into the sweep's aggregation.
+    pub(crate) fn fold_drain_report(
+        report: ShardDrainReport,
+        responses: &mut Vec<GatewayResponse>,
+        first_error: &mut Option<GatewayError>,
+    ) {
+        responses.extend(report.responses);
+        if let Some(e) = report.first_error {
+            first_error.get_or_insert(e);
+        }
+    }
+
+    /// Finishes a sweep with the blocking path's error policy: an error
+    /// surfaces only when no responses were produced at all.
+    pub(crate) fn drain_finish(
+        responses: Vec<GatewayResponse>,
+        first_error: Option<GatewayError>,
+    ) -> Result<Vec<GatewayResponse>> {
         match first_error {
             Some(e) if responses.is_empty() => Err(e),
             _ => Ok(responses),
         }
+    }
+
+    /// Async-front-end first half of [`Gateway::drain`]: fans the drain
+    /// command out to every shard with waker-notified completions. The
+    /// caller awaits the completions in shard order (so aggregation order
+    /// matches the blocking path exactly) and folds them with
+    /// [`Gateway::fold_drain_report`] / [`Gateway::drain_finish`].
+    pub(crate) fn drain_begin(&self) -> (Vec<Completion<ShardDrainReport>>, Option<GatewayError>) {
+        let mut pending = Vec::with_capacity(self.senders.len());
+        let mut first_error: Option<GatewayError> = None;
+        for shard in 0..self.senders.len() {
+            let (completer, completion) = completion_pair();
+            match self.send(
+                shard,
+                ShardCommand::Drain {
+                    reply: Reply::Async(completer),
+                },
+            ) {
+                Ok(()) => pending.push(completion),
+                Err(e) => {
+                    first_error.get_or_insert(e);
+                }
+            }
+        }
+        (pending, first_error)
     }
 
     /// Drains repeatedly until every queue is empty (bounded by queue sizes
@@ -1252,6 +1589,64 @@ impl Gateway {
     /// recorded at processing time, so the retransmission is accepted
     /// exactly once) and pending handshakes (ephemeral DH secrets must die
     /// with the process).
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::BarrierConflict`] when another checkpoint (or a
+    /// shutdown) already holds the worker quiesce barrier,
+    /// [`GatewayError::RuntimeUnavailable`] when a shard worker is gone,
+    /// and enclave export failures as [`GatewayError::Glimmer`]. A failed
+    /// checkpoint releases the paused workers untouched.
+    ///
+    /// # Examples
+    ///
+    /// A checkpoint survives the process: rebuild the gateway from its
+    /// serialized snapshot with [`Gateway::restore`] instead of
+    /// re-provisioning every enclave. The rng stands in for the machine's
+    /// hardware identity, so restore must receive a generator in the same
+    /// state `Gateway::new` did:
+    ///
+    /// ```
+    /// use glimmer_core::host::GlimmerDescriptor;
+    /// use glimmer_core::signing::ServiceKeyMaterial;
+    /// use glimmer_crypto::drbg::Drbg;
+    /// use glimmer_gateway::{Gateway, GatewayConfig, GatewaySnapshot, TenantConfig};
+    /// use sgx_sim::AttestationService;
+    ///
+    /// let mut rng = Drbg::from_seed([4u8; 32]);
+    /// let mut avs = AttestationService::new([5u8; 32]);
+    /// let material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+    /// let config = || GatewayConfig { slots_per_tenant: 1, ..GatewayConfig::default() };
+    /// let tenants = || {
+    ///     vec![TenantConfig::new(
+    ///         "maps.example",
+    ///         GlimmerDescriptor::iot_default(Vec::new()),
+    ///         material.secret_bytes(),
+    ///     )]
+    /// };
+    ///
+    /// let machine_seed = [6u8; 32];
+    /// let gateway = Gateway::new(
+    ///     config(),
+    ///     tenants(),
+    ///     &mut avs,
+    ///     &mut Drbg::from_seed(machine_seed),
+    /// )
+    /// .unwrap();
+    /// let bytes = gateway.checkpoint().unwrap().to_bytes();
+    /// drop(gateway); // the crash: every enclave dies with the process
+    ///
+    /// let snapshot = GatewaySnapshot::from_bytes(&bytes).unwrap();
+    /// let restored = Gateway::restore(
+    ///     config(),
+    ///     tenants(),
+    ///     &snapshot,
+    ///     &mut avs,
+    ///     &mut Drbg::from_seed(machine_seed), // same machine identity
+    /// )
+    /// .unwrap();
+    /// assert_eq!(restored.tenant_names(), vec!["maps.example".to_string()]);
+    /// ```
     pub fn checkpoint(&self) -> Result<GatewaySnapshot> {
         self.checkpoint_with_hooks(&NoCrash)
     }
@@ -1269,6 +1664,12 @@ impl Gateway {
             }
         };
         crash(CrashPoint::BeforeCheckpoint)?;
+        // One whole-gateway quiesce operation at a time: a second
+        // checkpoint (or a shutdown) arriving while this one holds the
+        // two-phase worker barrier would deadlock the workers, so the loser
+        // gets a typed error instead. The guard releases on every exit
+        // path, including injected crashes and export failures.
+        let _barrier = BarrierGuard::acquire(&self.shared, BarrierOp::Checkpoint)?;
         let epoch = self.shared.checkpoint_epoch.fetch_add(1, Ordering::SeqCst) + 1;
         let created_at_nanos = self.shared.clock.now_nanos();
         let header = Arc::new(glimmer_wire::snapshot::header_bytes(
@@ -1441,7 +1842,34 @@ impl Gateway {
     /// either — so they are abandoned, counted into their tenant's `dropped`
     /// counter, and the drain error is returned only when nothing at all was
     /// drained. Everything drainable is drained and returned.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::BarrierConflict`] when a [`Gateway::checkpoint`]
+    /// still holds the worker quiesce barrier — interleaving the two
+    /// two-phase barriers would deadlock the workers, so shutdown refuses
+    /// typed instead of hanging. A refused shutdown degrades to exactly
+    /// the plain-`drop` behaviour: `self` is consumed, the workers stop
+    /// once the in-flight checkpoint releases them, and queued work is
+    /// abandoned (there is no gateway left to retry on — callers that need
+    /// the drained replies must sequence shutdown *after* checkpoints).
+    /// Safe single-owner code cannot actually reach this arm — a
+    /// checkpoint borrows `&self` while `shutdown` needs ownership — it is
+    /// the fail-typed backstop that keeps any future by-ref shutdown or
+    /// exotic sharing from turning the race into a worker deadlock.
+    /// Otherwise, a drain error surfaces only when nothing at all could be
+    /// drained.
     pub fn shutdown(mut self) -> Result<Vec<GatewayResponse>> {
+        // Claim the quiesce barrier permanently: no checkpoint may pause
+        // workers that are about to stop, and a checkpoint already at its
+        // barrier must finish before the shutdown drain begins.
+        match BarrierGuard::acquire(&self.shared, BarrierOp::Shutdown) {
+            Ok(guard) => guard.persist(),
+            // Dropping `self` still stops the workers (Drop), so a refused
+            // shutdown degrades to the plain-drop behaviour: workers exit,
+            // queued work is abandoned, nothing hangs or panics.
+            Err(e) => return Err(e),
+        }
         let drained = self.drain_all();
         // Account (visibly, not silently) for anything a failing slot left
         // behind: `drain_all` only leaves a queue non-empty when its enclave

@@ -7,10 +7,10 @@
 //! costs once, at gateway start-up, and then serves an open-ended stream of
 //! sessions; the only per-request work left is one share of a batched ECALL.
 //!
-//! Pools are *construction-time* objects: [`TenantPool::new`] provisions a
+//! Pools are *construction-time* objects: `TenantPool::new` provisions a
 //! tenant's slots on the start-up thread, and the gateway then moves each
 //! [`PoolSlot`] into the shard worker that will own it exclusively for the
-//! rest of its life (see [`crate::runtime`]). Session-count and queue-depth
+//! rest of its life (see the crate's `runtime` module). Session-count and queue-depth
 //! gauges live in the shared routing layer, not here — a slot only knows its
 //! enclave, its queue, and its drain counters.
 

@@ -29,6 +29,7 @@
 use crate::clock::Clock;
 use crate::config::{GatewayConfig, TenantQuota};
 use crate::error::{GatewayError, Result};
+use crate::frontend::completion::Completer;
 use crate::gateway::GatewayResponse;
 use crate::pool::{DrainScratch, PoolSlot};
 use crate::session::SessionTable;
@@ -37,9 +38,35 @@ use glimmer_core::channel::{ChannelAccept, ChannelOffer};
 use glimmer_core::enclave_app::MaskDelivery;
 use glimmer_core::protocol::{BatchItem, BatchOutcome};
 use sgx_sim::Measurement;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
+
+/// How a shard command answers its caller: over a blocking one-shot channel
+/// (the classic `recv`-parked path) or into a waker-notified completion cell
+/// (the async front-end's path). The worker side is identical either way —
+/// it calls [`Reply::deliver`] once and moves on — so every command type
+/// supports both front-ends with one code path.
+pub(crate) enum Reply<T> {
+    /// Blocking caller: parked in `Receiver::recv`.
+    Sync(Sender<T>),
+    /// Async caller: a task awaiting a [`Completion`](crate::frontend::completion::Completion).
+    Async(Completer<T>),
+}
+
+impl<T> Reply<T> {
+    /// Delivers the reply. Best-effort on the sync path (a caller that gave
+    /// up dropped its receiver); always wakes the awaiting task on the async
+    /// path.
+    pub(crate) fn deliver(self, value: T) {
+        match self {
+            Reply::Sync(tx) => {
+                let _ = tx.send(value);
+            }
+            Reply::Async(completer) => completer.complete(value),
+        }
+    }
+}
 
 /// Routing-layer gauges for one slot. The routing side increments them as it
 /// admits work; the owning worker decrements them as work leaves its queue.
@@ -128,6 +155,97 @@ pub(crate) struct Shared {
     /// which is folded into the snapshot header every sealed slot export is
     /// AAD-bound to. Restored gateways resume from the snapshot's epoch.
     pub(crate) checkpoint_epoch: AtomicU64,
+    /// Who currently holds the whole-gateway quiesce barrier (encoded
+    /// [`BarrierOp`], or [`BARRIER_IDLE`]). Checkpoint and shutdown both
+    /// pause every shard worker; letting two of them interleave their
+    /// two-phase barriers deadlocks the workers (each waits for the other's
+    /// pause to finish), so the loser of this CAS gets a typed
+    /// [`GatewayError::BarrierConflict`] instead.
+    pub(crate) barrier: AtomicU8,
+}
+
+/// [`Shared::barrier`] value when no whole-gateway operation is running.
+pub(crate) const BARRIER_IDLE: u8 = 0;
+
+/// A whole-gateway operation that quiesces every shard worker. Two of these
+/// can never overlap on one gateway; see
+/// [`GatewayError::BarrierConflict`](crate::GatewayError::BarrierConflict).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierOp {
+    /// [`Gateway::checkpoint`](crate::Gateway::checkpoint) is pausing the
+    /// workers for a consistent capture.
+    Checkpoint,
+    /// [`Gateway::shutdown`](crate::Gateway::shutdown) is draining in-flight
+    /// work before stopping the workers. Terminal: once entered, the barrier
+    /// is never released.
+    Shutdown,
+}
+
+impl BarrierOp {
+    fn encode(self) -> u8 {
+        match self {
+            BarrierOp::Checkpoint => 1,
+            BarrierOp::Shutdown => 2,
+        }
+    }
+
+    fn decode(value: u8) -> Option<Self> {
+        match value {
+            1 => Some(BarrierOp::Checkpoint),
+            2 => Some(BarrierOp::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for BarrierOp {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BarrierOp::Checkpoint => write!(f, "checkpoint"),
+            BarrierOp::Shutdown => write!(f, "shutdown"),
+        }
+    }
+}
+
+/// Holds the quiesce barrier for one [`BarrierOp::Checkpoint`]; releasing is
+/// automatic (including on error paths), which is what guarantees a failed
+/// checkpoint never wedges later checkpoints or shutdown. Shutdown does not
+/// use a guard: its claim is terminal by design.
+pub(crate) struct BarrierGuard<'a> {
+    shared: &'a Shared,
+}
+
+impl<'a> BarrierGuard<'a> {
+    /// Claims the barrier for `requested`, failing typed when another
+    /// whole-gateway operation already holds it.
+    pub(crate) fn acquire(shared: &'a Shared, requested: BarrierOp) -> Result<Self> {
+        match shared.barrier.compare_exchange(
+            BARRIER_IDLE,
+            requested.encode(),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => Ok(BarrierGuard { shared }),
+            Err(current) => Err(GatewayError::BarrierConflict {
+                in_progress: BarrierOp::decode(current)
+                    .expect("non-idle barrier always holds an encoded op"),
+                requested,
+            }),
+        }
+    }
+
+    /// Makes the claim permanent (the shutdown path): the barrier is never
+    /// released, so any later checkpoint attempt fails typed instead of
+    /// trying to pause workers that are on their way down.
+    pub(crate) fn persist(self) {
+        std::mem::forget(self);
+    }
+}
+
+impl Drop for BarrierGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.barrier.store(BARRIER_IDLE, Ordering::SeqCst);
+    }
 }
 
 impl Shared {
@@ -151,33 +269,33 @@ pub(crate) enum ShardCommand {
     OpenSession {
         slot: usize,
         session_id: u64,
-        reply: Sender<Result<ChannelOffer>>,
+        reply: Reply<Result<ChannelOffer>>,
     },
     AcceptSession {
         slot: usize,
         session_id: u64,
         accept: ChannelAccept,
-        reply: Sender<Result<()>>,
+        reply: Reply<Result<()>>,
     },
     CloseSession {
         slot: usize,
         session_id: u64,
-        reply: Sender<Result<()>>,
+        reply: Reply<Result<()>>,
     },
     InstallMask {
         slot: usize,
         session_id: u64,
         delivery: MaskDelivery,
-        reply: Sender<Result<()>>,
+        reply: Reply<Result<()>>,
     },
     TenantChannelOffer {
         slot: usize,
-        reply: Sender<Result<ChannelOffer>>,
+        reply: Reply<Result<ChannelOffer>>,
     },
     TenantChannelComplete {
         slot: usize,
         accept: ChannelAccept,
-        reply: Sender<Result<()>>,
+        reply: Reply<Result<()>>,
     },
     /// Fire-and-forget: gauges were already bumped by the routing layer.
     Submit {
@@ -195,7 +313,7 @@ pub(crate) enum ShardCommand {
         items: Vec<(usize, BatchItem)>,
     },
     Drain {
-        reply: Sender<ShardDrainReport>,
+        reply: Reply<ShardDrainReport>,
     },
     /// Two-phase checkpoint barrier. The worker signals `ready` (it is now
     /// paused — nothing on this shard mutates enclave or stats state), then
@@ -262,7 +380,7 @@ impl ShardWorker {
                         .client_mut()
                         .open_session(session_id)
                         .map_err(GatewayError::Glimmer);
-                    let _ = reply.send(result);
+                    reply.deliver(result);
                 }
                 ShardCommand::AcceptSession {
                     slot,
@@ -275,14 +393,15 @@ impl ShardWorker {
                         .client_mut()
                         .accept_session(session_id, &accept)
                         .map_err(GatewayError::Glimmer);
-                    let _ = reply.send(result);
+                    reply.deliver(result);
                 }
                 ShardCommand::CloseSession {
                     slot,
                     session_id,
                     reply,
                 } => {
-                    let _ = reply.send(self.close_session(slot, session_id));
+                    let result = self.close_session(slot, session_id);
+                    reply.deliver(result);
                 }
                 ShardCommand::InstallMask {
                     slot,
@@ -295,7 +414,7 @@ impl ShardWorker {
                         .client_mut()
                         .install_session_mask_delivery(session_id, &delivery)
                         .map_err(GatewayError::Glimmer);
-                    let _ = reply.send(result);
+                    reply.deliver(result);
                 }
                 ShardCommand::TenantChannelOffer { slot, reply } => {
                     let result = self.slots[slot]
@@ -303,7 +422,7 @@ impl ShardWorker {
                         .client_mut()
                         .start_channel()
                         .map_err(GatewayError::Glimmer);
-                    let _ = reply.send(result);
+                    reply.deliver(result);
                 }
                 ShardCommand::TenantChannelComplete {
                     slot,
@@ -315,7 +434,7 @@ impl ShardWorker {
                         .client_mut()
                         .complete_channel(&accept)
                         .map_err(GatewayError::Glimmer);
-                    let _ = reply.send(result);
+                    reply.deliver(result);
                 }
                 ShardCommand::Submit { slot, item } => {
                     self.slots[slot].slot.enqueue(item);
@@ -327,7 +446,7 @@ impl ShardWorker {
                 }
                 ShardCommand::Drain { reply } => {
                     let report = self.drain();
-                    let _ = reply.send(report);
+                    reply.deliver(report);
                 }
                 ShardCommand::Checkpoint {
                     header,

@@ -11,10 +11,10 @@
 //! |-----------|--------------------|------|---------|
 //! | [`RangeCheck`] | none | trivial | out-of-range values (the "538" attack) |
 //! | [`Plausibility`] | none | cheap | degenerate/fabricated distributions |
-//! | [`KeyboardCorroboration`](corroborate::KeyboardCorroboration) | keyboard log | moderate | weights inconsistent with actual typing |
-//! | [`RetrainCheck`](corroborate::RetrainCheck) | keyboard log | high | any deviation from honest training |
-//! | [`PhotoLocation`](location::PhotoLocation) | GPS track + camera id | moderate | photos not taken where claimed |
-//! | [`BotDetector`](bot::BotDetector) | interaction signals | moderate | bots (Section 4.1) |
+//! | [`KeyboardCorroboration`] | keyboard log | moderate | weights inconsistent with actual typing |
+//! | [`RetrainCheck`] | keyboard log | high | any deviation from honest training |
+//! | [`PhotoLocation`] | GPS track + camera id | moderate | photos not taken where claimed |
+//! | [`BotDetector`] | interaction signals | moderate | bots (Section 4.1) |
 
 pub mod bot;
 pub mod corroborate;

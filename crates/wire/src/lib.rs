@@ -15,7 +15,7 @@
 //! code.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod decode;
 pub mod encode;
@@ -90,11 +90,55 @@ impl std::error::Error for WireError {}
 pub type Result<T> = core::result::Result<T, WireError>;
 
 /// Types that can be encoded to and decoded from the wire format.
+///
+/// # Examples
+///
+/// A protocol message implements the two mirror-image methods and inherits
+/// the byte-level conveniences:
+///
+/// ```
+/// use glimmer_wire::{Decoder, Encoder, WireCodec, WireError};
+///
+/// #[derive(Debug, PartialEq)]
+/// struct Ping {
+///     sequence: u64,
+///     note: String,
+/// }
+///
+/// impl WireCodec for Ping {
+///     fn encode(&self, enc: &mut Encoder) {
+///         enc.put_varint(self.sequence);
+///         enc.put_str(&self.note);
+///     }
+///
+///     fn decode(dec: &mut Decoder<'_>) -> glimmer_wire::Result<Self> {
+///         Ok(Ping {
+///             sequence: dec.get_varint()?,
+///             note: dec.get_str()?,
+///         })
+///     }
+/// }
+///
+/// let ping = Ping { sequence: 42, note: "hello".into() };
+/// let bytes = ping.to_wire();
+/// assert_eq!(Ping::from_wire(&bytes).unwrap(), ping);
+/// // Truncation surfaces as a typed error, never a panic.
+/// assert!(matches!(
+///     Ping::from_wire(&bytes[..bytes.len() - 1]),
+///     Err(WireError::UnexpectedEnd { .. })
+/// ));
+/// ```
 pub trait WireCodec: Sized {
     /// Appends this value to `enc`.
     fn encode(&self, enc: &mut Encoder);
 
     /// Reads a value of this type from `dec`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] the underlying field reads produce — truncation
+    /// ([`WireError::UnexpectedEnd`]), malformed varints, invalid UTF-8 or
+    /// boolean bytes. Implementations must never panic on malformed input.
     fn decode(dec: &mut Decoder<'_>) -> Result<Self>;
 
     /// Convenience: encodes into a fresh byte vector.

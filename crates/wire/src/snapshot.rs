@@ -114,12 +114,37 @@ impl SnapshotFrame {
     /// Parses a frame, requiring the input to contain exactly one intact
     /// frame.
     ///
+    /// # Errors
+    ///
     /// Failure modes are all typed, in checking order: [`WireError::BadMagic`]
     /// and [`WireError::UnsupportedVersion`] identify frames from another
     /// format or era; [`WireError::ChecksumMismatch`] catches corruption
     /// anywhere else in the frame; [`WireError::UnexpectedEnd`] /
     /// [`WireError::TrailingBytes`] catch truncation and garbage. Nothing in
     /// this path panics on malformed input.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use glimmer_wire::{SnapshotFrame, WireError};
+    ///
+    /// let frame = SnapshotFrame {
+    ///     kind: 1,
+    ///     epoch: 4,
+    ///     created_at_nanos: 1_700_000_000,
+    ///     payload: b"sealed enclave state".to_vec(),
+    /// };
+    /// let bytes = frame.to_bytes();
+    /// assert_eq!(SnapshotFrame::from_bytes(&bytes).unwrap(), frame);
+    ///
+    /// // A single flipped bit anywhere fails closed with a typed error.
+    /// let mut corrupt = bytes.clone();
+    /// corrupt[10] ^= 0x01;
+    /// assert!(matches!(
+    ///     SnapshotFrame::from_bytes(&corrupt),
+    ///     Err(WireError::ChecksumMismatch { .. })
+    /// ));
+    /// ```
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         let mut dec = Decoder::new(bytes);
         let magic = dec.get_raw(4)?;

@@ -63,6 +63,18 @@ pub struct TenantTrafficSpec {
     pub misbehaving_fraction: f64,
 }
 
+/// One device session's request stream, extracted from the interleaved
+/// schedule for an async (task-per-session) driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionStream {
+    /// Index into [`GatewayTrafficWorkload::tenants`].
+    pub tenant: usize,
+    /// Index into that tenant's `devices`.
+    pub device: usize,
+    /// The device's request indices, in their schedule arrival order.
+    pub requests: Vec<usize>,
+}
+
 /// The generated multi-tenant workload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GatewayTrafficWorkload {
@@ -159,6 +171,51 @@ impl GatewayTrafficWorkload {
             .count()
     }
 
+    /// The interleaved arrival schedule regrouped into **per-session
+    /// streams** — the shape the async front-end consumes, where each
+    /// spawned session task owns one device's traffic and submits it as its
+    /// own request stream (`submit` per item, or `submit_many` over chunks
+    /// of [`SessionStream::requests`]).
+    ///
+    /// Each stream lists the device's request indices in their arrival
+    /// order, so per-session submission order is preserved exactly — the
+    /// ordering guarantee a session actually has (slot queues are FIFO per
+    /// arrival; cross-session interleave is a scheduling freedom). Streams
+    /// come back in `(tenant, device)` order. Concatenating them does
+    /// **not** reproduce [`GatewayTrafficWorkload::schedule`]'s global
+    /// interleave, so a driver pair that must compare bit-for-bit has both
+    /// sides consume the *same* view — experiment E15 feeds these streams
+    /// to its blocking and async drivers alike, one `submit_many` group per
+    /// session.
+    #[must_use]
+    pub fn session_streams(&self) -> Vec<SessionStream> {
+        let mut streams: Vec<SessionStream> = self
+            .tenants
+            .iter()
+            .enumerate()
+            .flat_map(|(tenant, t)| {
+                (0..t.devices.len()).map(move |device| SessionStream {
+                    tenant,
+                    device,
+                    requests: Vec::new(),
+                })
+            })
+            .collect();
+        // Index of a (tenant, device) pair in the flattened stream vector.
+        let mut base = Vec::with_capacity(self.tenants.len());
+        let mut offset = 0;
+        for t in &self.tenants {
+            base.push(offset);
+            offset += t.devices.len();
+        }
+        for event in &self.schedule {
+            streams[base[event.tenant] + event.device]
+                .requests
+                .push(event.request);
+        }
+        streams
+    }
+
     /// The arrival schedule chopped into bulk-producer submission groups of
     /// at most `batch` events, preserving arrival order (a `batch` of `0` is
     /// treated as `1`).
@@ -234,6 +291,34 @@ mod tests {
         }
         // A zero batch degrades to per-request chunks instead of panicking.
         assert_eq!(w.schedule_chunks(0).count(), w.total_requests());
+    }
+
+    #[test]
+    fn session_streams_partition_the_schedule_per_device_in_order() {
+        let w = GatewayTrafficWorkload::generate(&specs(), [13u8; 32]);
+        let streams = w.session_streams();
+        // One stream per (tenant, device), in deterministic order.
+        assert_eq!(streams.len(), 6 + 4);
+        let keys: Vec<(usize, usize)> = streams.iter().map(|s| (s.tenant, s.device)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        // Together the streams carry every scheduled request exactly once.
+        assert_eq!(
+            streams.iter().map(|s| s.requests.len()).sum::<usize>(),
+            w.total_requests()
+        );
+        // Each stream preserves its device's arrival order from the
+        // interleaved schedule.
+        for stream in &streams {
+            let from_schedule: Vec<usize> = w
+                .schedule
+                .iter()
+                .filter(|e| e.tenant == stream.tenant && e.device == stream.device)
+                .map(|e| e.request)
+                .collect();
+            assert_eq!(stream.requests, from_schedule);
+        }
     }
 
     #[test]
