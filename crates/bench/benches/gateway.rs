@@ -71,6 +71,7 @@ fn bench_serving(c: &mut Criterion) {
                     max_queue_depth: 4096,
                     placement_session_weight: 4,
                     platform_config: PlatformConfig::default(),
+                    ..GatewayConfig::default()
                 },
                 vec![TenantConfig::new(
                     APP,
@@ -189,6 +190,7 @@ fn bench_shard_scaling(c: &mut Criterion) {
                 max_queue_depth: 4096,
                 placement_session_weight: 4,
                 platform_config: PlatformConfig::default(),
+                ..GatewayConfig::default()
             },
             vec![TenantConfig::new(
                 APP,
@@ -256,6 +258,7 @@ fn batched_setup(sessions: usize, slots: usize, seeds: (u8, u8)) -> BatchedSetup
             max_queue_depth: 4096,
             placement_session_weight: 4,
             platform_config: PlatformConfig::default(),
+            ..GatewayConfig::default()
         },
         vec![TenantConfig::new(
             APP,

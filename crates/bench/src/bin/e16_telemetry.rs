@@ -1,0 +1,175 @@
+//! E16: the telemetry layer — identical traffic served with observability
+//! on (the default `TelemetryConfig`) vs off, plus the fidelity bars: the
+//! lock-free histogram hot path allocates nothing, a `ManualClock`-driven
+//! sampled trace stamps all five pipeline stages deterministically, and
+//! the Prometheus-style text and JSON renderings round-trip to the same
+//! samples.
+//!
+//! Run with `--smoke` for the fast CI configuration. Build with
+//! `--features count-allocs` to populate (and assert on) the allocation
+//! columns; without it they read `n/a`. Always writes a machine-readable
+//! `BENCH_e16.json` summary next to the working directory so the perf
+//! trajectory is trackable across changes.
+
+use glimmer_bench::alloc_track;
+use glimmer_bench::e16_telemetry;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (sessions, requests_per_session, slots, repeats) =
+        // The smoke profile keeps the session count small but serves 256
+        // requests per timed region: short regions are at the mercy of a
+        // single scheduler preemption, which the 5% bar cannot absorb.
+        if smoke { (8, 32, 2, 7) } else { (32, 16, 4, 7) };
+    println!("E16: telemetry overhead and fidelity (identical traffic, observability on vs off)");
+    let r = e16_telemetry(sessions, requests_per_session, slots, repeats, [43u8; 32]);
+
+    let fmt_allocs = |v: f64| {
+        if alloc_track::counting_enabled() {
+            format!("{v:.1}")
+        } else {
+            "n/a".to_string()
+        }
+    };
+    println!(
+        "{:>9} {:>8} {:>9} {:>11} {:>12} {:>10} {:>11}",
+        "telemetry", "reqs", "endorsed", "serve ms", "endorse/s", "overhead", "alloc/req"
+    );
+    println!(
+        "{:>9} {:>8} {:>9} {:>11.2} {:>12.0} {:>10} {:>11}",
+        "off",
+        r.requests,
+        r.endorsed,
+        r.serve_ms_off,
+        r.endorse_per_s_off,
+        "-",
+        fmt_allocs(r.allocs_per_req_off)
+    );
+    println!(
+        "{:>9} {:>8} {:>9} {:>11.2} {:>12.0} {:>9.1}% {:>11}",
+        "on",
+        r.requests,
+        r.endorsed,
+        r.serve_ms_on,
+        r.endorse_per_s_on,
+        r.overhead_fraction * 100.0,
+        fmt_allocs(r.allocs_per_req_on)
+    );
+    println!(
+        "telemetry-on snapshot: {} exposition samples; queue-wait p50/p99 {}/{} ns; \
+         ECALL p50/p99 {}/{} ns",
+        r.sample_count,
+        r.queue_wait_p50_nanos,
+        r.queue_wait_p99_nanos,
+        r.ecall_p50_nanos,
+        r.ecall_p99_nanos
+    );
+
+    // Fidelity bars (deterministic — asserted in every build).
+    assert!(
+        r.trace_complete,
+        "regression: the ManualClock-sampled trace lost a stage or its exact timestamps"
+    );
+    assert!(
+        r.trace_monotonic,
+        "regression: trace stage timestamps went backwards"
+    );
+    assert!(
+        r.round_trip_ok,
+        "regression: text and JSON expositions no longer parse to identical samples"
+    );
+    assert_eq!(
+        r.accepted, r.requests as u64,
+        "regression: admission accounting lost requests"
+    );
+    println!(
+        "sampled trace carries all five stages with exact ManualClock timestamps; \
+         text and JSON expositions round-trip to identical samples (bars hold)"
+    );
+
+    // The overhead bar: with the default sampling interval, full telemetry
+    // must stay within 5% of the telemetry-off serve time (median per-pair
+    // ratio over `repeats` interleaved repeats, so CPU-frequency drift and
+    // scheduling noise cancel).
+    assert!(
+        r.overhead_fraction <= 0.05,
+        "regression: telemetry overhead {:.1}% exceeds the 5% bar \
+         (best serve: on {:.2} ms vs off {:.2} ms; median of {} pairs)",
+        r.overhead_fraction * 100.0,
+        r.serve_ms_on,
+        r.serve_ms_off,
+        r.repeats
+    );
+    println!(
+        "telemetry-on serving is within 5% of baseline ({:+.1}%) — bar holds",
+        r.overhead_fraction * 100.0
+    );
+
+    if alloc_track::counting_enabled() {
+        // The recording hot path must not touch the allocator at all...
+        assert_eq!(
+            r.record_allocs, 0,
+            "regression: Histogram::record allocated {} times over 100k records",
+            r.record_allocs
+        );
+        // ...and across the whole serve region the only extra allocator
+        // traffic telemetry may add is the one-time per-gateway trace
+        // scratch growth — a small absolute count, independent of request
+        // volume.
+        assert!(
+            r.telemetry_allocs_total <= 32,
+            "regression: telemetry added {} allocations over the serve region \
+             (steady-state recording must be allocation-free)",
+            r.telemetry_allocs_total
+        );
+        println!(
+            "counting allocator installed: Histogram::record made 0 allocations over 100k \
+             records; telemetry added {} total allocations across {} requests \
+             ({:.1}/req with vs {:.1}/req without) — hot path stays allocation-free",
+            r.telemetry_allocs_total, r.requests, r.allocs_per_req_on, r.allocs_per_req_off
+        );
+    } else {
+        println!("(build with --features count-allocs to measure allocations/request)");
+    }
+
+    // Machine-readable summary for cross-change tracking (hand-formatted:
+    // the workspace deliberately has no serialization dependency).
+    let json = format!(
+        "{{\n  \"experiment\": \"e16_telemetry\",\n  \"smoke\": {smoke},\n  \
+         \"sessions\": {},\n  \"requests_per_session\": {},\n  \"slots\": {},\n  \
+         \"repeats\": {},\n  \"requests\": {},\n  \"endorsed\": {},\n  \
+         \"serve_ms_on\": {:.3},\n  \"serve_ms_off\": {:.3},\n  \
+         \"endorse_per_s_on\": {:.0},\n  \"endorse_per_s_off\": {:.0},\n  \
+         \"overhead_fraction\": {:.4},\n  \"queue_wait_p50_nanos\": {},\n  \
+         \"queue_wait_p99_nanos\": {},\n  \"ecall_p50_nanos\": {},\n  \
+         \"ecall_p99_nanos\": {},\n  \"count_allocs\": {},\n  \
+         \"telemetry_allocs_total\": {},\n  \"record_allocs\": {},\n  \
+         \"trace_complete\": {},\n  \"trace_monotonic\": {},\n  \
+         \"round_trip_ok\": {}\n}}\n",
+        r.sessions,
+        r.requests_per_session,
+        r.slots,
+        r.repeats,
+        r.requests,
+        r.endorsed,
+        r.serve_ms_on,
+        r.serve_ms_off,
+        r.endorse_per_s_on,
+        r.endorse_per_s_off,
+        r.overhead_fraction,
+        r.queue_wait_p50_nanos,
+        r.queue_wait_p99_nanos,
+        r.ecall_p50_nanos,
+        r.ecall_p99_nanos,
+        alloc_track::counting_enabled(),
+        r.telemetry_allocs_total,
+        r.record_allocs,
+        r.trace_complete,
+        r.trace_monotonic,
+        r.round_trip_ok,
+    );
+    match std::fs::write("BENCH_e16.json", &json) {
+        Ok(()) => println!("wrote BENCH_e16.json"),
+        Err(e) => eprintln!("could not write BENCH_e16.json: {e}"),
+    }
+}

@@ -6,9 +6,12 @@
 //! quantitative claims — E1–E10 from the paper plus E11 (the gateway
 //! serving comparison), E12 (shard-per-core runtime scaling), E13 (the
 //! batched, allocation-lean hot path), E14 (restart recovery: cold
-//! rebuild vs sealed checkpoint restore), and E15 (the async session
+//! rebuild vs sealed checkpoint restore), E15 (the async session
 //! front-end: ≥1000 concurrent sessions on one executor thread,
-//! bit-identical to the blocking driver) — and implements each one as a
+//! bit-identical to the blocking driver), and E16 (the telemetry layer:
+//! serving overhead with observability on vs off, allocation-free
+//! recording, deterministic sampled traces, round-tripping exposition
+//! formats) — and implements each one as a
 //! reusable function plus a binary that prints the corresponding table.
 //! The Criterion benches under `benches/` cover the micro-benchmarks
 //! (crypto, enclave transitions, blinding, validation, end-to-end

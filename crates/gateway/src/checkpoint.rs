@@ -163,10 +163,10 @@ pub struct SlotSnapshot {
     /// `MrEnclave` with the snapshot header as AAD. Opaque to the gateway.
     pub sealed_state: Vec<u8>,
     /// The slot's drain counters at capture time. Per-incarnation fields
-    /// (`active_sessions`, `queue_depth`, `ecalls`, `drain_nanos`) are
-    /// zeroed at capture — they are not persisted by the codec, restart
-    /// with the process, and zeroing them keeps the value equal across a
-    /// serialization round trip.
+    /// (`active_sessions`, `queue_depth`, `last_drain_queue_depth`,
+    /// `ecalls`, `drain_nanos`) are zeroed at capture — they are not
+    /// persisted by the codec, restart with the process, and zeroing them
+    /// keeps the value equal across a serialization round trip.
     pub stats: SlotStats,
 }
 

@@ -1,5 +1,6 @@
 //! Gateway and tenant configuration.
 
+use crate::telemetry::TelemetryConfig;
 use glimmer_core::host::GlimmerDescriptor;
 use sgx_sim::PlatformConfig;
 
@@ -93,6 +94,12 @@ pub struct GatewayConfig {
     pub placement_session_weight: usize,
     /// Platform parameters for every pool slot.
     pub platform_config: PlatformConfig,
+    /// Observability knobs: metrics, trace sampling, and the rejection
+    /// journal (see [`crate::telemetry`]). Enabled by default — the
+    /// recording paths are allocation-free and add only relaxed atomics to
+    /// the hot path (the E16 experiment holds the bar at under 5%
+    /// overhead).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for GatewayConfig {
@@ -104,6 +111,7 @@ impl Default for GatewayConfig {
             max_queue_depth: 1024,
             placement_session_weight: 4,
             platform_config: PlatformConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -123,6 +131,9 @@ mod tests {
         // Weight >= 1 keeps idle-queue placement identical to the
         // pre-placement-policy round-robin-by-session behaviour.
         assert!(config.placement_session_weight >= 1);
+        // Telemetry ships on, with sampled (not exhaustive) tracing.
+        assert!(config.telemetry.enabled);
+        assert!(config.telemetry.trace_sample_interval > 1);
 
         let quota = TenantQuota::default();
         assert!(quota.endorsement_budget.is_none());

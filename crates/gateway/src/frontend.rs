@@ -292,6 +292,15 @@ impl AsyncGateway {
         Gateway::drain_finish(responses, first_error)
     }
 
+    /// [`Gateway::telemetry`]: a point-in-time snapshot of every telemetry
+    /// series. Reads lock-free per-shard registries — no shard round-trip,
+    /// no parking — so a front-end task can serve a metrics scrape without
+    /// perturbing the pipeline it is measuring. `async` only for signature
+    /// symmetry with the rest of the front-end; it never awaits.
+    pub async fn drain_telemetry(&self) -> crate::telemetry::TelemetrySnapshot {
+        self.inner.telemetry()
+    }
+
     /// [`Gateway::close_session`], awaiting the enclave-side key erase.
     ///
     /// # Errors

@@ -33,11 +33,12 @@
 //! [`SessionExecutor::run`]. That is the load-bearing claim of the async
 //! front-end (E15 asserts the process thread count to pin it down).
 
+use crate::telemetry::Telemetry;
 use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::task::{Context, Poll, Waker};
 
 /// Identifier of a spawned task: its slab slot plus the generation that was
@@ -49,27 +50,35 @@ pub struct TaskId {
     generation: u64,
 }
 
-/// The cross-thread readiness queue: wakers push `(slot, generation)` pairs,
-/// the executor pops them in order and parks when the queue is empty.
+/// The cross-thread readiness queue: wakers push `(slot, generation,
+/// wake-time)` triples, the executor pops them in order and parks when the
+/// queue is empty. With a telemetry hub attached, each entry carries the
+/// hub clock's reading at enqueue time so the executor can histogram the
+/// wake-to-poll scheduling delay.
 struct ReadyQueue {
-    queue: Mutex<VecDeque<(usize, u64)>>,
+    queue: Mutex<VecDeque<(usize, u64, u64)>>,
     available: Condvar,
     /// Wakes delivered (scheduling events), for the E15 metrics.
     wakeups: AtomicU64,
+    /// Telemetry hub stamped onto wake entries once attached
+    /// ([`SessionExecutor::attach_telemetry`]); absent, entries carry 0 and
+    /// nothing is recorded.
+    telemetry: OnceLock<Arc<Telemetry>>,
 }
 
 impl ReadyQueue {
     fn push(&self, slot: usize, generation: u64) {
         self.wakeups.fetch_add(1, Ordering::Relaxed);
+        let wake_nanos = self.telemetry.get().map_or(0, |hub| hub.now_nanos());
         let mut queue = self.queue.lock().expect("ready queue poisoned");
-        queue.push_back((slot, generation));
+        queue.push_back((slot, generation, wake_nanos));
         drop(queue);
         // One waiter at most: the executor is single-threaded by design.
         self.available.notify_one();
     }
 
     /// Pops the next ready task, parking the thread until one arrives.
-    fn pop_wait(&self) -> (usize, u64) {
+    fn pop_wait(&self) -> (usize, u64, u64) {
         let mut queue = self.queue.lock().expect("ready queue poisoned");
         loop {
             if let Some(entry) = queue.pop_front() {
@@ -211,6 +220,7 @@ impl SessionExecutor {
                 queue: Mutex::new(VecDeque::new()),
                 available: Condvar::new(),
                 wakeups: AtomicU64::new(0),
+                telemetry: OnceLock::new(),
             }),
             polls: 0,
         }
@@ -262,6 +272,17 @@ impl SessionExecutor {
         self.ready.wakeups.load(Ordering::Relaxed)
     }
 
+    /// Attaches a telemetry hub (normally
+    /// [`crate::Gateway::telemetry_handle`]): every subsequent wake carries
+    /// an enqueue timestamp, and [`SessionExecutor::run`] histograms the
+    /// wake-to-poll scheduling delay (`executor_wake`) and each poll's
+    /// duration (`executor_poll`) into the hub. One-shot: calls after the
+    /// first are ignored. Attach *before* [`SessionExecutor::run`] so no
+    /// in-flight wake predates the hub.
+    pub fn attach_telemetry(&self, telemetry: Arc<Telemetry>) {
+        let _ = self.ready.telemetry.set(telemetry);
+    }
+
     /// Drives every spawned task to completion, parking the calling thread
     /// whenever no task is runnable. Returns when no live tasks remain.
     ///
@@ -271,9 +292,23 @@ impl SessionExecutor {
     /// closing abandoned completions (a dropped, undelivered completion
     /// resolves to a typed error and wakes its task).
     pub fn run(&mut self) {
+        let hub = self
+            .ready
+            .telemetry
+            .get()
+            .filter(|hub| hub.enabled())
+            .map(Arc::clone);
         while self.live > 0 {
-            let (slot, generation) = self.ready.pop_wait();
-            self.poll_task(slot, generation);
+            let (slot, generation, wake_nanos) = self.ready.pop_wait();
+            match &hub {
+                Some(hub) => {
+                    let poll_start = hub.now_nanos();
+                    hub.record_executor_wake(poll_start.saturating_sub(wake_nanos));
+                    self.poll_task(slot, generation);
+                    hub.record_executor_poll(hub.now_nanos().saturating_sub(poll_start));
+                }
+                None => self.poll_task(slot, generation),
+            }
         }
     }
 

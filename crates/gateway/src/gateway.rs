@@ -15,6 +15,7 @@ use crate::runtime::{
 };
 use crate::session::{SessionEntry, SessionState, SessionTable};
 use crate::stats::GatewayStats;
+use crate::telemetry::{Telemetry, TelemetrySnapshot};
 use glimmer_core::blinding::MaskShare;
 use glimmer_core::channel::{ChannelAccept, ChannelOffer};
 use glimmer_core::enclave_app::MaskDelivery;
@@ -227,6 +228,7 @@ impl Gateway {
                 Ok(())
             }
         };
+        let restore_start_nanos = clock.now_nanos();
         crash(CrashPoint::BeforeRestore)?;
         // Fail closed on any config/snapshot disagreement BEFORE touching an
         // enclave: a wrong restore must never half-build a gateway.
@@ -352,14 +354,22 @@ impl Gateway {
             )
         });
         let table = SessionTable::restore(entries, snapshot.next_session_id);
-        Self::assemble(
+        let gateway = Self::assemble(
             config,
-            clock,
+            Arc::clone(&clock),
             builds,
             table,
             snapshot.epoch,
             snapshot.submit_commands,
-        )
+        )?;
+        // The restore-duration histogram lives in the *new* incarnation's
+        // hub: the whole rebuild (validation, per-slot IMPORT_STATE ECALLs,
+        // table re-seat, worker spawn) is one observation.
+        gateway
+            .shared
+            .telemetry
+            .record_restore(clock.now_nanos().saturating_sub(restore_start_nanos));
+        Ok(gateway)
     }
 
     /// Final construction step shared by [`Gateway::with_clock`] and
@@ -420,6 +430,11 @@ impl Gateway {
         }
 
         let shared = Arc::new(Shared {
+            telemetry: Arc::new(Telemetry::new(
+                &config.telemetry,
+                Arc::clone(&clock),
+                shards,
+            )),
             config,
             clock,
             tenants: metas,
@@ -541,10 +556,12 @@ impl Gateway {
         if prev >= meta.quota.max_sessions {
             meta.live_sessions.fetch_sub(1, Ordering::SeqCst);
             meta.counters.throttled.fetch_add(1, Ordering::SeqCst);
-            return Err(GatewayError::QuotaExceeded {
+            let err = GatewayError::QuotaExceeded {
                 tenant: meta.name.clone(),
                 resource: QuotaResource::Sessions,
-            });
+            };
+            self.shared.telemetry.admit_reject(&err, 1, None);
+            return Err(err);
         }
         let slot_id = Self::least_loaded_slot(meta, self.shared.config.placement_session_weight);
         let info = &meta.slots[slot_id];
@@ -1139,12 +1156,23 @@ impl Gateway {
     /// admission sequence and the shard-queue command once per group instead
     /// of once per request.
     pub fn submit(&self, session_id: u64, ciphertext: Vec<u8>) -> Result<()> {
+        let result = self.submit_inner(session_id, ciphertext);
+        match &result {
+            Ok(()) => self.shared.telemetry.admit_accept(1),
+            Err(e) => self.shared.telemetry.admit_reject(e, 1, Some(session_id)),
+        }
+        result
+    }
+
+    fn submit_inner(&self, session_id: u64, ciphertext: Vec<u8>) -> Result<()> {
         let entry = self.session_entry(session_id)?;
         if entry.state != SessionState::Established {
             return Err(GatewayError::SessionNotEstablished(session_id));
         }
         let meta = &self.shared.tenants[entry.tenant_idx];
         self.reserve_admission(meta, entry.slot, 1)?;
+        let telemetry = &self.shared.telemetry;
+        let trace = telemetry.submit_sampler(1).tag(telemetry, 0, session_id);
         let info = &meta.slots[entry.slot];
         let sent = self.send_submit(
             info.shard,
@@ -1154,6 +1182,7 @@ impl Gateway {
                     session_id,
                     ciphertext,
                 },
+                trace,
             },
         );
         if sent.is_err() {
@@ -1244,6 +1273,17 @@ impl Gateway {
     /// assert_eq!(gateway.drain_all().unwrap().len(), 3);
     /// ```
     pub fn submit_many(&self, session_id: u64, ciphertexts: Vec<Vec<u8>>) -> Result<()> {
+        let n = ciphertexts.len() as u64;
+        let result = self.submit_many_inner(session_id, ciphertexts);
+        match &result {
+            Ok(()) if n > 0 => self.shared.telemetry.admit_accept(n),
+            Ok(()) => {}
+            Err(e) => self.shared.telemetry.admit_reject(e, n, Some(session_id)),
+        }
+        result
+    }
+
+    fn submit_many_inner(&self, session_id: u64, ciphertexts: Vec<Vec<u8>>) -> Result<()> {
         let n = ciphertexts.len();
         if n == 0 {
             return Ok(());
@@ -1254,17 +1294,21 @@ impl Gateway {
         }
         let meta = &self.shared.tenants[entry.tenant_idx];
         self.reserve_admission(meta, entry.slot, n)?;
+        let telemetry = &self.shared.telemetry;
+        let sampler = telemetry.submit_sampler(n);
         let info = &meta.slots[entry.slot];
         // One exact-capacity vector is the whole per-call allocation cost.
         let items = ciphertexts
             .into_iter()
-            .map(|ciphertext| {
+            .enumerate()
+            .map(|(offset, ciphertext)| {
                 (
                     info.worker_idx,
                     BatchItem {
                         session_id,
                         ciphertext,
                     },
+                    sampler.tag(telemetry, offset, session_id),
                 )
             })
             .collect();
@@ -1299,6 +1343,7 @@ impl Gateway {
         if requests.is_empty() {
             return Ok(());
         }
+        let total = requests.len() as u64;
         // Resolve every request's route once, under one table lock, into a
         // compact per-request vector. The bulk path deliberately avoids
         // maps: a chunk touches few distinct slots and shards, so
@@ -1308,9 +1353,22 @@ impl Gateway {
         {
             let table = self.shared.table.lock().expect("session table poisoned");
             for (session_id, _) in &requests {
-                let entry = table.get(*session_id)?;
+                let entry = match table.get(*session_id) {
+                    Ok(entry) => entry,
+                    Err(e) => {
+                        // Routing failures refuse the whole batch.
+                        self.shared
+                            .telemetry
+                            .admit_reject(&e, total, Some(*session_id));
+                        return Err(e);
+                    }
+                };
                 if entry.state != SessionState::Established {
-                    return Err(GatewayError::SessionNotEstablished(*session_id));
+                    let e = GatewayError::SessionNotEstablished(*session_id);
+                    self.shared
+                        .telemetry
+                        .admit_reject(&e, total, Some(*session_id));
+                    return Err(e);
                 }
                 routes.push((entry.tenant_idx, entry.slot));
             }
@@ -1347,6 +1405,7 @@ impl Gateway {
                             .fetch_add(m as u64, Ordering::SeqCst);
                     }
                 }
+                self.shared.telemetry.admit_reject(&e, total, None);
                 return Err(e);
             }
         }
@@ -1363,11 +1422,16 @@ impl Gateway {
                 None => shard_counts.push((shard, 1)),
             }
         }
-        let mut per_shard: Vec<(usize, Vec<(usize, BatchItem)>)> = shard_counts
+        // (worker slot index, item, trace tag) triples grouped by shard.
+        type TaggedItems = Vec<(usize, BatchItem, u64)>;
+        let mut per_shard: Vec<(usize, TaggedItems)> = shard_counts
             .iter()
             .map(|&(shard, n)| (shard, Vec::with_capacity(n)))
             .collect();
-        for ((session_id, ciphertext), &(tenant_idx, slot_id)) in requests.into_iter().zip(&routes)
+        let telemetry = &self.shared.telemetry;
+        let sampler = telemetry.submit_sampler(routes.len());
+        for (offset, ((session_id, ciphertext), &(tenant_idx, slot_id))) in
+            requests.into_iter().zip(&routes).enumerate()
         {
             let info = &self.shared.tenants[tenant_idx].slots[slot_id];
             let bucket = per_shard
@@ -1380,12 +1444,15 @@ impl Gateway {
                     session_id,
                     ciphertext,
                 },
+                sampler.tag(telemetry, offset, session_id),
             ));
         }
         let mut first_error: Option<GatewayError> = None;
         for (shard, items) in per_shard {
+            let count = items.len() as u64;
             match self.send_submit(shard, ShardCommand::SubmitMany { items }) {
                 Ok(()) => {
+                    telemetry.admit_accept(count);
                     for &(t, s, n) in &group_counts {
                         if shard_of(t, s) == shard {
                             self.shared.tenants[t]
@@ -1403,6 +1470,7 @@ impl Gateway {
                             Self::release_admission(&self.shared.tenants[t], s, n);
                         }
                     }
+                    telemetry.admit_reject(&e, count, None);
                     first_error.get_or_insert(e);
                 }
             }
@@ -1664,6 +1732,7 @@ impl Gateway {
             }
         };
         crash(CrashPoint::BeforeCheckpoint)?;
+        let checkpoint_start_nanos = self.shared.clock.now_nanos();
         // One whole-gateway quiesce operation at a time: a second
         // checkpoint (or a shutdown) arriving while this one holds the
         // two-phase worker barrier would deadlock the workers, so the loser
@@ -1760,6 +1829,7 @@ impl Gateway {
                 ecalls: 0,
                 active_sessions: 0,
                 queue_depth: 0,
+                last_drain_queue_depth: 0,
                 ..export.stats
             };
             per_tenant[export.tenant_idx].push(SlotSnapshot {
@@ -1794,6 +1864,12 @@ impl Gateway {
             sessions,
         };
         crash(CrashPoint::SnapshotAssembled)?;
+        self.shared.telemetry.record_checkpoint(
+            self.shared
+                .clock
+                .now_nanos()
+                .saturating_sub(checkpoint_start_nanos),
+        );
         Ok(snapshot)
     }
 
@@ -1831,6 +1907,26 @@ impl Gateway {
             .slots
             .sort_by(|a, b| (&a.tenant, a.slot).cmp(&(&b.tenant, b.slot)));
         stats
+    }
+
+    /// A lock-free, point-in-time [`TelemetrySnapshot`] of every telemetry
+    /// series: admission counters, per-shard gauges, latency histograms,
+    /// sampled traces, and the rejection journal. Reads the per-shard
+    /// registries without any worker round-trip, so it is safe to call from
+    /// a scrape loop at any frequency; render it with
+    /// [`TelemetrySnapshot::render_prometheus`] or
+    /// [`TelemetrySnapshot::render_json`].
+    #[must_use]
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.shared.telemetry.snapshot()
+    }
+
+    /// The shared [`Telemetry`] hub itself, for components that record into
+    /// the same registries as the serving path (the async front-end's
+    /// executor attaches itself through this).
+    #[must_use]
+    pub fn telemetry_handle(&self) -> Arc<Telemetry> {
+        Arc::clone(&self.shared.telemetry)
     }
 
     /// Graceful shutdown: drains in-flight work to completion, stops every

@@ -32,6 +32,14 @@
 //! * **Stats** ([`stats`]) — per-tenant endorsement/rejection/throttle
 //!   counters and per-slot batch sizes, enclave cycles, and wall-clock drain
 //!   latency.
+//! * **Telemetry** ([`telemetry`]) — a dependency-free observability layer
+//!   over the host-side pipeline: lock-free log2 latency histograms
+//!   (queue wait, per-ECALL, checkpoint/restore, executor poll/wake),
+//!   typed admission accept/reject counters, live per-shard queue-depth
+//!   gauges, sampled per-request traces driven by the injected [`Clock`]
+//!   (deterministic under [`ManualClock`]), and a bounded rejection
+//!   journal — exported as a [`TelemetrySnapshot`] with Prometheus-style
+//!   text and JSON renderings. No payload data ever enters telemetry.
 //! * **Checkpoint/restore** ([`checkpoint`]) — a crash-safe snapshot of the
 //!   whole serving state: per-slot enclave state sealed *by the enclaves*
 //!   (MrEnclave policy, snapshot header as AAD), the established-session
@@ -67,6 +75,7 @@ pub mod pool;
 pub(crate) mod runtime;
 pub mod session;
 pub mod stats;
+pub mod telemetry;
 
 pub use checkpoint::{
     CrashAt, CrashHooks, CrashPoint, GatewaySnapshot, NoCrash, SessionRecord, SlotSnapshot,
@@ -81,3 +90,7 @@ pub use pool::{PoolSlot, TenantPool};
 pub use runtime::BarrierOp;
 pub use session::{SessionEntry, SessionState, SessionTable};
 pub use stats::{GatewayStats, SlotStats, SlotStatsRow, TenantStats};
+pub use telemetry::{
+    AdmitReason, Histogram, HistogramSnapshot, Telemetry, TelemetryConfig, TelemetryEvent,
+    TelemetrySnapshot, TraceSpan, TraceStage,
+};

@@ -17,6 +17,7 @@
 use crate::config::TenantConfig;
 use crate::error::{GatewayError, Result};
 use crate::stats::SlotStats;
+use crate::telemetry::{Telemetry, TraceStage};
 use glimmer_core::host::GlimmerClient;
 #[cfg(test)]
 use glimmer_core::protocol::BatchReply;
@@ -44,6 +45,21 @@ pub(crate) struct DrainScratch {
     request: Encoder,
     /// Decoded reply items (cleared per sweep; capacity kept).
     pub(crate) replies: Vec<BatchReplyItem>,
+    /// Trace tags of the drained items, index-aligned with `replies` (0 =
+    /// untraced). The worker consumes them alongside the replies to stamp
+    /// the `ReplyDelivered` trace stage. Cleared per sweep; capacity kept,
+    /// so tracing adds no per-request allocation.
+    pub(crate) traces: Vec<u64>,
+}
+
+/// A queued request plus the telemetry the gateway attached at admission:
+/// the enqueue timestamp (for the queue-wait histogram) and the sampled
+/// trace tag (0 for the untraced majority). Worker-internal — the wire
+/// [`BatchItem`] is unchanged.
+struct Queued {
+    item: BatchItem,
+    enqueued_at_nanos: u64,
+    trace: u64,
 }
 
 /// One pre-provisioned enclave and its request queue.
@@ -51,7 +67,7 @@ pub struct PoolSlot {
     /// Index within the tenant's pool.
     pub slot_id: usize,
     client: GlimmerClient,
-    queue: VecDeque<BatchItem>,
+    queue: VecDeque<Queued>,
     stats: SlotStats,
 }
 
@@ -124,6 +140,7 @@ impl PoolSlot {
                 active_sessions: 0,
                 queue_depth: 0,
                 ecalls: 0,
+                last_drain_queue_depth: 0,
                 ..snap.stats.clone()
             },
         })
@@ -150,8 +167,14 @@ impl PoolSlot {
         self.queue.len()
     }
 
-    pub(crate) fn enqueue(&mut self, item: BatchItem) {
-        self.queue.push_back(item);
+    /// Appends one admitted item, stamped with the worker's enqueue time
+    /// (for the queue-wait histogram) and its trace tag (0 = untraced).
+    pub(crate) fn enqueue(&mut self, item: BatchItem, now_nanos: u64, trace: u64) {
+        self.queue.push_back(Queued {
+            item,
+            enqueued_at_nanos: now_nanos,
+            trace,
+        });
     }
 
     /// Appends a whole group of admitted items in order (test convenience;
@@ -159,13 +182,18 @@ impl PoolSlot {
     /// out to their slots).
     #[cfg(test)]
     pub(crate) fn enqueue_many(&mut self, items: impl IntoIterator<Item = BatchItem>) {
-        self.queue.extend(items);
+        self.queue.extend(items.into_iter().map(|item| Queued {
+            item,
+            enqueued_at_nanos: 0,
+            trace: 0,
+        }));
     }
 
     /// Discards queued items belonging to `session_id`; returns how many.
     pub(crate) fn discard_session_items(&mut self, session_id: u64) -> usize {
         let before = self.queue.len();
-        self.queue.retain(|item| item.session_id != session_id);
+        self.queue
+            .retain(|queued| queued.item.session_id != session_id);
         before - self.queue.len()
     }
 
@@ -180,21 +208,43 @@ impl PoolSlot {
     /// success drops the drained prefix in one `drain` call. Together with
     /// the reusable buffers this makes the steady-state host side of a
     /// sweep allocation-free per request.
+    ///
+    /// With `telemetry` attached (the hub plus the owning shard's index),
+    /// the sweep also records each drained item's queue-wait, the batch
+    /// size, and the full encode→enclave→decode latency into that shard's
+    /// registries, stamps `DrainStart`/`EcallDone` on traced items, and
+    /// leaves the per-item trace tags in `scratch.traces` for the worker's
+    /// reply-delivery stamp — all from preallocated structures.
     pub(crate) fn drain_into(
         &mut self,
         max_batch: usize,
         scratch: &mut DrainScratch,
+        telemetry: Option<(&Telemetry, usize)>,
     ) -> Result<Option<usize>> {
         if self.queue.is_empty() {
             return Ok(None);
         }
+        self.stats.last_drain_queue_depth = self.queue.len();
         // Never exceed the enclave's own batch limit, whatever the config
         // says — an oversized batch would be rejected wholesale.
         let take = self
             .queue
             .len()
             .min(max_batch.clamp(1, glimmer_core::enclave_app::MAX_BATCH_ITEMS));
-        BatchRequest::encode_items_into(&mut scratch.request, self.queue.iter().take(take));
+        let telemetry = telemetry.filter(|(hub, _)| hub.enabled());
+        let drain_start = telemetry.map_or(0, |(hub, _)| hub.now_nanos());
+        scratch.traces.clear();
+        for queued in self.queue.iter().take(take) {
+            scratch.traces.push(queued.trace);
+            if let Some((hub, shard)) = telemetry {
+                hub.record_queue_wait(shard, drain_start.saturating_sub(queued.enqueued_at_nanos));
+                hub.trace_stage(queued.trace, TraceStage::DrainStart, drain_start);
+            }
+        }
+        BatchRequest::encode_items_into(
+            &mut scratch.request,
+            self.queue.iter().take(take).map(|queued| &queued.item),
+        );
         let cycles_before = self.client.cost_report().total_cycles;
         let start = Instant::now();
         self.client
@@ -202,6 +252,14 @@ impl PoolSlot {
             .map_err(GatewayError::Glimmer)?;
         let elapsed = start.elapsed();
         let cycles_after = self.client.cost_report().total_cycles;
+        if let Some((hub, shard)) = telemetry {
+            let ecall_done = hub.now_nanos();
+            hub.record_ecall(shard, ecall_done.saturating_sub(drain_start));
+            hub.record_batch_size(shard, take as u64);
+            for &trace in &scratch.traces {
+                hub.trace_stage(trace, TraceStage::EcallDone, ecall_done);
+            }
+        }
         self.queue.drain(..take);
         let n = take as u64;
         self.stats.batches += 1;
@@ -219,7 +277,7 @@ impl PoolSlot {
     pub(crate) fn drain(&mut self, max_batch: usize) -> Result<Option<BatchReply>> {
         let mut scratch = DrainScratch::default();
         Ok(self
-            .drain_into(max_batch, &mut scratch)?
+            .drain_into(max_batch, &mut scratch, None)?
             .map(|_| BatchReply {
                 items: std::mem::take(&mut scratch.replies),
             }))
@@ -334,14 +392,22 @@ mod tests {
     fn queueing_and_discard() {
         let mut p = pool(1);
         let slot = &mut p.slots[0];
-        slot.enqueue(BatchItem {
-            session_id: 1,
-            ciphertext: vec![],
-        });
-        slot.enqueue(BatchItem {
-            session_id: 2,
-            ciphertext: vec![],
-        });
+        slot.enqueue(
+            BatchItem {
+                session_id: 1,
+                ciphertext: vec![],
+            },
+            0,
+            0,
+        );
+        slot.enqueue(
+            BatchItem {
+                session_id: 2,
+                ciphertext: vec![],
+            },
+            0,
+            0,
+        );
         assert_eq!(slot.queue_depth(), 2);
         assert_eq!(slot.discard_session_items(1), 1);
         assert_eq!(slot.queue_depth(), 1);
@@ -368,7 +434,7 @@ mod tests {
 
         let mut scratch = DrainScratch::default();
         // First sweep: three of five items, outcomes in arrival order.
-        assert_eq!(slot.drain_into(3, &mut scratch).unwrap(), Some(3));
+        assert_eq!(slot.drain_into(3, &mut scratch, None).unwrap(), Some(3));
         let first: Vec<u64> = scratch.replies.iter().map(|r| r.session_id).collect();
         assert_eq!(first, vec![0, 1, 2]);
         assert_eq!(slot.queue_depth(), 2);
@@ -377,12 +443,12 @@ mod tests {
 
         // Second sweep reuses both buffers: the smaller batch replaces the
         // replies (no stale items) and fits the grown request buffer.
-        assert_eq!(slot.drain_into(3, &mut scratch).unwrap(), Some(2));
+        assert_eq!(slot.drain_into(3, &mut scratch, None).unwrap(), Some(2));
         let second: Vec<u64> = scratch.replies.iter().map(|r| r.session_id).collect();
         assert_eq!(second, vec![3, 4]);
         assert_eq!(scratch.request.capacity(), request_capacity);
         assert_eq!(slot.queue_depth(), 0);
-        assert_eq!(slot.drain_into(3, &mut scratch).unwrap(), None);
+        assert_eq!(slot.drain_into(3, &mut scratch, None).unwrap(), None);
         assert_eq!(slot.stats().batches, 2);
         assert_eq!(slot.stats().items, 5);
     }

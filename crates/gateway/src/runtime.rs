@@ -34,6 +34,7 @@ use crate::gateway::GatewayResponse;
 use crate::pool::{DrainScratch, PoolSlot};
 use crate::session::SessionTable;
 use crate::stats::{SlotStatsRow, TenantStats};
+use crate::telemetry::{Telemetry, TraceStage};
 use glimmer_core::channel::{ChannelAccept, ChannelOffer};
 use glimmer_core::enclave_app::MaskDelivery;
 use glimmer_core::protocol::{BatchItem, BatchOutcome};
@@ -162,6 +163,10 @@ pub(crate) struct Shared {
     /// pause to finish), so the loser of this CAS gets a typed
     /// [`GatewayError::BarrierConflict`] instead.
     pub(crate) barrier: AtomicU8,
+    /// The observability hub ([`crate::telemetry`]): admission counters on
+    /// the routing side, per-shard histogram registries written only by the
+    /// owning worker, the sampled trace ring, and the rejection journal.
+    pub(crate) telemetry: Arc<Telemetry>,
 }
 
 /// [`Shared::barrier`] value when no whole-gateway operation is running.
@@ -298,19 +303,23 @@ pub(crate) enum ShardCommand {
         reply: Reply<Result<()>>,
     },
     /// Fire-and-forget: gauges were already bumped by the routing layer.
+    /// `trace` is the request's sampled trace tag (0 for the untraced
+    /// majority; see [`crate::telemetry`]).
     Submit {
         slot: usize,
         item: BatchItem,
+        trace: u64,
     },
     /// Fire-and-forget batched admission: one command carries every
     /// already-reserved item this shard receives from a `submit_many` /
     /// `submit_batch` call — channel and atomic traffic are paid per call,
-    /// not per request. Items are `(worker-local slot, item)` pairs in
-    /// arrival order (one flat vector, so the whole command costs one
-    /// allocation however many requests it carries); the worker fans them
-    /// out to their slot queues, which preserves per-slot arrival order.
+    /// not per request. Items are `(worker-local slot, item, trace-tag)`
+    /// triples in arrival order (one flat vector, so the whole command
+    /// costs one allocation however many requests it carries); the worker
+    /// fans them out to their slot queues, which preserves per-slot arrival
+    /// order.
     SubmitMany {
-        items: Vec<(usize, BatchItem)>,
+        items: Vec<(usize, BatchItem, u64)>,
     },
     Drain {
         reply: Reply<ShardDrainReport>,
@@ -436,12 +445,22 @@ impl ShardWorker {
                         .map_err(GatewayError::Glimmer);
                     reply.deliver(result);
                 }
-                ShardCommand::Submit { slot, item } => {
-                    self.slots[slot].slot.enqueue(item);
+                ShardCommand::Submit { slot, item, trace } => {
+                    let now = self.shared.telemetry.now_nanos();
+                    self.shared
+                        .telemetry
+                        .trace_stage(trace, TraceStage::Enqueued, now);
+                    self.slots[slot].slot.enqueue(item, now, trace);
                 }
                 ShardCommand::SubmitMany { items } => {
-                    for (slot, item) in items {
-                        self.slots[slot].slot.enqueue(item);
+                    // One clock read for the whole group: the items were
+                    // admitted together, so they share an enqueue stamp.
+                    let now = self.shared.telemetry.now_nanos();
+                    for (slot, item, trace) in items {
+                        self.shared
+                            .telemetry
+                            .trace_stage(trace, TraceStage::Enqueued, now);
+                        self.slots[slot].slot.enqueue(item, now, trace);
                     }
                 }
                 ShardCommand::Drain { reply } => {
@@ -515,27 +534,39 @@ impl ShardWorker {
         let max_batch = self.shared.config.max_batch;
         let mut responses = Vec::new();
         let mut first_error = None;
+        let telemetry = &self.shared.telemetry;
+        if telemetry.enabled() {
+            // The live queue-depth gauge: what this shard has pending as
+            // the sweep starts.
+            let depth: usize = self.slots.iter().map(|ws| ws.slot.queue_depth()).sum();
+            telemetry.record_drain_depth(self.shard_id, depth as u64);
+        }
         // One scratch for the whole sweep: each slot encodes its request and
         // leaves its replies in the worker's reusable buffers, which are
         // consumed (drained, capacity kept) before the next slot runs.
         let scratch = &mut self.scratch;
         for ws in &mut self.slots {
             let tenant = &self.shared.tenants[ws.tenant_idx];
-            let drained = match ws.slot.drain_into(max_batch, scratch) {
-                Ok(Some(drained)) => drained,
-                Ok(None) => continue,
-                Err(e) => {
-                    first_error.get_or_insert(e);
-                    continue;
-                }
-            };
+            let drained =
+                match ws
+                    .slot
+                    .drain_into(max_batch, scratch, Some((telemetry, self.shard_id)))
+                {
+                    Ok(Some(drained)) => drained,
+                    Ok(None) => continue,
+                    Err(e) => {
+                        first_error.get_or_insert(e);
+                        continue;
+                    }
+                };
+            let reply_now = telemetry.now_nanos();
             // Outcome counters FIRST, reservation release LAST. The
             // endorsement-budget check reads `endorsed + queued`, so an item
             // must never be simultaneously absent from both (that window
             // would let a racing submit overshoot the budget). The reverse
             // overlap — counted in `endorsed` while still counted in
             // `queued` — only over-rejects transiently, which is safe.
-            for item in scratch.replies.drain(..) {
+            for (item, trace) in scratch.replies.drain(..).zip(scratch.traces.drain(..)) {
                 match &item.outcome {
                     BatchOutcome::Reply { endorsed: true, .. } => {
                         tenant.counters.endorsed.fetch_add(1, Ordering::SeqCst);
@@ -549,6 +580,7 @@ impl ShardWorker {
                         tenant.counters.failed.fetch_add(1, Ordering::SeqCst);
                     }
                 }
+                telemetry.trace_stage(trace, TraceStage::ReplyDelivered, reply_now);
                 responses.push(GatewayResponse {
                     session_id: item.session_id,
                     tenant: tenant.name.clone(),

@@ -48,6 +48,7 @@ fn config() -> GatewayConfig {
         max_queue_depth: 256,
         placement_session_weight: 4,
         platform_config: PlatformConfig::default(),
+        ..GatewayConfig::default()
     }
 }
 
