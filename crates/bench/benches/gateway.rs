@@ -15,8 +15,13 @@
 //! per-session `submit_many` — the batched paths pay the admission atomics
 //! and the shard-queue command once per group (E13 is the deterministic
 //! counterpart).
+//! `gateway_ingest/*` covers the replay path: chunked scenario-file loading
+//! at 1 vs 4 readers, and end-to-end replay through a live gateway on the
+//! per-record vs batched-per-shard admission paths (E17 is the
+//! deterministic counterpart).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use glimmer_bench::{ingest, IngestConfig, IngestMode, ReplayHarness};
 use glimmer_core::blinding::BlindingService;
 use glimmer_core::host::GlimmerDescriptor;
 use glimmer_core::protocol::{BatchOutcome, Contribution, ContributionPayload, PrivateData};
@@ -459,9 +464,88 @@ fn bench_async_frontend(c: &mut Criterion) {
     group.finish();
 }
 
+/// `gateway_ingest/*`: the replay path. `load/R` measures the chunked
+/// scenario loader (generate once, load per iteration with R readers;
+/// throughput is records/s — on a multicore host 4 readers parse
+/// concurrently). `ingest_*` replays a small steady scenario through a
+/// live single-shard gateway, per-record `submit` vs `submit_batch`
+/// grouped per shard. Replaying consumes per-device rounds, so each
+/// iteration builds a fresh harness; that build cost is identical across
+/// the two modes, so the delta between them is still the admission
+/// paths' — E17 is the precise (isolated-region) instrument.
+fn bench_replay_ingest(c: &mut Criterion) {
+    use glimmer_workloads::replay::{
+        generate_scenario_file, load_chunks, FileSource, ScenarioMix, ScenarioSpec, CHUNK_EXCESS,
+    };
+
+    let mut group = c.benchmark_group("gateway_ingest");
+
+    // Loader: one on-disk scenario, loaded per iteration.
+    let spec = ScenarioSpec {
+        tenants: 4,
+        devices_per_tenant: 10_000,
+        records: 60_000,
+        mix: ScenarioMix::Diurnal { period: 8_000 },
+        seed: 45,
+    };
+    let path = std::env::temp_dir().join(format!(
+        "glimmer-bench-ingest-{}.scenario",
+        std::process::id()
+    ));
+    let info = generate_scenario_file(&path, &spec).unwrap();
+    {
+        let source = FileSource::open(&path).unwrap();
+        for &readers in &[1usize, 4] {
+            group.throughput(Throughput::Elements(info.records));
+            group.bench_with_input(
+                BenchmarkId::new("load", readers),
+                &readers,
+                |b, &readers| {
+                    b.iter(|| {
+                        let loads = load_chunks(&source, readers, CHUNK_EXCESS).unwrap();
+                        let total: u64 = loads.iter().map(|l| l.summary.records).sum();
+                        assert_eq!(total, info.records, "loader lost records");
+                        total
+                    })
+                },
+            );
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+
+    // End-to-end replay: admission path comparison over identical records.
+    let serve_spec = ScenarioSpec {
+        tenants: 2,
+        devices_per_tenant: 16,
+        records: 128,
+        mix: ScenarioMix::Steady,
+        seed: 46,
+    };
+    let records = serve_spec.records_vec();
+    for (name, mode) in [
+        ("ingest_per_record", IngestMode::PerRecord),
+        ("ingest_batched", IngestMode::BatchedPerShard),
+    ] {
+        let config = IngestConfig {
+            mode,
+            window: 32,
+            max_in_flight: 256,
+        };
+        group.throughput(Throughput::Elements(records.len() as u64));
+        group.bench_function(BenchmarkId::new(name, records.len()), |b| {
+            b.iter(|| {
+                let mut harness = ReplayHarness::build(&records, 2, 1, 2, DIM, 1024, [47u8; 32]);
+                ingest(&mut harness, &records, &config).unwrap().endorsed()
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_serving, bench_shard_scaling, bench_batched_submission, bench_async_frontend
+    targets = bench_serving, bench_shard_scaling, bench_batched_submission, bench_async_frontend,
+        bench_replay_ingest
 }
 criterion_main!(benches);

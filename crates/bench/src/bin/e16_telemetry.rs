@@ -13,6 +13,7 @@
 
 use glimmer_bench::alloc_track;
 use glimmer_bench::e16_telemetry;
+use glimmer_bench::BenchReport;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -132,44 +133,31 @@ fn main() {
         println!("(build with --features count-allocs to measure allocations/request)");
     }
 
-    // Machine-readable summary for cross-change tracking (hand-formatted:
-    // the workspace deliberately has no serialization dependency).
-    let json = format!(
-        "{{\n  \"experiment\": \"e16_telemetry\",\n  \"smoke\": {smoke},\n  \
-         \"sessions\": {},\n  \"requests_per_session\": {},\n  \"slots\": {},\n  \
-         \"repeats\": {},\n  \"requests\": {},\n  \"endorsed\": {},\n  \
-         \"serve_ms_on\": {:.3},\n  \"serve_ms_off\": {:.3},\n  \
-         \"endorse_per_s_on\": {:.0},\n  \"endorse_per_s_off\": {:.0},\n  \
-         \"overhead_fraction\": {:.4},\n  \"queue_wait_p50_nanos\": {},\n  \
-         \"queue_wait_p99_nanos\": {},\n  \"ecall_p50_nanos\": {},\n  \
-         \"ecall_p99_nanos\": {},\n  \"count_allocs\": {},\n  \
-         \"telemetry_allocs_total\": {},\n  \"record_allocs\": {},\n  \
-         \"trace_complete\": {},\n  \"trace_monotonic\": {},\n  \
-         \"round_trip_ok\": {}\n}}\n",
-        r.sessions,
-        r.requests_per_session,
-        r.slots,
-        r.repeats,
-        r.requests,
-        r.endorsed,
-        r.serve_ms_on,
-        r.serve_ms_off,
-        r.endorse_per_s_on,
-        r.endorse_per_s_off,
-        r.overhead_fraction,
-        r.queue_wait_p50_nanos,
-        r.queue_wait_p99_nanos,
-        r.ecall_p50_nanos,
-        r.ecall_p99_nanos,
-        alloc_track::counting_enabled(),
-        r.telemetry_allocs_total,
-        r.record_allocs,
-        r.trace_complete,
-        r.trace_monotonic,
-        r.round_trip_ok,
-    );
-    match std::fs::write("BENCH_e16.json", &json) {
-        Ok(()) => println!("wrote BENCH_e16.json"),
-        Err(e) => eprintln!("could not write BENCH_e16.json: {e}"),
-    }
+    // Machine-readable summary for cross-change tracking, via the shared
+    // writer (same schema/precision as the original hand-formatted block).
+    let mut report = BenchReport::new("e16_telemetry");
+    report
+        .push_bool("smoke", smoke)
+        .push_u64("sessions", r.sessions as u64)
+        .push_u64("requests_per_session", r.requests_per_session as u64)
+        .push_u64("slots", r.slots as u64)
+        .push_u64("repeats", r.repeats as u64)
+        .push_u64("requests", r.requests as u64)
+        .push_u64("endorsed", r.endorsed as u64)
+        .push_f64("serve_ms_on", r.serve_ms_on, 3)
+        .push_f64("serve_ms_off", r.serve_ms_off, 3)
+        .push_f64("endorse_per_s_on", r.endorse_per_s_on, 0)
+        .push_f64("endorse_per_s_off", r.endorse_per_s_off, 0)
+        .push_f64("overhead_fraction", r.overhead_fraction, 4)
+        .push_u64("queue_wait_p50_nanos", r.queue_wait_p50_nanos)
+        .push_u64("queue_wait_p99_nanos", r.queue_wait_p99_nanos)
+        .push_u64("ecall_p50_nanos", r.ecall_p50_nanos)
+        .push_u64("ecall_p99_nanos", r.ecall_p99_nanos)
+        .push_bool("count_allocs", alloc_track::counting_enabled())
+        .push_u64("telemetry_allocs_total", r.telemetry_allocs_total)
+        .push_u64("record_allocs", r.record_allocs)
+        .push_bool("trace_complete", r.trace_complete)
+        .push_bool("trace_monotonic", r.trace_monotonic)
+        .push_bool("round_trip_ok", r.round_trip_ok);
+    report.write("BENCH_e16.json");
 }

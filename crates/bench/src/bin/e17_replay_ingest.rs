@@ -1,0 +1,217 @@
+//! E17: million-device replay ingest — a chunked parallel scenario loader
+//! feeding the batched hot path.
+//!
+//! Phase 1 generates a multi-megabyte line-format scenario file and loads
+//! it with 1/2/4/8 parallel chunk readers, asserting the readers
+//! reproduce the generator's records exactly once (nothing lost,
+//! duplicated, or split at a chunk boundary) and that the chunk
+//! partition's critical path — the busiest chunk — admits a ≥2×
+//! deterministic speedup at 4 readers. Wall-clock speedup is additionally
+//! asserted when the host actually has ≥4 cores; on smaller hosts it is
+//! reported but not gated (a single core cannot run readers
+//! concurrently, deterministically or otherwise).
+//!
+//! Phase 2 replays a smaller abuse-burst scenario through a live gateway
+//! on the batched-per-shard path with bounded in-flight admission, and
+//! asserts the response stream is bit-identical (session, tenant, and
+//! full outcome ciphertext) to an in-process per-record baseline run at
+//! `shards: 1` with the same drain cadence.
+//!
+//! Run with `--smoke` for the fast CI configuration. Build with
+//! `--features count-allocs` to populate (and assert on) the
+//! allocations-per-record column; without it it reads `n/a`. Always
+//! writes a machine-readable `BENCH_e17.json` summary.
+
+use glimmer_bench::alloc_track;
+use glimmer_bench::e17_replay_ingest;
+use glimmer_bench::BenchReport;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (parse_records, repeats, serve_sessions, serve_rounds) = if smoke {
+        (400_000, 3, 16, 8)
+    } else {
+        (4_000_000, 5, 48, 16)
+    };
+    let readers: [usize; 4] = [1, 2, 4, 8];
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "E17: replay ingest — chunked parallel scenario loader feeding the batched hot path \
+         ({cores} host cores)"
+    );
+
+    let r = e17_replay_ingest(
+        parse_records,
+        &readers,
+        repeats,
+        serve_sessions,
+        serve_rounds,
+        [44u8; 32],
+    );
+
+    // ---- Loader scaling table. ----
+    println!(
+        "scenario file: {} records, {:.1} MiB",
+        r.parse_records,
+        r.parse_bytes as f64 / (1024.0 * 1024.0)
+    );
+    let fmt_allocs = |v: f64| {
+        if alloc_track::counting_enabled() {
+            format!("{v:.4}")
+        } else {
+            "n/a".to_string()
+        }
+    };
+    println!(
+        "{:>8} {:>11} {:>14} {:>12} {:>9} {:>9} {:>12}",
+        "readers", "load ms", "records/s", "max chunk", "det x", "wall x", "allocs/rec"
+    );
+    for row in &r.loader_rows {
+        println!(
+            "{:>8} {:>11.2} {:>14.0} {:>12} {:>9.2} {:>9.2} {:>12}",
+            row.readers,
+            row.load_ms,
+            row.records_per_s,
+            row.max_chunk_records,
+            row.det_speedup,
+            row.wall_speedup,
+            fmt_allocs(row.load_allocs_per_record)
+        );
+        assert!(
+            row.exactly_once,
+            "regression: {} readers lost, duplicated, or split records at a chunk boundary",
+            row.readers
+        );
+    }
+
+    // The deterministic-speedup bar holds on any host: with 4 readers the
+    // busiest chunk must own at most half the records.
+    let four = r
+        .loader_rows
+        .iter()
+        .find(|row| row.readers == 4)
+        .expect("4-reader row");
+    assert!(
+        four.det_speedup >= 2.0,
+        "regression: 4-reader chunk partition admits only {:.2}x critical-path speedup",
+        four.det_speedup
+    );
+    println!(
+        "4-reader critical path is {:.2}x shorter than serial (bar: >= 2x) — exactly-once \
+         holds at every reader count",
+        four.det_speedup
+    );
+    // The wall-clock bar needs the cores to exist.
+    if cores >= 4 {
+        assert!(
+            four.wall_speedup >= 2.0,
+            "regression: 4 readers on {cores} cores achieved only {:.2}x wall-clock speedup",
+            four.wall_speedup
+        );
+        println!(
+            "4-reader wall clock is {:.2}x faster than 1 reader on {cores} cores (bar: >= 2x)",
+            four.wall_speedup
+        );
+    } else {
+        println!(
+            "host has {cores} core(s): wall-clock speedup reported ({:.2}x at 4 readers) \
+             but not gated",
+            four.wall_speedup
+        );
+    }
+    if alloc_track::counting_enabled() {
+        // `load_chunks` allocates windows, output vectors, and thread
+        // stacks — a handful of allocations per *chunk* — but the
+        // per-record parse itself must stay allocation-free, so the
+        // per-record amortisation must be far below one.
+        for row in &r.loader_rows {
+            assert!(
+                row.load_allocs_per_record < 0.01,
+                "regression: {} readers allocated {:.4} times per record \
+                 (per-record parse must be allocation-free)",
+                row.readers,
+                row.load_allocs_per_record
+            );
+        }
+        println!(
+            "counting allocator installed: loader stays under 0.01 allocations/record at \
+             every reader count — per-record parse is allocation-free"
+        );
+    } else {
+        println!("(build with --features count-allocs to measure allocations/record)");
+    }
+
+    // ---- End-to-end replay vs in-process baseline. ----
+    println!(
+        "replay ingest: {} records over {} sessions -> {} endorsed, {} quota-rejected, \
+         {} drains, {:.2} ms ({:.0} records/s, {:.0} endorse/s)",
+        r.serve_records,
+        r.serve_sessions,
+        r.replay_endorsed,
+        r.quota_rejected,
+        r.drains,
+        r.replay_serve_ms,
+        r.ingest_records_per_s,
+        r.endorse_per_s
+    );
+    assert!(
+        r.bit_identical,
+        "regression: replayed responses diverged from the in-process per-record baseline"
+    );
+    assert_eq!(
+        r.replay_endorsed, r.baseline_endorsed,
+        "regression: endorsement counts diverged"
+    );
+    assert!(r.replay_endorsed > 0, "honest records must endorse");
+    assert_eq!(r.parse_errors, 0, "generated scenario must parse cleanly");
+    assert_eq!(
+        r.telemetry_ingest_parsed, r.serve_records,
+        "regression: telemetry ingest counter lost records"
+    );
+    assert_eq!(
+        r.telemetry_ingest_quota_rejected, r.quota_rejected,
+        "regression: telemetry quota-rejection counter diverged from the driver's count"
+    );
+    println!(
+        "replayed responses are bit-identical to the in-process baseline; telemetry ingest \
+         counters account for every record (bars hold)"
+    );
+
+    // Machine-readable summary for cross-change tracking.
+    let mut report = BenchReport::new("e17_replay_ingest");
+    report
+        .push_bool("smoke", smoke)
+        .push_u64("host_cores", cores as u64)
+        .push_u64("parse_records", r.parse_records)
+        .push_u64("parse_bytes", r.parse_bytes);
+    for row in &r.loader_rows {
+        let prefix = format!("readers_{}", row.readers);
+        report
+            .push_f64(&format!("{prefix}_load_ms"), row.load_ms, 3)
+            .push_f64(&format!("{prefix}_records_per_s"), row.records_per_s, 0)
+            .push_u64(
+                &format!("{prefix}_max_chunk_records"),
+                row.max_chunk_records,
+            )
+            .push_f64(&format!("{prefix}_det_speedup"), row.det_speedup, 3)
+            .push_f64(&format!("{prefix}_wall_speedup"), row.wall_speedup, 3)
+            .push_bool(&format!("{prefix}_exactly_once"), row.exactly_once);
+    }
+    report
+        .push_bool("count_allocs", alloc_track::counting_enabled())
+        .push_u64("serve_records", r.serve_records)
+        .push_u64("serve_sessions", r.serve_sessions as u64)
+        .push_u64("replay_endorsed", r.replay_endorsed as u64)
+        .push_u64("quota_rejected", r.quota_rejected)
+        .push_u64("drains", r.drains)
+        .push_f64("replay_serve_ms", r.replay_serve_ms, 3)
+        .push_f64("ingest_records_per_s", r.ingest_records_per_s, 0)
+        .push_f64("endorse_per_s", r.endorse_per_s, 0)
+        .push_bool("bit_identical", r.bit_identical)
+        .push_u64("telemetry_ingest_parsed", r.telemetry_ingest_parsed)
+        .push_u64(
+            "telemetry_ingest_quota_rejected",
+            r.telemetry_ingest_quota_rejected,
+        );
+    report.write("BENCH_e17.json");
+}

@@ -1538,6 +1538,172 @@ pub fn e12_shard_scaling(
     rows
 }
 
+/// Serve-time variance with and without core pinning (the E12 satellite).
+#[derive(Debug, Clone)]
+pub struct E12PinningVariance {
+    /// Timed repeats per mode.
+    pub repeats: usize,
+    /// Shard workers per gateway.
+    pub shards: usize,
+    /// Workers that actually landed on their requested core in pinned mode
+    /// (0 on hosts where affinity is unsupported — the report says so).
+    pub pinned_workers: usize,
+    /// Mean serve wall-clock ms, `pin_cores: false`.
+    pub unpinned_mean_ms: f64,
+    /// Sample standard deviation, `pin_cores: false`.
+    pub unpinned_stddev_ms: f64,
+    /// Coefficient of variation (stddev/mean), `pin_cores: false`.
+    pub unpinned_cv: f64,
+    /// Mean serve wall-clock ms, `pin_cores: true`.
+    pub pinned_mean_ms: f64,
+    /// Sample standard deviation, `pin_cores: true`.
+    pub pinned_stddev_ms: f64,
+    /// Coefficient of variation, `pin_cores: true`.
+    pub pinned_cv: f64,
+    /// Simulated critical-path cycles were bit-identical across every
+    /// repeat of both modes: pinning changes *where* workers run, never
+    /// what they compute.
+    pub cycles_identical: bool,
+}
+
+/// Runs the E12 pinning satellite: the same shard-per-core workload served
+/// `repeats` times with `pin_cores: false` and `repeats` times with
+/// `pin_cores: true`, reporting wall-clock mean/stddev/CV per mode.
+///
+/// Report-only: whether pinning tightens the distribution depends on host
+/// load and core count, so no wall-clock ordering is asserted. What *is*
+/// deterministic — and checked by the E12 binary — is that the simulated
+/// critical path is bit-identical across modes.
+#[must_use]
+pub fn e12_pinning_variance(
+    shards: usize,
+    slots: usize,
+    sessions_per_slot: usize,
+    requests_per_session: usize,
+    repeats: usize,
+    seed: [u8; 32],
+) -> E12PinningVariance {
+    use glimmer_gateway::{Gateway, GatewayConfig, TenantConfig};
+
+    const APP: &str = "iot-telemetry.example";
+    let dimension = 8usize;
+    let sessions = slots * sessions_per_slot;
+
+    // One timed serve of the bit-identical workload; returns wall seconds,
+    // the deterministic critical path, and how many workers reported a
+    // successful pin.
+    let run_once = |pin_cores: bool| -> (f64, u64, usize) {
+        let mut rng = Drbg::from_seed(seed);
+        let mut avs = AttestationService::new([18u8; 32]);
+        let material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+        let gateway = Gateway::new(
+            GatewayConfig {
+                slots_per_tenant: slots,
+                shards,
+                max_batch: 256,
+                max_queue_depth: (sessions * requests_per_session).max(256),
+                placement_session_weight: 4,
+                pin_cores,
+                platform_config: PlatformConfig::default(),
+                ..GatewayConfig::default()
+            },
+            vec![TenantConfig::new(
+                APP,
+                GlimmerDescriptor::iot_default(Vec::new()),
+                material.secret_bytes(),
+            )],
+            &mut avs,
+            &mut rng,
+        )
+        .unwrap();
+
+        let approved = gateway.measurement(APP).unwrap();
+        let client_ids: Vec<u64> = (0..sessions as u64).collect();
+        let blinding = BlindingService::new([32u8; 32]);
+        let mask_rounds: Vec<_> = (0..requests_per_session as u64)
+            .map(|round| blinding.zero_sum_masks(round, &client_ids, dimension))
+            .collect();
+        let mut device_sessions = Vec::with_capacity(sessions);
+        for (i, client_id) in client_ids.iter().enumerate() {
+            let (sid, offer) = gateway.open_session(APP).unwrap();
+            let (accept, session) =
+                IotDeviceSession::connect(&offer, &avs, &approved, &mut rng).unwrap();
+            gateway.complete_session(sid, &accept).unwrap();
+            for round in &mask_rounds {
+                gateway.install_mask(sid, &round[i]).unwrap();
+            }
+            device_sessions.push((sid, *client_id, session));
+        }
+        let mut encrypted: Vec<(u64, Vec<u8>)> =
+            Vec::with_capacity(sessions * requests_per_session);
+        for round in 0..requests_per_session as u64 {
+            for (sid, client_id, session) in &mut device_sessions {
+                let contribution = Contribution {
+                    app_id: APP.to_string(),
+                    client_id: *client_id,
+                    round,
+                    payload: ContributionPayload::IotReadings {
+                        samples: vec![0.3; dimension],
+                    },
+                };
+                encrypted.push((
+                    *sid,
+                    session.encrypt_request(contribution, PrivateData::None),
+                ));
+            }
+        }
+
+        let serve_start = Instant::now();
+        for (sid, ciphertext) in encrypted {
+            gateway.submit(sid, ciphertext).unwrap();
+        }
+        gateway.drain_all().unwrap();
+        let serve_elapsed = serve_start.elapsed().as_secs_f64();
+        let critical = gateway.stats().critical_path_drain_cycles();
+        (serve_elapsed, critical, gateway.pinned_workers())
+    };
+
+    let stats_of = |samples: &[f64]| -> (f64, f64, f64) {
+        let n = samples.len().max(1) as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1.0).max(1.0);
+        let stddev = var.sqrt();
+        (mean * 1e3, stddev * 1e3, stddev / mean.max(1e-12))
+    };
+
+    let repeats = repeats.max(2);
+    let mut unpinned = Vec::with_capacity(repeats);
+    let mut pinned = Vec::with_capacity(repeats);
+    let mut cycles: Vec<u64> = Vec::with_capacity(repeats * 2);
+    let mut pinned_workers = 0usize;
+    // Interleave modes so slow drift (thermal, background load) hits both
+    // distributions equally instead of biasing whichever ran second.
+    for _ in 0..repeats {
+        let (s, c, _) = run_once(false);
+        unpinned.push(s);
+        cycles.push(c);
+        let (s, c, p) = run_once(true);
+        pinned.push(s);
+        cycles.push(c);
+        pinned_workers = p;
+    }
+    let (unpinned_mean_ms, unpinned_stddev_ms, unpinned_cv) = stats_of(&unpinned);
+    let (pinned_mean_ms, pinned_stddev_ms, pinned_cv) = stats_of(&pinned);
+
+    E12PinningVariance {
+        repeats,
+        shards,
+        pinned_workers,
+        unpinned_mean_ms,
+        unpinned_stddev_ms,
+        unpinned_cv,
+        pinned_mean_ms,
+        pinned_stddev_ms,
+        pinned_cv,
+        cycles_identical: cycles.windows(2).all(|w| w[0] == w[1]),
+    }
+}
+
 /// One row of the E13 batched-hot-path experiment: identical traffic served
 /// through a different admission path.
 #[derive(Debug, Clone)]
@@ -2562,6 +2728,7 @@ pub fn e16_telemetry(
                     placement_session_weight: 4,
                     platform_config: PlatformConfig::default(),
                     telemetry,
+                    ..GatewayConfig::default()
                 },
                 vec![TenantConfig::new(
                     APP,
@@ -2823,6 +2990,265 @@ pub fn e16_telemetry(
         trace_complete,
         trace_monotonic,
         round_trip_ok,
+    }
+}
+
+/// One loader-scaling row of E17: the same scenario file loaded with a
+/// different reader count.
+#[derive(Debug, Clone)]
+pub struct E17LoaderRow {
+    /// Parallel chunk readers.
+    pub readers: usize,
+    /// Records loaded (identical across rows).
+    pub records: u64,
+    /// Best-of-repeats wall-clock load+parse time.
+    pub load_ms: f64,
+    /// Records parsed per wall-clock second (best repeat).
+    pub records_per_s: f64,
+    /// Records owned by the busiest chunk — the loader's critical path.
+    pub max_chunk_records: u64,
+    /// `records / max_chunk_records`: the deterministic parallel speedup
+    /// the chunk partition admits (readers run concurrently, so the
+    /// busiest chunk bounds the makespan). Unlike wall clock, this holds
+    /// on any host, including single-core CI.
+    pub det_speedup: f64,
+    /// Wall-clock speedup versus the single-reader row (best-of-repeats).
+    /// Only meaningful with as many idle cores as readers.
+    pub wall_speedup: f64,
+    /// Concatenated chunk records were bit-identical to the generator's
+    /// ground truth: nothing lost, duplicated, or split.
+    pub exactly_once: bool,
+    /// Heap allocations per record across the whole `load_chunks` call
+    /// (windows, output reservations, thread spawns — the per-record parse
+    /// itself is allocation-free). Zero unless built with `count-allocs`.
+    pub load_allocs_per_record: f64,
+}
+
+/// The E17 result: loader scaling plus the end-to-end replay-vs-in-process
+/// serve comparison.
+#[derive(Debug, Clone)]
+pub struct E17Result {
+    /// Records in the loader-scaling scenario file.
+    pub parse_records: u64,
+    /// Bytes in the loader-scaling scenario file.
+    pub parse_bytes: u64,
+    /// One row per reader count.
+    pub loader_rows: Vec<E17LoaderRow>,
+    /// Records in the (smaller) serve scenario.
+    pub serve_records: u64,
+    /// Sessions the serve harness established.
+    pub serve_sessions: usize,
+    /// Endorsements the replayed run produced.
+    pub replay_endorsed: usize,
+    /// Endorsements the in-process baseline produced (must equal).
+    pub baseline_endorsed: usize,
+    /// Replay wall-clock submit+drain ms (batched-per-shard ingest).
+    pub replay_serve_ms: f64,
+    /// Replayed records per wall-clock second through the gateway.
+    pub ingest_records_per_s: f64,
+    /// Endorsements per wall-clock second during replay.
+    pub endorse_per_s: f64,
+    /// Requests terminally rejected by quota during replay (counted, not
+    /// dropped).
+    pub quota_rejected: u64,
+    /// Drain sweeps the replay pacing performed.
+    pub drains: u64,
+    /// Replay responses were bit-identical (session, tenant, and full
+    /// outcome ciphertext) to the in-process per-record baseline.
+    pub bit_identical: bool,
+    /// Malformed lines the loader saw in the serve file (0 for a generated
+    /// file).
+    pub parse_errors: u64,
+    /// The telemetry hub's `ingest parsed` counter after the replay —
+    /// wired from the loader summaries, so it must equal `serve_records`.
+    pub telemetry_ingest_parsed: u64,
+    /// The hub's `ingest parse_error` counter after the replay.
+    pub telemetry_ingest_parse_errors: u64,
+    /// The hub's `ingest quota_rejected` counter after the replay.
+    pub telemetry_ingest_quota_rejected: u64,
+}
+
+/// Runs E17: million-device replay ingest.
+///
+/// Phase 1 (loader scaling) generates a `parse_records`-record scenario
+/// file and loads it with each reader count in `reader_counts`
+/// (best-of-`repeats` wall clock), verifying the chunked readers
+/// reproduce the generator's records exactly once. Phase 2 (end-to-end)
+/// generates a smaller serve scenario (`serve_sessions` devices per
+/// tenant × 2 tenants, abuse-burst mix), replays it through a
+/// [`crate::ingest::ReplayHarness`] on the batched-per-shard path with
+/// bounded in-flight admission, and replays the *same records* through a
+/// fresh same-seed harness on the per-record baseline path with the same
+/// drain cadence — at `shards: 1` the two must produce bit-identical
+/// responses. Loader accounting is mirrored into the gateway's telemetry
+/// ingest counters, observable like live traffic.
+///
+/// Scenario files live in the OS temp directory and are removed before
+/// returning.
+#[must_use]
+pub fn e17_replay_ingest(
+    parse_records: u64,
+    reader_counts: &[usize],
+    repeats: usize,
+    serve_sessions: usize,
+    serve_rounds: usize,
+    seed: [u8; 32],
+) -> E17Result {
+    use crate::alloc_track::AllocSnapshot;
+    use crate::ingest::{ingest, IngestConfig, IngestMode, ReplayHarness};
+    use glimmer_workloads::replay::{
+        generate_scenario_file, load_chunks, FileSource, ParseSummary, ReplayRecord, ScenarioMix,
+        ScenarioSpec, CHUNK_EXCESS,
+    };
+
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+
+    // ---- Phase 1: loader scaling over a large diurnal scenario. ----
+    let parse_spec = ScenarioSpec {
+        tenants: 4,
+        devices_per_tenant: 250_000,
+        records: parse_records,
+        mix: ScenarioMix::Diurnal {
+            period: (parse_records / 8).max(2),
+        },
+        seed: u64::from_le_bytes(seed[..8].try_into().unwrap()),
+    };
+    let parse_path = dir.join(format!("glimmer-e17-{pid}-parse.scenario"));
+    let parse_info = generate_scenario_file(&parse_path, &parse_spec).expect("generate scenario");
+    let truth = parse_spec.records_vec();
+
+    let mut loader_rows: Vec<E17LoaderRow> = Vec::with_capacity(reader_counts.len());
+    for &readers in reader_counts {
+        let source = FileSource::open(&parse_path).expect("open scenario");
+        let mut best_s = f64::INFINITY;
+        let mut exactly_once = true;
+        let mut max_chunk_records = 0u64;
+        let mut load_allocs = 0u64;
+        for repeat in 0..repeats.max(1) {
+            let allocs_before = AllocSnapshot::now();
+            let start = Instant::now();
+            let loads = load_chunks(&source, readers, CHUNK_EXCESS).expect("load scenario");
+            let elapsed = start.elapsed().as_secs_f64();
+            load_allocs = AllocSnapshot::now().allocations_since(&allocs_before);
+            best_s = best_s.min(elapsed);
+            if repeat == 0 {
+                max_chunk_records = loads.iter().map(|l| l.summary.records).max().unwrap_or(0);
+                let flat: Vec<ReplayRecord> = loads
+                    .iter()
+                    .flat_map(|l| l.records.iter().copied())
+                    .collect();
+                exactly_once = flat == truth && loads.iter().all(|l| l.summary.parse_errors == 0);
+            }
+        }
+        let single_ms = loader_rows.first().map_or(best_s * 1e3, |row| row.load_ms);
+        loader_rows.push(E17LoaderRow {
+            readers,
+            records: parse_info.records,
+            load_ms: best_s * 1e3,
+            records_per_s: parse_info.records as f64 / best_s.max(1e-9),
+            max_chunk_records,
+            det_speedup: parse_info.records as f64 / max_chunk_records.max(1) as f64,
+            wall_speedup: single_ms / (best_s * 1e3).max(1e-9),
+            exactly_once,
+            load_allocs_per_record: load_allocs as f64 / parse_info.records.max(1) as f64,
+        });
+    }
+    let _ = std::fs::remove_file(&parse_path);
+
+    // ---- Phase 2: end-to-end replay vs in-process baseline. ----
+    let serve_spec = ScenarioSpec {
+        tenants: 2,
+        devices_per_tenant: serve_sessions as u64,
+        records: (serve_sessions * serve_rounds * 2) as u64,
+        mix: ScenarioMix::AbuseBurst {
+            abusive_fraction: 0.5,
+            period: 16,
+            burst_len: 4,
+        },
+        seed: u64::from_le_bytes(seed[8..16].try_into().unwrap()),
+    };
+    let serve_path = dir.join(format!("glimmer-e17-{pid}-serve.scenario"));
+    let serve_info = generate_scenario_file(&serve_path, &serve_spec).expect("generate serve");
+    let source = FileSource::open(&serve_path).expect("open serve");
+    let loads = load_chunks(&source, 4, CHUNK_EXCESS).expect("load serve");
+    let _ = std::fs::remove_file(&serve_path);
+    let summary = loads.iter().fold(ParseSummary::default(), |mut a, l| {
+        a.merge(&l.summary);
+        a
+    });
+    let replayed: Vec<ReplayRecord> = loads
+        .into_iter()
+        .flat_map(|l| l.records.into_iter())
+        .collect();
+
+    // Both drivers share one pacing so their drain cadence — and therefore
+    // their response stream — is comparable bit-for-bit at `shards: 1`.
+    let pacing = |mode| IngestConfig {
+        mode,
+        window: 64,
+        max_in_flight: 256,
+    };
+    let build = |records: &[ReplayRecord]| {
+        ReplayHarness::build(
+            records,
+            serve_spec.tenants,
+            1, // deterministic single-shard mode: the bit-identity bar
+            2,
+            8,
+            1024,
+            seed,
+        )
+    };
+
+    // Replay side: records from the *file*, batched-per-shard admission,
+    // loader accounting mirrored into the telemetry ingest counters.
+    let mut replay_harness = build(&replayed);
+    let telemetry = replay_harness.gateway.telemetry_handle();
+    telemetry.record_ingest_parsed(summary.records);
+    telemetry.record_ingest_parse_errors(summary.parse_errors);
+    let serve_start = Instant::now();
+    let replay_report = ingest(
+        &mut replay_harness,
+        &replayed,
+        &pacing(IngestMode::BatchedPerShard),
+    )
+    .expect("replay ingest");
+    let replay_elapsed = serve_start.elapsed().as_secs_f64();
+    let snapshot = replay_harness.gateway.telemetry();
+
+    // Baseline side: the *same* records regenerated in process (the
+    // exactly-once check above proved file and generator agree), per-record
+    // admission, same cadence, fresh same-seed harness.
+    let baseline_records = serve_spec.records_vec();
+    let mut baseline_harness = build(&baseline_records);
+    let baseline_report = ingest(
+        &mut baseline_harness,
+        &baseline_records,
+        &pacing(IngestMode::PerRecord),
+    )
+    .expect("baseline ingest");
+
+    let bit_identical = replay_report.response_keys() == baseline_report.response_keys();
+
+    E17Result {
+        parse_records: parse_info.records,
+        parse_bytes: parse_info.bytes,
+        loader_rows,
+        serve_records: serve_info.records,
+        serve_sessions: replay_harness.session_count(),
+        replay_endorsed: replay_report.endorsed(),
+        baseline_endorsed: baseline_report.endorsed(),
+        replay_serve_ms: replay_elapsed * 1e3,
+        ingest_records_per_s: serve_info.records as f64 / replay_elapsed.max(1e-9),
+        endorse_per_s: replay_report.endorsed() as f64 / replay_elapsed.max(1e-9),
+        quota_rejected: replay_report.quota_rejected,
+        drains: replay_report.drains,
+        bit_identical,
+        parse_errors: summary.parse_errors,
+        telemetry_ingest_parsed: snapshot.ingest_parsed,
+        telemetry_ingest_parse_errors: snapshot.ingest_parse_errors,
+        telemetry_ingest_quota_rejected: snapshot.ingest_quota_rejected,
     }
 }
 
@@ -3113,6 +3539,49 @@ mod tests {
             assert_eq!(report.allocs_per_req_on, 0.0);
             assert_eq!(report.allocs_per_req_off, 0.0);
         }
+    }
+
+    #[test]
+    fn e17_replay_ingest_is_exact_and_bit_identical() {
+        let result = e17_replay_ingest(4_000, &[1, 4], 1, 6, 3, SEED);
+        assert_eq!(result.parse_records, 4_000);
+        assert!(result.parse_bytes > 0);
+        assert_eq!(result.loader_rows.len(), 2);
+        for row in &result.loader_rows {
+            assert_eq!(row.records, 4_000);
+            assert!(
+                row.exactly_once,
+                "readers={} lost or duplicated",
+                row.readers
+            );
+        }
+        // The chunk partition's critical path shrinks with reader count —
+        // the deterministic speedup bar holds even on a single-core host.
+        let four = &result.loader_rows[1];
+        assert_eq!(four.readers, 4);
+        assert!(
+            four.det_speedup >= 2.0,
+            "4-reader critical path speedup {:.2} < 2",
+            four.det_speedup
+        );
+        // End-to-end: the replayed file drives the gateway to the exact
+        // same response stream as the in-process per-record baseline.
+        assert_eq!(result.serve_records, 36);
+        // The harness provisions sessions only for devices the scenario
+        // actually names, so the count is bounded by (not necessarily
+        // equal to) tenants × devices_per_tenant.
+        assert!(result.serve_sessions > 0 && result.serve_sessions <= 12);
+        assert!(result.bit_identical, "replay diverged from baseline");
+        assert_eq!(result.replay_endorsed, result.baseline_endorsed);
+        assert!(result.replay_endorsed > 0, "honest records must endorse");
+        assert_eq!(result.parse_errors, 0);
+        // Loader accounting surfaced through the telemetry hub.
+        assert_eq!(result.telemetry_ingest_parsed, 36);
+        assert_eq!(result.telemetry_ingest_parse_errors, 0);
+        assert_eq!(
+            result.telemetry_ingest_quota_rejected,
+            result.quota_rejected
+        );
     }
 
     #[test]

@@ -1,0 +1,369 @@
+//! The replay ingest driver: feeds loaded scenario records into the
+//! gateway's batched hot path with bounded in-flight admission.
+//!
+//! This is the third stage of the replay pipeline (generate → load →
+//! ingest). A [`ReplayHarness`] provisions the gateway exactly like the
+//! in-process [`glimmer_workloads::gateway::GatewayTrafficWorkload`]
+//! experiments do — per-tenant enclave pools, attested device sessions,
+//! per-round zero-sum masks — and [`ingest`] drives the records through it:
+//!
+//! * **Bounded in-flight admission**: at most `max_in_flight` requests are
+//!   queued before the driver drains, so replay applies backpressure
+//!   instead of queueing a multi-hundred-MB scenario into memory.
+//! * **Batched per shard**: in [`IngestMode::BatchedPerShard`] each
+//!   submission window is grouped by [`Gateway::session_shard`] and lands
+//!   as one `submit_batch` call per shard — the PR 3 bulk-producer path.
+//! * **Nothing dropped silently**: backpressure is retried after a drain;
+//!   terminal quota rejections are counted (and mirrored into the
+//!   telemetry hub's ingest counters), never ignored.
+//!
+//! At `shards: 1` with the same window/in-flight cadence, the per-record
+//! and batched modes produce **bit-identical responses** — the E17
+//! integration bar.
+
+use glimmer_core::blinding::BlindingService;
+use glimmer_core::host::GlimmerDescriptor;
+use glimmer_core::protocol::{BatchOutcome, Contribution, ContributionPayload, PrivateData};
+use glimmer_core::remote::IotDeviceSession;
+use glimmer_core::signing::ServiceKeyMaterial;
+use glimmer_crypto::drbg::Drbg;
+use glimmer_gateway::{Gateway, GatewayConfig, GatewayError, GatewayResponse, TenantConfig};
+use glimmer_workloads::replay::{payload_samples, replay_tenant_name, ReplayRecord};
+use sgx_sim::AttestationService;
+
+/// A gateway provisioned for a replay scenario: one tenant per scenario
+/// tenant index, one established session per (tenant, device) that appears
+/// in the records, and zero-sum masks installed for every round a device
+/// will reach.
+pub struct ReplayHarness {
+    /// The gateway under test.
+    pub gateway: Gateway,
+    /// `sessions[tenant][device]` → (session id, device-side channel).
+    sessions: Vec<Vec<(u64, IotDeviceSession)>>,
+    /// Per-device round counter: a device's n-th replayed record is its
+    /// round `n` contribution, mirroring how the in-process workloads
+    /// number requests.
+    next_round: Vec<Vec<u64>>,
+    /// Contribution dimension.
+    dimension: usize,
+    /// Scratch for payload expansion — reused so steady-state encryption
+    /// setup does not allocate for samples.
+    samples: Vec<f64>,
+    /// `device_index[tenant][device_id]` → dense session index (records
+    /// may mention sparse device ids; sessions are stored densely).
+    device_index: Vec<std::collections::BTreeMap<u64, usize>>,
+}
+
+/// How [`ingest`] admits each submission window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestMode {
+    /// One `submit` call per record — the baseline the in-process drivers
+    /// use.
+    PerRecord,
+    /// One `submit_batch` call per (window, shard) group — the replay hot
+    /// path.
+    BatchedPerShard,
+}
+
+/// Ingest pacing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestConfig {
+    /// Admission path.
+    pub mode: IngestMode,
+    /// Records submitted per window (a window is the unit grouped by shard
+    /// in batched mode).
+    pub window: usize,
+    /// Most records in flight (submitted, not yet drained) before the
+    /// driver drains the gateway. Keep below the gateway's
+    /// `max_queue_depth` to make backpressure the exception, not the
+    /// steady state.
+    pub max_in_flight: usize,
+}
+
+/// What an ingest run did.
+#[derive(Debug, Clone)]
+pub struct IngestReport {
+    /// Records submitted (accepted by admission).
+    pub submitted: u64,
+    /// Records terminally rejected by quota/admission (after the one
+    /// backpressure retry). Counted, never silently dropped.
+    pub quota_rejected: u64,
+    /// Drain sweeps the pacing performed.
+    pub drains: u64,
+    /// Every response the gateway produced, in drain order.
+    pub responses: Vec<GatewayResponse>,
+}
+
+impl IngestReport {
+    /// Responses that carry an endorsement.
+    #[must_use]
+    pub fn endorsed(&self) -> usize {
+        self.responses
+            .iter()
+            .filter(|r| matches!(r.outcome, BatchOutcome::Reply { endorsed: true, .. }))
+            .count()
+    }
+
+    /// The responses as comparable values: `(session_id, tenant, outcome)`
+    /// in drain order. Two runs are **bit-identical** iff these are equal —
+    /// the outcome includes the full encrypted response ciphertext.
+    #[must_use]
+    pub fn response_keys(&self) -> Vec<(u64, String, BatchOutcome)> {
+        self.responses
+            .iter()
+            .map(|r| (r.session_id, r.tenant.to_string(), r.outcome.clone()))
+            .collect()
+    }
+}
+
+impl ReplayHarness {
+    /// Provisions a gateway for `records`: tenants `0..tenants`, a session
+    /// for every (tenant, device) the records mention, and masks for
+    /// rounds `0..per-device record count`. Deterministic from `seed` —
+    /// two harnesses built from the same arguments serve identical
+    /// ciphertexts to identical enclaves.
+    ///
+    /// # Panics
+    /// Panics if provisioning fails (these are experiment harnesses: a
+    /// provisioning failure is a bug, not an operational condition).
+    #[must_use]
+    pub fn build(
+        records: &[ReplayRecord],
+        tenants: u32,
+        shards: usize,
+        slots_per_tenant: usize,
+        dimension: usize,
+        max_queue_depth: usize,
+        seed: [u8; 32],
+    ) -> ReplayHarness {
+        // Per-(tenant, device) record counts decide which sessions exist
+        // and how many mask rounds each tenant needs.
+        let tenants = tenants.max(1) as usize;
+        let mut device_counts: Vec<std::collections::BTreeMap<u64, u64>> =
+            vec![std::collections::BTreeMap::new(); tenants];
+        for record in records {
+            assert!(
+                (record.tenant as usize) < tenants,
+                "record tenant {} out of range (harness built for {tenants})",
+                record.tenant
+            );
+            *device_counts[record.tenant as usize]
+                .entry(record.device)
+                .or_insert(0) += 1;
+        }
+
+        let mut rng = Drbg::from_material(&[&seed[..], b"replay-harness"].concat());
+        let mut avs = AttestationService::new([91u8; 32]);
+        let mut tenant_configs = Vec::with_capacity(tenants);
+        for t in 0..tenants {
+            let material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+            tenant_configs.push(TenantConfig::new(
+                replay_tenant_name(t as u32),
+                GlimmerDescriptor::iot_default(Vec::new()),
+                material.secret_bytes(),
+            ));
+        }
+        let gateway = Gateway::new(
+            GatewayConfig {
+                slots_per_tenant,
+                shards,
+                max_batch: 256,
+                max_queue_depth,
+                ..GatewayConfig::default()
+            },
+            tenant_configs,
+            &mut avs,
+            &mut rng,
+        )
+        .unwrap();
+
+        let mut sessions = Vec::with_capacity(tenants);
+        let mut next_round = Vec::with_capacity(tenants);
+        for (t, counts) in device_counts.iter().enumerate() {
+            let name = replay_tenant_name(t as u32);
+            let approved = gateway.measurement(&name).unwrap();
+            let client_ids: Vec<u64> = counts.keys().copied().collect();
+            let rounds = counts.values().copied().max().unwrap_or(0);
+            let blinding = BlindingService::new([92u8; 32]);
+            let mask_rounds: Vec<_> = (0..rounds)
+                .map(|round| blinding.zero_sum_masks(round, &client_ids, dimension))
+                .collect();
+            let mut tenant_sessions = Vec::with_capacity(client_ids.len());
+            for (i, _client_id) in client_ids.iter().enumerate() {
+                let (sid, offer) = gateway.open_session(&name).unwrap();
+                let (accept, session) =
+                    IotDeviceSession::connect(&offer, &avs, &approved, &mut rng).unwrap();
+                gateway.complete_session(sid, &accept).unwrap();
+                for round in &mask_rounds {
+                    gateway.install_mask(sid, &round[i]).unwrap();
+                }
+                tenant_sessions.push((sid, session));
+            }
+            // Device ids are sparse in the records but sessions are dense:
+            // map device id → dense index via the sorted key order.
+            sessions.push(tenant_sessions);
+            next_round.push(vec![0u64; client_ids.len()]);
+        }
+
+        // Dense index lookup: rebuild the sorted id lists once.
+        let device_index: Vec<std::collections::BTreeMap<u64, usize>> = device_counts
+            .iter()
+            .map(|counts| counts.keys().enumerate().map(|(i, &id)| (id, i)).collect())
+            .collect();
+
+        ReplayHarness {
+            gateway,
+            sessions,
+            next_round,
+            dimension,
+            samples: Vec::new(),
+            device_index,
+        }
+    }
+
+    /// Encrypts `record` as its device's next-round contribution, returning
+    /// the `(session_id, ciphertext)` pair the submit paths take.
+    pub fn encrypt_record(&mut self, record: &ReplayRecord) -> (u64, Vec<u8>) {
+        let t = record.tenant as usize;
+        let d = self.device_index[t][&record.device];
+        let round = self.next_round[t][d];
+        self.next_round[t][d] += 1;
+        payload_samples(record.seed, self.dimension, &mut self.samples);
+        let (sid, session) = &mut self.sessions[t][d];
+        let contribution = Contribution {
+            app_id: replay_tenant_name(record.tenant),
+            client_id: record.device,
+            round,
+            payload: ContributionPayload::IotReadings {
+                samples: self.samples.clone(),
+            },
+        };
+        (
+            *sid,
+            session.encrypt_request(contribution, PrivateData::None),
+        )
+    }
+
+    /// Total sessions the harness established.
+    #[must_use]
+    pub fn session_count(&self) -> usize {
+        self.sessions.iter().map(Vec::len).sum()
+    }
+}
+
+/// Replays `records` through the harness's gateway under `config`'s pacing,
+/// draining whenever the next window would exceed `max_in_flight` and once
+/// more at the end so every response is collected.
+///
+/// Backpressure is handled by draining and retrying the rejected
+/// submission once; a second rejection, or any quota error, is terminal for
+/// those records — counted in the report and in the telemetry hub's
+/// `glimmer_ingest_records_total{outcome=quota_rejected}` counter. Other
+/// gateway errors abort the replay.
+pub fn ingest(
+    harness: &mut ReplayHarness,
+    records: &[ReplayRecord],
+    config: &IngestConfig,
+) -> Result<IngestReport, GatewayError> {
+    let telemetry = harness.gateway.telemetry_handle();
+    let window = config.window.max(1);
+    let mut report = IngestReport {
+        submitted: 0,
+        quota_rejected: 0,
+        drains: 0,
+        responses: Vec::new(),
+    };
+    let mut in_flight = 0usize;
+    // Reused per window; grouping buffers live across windows too so
+    // steady-state ingest reuses their capacity.
+    let mut encrypted: Vec<(u64, Vec<u8>)> = Vec::with_capacity(window);
+    let mut shard_groups: Vec<Vec<(u64, Vec<u8>)>> = (0..harness.gateway.shard_count())
+        .map(|_| Vec::new())
+        .collect();
+
+    for chunk in records.chunks(window) {
+        if in_flight + chunk.len() > config.max_in_flight {
+            report.responses.extend(harness.gateway.drain_all()?);
+            report.drains += 1;
+            in_flight = 0;
+        }
+        encrypted.clear();
+        for record in chunk {
+            encrypted.push(harness.encrypt_record(record));
+        }
+        match config.mode {
+            IngestMode::PerRecord => {
+                for (sid, ciphertext) in encrypted.drain(..) {
+                    // `submit` consumes its ciphertext even on rejection,
+                    // so the retry needs a pre-paid clone.
+                    let retry = ciphertext.clone();
+                    match harness.gateway.submit(sid, ciphertext) {
+                        Ok(()) => in_flight += 1,
+                        Err(GatewayError::Backpressure { .. }) => {
+                            report.responses.extend(harness.gateway.drain_all()?);
+                            report.drains += 1;
+                            in_flight = 0;
+                            match harness.gateway.submit(sid, retry) {
+                                Ok(()) => in_flight += 1,
+                                Err(err) => reject(&mut report, &telemetry, 1, err)?,
+                            }
+                        }
+                        Err(err) => reject(&mut report, &telemetry, 1, err)?,
+                    }
+                }
+            }
+            IngestMode::BatchedPerShard => {
+                for group in &mut shard_groups {
+                    group.clear();
+                }
+                for (sid, ciphertext) in encrypted.drain(..) {
+                    let shard = harness.gateway.session_shard(sid)?;
+                    shard_groups[shard].push((sid, ciphertext));
+                }
+                for group in &mut shard_groups {
+                    if group.is_empty() {
+                        continue;
+                    }
+                    let n = group.len();
+                    let retry = group.clone();
+                    match harness.gateway.submit_batch(std::mem::take(group)) {
+                        Ok(()) => in_flight += n,
+                        Err(GatewayError::Backpressure { .. }) => {
+                            report.responses.extend(harness.gateway.drain_all()?);
+                            report.drains += 1;
+                            in_flight = 0;
+                            match harness.gateway.submit_batch(retry) {
+                                Ok(()) => in_flight += n,
+                                Err(err) => reject(&mut report, &telemetry, n as u64, err)?,
+                            }
+                        }
+                        Err(err) => reject(&mut report, &telemetry, n as u64, err)?,
+                    }
+                }
+            }
+        }
+    }
+    report.responses.extend(harness.gateway.drain_all()?);
+    report.drains += 1;
+    report.submitted = records.len() as u64 - report.quota_rejected;
+    Ok(report)
+}
+
+/// Terminal-rejection bookkeeping: quota/admission errors are counted (in
+/// the report and the telemetry ingest counters); anything else aborts the
+/// replay.
+fn reject(
+    report: &mut IngestReport,
+    telemetry: &std::sync::Arc<glimmer_gateway::Telemetry>,
+    n: u64,
+    err: GatewayError,
+) -> Result<(), GatewayError> {
+    match err {
+        GatewayError::QuotaExceeded { .. } | GatewayError::Backpressure { .. } => {
+            report.quota_rejected += n;
+            telemetry.record_ingest_quota_rejected(n);
+            Ok(())
+        }
+        other => Err(other),
+    }
+}

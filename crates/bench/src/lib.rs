@@ -11,7 +11,9 @@
 //! bit-identical to the blocking driver), and E16 (the telemetry layer:
 //! serving overhead with observability on vs off, allocation-free
 //! recording, deterministic sampled traces, round-tripping exposition
-//! formats) — and implements each one as a
+//! formats), and E17 (million-device replay ingest: a chunked parallel
+//! scenario loader feeding the batched hot path, bit-identical to the
+//! in-process driver) — and implements each one as a
 //! reusable function plus a binary that prints the corresponding table.
 //! The Criterion benches under `benches/` cover the micro-benchmarks
 //! (crypto, enclave transitions, blinding, validation, end-to-end
@@ -24,5 +26,9 @@
 
 pub mod alloc_track;
 pub mod experiments;
+pub mod ingest;
+pub mod report;
 
 pub use experiments::*;
+pub use ingest::{ingest, IngestConfig, IngestMode, IngestReport, ReplayHarness};
+pub use report::BenchReport;

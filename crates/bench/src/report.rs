@@ -1,0 +1,113 @@
+//! Shared machine-readable bench summaries (`BENCH_eNN.json`).
+//!
+//! Every experiment bin writes a flat JSON object next to the working
+//! directory so the perf trajectory stays trackable across changes. The
+//! workspace deliberately has no serialization dependency, so this is a
+//! tiny hand-rolled writer — extracted here (instead of each bin
+//! hand-formatting its own `format!` block, as E16 originally did) so the
+//! artifacts stay schema-consistent: insertion-ordered keys, two-space
+//! indent, fixed decimal precision chosen per field, `null` for non-finite
+//! floats.
+
+use std::fmt::Write as _;
+
+/// An insertion-ordered flat JSON object and the experiment it describes.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    experiment: String,
+    fields: Vec<(String, String)>,
+}
+
+impl BenchReport {
+    /// Starts a report for `experiment`; the name becomes the leading
+    /// `"experiment"` key.
+    #[must_use]
+    pub fn new(experiment: &str) -> BenchReport {
+        BenchReport {
+            experiment: experiment.to_string(),
+            fields: Vec::new(),
+        }
+    }
+
+    fn push_raw(&mut self, key: &str, rendered: String) {
+        self.fields.push((key.to_string(), rendered));
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn push_u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.push_raw(key, value.to_string());
+        self
+    }
+
+    /// Adds a float field rendered with `decimals` fractional digits;
+    /// non-finite values become `null` (JSON has no NaN/Inf).
+    pub fn push_f64(&mut self, key: &str, value: f64, decimals: usize) -> &mut Self {
+        let rendered = if value.is_finite() {
+            format!("{value:.decimals$}")
+        } else {
+            "null".to_string()
+        };
+        self.push_raw(key, rendered);
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn push_bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.push_raw(key, value.to_string());
+        self
+    }
+
+    /// Adds a string field (keys and values are expected to be plain
+    /// identifiers/labels; quotes and backslashes are escaped defensively).
+    pub fn push_str(&mut self, key: &str, value: &str) -> &mut Self {
+        let escaped = value.replace('\\', "\\\\").replace('"', "\\\"");
+        self.push_raw(key, format!("\"{escaped}\""));
+        self
+    }
+
+    /// Renders the report as a two-space-indented JSON object, keys in
+    /// insertion order, `"experiment"` first, trailing newline included.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = write!(out, "  \"experiment\": \"{}\"", self.experiment);
+        for (key, value) in &self.fields {
+            let _ = write!(out, ",\n  \"{key}\": {value}");
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Writes the rendered report to `path`, printing the same
+    /// wrote/could-not-write line the experiment bins have always printed.
+    pub fn write(&self, path: &str) {
+        match std::fs::write(path, self.render()) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_ordered_flat_json() {
+        let mut report = BenchReport::new("e99_example");
+        report
+            .push_u64("requests", 256)
+            .push_f64("serve_ms", 12.3456, 3)
+            .push_f64("bad", f64::NAN, 2)
+            .push_bool("ok", true)
+            .push_str("mode", "smoke \"quoted\"");
+        let rendered = report.render();
+        assert_eq!(
+            rendered,
+            "{\n  \"experiment\": \"e99_example\",\n  \"requests\": 256,\n  \
+             \"serve_ms\": 12.346,\n  \"bad\": null,\n  \"ok\": true,\n  \
+             \"mode\": \"smoke \\\"quoted\\\"\"\n}\n"
+        );
+    }
+}

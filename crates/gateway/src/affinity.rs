@@ -1,0 +1,143 @@
+//! Portable thread-to-core affinity shim for the shard workers.
+//!
+//! The shard-per-core runtime's premise is that each worker owns a core,
+//! but without pinning the OS scheduler is free to migrate workers across
+//! cores mid-drain, which shows up as run-to-run variance in the E12
+//! critical-path numbers. [`pin_to_core`] asks the kernel to keep the
+//! calling thread on one CPU, behind `GatewayConfig::pin_cores`.
+//!
+//! The workspace takes no external dependencies, so on Linux this is the
+//! raw `sched_setaffinity(2)` syscall (no libc): pid `0` means "the calling
+//! thread" for this syscall, and the mask is a plain bit-per-CPU array. On
+//! every other target the shim compiles to a no-op that reports failure, so
+//! `pin_cores` degrades gracefully rather than gating compilation.
+
+/// True when this build can actually pin threads (Linux only).
+#[must_use]
+pub fn pinning_supported() -> bool {
+    cfg!(target_os = "linux")
+}
+
+/// Pins the calling thread to `core` (a zero-based CPU index). Returns
+/// `true` when the kernel accepted the mask; `false` when pinning is
+/// unsupported on this target, the core index is out of range for the
+/// mask, or the kernel rejected it (e.g. the core is outside the
+/// process's cpuset).
+#[must_use]
+pub fn pin_to_core(core: usize) -> bool {
+    imp::pin_to_core(core)
+}
+
+#[cfg(target_os = "linux")]
+/// The one `unsafe` corner of pinning: a raw `sched_setaffinity` syscall.
+///
+/// Invariants keeping this sound:
+/// * The syscall only *reads* the mask buffer; the kernel never writes
+///   through the pointer, so passing a pointer + length to a live local
+///   array is the entire contract.
+/// * pid `0` addresses the calling thread — no foreign thread or process
+///   is touched.
+/// * The inline asm clobbers are exactly the Linux syscall ABI's
+///   (`rcx`/`r11` on x86_64; `x8` plus the argument registers on
+///   aarch64), and no Rust state is live across the instruction beyond
+///   the declared operands.
+#[allow(unsafe_code)]
+mod imp {
+    /// Bit-per-CPU affinity mask: 16 × 64 = 1024 CPUs, the kernel's
+    /// conventional `CPU_SETSIZE`.
+    const MASK_WORDS: usize = 16;
+
+    pub(super) fn pin_to_core(core: usize) -> bool {
+        if core >= MASK_WORDS * 64 {
+            return false;
+        }
+        let mut mask = [0u64; MASK_WORDS];
+        mask[core / 64] = 1u64 << (core % 64);
+        sched_setaffinity_self(&mask) == 0
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn sched_setaffinity_self(mask: &[u64; MASK_WORDS]) -> i64 {
+        const SYS_SCHED_SETAFFINITY: i64 = 203;
+        let ret: i64;
+        // SAFETY: see module docs — read-only buffer, calling thread only,
+        // standard x86_64 syscall clobbers.
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inlateout("rax") SYS_SCHED_SETAFFINITY => ret,
+                in("rdi") 0usize,
+                in("rsi") core::mem::size_of_val(mask),
+                in("rdx") mask.as_ptr(),
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    fn sched_setaffinity_self(mask: &[u64; MASK_WORDS]) -> i64 {
+        const SYS_SCHED_SETAFFINITY: i64 = 122;
+        let ret: i64;
+        // SAFETY: see module docs — read-only buffer, calling thread only,
+        // standard aarch64 syscall convention (number in x8, `svc 0`).
+        unsafe {
+            core::arch::asm!(
+                "svc 0",
+                in("x8") SYS_SCHED_SETAFFINITY,
+                inlateout("x0") 0i64 => ret,
+                in("x1") core::mem::size_of_val(mask),
+                in("x2") mask.as_ptr(),
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    fn sched_setaffinity_self(_mask: &[u64; MASK_WORDS]) -> i64 {
+        // Linux on an architecture we have no syscall stub for: report
+        // failure rather than guessing at the ABI.
+        -1
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    pub(super) fn pin_to_core(_core: usize) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinning_reports_honestly() {
+        if pinning_supported() {
+            // Core 0 always exists; the only legitimate failure is a
+            // cpuset that excludes it, in which case `false` is the
+            // honest answer — so just exercise the call.
+            let _ = pin_to_core(0);
+        } else {
+            assert!(!pin_to_core(0));
+        }
+        // An out-of-range core index is always rejected.
+        assert!(!pin_to_core(1024 * 1024));
+    }
+
+    #[test]
+    fn pinning_to_core_zero_succeeds_on_linux() {
+        if cfg!(target_os = "linux") {
+            // Run on a scratch thread so the test runner's thread keeps its
+            // full affinity mask.
+            let pinned = std::thread::spawn(|| pin_to_core(0))
+                .join()
+                .expect("pin thread");
+            assert!(pinned, "sched_setaffinity to core 0 failed");
+        }
+    }
+}

@@ -92,6 +92,15 @@ pub struct GatewayConfig {
     /// reproduces the historical round-robin-by-session placement, which is
     /// what keeps the E11/E12 cycle metrics stable.
     pub placement_session_weight: usize,
+    /// Pin each shard worker thread to a CPU core (`shard_id` modulo the
+    /// detected core count) via [`crate::affinity::pin_to_core`]. Off by
+    /// default: pinning trades scheduler freedom for lower run-to-run
+    /// variance in drain latency, which only pays when the host actually
+    /// dedicates cores to the gateway. A no-op (every worker keeps the
+    /// default mask) on non-Linux targets or when the kernel rejects the
+    /// mask; [`crate::gateway::Gateway::pinned_workers`] reports how many
+    /// workers the kernel accepted.
+    pub pin_cores: bool,
     /// Platform parameters for every pool slot.
     pub platform_config: PlatformConfig,
     /// Observability knobs: metrics, trace sampling, and the rejection
@@ -110,6 +119,7 @@ impl Default for GatewayConfig {
             max_batch: 256,
             max_queue_depth: 1024,
             placement_session_weight: 4,
+            pin_cores: false,
             platform_config: PlatformConfig::default(),
             telemetry: TelemetryConfig::default(),
         }
@@ -131,6 +141,9 @@ mod tests {
         // Weight >= 1 keeps idle-queue placement identical to the
         // pre-placement-policy round-robin-by-session behaviour.
         assert!(config.placement_session_weight >= 1);
+        // Core pinning is opt-in: default serving must not fight the
+        // scheduler on shared hosts.
+        assert!(!config.pin_cores);
         // Telemetry ships on, with sampled (not exhaustive) tracing.
         assert!(config.telemetry.enabled);
         assert!(config.telemetry.trace_sample_interval > 1);

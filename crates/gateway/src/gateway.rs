@@ -442,7 +442,13 @@ impl Gateway {
             submit_commands: AtomicU64::new(submit_commands),
             checkpoint_epoch: AtomicU64::new(checkpoint_epoch),
             barrier: AtomicU8::new(crate::runtime::BARRIER_IDLE),
+            pinned_workers: AtomicUsize::new(0),
         });
+
+        // Shard-to-core assignment for `pin_cores`: round-robin over the
+        // detected core count, so surplus shards share cores instead of
+        // failing to pin.
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
 
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
@@ -455,9 +461,21 @@ impl Gateway {
                 rx,
                 scratch: Default::default(),
             };
+            let pin_core = worker.shared.config.pin_cores.then_some(shard_id % cores);
+            let pin_shared = Arc::clone(&shared);
             let handle = std::thread::Builder::new()
                 .name(format!("gateway-shard-{shard_id}"))
-                .spawn(move || worker.run())
+                .spawn(move || {
+                    // Pin before the first receive so any synchronous
+                    // command round-trip observes the final pinned count.
+                    if let Some(core) = pin_core {
+                        if crate::affinity::pin_to_core(core) {
+                            pin_shared.pinned_workers.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                    drop(pin_shared);
+                    worker.run()
+                })
                 .map_err(|_| GatewayError::RuntimeUnavailable)?;
             senders.push(tx);
             workers.push(handle);
@@ -474,6 +492,16 @@ impl Gateway {
     #[must_use]
     pub fn shard_count(&self) -> usize {
         self.senders.len()
+    }
+
+    /// Workers the kernel accepted a `pin_cores` affinity mask for: `0`
+    /// when `GatewayConfig::pin_cores` is off or pinning is unsupported,
+    /// up to [`Gateway::shard_count`] otherwise. Workers pin before their
+    /// first command receive, so the count is final once any synchronous
+    /// call (e.g. [`Gateway::stats`]) has round-tripped the shards.
+    #[must_use]
+    pub fn pinned_workers(&self) -> usize {
+        self.shared.pinned_workers.load(Ordering::SeqCst)
     }
 
     /// The enrolled tenant names, in deterministic order.
@@ -1011,6 +1039,15 @@ impl Gateway {
     /// mask deliveries under the right slot's channel key.
     pub fn session_slot(&self, session_id: u64) -> Result<usize> {
         Ok(self.session_entry(session_id)?.slot)
+    }
+
+    /// The shard worker that owns a session's slot. Batch producers (the
+    /// replay ingest driver) group a submission window by this key so each
+    /// [`Gateway::submit_batch`] call lands on one shard — one
+    /// `SubmitMany` command instead of a cross-shard scatter.
+    pub fn session_shard(&self, session_id: u64) -> Result<usize> {
+        let entry = self.session_entry(session_id)?;
+        Ok(self.shared.tenants[entry.tenant_idx].slots[entry.slot].shard)
     }
 
     /// Number of pool slots serving `tenant`.

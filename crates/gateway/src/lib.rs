@@ -60,11 +60,13 @@
 //! public one-bit endorsed/failed outcome it needs for quota accounting.
 
 // `deny`, not `forbid`: the async front-end's hand-rolled `RawWaker` vtable
-// ([`frontend::executor`]) is necessarily `unsafe` and carries a scoped
-// `allow` with its invariants documented; everything else stays safe.
+// ([`frontend::executor`]) and the raw `sched_setaffinity` syscall behind
+// core pinning ([`affinity`]) are necessarily `unsafe` and carry scoped
+// `allow`s with their invariants documented; everything else stays safe.
 #![deny(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod affinity;
 pub mod checkpoint;
 pub mod clock;
 pub mod config;
@@ -77,6 +79,7 @@ pub mod session;
 pub mod stats;
 pub mod telemetry;
 
+pub use affinity::{pin_to_core, pinning_supported};
 pub use checkpoint::{
     CrashAt, CrashHooks, CrashPoint, GatewaySnapshot, NoCrash, SessionRecord, SlotSnapshot,
     TenantSnapshot, GATEWAY_SNAPSHOT_KIND,

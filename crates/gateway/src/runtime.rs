@@ -167,6 +167,10 @@ pub(crate) struct Shared {
     /// the routing side, per-shard histogram registries written only by the
     /// owning worker, the sampled trace ring, and the rejection journal.
     pub(crate) telemetry: Arc<Telemetry>,
+    /// Workers the kernel accepted a `pin_cores` affinity mask for. Each
+    /// worker pins (or fails to) before its first command receive, so any
+    /// synchronous round-trip through a shard observes the final count.
+    pub(crate) pinned_workers: AtomicUsize,
 }
 
 /// [`Shared::barrier`] value when no whole-gateway operation is running.

@@ -40,16 +40,20 @@ struct Setup {
 }
 
 fn setup(shards: usize, slots_per_tenant: usize) -> Setup {
+    setup_with(GatewayConfig {
+        slots_per_tenant,
+        shards,
+        ..GatewayConfig::default()
+    })
+}
+
+fn setup_with(config: GatewayConfig) -> Setup {
     let mut rng = Drbg::from_seed([80u8; 32]);
     let mut avs = AttestationService::new([81u8; 32]);
     let iot_material = ServiceKeyMaterial::generate(&mut rng).unwrap();
     let kb_material = ServiceKeyMaterial::generate(&mut rng).unwrap();
     let gateway = Gateway::new(
-        GatewayConfig {
-            slots_per_tenant,
-            shards,
-            ..GatewayConfig::default()
-        },
+        config,
         vec![
             TenantConfig::new(
                 IOT,
@@ -685,6 +689,68 @@ fn sharding_changes_who_computes_not_what() {
     assert_eq!(serial_outcomes, sharded_outcomes);
     assert_eq!(serial_cycles, sharded_cycles);
     assert!(serial_cycles > 0);
+}
+
+#[test]
+fn core_pinning_is_opt_in_honestly_reported_and_serving_neutral() {
+    const ROUNDS: usize = 2;
+    let run = |pin_cores: bool| {
+        let mut s = setup_with(GatewayConfig {
+            slots_per_tenant: 2,
+            shards: 2,
+            pin_cores,
+            ..GatewayConfig::default()
+        });
+        let mut devices = connect_devices(&mut s, 3, ROUNDS);
+        for round in 0..ROUNDS {
+            for device in &mut devices {
+                let request = device.session.encrypt_request(
+                    contribution(device.tenant, device.client_id, round as u64),
+                    PrivateData::None,
+                );
+                s.gateway.submit(device.session_id, request).unwrap();
+            }
+        }
+        let mut outcomes: Vec<(u64, String, bool)> = s
+            .gateway
+            .drain_all()
+            .unwrap()
+            .into_iter()
+            .map(|r| {
+                let endorsed = matches!(r.outcome, BatchOutcome::Reply { endorsed: true, .. });
+                (r.session_id, r.tenant.to_string(), endorsed)
+            })
+            .collect();
+        outcomes.sort();
+        // `stats` round-trips every shard, so each worker is past its
+        // pre-receive pinning attempt and the count is final.
+        let cycles = s.gateway.stats().total_drain_cycles();
+        (outcomes, cycles, s.gateway.pinned_workers())
+    };
+
+    let (unpinned_outcomes, unpinned_cycles, unpinned_count) = run(false);
+    // Off by default means exactly zero affinity calls succeed.
+    assert_eq!(unpinned_count, 0);
+
+    let (pinned_outcomes, pinned_cycles, pinned_count) = run(true);
+    assert!(pinned_count <= 2);
+    if glimmer_gateway::pinning_supported() {
+        // A scratch-thread probe tells us whether this host's cpuset allows
+        // pinning at all; if it does, every worker must have pinned (all
+        // target cores exist: shard_id modulo the detected core count).
+        let probe = std::thread::spawn(|| glimmer_gateway::pin_to_core(0))
+            .join()
+            .unwrap();
+        if probe {
+            assert_eq!(pinned_count, 2, "pinning supported but workers not pinned");
+        }
+    } else {
+        assert_eq!(pinned_count, 0);
+    }
+
+    // Pinning relocates work, it must never change it.
+    assert_eq!(unpinned_outcomes, pinned_outcomes);
+    assert_eq!(unpinned_cycles, pinned_cycles);
 }
 
 #[test]

@@ -1,0 +1,206 @@
+//! Replay ingest end-to-end: generate a scenario file, load it with
+//! parallel chunk readers, and feed the records through a sharded gateway
+//! on the batched admission path with bounded in-flight backpressure.
+//!
+//! This is the E17 pipeline at demo scale: the same loader and driver
+//! idioms, small enough to read in one sitting. Run with
+//! `cargo run --example replay_ingest`.
+
+use std::collections::BTreeMap;
+
+use glimmers::core::blinding::BlindingService;
+use glimmers::core::host::GlimmerDescriptor;
+use glimmers::core::protocol::{BatchOutcome, Contribution, ContributionPayload, PrivateData};
+use glimmers::core::remote::IotDeviceSession;
+use glimmers::core::signing::ServiceKeyMaterial;
+use glimmers::crypto::drbg::Drbg;
+use glimmers::gateway::{Gateway, GatewayConfig, GatewayError, TenantConfig};
+use glimmers::sgx_sim::AttestationService;
+use glimmers::workloads::replay::{
+    generate_scenario_file, load_chunks, payload_samples, replay_tenant_name, FileSource,
+    ReplayRecord, ScenarioMix, ScenarioSpec, CHUNK_EXCESS,
+};
+
+const DIMENSION: usize = 8;
+const READERS: usize = 4;
+
+fn main() {
+    // ---- 1. Generate: a compact line-format scenario on disk. ----
+    let spec = ScenarioSpec {
+        tenants: 2,
+        devices_per_tenant: 8,
+        records: 64,
+        mix: ScenarioMix::AbuseBurst {
+            abusive_fraction: 0.25,
+            period: 16,
+            burst_len: 4,
+        },
+        seed: 7,
+    };
+    let path = std::env::temp_dir().join(format!(
+        "glimmer-example-replay-{}.scenario",
+        std::process::id()
+    ));
+    let info = generate_scenario_file(&path, &spec).expect("write scenario");
+    println!(
+        "generated {} records ({} bytes) at {}",
+        info.records,
+        info.bytes,
+        path.display()
+    );
+
+    // ---- 2. Load: parallel chunk readers, every record exactly once. ----
+    let source = FileSource::open(&path).expect("open scenario");
+    let loads = load_chunks(&source, READERS, CHUNK_EXCESS).expect("load scenario");
+    drop(source);
+    let _ = std::fs::remove_file(&path);
+    let records: Vec<ReplayRecord> = loads
+        .iter()
+        .flat_map(|l| l.records.iter().copied())
+        .collect();
+    let parse_errors: u64 = loads.iter().map(|l| l.summary.parse_errors).sum();
+    println!(
+        "loaded {} records with {} readers ({} chunks, busiest owns {}), {} parse errors",
+        records.len(),
+        READERS,
+        loads.len(),
+        loads.iter().map(|l| l.summary.records).max().unwrap_or(0),
+        parse_errors
+    );
+
+    // ---- 3. Provision: a gateway tenant per scenario tenant, a session
+    // per device the scenario actually names, masks per round. ----
+    let mut rng = Drbg::from_seed([77u8; 32]);
+    let mut avs = AttestationService::new([78u8; 32]);
+    let mut rounds_per_device: Vec<BTreeMap<u64, u64>> = vec![BTreeMap::new(); 2];
+    for r in &records {
+        *rounds_per_device[r.tenant as usize]
+            .entry(r.device)
+            .or_insert(0) += 1;
+    }
+    let tenants: Vec<TenantConfig> = (0..spec.tenants)
+        .map(|t| {
+            let material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+            TenantConfig::new(
+                replay_tenant_name(t),
+                GlimmerDescriptor::iot_default(Vec::new()),
+                material.secret_bytes(),
+            )
+        })
+        .collect();
+    let gateway = Gateway::new(
+        GatewayConfig {
+            slots_per_tenant: 2,
+            shards: 2,
+            max_batch: 64,
+            ..GatewayConfig::default()
+        },
+        tenants,
+        &mut avs,
+        &mut rng,
+    )
+    .expect("gateway start-up");
+    let telemetry = gateway.telemetry_handle();
+    telemetry.record_ingest_parsed(records.len() as u64);
+    telemetry.record_ingest_parse_errors(parse_errors);
+
+    // session + device round-counter per (tenant, device id).
+    let mut sessions: Vec<BTreeMap<u64, (u64, IotDeviceSession, u64)>> =
+        (0..2).map(|_| BTreeMap::new()).collect();
+    for t in 0..spec.tenants {
+        let name = replay_tenant_name(t);
+        let approved = gateway.measurement(&name).unwrap();
+        let device_ids: Vec<u64> = rounds_per_device[t as usize].keys().copied().collect();
+        if device_ids.is_empty() {
+            continue;
+        }
+        let max_rounds = *rounds_per_device[t as usize].values().max().unwrap();
+        let blinding = BlindingService::new([80 + t as u8; 32]);
+        let mask_rounds: Vec<_> = (0..max_rounds)
+            .map(|round| blinding.zero_sum_masks(round, &device_ids, DIMENSION))
+            .collect();
+        for (i, device_id) in device_ids.iter().enumerate() {
+            let (sid, offer) = gateway.open_session(&name).unwrap();
+            let (accept, session) =
+                IotDeviceSession::connect(&offer, &avs, &approved, &mut rng).unwrap();
+            gateway.complete_session(sid, &accept).unwrap();
+            for round in &mask_rounds {
+                gateway.install_mask(sid, &round[i]).unwrap();
+            }
+            sessions[t as usize].insert(*device_id, (sid, session, 0));
+        }
+    }
+    println!(
+        "provisioned {} sessions across {} tenants on {} shards",
+        sessions.iter().map(BTreeMap::len).sum::<usize>(),
+        spec.tenants,
+        gateway.shard_count()
+    );
+
+    // ---- 4. Ingest: windows grouped per shard, bounded in-flight. ----
+    let window = 16usize;
+    let max_in_flight = 32usize;
+    let mut samples = Vec::new();
+    let mut shard_groups: Vec<Vec<(u64, Vec<u8>)>> = vec![Vec::new(); gateway.shard_count()];
+    let mut in_flight = 0usize;
+    let mut responses = Vec::new();
+    let mut quota_rejected = 0u64;
+    for chunk in records.chunks(window) {
+        if in_flight + chunk.len() > max_in_flight {
+            responses.extend(gateway.drain_all().unwrap());
+            in_flight = 0;
+        }
+        for record in chunk {
+            let (sid, session, next_round) = sessions[record.tenant as usize]
+                .get_mut(&record.device)
+                .expect("session provisioned");
+            payload_samples(record.seed, DIMENSION, &mut samples);
+            let contribution = Contribution {
+                app_id: replay_tenant_name(record.tenant),
+                client_id: record.device,
+                round: *next_round,
+                payload: ContributionPayload::IotReadings {
+                    samples: samples.clone(),
+                },
+            };
+            *next_round += 1;
+            let ciphertext = session.encrypt_request(contribution, PrivateData::None);
+            let shard = gateway.session_shard(*sid).unwrap();
+            shard_groups[shard].push((*sid, ciphertext));
+        }
+        for group in &mut shard_groups {
+            if group.is_empty() {
+                continue;
+            }
+            let count = group.len();
+            match gateway.submit_batch(std::mem::take(group)) {
+                Ok(()) => in_flight += count,
+                // Quota rejections are counted, never silently dropped.
+                Err(GatewayError::QuotaExceeded { .. } | GatewayError::Backpressure { .. }) => {
+                    quota_rejected += count as u64;
+                    telemetry.record_ingest_quota_rejected(count as u64);
+                }
+                Err(e) => panic!("ingest failed: {e}"),
+            }
+        }
+    }
+    responses.extend(gateway.drain_all().unwrap());
+
+    // ---- 5. Report: outcomes plus the telemetry ingest counters. ----
+    let endorsed = responses
+        .iter()
+        .filter(|r| matches!(r.outcome, BatchOutcome::Reply { endorsed: true, .. }))
+        .count();
+    println!(
+        "replayed {} records: {} endorsed, {} rejected-or-failed, {} quota-rejected",
+        records.len(),
+        endorsed,
+        responses.len() - endorsed,
+        quota_rejected
+    );
+    let snapshot = gateway.telemetry();
+    println!(
+        "telemetry ingest counters: parsed={} parse_errors={} quota_rejected={}",
+        snapshot.ingest_parsed, snapshot.ingest_parse_errors, snapshot.ingest_quota_rejected
+    );
+}
