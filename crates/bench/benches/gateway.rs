@@ -21,7 +21,7 @@
 //! deterministic counterpart).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use glimmer_bench::{ingest, IngestConfig, IngestMode, ReplayHarness};
+use glimmer_bench::{ingest, IngestConfig, IngestMode, Pacing, ReplayHarness};
 use glimmer_core::blinding::BlindingService;
 use glimmer_core::host::GlimmerDescriptor;
 use glimmer_core::protocol::{BatchOutcome, Contribution, ContributionPayload, PrivateData};
@@ -475,7 +475,8 @@ fn bench_async_frontend(c: &mut Criterion) {
 /// paths' — E17 is the precise (isolated-region) instrument.
 fn bench_replay_ingest(c: &mut Criterion) {
     use glimmer_workloads::replay::{
-        generate_scenario_file, load_chunks, FileSource, ScenarioMix, ScenarioSpec, CHUNK_EXCESS,
+        generate_scenario_file, load_chunks, load_spans, FileSource, MmapSource, ScenarioMix,
+        ScenarioSpec, CHUNK_EXCESS,
     };
 
     let mut group = c.benchmark_group("gateway_ingest");
@@ -510,6 +511,25 @@ fn bench_replay_ingest(c: &mut Criterion) {
                 },
             );
         }
+        // pread vs mmap at the same reader counts: `load/R` pays one
+        // positional read syscall per window; `load_mmap/R` parses the
+        // page cache copy-free through one long-lived mapping.
+        let mapped = MmapSource::map(&path).unwrap();
+        for &readers in &[1usize, 4] {
+            group.throughput(Throughput::Elements(info.records));
+            group.bench_with_input(
+                BenchmarkId::new("load_mmap", readers),
+                &readers,
+                |b, &readers| {
+                    b.iter(|| {
+                        let loads = load_spans(mapped.as_bytes(), readers);
+                        let total: u64 = loads.iter().map(|l| l.summary.records).sum();
+                        assert_eq!(total, info.records, "loader lost records");
+                        total
+                    })
+                },
+            );
+        }
     }
     let _ = std::fs::remove_file(&path);
 
@@ -530,6 +550,7 @@ fn bench_replay_ingest(c: &mut Criterion) {
             mode,
             window: 32,
             max_in_flight: 256,
+            pacing: Pacing::Unpaced,
         };
         group.throughput(Throughput::Elements(records.len() as u64));
         group.bench_function(BenchmarkId::new(name, records.len()), |b| {

@@ -16,6 +16,12 @@
 //! * **Nothing dropped silently**: backpressure is retried after a drain;
 //!   terminal quota rejections are counted (and mirrored into the
 //!   telemetry hub's ingest counters), never ignored.
+//! * **Open-loop tick pacing**: with [`Pacing::TickPaced`] the driver
+//!   honors the records' arrival ticks against the harness's injected
+//!   [`Clock`] — a window is not submitted before its last record's tick
+//!   deadline, and the wait time is spent draining already-queued work
+//!   instead of spinning. [`Pacing::Unpaced`] is the closed-loop
+//!   full-speed replay the load benchmarks use.
 //!
 //! At `shards: 1` with the same window/in-flight cadence, the per-record
 //! and batched modes produce **bit-identical responses** — the E17
@@ -27,9 +33,12 @@ use glimmer_core::protocol::{BatchOutcome, Contribution, ContributionPayload, Pr
 use glimmer_core::remote::IotDeviceSession;
 use glimmer_core::signing::ServiceKeyMaterial;
 use glimmer_crypto::drbg::Drbg;
-use glimmer_gateway::{Gateway, GatewayConfig, GatewayError, GatewayResponse, TenantConfig};
+use glimmer_gateway::{
+    Clock, Gateway, GatewayConfig, GatewayError, GatewayResponse, SystemClock, TenantConfig,
+};
 use glimmer_workloads::replay::{payload_samples, replay_tenant_name, ReplayRecord};
 use sgx_sim::AttestationService;
+use std::sync::Arc;
 
 /// A gateway provisioned for a replay scenario: one tenant per scenario
 /// tenant index, one established session per (tenant, device) that appears
@@ -52,6 +61,9 @@ pub struct ReplayHarness {
     /// `device_index[tenant][device_id]` → dense session index (records
     /// may mention sparse device ids; sessions are stored densely).
     device_index: Vec<std::collections::BTreeMap<u64, usize>>,
+    /// The time source [`ingest`] paces against — the same clock injected
+    /// into the gateway, so paced replay and telemetry timestamps agree.
+    clock: Arc<dyn Clock>,
 }
 
 /// How [`ingest`] admits each submission window.
@@ -63,6 +75,22 @@ pub enum IngestMode {
     /// One `submit_batch` call per (window, shard) group — the replay hot
     /// path.
     BatchedPerShard,
+}
+
+/// Whether [`ingest`] replays closed-loop at full speed or open-loop on
+/// the records' arrival ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pacing {
+    /// Closed loop: submit as fast as admission allows, ignoring ticks.
+    Unpaced,
+    /// Open loop: a window is held until its last record's arrival tick
+    /// deadline (`start + tick * nanos_per_tick` on the harness clock) has
+    /// passed. While waiting, the driver drains in-flight work — the wait
+    /// is productive, not a spin.
+    TickPaced {
+        /// Wall-nanoseconds each scenario tick represents.
+        nanos_per_tick: u64,
+    },
 }
 
 /// Ingest pacing knobs.
@@ -78,6 +106,8 @@ pub struct IngestConfig {
     /// `max_queue_depth` to make backpressure the exception, not the
     /// steady state.
     pub max_in_flight: usize,
+    /// Closed-loop full speed, or open-loop on record arrival ticks.
+    pub pacing: Pacing,
 }
 
 /// What an ingest run did.
@@ -90,6 +120,10 @@ pub struct IngestReport {
     pub quota_rejected: u64,
     /// Drain sweeps the pacing performed.
     pub drains: u64,
+    /// Wait iterations spent honoring tick deadlines (always 0 under
+    /// [`Pacing::Unpaced`]). Each iteration either drained in-flight work
+    /// or yielded the CPU.
+    pub paced_waits: u64,
     /// Every response the gateway produced, in drain order.
     pub responses: Vec<GatewayResponse>,
 }
@@ -121,7 +155,9 @@ impl ReplayHarness {
     /// for every (tenant, device) the records mention, and masks for
     /// rounds `0..per-device record count`. Deterministic from `seed` —
     /// two harnesses built from the same arguments serve identical
-    /// ciphertexts to identical enclaves.
+    /// ciphertexts to identical enclaves. Uses the production
+    /// [`SystemClock`]; [`ReplayHarness::build_with_clock`] injects a
+    /// deterministic one.
     ///
     /// # Panics
     /// Panics if provisioning fails (these are experiment harnesses: a
@@ -135,6 +171,38 @@ impl ReplayHarness {
         dimension: usize,
         max_queue_depth: usize,
         seed: [u8; 32],
+    ) -> ReplayHarness {
+        Self::build_with_clock(
+            records,
+            tenants,
+            shards,
+            slots_per_tenant,
+            dimension,
+            max_queue_depth,
+            seed,
+            Arc::new(SystemClock::new()),
+        )
+    }
+
+    /// [`ReplayHarness::build`] with an injected [`Clock`]: the gateway and
+    /// the tick-paced ingest loop both read time from it, so a
+    /// [`glimmer_gateway::ManualClock`] makes open-loop replay fully
+    /// deterministic under test.
+    ///
+    /// # Panics
+    /// Panics if provisioning fails (these are experiment harnesses: a
+    /// provisioning failure is a bug, not an operational condition).
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_with_clock(
+        records: &[ReplayRecord],
+        tenants: u32,
+        shards: usize,
+        slots_per_tenant: usize,
+        dimension: usize,
+        max_queue_depth: usize,
+        seed: [u8; 32],
+        clock: Arc<dyn Clock>,
     ) -> ReplayHarness {
         // Per-(tenant, device) record counts decide which sessions exist
         // and how many mask rounds each tenant needs.
@@ -163,7 +231,7 @@ impl ReplayHarness {
                 material.secret_bytes(),
             ));
         }
-        let gateway = Gateway::new(
+        let gateway = Gateway::with_clock(
             GatewayConfig {
                 slots_per_tenant,
                 shards,
@@ -174,6 +242,7 @@ impl ReplayHarness {
             tenant_configs,
             &mut avs,
             &mut rng,
+            Arc::clone(&clock),
         )
         .unwrap();
 
@@ -218,6 +287,7 @@ impl ReplayHarness {
             dimension,
             samples: Vec::new(),
             device_index,
+            clock,
         }
     }
 
@@ -255,6 +325,13 @@ impl ReplayHarness {
 /// draining whenever the next window would exceed `max_in_flight` and once
 /// more at the end so every response is collected.
 ///
+/// Under [`Pacing::TickPaced`] each window additionally waits for its last
+/// record's arrival-tick deadline on the harness clock before submitting
+/// (ticks are non-decreasing within a scenario, so the window's last record
+/// is its latest arrival). The wait drains in-flight work when there is
+/// any, and yields the CPU otherwise; every iteration is counted in
+/// [`IngestReport::paced_waits`].
+///
 /// Backpressure is handled by draining and retrying the rejected
 /// submission once; a second rejection, or any quota error, is terminal for
 /// those records — counted in the report and in the telemetry hub's
@@ -266,11 +343,14 @@ pub fn ingest(
     config: &IngestConfig,
 ) -> Result<IngestReport, GatewayError> {
     let telemetry = harness.gateway.telemetry_handle();
+    let clock = Arc::clone(&harness.clock);
+    let start_nanos = clock.now_nanos();
     let window = config.window.max(1);
     let mut report = IngestReport {
         submitted: 0,
         quota_rejected: 0,
         drains: 0,
+        paced_waits: 0,
         responses: Vec::new(),
     };
     let mut in_flight = 0usize;
@@ -282,6 +362,22 @@ pub fn ingest(
         .collect();
 
     for chunk in records.chunks(window) {
+        if let Pacing::TickPaced { nanos_per_tick } = config.pacing {
+            // Ticks are non-decreasing, so the chunk's last record carries
+            // its latest arrival deadline.
+            let last_tick = chunk.last().map_or(0, |r| r.tick);
+            let due = start_nanos.saturating_add(last_tick.saturating_mul(nanos_per_tick));
+            while clock.now_nanos() < due {
+                report.paced_waits += 1;
+                if in_flight > 0 {
+                    report.responses.extend(harness.gateway.drain_all()?);
+                    report.drains += 1;
+                    in_flight = 0;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
         if in_flight + chunk.len() > config.max_in_flight {
             report.responses.extend(harness.gateway.drain_all()?);
             report.drains += 1;
@@ -365,5 +461,103 @@ fn reject(
             Ok(())
         }
         other => Err(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glimmer_gateway::ManualClock;
+    use glimmer_workloads::replay::{ScenarioMix, ScenarioSpec};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const NANOS_PER_TICK: u64 = 1_000;
+
+    fn scenario_records() -> Vec<ReplayRecord> {
+        ScenarioSpec {
+            tenants: 2,
+            devices_per_tenant: 3,
+            records: 48,
+            mix: ScenarioMix::Steady,
+            seed: 7,
+        }
+        .records_vec()
+    }
+
+    fn config(pacing: Pacing) -> IngestConfig {
+        IngestConfig {
+            mode: IngestMode::BatchedPerShard,
+            window: 8,
+            max_in_flight: 64,
+            pacing,
+        }
+    }
+
+    #[test]
+    fn unpaced_ingest_never_waits() {
+        let records = scenario_records();
+        let mut harness = ReplayHarness::build(&records, 2, 1, 2, 4, 512, [7u8; 32]);
+        let report = ingest(&mut harness, &records, &config(Pacing::Unpaced)).unwrap();
+        assert_eq!(report.paced_waits, 0);
+        assert_eq!(report.quota_rejected, 0);
+        assert_eq!(report.endorsed(), records.len());
+    }
+
+    #[test]
+    fn tick_paced_ingest_honors_deadlines_on_a_manual_clock() {
+        let records = scenario_records();
+        let last_tick = records.last().unwrap().tick;
+        assert!(
+            last_tick > 0,
+            "Steady mix should spread arrivals over ticks"
+        );
+
+        // Closed-loop baseline for the serving results.
+        let mut unpaced = ReplayHarness::build(&records, 2, 1, 2, 4, 512, [7u8; 32]);
+        let baseline = ingest(&mut unpaced, &records, &config(Pacing::Unpaced)).unwrap();
+
+        // Open loop against a manual clock: ingest runs on a scoped thread
+        // while this thread plays time in sub-tick steps. The replay cannot
+        // finish before the clock has crossed the last record's deadline,
+        // so a completed run *proves* every deadline was honored.
+        let clock = Arc::new(ManualClock::new());
+        let mut paced = ReplayHarness::build_with_clock(
+            &records,
+            2,
+            1,
+            2,
+            4,
+            512,
+            [7u8; 32],
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        let cfg = config(Pacing::TickPaced {
+            nanos_per_tick: NANOS_PER_TICK,
+        });
+        let done = AtomicBool::new(false);
+        let report = std::thread::scope(|scope| {
+            let worker = scope.spawn(|| {
+                let report = ingest(&mut paced, &records, &cfg).unwrap();
+                done.store(true, Ordering::SeqCst);
+                report
+            });
+            while !done.load(Ordering::SeqCst) {
+                clock.advance_nanos(NANOS_PER_TICK / 4);
+                std::thread::yield_now();
+            }
+            worker.join().unwrap()
+        });
+
+        assert!(report.paced_waits > 0, "open-loop replay never waited");
+        assert!(
+            clock.now_nanos() >= last_tick * NANOS_PER_TICK,
+            "replay finished at {} ns, before the last deadline {} ns",
+            clock.now_nanos(),
+            last_tick * NANOS_PER_TICK
+        );
+        // Pacing changes *when* work is submitted, never what it computes.
+        assert_eq!(report.endorsed(), baseline.endorsed());
+        assert_eq!(report.quota_rejected, baseline.quota_rejected);
+        assert_eq!(report.submitted, baseline.submitted);
     }
 }

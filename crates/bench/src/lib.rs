@@ -11,9 +11,12 @@
 //! bit-identical to the blocking driver), and E16 (the telemetry layer:
 //! serving overhead with observability on vs off, allocation-free
 //! recording, deterministic sampled traces, round-tripping exposition
-//! formats), and E17 (million-device replay ingest: a chunked parallel
+//! formats), E17 (million-device replay ingest: a chunked parallel
 //! scenario loader feeding the batched hot path, bit-identical to the
-//! in-process driver) — and implements each one as a
+//! in-process driver), and E18 (incremental + streamed checkpoints:
+//! per-slot dirty epochs make delta captures scale with the dirty set,
+//! streamed capture overlaps serving, and chain restore is byte-identical
+//! to full-snapshot restore) — and implements each one as a
 //! reusable function plus a binary that prints the corresponding table.
 //! The Criterion benches under `benches/` cover the micro-benchmarks
 //! (crypto, enclave transitions, blinding, validation, end-to-end
@@ -30,5 +33,5 @@ pub mod ingest;
 pub mod report;
 
 pub use experiments::*;
-pub use ingest::{ingest, IngestConfig, IngestMode, IngestReport, ReplayHarness};
+pub use ingest::{ingest, IngestConfig, IngestMode, IngestReport, Pacing, ReplayHarness};
 pub use report::BenchReport;

@@ -87,6 +87,14 @@ pub enum GatewayError {
     /// Snapshot bytes failed envelope validation (truncation, bit rot,
     /// version skew, malformed payload).
     SnapshotCorrupt(glimmer_wire::WireError),
+    /// A delta snapshot chain failed validation: a delta claims a base
+    /// epoch/header that does not match the frame it was applied to (splice
+    /// or reorder), or the chain has a gap. Restore fails closed before
+    /// touching any enclave.
+    SnapshotChainBroken {
+        /// What broke.
+        reason: &'static str,
+    },
     /// A whole-gateway quiesce operation (checkpoint or shutdown) was
     /// requested while another one held the worker barrier. Interleaving two
     /// two-phase barriers would deadlock the shard workers (each paused
@@ -147,6 +155,9 @@ impl core::fmt::Display for GatewayError {
                 )
             }
             GatewayError::SnapshotCorrupt(e) => write!(f, "snapshot corrupt: {e}"),
+            GatewayError::SnapshotChainBroken { reason } => {
+                write!(f, "snapshot delta chain broken: {reason}")
+            }
             GatewayError::BarrierConflict {
                 in_progress,
                 requested,
@@ -229,6 +240,12 @@ mod tests {
             (
                 GatewayError::SnapshotCorrupt(glimmer_wire::WireError::BadMagic),
                 "snapshot corrupt",
+            ),
+            (
+                GatewayError::SnapshotChainBroken {
+                    reason: "gap in delta chain",
+                },
+                "chain broken",
             ),
             (
                 GatewayError::BarrierConflict {

@@ -1,7 +1,8 @@
 //! The gateway facade: admission, routing, and batched serving.
 
 use crate::checkpoint::{
-    CrashHooks, CrashPoint, GatewaySnapshot, NoCrash, SessionRecord, SlotSnapshot, TenantSnapshot,
+    ChainBase, CrashHooks, CrashPoint, DeltaSlot, DeltaTenant, GatewayDelta, GatewaySnapshot,
+    NoCrash, SessionRecord, SlotSnapshot, SnapshotChain, TenantSnapshot, GATEWAY_DELTA_KIND,
     GATEWAY_SNAPSHOT_KIND,
 };
 use crate::clock::{Clock, SystemClock};
@@ -11,7 +12,7 @@ use crate::frontend::completion::{completion_pair, Completion};
 use crate::pool::{PoolSlot, TenantPool};
 use crate::runtime::{
     BarrierGuard, BarrierOp, Reply, ShardCommand, ShardDrainReport, ShardWorker, Shared,
-    SlotCheckpoint, SlotGauges, SlotInfo, TenantCounters, TenantMeta, WorkerSlot,
+    SlotCheckpoint, SlotExport, SlotGauges, SlotInfo, TenantCounters, TenantMeta, WorkerSlot,
 };
 use crate::session::{SessionEntry, SessionState, SessionTable};
 use crate::stats::GatewayStats;
@@ -97,6 +98,15 @@ struct TenantBuild {
     measurement: Measurement,
     counters: TenantCounters,
     slots: Vec<PoolSlot>,
+}
+
+/// What [`Gateway::restore_impl`] rebuilds from: the (possibly folded)
+/// snapshot, plus — on the delta-chain path — one pre-resolved sealing AAD
+/// per `[tenant_idx][slot_id]` (`None` means every slot unseals under the
+/// snapshot's own header).
+struct RestoreSource<'a> {
+    snapshot: &'a GatewaySnapshot,
+    slot_aads: Option<&'a [Vec<Vec<u8>>]>,
 }
 
 impl Gateway {
@@ -221,6 +231,38 @@ impl Gateway {
         clock: Arc<dyn Clock>,
         hooks: &dyn CrashHooks,
     ) -> Result<Self> {
+        Self::restore_impl(
+            config,
+            tenants,
+            RestoreSource {
+                snapshot,
+                slot_aads: None,
+            },
+            avs,
+            rng,
+            clock,
+            hooks,
+        )
+    }
+
+    /// The shared restore engine behind [`Gateway::restore_with_hooks`] and
+    /// [`Gateway::restore_chain_with_hooks`]: the only difference between a
+    /// full-snapshot restore and a delta-chain restore is which AAD each
+    /// slot's sealed blob must unseal under, so the chain path pre-resolves
+    /// one AAD per slot and everything else is one code path.
+    fn restore_impl(
+        config: GatewayConfig,
+        tenants: Vec<TenantConfig>,
+        source: RestoreSource<'_>,
+        avs: &mut AttestationService,
+        rng: &mut Drbg,
+        clock: Arc<dyn Clock>,
+        hooks: &dyn CrashHooks,
+    ) -> Result<Self> {
+        let RestoreSource {
+            snapshot,
+            slot_aads,
+        } = source;
         let crash = |point: CrashPoint| -> Result<()> {
             if hooks.reached(point) {
                 Err(GatewayError::CrashInjected(point))
@@ -304,12 +346,18 @@ impl Gateway {
                     .filter(|r| r.tenant_idx == tenant_idx && r.slot == slot_snap.slot_id)
                     .map(|r| r.session_id)
                     .collect();
+                // A full snapshot seals every slot under the snapshot
+                // header; a delta chain seals each slot under the chained
+                // header of whichever frame last exported it.
+                let aad: &[u8] = slot_aads.map_or(header.as_slice(), |a| {
+                    a[tenant_idx][slot_snap.slot_id].as_slice()
+                });
                 let slot = PoolSlot::restore(
                     tenant,
                     config.platform_config.clone(),
                     rng,
                     avs,
-                    &header,
+                    aad,
                     slot_snap,
                     &live_sessions,
                 )
@@ -392,6 +440,10 @@ impl Gateway {
             let mut slot_infos = Vec::with_capacity(build.slots.len());
             for slot in build.slots {
                 let gauges = Arc::new(SlotGauges::default());
+                // Seed the shared dirty-epoch gauge from the slot's (fresh
+                // or restored) epoch, so a delta checkpoint taken before the
+                // slot's next mutation sees the resumed clock, not zero.
+                gauges.dirty_epoch.store(slot.dirty_epoch, Ordering::SeqCst);
                 let shard = next_shard;
                 next_shard = (next_shard + 1) % shards;
                 slot_infos.push(SlotInfo {
@@ -1856,23 +1908,12 @@ impl Gateway {
         let mut per_tenant: Vec<Vec<SlotSnapshot>> =
             (0..self.shared.tenants.len()).map(|_| Vec::new()).collect();
         for export in exported {
-            // Per-incarnation fields are zeroed at capture so the snapshot
-            // value round-trips exactly through its serialization (the
-            // codec does not persist them): wall-clock latency and ECALL
-            // counts restart with the process, queues are not persisted,
-            // and sessions re-pin via the restored table.
-            let stats = crate::stats::SlotStats {
-                drain_nanos: 0,
-                ecalls: 0,
-                active_sessions: 0,
-                queue_depth: 0,
-                last_drain_queue_depth: 0,
-                ..export.stats
-            };
             per_tenant[export.tenant_idx].push(SlotSnapshot {
                 slot_id: export.slot_id,
+                dirty_epoch: export.dirty_epoch,
+                state_epoch: export.state_epoch,
+                stats: Self::persisted_stats(&export.stats),
                 sealed_state: export.sealed_state,
-                stats,
             });
         }
         let tenants = self
@@ -1901,6 +1942,10 @@ impl Gateway {
             sessions,
         };
         crash(CrashPoint::SnapshotAssembled)?;
+        let exported_slots = snapshot.tenants.iter().map(|t| t.slots.len() as u64).sum();
+        self.shared
+            .telemetry
+            .count_checkpoint_slots(exported_slots, 0);
         self.shared.telemetry.record_checkpoint(
             self.shared
                 .clock
@@ -1908,6 +1953,553 @@ impl Gateway {
                 .saturating_sub(checkpoint_start_nanos),
         );
         Ok(snapshot)
+    }
+
+    /// Zeroes the per-incarnation fields of a slot's captured stats so the
+    /// snapshot value round-trips exactly through its serialization (the
+    /// codec does not persist them): wall-clock latency and ECALL counts
+    /// restart with the process, queues are not persisted, and sessions
+    /// re-pin via the restored table.
+    fn persisted_stats(stats: &crate::stats::SlotStats) -> crate::stats::SlotStats {
+        crate::stats::SlotStats {
+            drain_nanos: 0,
+            ecalls: 0,
+            active_sessions: 0,
+            queue_depth: 0,
+            last_drain_queue_depth: 0,
+            ..stats.clone()
+        }
+    }
+
+    /// Appends one slot's Established session rows to `sessions`. Called
+    /// while the slot's owning worker is paused at an export barrier (or,
+    /// on the delta fast path, bracketed by dirty-epoch re-reads), so every
+    /// row captured here has its channel keys in the slot's captured state.
+    fn capture_slot_sessions(
+        &self,
+        tenant_idx: usize,
+        slot_id: usize,
+        sessions: &mut Vec<SessionRecord>,
+    ) {
+        let table = self.shared.table.lock().expect("session table poisoned");
+        sessions.extend(
+            table
+                .iter()
+                .filter(|(_, entry)| {
+                    entry.tenant_idx == tenant_idx
+                        && entry.slot == slot_id
+                        && entry.state == SessionState::Established
+                })
+                .map(|(id, entry)| SessionRecord {
+                    session_id: *id,
+                    tenant_idx: entry.tenant_idx,
+                    slot: entry.slot,
+                    opened_at_nanos: entry.opened_at_nanos,
+                }),
+        );
+    }
+
+    /// Runs one slot's two-phase export barrier: pauses the owning worker,
+    /// captures the slot's Established rows while it is paused, then
+    /// releases the worker to export the slot (skipping the seal when the
+    /// enclave's state epoch still equals `known_state_epoch`) and returns
+    /// its reply. Only this slot's shard pauses; every other shard keeps
+    /// serving.
+    fn export_slot_barrier(
+        &self,
+        tenant_idx: usize,
+        slot_id: usize,
+        header: &Arc<Vec<u8>>,
+        known_state_epoch: Option<u64>,
+        sessions: &mut Vec<SessionRecord>,
+    ) -> Result<SlotExport> {
+        let info = &self.shared.tenants[tenant_idx].slots[slot_id];
+        let (ready_tx, ready_rx) = channel();
+        let (go_tx, go_rx) = channel();
+        let (reply_tx, reply_rx) = channel();
+        self.send(
+            info.shard,
+            ShardCommand::ExportSlot {
+                slot: info.worker_idx,
+                header: Arc::clone(header),
+                known_state_epoch,
+                ready: ready_tx,
+                go: go_rx,
+                reply: reply_tx,
+            },
+        )?;
+        Self::recv(&ready_rx)?;
+        // The worker is paused: nothing mutates this slot's enclave between
+        // this row capture and the export below, so the per-slot cut is
+        // consistent in the direction that matters (every captured row has
+        // its keys in the export; orphaned keys are pruned at restore).
+        self.capture_slot_sessions(tenant_idx, slot_id, sessions);
+        let _ = go_tx.send(true);
+        Self::recv(&reply_rx)?
+    }
+
+    /// Captures the cheap shared state that closes out a streamed or delta
+    /// capture: the session-id counter, the submit-command counter, and the
+    /// per-tenant quota counters. Captured *after* the per-slot exports, so
+    /// each value is a superset of what the exported slots saw — safe
+    /// over-counts (ids never reissue below the counter; quota counters are
+    /// cumulative).
+    fn capture_shared_tail(&self) -> (u64, u64, Vec<crate::stats::TenantStats>) {
+        let next_session_id = self
+            .shared
+            .table
+            .lock()
+            .expect("session table poisoned")
+            .next_id();
+        let counters = self
+            .shared
+            .tenants
+            .iter()
+            .map(|meta| meta.counters.snapshot())
+            .collect();
+        let submit_commands = self.shared.submit_commands.load(Ordering::SeqCst);
+        (next_session_id, submit_commands, counters)
+    }
+
+    /// Captures a full checkpoint **slot at a time** instead of under a
+    /// global quiesce: each pool slot is exported behind a per-slot barrier
+    /// that pauses only its owning shard worker, while every other shard
+    /// keeps admitting and draining traffic. The result is the same
+    /// [`GatewaySnapshot`] type [`Gateway::checkpoint`] produces —
+    /// byte-identical for an idle gateway — but housekeeping no longer
+    /// stops the world: capture latency overlaps serving instead of adding
+    /// to it.
+    ///
+    /// Consistency is per slot rather than global: a slot's Established
+    /// rows are captured while its worker is paused at the export barrier,
+    /// so every captured session has its keys in that slot's export (the
+    /// invariant restore relies on). Sessions established on an
+    /// already-captured slot after its barrier are simply ordered after
+    /// this checkpoint, exactly like traffic behind the global barrier.
+    /// The id/quota counters are captured last, which can only over-count —
+    /// ids never reissue below the counter and the quota counters are
+    /// cumulative.
+    ///
+    /// # Errors
+    ///
+    /// Same surface as [`Gateway::checkpoint`]:
+    /// [`GatewayError::BarrierConflict`] when another checkpoint or a
+    /// shutdown holds the quiesce claim (the claim is held for mutual
+    /// exclusion even though no global pause happens),
+    /// [`GatewayError::RuntimeUnavailable`] when a shard worker is gone,
+    /// and enclave export failures as [`GatewayError::Glimmer`].
+    pub fn checkpoint_streamed(&self) -> Result<GatewaySnapshot> {
+        self.checkpoint_streamed_with_hooks(&NoCrash)
+    }
+
+    /// [`Gateway::checkpoint_streamed`] with injected [`CrashHooks`]. The
+    /// [`CrashPoint::MidStreamExport`] hook fires after each slot's export
+    /// barrier releases — no worker is paused there, so a harness may drive
+    /// live traffic from inside the hook to exercise capture/serving
+    /// overlap.
+    pub fn checkpoint_streamed_with_hooks(
+        &self,
+        hooks: &dyn CrashHooks,
+    ) -> Result<GatewaySnapshot> {
+        let crash = |point: CrashPoint| -> Result<()> {
+            if hooks.reached(point) {
+                Err(GatewayError::CrashInjected(point))
+            } else {
+                Ok(())
+            }
+        };
+        crash(CrashPoint::BeforeCheckpoint)?;
+        let checkpoint_start_nanos = self.shared.clock.now_nanos();
+        // The barrier claim is mutual exclusion only — no worker pauses
+        // under it for longer than its own slot's export.
+        let _barrier = BarrierGuard::acquire(&self.shared, BarrierOp::Checkpoint)?;
+        let epoch = self.shared.checkpoint_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let created_at_nanos = self.shared.clock.now_nanos();
+        let header = Arc::new(glimmer_wire::snapshot::header_bytes(
+            GATEWAY_SNAPSHOT_KIND,
+            epoch,
+            created_at_nanos,
+        ));
+
+        let mut sessions: Vec<SessionRecord> = Vec::new();
+        let mut per_tenant: Vec<Vec<SlotSnapshot>> =
+            (0..self.shared.tenants.len()).map(|_| Vec::new()).collect();
+        for tenant_idx in 0..self.shared.tenants.len() {
+            for slot_id in 0..self.shared.tenants[tenant_idx].slots.len() {
+                let export =
+                    self.export_slot_barrier(tenant_idx, slot_id, &header, None, &mut sessions)?;
+                per_tenant[export.tenant_idx].push(SlotSnapshot {
+                    slot_id: export.slot_id,
+                    sealed_state: export.sealed_state.expect("a forced export always seals"),
+                    dirty_epoch: export.dirty_epoch,
+                    state_epoch: export.state_epoch,
+                    stats: Self::persisted_stats(&export.stats),
+                });
+                crash(CrashPoint::MidStreamExport)?;
+            }
+        }
+        sessions.sort_unstable_by_key(|record| record.session_id);
+        let (next_session_id, submit_commands, counters) = self.capture_shared_tail();
+        let tenants = self
+            .shared
+            .tenants
+            .iter()
+            .zip(per_tenant)
+            .zip(counters)
+            .map(|((meta, slots), tenant_counters)| TenantSnapshot {
+                name: meta.name.to_string(),
+                measurement: meta.measurement,
+                counters: tenant_counters,
+                slots,
+            })
+            .collect();
+        let snapshot = GatewaySnapshot {
+            epoch,
+            created_at_nanos,
+            slots_per_tenant: self.shared.config.slots_per_tenant,
+            next_session_id,
+            submit_commands,
+            tenants,
+            sessions,
+        };
+        crash(CrashPoint::SnapshotAssembled)?;
+        let exported_slots = snapshot.tenants.iter().map(|t| t.slots.len() as u64).sum();
+        self.shared
+            .telemetry
+            .count_checkpoint_slots(exported_slots, 0);
+        self.shared.telemetry.record_checkpoint(
+            self.shared
+                .clock
+                .now_nanos()
+                .saturating_sub(checkpoint_start_nanos),
+        );
+        Ok(snapshot)
+    }
+
+    /// Captures an **incremental** checkpoint against `base`: only slots
+    /// whose dirty-epoch advanced past the base frame re-run their
+    /// `EXPORT_STATE` ECALL; clean slots are skipped entirely — no barrier,
+    /// no seal, no ECALL — which is what lets housekeeping on a mostly-idle
+    /// gateway run at hardware speed (the E18 claim: ECALL count and wall
+    /// time scale with the *dirty* slot count, not the pool size).
+    ///
+    /// The capture streams slot-at-a-time like
+    /// [`Gateway::checkpoint_streamed`]. A clean slot's rows are captured
+    /// bracketed by two dirty-epoch reads; if the epoch moved between them
+    /// the fast path is abandoned and the slot takes the export barrier
+    /// like a dirty one (the worker bumps the epoch *before* mutating, so
+    /// an unchanged epoch proves the captured rows match the base's sealed
+    /// state).
+    ///
+    /// Fresh sealed exports are AAD-bound to the **chained** header
+    /// (`delta header ‖ base header`), so a delta's blobs cannot be spliced
+    /// onto any other base even if chain metadata is forged. Restore with
+    /// [`Gateway::restore_chain`]; chain the next delta from
+    /// [`GatewayDelta::chain_base`].
+    ///
+    /// # Errors
+    ///
+    /// Same surface as [`Gateway::checkpoint_streamed`].
+    pub fn checkpoint_delta(&self, base: &ChainBase) -> Result<GatewayDelta> {
+        self.checkpoint_delta_with_hooks(base, &NoCrash)
+    }
+
+    /// [`Gateway::checkpoint_delta`] with injected [`CrashHooks`]
+    /// ([`CrashPoint::MidStreamExport`] after each barriered export,
+    /// [`CrashPoint::DeltaAssembled`] once the delta is built).
+    pub fn checkpoint_delta_with_hooks(
+        &self,
+        base: &ChainBase,
+        hooks: &dyn CrashHooks,
+    ) -> Result<GatewayDelta> {
+        let crash = |point: CrashPoint| -> Result<()> {
+            if hooks.reached(point) {
+                Err(GatewayError::CrashInjected(point))
+            } else {
+                Ok(())
+            }
+        };
+        crash(CrashPoint::BeforeCheckpoint)?;
+        let checkpoint_start_nanos = self.shared.clock.now_nanos();
+        let _barrier = BarrierGuard::acquire(&self.shared, BarrierOp::Checkpoint)?;
+        let epoch = self.shared.checkpoint_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let created_at_nanos = self.shared.clock.now_nanos();
+        // Every fresh seal in this delta binds to `header ‖ base_header`.
+        let sealing_header = Arc::new(glimmer_wire::snapshot::chained_header_bytes(
+            GATEWAY_DELTA_KIND,
+            epoch,
+            created_at_nanos,
+            &base.header,
+        ));
+
+        let mut sessions: Vec<SessionRecord> = Vec::new();
+        let mut exported_slots = 0u64;
+        let mut skipped_slots = 0u64;
+        let mut per_tenant: Vec<Vec<DeltaSlot>> =
+            (0..self.shared.tenants.len()).map(|_| Vec::new()).collect();
+        for (tenant_idx, tenant_slots) in per_tenant.iter_mut().enumerate() {
+            for slot_id in 0..self.shared.tenants[tenant_idx].slots.len() {
+                let info = &self.shared.tenants[tenant_idx].slots[slot_id];
+                let base_slot = base.slot(tenant_idx, slot_id);
+                if let Some((base_dirty, base_state)) = base_slot {
+                    let first_read = info.gauges.dirty_epoch.load(Ordering::SeqCst);
+                    if first_read == base_dirty {
+                        // Clean fast path: no barrier, no ECALL. Capture the
+                        // rows, then re-read the epoch — a concurrent
+                        // mutation between the reads falls back to the
+                        // barriered export below (the worker bumps the
+                        // epoch before touching the enclave, so an
+                        // unchanged epoch proves the rows match the base's
+                        // sealed state).
+                        let mark = sessions.len();
+                        self.capture_slot_sessions(tenant_idx, slot_id, &mut sessions);
+                        if info.gauges.dirty_epoch.load(Ordering::SeqCst) == first_read {
+                            tenant_slots.push(DeltaSlot {
+                                slot_id,
+                                dirty_epoch: first_read,
+                                // The base's export stays authoritative for
+                                // this slot; carry its enclave epoch so the
+                                // next delta in the chain keeps skipping it.
+                                state_epoch: base_state,
+                                sealed_state: None,
+                                stats: crate::stats::SlotStats::default(),
+                            });
+                            skipped_slots += 1;
+                            continue;
+                        }
+                        sessions.truncate(mark);
+                    }
+                }
+                let export = self.export_slot_barrier(
+                    tenant_idx,
+                    slot_id,
+                    &sealing_header,
+                    base_slot.map(|(_, state)| state),
+                    &mut sessions,
+                )?;
+                if export.sealed_state.is_some() {
+                    exported_slots += 1;
+                } else {
+                    skipped_slots += 1;
+                }
+                tenant_slots.push(DeltaSlot {
+                    slot_id: export.slot_id,
+                    dirty_epoch: export.dirty_epoch,
+                    state_epoch: export.state_epoch,
+                    sealed_state: export.sealed_state,
+                    stats: Self::persisted_stats(&export.stats),
+                });
+                crash(CrashPoint::MidStreamExport)?;
+            }
+        }
+        sessions.sort_unstable_by_key(|record| record.session_id);
+        let (next_session_id, submit_commands, counters) = self.capture_shared_tail();
+        let tenants = self
+            .shared
+            .tenants
+            .iter()
+            .zip(per_tenant)
+            .zip(counters)
+            .map(|((meta, slots), tenant_counters)| DeltaTenant {
+                name: meta.name.to_string(),
+                measurement: meta.measurement,
+                counters: tenant_counters,
+                slots,
+            })
+            .collect();
+        let delta = GatewayDelta {
+            epoch,
+            created_at_nanos,
+            base_epoch: base.epoch,
+            base_header: base.header.clone(),
+            slots_per_tenant: self.shared.config.slots_per_tenant,
+            next_session_id,
+            submit_commands,
+            tenants,
+            sessions,
+        };
+        crash(CrashPoint::DeltaAssembled)?;
+        self.shared
+            .telemetry
+            .count_checkpoint_slots(exported_slots, skipped_slots);
+        self.shared.telemetry.record_delta_checkpoint(
+            self.shared
+                .clock
+                .now_nanos()
+                .saturating_sub(checkpoint_start_nanos),
+        );
+        Ok(delta)
+    }
+
+    /// Rebuilds a serving gateway from a base snapshot plus an ordered
+    /// chain of [`GatewayDelta`]s — the restore counterpart of
+    /// [`Gateway::checkpoint_delta`]. The chain is validated fail-closed
+    /// *before* any enclave is touched (every delta must name its
+    /// predecessor's exact epoch and header bytes — gaps, reorders, and
+    /// cross-chain splices reject typed as
+    /// [`GatewayError::SnapshotChainBroken`]), then folded: each slot
+    /// restores from the **latest** frame that exported it, under that
+    /// frame's sealing AAD, while the session table, counters, and id
+    /// counters come wholesale from the last delta. An empty chain is
+    /// exactly [`Gateway::restore`].
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::SnapshotChainBroken`] for any chain-link mismatch,
+    /// plus the whole [`Gateway::restore`] surface
+    /// ([`GatewayError::SnapshotMismatch`],
+    /// [`GatewayError::SealedBlobRejected`], …). Even a delta whose chain
+    /// metadata was forged consistently fails closed: its sealed blobs are
+    /// AAD-bound to the true base header inside the enclave, so the unseal
+    /// itself refuses.
+    pub fn restore_chain(
+        config: GatewayConfig,
+        tenants: Vec<TenantConfig>,
+        chain: SnapshotChain<'_>,
+        avs: &mut AttestationService,
+        rng: &mut Drbg,
+    ) -> Result<Self> {
+        Self::restore_chain_with_clock(
+            config,
+            tenants,
+            chain,
+            avs,
+            rng,
+            Arc::new(SystemClock::new()),
+        )
+    }
+
+    /// [`Gateway::restore_chain`] with an injected [`Clock`].
+    pub fn restore_chain_with_clock(
+        config: GatewayConfig,
+        tenants: Vec<TenantConfig>,
+        chain: SnapshotChain<'_>,
+        avs: &mut AttestationService,
+        rng: &mut Drbg,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self> {
+        Self::restore_chain_with_hooks(config, tenants, chain, avs, rng, clock, &NoCrash)
+    }
+
+    /// [`Gateway::restore_chain_with_clock`] with injected [`CrashHooks`].
+    pub fn restore_chain_with_hooks(
+        config: GatewayConfig,
+        tenants: Vec<TenantConfig>,
+        chain: SnapshotChain<'_>,
+        avs: &mut AttestationService,
+        rng: &mut Drbg,
+        clock: Arc<dyn Clock>,
+        hooks: &dyn CrashHooks,
+    ) -> Result<Self> {
+        let SnapshotChain { base, deltas } = chain;
+        // Validate every chain link fail-closed before touching anything.
+        let mut prev_epoch = base.epoch;
+        let mut prev_header = base.header_bytes();
+        for delta in deltas {
+            delta.check_extends(prev_epoch, &prev_header)?;
+            Self::check_delta_shape(base, delta)?;
+            prev_epoch = delta.epoch;
+            prev_header = delta.header_bytes();
+        }
+        let Some(last) = deltas.last() else {
+            return Self::restore_impl(
+                config,
+                tenants,
+                RestoreSource {
+                    snapshot: base,
+                    slot_aads: None,
+                },
+                avs,
+                rng,
+                clock,
+                hooks,
+            );
+        };
+        // Fold the chain into one effective snapshot: per slot, the latest
+        // frame's export wins (with that frame's sealing AAD); the cheap
+        // mutable state comes wholesale from the last delta.
+        let mut eff_tenants = Vec::with_capacity(base.tenants.len());
+        let mut slot_aads: Vec<Vec<Vec<u8>>> = Vec::with_capacity(base.tenants.len());
+        for (tenant_idx, base_tenant) in base.tenants.iter().enumerate() {
+            let mut slots = Vec::with_capacity(base_tenant.slots.len());
+            let mut aads = Vec::with_capacity(base_tenant.slots.len());
+            for (slot_idx, base_slot) in base_tenant.slots.iter().enumerate() {
+                let mut sealed_state = base_slot.sealed_state.clone();
+                let mut aad = base.header_bytes();
+                let mut state_epoch = base_slot.state_epoch;
+                let mut stats = base_slot.stats.clone();
+                for delta in deltas {
+                    let delta_slot = &delta.tenants[tenant_idx].slots[slot_idx];
+                    if let Some(blob) = &delta_slot.sealed_state {
+                        sealed_state = blob.clone();
+                        aad = delta.sealing_header_bytes();
+                        state_epoch = delta_slot.state_epoch;
+                        stats = delta_slot.stats.clone();
+                    }
+                }
+                slots.push(SlotSnapshot {
+                    slot_id: base_slot.slot_id,
+                    sealed_state,
+                    dirty_epoch: last.tenants[tenant_idx].slots[slot_idx].dirty_epoch,
+                    state_epoch,
+                    stats,
+                });
+                aads.push(aad);
+            }
+            eff_tenants.push(TenantSnapshot {
+                name: base_tenant.name.clone(),
+                measurement: base_tenant.measurement,
+                counters: last.tenants[tenant_idx].counters.clone(),
+                slots,
+            });
+            slot_aads.push(aads);
+        }
+        let effective = GatewaySnapshot {
+            epoch: last.epoch,
+            created_at_nanos: last.created_at_nanos,
+            slots_per_tenant: base.slots_per_tenant,
+            next_session_id: last.next_session_id,
+            submit_commands: last.submit_commands,
+            tenants: eff_tenants,
+            sessions: last.sessions.clone(),
+        };
+        Self::restore_impl(
+            config,
+            tenants,
+            RestoreSource {
+                snapshot: &effective,
+                slot_aads: Some(&slot_aads),
+            },
+            avs,
+            rng,
+            clock,
+            hooks,
+        )
+    }
+
+    /// Rejects a delta whose tenant/slot shape differs from the chain's
+    /// base — the fold below indexes them positionally, so shape agreement
+    /// must be proven first.
+    fn check_delta_shape(base: &GatewaySnapshot, delta: &GatewayDelta) -> Result<()> {
+        let shape_ok = delta.slots_per_tenant == base.slots_per_tenant
+            && delta.tenants.len() == base.tenants.len()
+            && delta.tenants.iter().zip(&base.tenants).all(|(dt, bt)| {
+                dt.name == bt.name
+                    && dt.measurement == bt.measurement
+                    && dt.slots.len() == bt.slots.len()
+                    && dt
+                        .slots
+                        .iter()
+                        .zip(&bt.slots)
+                        .all(|(ds, bs)| ds.slot_id == bs.slot_id)
+            });
+        if shape_ok {
+            Ok(())
+        } else {
+            Err(GatewayError::SnapshotChainBroken {
+                reason: "delta pool shape does not match the chain's base",
+            })
+        }
     }
 
     /// A labelled snapshot of every counter the gateway keeps: tenant

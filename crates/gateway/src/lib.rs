@@ -81,8 +81,9 @@ pub mod telemetry;
 
 pub use affinity::{pin_to_core, pinning_supported};
 pub use checkpoint::{
-    CrashAt, CrashHooks, CrashPoint, GatewaySnapshot, NoCrash, SessionRecord, SlotSnapshot,
-    TenantSnapshot, GATEWAY_SNAPSHOT_KIND,
+    ChainBase, CrashAt, CrashHooks, CrashPoint, DeltaSlot, DeltaTenant, GatewayDelta,
+    GatewaySnapshot, NoCrash, SessionRecord, SlotSnapshot, SnapshotChain, TenantSnapshot,
+    GATEWAY_DELTA_KIND, GATEWAY_SNAPSHOT_KIND,
 };
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use config::{GatewayConfig, TenantConfig, TenantQuota};

@@ -69,6 +69,14 @@ pub struct PoolSlot {
     client: GlimmerClient,
     queue: VecDeque<Queued>,
     stats: SlotStats,
+    /// Monotonic host-side dirty-epoch: bumped by the owning shard worker
+    /// on every state-mutating command (session open/accept/close, mask
+    /// install, channel step, non-empty drain). A delta checkpoint skips
+    /// slots whose epoch has not advanced past the base snapshot's. The
+    /// worker mirrors the value into the routing layer's
+    /// [`crate::runtime::SlotGauges::dirty_epoch`] atomic, which is what
+    /// the checkpoint thread actually reads.
+    pub(crate) dirty_epoch: u64,
 }
 
 impl PoolSlot {
@@ -94,6 +102,7 @@ impl PoolSlot {
             client,
             queue: VecDeque::new(),
             stats: SlotStats::default(),
+            dirty_epoch: 0,
         })
     }
 
@@ -133,6 +142,10 @@ impl PoolSlot {
             slot_id: snap.slot_id,
             client,
             queue: VecDeque::new(),
+            // Resume the exporting incarnation's dirtiness clock, so the
+            // first post-restore delta can still skip slots that stayed
+            // idle across the restart.
+            dirty_epoch: snap.dirty_epoch,
             stats: SlotStats {
                 // Transient gauges restart at zero; the queue is empty by
                 // construction (in-flight entries are deliberately not
@@ -147,13 +160,21 @@ impl PoolSlot {
     }
 
     /// Seals this slot's enclave serving state under `header` (the snapshot
-    /// AAD) and returns it together with the slot's current drain counters.
-    pub(crate) fn export_checkpoint(&mut self, header: &[u8]) -> Result<(Vec<u8>, SlotStats)> {
-        let sealed = self
+    /// AAD) and returns `(state_epoch, sealed, stats)`. With
+    /// `known_state_epoch: None` the export is forced (full checkpoints);
+    /// with `Some(epoch)` the enclave skips the seal — returning `None`
+    /// for the blob — when its state has not mutated since that epoch
+    /// (delta checkpoints racing a concurrent dirty bump).
+    pub(crate) fn export_checkpoint(
+        &mut self,
+        header: &[u8],
+        known_state_epoch: Option<u64>,
+    ) -> Result<(u64, Option<Vec<u8>>, SlotStats)> {
+        let (state_epoch, sealed) = self
             .client
-            .export_state(header)
+            .export_state_if_newer(header, known_state_epoch)
             .map_err(GatewayError::Glimmer)?;
-        Ok((sealed, self.stats()))
+        Ok((state_epoch, sealed, self.stats()))
     }
 
     /// The slot's enclave runtime.

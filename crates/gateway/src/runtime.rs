@@ -75,6 +75,11 @@ impl<T> Reply<T> {
 pub(crate) struct SlotGauges {
     pub(crate) active_sessions: AtomicUsize,
     pub(crate) queue_depth: AtomicUsize,
+    /// Mirror of the slot's host-side dirty-epoch
+    /// ([`PoolSlot::dirty_epoch`]), written only by the owning worker.
+    /// The delta-checkpoint path reads it to decide — without pausing the
+    /// worker — whether a slot mutated since the base snapshot.
+    pub(crate) dirty_epoch: AtomicU64,
 }
 
 /// Atomic per-tenant counters; snapshotted into [`TenantStats`] on read.
@@ -341,6 +346,20 @@ pub(crate) enum ShardCommand {
         go: Receiver<bool>,
         reply: Sender<Result<Vec<SlotCheckpoint>>>,
     },
+    /// Per-slot two-phase export barrier — the streamed-capture analogue of
+    /// `Checkpoint`, pausing this worker only for one slot's export while
+    /// every other shard keeps draining. Same protocol: the worker signals
+    /// `ready` (paused), blocks on `go`, exports exactly `slot` under
+    /// `header` (skipping the seal when the enclave's state epoch still
+    /// equals `known_state_epoch`), replies, and resumes.
+    ExportSlot {
+        slot: usize,
+        header: Arc<Vec<u8>>,
+        known_state_epoch: Option<u64>,
+        ready: Sender<()>,
+        go: Receiver<bool>,
+        reply: Sender<Result<SlotExport>>,
+    },
     CollectStats {
         reply: Sender<Vec<SlotStatsRow>>,
     },
@@ -353,6 +372,22 @@ pub(crate) struct SlotCheckpoint {
     pub(crate) slot_id: usize,
     /// Enclave-sealed serving state (AAD-bound to the snapshot header).
     pub(crate) sealed_state: Vec<u8>,
+    /// The slot's host-side dirty-epoch at export time.
+    pub(crate) dirty_epoch: u64,
+    /// The enclave's own state epoch inside the sealed export.
+    pub(crate) state_epoch: u64,
+    pub(crate) stats: crate::stats::SlotStats,
+}
+
+/// One slot's reply to an [`ShardCommand::ExportSlot`] barrier.
+pub(crate) struct SlotExport {
+    pub(crate) tenant_idx: usize,
+    pub(crate) slot_id: usize,
+    pub(crate) dirty_epoch: u64,
+    pub(crate) state_epoch: u64,
+    /// `None` when the enclave skipped the seal (state unchanged since the
+    /// caller's `known_state_epoch`).
+    pub(crate) sealed_state: Option<Vec<u8>>,
     pub(crate) stats: crate::stats::SlotStats,
 }
 
@@ -361,6 +396,20 @@ pub(crate) struct WorkerSlot {
     pub(crate) tenant_idx: usize,
     pub(crate) slot: PoolSlot,
     pub(crate) gauges: Arc<SlotGauges>,
+}
+
+impl WorkerSlot {
+    /// Advances the slot's dirty-epoch and mirrors it into the shared gauge
+    /// the delta-checkpoint path reads. Called by the owning worker on
+    /// every state-mutating command, *before* the command runs — bumping
+    /// on failures too over-approximates dirtiness, which at worst costs
+    /// one redundant export (never a silently skipped one).
+    fn mark_dirty(&mut self) {
+        self.slot.dirty_epoch += 1;
+        self.gauges
+            .dirty_epoch
+            .store(self.slot.dirty_epoch, Ordering::SeqCst);
+    }
 }
 
 /// A shard worker: exclusively owns its slots and serves its command queue
@@ -388,7 +437,9 @@ impl ShardWorker {
                     session_id,
                     reply,
                 } => {
-                    let result = self.slots[slot]
+                    let ws = &mut self.slots[slot];
+                    ws.mark_dirty();
+                    let result = ws
                         .slot
                         .client_mut()
                         .open_session(session_id)
@@ -401,7 +452,9 @@ impl ShardWorker {
                     accept,
                     reply,
                 } => {
-                    let result = self.slots[slot]
+                    let ws = &mut self.slots[slot];
+                    ws.mark_dirty();
+                    let result = ws
                         .slot
                         .client_mut()
                         .accept_session(session_id, &accept)
@@ -413,6 +466,7 @@ impl ShardWorker {
                     session_id,
                     reply,
                 } => {
+                    self.slots[slot].mark_dirty();
                     let result = self.close_session(slot, session_id);
                     reply.deliver(result);
                 }
@@ -422,7 +476,9 @@ impl ShardWorker {
                     delivery,
                     reply,
                 } => {
-                    let result = self.slots[slot]
+                    let ws = &mut self.slots[slot];
+                    ws.mark_dirty();
+                    let result = ws
                         .slot
                         .client_mut()
                         .install_session_mask_delivery(session_id, &delivery)
@@ -430,7 +486,9 @@ impl ShardWorker {
                     reply.deliver(result);
                 }
                 ShardCommand::TenantChannelOffer { slot, reply } => {
-                    let result = self.slots[slot]
+                    let ws = &mut self.slots[slot];
+                    ws.mark_dirty();
+                    let result = ws
                         .slot
                         .client_mut()
                         .start_channel()
@@ -442,7 +500,9 @@ impl ShardWorker {
                     accept,
                     reply,
                 } => {
-                    let result = self.slots[slot]
+                    let ws = &mut self.slots[slot];
+                    ws.mark_dirty();
+                    let result = ws
                         .slot
                         .client_mut()
                         .complete_channel(&accept)
@@ -487,6 +547,24 @@ impl ShardWorker {
                     }
                     let _ = reply.send(self.export_slots(&header));
                 }
+                ShardCommand::ExportSlot {
+                    slot,
+                    header,
+                    known_state_epoch,
+                    ready,
+                    go,
+                    reply,
+                } => {
+                    let _ = ready.send(());
+                    // Paused for exactly one slot's export: the checkpoint
+                    // thread captures that slot's session rows, then
+                    // releases us. An abandoned export (false, or the
+                    // caller died) resumes serving with nothing sealed.
+                    if !matches!(go.recv(), Ok(true)) {
+                        continue;
+                    }
+                    let _ = reply.send(self.export_one(slot, &header, known_state_epoch));
+                }
                 ShardCommand::CollectStats { reply } => {
                     let _ = reply.send(self.collect_stats());
                 }
@@ -501,15 +579,39 @@ impl ShardWorker {
     fn export_slots(&mut self, header: &[u8]) -> Result<Vec<SlotCheckpoint>> {
         let mut out = Vec::with_capacity(self.slots.len());
         for ws in &mut self.slots {
-            let (sealed_state, stats) = ws.slot.export_checkpoint(header)?;
+            let (state_epoch, sealed_state, stats) = ws.slot.export_checkpoint(header, None)?;
+            let sealed_state = sealed_state.expect("a forced export always seals");
             out.push(SlotCheckpoint {
                 tenant_idx: ws.tenant_idx,
                 slot_id: ws.slot.slot_id,
                 sealed_state,
+                dirty_epoch: ws.slot.dirty_epoch,
+                state_epoch,
                 stats,
             });
         }
         Ok(out)
+    }
+
+    /// Exports exactly one slot (the streamed-capture path), skipping the
+    /// seal when the enclave's state still matches `known_state_epoch`.
+    fn export_one(
+        &mut self,
+        slot: usize,
+        header: &[u8],
+        known_state_epoch: Option<u64>,
+    ) -> Result<SlotExport> {
+        let ws = &mut self.slots[slot];
+        let (state_epoch, sealed_state, stats) =
+            ws.slot.export_checkpoint(header, known_state_epoch)?;
+        Ok(SlotExport {
+            tenant_idx: ws.tenant_idx,
+            slot_id: ws.slot.slot_id,
+            dirty_epoch: ws.slot.dirty_epoch,
+            state_epoch,
+            sealed_state,
+            stats,
+        })
     }
 
     fn close_session(&mut self, slot: usize, session_id: u64) -> Result<()> {
@@ -556,9 +658,17 @@ impl ShardWorker {
                     .slot
                     .drain_into(max_batch, scratch, Some((telemetry, self.shard_id)))
                 {
-                    Ok(Some(drained)) => drained,
+                    // A drain that reached the enclave mutated checkpointed
+                    // state (replay nonces, auditor counters, drain stats)
+                    // even when the batch failed wholesale, so the slot is
+                    // dirty either way. Empty sweeps are not.
+                    Ok(Some(drained)) => {
+                        ws.mark_dirty();
+                        drained
+                    }
                     Ok(None) => continue,
                     Err(e) => {
+                        ws.mark_dirty();
                         first_error.get_or_insert(e);
                         continue;
                     }

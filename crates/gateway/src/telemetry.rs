@@ -559,9 +559,12 @@ pub struct Telemetry {
     admission: [AtomicU64; AdmitReason::COUNT],
     shards: Vec<ShardTelemetry>,
     checkpoint_nanos: Histogram,
+    delta_checkpoint_nanos: Histogram,
     restore_nanos: Histogram,
     executor_poll_nanos: Histogram,
     executor_wake_nanos: Histogram,
+    checkpoint_slots_exported: AtomicU64,
+    checkpoint_slots_skipped: AtomicU64,
     submit_seq: AtomicU64,
     trace_interval: u64,
     traces: TraceRing,
@@ -594,9 +597,12 @@ impl Telemetry {
             admission: std::array::from_fn(|_| AtomicU64::new(0)),
             shards: (0..shards).map(|_| ShardTelemetry::default()).collect(),
             checkpoint_nanos: Histogram::new(),
+            delta_checkpoint_nanos: Histogram::new(),
             restore_nanos: Histogram::new(),
             executor_poll_nanos: Histogram::new(),
             executor_wake_nanos: Histogram::new(),
+            checkpoint_slots_exported: AtomicU64::new(0),
+            checkpoint_slots_skipped: AtomicU64::new(0),
             submit_seq: AtomicU64::new(0),
             trace_interval: if enabled {
                 config.trace_sample_interval
@@ -767,6 +773,29 @@ impl Telemetry {
         }
     }
 
+    /// Records a completed **delta** checkpoint's wall duration — kept as
+    /// its own series (not folded into `checkpoint_nanos`) because the
+    /// whole point of the incremental path is that its distribution sits
+    /// far below the full-capture one; merging them would bury the claim.
+    pub(crate) fn record_delta_checkpoint(&self, nanos: u64) {
+        if self.enabled {
+            self.delta_checkpoint_nanos.record(nanos);
+        }
+    }
+
+    /// Counts a checkpoint's per-slot export decisions: `exported` slots
+    /// paid an `EXPORT_STATE` ECALL, `skipped` slots were proven clean and
+    /// paid nothing. The skip ratio is the E18 housekeeping claim made
+    /// observable in production.
+    pub(crate) fn count_checkpoint_slots(&self, exported: u64, skipped: u64) {
+        if self.enabled {
+            self.checkpoint_slots_exported
+                .fetch_add(exported, Ordering::Relaxed);
+            self.checkpoint_slots_skipped
+                .fetch_add(skipped, Ordering::Relaxed);
+        }
+    }
+
     /// Records a completed restore's wall duration.
     pub(crate) fn record_restore(&self, nanos: u64) {
         if self.enabled {
@@ -821,6 +850,7 @@ impl Telemetry {
             ecall_nanos,
             batch_size,
             checkpoint_nanos: self.checkpoint_nanos.snapshot(),
+            delta_checkpoint_nanos: self.delta_checkpoint_nanos.snapshot(),
             restore_nanos: self.restore_nanos.snapshot(),
             executor_poll_nanos: self.executor_poll_nanos.snapshot(),
             executor_wake_nanos: self.executor_wake_nanos.snapshot(),
@@ -835,6 +865,8 @@ impl Telemetry {
             ingest_parsed: self.ingest_parsed.load(Ordering::Relaxed),
             ingest_parse_errors: self.ingest_parse_errors.load(Ordering::Relaxed),
             ingest_quota_rejected: self.ingest_quota_rejected.load(Ordering::Relaxed),
+            checkpoint_slots_exported: self.checkpoint_slots_exported.load(Ordering::Relaxed),
+            checkpoint_slots_skipped: self.checkpoint_slots_skipped.load(Ordering::Relaxed),
         }
     }
 }
@@ -875,8 +907,12 @@ pub struct TelemetrySnapshot {
     pub ecall_nanos: HistogramSnapshot,
     /// Drained batch sizes, merged across shards (items).
     pub batch_size: HistogramSnapshot,
-    /// Checkpoint durations (nanos).
+    /// Full-checkpoint durations (nanos).
     pub checkpoint_nanos: HistogramSnapshot,
+    /// Delta-checkpoint durations (nanos) — separate from
+    /// `checkpoint_nanos` so the incremental path's speedup is visible in
+    /// the exposition, not averaged away.
+    pub delta_checkpoint_nanos: HistogramSnapshot,
     /// Restore durations (nanos).
     pub restore_nanos: HistogramSnapshot,
     /// Executor poll durations (nanos).
@@ -894,15 +930,21 @@ pub struct TelemetrySnapshot {
     /// Replayed requests terminally rejected by quota/admission during
     /// ingest.
     pub ingest_quota_rejected: u64,
+    /// Pool slots whose checkpoint capture paid an `EXPORT_STATE` ECALL.
+    pub checkpoint_slots_exported: u64,
+    /// Pool slots a delta checkpoint proved clean and skipped (no barrier,
+    /// no seal, no ECALL).
+    pub checkpoint_slots_skipped: u64,
 }
 
 /// Exposition names for the snapshot's histograms, paired with accessors —
 /// single source of truth for rendering and tests.
-const HISTOGRAM_NAMES: [&str; 7] = [
+const HISTOGRAM_NAMES: [&str; 8] = [
     "glimmer_queue_wait_nanos",
     "glimmer_ecall_nanos",
     "glimmer_batch_size",
     "glimmer_checkpoint_nanos",
+    "glimmer_delta_checkpoint_nanos",
     "glimmer_restore_nanos",
     "glimmer_executor_poll_nanos",
     "glimmer_executor_wake_nanos",
@@ -912,15 +954,16 @@ impl TelemetrySnapshot {
     /// The snapshot's histograms with their exposition names, in render
     /// order.
     #[must_use]
-    pub fn histograms(&self) -> [(&'static str, &HistogramSnapshot); 7] {
+    pub fn histograms(&self) -> [(&'static str, &HistogramSnapshot); 8] {
         [
             (HISTOGRAM_NAMES[0], &self.queue_wait_nanos),
             (HISTOGRAM_NAMES[1], &self.ecall_nanos),
             (HISTOGRAM_NAMES[2], &self.batch_size),
             (HISTOGRAM_NAMES[3], &self.checkpoint_nanos),
-            (HISTOGRAM_NAMES[4], &self.restore_nanos),
-            (HISTOGRAM_NAMES[5], &self.executor_poll_nanos),
-            (HISTOGRAM_NAMES[6], &self.executor_wake_nanos),
+            (HISTOGRAM_NAMES[4], &self.delta_checkpoint_nanos),
+            (HISTOGRAM_NAMES[5], &self.restore_nanos),
+            (HISTOGRAM_NAMES[6], &self.executor_poll_nanos),
+            (HISTOGRAM_NAMES[7], &self.executor_wake_nanos),
         ]
     }
 
@@ -953,6 +996,15 @@ impl TelemetrySnapshot {
         ] {
             lines.push((
                 format!("glimmer_ingest_records_total{{outcome={outcome}}}"),
+                count,
+            ));
+        }
+        for (outcome, count) in [
+            ("exported", self.checkpoint_slots_exported),
+            ("skipped", self.checkpoint_slots_skipped),
+        ] {
+            lines.push((
+                format!("glimmer_checkpoint_slots_total{{outcome={outcome}}}"),
                 count,
             ));
         }
@@ -1443,6 +1495,8 @@ mod tests {
         hub.record_batch_size(0, 32);
         hub.record_drain_depth(0, 7);
         hub.record_checkpoint(1_000_000);
+        hub.record_delta_checkpoint(50_000);
+        hub.count_checkpoint_slots(2, 38);
         clock.advance_nanos(77);
         let tag = hub.submit_sampler(1).tag(&hub, 0, 12);
         hub.trace_stage(tag, TraceStage::ReplyDelivered, 99);
@@ -1465,6 +1519,17 @@ mod tests {
         assert!(from_prom.contains_key("glimmer_ecall_nanos_p99"));
         assert!(from_prom.contains_key("glimmer_queue_wait_nanos_p50"));
         assert!(from_prom.contains_key("glimmer_queue_wait_nanos_p99"));
+        assert_eq!(
+            from_prom["glimmer_checkpoint_slots_total{outcome=exported}"],
+            2
+        );
+        assert_eq!(
+            from_prom["glimmer_checkpoint_slots_total{outcome=skipped}"],
+            38
+        );
+        assert_eq!(from_prom["glimmer_delta_checkpoint_nanos_count"], 1);
+        assert_eq!(from_prom["glimmer_delta_checkpoint_nanos_sum"], 50_000);
+        assert_eq!(from_prom["glimmer_checkpoint_nanos_count"], 1);
         // The rendered forms carry the quoted/structured variants.
         assert!(prom.contains("glimmer_admission_total{reason=\"accepted\"} 41"));
         assert!(prom.contains("glimmer_queue_wait_nanos_bucket{le=\"+Inf\"} 2"));

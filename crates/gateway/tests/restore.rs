@@ -17,13 +17,14 @@ use glimmer_core::remote::IotDeviceSession;
 use glimmer_core::signing::ServiceKeyMaterial;
 use glimmer_crypto::drbg::Drbg;
 use glimmer_gateway::{
-    CrashAt, CrashPoint, Gateway, GatewayConfig, GatewayError, GatewaySnapshot, ManualClock,
-    QuotaResource, TenantConfig, TenantQuota,
+    CrashAt, CrashPoint, Gateway, GatewayConfig, GatewayDelta, GatewayError, GatewaySnapshot,
+    ManualClock, QuotaResource, SnapshotChain, TenantConfig, TenantQuota,
 };
 use glimmer_workloads::gateway::{GatewayTrafficWorkload, TenantTrafficSpec};
+use proptest::prelude::*;
 use sgx_sim::{AttestationService, PlatformConfig};
 use std::ops::Range;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 const IOT: &str = "iot-telemetry.example";
 const KEYBOARD: &str = "nextwordpredictive.com";
@@ -201,7 +202,18 @@ fn submit_rounds(
     gateway: &Gateway,
     rounds: Range<usize>,
 ) -> Vec<RespRec> {
-    for event in events.iter().filter(|e| rounds.contains(&e.round)) {
+    submit_filtered(devices, events, gateway, |e| rounds.contains(&e.round))
+}
+
+/// [`submit_rounds`] with an arbitrary event filter — used by the delta
+/// tests to dirty only one tenant's slots between checkpoints.
+fn submit_filtered(
+    devices: &[Device],
+    events: &[Event],
+    gateway: &Gateway,
+    keep: impl Fn(&Event) -> bool,
+) -> Vec<RespRec> {
+    for event in events.iter().filter(|e| keep(e)) {
         gateway
             .submit(devices[event.device].session_id, event.ciphertext.clone())
             .unwrap();
@@ -254,13 +266,24 @@ fn run_with_crash_at(point: CrashPoint) -> (Vec<RespRec>, Vec<u8>) {
     let mut records = submit_rounds(&fixture.devices, &fixture.events, &gateway, 0..PRE_ROUNDS);
 
     // The last good checkpoint — what the operator has persisted.
-    let snapshot_bytes = gateway.checkpoint().unwrap().to_bytes();
+    let persisted = gateway.checkpoint().unwrap();
+    let snapshot_bytes = persisted.to_bytes();
 
     let restore_side = matches!(point, CrashPoint::BeforeRestore | CrashPoint::MidRestore);
     if !restore_side {
         // A later checkpoint attempt dies at the labelled point: it must
         // fail atomically (typed error, workers released, nothing emitted).
-        let err = gateway.checkpoint_with_hooks(&CrashAt(point)).unwrap_err();
+        // The streamed- and delta-only points are injected on their own
+        // capture paths, where they actually fire.
+        let err = match point {
+            CrashPoint::MidStreamExport => gateway
+                .checkpoint_streamed_with_hooks(&CrashAt(point))
+                .unwrap_err(),
+            CrashPoint::DeltaAssembled => gateway
+                .checkpoint_delta_with_hooks(&persisted.chain_base(), &CrashAt(point))
+                .unwrap_err(),
+            _ => gateway.checkpoint_with_hooks(&CrashAt(point)).unwrap_err(),
+        };
         assert_eq!(err, GatewayError::CrashInjected(point));
         // The gateway is still fully serviceable after the aborted attempt.
         assert!(gateway.drain().unwrap().is_empty());
@@ -733,4 +756,340 @@ fn endorsement_budget_survives_restarts() {
             resource: QuotaResource::Endorsements,
         }
     );
+}
+
+#[test]
+fn streamed_checkpoint_matches_quiesced_capture_and_restores() {
+    // Run A: the classic global-quiesce checkpoint.
+    let mut fixture = build_fixture();
+    let gateway = fixture.gateway.take().unwrap();
+    let mut records = submit_rounds(&fixture.devices, &fixture.events, &gateway, 0..PRE_ROUNDS);
+    let quiesced = gateway.checkpoint().unwrap().to_bytes();
+    drop(gateway);
+
+    // Run B: the identical scenario captured slot-at-a-time. The emitted
+    // frame must be byte-identical — streaming changes *when* each slot is
+    // paused, never what is persisted.
+    let mut fixture_b = build_fixture();
+    let gateway_b = fixture_b.gateway.take().unwrap();
+    let records_b = submit_rounds(
+        &fixture_b.devices,
+        &fixture_b.events,
+        &gateway_b,
+        0..PRE_ROUNDS,
+    );
+    assert_eq!(records_b, records);
+    let streamed = gateway_b.checkpoint_streamed().unwrap();
+    assert_eq!(
+        streamed.to_bytes(),
+        quiesced,
+        "streamed capture diverged from the quiesced frame"
+    );
+    drop(gateway_b);
+
+    // And a restore from the streamed frame serves exactly like an
+    // uninterrupted run.
+    let restored = Gateway::restore_with_clock(
+        config(),
+        tenant_configs(),
+        &streamed,
+        &mut fixture_b.avs,
+        &mut Drbg::from_seed(GW_SEED),
+        fixture_b.clock.clone(),
+    )
+    .unwrap();
+    records.extend(submit_rounds(
+        &fixture_b.devices,
+        &fixture_b.events,
+        &restored,
+        PRE_ROUNDS..ROUNDS,
+    ));
+    assert_eq!(records, run_uninterrupted());
+}
+
+#[test]
+fn delta_chain_restore_is_bit_identical_to_full_snapshot_restore() {
+    // Run A: base snapshot, then dirty ONLY the IoT tenant, then a delta.
+    let mut fa = build_fixture();
+    let ga = fa.gateway.take().unwrap();
+    let mut records_a = submit_rounds(&fa.devices, &fa.events, &ga, 0..PRE_ROUNDS);
+    let base = ga.checkpoint().unwrap();
+    let devices_a = &fa.devices;
+    records_a.extend(submit_filtered(devices_a, &fa.events, &ga, |e| {
+        e.round == PRE_ROUNDS && devices_a[e.device].tenant == IOT
+    }));
+    let delta = ga.checkpoint_delta(&base.chain_base()).unwrap();
+    drop(ga);
+
+    // The incremental capture only re-exported the dirty tenant's slots;
+    // the untouched tenant was skipped wholesale (no seal, no ECALL).
+    let iot = delta.tenants.iter().find(|t| t.name == IOT).unwrap();
+    let kb = delta.tenants.iter().find(|t| t.name == KEYBOARD).unwrap();
+    assert!(
+        iot.slots.iter().all(|s| s.sealed_state.is_some()),
+        "dirty slots must carry fresh sealed exports"
+    );
+    assert!(
+        kb.slots.iter().all(|s| s.sealed_state.is_none()),
+        "clean slots must be skipped"
+    );
+
+    // Run B: the identical scenario with FULL snapshots at the same two
+    // points (same checkpoint-op count, so the epoch sequence matches).
+    let mut fb = build_fixture();
+    let gb = fb.gateway.take().unwrap();
+    let mut records_b = submit_rounds(&fb.devices, &fb.events, &gb, 0..PRE_ROUNDS);
+    let _base_b = gb.checkpoint().unwrap();
+    let devices_b = &fb.devices;
+    records_b.extend(submit_filtered(devices_b, &fb.events, &gb, |e| {
+        e.round == PRE_ROUNDS && devices_b[e.device].tenant == IOT
+    }));
+    assert_eq!(records_b, records_a);
+    let full = gb.checkpoint().unwrap();
+    drop(gb);
+
+    // Restore run A from base + delta, run B from the equivalent full
+    // snapshot.
+    let restored_a = Gateway::restore_chain_with_clock(
+        config(),
+        tenant_configs(),
+        SnapshotChain {
+            base: &base,
+            deltas: std::slice::from_ref(&delta),
+        },
+        &mut fa.avs,
+        &mut Drbg::from_seed(GW_SEED),
+        fa.clock.clone(),
+    )
+    .unwrap();
+    let restored_b = Gateway::restore_with_clock(
+        config(),
+        tenant_configs(),
+        &full,
+        &mut fb.avs,
+        &mut Drbg::from_seed(GW_SEED),
+        fb.clock.clone(),
+    )
+    .unwrap();
+
+    // Bit-identity at the ciphertext level: a fresh full checkpoint taken
+    // from either restored gateway — sealed blobs, session table, counters,
+    // epoch maps — is byte-for-byte identical.
+    assert_eq!(
+        restored_a.checkpoint().unwrap().to_bytes(),
+        restored_b.checkpoint().unwrap().to_bytes(),
+        "chain restore diverged from full-snapshot restore"
+    );
+
+    // And both serve the rest of the workload identically.
+    let da = &fa.devices;
+    let tail_a = submit_filtered(da, &fa.events, &restored_a, |e| {
+        (e.round == PRE_ROUNDS && da[e.device].tenant != IOT) || e.round > PRE_ROUNDS
+    });
+    let db = &fb.devices;
+    let tail_b = submit_filtered(db, &fb.events, &restored_b, |e| {
+        (e.round == PRE_ROUNDS && db[e.device].tenant != IOT) || e.round > PRE_ROUNDS
+    });
+    assert_eq!(tail_a, tail_b, "post-restore serving diverged");
+    assert!(
+        tail_a.iter().any(|(_, _, d)| d.contains("Endorsed")),
+        "post-restore tail must produce endorsements"
+    );
+}
+
+/// A base snapshot plus three deltas (one per remaining workload round),
+/// captured once and shared by the fail-closed and property tests below.
+fn chain_fixture() -> &'static (GatewaySnapshot, Vec<GatewayDelta>) {
+    static CELL: OnceLock<(GatewaySnapshot, Vec<GatewayDelta>)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let mut fixture = build_fixture();
+        let gateway = fixture.gateway.take().unwrap();
+        submit_rounds(&fixture.devices, &fixture.events, &gateway, 0..1);
+        let base = gateway.checkpoint().unwrap();
+        let mut deltas = Vec::new();
+        let mut chain_tip = base.chain_base();
+        for round in 1..ROUNDS {
+            submit_rounds(
+                &fixture.devices,
+                &fixture.events,
+                &gateway,
+                round..round + 1,
+            );
+            let delta = gateway.checkpoint_delta(&chain_tip).unwrap();
+            chain_tip = delta.chain_base();
+            deltas.push(delta);
+        }
+        (base, deltas)
+    })
+}
+
+#[test]
+fn delta_chains_fail_closed_with_typed_errors() {
+    let (base, deltas) = chain_fixture();
+    let [d1, d2, d3] = &deltas[..] else {
+        panic!("chain fixture must hold three deltas");
+    };
+    let mut avs = AttestationService::new(AVS_SEED);
+    let clock = Arc::new(ManualClock::new());
+    let mut restore = |chain: Vec<GatewayDelta>| {
+        Gateway::restore_chain_with_clock(
+            config(),
+            tenant_configs(),
+            SnapshotChain {
+                base,
+                deltas: &chain,
+            },
+            &mut avs,
+            &mut Drbg::from_seed(GW_SEED),
+            clock.clone(),
+        )
+    };
+
+    // A gapped chain (base, d2): d2 names d1's epoch, not the base's.
+    assert!(matches!(
+        restore(vec![d2.clone()]).unwrap_err(),
+        GatewayError::SnapshotChainBroken { .. }
+    ));
+    // A reordered chain (base, d2, d1): rejected at the first bad link.
+    assert!(matches!(
+        restore(vec![d2.clone(), d1.clone()]).unwrap_err(),
+        GatewayError::SnapshotChainBroken { .. }
+    ));
+    // A replayed link (base, d1, d1): a delta cannot extend itself.
+    assert!(matches!(
+        restore(vec![d1.clone(), d1.clone()]).unwrap_err(),
+        GatewayError::SnapshotChainBroken { .. }
+    ));
+    // A forged base link: same epoch, tampered header bytes.
+    let mut forged = d1.clone();
+    forged.base_header[0] ^= 0x01;
+    assert!(matches!(
+        restore(vec![forged]).unwrap_err(),
+        GatewayError::SnapshotChainBroken { .. }
+    ));
+    // A shape mismatch: a delta that dropped a tenant cannot extend the
+    // base even with pristine chain metadata.
+    let mut narrow = d1.clone();
+    narrow.tenants.pop();
+    assert!(matches!(
+        restore(vec![narrow]).unwrap_err(),
+        GatewayError::SnapshotChainBroken { .. }
+    ));
+    // A sealed blob moved from the base into a delta slot passes chain
+    // validation (the envelope is intact) but is AAD-bound to the base
+    // header, not the delta's chained header: the enclave refuses it.
+    let mut spliced = d1.clone();
+    spliced.tenants[0].slots[0].sealed_state = Some(base.tenants[0].slots[0].sealed_state.clone());
+    assert_eq!(
+        restore(vec![spliced]).unwrap_err(),
+        GatewayError::SealedBlobRejected {
+            tenant: Arc::from(IOT),
+        }
+    );
+    // A delta captured by a DIFFERENT gateway lineage with identical chain
+    // metadata (same epochs, same injected clock — so identical header
+    // bytes) passes link validation, but its blobs were sealed on other
+    // platforms: fail-closed inside the enclave, never silently imported.
+    let foreign = {
+        let workload = workload();
+        let mut f_avs = AttestationService::new(AVS_SEED);
+        let f_clock = Arc::new(ManualClock::new());
+        let f_gateway = Gateway::with_clock(
+            config(),
+            tenant_configs(),
+            &mut f_avs,
+            &mut Drbg::from_seed([73u8; 32]),
+            f_clock,
+        )
+        .unwrap();
+        let mut dev_rng = Drbg::from_seed(DEV_SEED);
+        for tenant in &workload.tenants {
+            let approved = f_gateway.measurement(&tenant.name).unwrap();
+            for _ in &tenant.devices {
+                let (session_id, offer) = f_gateway.open_session(&tenant.name).unwrap();
+                let (accept, _session) =
+                    IotDeviceSession::connect(&offer, &f_avs, &approved, &mut dev_rng).unwrap();
+                f_gateway.complete_session(session_id, &accept).unwrap();
+            }
+        }
+        let f_base = f_gateway.checkpoint().unwrap();
+        f_gateway.close_session(1).unwrap();
+        f_gateway.checkpoint_delta(&f_base.chain_base()).unwrap()
+    };
+    assert_eq!(foreign.base_epoch, d1.base_epoch);
+    assert_eq!(foreign.base_header, d1.base_header);
+    assert!(matches!(
+        restore(vec![foreign]).unwrap_err(),
+        GatewayError::SealedBlobRejected { .. }
+    ));
+
+    // The untampered chain still restores, full length.
+    let restored = restore(vec![d1.clone(), d2.clone(), d3.clone()]).unwrap();
+    assert_eq!(
+        restored.live_sessions(),
+        2 * DEVICES_PER_TENANT,
+        "valid chain must restore every session"
+    );
+}
+
+#[test]
+fn delta_frames_reject_kind_confusion() {
+    let (base, deltas) = chain_fixture();
+    // A full snapshot's bytes fed to the delta decoder (and vice versa)
+    // fail typed at the frame kind, long before any field decodes.
+    assert!(GatewayDelta::from_bytes(&base.to_bytes()).is_err());
+    assert!(GatewaySnapshot::from_bytes(&deltas[0].to_bytes()).is_err());
+    // And the delta codec round-trips losslessly.
+    let bytes = deltas[0].to_bytes();
+    assert_eq!(&GatewayDelta::from_bytes(&bytes).unwrap(), &deltas[0]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any truncation or bit flip of a persisted delta frame fails closed
+    /// with a typed error — never a panic, never a silent partial decode.
+    #[test]
+    fn mutated_delta_frames_fail_closed(
+        cut in any::<usize>(),
+        pos in any::<usize>(),
+        bit in 0u32..8,
+    ) {
+        let (_, deltas) = chain_fixture();
+        let bytes = deltas[0].to_bytes();
+        let err = GatewayDelta::from_bytes(&bytes[..cut % bytes.len()]).unwrap_err();
+        prop_assert!(matches!(err, GatewayError::SnapshotCorrupt(_)));
+        let mut corrupt = bytes.clone();
+        let pos = pos % corrupt.len();
+        corrupt[pos] ^= 1u8 << bit;
+        let err = GatewayDelta::from_bytes(&corrupt).unwrap_err();
+        prop_assert!(matches!(
+            err,
+            GatewayError::SnapshotCorrupt(_) | GatewayError::SnapshotMismatch { .. }
+        ));
+    }
+
+    /// Any delta sequence that is not an exact prefix of the true chain —
+    /// gaps, reorders, repeats, arbitrary shuffles — is rejected fail-closed
+    /// before a single enclave is built.
+    #[test]
+    fn non_prefix_delta_sequences_are_rejected(
+        picks in proptest::collection::vec(0usize..3, 1..6),
+    ) {
+        prop_assume!(picks.iter().enumerate().any(|(i, &p)| i != p));
+        let (base, deltas) = chain_fixture();
+        let chain: Vec<GatewayDelta> =
+            picks.iter().map(|&i| deltas[i].clone()).collect();
+        let mut avs = AttestationService::new(AVS_SEED);
+        let err = Gateway::restore_chain_with_clock(
+            config(),
+            tenant_configs(),
+            SnapshotChain { base, deltas: &chain },
+            &mut avs,
+            &mut Drbg::from_seed(GW_SEED),
+            Arc::new(ManualClock::new()),
+        )
+        .unwrap_err();
+        prop_assert!(matches!(err, GatewayError::SnapshotChainBroken { .. }));
+    }
 }

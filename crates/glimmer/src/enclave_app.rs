@@ -55,7 +55,7 @@ pub const SEALED_REJECTED_MARKER: &str = "[sealed-rejected]";
 
 /// Version tag leading every serialized enclave-state export; bumping it
 /// makes older sealed exports fail import (closed) instead of misparsing.
-const STATE_EXPORT_TAG: &str = "glimmer-enclave-state-v1";
+const STATE_EXPORT_TAG: &str = "glimmer-enclave-state-v2";
 
 /// Provisioning request: either fresh secret key bytes from the service, or a
 /// previously exported sealed blob to restore.
@@ -295,6 +295,11 @@ pub struct GlimmerEnclaveProgram {
     /// their reply without growing this buffer (the copy-out the ecall
     /// interface requires still allocates once per batch).
     reply_scratch: Encoder,
+    /// Monotonic serving-state epoch: bumped on every state-mutating ecall
+    /// (whether or not it succeeds — an over-approximation is the safe
+    /// direction), exported inside the sealed state, and compared by
+    /// `EXPORT_STATE_IF_NEWER` so idle enclaves can skip re-sealing.
+    state_epoch: u64,
 }
 
 impl GlimmerEnclaveProgram {
@@ -331,6 +336,7 @@ impl GlimmerEnclaveProgram {
             confidential_detector: None,
             auditor: OutputAuditor::new(descriptor.verdict_bit_budget),
             reply_scratch: Encoder::new(),
+            state_epoch: 0,
         }
     }
 
@@ -852,6 +858,7 @@ impl GlimmerEnclaveProgram {
         enc.put_u64(self.auditor.verdict_bits_released());
         enc.put_u64(self.auditor.frames_released());
         enc.put_u64(self.auditor.frames_rejected());
+        enc.put_u64(self.state_epoch);
         enc.into_bytes()
     }
 
@@ -866,6 +873,35 @@ impl GlimmerEnclaveProgram {
             .seal(SealPolicy::MrEnclave, header, &state)
             .map_err(|e| e.to_string())?;
         Ok(blob.to_bytes())
+    }
+
+    /// `EXPORT_STATE_IF_NEWER`: the incremental-checkpoint handshake.
+    /// Request: `header bytes | force bool | known_epoch u64`. Reply:
+    /// `state_epoch u64 | present bool | [sealed blob bytes]`. When the
+    /// caller already holds a sealed export taken at `known_epoch` and the
+    /// state has not mutated since (and `force` is clear), the enclave
+    /// answers with just its epoch — skipping the encode + seal entirely,
+    /// which is the whole ecall-budget win for idle slots.
+    fn export_state_if_newer(
+        &mut self,
+        env: &mut dyn EnclaveEnv,
+        data: &[u8],
+    ) -> Result<Vec<u8>, String> {
+        let mut dec = Decoder::new(data);
+        let header = dec.get_bytes().map_err(|e| e.to_string())?;
+        let force = dec.get_bool().map_err(|e| e.to_string())?;
+        let known_epoch = dec.get_u64().map_err(|e| e.to_string())?;
+        dec.finish().map_err(|e| e.to_string())?;
+        let mut enc = Encoder::new();
+        enc.put_u64(self.state_epoch);
+        if force || self.state_epoch != known_epoch {
+            let blob = self.export_state(env, &header)?;
+            enc.put_bool(true);
+            enc.put_bytes(&blob);
+        } else {
+            enc.put_bool(false);
+        }
+        Ok(enc.into_bytes())
     }
 
     /// `IMPORT_STATE`: the restore half of [`Self::export_state`]. The
@@ -1004,8 +1040,14 @@ impl GlimmerEnclaveProgram {
         let bits = dec.get_u64().map_err(w)?;
         let released = dec.get_u64().map_err(w)?;
         let rejected = dec.get_u64().map_err(w)?;
+        let state_epoch = dec.get_u64().map_err(w)?;
         dec.finish().map_err(w)?;
         self.auditor.restore_counts(bits, released, rejected);
+        // The imported epoch replaces ours wholesale: a restored enclave
+        // continues the exporting incarnation's dirtiness clock, so a
+        // checkpoint chain can keep skipping slots that stayed idle across
+        // the restart.
+        self.state_epoch = state_epoch;
         Ok(())
     }
 
@@ -1101,6 +1143,20 @@ impl EnclaveProgram for GlimmerEnclaveProgram {
         selector: u16,
         data: &[u8],
     ) -> Result<Vec<u8>, String> {
+        // Every selector that can mutate serving state bumps the state
+        // epoch, whether or not the call ultimately succeeds: over-counting
+        // dirtiness costs at most one redundant export, while under-counting
+        // would let an incremental checkpoint silently skip changed state.
+        // Read-only selectors and IMPORT_STATE (which installs the imported
+        // epoch) are exempt.
+        match selector {
+            ecall::STATUS
+            | ecall::EXPORT_SEALED_KEY
+            | ecall::EXPORT_STATE
+            | ecall::EXPORT_STATE_IF_NEWER
+            | ecall::IMPORT_STATE => {}
+            _ => self.state_epoch += 1,
+        }
         match selector {
             ecall::PROVISION => {
                 let request = ProvisionRequest::from_wire(data).map_err(|e| e.to_string())?;
@@ -1130,6 +1186,7 @@ impl EnclaveProgram for GlimmerEnclaveProgram {
                 self.install_mask(delivery)
             }
             ecall::EXPORT_STATE => self.export_state(env, data),
+            ecall::EXPORT_STATE_IF_NEWER => self.export_state_if_newer(env, data),
             ecall::IMPORT_STATE => self.import_state(env, data),
             ecall::STATUS => Ok(self.status()),
             other => Err(format!("unknown ECALL selector {other}")),

@@ -21,7 +21,7 @@ use crate::protocol::{
 use crate::validation::{BotDetectorSpec, PredicateKind, PredicateSpec};
 use crate::{GlimmerError, Result};
 use glimmer_crypto::drbg::Drbg;
-use glimmer_wire::{Encoder, Frame, WireCodec};
+use glimmer_wire::{Decoder, Encoder, Frame, WireCodec};
 use sgx_sim::enclave::NoOcalls;
 use sgx_sim::{
     AttestationService, CostReport, EnclaveAttributes, EnclaveId, EnclaveImage, Measurement,
@@ -381,6 +381,33 @@ impl GlimmerClient {
     /// header, can import the result.
     pub fn export_state(&mut self, header: &[u8]) -> Result<Vec<u8>> {
         self.ecall(ecall::EXPORT_STATE, header)
+    }
+
+    /// The incremental-checkpoint variant of [`Self::export_state`]: asks
+    /// the enclave for its current state epoch and a fresh sealed export
+    /// only when the state mutated since `known_epoch` (pass `None` to
+    /// force an export regardless). Returns `(state_epoch, sealed_blob)`;
+    /// the blob is `None` exactly when the enclave skipped the seal — the
+    /// caller's existing export for `known_epoch` is still current.
+    pub fn export_state_if_newer(
+        &mut self,
+        header: &[u8],
+        known_epoch: Option<u64>,
+    ) -> Result<(u64, Option<Vec<u8>>)> {
+        let mut enc = Encoder::new();
+        enc.put_bytes(header);
+        enc.put_bool(known_epoch.is_none());
+        enc.put_u64(known_epoch.unwrap_or(0));
+        let reply = self.ecall(ecall::EXPORT_STATE_IF_NEWER, enc.as_slice())?;
+        let mut dec = Decoder::new(&reply);
+        let state_epoch = dec.get_u64()?;
+        let sealed = if dec.get_bool()? {
+            Some(dec.get_bytes()?)
+        } else {
+            None
+        };
+        dec.finish()?;
+        Ok((state_epoch, sealed))
     }
 
     /// Imports a sealed serving-state blob into this (freshly built)
@@ -745,6 +772,58 @@ mod tests {
         // Import into an already-provisioned enclave is refused (it could
         // roll replay-nonce state backwards).
         assert!(restored.import_state(header, &sealed, &[]).is_err());
+    }
+
+    #[test]
+    fn export_if_newer_skips_idle_state_and_resumes_across_restores() {
+        let seed = [57u8; 32];
+        let mut client = GlimmerClient::new(
+            GlimmerDescriptor::keyboard_default(),
+            PlatformConfig::default(),
+            &mut Drbg::from_seed(seed),
+        )
+        .unwrap();
+        let material = ServiceKeyMaterial::generate(&mut rng()).unwrap();
+        client
+            .install_service_key(&material.secret_bytes())
+            .unwrap();
+
+        // A forced export always seals, and reports the current epoch.
+        let header = b"base-header";
+        let (epoch, sealed) = client.export_state_if_newer(header, None).unwrap();
+        let sealed = sealed.expect("forced export must seal");
+        assert!(epoch > 0, "provisioning must have bumped the state epoch");
+
+        // Nothing mutated since: the enclave skips the seal entirely.
+        let (epoch2, skipped) = client.export_state_if_newer(header, Some(epoch)).unwrap();
+        assert_eq!(epoch2, epoch);
+        assert!(skipped.is_none());
+
+        // A mutation (even this mask install) advances the epoch, so the
+        // same handshake now produces a fresh sealed export.
+        client
+            .install_mask(&MaskShare {
+                round: 1,
+                client_id: 4,
+                mask: vec![9, 9],
+            })
+            .unwrap();
+        let (epoch3, resealed) = client.export_state_if_newer(header, Some(epoch)).unwrap();
+        assert!(epoch3 > epoch);
+        assert!(resealed.is_some());
+
+        // A restored enclave continues the exporting incarnation's epoch:
+        // the first post-restore delta can still skip idle state.
+        let mut restored = GlimmerClient::new(
+            GlimmerDescriptor::keyboard_default(),
+            PlatformConfig::default(),
+            &mut Drbg::from_seed(seed),
+        )
+        .unwrap();
+        restored.import_state(header, &sealed, &[]).unwrap();
+        let (epoch4, skipped) = restored.export_state_if_newer(header, Some(epoch)).unwrap();
+        assert_eq!(epoch4, epoch);
+        assert!(skipped.is_none());
     }
 
     #[test]

@@ -53,6 +53,12 @@ pub mod ecall {
     /// Import a sealed serving-state blob into a freshly built enclave on
     /// the same platform with the same measurement (restore after restart).
     pub const IMPORT_STATE: u16 = 17;
+    /// Export serving state only if it changed: the caller supplies the
+    /// state epoch it already holds (plus a force flag) and the enclave
+    /// replies with its current epoch and — only when newer or forced —
+    /// a fresh sealed export. Lets incremental checkpoints skip the
+    /// sealing work for idle slots entirely.
+    pub const EXPORT_STATE_IF_NEWER: u16 = 18;
 }
 
 /// Frame message types used on the client/service wire.

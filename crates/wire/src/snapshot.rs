@@ -75,6 +75,25 @@ pub fn header_bytes(kind: u16, epoch: u64, created_at_nanos: u64) -> Vec<u8> {
     enc.into_bytes()
 }
 
+/// The canonical AAD for sealed blobs embedded in a *delta* snapshot: the
+/// delta's own header followed by the canonical header bytes of the frame
+/// it extends. Binding both identities into the AAD means a sealed blob
+/// exported for delta N-on-base B authenticates only when restored as
+/// exactly that link of the chain — splicing the delta onto a different
+/// base (or reordering deltas) fails AEAD authentication inside the
+/// enclave even if every frame's own CRC is intact.
+#[must_use]
+pub fn chained_header_bytes(
+    kind: u16,
+    epoch: u64,
+    created_at_nanos: u64,
+    base_header: &[u8],
+) -> Vec<u8> {
+    let mut bytes = header_bytes(kind, epoch, created_at_nanos);
+    bytes.extend_from_slice(base_header);
+    bytes
+}
+
 /// A framed snapshot: a kind tag (namespaced by the producing subsystem), a
 /// monotonically increasing epoch, the producer's clock reading, and an
 /// opaque payload, CRC-guarded end to end.
@@ -230,6 +249,21 @@ mod tests {
         // Different epochs produce different headers (the AAD separation the
         // sealing layer relies on).
         assert_ne!(header_bytes(1, 7, 0), header_bytes(1, 8, 0));
+    }
+
+    #[test]
+    fn chained_headers_bind_both_links() {
+        let base = header_bytes(1, 7, 100);
+        let chained = chained_header_bytes(2, 8, 200, &base);
+        // The delta's own header is a strict prefix; the base header trails.
+        assert_eq!(&chained[..SNAPSHOT_HEADER_LEN], header_bytes(2, 8, 200));
+        assert_eq!(&chained[SNAPSHOT_HEADER_LEN..], base.as_slice());
+        // Any change to either link separates the AAD.
+        assert_ne!(chained, chained_header_bytes(2, 9, 200, &base));
+        assert_ne!(
+            chained,
+            chained_header_bytes(2, 8, 200, &header_bytes(1, 6, 100))
+        );
     }
 
     #[test]
