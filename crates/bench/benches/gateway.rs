@@ -29,7 +29,8 @@ use glimmer_core::remote::{IotDeviceSession, RemoteGlimmerHost};
 use glimmer_core::signing::ServiceKeyMaterial;
 use glimmer_crypto::drbg::Drbg;
 use glimmer_gateway::frontend::{AsyncGateway, SessionExecutor};
-use glimmer_gateway::{Gateway, GatewayConfig, TenantConfig};
+use glimmer_gateway::net::GatewayClient;
+use glimmer_gateway::{Gateway, GatewayConfig, NetConfig, TenantConfig};
 use sgx_sim::{AttestationService, PlatformConfig};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -563,10 +564,117 @@ fn bench_replay_ingest(c: &mut Criterion) {
     group.finish();
 }
 
+/// The socket front door against the in-process blocking driver at equal
+/// traffic: what one submit+drain round costs once a real loopback TCP hop
+/// (framing, epoll wakeups, one front-door thread) sits between the
+/// devices and the pool.
+fn bench_gateway_net(c: &mut Criterion) {
+    if !glimmer_gateway::net::supported() {
+        return;
+    }
+    let mut group = c.benchmark_group("gateway_net");
+    const SESSIONS: usize = 64;
+    const SLOTS: usize = 2;
+
+    // In-process baseline: blocking submits straight into the gateway.
+    {
+        let BatchedSetup {
+            gateway,
+            mut established,
+        } = batched_setup(SESSIONS, SLOTS, (36, 37));
+        group.throughput(Throughput::Elements(SESSIONS as u64));
+        group.bench_function(BenchmarkId::new("in_process_driver", SESSIONS), |b| {
+            b.iter(|| {
+                for (sid, client, device) in &mut established {
+                    let request = device.encrypt_request(contribution(*client), PrivateData::None);
+                    gateway.submit(*sid, request).unwrap();
+                }
+                drain_all_endorsed(&gateway)
+            })
+        });
+    }
+
+    // Socket path: one TCP connection per session, lifecycle established
+    // over the wire, then steady-state submit + client-driven drain.
+    {
+        let mut rng = Drbg::from_seed([38u8; 32]);
+        let mut avs = AttestationService::new([39u8; 32]);
+        let material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+        let gateway = Gateway::new(
+            GatewayConfig {
+                slots_per_tenant: SLOTS,
+                shards: 1,
+                max_batch: 256,
+                max_queue_depth: 4096,
+                placement_session_weight: 4,
+                platform_config: PlatformConfig::default(),
+                evict_stale_period: None,
+                net: NetConfig {
+                    idle_timeout: None,
+                    drain_interval: None,
+                    ..NetConfig::default()
+                },
+                ..GatewayConfig::default()
+            },
+            vec![TenantConfig::new(
+                APP,
+                GlimmerDescriptor::iot_default(Vec::new()),
+                material.secret_bytes(),
+            )],
+            &mut avs,
+            &mut rng,
+        )
+        .unwrap();
+        let approved = gateway.measurement(APP).unwrap();
+        let server = glimmer_gateway::net::serve(AsyncGateway::new(gateway), None).unwrap();
+        let clients: Vec<u64> = (0..SESSIONS as u64).collect();
+        let masks = BlindingService::new([15u8; 32]).zero_sum_masks(0, &clients, DIM);
+        let mut conns = Vec::with_capacity(SESSIONS);
+        for client in &clients {
+            let mut conn = GatewayClient::connect(server.addr()).unwrap();
+            conn.set_read_timeout(Some(Duration::from_secs(60)))
+                .unwrap();
+            let (sid, offer) = conn.open_session(APP).unwrap();
+            let (accept, device) =
+                IotDeviceSession::connect(&offer, &avs, &approved, &mut rng).unwrap();
+            conn.complete_session(sid, &accept).unwrap();
+            conn.install_mask(sid, &masks[*client as usize]).unwrap();
+            conns.push((conn, sid, *client, device));
+        }
+        group.throughput(Throughput::Elements(SESSIONS as u64));
+        group.bench_function(BenchmarkId::new("socket_driver", SESSIONS), |b| {
+            b.iter(|| {
+                for (conn, sid, client, device) in conns.iter_mut() {
+                    let request = device.encrypt_request(contribution(*client), PrivateData::None);
+                    conn.submit(*sid, request).unwrap();
+                }
+                let mut routed = 0u64;
+                while routed < SESSIONS as u64 {
+                    routed += conns[0].0.drain().unwrap();
+                }
+                let mut endorsed = 0usize;
+                for (conn, sid, _, _) in conns.iter_mut() {
+                    let envelope = conn.next_reply().unwrap();
+                    assert_eq!(envelope.session_id, *sid);
+                    let BatchOutcome::Reply { endorsed: e, .. } = &envelope.outcome else {
+                        panic!("bench item failed: {:?}", envelope.outcome);
+                    };
+                    assert!(e, "bench traffic is honest");
+                    endorsed += 1;
+                }
+                endorsed
+            })
+        });
+        drop(conns);
+        server.stop();
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = config();
     targets = bench_serving, bench_shard_scaling, bench_batched_submission, bench_async_frontend,
-        bench_replay_ingest
+        bench_replay_ingest, bench_gateway_net
 }
 criterion_main!(benches);

@@ -3,6 +3,7 @@
 use crate::telemetry::TelemetryConfig;
 use glimmer_core::host::GlimmerDescriptor;
 use sgx_sim::PlatformConfig;
+use std::time::Duration;
 
 /// Limits a tenant buys when it enrolls with the gateway.
 #[derive(Debug, Clone)]
@@ -109,6 +110,55 @@ pub struct GatewayConfig {
     /// the hot path (the E16 experiment holds the bar at under 5%
     /// overhead).
     pub telemetry: TelemetryConfig,
+    /// Age at which a still-pending handshake counts as abandoned for
+    /// [`Gateway::evict_stale_pending`](crate::Gateway::evict_stale_pending)
+    /// and for the front door's periodic eviction sweep.
+    pub stale_pending_after: Duration,
+    /// How often the socket front door sweeps
+    /// [`Gateway::evict_stale_pending`](crate::Gateway::evict_stale_pending)
+    /// on its timer wheel. `None` disables the sweep (an operator then owns
+    /// eviction); defaults on, because an unswept network gateway leaks a
+    /// session-quota unit for every handshake a device abandons. Drivers
+    /// without the front door (in-process experiments, tests) are
+    /// unaffected — the sweeper task only exists inside `net::serve`.
+    pub evict_stale_period: Option<Duration>,
+    /// Socket front-door parameters (framing limits, idle deadline, drain
+    /// cadence). Only read by [`net::serve`](crate::net::serve); a gateway
+    /// driven purely in-process never touches them.
+    pub net: NetConfig,
+}
+
+/// Socket front-door parameters (see [`crate::net`]).
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Address [`net::serve`](crate::net::serve) binds its listener to.
+    /// Defaults to an ephemeral loopback port (`127.0.0.1:0`); read the
+    /// bound address back from
+    /// [`ServerHandle::addr`](crate::net::ServerHandle::addr).
+    pub bind_addr: String,
+    /// Largest accepted frame (length-prefix bound) in bytes. A peer
+    /// announcing more is cut off with a typed error before any allocation
+    /// of that size happens.
+    pub max_frame_len: usize,
+    /// Close a connection that has been silent (no complete frame in either
+    /// direction) this long, measured on the executor clock. `None` trusts
+    /// clients to hang up; the default does not.
+    pub idle_timeout: Option<Duration>,
+    /// Cadence of the server's periodic reply drain. `None` drains only on
+    /// explicit client `Drain` requests — the deterministic mode E19's
+    /// bit-identical comparison uses.
+    pub drain_interval: Option<Duration>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            bind_addr: "127.0.0.1:0".to_string(),
+            max_frame_len: 1 << 20,
+            idle_timeout: Some(Duration::from_secs(60)),
+            drain_interval: Some(Duration::from_millis(1)),
+        }
+    }
 }
 
 impl Default for GatewayConfig {
@@ -122,6 +172,9 @@ impl Default for GatewayConfig {
             pin_cores: false,
             platform_config: PlatformConfig::default(),
             telemetry: TelemetryConfig::default(),
+            stale_pending_after: Duration::from_secs(30),
+            evict_stale_period: Some(Duration::from_secs(5)),
+            net: NetConfig::default(),
         }
     }
 }
@@ -147,6 +200,17 @@ mod tests {
         // Telemetry ships on, with sampled (not exhaustive) tracing.
         assert!(config.telemetry.enabled);
         assert!(config.telemetry.trace_sample_interval > 1);
+        // The front door evicts abandoned handshakes by default — a
+        // network gateway that never sweeps leaks quota forever — and the
+        // sweep period must lap the staleness age, or every sweep would be
+        // a no-op.
+        let period = config.evict_stale_period.expect("eviction defaults on");
+        assert!(period < config.stale_pending_after);
+        // Idle connections are dropped by default, and the frame bound
+        // comfortably fits a max_batch submit group.
+        assert!(config.net.idle_timeout.is_some());
+        assert!(config.net.max_frame_len >= 64 * 1024);
+        assert!(config.net.drain_interval.is_some());
 
         let quota = TenantQuota::default();
         assert!(quota.endorsement_budget.is_none());

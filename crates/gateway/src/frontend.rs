@@ -111,14 +111,28 @@
 pub(crate) mod completion;
 pub mod executor;
 
-pub use executor::{SessionExecutor, TaskId, WaitGroup, WaitGroupFuture};
+pub use executor::{
+    SessionExecutor, Sleep, Spawner, TaskId, TimerHandle, WaitGroup, WaitGroupFuture,
+};
 
 use crate::error::Result;
 use crate::gateway::{Gateway, GatewayResponse};
 use glimmer_core::blinding::MaskShare;
 use glimmer_core::channel::{ChannelAccept, ChannelOffer};
 use glimmer_core::enclave_app::MaskDelivery;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, recovering from poisoning by taking the inner guard.
+///
+/// Front-end mutexes (ready queue, completion cells) guard plain
+/// queue/cell state that is valid at every point a panic can unwind
+/// through, so the poison flag carries no information here — and honoring
+/// it would let one panicking session task cascade its failure into every
+/// other session sharing the executor (the exact outage the panic
+/// containment in [`executor`] exists to prevent).
+pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The non-blocking `async fn` surface over a [`Gateway`].
 ///

@@ -16,8 +16,14 @@
 //! [`GatewayError::RuntimeUnavailable`](crate::GatewayError::RuntimeUnavailable)
 //! instead of pending forever — the exact analogue of `recv` returning
 //! `RecvError` when the sender side is gone.
+//!
+//! Lock acquisitions recover from poisoning (the cell holds a plain
+//! value/waker pair with no invariant a mid-panic unwind can break): a task
+//! that panics while a shard worker is mid-`complete` must fail alone, not
+//! cascade a poison panic through every other session's completion cell.
 
 use crate::error::{GatewayError, Result};
+use crate::frontend::lock_unpoisoned;
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::{Arc, Mutex};
@@ -60,7 +66,7 @@ impl<T> Completer<T> {
     /// Delivers the reply and wakes the awaiting task, if one is parked.
     pub(crate) fn complete(mut self, value: T) {
         let waker = {
-            let mut state = self.state.lock().expect("completion cell poisoned");
+            let mut state = lock_unpoisoned(&self.state);
             state.value = Some(value);
             state.waker.take()
         };
@@ -80,7 +86,7 @@ impl<T> Drop for Completer<T> {
         // abandoned). Close the cell and wake the waiter so it observes
         // `RuntimeUnavailable` instead of parking forever.
         let waker = {
-            let mut state = self.state.lock().expect("completion cell poisoned");
+            let mut state = lock_unpoisoned(&self.state);
             state.closed = true;
             state.waker.take()
         };
@@ -100,7 +106,7 @@ impl<T> Future for Completion<T> {
     type Output = Result<T>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-        let mut state = self.state.lock().expect("completion cell poisoned");
+        let mut state = lock_unpoisoned(&self.state);
         if let Some(value) = state.value.take() {
             return Poll::Ready(Ok(value));
         }

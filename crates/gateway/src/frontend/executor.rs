@@ -15,8 +15,31 @@
 //!   worker threads completing a command through the crate-internal
 //!   completion cells) push the task id onto a
 //!   mutex+condvar queue; [`SessionExecutor::run`] pops and polls in wake
-//!   order and parks the thread when nothing is runnable. No spinning, no
-//!   timers.
+//!   order and parks the thread when nothing is runnable. No spinning.
+//! * **Hierarchical timer wheel** — [`SessionExecutor::sleep_until`] (and
+//!   [`TimerHandle`]) registers deadlines against the executor's injected
+//!   [`Clock`]; the run loop fires due timers before each poll and bounds
+//!   its park by the nearest deadline. Idle-connection timeouts, periodic
+//!   stale-session eviction, and drain ticks all ride this wheel instead of
+//!   spawning helper threads.
+//! * **Pluggable park** — the `net` module's epoll reactor can replace the
+//!   condvar park (the crate-internal `SessionExecutor::attach_parker`,
+//!   used by `net::serve_on`): the executor then
+//!   parks in `epoll_wait`, and cross-thread wakes ring an eventfd doorbell
+//!   so shard-worker completions and socket readiness share one wait.
+//!
+//! # Panic containment
+//!
+//! A panicking task must not take its neighbours down. Two layers enforce
+//! that: every internal mutex acquisition recovers from poisoning (the
+//! protected state is a plain queue/cell with no invariants a mid-panic
+//! unwind can break), and each poll runs under
+//! [`std::panic::catch_unwind`] — a panic retires *that* task only (its
+//! dropped completers resolve to
+//! [`RuntimeUnavailable`](crate::GatewayError::RuntimeUnavailable) for
+//! anyone awaiting it) and is counted in
+//! [`SessionExecutor::panicked_tasks`]. Healthy sessions sharing the
+//! executor keep running.
 //!
 //! Determinism: tasks are first polled in spawn order, wakes are queued in
 //! delivery order, and the executor never reorders the queue. Micro-timing
@@ -33,13 +56,18 @@
 //! [`SessionExecutor::run`]. That is the load-bearing claim of the async
 //! front-end (E15 asserts the process thread count to pin it down).
 
+use crate::clock::{Clock, SystemClock};
+use crate::frontend::lock_unpoisoned;
 use crate::telemetry::Telemetry;
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 use std::task::{Context, Poll, Waker};
+use std::time::Duration;
 
 /// Identifier of a spawned task: its slab slot plus the generation that was
 /// live when it was spawned (slot reuse bumps the generation, so ids never
@@ -50,11 +78,37 @@ pub struct TaskId {
     generation: u64,
 }
 
+/// A cross-thread doorbell rung on every ready-queue push once attached.
+///
+/// The `net` reactor implements this over an eventfd: when the executor is
+/// parked in `epoll_wait` rather than on the queue condvar, a shard worker
+/// delivering a completion must kick the epoll set, not just the condvar.
+pub(crate) trait Doorbell: Send + Sync {
+    /// Wakes the parked reactor; must be cheap and callable from any thread.
+    fn ring(&self);
+}
+
+/// How the executor parks when nothing is runnable. The default is the
+/// ready queue's condvar; the `net` reactor substitutes `epoll_wait` so
+/// socket readiness wakes the same loop.
+pub(crate) trait Parker {
+    /// Parks until a wake arrives or `timeout` elapses (`None` = no bound),
+    /// waking any tasks whose I/O became ready. Spurious returns are fine:
+    /// the run loop re-checks the ready queue and timer wheel every pass.
+    fn park(&self, timeout: Option<Duration>);
+}
+
 /// The cross-thread readiness queue: wakers push `(slot, generation,
 /// wake-time)` triples, the executor pops them in order and parks when the
 /// queue is empty. With a telemetry hub attached, each entry carries the
 /// hub clock's reading at enqueue time so the executor can histogram the
 /// wake-to-poll scheduling delay.
+///
+/// Every lock acquisition recovers from poisoning: the protected state is a
+/// plain `VecDeque` that is valid at every point a panic could unwind
+/// through, so taking the inner guard is sound — and it keeps one panicking
+/// session task from cascading a poison panic into every other session
+/// sharing the executor.
 struct ReadyQueue {
     queue: Mutex<VecDeque<(usize, u64, u64)>>,
     available: Condvar,
@@ -64,22 +118,37 @@ struct ReadyQueue {
     /// ([`SessionExecutor::attach_telemetry`]); absent, entries carry 0 and
     /// nothing is recorded.
     telemetry: OnceLock<Arc<Telemetry>>,
+    /// Reactor doorbell ([`SessionExecutor::attach_parker`]); absent, the
+    /// condvar notify alone delivers the wake.
+    doorbell: OnceLock<Arc<dyn Doorbell>>,
 }
 
 impl ReadyQueue {
     fn push(&self, slot: usize, generation: u64) {
         self.wakeups.fetch_add(1, Ordering::Relaxed);
         let wake_nanos = self.telemetry.get().map_or(0, |hub| hub.now_nanos());
-        let mut queue = self.queue.lock().expect("ready queue poisoned");
+        let mut queue = lock_unpoisoned(&self.queue);
         queue.push_back((slot, generation, wake_nanos));
         drop(queue);
         // One waiter at most: the executor is single-threaded by design.
         self.available.notify_one();
+        if let Some(bell) = self.doorbell.get() {
+            bell.ring();
+        }
+    }
+
+    /// Pops the next ready task if one is queued.
+    fn try_pop(&self) -> Option<(usize, u64, u64)> {
+        lock_unpoisoned(&self.queue).pop_front()
     }
 
     /// Pops the next ready task, parking the thread until one arrives.
+    /// The run loop itself uses the timeout-bounded [`ReadyQueue::wait_ready`]
+    /// (timers must keep firing); this unbounded variant serves tests that
+    /// need to observe a wake with no timer armed.
+    #[cfg(test)]
     fn pop_wait(&self) -> (usize, u64, u64) {
-        let mut queue = self.queue.lock().expect("ready queue poisoned");
+        let mut queue = lock_unpoisoned(&self.queue);
         loop {
             if let Some(entry) = queue.pop_front() {
                 return entry;
@@ -87,7 +156,32 @@ impl ReadyQueue {
             queue = self
                 .available
                 .wait(queue)
-                .expect("ready queue poisoned while parked");
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Parks until the queue is (or becomes) non-empty or `timeout` elapses.
+    /// The emptiness re-check happens under the queue mutex — the same mutex
+    /// `push` notifies under — so a wake between the check and the wait
+    /// cannot be lost.
+    fn wait_ready(&self, timeout: Option<Duration>) {
+        let queue = lock_unpoisoned(&self.queue);
+        if !queue.is_empty() {
+            return;
+        }
+        match timeout {
+            None => {
+                let _unused = self
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            Some(timeout) => {
+                let _unused = self
+                    .available
+                    .wait_timeout(queue, timeout)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
         }
     }
 }
@@ -110,8 +204,9 @@ impl WakeHandle {
 
 /// The hand-rolled `RawWaker` vtable over `Arc<WakeHandle>`.
 ///
-/// This is the one corner of the crate that needs `unsafe`: the vtable
-/// functions receive the type-erased `*const ()` the `Arc` was turned into
+/// This is one of the two corners of the crate that need `unsafe` (the
+/// other being the raw syscall shims): the vtable functions receive the
+/// type-erased `*const ()` the `Arc` was turned into
 /// and must reconstruct it. The invariants are the standard `Arc::into_raw`
 /// contract, kept locally checkable:
 ///
@@ -160,6 +255,248 @@ mod raw {
     }
 }
 
+/// Wheel granularity: one tick is `1 << TICK_SHIFT` nanoseconds (~1.05 ms).
+const TICK_SHIFT: u32 = 20;
+/// Slots per wheel level; each level covers 64x the span of the one below.
+const WHEEL_SLOTS: usize = 64;
+/// Wheel levels; together they cover `64^4` ticks (~4.9 hours). Deadlines
+/// beyond that wait in an overflow list and cascade in when the horizon
+/// advances far enough.
+const WHEEL_LEVELS: usize = 4;
+
+/// One registered deadline. There is no cancellation: a timer whose task
+/// completed first fires into a stale waker, which the generation check
+/// discards — the cost of a spurious fire is one ignored queue entry.
+struct TimerEntry {
+    deadline_nanos: u64,
+    waker: Waker,
+}
+
+/// The hierarchical timer wheel. Single-threaded (owned by the executor
+/// behind an `Rc<RefCell<..>>`); ticks are derived from the executor's
+/// injected [`Clock`], so a [`ManualClock`](crate::ManualClock) drives it
+/// deterministically in tests.
+///
+/// Firing is tick-granular: an entry fires when the wheel advances past its
+/// deadline's tick, so a fire may be up to one tick (~1 ms) early or — for
+/// an entry registered at an already-elapsed deadline — one tick late.
+/// Callers ([`Sleep`], idle-deadline futures) re-check the clock on wake
+/// and re-register when the real deadline has not passed, so the wheel only
+/// ever schedules wake-ups; it never decides elapsed time itself.
+pub(crate) struct TimerWheel {
+    /// Clock reading at construction; tick 0.
+    origin_nanos: u64,
+    current_tick: u64,
+    levels: Vec<Vec<Vec<TimerEntry>>>,
+    overflow: Vec<TimerEntry>,
+    len: usize,
+}
+
+impl TimerWheel {
+    fn new(origin_nanos: u64) -> Self {
+        TimerWheel {
+            origin_nanos,
+            current_tick: 0,
+            levels: (0..WHEEL_LEVELS)
+                .map(|_| (0..WHEEL_SLOTS).map(|_| Vec::new()).collect())
+                .collect(),
+            overflow: Vec::new(),
+            len: 0,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn tick_for(&self, nanos: u64) -> u64 {
+        nanos.saturating_sub(self.origin_nanos) >> TICK_SHIFT
+    }
+
+    fn insert(&mut self, deadline_nanos: u64, waker: Waker) {
+        self.len += 1;
+        let entry = TimerEntry {
+            deadline_nanos,
+            waker,
+        };
+        // An already-due deadline (the clock advanced between the caller's
+        // check and this insert) lands on the next tick instead of a slot
+        // the wheel has already passed and would never visit again.
+        let tick = self.tick_for(deadline_nanos).max(self.current_tick + 1);
+        let delta = tick - self.current_tick;
+        let mut level = 0;
+        let mut span = WHEEL_SLOTS as u64;
+        while level < WHEEL_LEVELS && delta >= span {
+            level += 1;
+            span = span.saturating_mul(WHEEL_SLOTS as u64);
+        }
+        if level == WHEEL_LEVELS {
+            self.overflow.push(entry);
+            return;
+        }
+        let slot = ((tick >> (6 * level as u32)) % WHEEL_SLOTS as u64) as usize;
+        self.levels[level][slot].push(entry);
+    }
+
+    /// Earliest registered deadline, if any. A linear scan: it runs once per
+    /// executor park, and even a thousand armed idle timers cost only a
+    /// thousand comparisons.
+    fn next_deadline(&self) -> Option<u64> {
+        let mut min: Option<u64> = None;
+        let entries = self
+            .levels
+            .iter()
+            .flatten()
+            .flatten()
+            .chain(self.overflow.iter());
+        for entry in entries {
+            min = Some(min.map_or(entry.deadline_nanos, |m: u64| m.min(entry.deadline_nanos)));
+        }
+        min
+    }
+
+    /// Advances the wheel to `now`, waking every entry whose tick has been
+    /// reached (higher levels cascade down at their slot boundaries).
+    /// Returns the number of timers fired.
+    ///
+    /// Dead stretches are skipped in strides rather than tick-by-tick: the
+    /// wheel only ever needs to *visit* a tick that is the earliest
+    /// registered deadline (something fires there) or a level boundary
+    /// (higher-level entries redistribute there). A multi-hour manual-clock
+    /// jump therefore costs thousands of stops, not millions.
+    fn advance(&mut self, now_nanos: u64) -> u64 {
+        let target = self.tick_for(now_nanos);
+        let mut fired = 0u64;
+        while self.current_tick < target {
+            let Some(min_deadline) = self.next_deadline() else {
+                self.current_tick = target;
+                break;
+            };
+            // An insert clamped past its (already-elapsed) deadline sits a
+            // tick or two after `tick_for(min_deadline)`; bounding the
+            // stride by `current + 1` walks those few ticks one at a time.
+            let due_tick = self.tick_for(min_deadline).max(self.current_tick + 1);
+            let next_boundary = (self.current_tick / WHEEL_SLOTS as u64 + 1) * WHEEL_SLOTS as u64;
+            let tick = due_tick.min(next_boundary).min(target);
+            self.current_tick = tick;
+            // Cascade top-down at each crossed boundary, so redistributed
+            // entries land in their final slot before the level-0 drain
+            // below reaches it.
+            if tick.is_multiple_of((WHEEL_SLOTS as u64).pow(WHEEL_LEVELS as u32)) {
+                let pending = std::mem::take(&mut self.overflow);
+                self.reinsert(pending);
+            }
+            for level in (1..WHEEL_LEVELS).rev() {
+                if tick.is_multiple_of((WHEEL_SLOTS as u64).pow(level as u32)) {
+                    let slot = ((tick >> (6 * level as u32)) % WHEEL_SLOTS as u64) as usize;
+                    let pending = std::mem::take(&mut self.levels[level][slot]);
+                    self.reinsert(pending);
+                }
+            }
+            let slot = (tick % WHEEL_SLOTS as u64) as usize;
+            for entry in self.levels[0][slot].drain(..) {
+                entry.waker.wake();
+                fired += 1;
+                self.len -= 1;
+            }
+        }
+        fired
+    }
+
+    fn reinsert(&mut self, entries: Vec<TimerEntry>) {
+        for entry in entries {
+            self.len -= 1; // insert re-counts it
+            self.insert(entry.deadline_nanos, entry.waker);
+        }
+    }
+}
+
+/// A clone-able handle for registering deadlines on the executor's timer
+/// wheel from inside tasks (not `Send`: it stays on the executor thread,
+/// like the tasks themselves).
+///
+/// Obtained from [`SessionExecutor::timer`]. Deadlines are absolute
+/// nanosecond readings of the executor's injected [`Clock`], so the same
+/// code is driven by wall time in production and by a
+/// [`ManualClock`](crate::ManualClock) in tests.
+#[derive(Clone)]
+pub struct TimerHandle {
+    wheel: Rc<RefCell<TimerWheel>>,
+    clock: Arc<dyn Clock>,
+}
+
+impl TimerHandle {
+    /// The executor clock's current reading.
+    #[must_use]
+    pub fn now_nanos(&self) -> u64 {
+        self.clock.now_nanos()
+    }
+
+    /// Resolves once the executor clock reaches `deadline_nanos` (an
+    /// already-elapsed deadline resolves on first poll).
+    #[must_use]
+    pub fn sleep_until(&self, deadline_nanos: u64) -> Sleep {
+        Sleep {
+            wheel: Rc::clone(&self.wheel),
+            clock: Arc::clone(&self.clock),
+            deadline_nanos,
+        }
+    }
+
+    /// Resolves once `duration` has elapsed on the executor clock.
+    #[must_use]
+    pub fn sleep(&self, duration: Duration) -> Sleep {
+        self.sleep_until(
+            self.clock
+                .now_nanos()
+                .saturating_add(duration.as_nanos() as u64),
+        )
+    }
+}
+
+impl core::fmt::Debug for TimerHandle {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("TimerHandle")
+            .field("armed", &self.wheel.borrow().len)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Future returned by [`TimerHandle::sleep_until`] /
+/// [`SessionExecutor::sleep_until`]: pending until the executor clock
+/// reaches the deadline.
+///
+/// Every pending poll re-registers the current waker on the wheel, so the
+/// future stays correct when the executor re-polls it through a fresh waker
+/// and under spurious wake-ups (it simply re-checks the clock).
+pub struct Sleep {
+    wheel: Rc<RefCell<TimerWheel>>,
+    clock: Arc<dyn Clock>,
+    deadline_nanos: u64,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        if self.clock.now_nanos() >= self.deadline_nanos {
+            return Poll::Ready(());
+        }
+        self.wheel
+            .borrow_mut()
+            .insert(self.deadline_nanos, cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+impl core::fmt::Debug for Sleep {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Sleep")
+            .field("deadline_nanos", &self.deadline_nanos)
+            .finish_non_exhaustive()
+    }
+}
+
 /// One slab slot: the task's future (while alive) and the slot's current
 /// generation. The waker is created once per spawn and cloned per poll.
 struct Slot {
@@ -167,6 +504,16 @@ struct Slot {
     generation: u64,
     waker: Option<Waker>,
 }
+
+/// Upper bound on a timer-driven park. The wheel's deadlines are readings
+/// of an *injected* clock that real time may not track (a `ManualClock`
+/// advanced by a test thread, a lagging replay clock), so the executor
+/// never trusts a deadline to convert into a wall-clock wait: it parks at
+/// most this long and re-reads the clock. An idle executor with armed
+/// timers therefore wakes at most ~100 times a second — measured noise
+/// against a single epoll_wait syscall — and a manual clock advance is
+/// observed within one bound regardless of who advances it.
+const MAX_TIMER_PARK: Duration = Duration::from_millis(10);
 
 /// The single-threaded session executor.
 ///
@@ -200,6 +547,36 @@ pub struct SessionExecutor {
     live: usize,
     ready: Arc<ReadyQueue>,
     polls: u64,
+    clock: Arc<dyn Clock>,
+    timers: Rc<RefCell<TimerWheel>>,
+    parker: Option<Rc<dyn Parker>>,
+    panicked: u64,
+    injected: InjectedTasks,
+}
+
+/// Futures handed to the executor by a [`Spawner`], adopted before the
+/// next poll.
+type InjectedTasks = Rc<RefCell<Vec<Pin<Box<dyn Future<Output = ()>>>>>>;
+
+/// A task-side spawn handle: lets a running task (the front door's accept
+/// loop) hand new tasks to its own executor.
+///
+/// [`SessionExecutor::spawn`] needs `&mut self`, which a task polled *by*
+/// the executor can never hold; a `Spawner` instead queues the future and
+/// the run loop adopts it before its next poll. Not `Send` — it only works
+/// from tasks on the owning executor's thread, which is the only place a
+/// task can be running anyway.
+#[derive(Clone)]
+pub struct Spawner {
+    injected: InjectedTasks,
+}
+
+impl Spawner {
+    /// Queues `future` for adoption; it is spawned (and first polled)
+    /// before the executor's next poll of any task.
+    pub fn spawn(&self, future: impl Future<Output = ()> + 'static) {
+        self.injected.borrow_mut().push(Box::pin(future));
+    }
 }
 
 impl Default for SessionExecutor {
@@ -209,9 +586,19 @@ impl Default for SessionExecutor {
 }
 
 impl SessionExecutor {
-    /// Creates an executor with no tasks.
+    /// Creates an executor with no tasks, timing against a fresh
+    /// [`SystemClock`].
     #[must_use]
     pub fn new() -> Self {
+        Self::with_clock(Arc::new(SystemClock::new()))
+    }
+
+    /// Creates an executor whose timer wheel reads `clock` — inject the
+    /// gateway's [`ManualClock`](crate::ManualClock) to drive timeouts and
+    /// eviction deterministically in tests.
+    #[must_use]
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        let origin = clock.now_nanos();
         SessionExecutor {
             slots: Vec::new(),
             free: Vec::new(),
@@ -221,8 +608,14 @@ impl SessionExecutor {
                 available: Condvar::new(),
                 wakeups: AtomicU64::new(0),
                 telemetry: OnceLock::new(),
+                doorbell: OnceLock::new(),
             }),
             polls: 0,
+            clock,
+            timers: Rc::new(RefCell::new(TimerWheel::new(origin))),
+            parker: None,
+            panicked: 0,
+            injected: Rc::new(RefCell::new(Vec::new())),
         }
     }
 
@@ -272,6 +665,44 @@ impl SessionExecutor {
         self.ready.wakeups.load(Ordering::Relaxed)
     }
 
+    /// Tasks retired because they panicked mid-poll (each was contained:
+    /// the panic unwound only that task's future; see the module docs).
+    #[must_use]
+    pub fn panicked_tasks(&self) -> u64 {
+        self.panicked
+    }
+
+    /// A handle for registering timer-wheel deadlines from inside tasks.
+    #[must_use]
+    pub fn timer(&self) -> TimerHandle {
+        TimerHandle {
+            wheel: Rc::clone(&self.timers),
+            clock: Arc::clone(&self.clock),
+        }
+    }
+
+    /// Resolves once the executor clock reaches `deadline_nanos` —
+    /// shorthand for [`TimerHandle::sleep_until`] when spawning.
+    #[must_use]
+    pub fn sleep_until(&self, deadline_nanos: u64) -> Sleep {
+        self.timer().sleep_until(deadline_nanos)
+    }
+
+    /// The executor's injected clock (shared with its timer wheel).
+    #[must_use]
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.clock)
+    }
+
+    /// A handle tasks can use to spawn sibling tasks onto this executor
+    /// (see [`Spawner`]).
+    #[must_use]
+    pub fn spawner(&self) -> Spawner {
+        Spawner {
+            injected: Rc::clone(&self.injected),
+        }
+    }
+
     /// Attaches a telemetry hub (normally
     /// [`crate::Gateway::telemetry_handle`]): every subsequent wake carries
     /// an enqueue timestamp, and [`SessionExecutor::run`] histograms the
@@ -283,8 +714,18 @@ impl SessionExecutor {
         let _ = self.ready.telemetry.set(telemetry);
     }
 
+    /// Replaces the condvar park with a reactor park (the `net` epoll
+    /// reactor): [`SessionExecutor::run`] then parks in the reactor, and
+    /// every ready-queue push also rings `doorbell` so cross-thread wakes
+    /// interrupt it. One-shot, attach before `run`.
+    pub(crate) fn attach_parker(&mut self, parker: Rc<dyn Parker>, doorbell: Arc<dyn Doorbell>) {
+        let _ = self.ready.doorbell.set(doorbell);
+        self.parker = Some(parker);
+    }
+
     /// Drives every spawned task to completion, parking the calling thread
-    /// whenever no task is runnable. Returns when no live tasks remain.
+    /// whenever no task is runnable and no timer is due. Returns when no
+    /// live tasks remain.
     ///
     /// All polling happens on the calling thread; the executor never spawns
     /// one. A task that parks forever (awaits a completion nothing will
@@ -298,8 +739,13 @@ impl SessionExecutor {
             .get()
             .filter(|hub| hub.enabled())
             .map(Arc::clone);
-        while self.live > 0 {
-            let (slot, generation, wake_nanos) = self.ready.pop_wait();
+        while self.live > 0 || !self.injected.borrow().is_empty() {
+            self.adopt_injected();
+            self.fire_due_timers(hub.as_deref());
+            let Some((slot, generation, wake_nanos)) = self.ready.try_pop() else {
+                self.park();
+                continue;
+            };
             match &hub {
                 Some(hub) => {
                     let poll_start = hub.now_nanos();
@@ -312,8 +758,52 @@ impl SessionExecutor {
         }
     }
 
+    /// Adopts tasks queued through a [`Spawner`] since the last poll.
+    fn adopt_injected(&mut self) {
+        if self.injected.borrow().is_empty() {
+            return;
+        }
+        let pending: Vec<_> = self.injected.borrow_mut().drain(..).collect();
+        for future in pending {
+            self.spawn(future);
+        }
+    }
+
+    /// Wakes every timer whose deadline the clock has passed.
+    fn fire_due_timers(&mut self, hub: Option<&Telemetry>) {
+        if self.timers.borrow().is_empty() {
+            return;
+        }
+        let fired = self.timers.borrow_mut().advance(self.clock.now_nanos());
+        if fired > 0 {
+            if let Some(hub) = hub {
+                hub.record_timer_fires(fired);
+            }
+        }
+    }
+
+    /// Parks until a wake arrives, bounding the wait by the nearest timer
+    /// deadline (and by [`MAX_TIMER_PARK`], since wheel deadlines are in
+    /// injected-clock time that real time need not track).
+    fn park(&self) {
+        let timeout = self.timers.borrow().next_deadline().map(|deadline| {
+            let remaining = deadline.saturating_sub(self.clock.now_nanos()).max(1);
+            Duration::from_nanos(remaining).min(MAX_TIMER_PARK)
+        });
+        match &self.parker {
+            Some(parker) => parker.park(timeout),
+            None => self.ready.wait_ready(timeout),
+        }
+    }
+
     /// Polls one task if the `(slot, generation)` pair still names a live
     /// task; stale or duplicate wakes are ignored.
+    ///
+    /// The poll runs under [`std::panic::catch_unwind`]: a panicking future
+    /// is retired exactly like a completed one (generation bumped, slot
+    /// recycled), so its dropped completers surface
+    /// [`RuntimeUnavailable`](crate::GatewayError::RuntimeUnavailable) to
+    /// whoever awaited it while every other task keeps running.
     fn poll_task(&mut self, slot: usize, generation: u64) {
         let Some(entry) = self.slots.get_mut(slot) else {
             return;
@@ -325,25 +815,51 @@ impl SessionExecutor {
             // Duplicate wake for a task that completed this generation.
             return;
         };
-        let waker = entry
-            .waker
-            .clone()
-            .expect("live task always has a cached waker");
-        self.polls += 1;
-        match future.as_mut().poll(&mut Context::from_waker(&waker)) {
-            Poll::Ready(()) => {
-                // Release the slot: bump the generation so any waker still
-                // held by a shard worker goes stale, then recycle.
-                let entry = &mut self.slots[slot];
-                entry.generation += 1;
-                entry.waker = None;
-                self.free.push(slot);
-                self.live -= 1;
+        let waker = match entry.waker.clone() {
+            Some(waker) => waker,
+            None => {
+                // Self-heal a missing cached waker (an executor bug, not a
+                // task bug) rather than panicking the whole front end.
+                let waker = raw::waker(Arc::new(WakeHandle {
+                    slot,
+                    generation,
+                    ready: Arc::clone(&self.ready),
+                }));
+                entry.waker = Some(waker.clone());
+                waker
             }
-            Poll::Pending => {
+        };
+        self.polls += 1;
+        let poll = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            future.as_mut().poll(&mut Context::from_waker(&waker))
+        }));
+        match poll {
+            Ok(Poll::Ready(())) => self.retire(slot),
+            Ok(Poll::Pending) => {
                 self.slots[slot].future = Some(future);
             }
+            Err(_panic) => {
+                // Contain the panic to this task: drop its future (closing
+                // any completers it held — each resolves its awaiter to
+                // RuntimeUnavailable), guard against a panicking Drop, and
+                // retire the slot like a normal completion.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                    drop(future);
+                }));
+                self.panicked += 1;
+                self.retire(slot);
+            }
         }
+    }
+
+    /// Releases a finished slot: bump the generation so any waker still
+    /// held by a shard worker goes stale, then recycle.
+    fn retire(&mut self, slot: usize) {
+        let entry = &mut self.slots[slot];
+        entry.generation += 1;
+        entry.waker = None;
+        self.free.push(slot);
+        self.live -= 1;
     }
 }
 
@@ -352,6 +868,7 @@ impl core::fmt::Debug for SessionExecutor {
         f.debug_struct("SessionExecutor")
             .field("live_tasks", &self.live)
             .field("polls", &self.polls)
+            .field("panicked", &self.panicked)
             .finish_non_exhaustive()
     }
 }
@@ -448,6 +965,7 @@ impl Future for WaitGroupFuture {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::ManualClock;
     use std::cell::{Cell, RefCell};
     use std::rc::Rc;
 
@@ -510,6 +1028,117 @@ mod tests {
         let entry = executor.ready.pop_wait();
         executor.poll_task(entry.0, entry.1);
         assert_eq!(executor.polls(), polls);
+    }
+
+    #[test]
+    fn a_panicking_task_is_contained_and_neighbours_complete() {
+        let mut executor = SessionExecutor::new();
+        let done = Rc::new(Cell::new(0));
+        for _ in 0..4 {
+            let done = Rc::clone(&done);
+            executor.spawn(async move { done.set(done.get() + 1) });
+        }
+        executor.spawn(async move { panic!("deliberate task panic (test)") });
+        for _ in 0..4 {
+            let done = Rc::clone(&done);
+            executor.spawn(async move { done.set(done.get() + 1) });
+        }
+        executor.run();
+        assert_eq!(done.get(), 8, "healthy tasks must all complete");
+        assert_eq!(executor.panicked_tasks(), 1);
+        assert_eq!(executor.live_tasks(), 0);
+
+        // The executor stays usable: the panicked slot is recycled.
+        let hit = Rc::new(Cell::new(false));
+        let hit2 = Rc::clone(&hit);
+        executor.spawn(async move { hit2.set(true) });
+        executor.run();
+        assert!(hit.get());
+    }
+
+    #[test]
+    fn sleep_fires_under_a_manual_clock_only_when_advanced() {
+        let clock = Arc::new(ManualClock::new());
+        let mut executor = SessionExecutor::with_clock(Arc::clone(&clock) as Arc<dyn Clock>);
+        let timer = executor.timer();
+        let woke = Rc::new(Cell::new(false));
+        let woke2 = Rc::clone(&woke);
+        let deadline = Duration::from_millis(50).as_nanos() as u64;
+        executor.spawn(async move {
+            timer.sleep_until(deadline).await;
+            woke2.set(true);
+        });
+        // Drive the clock from a helper thread: the executor's bounded
+        // timer park re-reads it within MAX_TIMER_PARK.
+        let driver = std::thread::spawn(move || {
+            for _ in 0..200 {
+                std::thread::sleep(Duration::from_millis(1));
+                clock.advance(Duration::from_millis(2));
+            }
+        });
+        executor.run();
+        driver.join().unwrap();
+        assert!(woke.get());
+    }
+
+    #[test]
+    fn sleep_orders_by_deadline_not_spawn_order() {
+        let clock = Arc::new(ManualClock::new());
+        let mut executor = SessionExecutor::with_clock(Arc::clone(&clock) as Arc<dyn Clock>);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let ms = |n: u64| Duration::from_millis(n).as_nanos() as u64;
+        for (label, deadline) in [("late", ms(40)), ("early", ms(10)), ("mid", ms(20))] {
+            let order = Rc::clone(&order);
+            let timer = executor.timer();
+            executor.spawn(async move {
+                timer.sleep_until(deadline).await;
+                order.borrow_mut().push(label);
+            });
+        }
+        let driver = std::thread::spawn(move || {
+            for _ in 0..300 {
+                std::thread::sleep(Duration::from_millis(1));
+                clock.advance(Duration::from_millis(1));
+            }
+        });
+        executor.run();
+        driver.join().unwrap();
+        assert_eq!(*order.borrow(), vec!["early", "mid", "late"]);
+    }
+
+    #[test]
+    fn timer_wheel_cascades_across_levels() {
+        // Drive the wheel directly (no executor) across a level-1 boundary
+        // and into the overflow horizon.
+        let clock = ManualClock::new();
+        let mut wheel = TimerWheel::new(clock.now_nanos());
+        let fired = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let waker = {
+            struct Count(Arc<std::sync::atomic::AtomicUsize>);
+            impl std::task::Wake for Count {
+                fn wake(self: Arc<Self>) {
+                    self.0.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            Waker::from(Arc::new(Count(Arc::clone(&fired))))
+        };
+        let tick = 1u64 << TICK_SHIFT;
+        // One near deadline (level 0), one past the level-0 span (level 1),
+        // one past the whole wheel horizon (overflow).
+        wheel.insert(2 * tick, waker.clone());
+        wheel.insert(100 * tick, waker.clone());
+        let horizon = (WHEEL_SLOTS as u64).pow(WHEEL_LEVELS as u32);
+        wheel.insert((horizon + 10) * tick, waker.clone());
+        assert_eq!(wheel.len, 3);
+        assert_eq!(wheel.next_deadline(), Some(2 * tick));
+
+        assert_eq!(wheel.advance(3 * tick), 1);
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        assert_eq!(wheel.advance(101 * tick), 1);
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+        assert_eq!(wheel.advance((horizon + 11) * tick), 1);
+        assert_eq!(fired.load(Ordering::SeqCst), 3);
+        assert!(wheel.is_empty());
     }
 
     #[test]

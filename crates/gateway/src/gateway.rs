@@ -1715,10 +1715,30 @@ impl Gateway {
         // between the snapshot and this loop. Each teardown therefore
         // re-checks pending-ness under the table lock, so a session that
         // just established is spared (and not reported as evicted).
-        stale
+        let evicted: Vec<u64> = stale
             .into_iter()
             .filter(|&session_id| self.close_session_if_pending(session_id))
-            .collect()
+            .collect();
+        self.shared
+            .telemetry
+            .record_sessions_evicted(evicted.len() as u64);
+        evicted
+    }
+
+    /// The configuration this gateway was built with (eviction periods,
+    /// shard/batch limits, the front door's [`NetConfig`](crate::NetConfig)).
+    #[must_use]
+    pub fn config(&self) -> &crate::GatewayConfig {
+        &self.shared.config
+    }
+
+    /// The gateway's injected [`Clock`] — share it with a
+    /// [`SessionExecutor`](crate::frontend::SessionExecutor) so front-end
+    /// timers (idle deadlines, eviction periods) and the gateway's own
+    /// staleness decisions read the same time source.
+    #[must_use]
+    pub fn clock_handle(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.shared.clock)
     }
 
     /// Captures a crash-consistent checkpoint of the serving gateway:

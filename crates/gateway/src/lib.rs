@@ -60,9 +60,11 @@
 //! public one-bit endorsed/failed outcome it needs for quota accounting.
 
 // `deny`, not `forbid`: the async front-end's hand-rolled `RawWaker` vtable
-// ([`frontend::executor`]) and the raw `sched_setaffinity` syscall behind
-// core pinning ([`affinity`]) are necessarily `unsafe` and carry scoped
-// `allow`s with their invariants documented; everything else stays safe.
+// ([`frontend::executor`]), the raw `sched_setaffinity` syscall behind core
+// pinning ([`affinity`]), and the raw `epoll`/`eventfd` syscalls behind the
+// socket front door's reactor ([`net`]) are necessarily `unsafe` and carry
+// scoped `allow`s with their invariants documented; everything else stays
+// safe.
 #![deny(unsafe_code)]
 #![deny(missing_docs)]
 
@@ -73,6 +75,7 @@ pub mod config;
 pub mod error;
 pub mod frontend;
 pub mod gateway;
+pub mod net;
 pub mod pool;
 pub(crate) mod runtime;
 pub mod session;
@@ -86,10 +89,11 @@ pub use checkpoint::{
     GATEWAY_DELTA_KIND, GATEWAY_SNAPSHOT_KIND,
 };
 pub use clock::{Clock, ManualClock, SystemClock};
-pub use config::{GatewayConfig, TenantConfig, TenantQuota};
+pub use config::{GatewayConfig, NetConfig, TenantConfig, TenantQuota};
 pub use error::{GatewayError, QuotaResource, Result};
 pub use frontend::{AsyncGateway, SessionExecutor, WaitGroup};
 pub use gateway::{Gateway, GatewayResponse};
+pub use net::{GatewayClient, NetError, ServerHandle};
 pub use pool::{PoolSlot, TenantPool};
 pub use runtime::BarrierOp;
 pub use session::{SessionEntry, SessionState, SessionTable};

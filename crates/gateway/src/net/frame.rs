@@ -1,0 +1,143 @@
+//! Length-prefixed [`glimmer_wire`] frames over a byte stream.
+//!
+//! On the wire a frame is a 4-byte big-endian length followed by exactly
+//! that many bytes of [`Frame`] encoding (magic, version, message type,
+//! varint-length payload). The decoder is incremental: feed it whatever
+//! the socket produced — half a length prefix, three frames and a tail,
+//! anything — and it emits each frame exactly once when complete.
+//!
+//! Malformed input is a typed [`FrameError`], never a panic, and the
+//! length prefix is validated against the configured bound *before* any
+//! buffer grows to hold the announced body — a hostile 4GB announcement
+//! costs nothing.
+
+use glimmer_wire::{Frame, WireError};
+use std::fmt;
+
+/// Bytes of length prefix preceding every frame body.
+pub const LENGTH_PREFIX: usize = 4;
+
+/// A malformed byte stream (protocol violation; the connection is dead).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix announced a frame beyond the configured bound.
+    Oversize {
+        /// Announced frame length in bytes.
+        announced: usize,
+        /// The configured [`NetConfig::max_frame_len`](crate::NetConfig).
+        max: usize,
+    },
+    /// The frame body failed wire decoding (bad magic, truncation inside
+    /// the body, trailing bytes...).
+    Wire(WireError),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Oversize { announced, max } => {
+                write!(f, "frame of {announced} bytes exceeds the {max}-byte bound")
+            }
+            FrameError::Wire(e) => write!(f, "frame body malformed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<WireError> for FrameError {
+    fn from(e: WireError) -> Self {
+        FrameError::Wire(e)
+    }
+}
+
+/// Appends `frame` to `out` as one length-prefixed wire frame.
+pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
+    let body = frame.to_bytes();
+    let len = u32::try_from(body.len()).expect("frame bodies are bounded far below 4GiB");
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(&body);
+}
+
+/// Incremental frame parser over an unframed byte stream.
+///
+/// # Examples
+///
+/// ```
+/// use glimmer_gateway::net::FrameDecoder;
+/// use glimmer_wire::Frame;
+///
+/// let frame = Frame::new(7, vec![1, 2, 3]);
+/// let mut bytes = Vec::new();
+/// glimmer_gateway::net::frame::encode_frame(&frame, &mut bytes);
+///
+/// let mut decoder = FrameDecoder::new(1024);
+/// let mut out = Vec::new();
+/// // Byte-at-a-time delivery still yields exactly one frame.
+/// for byte in bytes {
+///     decoder.feed(&[byte], &mut out).unwrap();
+/// }
+/// assert_eq!(out.len(), 1);
+/// assert_eq!(out[0].msg_type, 7);
+/// assert_eq!(out[0].payload, vec![1, 2, 3]);
+/// ```
+pub struct FrameDecoder {
+    max_frame_len: usize,
+    buf: Vec<u8>,
+    consumed: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder rejecting frames longer than `max_frame_len` bytes.
+    #[must_use]
+    pub fn new(max_frame_len: usize) -> Self {
+        FrameDecoder {
+            max_frame_len,
+            buf: Vec::new(),
+            consumed: 0,
+        }
+    }
+
+    /// Feeds freshly read bytes, appending every completed frame to `out`.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`FrameError`] on protocol violation. The decoder is dead
+    /// after an error — framing has lost sync, so the connection must be
+    /// dropped, which is exactly what the server does.
+    pub fn feed(&mut self, chunk: &[u8], out: &mut Vec<Frame>) -> Result<(), FrameError> {
+        self.buf.extend_from_slice(chunk);
+        loop {
+            let pending = &self.buf[self.consumed..];
+            if pending.len() < LENGTH_PREFIX {
+                break;
+            }
+            let announced =
+                u32::from_be_bytes([pending[0], pending[1], pending[2], pending[3]]) as usize;
+            if announced > self.max_frame_len {
+                return Err(FrameError::Oversize {
+                    announced,
+                    max: self.max_frame_len,
+                });
+            }
+            let Some(body) = pending.get(LENGTH_PREFIX..LENGTH_PREFIX + announced) else {
+                break;
+            };
+            out.push(Frame::from_bytes(body)?);
+            self.consumed += LENGTH_PREFIX + announced;
+        }
+        // Compact once the parsed prefix dominates, so a long-lived
+        // connection's buffer stays proportional to its unparsed tail.
+        if self.consumed > 4096 && self.consumed * 2 >= self.buf.len() {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+        Ok(())
+    }
+
+    /// Bytes buffered but not yet parsed into a frame.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+}

@@ -1,0 +1,816 @@
+//! The serving side of the front door: accept loop, per-connection tasks,
+//! the global reply drainer, and the stale-handshake sweeper — all spawned
+//! onto **one** [`SessionExecutor`] parked in the epoll reactor.
+//!
+//! # Task layout
+//!
+//! * **accept** — non-blocking `accept()` until `WouldBlock`, then parks
+//!   on listener readability. Each accepted socket becomes one connection
+//!   task, spawned through the executor's [`Spawner`].
+//! * **connection** (one per socket) — flush pending writes, read and
+//!   decode frames, handle each request *in arrival order* (awaiting the
+//!   gateway mid-stream pauses that connection only), then suspend on
+//!   readability / writability / idle deadline / shutdown, whichever
+//!   fires first.
+//! * **drainer** (optional) — sweeps [`AsyncGateway::drain_replies`] every
+//!   [`NetConfig::drain_interval`](crate::NetConfig) and routes each reply
+//!   to the connection *owning* its session. Clients can also trigger the
+//!   same sweep with an explicit `Drain` request — with the periodic
+//!   drainer disabled that makes the global drain order client-controlled
+//!   and reproducible.
+//! * **sweeper** (optional) — calls
+//!   [`Gateway::evict_stale_pending`](crate::Gateway::evict_stale_pending)
+//!   every [`GatewayConfig::evict_stale_period`](crate::GatewayConfig) on
+//!   the executor's timer wheel, so abandoned handshakes stop pinning
+//!   session quota without any operator cron job.
+//!
+//! # Ownership and isolation
+//!
+//! A session id is bound to the connection that opened it. Requests
+//! naming someone else's session are answered with
+//! [`CODE_NOT_OWNER`](super::proto::CODE_NOT_OWNER) and never reach the
+//! gateway; replies are routed only to the owning connection. When a
+//! connection dies — cleanly, by idle timeout, or by protocol violation —
+//! its sessions are closed behind it (enclave-side key erase included),
+//! and anything that slips through falls to the sweeper.
+//!
+//! [`AsyncGateway::drain_replies`]: crate::frontend::AsyncGateway::drain_replies
+//! [`SessionExecutor`]: crate::frontend::SessionExecutor
+//! [`Spawner`]: crate::frontend::Spawner
+
+use super::NetError;
+use crate::frontend::lock_unpoisoned;
+use crate::frontend::{AsyncGateway, SessionExecutor};
+use crate::gateway::GatewayResponse;
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::task::Waker;
+use std::thread::JoinHandle;
+
+/// Cooperative stop flag shared by every front-door task.
+///
+/// Long-lived tasks re-register their waker here each time they suspend;
+/// [`ShutdownSignal::stop`] flips the flag and wakes them all, and each
+/// task observes the flag at its next poll and exits. Waking goes through
+/// the executor's ready queue, whose doorbell interrupts a reactor parked
+/// in `epoll_wait` — so `stop()` works from any thread.
+pub struct ShutdownSignal {
+    stopped: AtomicBool,
+    wakers: Mutex<HashMap<usize, Waker>>,
+    next_slot: AtomicUsize,
+}
+
+impl ShutdownSignal {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(ShutdownSignal {
+            stopped: AtomicBool::new(false),
+            wakers: Mutex::new(HashMap::new()),
+            next_slot: AtomicUsize::new(0),
+        })
+    }
+
+    /// Requests shutdown: every front-door task exits at its next poll,
+    /// the accept loop stops taking connections, and the server's
+    /// executor returns once in-flight gateway operations settle.
+    pub fn stop(&self) {
+        let pending: Vec<Waker> = {
+            let mut wakers = lock_unpoisoned(&self.wakers);
+            self.stopped.store(true, Ordering::Release);
+            wakers.drain().map(|(_, waker)| waker).collect()
+        };
+        for waker in pending {
+            waker.wake();
+        }
+    }
+
+    /// Whether [`ShutdownSignal::stop`] has been called.
+    #[must_use]
+    pub fn is_stopped(&self) -> bool {
+        self.stopped.load(Ordering::Acquire)
+    }
+
+    /// A waker slot for one long-lived task (stable across re-arms).
+    pub(crate) fn alloc_slot(&self) -> usize {
+        self.next_slot.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// (Re-)registers `waker` to fire on stop. If stop already happened,
+    /// wakes immediately — registration cannot race into a missed wake
+    /// because both sides hold the waker-map lock around the flag.
+    pub(crate) fn set_waker(&self, slot: usize, waker: &Waker) {
+        let mut wakers = lock_unpoisoned(&self.wakers);
+        if self.stopped.load(Ordering::Acquire) {
+            drop(wakers);
+            waker.wake_by_ref();
+            return;
+        }
+        wakers.insert(slot, waker.clone());
+    }
+
+    /// Drops a task's slot on exit.
+    pub(crate) fn free_slot(&self, slot: usize) {
+        lock_unpoisoned(&self.wakers).remove(&slot);
+    }
+}
+
+/// A running front door ([`serve`]): the bound address, a stop handle,
+/// and the serving thread's join handle. Dropping it stops the server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<ShutdownSignal>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves `:0` bindings).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared stop flag, for wiring shutdown into external signals.
+    #[must_use]
+    pub fn shutdown_signal(&self) -> Arc<ShutdownSignal> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Stops the server and joins its thread. In-flight gateway
+    /// operations settle first; unread client bytes are dropped.
+    pub fn stop(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shutdown.stop();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Binds [`NetConfig::bind_addr`](crate::NetConfig) and serves the
+/// gateway behind it on one dedicated front-door thread.
+///
+/// Replies whose session was *not* opened over a socket (in-process
+/// drivers sharing the pool) are delivered to `unrouted`, or dropped if
+/// `None`.
+///
+/// # Errors
+///
+/// [`NetError::Unsupported`] on targets without the epoll reactor;
+/// [`NetError::Io`] if binding, reactor setup, or thread spawn fails.
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub fn serve(
+    frontend: AsyncGateway,
+    unrouted: Option<mpsc::Sender<GatewayResponse>>,
+) -> Result<ServerHandle, NetError> {
+    let listener = TcpListener::bind(&frontend.gateway().config().net.bind_addr)?;
+    let addr = listener.local_addr()?;
+    let (startup_tx, startup_rx) = mpsc::channel();
+    let thread = std::thread::Builder::new()
+        .name("glimmer-frontdoor".to_string())
+        .spawn(move || {
+            let mut executor = SessionExecutor::with_clock(frontend.gateway().clock_handle());
+            executor.attach_telemetry(frontend.gateway().telemetry_handle());
+            match serve_on(&mut executor, frontend, listener, unrouted) {
+                Ok(shutdown) => {
+                    let _ = startup_tx.send(Ok(shutdown));
+                    executor.run();
+                }
+                Err(e) => {
+                    let _ = startup_tx.send(Err(e));
+                }
+            }
+        })
+        .map_err(NetError::Io)?;
+    let shutdown = startup_rx
+        .recv()
+        .map_err(|_| NetError::Io(std::io::Error::other("front-door thread died at startup")))??;
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        thread: Some(thread),
+    })
+}
+
+/// [`serve`] on a target without the epoll reactor: always
+/// [`NetError::Unsupported`], before any socket is touched.
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+pub fn serve(
+    frontend: AsyncGateway,
+    unrouted: Option<mpsc::Sender<GatewayResponse>>,
+) -> Result<ServerHandle, NetError> {
+    let _ = (frontend, unrouted);
+    Err(NetError::Unsupported)
+}
+
+/// Spawns the front-door tasks onto a caller-owned executor serving
+/// `listener` — the composable core of [`serve`], for callers that want
+/// the serving thread to be *this* thread (tests driving a
+/// [`ManualClock`](crate::ManualClock), experiments counting threads).
+/// Call [`SessionExecutor::run`] afterwards; it returns once
+/// [`ShutdownSignal::stop`] is called and in-flight operations settle.
+///
+/// # Errors
+///
+/// [`NetError::Unsupported`] without the epoll reactor; [`NetError::Io`]
+/// if reactor setup or listener configuration fails.
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub fn serve_on(
+    executor: &mut SessionExecutor,
+    frontend: AsyncGateway,
+    listener: TcpListener,
+    unrouted: Option<mpsc::Sender<GatewayResponse>>,
+) -> Result<Arc<ShutdownSignal>, NetError> {
+    imp::serve_on(executor, frontend, listener, unrouted)
+}
+
+/// [`serve_on`] on a target without the epoll reactor: always
+/// [`NetError::Unsupported`].
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+pub fn serve_on(
+    executor: &mut SessionExecutor,
+    frontend: AsyncGateway,
+    listener: TcpListener,
+    unrouted: Option<mpsc::Sender<GatewayResponse>>,
+) -> Result<Arc<ShutdownSignal>, NetError> {
+    let _ = (executor, frontend, listener, unrouted);
+    Err(NetError::Unsupported)
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod imp {
+    use super::super::frame::{encode_frame, FrameDecoder};
+    use super::super::proto::{
+        ReplyEnvelope, Request, Response, CODE_GATEWAY, CODE_NOT_OWNER, CODE_PROTOCOL,
+    };
+    use super::super::reactor::{Interest, Reactor};
+    use super::{NetError, ShutdownSignal};
+    use crate::config::NetConfig;
+    use crate::frontend::{AsyncGateway, SessionExecutor, Sleep, Spawner, TimerHandle};
+    use crate::gateway::GatewayResponse;
+    use crate::telemetry::Telemetry;
+    use std::cell::{Cell, RefCell};
+    use std::collections::{HashMap, HashSet};
+    use std::future::Future;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::pin::Pin;
+    use std::rc::Rc;
+    use std::sync::{mpsc, Arc};
+    use std::task::{Context, Poll, Waker};
+    use std::time::Duration;
+
+    /// Per-connection state the drainer can reach: the pending write
+    /// buffer and the connection task's waker.
+    struct ConnShared {
+        outbox: RefCell<OutBuf>,
+        waker: RefCell<Option<Waker>>,
+    }
+
+    struct OutBuf {
+        buf: Vec<u8>,
+        cursor: usize,
+    }
+
+    impl ConnShared {
+        fn new() -> Rc<Self> {
+            Rc::new(ConnShared {
+                outbox: RefCell::new(OutBuf {
+                    buf: Vec::new(),
+                    cursor: 0,
+                }),
+                waker: RefCell::new(None),
+            })
+        }
+
+        fn outbox_pending(&self) -> bool {
+            let outbox = self.outbox.borrow();
+            outbox.cursor < outbox.buf.len()
+        }
+    }
+
+    /// Everything the front-door tasks share.
+    struct ServerCtx {
+        frontend: AsyncGateway,
+        reactor: Rc<Reactor>,
+        spawner: Spawner,
+        timer: TimerHandle,
+        registry: RefCell<HashMap<u64, Rc<ConnShared>>>,
+        drain_seq: Cell<u64>,
+        shutdown: Arc<ShutdownSignal>,
+        net: NetConfig,
+        stale: Option<(Duration, Duration)>,
+        unrouted: Option<mpsc::Sender<GatewayResponse>>,
+        telemetry: Arc<Telemetry>,
+    }
+
+    pub(super) fn serve_on(
+        executor: &mut SessionExecutor,
+        frontend: AsyncGateway,
+        listener: TcpListener,
+        unrouted: Option<mpsc::Sender<GatewayResponse>>,
+    ) -> Result<Arc<ShutdownSignal>, NetError> {
+        listener.set_nonblocking(true)?;
+        let reactor = Rc::new(Reactor::new()?);
+        executor.attach_parker(
+            Rc::clone(&reactor) as Rc<dyn crate::frontend::executor::Parker>,
+            {
+                let notifier = reactor.notifier();
+                notifier as Arc<dyn crate::frontend::executor::Doorbell>
+            },
+        );
+        let config = frontend.gateway().config().clone();
+        let shutdown = ShutdownSignal::new();
+        let ctx = Rc::new(ServerCtx {
+            telemetry: frontend.gateway().telemetry_handle(),
+            timer: executor.timer(),
+            spawner: executor.spawner(),
+            frontend,
+            reactor,
+            registry: RefCell::new(HashMap::new()),
+            drain_seq: Cell::new(0),
+            shutdown: Arc::clone(&shutdown),
+            net: config.net.clone(),
+            stale: config
+                .evict_stale_period
+                .map(|period| (period, config.stale_pending_after)),
+            unrouted,
+        });
+        executor.spawn(accept_loop(Rc::clone(&ctx), listener));
+        if let Some(interval) = ctx.net.drain_interval {
+            executor.spawn(drain_loop(Rc::clone(&ctx), interval));
+        }
+        if let Some((period, age)) = ctx.stale {
+            executor.spawn(evict_loop(Rc::clone(&ctx), period, age));
+        }
+        Ok(shutdown)
+    }
+
+    /// Suspends a task until its fd is ready, its outbox gains bytes, its
+    /// idle deadline passes, or shutdown fires — whichever happens first.
+    /// One-shot: any wake resolves it, and the resumed loop re-derives
+    /// what actually happened (spurious wakes are absorbed by the next
+    /// `WouldBlock`).
+    struct Suspend<'a> {
+        ctx: &'a ServerCtx,
+        fd: i32,
+        want_read: bool,
+        want_write: bool,
+        outbox_of: Option<&'a ConnShared>,
+        shutdown_slot: usize,
+        sleep: Option<Sleep>,
+        armed: bool,
+    }
+
+    impl Future for Suspend<'_> {
+        type Output = ();
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            let this = self.get_mut();
+            if this.armed || this.ctx.shutdown.is_stopped() {
+                return Poll::Ready(());
+            }
+            if let Some(sleep) = &mut this.sleep {
+                if Pin::new(sleep).poll(cx).is_ready() {
+                    return Poll::Ready(());
+                }
+            }
+            this.ctx.reactor.arm(
+                this.fd,
+                Interest {
+                    read: this.want_read,
+                    write: this.want_write,
+                },
+                cx.waker(),
+            );
+            if let Some(shared) = this.outbox_of {
+                *shared.waker.borrow_mut() = Some(cx.waker().clone());
+            }
+            this.ctx.shutdown.set_waker(this.shutdown_slot, cx.waker());
+            this.armed = true;
+            Poll::Pending
+        }
+    }
+
+    /// `sleep`, interruptible by shutdown.
+    struct SleepOrStop<'a> {
+        shutdown: &'a ShutdownSignal,
+        shutdown_slot: usize,
+        sleep: Sleep,
+    }
+
+    impl Future for SleepOrStop<'_> {
+        type Output = ();
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            let this = self.get_mut();
+            if this.shutdown.is_stopped() {
+                return Poll::Ready(());
+            }
+            if Pin::new(&mut this.sleep).poll(cx).is_ready() {
+                return Poll::Ready(());
+            }
+            this.shutdown.set_waker(this.shutdown_slot, cx.waker());
+            Poll::Pending
+        }
+    }
+
+    fn send_response(ctx: &ServerCtx, shared: &ConnShared, response: &Response) {
+        {
+            let mut outbox = shared.outbox.borrow_mut();
+            encode_frame(&response.to_frame(), &mut outbox.buf);
+        }
+        ctx.telemetry.record_net_frames_out(1);
+        let waker = shared.waker.borrow_mut().take();
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+
+    async fn accept_loop(ctx: Rc<ServerCtx>, listener: TcpListener) {
+        let fd = listener.as_raw_fd();
+        if ctx.reactor.register(fd).is_err() {
+            return;
+        }
+        let shutdown_slot = ctx.shutdown.alloc_slot();
+        while !ctx.shutdown.is_stopped() {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let conn_ctx = Rc::clone(&ctx);
+                    ctx.spawner.spawn(connection(conn_ctx, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    Suspend {
+                        ctx: &ctx,
+                        fd,
+                        want_read: true,
+                        want_write: false,
+                        outbox_of: None,
+                        shutdown_slot,
+                        sleep: None,
+                        armed: false,
+                    }
+                    .await;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    // Transient accept failure (EMFILE under fd pressure):
+                    // back off briefly instead of spinning the reactor.
+                    ctx.timer.sleep(Duration::from_millis(10)).await;
+                }
+            }
+        }
+        ctx.reactor.deregister(fd);
+        ctx.shutdown.free_slot(shutdown_slot);
+    }
+
+    async fn connection(ctx: Rc<ServerCtx>, stream: TcpStream) {
+        let fd = stream.as_raw_fd();
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() || ctx.reactor.register(fd).is_err() {
+            return;
+        }
+        ctx.telemetry.record_net_accepted(1);
+        let shared = ConnShared::new();
+        let shutdown_slot = ctx.shutdown.alloc_slot();
+        let mut decoder = FrameDecoder::new(ctx.net.max_frame_len);
+        let mut owned: HashSet<u64> = HashSet::new();
+        let mut frames = Vec::new();
+        let mut read_buf = vec![0u8; 16 * 1024];
+        let mut last_activity = ctx.timer.now_nanos();
+        let mut idle_closed = false;
+        // After a protocol violation the connection is mute: no more
+        // reads, just a best-effort flush of the error frame, then close.
+        let mut farewell = false;
+
+        'conn: loop {
+            let mut progress = false;
+            // 1. Flush whatever the drainer or last round queued.
+            loop {
+                let (chunk_start, chunk_end) = {
+                    let outbox = shared.outbox.borrow();
+                    (outbox.cursor, outbox.buf.len())
+                };
+                if chunk_start >= chunk_end {
+                    let mut outbox = shared.outbox.borrow_mut();
+                    if outbox.cursor >= outbox.buf.len() {
+                        outbox.buf.clear();
+                        outbox.cursor = 0;
+                    }
+                    break;
+                }
+                let written = {
+                    let outbox = shared.outbox.borrow();
+                    (&stream).write(&outbox.buf[chunk_start..chunk_end])
+                };
+                match written {
+                    Ok(0) => break 'conn,
+                    Ok(n) => {
+                        shared.outbox.borrow_mut().cursor += n;
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => break 'conn,
+                }
+            }
+            if farewell && !shared.outbox_pending() {
+                break 'conn;
+            }
+            // 2. Read and decode.
+            if !farewell {
+                loop {
+                    match (&stream).read(&mut read_buf) {
+                        Ok(0) => break 'conn,
+                        Ok(n) => {
+                            progress = true;
+                            last_activity = ctx.timer.now_nanos();
+                            if decoder.feed(&read_buf[..n], &mut frames).is_err() {
+                                ctx.telemetry.record_net_frame_errors(1);
+                                send_response(
+                                    &ctx,
+                                    &shared,
+                                    &Response::Error {
+                                        code: CODE_PROTOCOL,
+                                        message: "malformed frame stream".to_string(),
+                                    },
+                                );
+                                frames.clear();
+                                farewell = true;
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(_) => break 'conn,
+                    }
+                }
+            }
+            // 3. Handle decoded requests in arrival order. Awaiting the
+            // gateway here pauses only this connection; everyone else
+            // keeps being served by the same executor.
+            if !frames.is_empty() {
+                ctx.telemetry.record_net_frames_in(frames.len() as u64);
+                for frame in frames.drain(..) {
+                    progress = true;
+                    if !handle_request(&ctx, &shared, &mut owned, &frame).await {
+                        farewell = true;
+                        break;
+                    }
+                }
+            }
+            if ctx.shutdown.is_stopped() {
+                break 'conn;
+            }
+            // 4. Idle deadline (on the executor clock, so a ManualClock
+            // drives it deterministically in tests).
+            let idle_deadline = ctx.net.idle_timeout.map(|timeout| {
+                last_activity.saturating_add(u64::try_from(timeout.as_nanos()).unwrap_or(u64::MAX))
+            });
+            if let Some(deadline) = idle_deadline {
+                if ctx.timer.now_nanos() >= deadline {
+                    idle_closed = true;
+                    break 'conn;
+                }
+            }
+            if progress {
+                continue;
+            }
+            // 5. Nothing to do: suspend until something changes.
+            Suspend {
+                ctx: &ctx,
+                fd,
+                want_read: !farewell,
+                want_write: shared.outbox_pending(),
+                outbox_of: Some(&shared),
+                shutdown_slot,
+                sleep: idle_deadline.map(|deadline| ctx.timer.sleep_until(deadline)),
+                armed: false,
+            }
+            .await;
+        }
+
+        // Teardown: stop routing replies here, close every session this
+        // connection owned (enclave key erase included — an abandoned
+        // device must not leave key material live), and count the close.
+        ctx.reactor.deregister(fd);
+        ctx.shutdown.free_slot(shutdown_slot);
+        *shared.waker.borrow_mut() = None;
+        for session_id in owned {
+            ctx.registry.borrow_mut().remove(&session_id);
+            let _ = ctx.frontend.close_session(session_id).await;
+        }
+        if idle_closed {
+            ctx.telemetry.record_net_idle_timeouts(1);
+        }
+        ctx.telemetry.record_net_closed(1);
+    }
+
+    /// Handles one request; returns `false` if the connection must die
+    /// (undecodable request — framing may be fine but trust is gone).
+    async fn handle_request(
+        ctx: &ServerCtx,
+        shared: &Rc<ConnShared>,
+        owned: &mut HashSet<u64>,
+        frame: &glimmer_wire::Frame,
+    ) -> bool {
+        let request = match Request::from_frame(frame) {
+            Ok(request) => request,
+            Err(e) => {
+                ctx.telemetry.record_net_frame_errors(1);
+                send_response(
+                    ctx,
+                    shared,
+                    &Response::Error {
+                        code: CODE_PROTOCOL,
+                        message: format!("undecodable request: {e}"),
+                    },
+                );
+                return false;
+            }
+        };
+        let acked = request.msg_type();
+        // The ownership guard: a session opened on another connection is
+        // invisible here, whatever tenant it belongs to.
+        let guard_session = match &request {
+            Request::CompleteSession { session_id, .. }
+            | Request::InstallMask { session_id, .. }
+            | Request::InstallMaskSealed { session_id, .. }
+            | Request::Submit { session_id, .. }
+            | Request::SubmitMany { session_id, .. }
+            | Request::CloseSession { session_id } => Some(*session_id),
+            Request::OpenSession { .. } | Request::Drain => None,
+        };
+        if let Some(session_id) = guard_session {
+            if !owned.contains(&session_id) {
+                send_response(
+                    ctx,
+                    shared,
+                    &Response::Error {
+                        code: CODE_NOT_OWNER,
+                        message: format!("session {session_id} is not owned by this connection"),
+                    },
+                );
+                return true;
+            }
+        }
+        let outcome = match request {
+            Request::OpenSession { tenant } => match ctx.frontend.open_session(&tenant).await {
+                Ok((session_id, offer)) => {
+                    owned.insert(session_id);
+                    ctx.registry
+                        .borrow_mut()
+                        .insert(session_id, Rc::clone(shared));
+                    send_response(ctx, shared, &Response::SessionOpened { session_id, offer });
+                    return true;
+                }
+                Err(e) => Err(e),
+            },
+            Request::CompleteSession { session_id, accept } => {
+                ctx.frontend.complete_session(session_id, &accept).await
+            }
+            Request::InstallMask { session_id, mask } => {
+                ctx.frontend.install_mask(session_id, &mask).await
+            }
+            Request::InstallMaskSealed {
+                session_id,
+                nonce,
+                ciphertext,
+            } => {
+                ctx.frontend
+                    .install_mask_encrypted(session_id, nonce, ciphertext)
+                    .await
+            }
+            Request::Submit {
+                session_id,
+                ciphertext,
+            } => ctx.frontend.submit(session_id, ciphertext).await,
+            Request::SubmitMany {
+                session_id,
+                ciphertexts,
+            } => ctx.frontend.submit_many(session_id, ciphertexts).await,
+            Request::CloseSession { session_id } => {
+                let result = ctx.frontend.close_session(session_id).await;
+                owned.remove(&session_id);
+                ctx.registry.borrow_mut().remove(&session_id);
+                result
+            }
+            Request::Drain => {
+                let routed = route_drain(ctx).await;
+                send_response(ctx, shared, &Response::Drained { routed });
+                return true;
+            }
+        };
+        match outcome {
+            Ok(()) => send_response(ctx, shared, &Response::Ok { acked }),
+            Err(e) => send_response(
+                ctx,
+                shared,
+                &Response::Error {
+                    code: CODE_GATEWAY,
+                    message: e.to_string(),
+                },
+            ),
+        }
+        true
+    }
+
+    /// Sweeps the gateway's reply queues once and routes each reply to
+    /// its owning connection, stamping the global drain sequence. Replies
+    /// for sessions no connection owns (in-process drivers sharing the
+    /// pool, or a connection that died mid-flight) go to the `unrouted`
+    /// sink or are dropped — they still consume a sequence number, so
+    /// socket-observed order stays a faithful subsequence of the global
+    /// drain order.
+    async fn route_drain(ctx: &ServerCtx) -> u64 {
+        let replies = ctx.frontend.drain_replies().await.unwrap_or_default();
+        let mut routed = 0u64;
+        for reply in replies {
+            let drain_seq = ctx.drain_seq.get();
+            ctx.drain_seq.set(drain_seq + 1);
+            let target = ctx.registry.borrow().get(&reply.session_id).cloned();
+            match target {
+                Some(conn) => {
+                    send_response(
+                        ctx,
+                        &conn,
+                        &Response::Reply(ReplyEnvelope {
+                            drain_seq,
+                            session_id: reply.session_id,
+                            outcome: reply.outcome,
+                        }),
+                    );
+                    routed += 1;
+                }
+                None => {
+                    if let Some(sink) = &ctx.unrouted {
+                        let _ = sink.send(reply);
+                    }
+                }
+            }
+        }
+        routed
+    }
+
+    async fn drain_loop(ctx: Rc<ServerCtx>, interval: Duration) {
+        let shutdown_slot = ctx.shutdown.alloc_slot();
+        while !ctx.shutdown.is_stopped() {
+            SleepOrStop {
+                shutdown: &ctx.shutdown,
+                shutdown_slot,
+                sleep: ctx.timer.sleep(interval),
+            }
+            .await;
+            if ctx.shutdown.is_stopped() {
+                break;
+            }
+            let _ = route_drain(&ctx).await;
+        }
+        ctx.shutdown.free_slot(shutdown_slot);
+    }
+
+    async fn evict_loop(ctx: Rc<ServerCtx>, period: Duration, age: Duration) {
+        let shutdown_slot = ctx.shutdown.alloc_slot();
+        while !ctx.shutdown.is_stopped() {
+            SleepOrStop {
+                shutdown: &ctx.shutdown,
+                shutdown_slot,
+                sleep: ctx.timer.sleep(period),
+            }
+            .await;
+            if ctx.shutdown.is_stopped() {
+                break;
+            }
+            // The sweep itself blocks briefly per evicted session (shard
+            // round-trips); abandoned handshakes are rare enough that this
+            // stays invisible next to a single enclave batch.
+            let _ = ctx.frontend.gateway().evict_stale_pending(age);
+        }
+        ctx.shutdown.free_slot(shutdown_slot);
+    }
+}

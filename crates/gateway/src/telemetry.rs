@@ -573,6 +573,14 @@ pub struct Telemetry {
     ingest_parsed: AtomicU64,
     ingest_parse_errors: AtomicU64,
     ingest_quota_rejected: AtomicU64,
+    net_connections_accepted: AtomicU64,
+    net_connections_closed: AtomicU64,
+    net_frames_in: AtomicU64,
+    net_frames_out: AtomicU64,
+    net_frame_errors: AtomicU64,
+    net_idle_timeouts: AtomicU64,
+    executor_timer_fires: AtomicU64,
+    sessions_evicted: AtomicU64,
 }
 
 impl fmt::Debug for Telemetry {
@@ -619,6 +627,72 @@ impl Telemetry {
             ingest_parsed: AtomicU64::new(0),
             ingest_parse_errors: AtomicU64::new(0),
             ingest_quota_rejected: AtomicU64::new(0),
+            net_connections_accepted: AtomicU64::new(0),
+            net_connections_closed: AtomicU64::new(0),
+            net_frames_in: AtomicU64::new(0),
+            net_frames_out: AtomicU64::new(0),
+            net_frame_errors: AtomicU64::new(0),
+            net_idle_timeouts: AtomicU64::new(0),
+            executor_timer_fires: AtomicU64::new(0),
+            sessions_evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// Counts `n` TCP connections accepted by the socket front door.
+    pub(crate) fn record_net_accepted(&self, n: u64) {
+        if self.enabled {
+            self.net_connections_accepted
+                .fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts `n` front-door connections closed (any cause: clean EOF,
+    /// protocol error, idle timeout, server shutdown).
+    pub(crate) fn record_net_closed(&self, n: u64) {
+        if self.enabled {
+            self.net_connections_closed.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts `n` request frames decoded off front-door sockets.
+    pub(crate) fn record_net_frames_in(&self, n: u64) {
+        if self.enabled {
+            self.net_frames_in.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts `n` reply/ack frames written to front-door sockets.
+    pub(crate) fn record_net_frames_out(&self, n: u64) {
+        if self.enabled {
+            self.net_frames_out.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts `n` malformed/oversized frames that terminated a connection.
+    pub(crate) fn record_net_frame_errors(&self, n: u64) {
+        if self.enabled {
+            self.net_frame_errors.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts `n` connections closed by the idle-deadline timer.
+    pub(crate) fn record_net_idle_timeouts(&self, n: u64) {
+        if self.enabled {
+            self.net_idle_timeouts.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts `n` timer-wheel entries fired by the session executor.
+    pub(crate) fn record_timer_fires(&self, n: u64) {
+        if self.enabled {
+            self.executor_timer_fires.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts `n` stale pending sessions reclaimed by eviction.
+    pub(crate) fn record_sessions_evicted(&self, n: u64) {
+        if self.enabled {
+            self.sessions_evicted.fetch_add(n, Ordering::Relaxed);
         }
     }
 
@@ -867,6 +941,14 @@ impl Telemetry {
             ingest_quota_rejected: self.ingest_quota_rejected.load(Ordering::Relaxed),
             checkpoint_slots_exported: self.checkpoint_slots_exported.load(Ordering::Relaxed),
             checkpoint_slots_skipped: self.checkpoint_slots_skipped.load(Ordering::Relaxed),
+            net_connections_accepted: self.net_connections_accepted.load(Ordering::Relaxed),
+            net_connections_closed: self.net_connections_closed.load(Ordering::Relaxed),
+            net_frames_in: self.net_frames_in.load(Ordering::Relaxed),
+            net_frames_out: self.net_frames_out.load(Ordering::Relaxed),
+            net_frame_errors: self.net_frame_errors.load(Ordering::Relaxed),
+            net_idle_timeouts: self.net_idle_timeouts.load(Ordering::Relaxed),
+            executor_timer_fires: self.executor_timer_fires.load(Ordering::Relaxed),
+            sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
         }
     }
 }
@@ -935,6 +1017,22 @@ pub struct TelemetrySnapshot {
     /// Pool slots a delta checkpoint proved clean and skipped (no barrier,
     /// no seal, no ECALL).
     pub checkpoint_slots_skipped: u64,
+    /// TCP connections accepted by the socket front door.
+    pub net_connections_accepted: u64,
+    /// Front-door connections closed (any cause).
+    pub net_connections_closed: u64,
+    /// Request frames decoded off front-door sockets.
+    pub net_frames_in: u64,
+    /// Reply/ack frames written to front-door sockets.
+    pub net_frames_out: u64,
+    /// Malformed/oversized frames that terminated a connection.
+    pub net_frame_errors: u64,
+    /// Connections closed by the idle-deadline timer.
+    pub net_idle_timeouts: u64,
+    /// Timer-wheel entries fired by the session executor.
+    pub executor_timer_fires: u64,
+    /// Stale pending sessions reclaimed by eviction.
+    pub sessions_evicted: u64,
 }
 
 /// Exposition names for the snapshot's histograms, paired with accessors —
@@ -1008,6 +1106,37 @@ impl TelemetrySnapshot {
                 count,
             ));
         }
+        for (event, count) in [
+            ("accepted", self.net_connections_accepted),
+            ("closed", self.net_connections_closed),
+        ] {
+            lines.push((
+                format!("glimmer_net_connections_total{{event={event}}}"),
+                count,
+            ));
+        }
+        for (direction, count) in [("in", self.net_frames_in), ("out", self.net_frames_out)] {
+            lines.push((
+                format!("glimmer_net_frames_total{{direction={direction}}}"),
+                count,
+            ));
+        }
+        lines.push((
+            "glimmer_net_frame_errors_total".to_string(),
+            self.net_frame_errors,
+        ));
+        lines.push((
+            "glimmer_net_idle_timeouts_total".to_string(),
+            self.net_idle_timeouts,
+        ));
+        lines.push((
+            "glimmer_executor_timer_fires_total".to_string(),
+            self.executor_timer_fires,
+        ));
+        lines.push((
+            "glimmer_sessions_evicted_total".to_string(),
+            self.sessions_evicted,
+        ));
         for (name, hist) in self.histograms() {
             let mut cumulative = 0u64;
             let top = hist

@@ -16,7 +16,7 @@ use glimmer_gateway::{
     BarrierOp, CrashHooks, CrashPoint, Gateway, GatewayConfig, GatewayError, TenantConfig,
 };
 use sgx_sim::AttestationService;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -255,6 +255,99 @@ fn async_sessions_mixed_with_blocking_submitters_lose_and_leak_nothing() {
             "session {session_id} reply count off (loss or duplication)"
         );
     }
+}
+
+/// Regression test for the executor poison cascade: a panicking session
+/// task used to poison the ready-queue and completion-cell mutexes, and the
+/// next `.expect("... poisoned")` then re-panicked inside every *healthy*
+/// session sharing the executor. Now the panic is contained at the poll
+/// boundary and every lock recovers from poisoning, so one deliberately
+/// panicking task among 8 full-lifecycle device sessions changes nothing
+/// for its neighbours — and the gateway stays fully usable afterwards.
+#[test]
+fn panicking_task_among_healthy_sessions_poisons_nothing() {
+    const SESSIONS: usize = 8;
+    const ROUNDS: usize = 2;
+
+    let mut rng = Drbg::from_seed([101u8; 32]);
+    let mut avs = AttestationService::new([102u8; 32]);
+    let gateway = Arc::new(build_gateway(2, 2, &mut avs, &mut rng));
+    let frontend = AsyncGateway::from_arc(Arc::clone(&gateway));
+    let clients: Vec<u64> = (0..SESSIONS as u64).collect();
+    let blinding = BlindingService::new([103u8; 32]);
+    let masks: Rc<Vec<Vec<_>>> = Rc::new(
+        (0..ROUNDS as u64)
+            .map(|round| blinding.zero_sum_masks(round, &clients, IOT_DIM))
+            .collect(),
+    );
+    let approved = gateway.measurement(IOT).unwrap();
+    let avs = Rc::new(avs);
+    let device_rng = Rc::new(RefCell::new(Drbg::from_seed([104u8; 32])));
+
+    let mut executor = SessionExecutor::new();
+    let completed = Rc::new(Cell::new(0usize));
+    // The saboteur: a task that panics mid-poll, scheduled FIRST so its
+    // unwind happens while every healthy session still has work pending.
+    executor.spawn(async move {
+        panic!("deliberate task panic: must stay contained to this task");
+    });
+    for (i, client_id) in clients.iter().copied().enumerate() {
+        let frontend = frontend.clone();
+        let device_rng = Rc::clone(&device_rng);
+        let avs = Rc::clone(&avs);
+        let masks = Rc::clone(&masks);
+        let completed = Rc::clone(&completed);
+        executor.spawn(async move {
+            let (session_id, offer) = frontend.open_session(IOT).await.unwrap();
+            let (accept, mut session) = {
+                let mut rng = device_rng.borrow_mut();
+                IotDeviceSession::connect(&offer, &avs, &approved, &mut rng).unwrap()
+            };
+            frontend
+                .complete_session(session_id, &accept)
+                .await
+                .unwrap();
+            for round in masks.iter() {
+                frontend.install_mask(session_id, &round[i]).await.unwrap();
+            }
+            let stream: Vec<Vec<u8>> = (0..ROUNDS as u64)
+                .map(|round| {
+                    session.encrypt_request(contribution(IOT, client_id, round), PrivateData::None)
+                })
+                .collect();
+            frontend.submit_many(session_id, stream).await.unwrap();
+            completed.set(completed.get() + 1);
+        });
+    }
+    executor.run();
+    drop(frontend);
+
+    // The panic retired exactly one task; every healthy session finished.
+    assert_eq!(executor.panicked_tasks(), 1);
+    assert_eq!(completed.get(), SESSIONS);
+    assert_eq!(executor.live_tasks(), 0);
+
+    // Nothing downstream was poisoned: the blocking API still drains every
+    // admitted request and the gateway still quiesces cleanly.
+    let mut replies = Vec::new();
+    while replies.len() < SESSIONS * ROUNDS {
+        let batch = gateway.drain().unwrap();
+        if batch.is_empty() {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        replies.extend(batch);
+    }
+    assert_eq!(replies.len(), SESSIONS * ROUNDS);
+    for reply in &replies {
+        let BatchOutcome::Reply { endorsed, .. } = &reply.outcome else {
+            panic!("honest request failed: {:?}", reply.outcome);
+        };
+        assert!(endorsed);
+    }
+    Arc::try_unwrap(gateway)
+        .unwrap_or_else(|_| panic!("sole owner"))
+        .shutdown()
+        .unwrap();
 }
 
 /// Holds a checkpoint open at its quiesce barrier until released, so the

@@ -613,7 +613,13 @@ impl ChunkSource for FileSource {
     #[cfg(not(unix))]
     fn read_full_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
         use std::io::{Read, Seek};
-        let mut file = self.file.lock().expect("file lock poisoned");
+        // Recover from poisoning rather than cascading a reader thread's
+        // panic into every other reader: the guarded state is a bare file
+        // handle whose seek position is re-set before every read anyway.
+        let mut file = self
+            .file
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         file.seek(io::SeekFrom::Start(offset))?;
         let mut read = 0usize;
         while read < buf.len() {
