@@ -1,0 +1,96 @@
+//! E20: live slot rebalancing — a deliberately skewed fleet recovers.
+//!
+//! Three identically-seeded fleets serve the same pre-encrypted workload:
+//! one with its slots in their natural even placement, one with every slot
+//! piled onto shard 0 (all traffic pinned to one worker) and never
+//! rebalanced, and one with the same pile-up but a `Rebalancer` ticking
+//! until its plan is empty — migrating hot slots, queued requests and all,
+//! onto idle shards before anything drains.
+//!
+//! The bars: the rebalanced run's per-shard critical-path cycles must land
+//! within **1.5x** of the even baseline (the skewed run sits near
+//! `shards`x), its replies must be **bit-identical** to the even run's
+//! (zero lost or duplicated endorsements across live migration), and the
+//! rebalancer must have actually moved queued work.
+//!
+//! Run with `--smoke` for the fast CI configuration. Always writes a
+//! machine-readable `BENCH_e20.json` summary.
+
+use glimmer_bench::e20_live_rebalance;
+use glimmer_bench::BenchReport;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (shards, slots_per_shard, requests_per_session) = if smoke { (2, 2, 3) } else { (4, 2, 4) };
+    println!(
+        "E20: live slot rebalancing — {shards} shards, {} slots, \
+         {requests_per_session} requests/session",
+        shards * slots_per_shard
+    );
+
+    let r = e20_live_rebalance(shards, slots_per_shard, requests_per_session, [46u8; 32]);
+
+    println!(
+        "even placement:   critical path {:>9} cycles ({} requests, {} endorsed)",
+        r.even_critical_cycles, r.requests, r.endorsed_even
+    );
+    println!(
+        "skewed, no moves: critical path {:>9} cycles ({:.2}x the even baseline)",
+        r.skewed_critical_cycles, r.skew_ratio
+    );
+    println!(
+        "rebalanced:       critical path {:>9} cycles ({:.2}x the even baseline)",
+        r.rebalanced_critical_cycles, r.recovery_ratio
+    );
+    println!(
+        "rebalancer: {} migrations carried {} queued requests live in {:.3} ms",
+        r.migrations, r.queued_moved, r.rebalance_ms
+    );
+
+    assert!(
+        r.skew_ratio > 1.5,
+        "the skewed fleet must actually be congested (got {:.2}x)",
+        r.skew_ratio
+    );
+    assert!(
+        r.recovery_ratio <= 1.5,
+        "regression: rebalanced critical path {:.2}x exceeds the 1.5x recovery bar",
+        r.recovery_ratio
+    );
+    assert!(r.migrations > 0, "the rebalancer never moved a slot");
+    assert!(
+        r.queued_moved > 0,
+        "migrations must carry live queued work, not just idle slots"
+    );
+    assert!(
+        r.replies_identical,
+        "rebalanced replies diverged from the unmigrated same-seed run"
+    );
+    assert_eq!(
+        r.endorsed_even, r.endorsed_rebalanced,
+        "endorsements were lost or duplicated across live migration"
+    );
+    println!(
+        "recovery bar holds: {:.2}x <= 1.5x, replies bit-identical, \
+         endorsements preserved ({})",
+        r.recovery_ratio, r.endorsed_rebalanced
+    );
+
+    let mut report = BenchReport::new("e20_live_rebalance");
+    report
+        .push_u64("shards", r.shards as u64)
+        .push_u64("slots", r.slots as u64)
+        .push_u64("requests", r.requests as u64)
+        .push_u64("endorsed_even", r.endorsed_even as u64)
+        .push_u64("endorsed_rebalanced", r.endorsed_rebalanced as u64)
+        .push_u64("even_critical_cycles", r.even_critical_cycles)
+        .push_u64("skewed_critical_cycles", r.skewed_critical_cycles)
+        .push_u64("rebalanced_critical_cycles", r.rebalanced_critical_cycles)
+        .push_f64("skew_ratio", r.skew_ratio, 3)
+        .push_f64("recovery_ratio", r.recovery_ratio, 3)
+        .push_u64("migrations", r.migrations as u64)
+        .push_u64("queued_moved", r.queued_moved as u64)
+        .push_f64("rebalance_ms", r.rebalance_ms, 3)
+        .push_bool("replies_identical", r.replies_identical);
+    report.write("BENCH_e20.json");
+}

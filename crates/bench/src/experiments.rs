@@ -4032,6 +4032,256 @@ pub fn e19_socket_frontdoor(
     }
 }
 
+/// E20 result: live rebalancing recovers a deliberately skewed fleet.
+#[derive(Debug, Clone)]
+pub struct E20Report {
+    /// Worker shards in the fleet.
+    pub shards: usize,
+    /// Pool slots (and sessions — one device per slot).
+    pub slots: usize,
+    /// Requests submitted per session.
+    pub requests_per_session: usize,
+    /// Total requests served in each run.
+    pub requests: usize,
+    /// Endorsements in the even-placement baseline run.
+    pub endorsed_even: usize,
+    /// Endorsements in the skewed-then-rebalanced run.
+    pub endorsed_rebalanced: usize,
+    /// Critical-path drain cycles (busiest shard) with even placement.
+    pub even_critical_cycles: u64,
+    /// Critical-path drain cycles with every slot piled on one shard and
+    /// no rebalancing — the congestion the rebalancer must undo.
+    pub skewed_critical_cycles: u64,
+    /// Critical-path drain cycles after the rebalancer spread the skewed
+    /// fleet back out, queued work migrating live with each slot.
+    pub rebalanced_critical_cycles: u64,
+    /// `skewed_critical_cycles / even_critical_cycles` — how bad the pile-up
+    /// was (≈ `shards` when the even placement is balanced).
+    pub skew_ratio: f64,
+    /// `rebalanced_critical_cycles / even_critical_cycles` — the recovery
+    /// bar (the bin asserts ≤ 1.5).
+    pub recovery_ratio: f64,
+    /// Migrations the rebalancer executed to drain the hot shard.
+    pub migrations: usize,
+    /// Queued requests that travelled live with the migrated slots.
+    pub queued_moved: usize,
+    /// Wall time of the skewed run's rebalance loop (migrations only, no
+    /// drains).
+    pub rebalance_ms: f64,
+    /// Whether the rebalanced run's replies are bit-identical (as a set;
+    /// drain order legitimately shifts with placement) to the unmigrated
+    /// even run's.
+    pub replies_identical: bool,
+}
+
+/// Runs E20: three identically-seeded single-tenant fleets.
+///
+/// 1. **Even** — slots in their natural round-robin placement, every
+///    session submits, drain. This is the balanced baseline.
+/// 2. **Skewed** — every slot is first migrated onto shard 0, so the whole
+///    workload queues on one worker; drained without rebalancing, its
+///    critical path is the sum the baseline had spread `shards` wide.
+/// 3. **Rebalanced** — same skewed start, but after the (identical)
+///    submissions a [`Rebalancer`](glimmer_gateway::Rebalancer) ticks until
+///    its plan is empty, migrating hot slots — queued work and all — onto
+///    idle shards before anything drains.
+///
+/// Identical seeds make the three fleets' enclaves, sessions, and
+/// ciphertexts bit-identical, so the runs differ only in slot placement:
+/// replies must match the even run bit for bit (no lost or duplicated
+/// endorsements across live migration), and the rebalanced critical path
+/// must land back near the even baseline.
+#[must_use]
+pub fn e20_live_rebalance(
+    shards: usize,
+    slots_per_shard: usize,
+    requests_per_session: usize,
+    seed: [u8; 32],
+) -> E20Report {
+    use glimmer_gateway::{Gateway, GatewayConfig, RebalanceConfig, Rebalancer, TenantConfig};
+
+    const APP: &str = "iot-telemetry.example";
+    let dimension = 8usize;
+    let slots = shards * slots_per_shard;
+    let sessions = slots;
+
+    // One fixture per run, identically seeded: returns the gateway and
+    // every request pre-encrypted in submission order.
+    let build = || {
+        let mut rng = Drbg::from_seed(seed);
+        let mut avs = AttestationService::new([20u8; 32]);
+        let material = ServiceKeyMaterial::generate(&mut rng).unwrap();
+        let gateway = Gateway::new(
+            GatewayConfig {
+                slots_per_tenant: slots,
+                shards,
+                max_batch: 256,
+                max_queue_depth: (sessions * requests_per_session).max(256),
+                placement_session_weight: 4,
+                platform_config: PlatformConfig::default(),
+                ..GatewayConfig::default()
+            },
+            vec![TenantConfig::new(
+                APP,
+                GlimmerDescriptor::iot_default(Vec::new()),
+                material.secret_bytes(),
+            )],
+            &mut avs,
+            &mut rng,
+        )
+        .unwrap();
+
+        let approved = gateway.measurement(APP).unwrap();
+        let client_ids: Vec<u64> = (0..sessions as u64).collect();
+        let blinding = BlindingService::new([21u8; 32]);
+        let mask_rounds: Vec<_> = (0..requests_per_session as u64)
+            .map(|round| blinding.zero_sum_masks(round, &client_ids, dimension))
+            .collect();
+        let mut device_sessions = Vec::with_capacity(sessions);
+        for (i, client_id) in client_ids.iter().enumerate() {
+            let (sid, offer) = gateway.open_session(APP).unwrap();
+            let (accept, session) =
+                IotDeviceSession::connect(&offer, &avs, &approved, &mut rng).unwrap();
+            gateway.complete_session(sid, &accept).unwrap();
+            for round in &mask_rounds {
+                gateway.install_mask(sid, &round[i]).unwrap();
+            }
+            device_sessions.push((sid, *client_id, session));
+        }
+        let mut encrypted: Vec<(u64, Vec<u8>)> =
+            Vec::with_capacity(sessions * requests_per_session);
+        for round in 0..requests_per_session as u64 {
+            for (sid, client_id, session) in &mut device_sessions {
+                let contribution = Contribution {
+                    app_id: APP.to_string(),
+                    client_id: *client_id,
+                    round,
+                    payload: ContributionPayload::IotReadings {
+                        samples: vec![0.3; dimension],
+                    },
+                };
+                encrypted.push((
+                    *sid,
+                    session.encrypt_request(contribution, PrivateData::None),
+                ));
+            }
+        }
+        (gateway, device_sessions, encrypted)
+    };
+
+    // Piles every slot onto shard 0 before any traffic arrives — the
+    // deliberate skew. (Dogfoods the same migration path the rebalancer
+    // uses, just without queued work yet.)
+    let consolidate = |gateway: &Gateway| {
+        for load in gateway.slot_loads() {
+            if load.shard != 0 {
+                gateway.migrate_slot(APP, load.slot_id, 0).unwrap();
+            }
+        }
+    };
+
+    let serve = |gateway: &Gateway, encrypted: Vec<(u64, Vec<u8>)>| {
+        for (sid, ciphertext) in encrypted {
+            gateway.submit(sid, ciphertext).unwrap();
+        }
+        gateway.drain_all().unwrap()
+    };
+
+    // Replies as a comparable set: (session id, endorsed, decrypted reply).
+    // Sorted because drain order legitimately depends on slot placement; the
+    // *set* may not. Compared after decryption because transport nonces are
+    // drawn from the platform RNG, which the migration's sealed export also
+    // advances — the reply *contents* (endorsements included) must still be
+    // bit-identical.
+    let reply_set = |responses: &[glimmer_gateway::GatewayResponse],
+                     devices: &[(u64, u64, IotDeviceSession)]| {
+        let mut set: Vec<(u64, bool, String)> = responses
+            .iter()
+            .map(|r| {
+                let glimmer_core::protocol::BatchOutcome::Reply {
+                    endorsed,
+                    ciphertext,
+                } = &r.outcome
+                else {
+                    panic!("unexpected outcome {:?}", r.outcome);
+                };
+                let (_, _, session) = devices
+                    .iter()
+                    .find(|(sid, _, _)| *sid == r.session_id)
+                    .expect("reply for unknown session");
+                let decrypted = session.decrypt_response(ciphertext).unwrap();
+                (r.session_id, *endorsed, format!("{decrypted:?}"))
+            })
+            .collect();
+        set.sort();
+        set
+    };
+
+    // Run 1: even placement.
+    let (even_gateway, even_devices, encrypted) = build();
+    let even_responses = serve(&even_gateway, encrypted);
+    let even_set = reply_set(&even_responses, &even_devices);
+    let even_critical_cycles = even_gateway.stats().critical_path_drain_cycles();
+
+    // Run 2: skewed, never rebalanced — the congestion baseline.
+    let (skewed_gateway, _skewed_devices, encrypted) = build();
+    consolidate(&skewed_gateway);
+    let skewed_responses = serve(&skewed_gateway, encrypted);
+    let skewed_critical_cycles = skewed_gateway.stats().critical_path_drain_cycles();
+    assert_eq!(
+        even_responses.len(),
+        skewed_responses.len(),
+        "skew must not change how many replies are served"
+    );
+
+    // Run 3: skewed, then rebalanced with the work still queued.
+    let (rebalanced_gateway, rebalanced_devices, encrypted) = build();
+    consolidate(&rebalanced_gateway);
+    for (sid, ciphertext) in encrypted {
+        rebalanced_gateway.submit(sid, ciphertext).unwrap();
+    }
+    let mut rebalancer = Rebalancer::new(RebalanceConfig {
+        min_imbalance: 1,
+        cooldown_ticks: 0,
+        max_moves_per_tick: 1,
+    });
+    let mut migrations = 0usize;
+    let mut queued_moved = 0usize;
+    let rebalance_start = Instant::now();
+    loop {
+        let reports = rebalancer.tick(&rebalanced_gateway).unwrap();
+        if reports.is_empty() {
+            break;
+        }
+        migrations += reports.len();
+        queued_moved += reports.iter().map(|r| r.queued_moved).sum::<usize>();
+    }
+    let rebalance_ms = rebalance_start.elapsed().as_secs_f64() * 1e3;
+    let rebalanced_responses = rebalanced_gateway.drain_all().unwrap();
+    let rebalanced_set = reply_set(&rebalanced_responses, &rebalanced_devices);
+    let rebalanced_critical_cycles = rebalanced_gateway.stats().critical_path_drain_cycles();
+
+    let endorsed = |set: &[(u64, bool, String)]| set.iter().filter(|(_, e, _)| *e).count();
+
+    E20Report {
+        shards,
+        slots,
+        requests_per_session,
+        requests: sessions * requests_per_session,
+        endorsed_even: endorsed(&even_set),
+        endorsed_rebalanced: endorsed(&rebalanced_set),
+        even_critical_cycles,
+        skewed_critical_cycles,
+        rebalanced_critical_cycles,
+        skew_ratio: skewed_critical_cycles as f64 / even_critical_cycles.max(1) as f64,
+        recovery_ratio: rebalanced_critical_cycles as f64 / even_critical_cycles.max(1) as f64,
+        migrations,
+        queued_moved,
+        rebalance_ms,
+        replies_identical: even_set == rebalanced_set,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -4388,6 +4638,26 @@ mod tests {
         // Telemetry saw both the forced exports and the delta skips.
         assert!(r.telemetry_slots_exported > 0);
         assert_eq!(r.telemetry_slots_skipped, 15 * 2, "15 skips x 2 repeats");
+    }
+
+    #[test]
+    fn e20_rebalancing_recovers_a_skewed_fleet() {
+        // 2 shards, 4 slots, all piled on shard 0: the skewed critical path
+        // is the whole workload, the rebalanced one must come back to the
+        // even baseline (the planner's end state here is exactly even, so
+        // the 1.5x bin bar is met with margin).
+        let r = e20_live_rebalance(2, 2, 2, SEED);
+        assert_eq!(r.slots, 4);
+        assert!(r.skew_ratio > 1.5, "skew too mild: {:.2}", r.skew_ratio);
+        assert!(
+            r.recovery_ratio <= 1.5,
+            "recovery bar missed: {:.2}",
+            r.recovery_ratio
+        );
+        assert!(r.migrations > 0);
+        assert!(r.queued_moved > 0, "no queued work travelled");
+        assert!(r.replies_identical, "replies diverged across migration");
+        assert_eq!(r.endorsed_even, r.endorsed_rebalanced);
     }
 
     #[test]

@@ -120,7 +120,9 @@ pub enum CrashPoint {
     SnapshotAssembled,
     /// Streamed capture only: fired after each slot's export completes and
     /// its worker has resumed serving — the gateway dies with some slots
-    /// exported and the rest not.
+    /// exported and the rest not. The capture still holds the slot's
+    /// quiesce claim at this point, so a migration racing the hook loses
+    /// with a typed [`crate::GatewayError::BarrierConflict`].
     MidStreamExport,
     /// Delta checkpoint only: the delta value is fully assembled but not
     /// yet returned/persisted.
@@ -130,12 +132,28 @@ pub enum CrashPoint {
     /// Mid-restore: the first tenant's slots have imported their sealed
     /// state; the rest have not.
     MidRestore,
+    /// Migration only: the source worker is paused at its handoff barrier
+    /// but the slot has not been touched — the coordinator dies before the
+    /// export, and the worker resumes serving the slot as if nothing
+    /// happened.
+    MidMigrationExport,
+    /// Migration only: the slot has been sealed, exported, and handed to
+    /// the coordinator; the routing table still points at the source
+    /// shard. The coordinator dies in the in-flight window and the slot is
+    /// reinstalled on its source worker (fail-closed).
+    SlotHandedOff,
+    /// Migration only: the coordinator dies at the import boundary, before
+    /// the target worker takes ownership. Recovery is identical to
+    /// [`CrashPoint::SlotHandedOff`] — the routing commit is one atomic
+    /// store, so no partially-imported state exists between the two.
+    MidMigrationImport,
 }
 
 impl CrashPoint {
-    /// Every labelled crash point, in checkpoint-then-restore order (the
-    /// crash-matrix test iterates this).
-    pub const ALL: [CrashPoint; 9] = [
+    /// Every labelled crash point, in checkpoint-then-restore-then-migrate
+    /// order (the crash-matrix tests iterate this; the checkpoint matrix
+    /// filters out the migration-only points, which never fire there).
+    pub const ALL: [CrashPoint; 12] = [
         CrashPoint::BeforeCheckpoint,
         CrashPoint::WorkersQuiesced,
         CrashPoint::StateCaptured,
@@ -145,6 +163,19 @@ impl CrashPoint {
         CrashPoint::DeltaAssembled,
         CrashPoint::BeforeRestore,
         CrashPoint::MidRestore,
+        CrashPoint::MidMigrationExport,
+        CrashPoint::SlotHandedOff,
+        CrashPoint::MidMigrationImport,
+    ];
+
+    /// The migration-only crash points ([`Gateway::migrate_slot_with_hooks`]
+    /// is the only code that reaches them).
+    ///
+    /// [`Gateway::migrate_slot_with_hooks`]: crate::Gateway::migrate_slot_with_hooks
+    pub const MIGRATION: [CrashPoint; 3] = [
+        CrashPoint::MidMigrationExport,
+        CrashPoint::SlotHandedOff,
+        CrashPoint::MidMigrationImport,
     ];
 }
 
@@ -160,6 +191,9 @@ impl core::fmt::Display for CrashPoint {
             CrashPoint::DeltaAssembled => "delta-assembled",
             CrashPoint::BeforeRestore => "before-restore",
             CrashPoint::MidRestore => "mid-restore",
+            CrashPoint::MidMigrationExport => "mid-migration-export",
+            CrashPoint::SlotHandedOff => "slot-handed-off",
+            CrashPoint::MidMigrationImport => "mid-migration-import",
         };
         write!(f, "{name}")
     }
@@ -1025,5 +1059,10 @@ mod tests {
             assert!(CrashAt(point).reached(point));
         }
         assert!(!CrashAt(CrashPoint::MidRestore).reached(CrashPoint::BeforeRestore));
+        // The migration-only points are a subset of ALL (the restore
+        // matrix filters them out; the rebalance matrix iterates them).
+        for point in CrashPoint::MIGRATION {
+            assert!(CrashPoint::ALL.contains(&point));
+        }
     }
 }

@@ -126,6 +126,39 @@ pub struct GatewayConfig {
     /// cadence). Only read by [`net::serve`](crate::net::serve); a gateway
     /// driven purely in-process never touches them.
     pub net: NetConfig,
+    /// Live-rebalancing knobs for the [`crate::rebalance::Rebalancer`].
+    /// Only read by an operator-driven `Rebalancer` loop; the gateway
+    /// itself never migrates a slot unprompted.
+    pub rebalance: RebalanceConfig,
+}
+
+/// Knobs for the [`crate::rebalance::Rebalancer`]'s migration planner.
+#[derive(Debug, Clone)]
+pub struct RebalanceConfig {
+    /// Smallest queued-work gap between the most- and least-loaded shards
+    /// that justifies moving a slot. Below this the fleet counts as
+    /// balanced and [`crate::rebalance::plan_rebalance`] returns no plan —
+    /// this is the hysteresis band that keeps a near-balanced fleet from
+    /// oscillating slots back and forth.
+    pub min_imbalance: u64,
+    /// Planner ticks a [`crate::rebalance::Rebalancer`] sits out after
+    /// executing a migration, letting the moved queue drain before the
+    /// next imbalance reading is trusted. `0` re-plans every tick.
+    pub cooldown_ticks: u32,
+    /// Most migrations one [`crate::rebalance::Rebalancer::tick`] will
+    /// execute. One (the default) is the conservative choice: each
+    /// migration changes the load picture the next plan should see.
+    pub max_moves_per_tick: usize,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            min_imbalance: 64,
+            cooldown_ticks: 2,
+            max_moves_per_tick: 1,
+        }
+    }
 }
 
 /// Socket front-door parameters (see [`crate::net`]).
@@ -175,6 +208,7 @@ impl Default for GatewayConfig {
             stale_pending_after: Duration::from_secs(30),
             evict_stale_period: Some(Duration::from_secs(5)),
             net: NetConfig::default(),
+            rebalance: RebalanceConfig::default(),
         }
     }
 }
@@ -211,6 +245,11 @@ mod tests {
         assert!(config.net.idle_timeout.is_some());
         assert!(config.net.max_frame_len >= 64 * 1024);
         assert!(config.net.drain_interval.is_some());
+        // Rebalancing needs a real hysteresis band (a zero threshold would
+        // migrate on every one-request ripple) and moves conservatively.
+        assert!(config.rebalance.min_imbalance > 0);
+        assert!(config.rebalance.cooldown_ticks >= 1);
+        assert_eq!(config.rebalance.max_moves_per_tick, 1);
 
         let quota = TenantQuota::default();
         assert!(quota.endorsement_budget.is_none());

@@ -65,6 +65,13 @@ pub enum GatewayError {
         /// Which limit.
         resource: QuotaResource,
     },
+    /// A migration named a target shard outside the configured fleet.
+    UnknownShard {
+        /// The requested shard index.
+        shard: usize,
+        /// How many shards the gateway runs.
+        shards: usize,
+    },
     /// A shard worker thread is gone (the runtime is shutting down or a
     /// worker panicked), so the command could not be served.
     RuntimeUnavailable,
@@ -95,12 +102,16 @@ pub enum GatewayError {
         /// What broke.
         reason: &'static str,
     },
-    /// A whole-gateway quiesce operation (checkpoint or shutdown) was
-    /// requested while another one held the worker barrier. Interleaving two
-    /// two-phase barriers would deadlock the shard workers (each paused
-    /// waiting for the other operation's release), so the loser fails typed
-    /// and the caller retries after the winner finishes — except after
-    /// shutdown, whose claim is terminal.
+    /// A quiesce claim was refused because another operation already holds
+    /// it. Covers both scopes: a whole-gateway barrier (checkpoint or
+    /// shutdown) refused while another fleet-wide operation held it, and a
+    /// *slot-level* claim — a streamed/delta capture and a live migration
+    /// contending for the same slot, or a fleet pause finding a slot
+    /// mid-migration. Interleaving the underlying worker pauses would
+    /// deadlock the shard workers (each paused waiting for the other
+    /// operation's release), so the loser fails typed and the caller
+    /// retries after the winner finishes — except after shutdown, whose
+    /// claim is terminal.
     BarrierConflict {
         /// The operation currently holding the barrier.
         in_progress: BarrierOp,
@@ -141,6 +152,9 @@ impl core::fmt::Display for GatewayError {
             ),
             GatewayError::QuotaExceeded { tenant, resource } => {
                 write!(f, "tenant {tenant:?} exceeded its {resource} quota")
+            }
+            GatewayError::UnknownShard { shard, shards } => {
+                write!(f, "no shard {shard} (the fleet runs {shards})")
             }
             GatewayError::RuntimeUnavailable => {
                 write!(f, "gateway runtime unavailable (shard worker stopped)")
@@ -224,6 +238,13 @@ mod tests {
                 },
                 "endorsements",
             ),
+            (
+                GatewayError::UnknownShard {
+                    shard: 4,
+                    shards: 2,
+                },
+                "no shard 4",
+            ),
             (GatewayError::RuntimeUnavailable, "runtime unavailable"),
             (
                 GatewayError::SealedBlobRejected {
@@ -253,6 +274,13 @@ mod tests {
                     requested: BarrierOp::Shutdown,
                 },
                 "quiesce barrier",
+            ),
+            (
+                GatewayError::BarrierConflict {
+                    in_progress: BarrierOp::Rebalance,
+                    requested: BarrierOp::Checkpoint,
+                },
+                "a rebalance already holds",
             ),
             (
                 GatewayError::CrashInjected(CrashPoint::BeforeRestore),

@@ -10,9 +10,11 @@ use crate::config::{GatewayConfig, TenantConfig, TenantQuota};
 use crate::error::{GatewayError, QuotaResource, Result};
 use crate::frontend::completion::{completion_pair, Completion};
 use crate::pool::{PoolSlot, TenantPool};
+use crate::rebalance::{MigrationReport, SlotLoad};
 use crate::runtime::{
     BarrierGuard, BarrierOp, Reply, ShardCommand, ShardDrainReport, ShardWorker, Shared,
-    SlotCheckpoint, SlotExport, SlotGauges, SlotInfo, TenantCounters, TenantMeta, WorkerSlot,
+    SlotCheckpoint, SlotClaim, SlotEntry, SlotExport, SlotGauges, SlotInfo, TenantCounters,
+    TenantMeta, WorkerSlot, BARRIER_IDLE,
 };
 use crate::session::{SessionEntry, SessionState, SessionTable};
 use crate::stats::GatewayStats;
@@ -446,11 +448,11 @@ impl Gateway {
                 gauges.dirty_epoch.store(slot.dirty_epoch, Ordering::SeqCst);
                 let shard = next_shard;
                 next_shard = (next_shard + 1) % shards;
-                slot_infos.push(SlotInfo {
+                slot_infos.push(SlotInfo::new(
                     shard,
-                    worker_idx: worker_slots[shard].len(),
-                    gauges: Arc::clone(&gauges),
-                });
+                    worker_slots[shard].len(),
+                    Arc::clone(&gauges),
+                ));
                 worker_slots[shard].push(WorkerSlot {
                     tenant_idx,
                     slot,
@@ -495,6 +497,7 @@ impl Gateway {
             checkpoint_epoch: AtomicU64::new(checkpoint_epoch),
             barrier: AtomicU8::new(crate::runtime::BARRIER_IDLE),
             pinned_workers: AtomicUsize::new(0),
+            migration: Mutex::new(()),
         });
 
         // Shard-to-core assignment for `pin_cores`: round-robin over the
@@ -502,15 +505,27 @@ impl Gateway {
         // failing to pin.
         let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
 
+        // All shard channels exist before any worker spawns: every worker
+        // holds senders to every shard, which is what lets a tombstoned
+        // (migrated-away) slot forward stray commands to its new owner.
         let mut senders = Vec::with_capacity(shards);
-        let mut workers = Vec::with_capacity(shards);
-        for (shard_id, slots) in worker_slots.into_iter().enumerate() {
+        let mut receivers = Vec::with_capacity(shards);
+        for _ in 0..shards {
             let (tx, rx) = channel();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let mut workers = Vec::with_capacity(shards);
+        for (shard_id, (slots, rx)) in worker_slots.into_iter().zip(receivers).enumerate() {
             let worker = ShardWorker {
                 shard_id,
                 shared: Arc::clone(&shared),
-                slots,
+                slots: slots
+                    .into_iter()
+                    .map(|ws| SlotEntry::Occupied(Box::new(ws)))
+                    .collect(),
                 rx,
+                senders: senders.clone(),
                 scratch: Default::default(),
             };
             let pin_core = worker.shared.config.pin_cores.then_some(shard_id % cores);
@@ -529,7 +544,6 @@ impl Gateway {
                     worker.run()
                 })
                 .map_err(|_| GatewayError::RuntimeUnavailable)?;
-            senders.push(tx);
             workers.push(handle);
         }
 
@@ -554,6 +568,26 @@ impl Gateway {
     #[must_use]
     pub fn pinned_workers(&self) -> usize {
         self.shared.pinned_workers.load(Ordering::SeqCst)
+    }
+
+    /// Every pool slot's live load — current owning shard and queued
+    /// requests, read from the same gauges the placement policy maintains
+    /// at admission time — in deterministic (tenant name, slot id) order.
+    /// This is [`crate::rebalance::plan_rebalance`]'s input.
+    #[must_use]
+    pub fn slot_loads(&self) -> Vec<SlotLoad> {
+        let mut loads = Vec::new();
+        for tenant in &self.shared.tenants {
+            for (slot_id, info) in tenant.slots.iter().enumerate() {
+                loads.push(SlotLoad {
+                    tenant: Arc::clone(&tenant.name),
+                    slot_id,
+                    shard: info.shard(),
+                    queued: info.gauges.queue_depth.load(Ordering::SeqCst) as u64,
+                });
+            }
+        }
+        loads
     }
 
     /// The enrolled tenant names, in deterministic order.
@@ -721,13 +755,13 @@ impl Gateway {
     /// is rolled back.
     pub fn open_session(&self, tenant: &str) -> Result<(u64, ChannelOffer)> {
         let (session_id, tenant_idx, slot_id) = self.open_session_admit(tenant)?;
-        let info = &self.shared.tenants[tenant_idx].slots[slot_id];
+        let (shard, slot) = self.shared.tenants[tenant_idx].slots[slot_id].location();
         let (tx, rx) = channel();
         let outcome = self
             .send(
-                info.shard,
+                shard,
                 ShardCommand::OpenSession {
-                    slot: info.worker_idx,
+                    slot,
                     session_id,
                     reply: Reply::Sync(tx),
                 },
@@ -747,12 +781,12 @@ impl Gateway {
         tenant: &str,
     ) -> Result<(u64, usize, usize, Completion<Result<ChannelOffer>>)> {
         let (session_id, tenant_idx, slot_id) = self.open_session_admit(tenant)?;
-        let info = &self.shared.tenants[tenant_idx].slots[slot_id];
+        let (shard, slot) = self.shared.tenants[tenant_idx].slots[slot_id].location();
         let (completer, completion) = completion_pair();
         match self.send(
-            info.shard,
+            shard,
             ShardCommand::OpenSession {
-                slot: info.worker_idx,
+                slot,
                 session_id,
                 reply: Reply::Async(completer),
             },
@@ -795,7 +829,7 @@ impl Gateway {
         entry: &SessionEntry,
         outcome: Result<()>,
     ) -> Result<()> {
-        let info = &self.shared.tenants[entry.tenant_idx].slots[entry.slot];
+        let (shard, slot) = self.shared.tenants[entry.tenant_idx].slots[entry.slot].location();
         if let Err(e) = outcome {
             // The enclave consumed the pending handshake, so this session id
             // can never complete; tear it down instead of leaving a wedged
@@ -824,9 +858,9 @@ impl Gateway {
             let (tx, rx) = channel();
             if self
                 .send(
-                    info.shard,
+                    shard,
                     ShardCommand::CloseSession {
-                        slot: info.worker_idx,
+                        slot,
                         session_id,
                         reply: Reply::Sync(tx),
                     },
@@ -852,13 +886,13 @@ impl Gateway {
     /// [`Gateway::open_session`].
     pub fn complete_session(&self, session_id: u64, accept: &ChannelAccept) -> Result<()> {
         let entry = self.complete_session_route(session_id)?;
-        let info = &self.shared.tenants[entry.tenant_idx].slots[entry.slot];
+        let (shard, slot) = self.shared.tenants[entry.tenant_idx].slots[entry.slot].location();
         let (tx, rx) = channel();
         let outcome = self
             .send(
-                info.shard,
+                shard,
                 ShardCommand::AcceptSession {
-                    slot: info.worker_idx,
+                    slot,
                     session_id,
                     accept: accept.clone(),
                     reply: Reply::Sync(tx),
@@ -878,12 +912,12 @@ impl Gateway {
         accept: &ChannelAccept,
     ) -> Result<(SessionEntry, Completion<Result<()>>)> {
         let entry = self.complete_session_route(session_id)?;
-        let info = &self.shared.tenants[entry.tenant_idx].slots[entry.slot];
+        let (shard, slot) = self.shared.tenants[entry.tenant_idx].slots[entry.slot].location();
         let (completer, completion) = completion_pair();
         match self.send(
-            info.shard,
+            shard,
             ShardCommand::AcceptSession {
-                slot: info.worker_idx,
+                slot,
                 session_id,
                 accept: accept.clone(),
                 reply: Reply::Async(completer),
@@ -933,13 +967,14 @@ impl Gateway {
             .close(session_id)?;
         let meta = &self.shared.tenants[entry.tenant_idx];
         let info = &meta.slots[entry.slot];
+        let (shard, slot) = info.location();
         info.gauges.active_sessions.fetch_sub(1, Ordering::SeqCst);
         meta.live_sessions.fetch_sub(1, Ordering::SeqCst);
         let (completer, completion) = completion_pair();
         self.send(
-            info.shard,
+            shard,
             ShardCommand::CloseSession {
-                slot: info.worker_idx,
+                slot,
                 session_id,
                 reply: Reply::Async(completer),
             },
@@ -987,13 +1022,14 @@ impl Gateway {
     fn finish_close(&self, session_id: u64, entry: &SessionEntry) -> Result<()> {
         let meta = &self.shared.tenants[entry.tenant_idx];
         let info = &meta.slots[entry.slot];
+        let (shard, slot) = info.location();
         info.gauges.active_sessions.fetch_sub(1, Ordering::SeqCst);
         meta.live_sessions.fetch_sub(1, Ordering::SeqCst);
         let (tx, rx) = channel();
         self.send(
-            info.shard,
+            shard,
             ShardCommand::CloseSession {
-                slot: info.worker_idx,
+                slot,
                 session_id,
                 reply: Reply::Sync(tx),
             },
@@ -1048,12 +1084,12 @@ impl Gateway {
 
     fn install_mask_delivery(&self, session_id: u64, delivery: MaskDelivery) -> Result<()> {
         let entry = self.session_entry(session_id)?;
-        let info = &self.shared.tenants[entry.tenant_idx].slots[entry.slot];
+        let (shard, slot) = self.shared.tenants[entry.tenant_idx].slots[entry.slot].location();
         let (tx, rx) = channel();
         self.send(
-            info.shard,
+            shard,
             ShardCommand::InstallMask {
-                slot: info.worker_idx,
+                slot,
                 session_id,
                 delivery,
                 reply: Reply::Sync(tx),
@@ -1073,12 +1109,12 @@ impl Gateway {
         delivery: MaskDelivery,
     ) -> Result<(Arc<str>, Completion<Result<()>>)> {
         let entry = self.session_entry(session_id)?;
-        let info = &self.shared.tenants[entry.tenant_idx].slots[entry.slot];
+        let (shard, slot) = self.shared.tenants[entry.tenant_idx].slots[entry.slot].location();
         let (completer, completion) = completion_pair();
         self.send(
-            info.shard,
+            shard,
             ShardCommand::InstallMask {
-                slot: info.worker_idx,
+                slot,
                 session_id,
                 delivery,
                 reply: Reply::Async(completer),
@@ -1099,7 +1135,7 @@ impl Gateway {
     /// `SubmitMany` command instead of a cross-shard scatter.
     pub fn session_shard(&self, session_id: u64) -> Result<usize> {
         let entry = self.session_entry(session_id)?;
-        Ok(self.shared.tenants[entry.tenant_idx].slots[entry.slot].shard)
+        Ok(self.shared.tenants[entry.tenant_idx].slots[entry.slot].shard())
     }
 
     /// Number of pool slots serving `tenant`.
@@ -1121,12 +1157,12 @@ impl Gateway {
     /// enclave's offer for the *tenant* (not a device) to verify and answer.
     /// Once completed, the tenant can seal mask deliveries to that slot.
     pub fn tenant_channel_offer(&self, tenant: &str, slot: usize) -> Result<ChannelOffer> {
-        let info = self.tenant_slot(tenant, slot)?;
+        let (shard, slot) = self.tenant_slot(tenant, slot)?.location();
         let (tx, rx) = channel();
         self.send(
-            info.shard,
+            shard,
             ShardCommand::TenantChannelOffer {
-                slot: info.worker_idx,
+                slot,
                 reply: Reply::Sync(tx),
             },
         )?;
@@ -1140,12 +1176,12 @@ impl Gateway {
         slot: usize,
         accept: &ChannelAccept,
     ) -> Result<()> {
-        let info = self.tenant_slot(tenant, slot)?;
+        let (shard, slot) = self.tenant_slot(tenant, slot)?.location();
         let (tx, rx) = channel();
         self.send(
-            info.shard,
+            shard,
             ShardCommand::TenantChannelComplete {
-                slot: info.worker_idx,
+                slot,
                 accept: accept.clone(),
                 reply: Reply::Sync(tx),
             },
@@ -1262,11 +1298,11 @@ impl Gateway {
         self.reserve_admission(meta, entry.slot, 1)?;
         let telemetry = &self.shared.telemetry;
         let trace = telemetry.submit_sampler(1).tag(telemetry, 0, session_id);
-        let info = &meta.slots[entry.slot];
+        let (shard, slot) = meta.slots[entry.slot].location();
         let sent = self.send_submit(
-            info.shard,
+            shard,
             ShardCommand::Submit {
-                slot: info.worker_idx,
+                slot,
                 item: BatchItem {
                     session_id,
                     ciphertext,
@@ -1385,14 +1421,14 @@ impl Gateway {
         self.reserve_admission(meta, entry.slot, n)?;
         let telemetry = &self.shared.telemetry;
         let sampler = telemetry.submit_sampler(n);
-        let info = &meta.slots[entry.slot];
+        let (shard, worker_idx) = meta.slots[entry.slot].location();
         // One exact-capacity vector is the whole per-call allocation cost.
         let items = ciphertexts
             .into_iter()
             .enumerate()
             .map(|(offset, ciphertext)| {
                 (
-                    info.worker_idx,
+                    worker_idx,
                     BatchItem {
                         session_id,
                         ciphertext,
@@ -1401,7 +1437,7 @@ impl Gateway {
                 )
             })
             .collect();
-        let sent = self.send_submit(info.shard, ShardCommand::SubmitMany { items });
+        let sent = self.send_submit(shard, ShardCommand::SubmitMany { items });
         if sent.is_err() {
             Self::release_admission(meta, entry.slot, n);
             return sent;
@@ -1498,14 +1534,28 @@ impl Gateway {
                 return Err(e);
             }
         }
+        // One location read per (tenant, slot) group: every decision below
+        // — shard bucket sizes, per-item worker indices, per-shard
+        // accounting — derives from this single consistent snapshot. A
+        // migration committed after the read at worst routes the whole
+        // group through its old shard's forwarding tombstone; it can never
+        // split a group across disagreeing reads.
+        let group_locs: Vec<(usize, usize)> = group_counts
+            .iter()
+            .map(|&(t, s, _)| self.shared.tenants[t].slots[s].location())
+            .collect();
+        let loc_of = |tenant_idx: usize, slot_id: usize| {
+            group_counts
+                .iter()
+                .position(|&(t, s, _)| t == tenant_idx && s == slot_id)
+                .map(|i| group_locs[i])
+                .expect("every route was counted into a group above")
+        };
         // One flat, exact-capacity item vector per shard, filled in arrival
         // order (per-slot order is therefore the caller's order).
-        let shard_of = |tenant_idx: usize, slot_id: usize| {
-            self.shared.tenants[tenant_idx].slots[slot_id].shard
-        };
         let mut shard_counts: Vec<(usize, usize)> = Vec::new();
         for &(tenant_idx, slot_id) in &routes {
-            let shard = shard_of(tenant_idx, slot_id);
+            let (shard, _) = loc_of(tenant_idx, slot_id);
             match shard_counts.iter_mut().find(|(s, _)| *s == shard) {
                 Some((_, n)) => *n += 1,
                 None => shard_counts.push((shard, 1)),
@@ -1522,13 +1572,13 @@ impl Gateway {
         for (offset, ((session_id, ciphertext), &(tenant_idx, slot_id))) in
             requests.into_iter().zip(&routes).enumerate()
         {
-            let info = &self.shared.tenants[tenant_idx].slots[slot_id];
+            let (shard, worker_idx) = loc_of(tenant_idx, slot_id);
             let bucket = per_shard
                 .iter_mut()
-                .find(|(s, _)| *s == info.shard)
+                .find(|(s, _)| *s == shard)
                 .expect("every shard was counted above");
             bucket.1.push((
-                info.worker_idx,
+                worker_idx,
                 BatchItem {
                     session_id,
                     ciphertext,
@@ -1543,7 +1593,7 @@ impl Gateway {
                 Ok(()) => {
                     telemetry.admit_accept(count);
                     for &(t, s, n) in &group_counts {
-                        if shard_of(t, s) == shard {
+                        if loc_of(t, s).0 == shard {
                             self.shared.tenants[t]
                                 .counters
                                 .submitted
@@ -1555,7 +1605,7 @@ impl Gateway {
                     // This shard's worker is gone; its items were never
                     // enqueued, so release exactly its groups' reservations.
                     for &(t, s, n) in &group_counts {
-                        if shard_of(t, s) == shard {
+                        if loc_of(t, s).0 == shard {
                             Self::release_admission(&self.shared.tenants[t], s, n);
                         }
                     }
@@ -1848,6 +1898,25 @@ impl Gateway {
         // gets a typed error instead. The guard releases on every exit
         // path, including injected crashes and export failures.
         let _barrier = BarrierGuard::acquire(&self.shared, BarrierOp::Checkpoint)?;
+        // A migration claims its slot *before* re-checking the global
+        // barrier (SeqCst store-then-load on both sides), so scanning the
+        // per-slot claims after taking the global guard above guarantees
+        // at least one of two racing coordinators sees the other and backs
+        // off with a typed error. Skipping this scan would deadlock: a
+        // mid-flight migration leaves its source worker paused, and the
+        // fleet-wide pause below would wait on that worker forever.
+        for tenant in self.shared.tenants.iter() {
+            for info in tenant.slots.iter() {
+                let claimed = info.gauges.claim.load(Ordering::SeqCst);
+                if claimed != BARRIER_IDLE {
+                    return Err(GatewayError::BarrierConflict {
+                        in_progress: BarrierOp::decode(claimed)
+                            .expect("non-idle slot claim always holds an encoded op"),
+                        requested: BarrierOp::Checkpoint,
+                    });
+                }
+            }
+        }
         let epoch = self.shared.checkpoint_epoch.fetch_add(1, Ordering::SeqCst) + 1;
         let created_at_nanos = self.shared.clock.now_nanos();
         let header = Arc::new(glimmer_wire::snapshot::header_bytes(
@@ -2025,6 +2094,9 @@ impl Gateway {
     /// enclave's state epoch still equals `known_state_epoch`) and returns
     /// its reply. Only this slot's shard pauses; every other shard keeps
     /// serving.
+    /// Callers hold the slot's [`SlotClaim`] around this call: the claim is
+    /// what keeps a concurrent migration from moving the slot between the
+    /// location read below and the barrier command landing on its worker.
     fn export_slot_barrier(
         &self,
         tenant_idx: usize,
@@ -2033,14 +2105,14 @@ impl Gateway {
         known_state_epoch: Option<u64>,
         sessions: &mut Vec<SessionRecord>,
     ) -> Result<SlotExport> {
-        let info = &self.shared.tenants[tenant_idx].slots[slot_id];
+        let (shard, slot) = self.shared.tenants[tenant_idx].slots[slot_id].location();
         let (ready_tx, ready_rx) = channel();
         let (go_tx, go_rx) = channel();
         let (reply_tx, reply_rx) = channel();
         self.send(
-            info.shard,
+            shard,
             ShardCommand::ExportSlot {
-                slot: info.worker_idx,
+                slot,
                 header: Arc::clone(header),
                 known_state_epoch,
                 ready: ready_tx,
@@ -2146,6 +2218,14 @@ impl Gateway {
             (0..self.shared.tenants.len()).map(|_| Vec::new()).collect();
         for tenant_idx in 0..self.shared.tenants.len() {
             for slot_id in 0..self.shared.tenants[tenant_idx].slots.len() {
+                // Slot-level claim: a migration racing this capture loses on
+                // exactly the contended slot (typed `BarrierConflict`) —
+                // every other slot keeps migrating/serving freely. Held
+                // across the crash hook below so the hook observes the
+                // mid-slot state, which is what the rebalance regression
+                // test races against.
+                let gauges = Arc::clone(&self.shared.tenants[tenant_idx].slots[slot_id].gauges);
+                let claim = SlotClaim::acquire(&gauges, BarrierOp::Checkpoint)?;
                 let export =
                     self.export_slot_barrier(tenant_idx, slot_id, &header, None, &mut sessions)?;
                 per_tenant[export.tenant_idx].push(SlotSnapshot {
@@ -2156,6 +2236,7 @@ impl Gateway {
                     stats: Self::persisted_stats(&export.stats),
                 });
                 crash(CrashPoint::MidStreamExport)?;
+                drop(claim);
             }
         }
         sessions.sort_unstable_by_key(|record| record.session_id);
@@ -2290,6 +2371,7 @@ impl Gateway {
                         sessions.truncate(mark);
                     }
                 }
+                let claim = SlotClaim::acquire(&info.gauges, BarrierOp::Checkpoint)?;
                 let export = self.export_slot_barrier(
                     tenant_idx,
                     slot_id,
@@ -2310,6 +2392,7 @@ impl Gateway {
                     stats: Self::persisted_stats(&export.stats),
                 });
                 crash(CrashPoint::MidStreamExport)?;
+                drop(claim);
             }
         }
         sessions.sort_unstable_by_key(|record| record.session_id);
@@ -2349,6 +2432,208 @@ impl Gateway {
                 .saturating_sub(checkpoint_start_nanos),
         );
         Ok(delta)
+    }
+
+    /// Live-migrates one tenant pool slot to `target_shard` while the rest
+    /// of the fleet keeps serving. The protocol: claim the slot (typed
+    /// [`GatewayError::BarrierConflict`] if a capture holds it), pause its
+    /// source worker, seal the enclave state at the handoff point (a
+    /// crash-recovery artifact, AAD-bound to the migration header), move
+    /// the whole live slot — enclave handle, queued work, gauges — to the
+    /// target worker, and retarget the routing table in one atomic store.
+    /// The source worker stays paused until the commit, so no command can
+    /// reach the slot's tombstone before the routing table points at the
+    /// new owner; strays that raced the in-flight window forward through
+    /// the tombstone (reply channels travel with them), and a trailing
+    /// FIFO fence on the source shard flushes them before this returns.
+    ///
+    /// Naming the shard the slot already lives on is a no-op that still
+    /// reports success (`from_shard == to_shard`, nothing sealed or moved).
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::UnknownTenant`] / [`GatewayError::UnknownSlot`] /
+    /// [`GatewayError::UnknownShard`] for a bad address;
+    /// [`GatewayError::BarrierConflict`] when the slot is mid-capture
+    /// (streamed or delta checkpoint) or a fleet-wide checkpoint/shutdown
+    /// holds the quiesce barrier; [`GatewayError::Glimmer`] when the
+    /// handoff seal fails — in every error case the slot is still (or
+    /// again) owned by its source shard and keeps serving.
+    pub fn migrate_slot(
+        &self,
+        tenant: &str,
+        slot_id: usize,
+        target_shard: usize,
+    ) -> Result<MigrationReport> {
+        self.migrate_slot_with_hooks(tenant, slot_id, target_shard, &NoCrash)
+    }
+
+    /// [`Gateway::migrate_slot`] with injected [`CrashHooks`] — the
+    /// migration arm of the crash-fault-injection matrix. Every injected
+    /// crash fails closed back to the source shard: the slot ends the call
+    /// owned by its original worker with its queue intact, so no
+    /// endorsement is lost or duplicated.
+    pub fn migrate_slot_with_hooks(
+        &self,
+        tenant: &str,
+        slot_id: usize,
+        target_shard: usize,
+        hooks: &dyn CrashHooks,
+    ) -> Result<MigrationReport> {
+        let crash = |point: CrashPoint| -> Result<()> {
+            if hooks.reached(point) {
+                Err(GatewayError::CrashInjected(point))
+            } else {
+                Ok(())
+            }
+        };
+        if target_shard >= self.senders.len() {
+            return Err(GatewayError::UnknownShard {
+                shard: target_shard,
+                shards: self.senders.len(),
+            });
+        }
+        let tenant_idx = self.shared.tenant_idx(tenant)?;
+        let info = self.shared.tenants[tenant_idx]
+            .slots
+            .get(slot_id)
+            .ok_or_else(|| GatewayError::UnknownSlot {
+                tenant: tenant.to_string(),
+                slot: slot_id,
+            })?;
+        let start_nanos = self.shared.clock.now_nanos();
+        // Slot first, fleet second: the full checkpoint does the mirror
+        // image (fleet barrier first, then a scan of every slot claim), so
+        // with SeqCst on both sides at least one of two racing coordinators
+        // observes the other and fails typed — never both proceeding into a
+        // worker-pause deadlock.
+        let _claim = SlotClaim::acquire(&info.gauges, BarrierOp::Rebalance)?;
+        let fleet = self.shared.barrier.load(Ordering::SeqCst);
+        if fleet != BARRIER_IDLE {
+            return Err(GatewayError::BarrierConflict {
+                in_progress: BarrierOp::decode(fleet)
+                    .expect("a non-idle barrier always holds an encoded op"),
+                requested: BarrierOp::Rebalance,
+            });
+        }
+        // One migration at a time: two in opposite directions would each
+        // pause the worker the other's import needs.
+        let _coordinator = self
+            .shared
+            .migration
+            .lock()
+            .expect("migration coordinators never panic under this lock");
+        let (from_shard, from_idx) = info.location();
+        if from_shard == target_shard {
+            return Ok(MigrationReport {
+                tenant: tenant.to_string(),
+                slot_id,
+                from_shard,
+                to_shard: target_shard,
+                queued_moved: 0,
+                sealed_bytes: 0,
+                state_epoch: 0,
+                duration_nanos: 0,
+            });
+        }
+        // The handoff seal binds to the *current* checkpoint epoch — a
+        // migration is not a checkpoint and consumes no epoch.
+        let header = Arc::new(glimmer_wire::snapshot::header_bytes(
+            GATEWAY_SNAPSHOT_KIND,
+            self.shared.checkpoint_epoch.load(Ordering::SeqCst),
+            self.shared.clock.now_nanos(),
+        ));
+        let (ready_tx, ready_rx) = channel();
+        let (go_tx, go_rx) = channel();
+        let (reply_tx, reply_rx) = channel();
+        let (done_tx, done_rx) = channel();
+        self.send(
+            from_shard,
+            ShardCommand::MigrateOut {
+                slot: from_idx,
+                header,
+                ready: ready_tx,
+                go: go_rx,
+                reply: reply_tx,
+                done: done_rx,
+            },
+        )?;
+        Self::recv(&ready_rx)?;
+        // The source worker is paused. `MidMigrationExport` models the
+        // process dying before the slot was touched: release the worker
+        // untouched and fail.
+        if let Err(e) = crash(CrashPoint::MidMigrationExport) {
+            let _ = go_tx.send(false);
+            self.shared.telemetry.record_migration_aborted();
+            return Err(e);
+        }
+        if go_tx.send(true).is_err() {
+            return Err(GatewayError::RuntimeUnavailable);
+        }
+        let package = match Self::recv(&reply_rx)? {
+            Ok(package) => package,
+            Err(e) => {
+                // The export failed inside the worker; the slot never left.
+                self.shared.telemetry.record_migration_aborted();
+                return Err(e);
+            }
+        };
+        let queued_moved = info.gauges.queue_depth.load(Ordering::SeqCst);
+        let sealed_bytes = package.sealed_state.len();
+        let state_epoch = package.state_epoch;
+        // The slot is in flight and its source worker is parked on `done`.
+        // Both remaining crash points unwind identically — hand the slot
+        // straight back to the worker that still logically owns it.
+        // `SlotHandedOff` models dying with the slot in transit;
+        // `MidMigrationImport` models dying at the import boundary (the
+        // commit below is one atomic store, so no partially-imported state
+        // exists to distinguish the two on recovery).
+        if let Err(e) =
+            crash(CrashPoint::SlotHandedOff).and_then(|()| crash(CrashPoint::MidMigrationImport))
+        {
+            let _ = done_tx.send(Some(package.worker));
+            self.shared.telemetry.record_migration_aborted();
+            return Err(e);
+        }
+        let (import_tx, import_rx) = channel();
+        if let Err(send_err) = self.senders[target_shard].send(ShardCommand::MigrateIn {
+            worker: package.worker,
+            reply: import_tx,
+        }) {
+            // Target worker gone (runtime tearing down): fail closed by
+            // reinstalling the slot on its source shard.
+            if let ShardCommand::MigrateIn { worker, .. } = send_err.0 {
+                let _ = done_tx.send(Some(worker));
+            }
+            self.shared.telemetry.record_migration_aborted();
+            return Err(GatewayError::RuntimeUnavailable);
+        }
+        let new_idx = Self::recv(&import_rx)?;
+        // Commit: one SeqCst store retargets every future routing read.
+        // From here the migration is irrevocable.
+        info.set_location(target_shard, new_idx);
+        if done_tx.send(None).is_err() {
+            return Err(GatewayError::RuntimeUnavailable);
+        }
+        // Flush strays: the queue is FIFO, so this fence's reply proves
+        // every command the routing layer sent to the source shard before
+        // the commit has been served — forwarded through the tombstone or
+        // answered — before the migration call returns.
+        let (fence_tx, fence_rx) = channel();
+        self.send(from_shard, ShardCommand::Fence { reply: fence_tx })?;
+        Self::recv(&fence_rx)?;
+        let duration_nanos = self.shared.clock.now_nanos().saturating_sub(start_nanos);
+        self.shared.telemetry.record_migration(duration_nanos);
+        Ok(MigrationReport {
+            tenant: tenant.to_string(),
+            slot_id,
+            from_shard,
+            to_shard: target_shard,
+            queued_moved,
+            sealed_bytes,
+            state_epoch,
+            duration_nanos,
+        })
     }
 
     /// Rebuilds a serving gateway from a base snapshot plus an ordered

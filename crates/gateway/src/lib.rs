@@ -40,6 +40,14 @@
 //!   (deterministic under [`ManualClock`]), and a bounded rejection
 //!   journal — exported as a [`TelemetrySnapshot`] with Prometheus-style
 //!   text and JSON renderings. No payload data ever enters telemetry.
+//! * **Live rebalancing** ([`rebalance`]) — online slot migration between
+//!   shards: a per-slot quiesce (one slot pauses, the fleet keeps serving),
+//!   a sealed export at the handoff point, transfer of the live slot —
+//!   enclave handle, queued work, gauges — to the least-loaded shard, and
+//!   an atomic routing retarget with no lost window. A deterministic
+//!   planner plus [`Rebalancer`] watch per-shard queue depths and migrate
+//!   when imbalance crosses [`RebalanceConfig`]'s hysteresis band, so a
+//!   hot shard is a transient condition, not a permanent one.
 //! * **Checkpoint/restore** ([`checkpoint`]) — a crash-safe snapshot of the
 //!   whole serving state: per-slot enclave state sealed *by the enclaves*
 //!   (MrEnclave policy, snapshot header as AAD), the established-session
@@ -77,6 +85,7 @@ pub mod frontend;
 pub mod gateway;
 pub mod net;
 pub mod pool;
+pub mod rebalance;
 pub(crate) mod runtime;
 pub mod session;
 pub mod stats;
@@ -89,12 +98,13 @@ pub use checkpoint::{
     GATEWAY_DELTA_KIND, GATEWAY_SNAPSHOT_KIND,
 };
 pub use clock::{Clock, ManualClock, SystemClock};
-pub use config::{GatewayConfig, NetConfig, TenantConfig, TenantQuota};
+pub use config::{GatewayConfig, NetConfig, RebalanceConfig, TenantConfig, TenantQuota};
 pub use error::{GatewayError, QuotaResource, Result};
 pub use frontend::{AsyncGateway, SessionExecutor, WaitGroup};
 pub use gateway::{Gateway, GatewayResponse};
 pub use net::{GatewayClient, NetError, ServerHandle};
 pub use pool::{PoolSlot, TenantPool};
+pub use rebalance::{plan_rebalance, MigrationPlan, MigrationReport, Rebalancer, SlotLoad};
 pub use runtime::BarrierOp;
 pub use session::{SessionEntry, SessionState, SessionTable};
 pub use stats::{GatewayStats, SlotStats, SlotStatsRow, TenantStats};

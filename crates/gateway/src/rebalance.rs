@@ -1,0 +1,313 @@
+//! Live slot rebalancing: turning a hot shard from a permanent condition
+//! into a transient one.
+//!
+//! Queue-depth-aware placement (the `open_session` policy) only steers
+//! *new* sessions; once a session is bound to a slot, its traffic lands on
+//! whatever shard owns that slot. Under skewed device traffic that leaves
+//! one worker's queues deep while its siblings idle. This module closes
+//! the loop: a pure, deterministic planner ([`plan_rebalance`]) looks at
+//! per-slot queued work, and a [`Rebalancer`] executes the plan by calling
+//! [`Gateway::migrate_slot`] — a per-slot quiesce, sealed export at the
+//! handoff point, transfer of the live slot to the least-loaded shard, and
+//! an atomic routing retarget, all while every other slot keeps serving.
+//!
+//! The planner is deliberately conservative:
+//!
+//! - it moves nothing until the gap between the deepest and shallowest
+//!   shard exceeds [`RebalanceConfig::min_imbalance`] (the hysteresis band
+//!   that keeps a near-balanced fleet from thrashing);
+//! - it only picks a slot whose queued work `d` satisfies `2d <= gap`, so
+//!   the receiving shard can never end up deeper than the shard it was
+//!   relieved from — which is what makes oscillation impossible: each
+//!   executed move strictly shrinks the fleet's load imbalance (the sum of
+//!   squared shard depths drops by `2d * (gap - d) > 0`);
+//! - among eligible slots it takes the deepest (closest to `gap / 2`),
+//!   breaking ties toward the lexicographically first `(tenant, slot)` so
+//!   identical inputs always yield identical plans.
+//!
+//! The per-shard aggregates the planner derives are the same numbers the
+//! telemetry snapshot exposes as `glimmer_shard_queue_depth{shard=..}`;
+//! the planner reads them from the live slot gauges (the ones the
+//! placement policy maintains at admission time) rather than the snapshot,
+//! so a freshly skewed burst is visible before any drain sweep runs.
+
+use crate::config::RebalanceConfig;
+use crate::error::Result;
+use crate::gateway::Gateway;
+use std::sync::Arc;
+
+/// One pool slot's live load, as reported by [`Gateway::slot_loads`] in
+/// deterministic (tenant name, slot id) order.
+#[derive(Debug, Clone)]
+pub struct SlotLoad {
+    /// Owning tenant (the gateway's interned label).
+    pub tenant: Arc<str>,
+    /// Slot index within the tenant's pool.
+    pub slot_id: usize,
+    /// Shard that currently owns the slot.
+    pub shard: usize,
+    /// Requests queued on the slot right now.
+    pub queued: u64,
+}
+
+/// One planned migration: move `(tenant, slot_id)` from `from_shard` to
+/// `to_shard`. Produced by [`plan_rebalance`], executed by
+/// [`Rebalancer::tick`] via [`Gateway::migrate_slot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationPlan {
+    /// Tenant owning the slot to move.
+    pub tenant: Arc<str>,
+    /// The slot to move.
+    pub slot_id: usize,
+    /// The overloaded shard it leaves.
+    pub from_shard: usize,
+    /// The least-loaded shard it joins.
+    pub to_shard: usize,
+    /// The queued-work gap (deepest minus shallowest shard) the move
+    /// addresses.
+    pub gap: u64,
+}
+
+/// What one committed [`Gateway::migrate_slot`] call did.
+#[derive(Debug, Clone)]
+pub struct MigrationReport {
+    /// Tenant owning the migrated slot.
+    pub tenant: String,
+    /// The migrated slot's index within the tenant's pool.
+    pub slot_id: usize,
+    /// Shard the slot left.
+    pub from_shard: usize,
+    /// Shard the slot now serves from.
+    pub to_shard: usize,
+    /// Requests that were queued on the slot and travelled with it (they
+    /// replay on the new worker's next drain sweep).
+    pub queued_moved: usize,
+    /// Size of the sealed crash-recovery artifact captured at the handoff
+    /// point.
+    pub sealed_bytes: usize,
+    /// The enclave state epoch inside that sealed artifact.
+    pub state_epoch: u64,
+    /// Wall nanos from slot claim to post-commit fence (`0` for the
+    /// same-shard no-op).
+    pub duration_nanos: u64,
+}
+
+/// Sums per-shard queued work over `shards` shards (shards owning no slot
+/// count as depth `0`).
+fn shard_depths(slots: &[SlotLoad], shards: usize) -> Vec<u64> {
+    let mut depths = vec![0u64; shards];
+    for load in slots {
+        if let Some(depth) = depths.get_mut(load.shard) {
+            *depth += load.queued;
+        }
+    }
+    depths
+}
+
+/// The pure migration planner: given every slot's live load and the shard
+/// count, picks at most one slot to move from the deepest shard to the
+/// shallowest, or `None` when the fleet is balanced (gap within
+/// [`RebalanceConfig::min_imbalance`]) or no slot can move without
+/// overshooting.
+///
+/// Guarantees (property-tested in `tests/rebalance.rs`):
+///
+/// - the target shard is strictly shallower than the source, and stays no
+///   deeper than the source even after receiving the slot (`2d <= gap`);
+/// - executed plans never oscillate: each move strictly decreases the sum
+///   of squared shard depths, so plan→apply loops terminate;
+/// - a balanced fleet yields `None`;
+/// - deterministic: identical inputs yield identical plans.
+#[must_use]
+pub fn plan_rebalance(
+    slots: &[SlotLoad],
+    shards: usize,
+    config: &RebalanceConfig,
+) -> Option<MigrationPlan> {
+    if shards < 2 {
+        return None;
+    }
+    let depths = shard_depths(slots, shards);
+    // First index wins ties on both ends, so the plan is deterministic.
+    let (from_shard, &max_depth) = depths
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))?;
+    let (to_shard, &min_depth) = depths
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.cmp(b.1).then(a.0.cmp(&b.0)))?;
+    let gap = max_depth - min_depth;
+    if gap <= config.min_imbalance {
+        return None;
+    }
+    // Eligible: lives on the hot shard, carries work, and moving it cannot
+    // push the cold shard past the hot one. Deepest eligible slot wins
+    // (most relief per move); ties break toward the first (tenant, slot).
+    slots
+        .iter()
+        .filter(|load| load.shard == from_shard && load.queued >= 1 && 2 * load.queued <= gap)
+        .max_by(|a, b| {
+            a.queued
+                .cmp(&b.queued)
+                .then_with(|| b.tenant.cmp(&a.tenant))
+                .then(b.slot_id.cmp(&a.slot_id))
+        })
+        .map(|load| MigrationPlan {
+            tenant: Arc::clone(&load.tenant),
+            slot_id: load.slot_id,
+            from_shard,
+            to_shard,
+            gap,
+        })
+}
+
+/// Drives [`plan_rebalance`] against a live gateway: each [`tick`]
+/// re-reads the slot gauges, executes up to
+/// [`RebalanceConfig::max_moves_per_tick`] planned migrations, then sits
+/// out [`RebalanceConfig::cooldown_ticks`] ticks so the moved queues drain
+/// before the next imbalance reading is trusted.
+///
+/// The rebalancer holds no reference to the gateway — an operator loop (or
+/// a test) owns the cadence and passes the gateway each tick.
+///
+/// [`tick`]: Rebalancer::tick
+#[derive(Debug)]
+pub struct Rebalancer {
+    config: RebalanceConfig,
+    cooldown: u32,
+}
+
+impl Rebalancer {
+    /// A rebalancer that plans with `config`, ready to act on its first
+    /// tick.
+    #[must_use]
+    pub fn new(config: RebalanceConfig) -> Rebalancer {
+        Rebalancer {
+            config,
+            cooldown: 0,
+        }
+    }
+
+    /// Ticks remaining before the next tick may migrate (`0` = armed).
+    #[must_use]
+    pub fn cooldown_remaining(&self) -> u32 {
+        self.cooldown
+    }
+
+    /// One planner tick: plan against the gateway's live slot loads and
+    /// execute the moves. Returns the reports of every migration committed
+    /// this tick (empty while cooling down or balanced).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Gateway::migrate_slot`] failures. A
+    /// [`crate::GatewayError::BarrierConflict`] here means a checkpoint or
+    /// another slot-scoped capture won the race for the chosen slot — the
+    /// slot still serves from its source shard, and the next tick simply
+    /// re-plans.
+    pub fn tick(&mut self, gateway: &Gateway) -> Result<Vec<MigrationReport>> {
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return Ok(Vec::new());
+        }
+        let mut reports = Vec::new();
+        for _ in 0..self.config.max_moves_per_tick.max(1) {
+            let loads = gateway.slot_loads();
+            let Some(plan) = plan_rebalance(&loads, gateway.shard_count(), &self.config) else {
+                break;
+            };
+            reports.push(gateway.migrate_slot(&plan.tenant, plan.slot_id, plan.to_shard)?);
+        }
+        if !reports.is_empty() {
+            self.cooldown = self.config.cooldown_ticks;
+        }
+        Ok(reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(tenant: &str, slot_id: usize, shard: usize, queued: u64) -> SlotLoad {
+        SlotLoad {
+            tenant: Arc::from(tenant),
+            slot_id,
+            shard,
+            queued,
+        }
+    }
+
+    fn config(min_imbalance: u64) -> RebalanceConfig {
+        RebalanceConfig {
+            min_imbalance,
+            ..RebalanceConfig::default()
+        }
+    }
+
+    #[test]
+    fn balanced_fleet_plans_nothing() {
+        let slots = [load("a", 0, 0, 10), load("a", 1, 1, 10)];
+        assert!(plan_rebalance(&slots, 2, &config(0)).is_none());
+    }
+
+    #[test]
+    fn gap_within_hysteresis_band_plans_nothing() {
+        let slots = [load("a", 0, 0, 70), load("a", 1, 1, 10)];
+        // gap = 60 <= min_imbalance = 64: inside the band, hold still.
+        assert!(plan_rebalance(&slots, 2, &config(64)).is_none());
+    }
+
+    #[test]
+    fn skewed_fleet_moves_deepest_eligible_slot_to_coldest_shard() {
+        let slots = [
+            load("a", 0, 0, 50),
+            load("a", 1, 0, 30),
+            load("b", 0, 0, 80),
+            load("b", 1, 2, 5),
+        ];
+        // depths: shard0=160, shard1=0, shard2=5 → gap=160 (0 → 1).
+        // Eligible on shard 0: all three (2d <= 160); deepest is b/0.
+        let plan = plan_rebalance(&slots, 3, &config(16)).expect("skew crosses the band");
+        assert_eq!(&*plan.tenant, "b");
+        assert_eq!(plan.slot_id, 0);
+        assert_eq!(plan.from_shard, 0);
+        assert_eq!(plan.to_shard, 1);
+        assert_eq!(plan.gap, 160);
+    }
+
+    #[test]
+    fn overshooting_slots_are_ineligible() {
+        // One giant slot: moving it would just swap which shard is hot.
+        let slots = [load("a", 0, 0, 100)];
+        assert!(plan_rebalance(&slots, 2, &config(10)).is_none());
+    }
+
+    #[test]
+    fn single_shard_never_plans() {
+        let slots = [load("a", 0, 0, 1000)];
+        assert!(plan_rebalance(&slots, 1, &config(0)).is_none());
+    }
+
+    #[test]
+    fn ties_break_toward_first_tenant_then_slot() {
+        let slots = [
+            load("b", 1, 0, 20),
+            load("b", 0, 0, 20),
+            load("a", 3, 0, 20),
+        ];
+        let plan = plan_rebalance(&slots, 2, &config(4)).expect("gap 60 > 4");
+        assert_eq!(&*plan.tenant, "a");
+        assert_eq!(plan.slot_id, 3);
+    }
+
+    #[test]
+    fn empty_shards_count_as_coldest() {
+        let slots = [load("a", 0, 0, 40), load("a", 1, 0, 40), load("a", 2, 1, 8)];
+        // depths: [80, 8, 0, 0] → the first idle shard is the target.
+        let plan = plan_rebalance(&slots, 4, &config(8)).expect("shard 2 idles");
+        assert_eq!(plan.to_shard, 2);
+        assert_eq!(plan.from_shard, 0);
+    }
+}

@@ -80,6 +80,15 @@ pub(crate) struct SlotGauges {
     /// The delta-checkpoint path reads it to decide — without pausing the
     /// worker — whether a slot mutated since the base snapshot.
     pub(crate) dirty_epoch: AtomicU64,
+    /// Who currently holds this *slot's* quiesce claim (encoded
+    /// [`BarrierOp`], or [`BARRIER_IDLE`]). Slot-scoped operations — a
+    /// streamed/delta per-slot export barrier, a live migration — claim the
+    /// slot instead of the whole fleet, so they can overlap on different
+    /// slots; two of them contending on one slot would interleave per-slot
+    /// barriers on the same worker (or move the slot out from under an
+    /// in-flight export), so the loser of the CAS gets a typed
+    /// [`GatewayError::BarrierConflict`].
+    pub(crate) claim: AtomicU8,
 }
 
 /// Atomic per-tenant counters; snapshotted into [`TenantStats`] on read.
@@ -126,12 +135,53 @@ impl TenantCounters {
     }
 }
 
-/// Where one slot lives: which shard owns it and the shared gauges.
+/// Where one slot lives — which shard owns it and at which worker-local
+/// index — plus the shared gauges. The location is **dynamic**: migration
+/// retargets it with one atomic store, and every routing site reads the
+/// `(shard, worker_idx)` pair in one load, so a router can never observe a
+/// torn half-updated pair. A *stale* (but consistent) pair is still safe:
+/// worker-local indices are never reused, so the pair addresses either the
+/// live slot or its tombstone, and tombstoned commands are forwarded to the
+/// location current at serve time.
 pub(crate) struct SlotInfo {
-    pub(crate) shard: usize,
-    /// Index of the slot within its shard's worker-local slot vector.
-    pub(crate) worker_idx: usize,
+    /// Packed `(shard << 32) | worker_idx`.
+    location: AtomicU64,
     pub(crate) gauges: Arc<SlotGauges>,
+}
+
+impl SlotInfo {
+    pub(crate) fn new(shard: usize, worker_idx: usize, gauges: Arc<SlotGauges>) -> Self {
+        SlotInfo {
+            location: AtomicU64::new(Self::pack(shard, worker_idx)),
+            gauges,
+        }
+    }
+
+    fn pack(shard: usize, worker_idx: usize) -> u64 {
+        debug_assert!(shard <= u32::MAX as usize && worker_idx <= u32::MAX as usize);
+        ((shard as u64) << 32) | worker_idx as u64
+    }
+
+    /// The slot's current `(shard, worker-local index)`, as one consistent
+    /// pair.
+    pub(crate) fn location(&self) -> (usize, usize) {
+        let packed = self.location.load(Ordering::SeqCst);
+        ((packed >> 32) as usize, (packed & 0xFFFF_FFFF) as usize)
+    }
+
+    /// Commits a migration's new home. The coordinator stores this while the
+    /// source worker is still paused at its handoff barrier, so by the time
+    /// any stray command reaches the tombstone, the forward target is
+    /// already the new owner.
+    pub(crate) fn set_location(&self, shard: usize, worker_idx: usize) {
+        self.location
+            .store(Self::pack(shard, worker_idx), Ordering::SeqCst);
+    }
+
+    /// Convenience for read paths that only need the owning shard.
+    pub(crate) fn shard(&self) -> usize {
+        self.location().0
+    }
 }
 
 /// Immutable tenant metadata plus its shared counters.
@@ -176,23 +226,37 @@ pub(crate) struct Shared {
     /// worker pins (or fails to) before its first command receive, so any
     /// synchronous round-trip through a shard observes the final count.
     pub(crate) pinned_workers: AtomicUsize,
+    /// Serializes migration coordinators. Two concurrent migrations in
+    /// opposite directions would deadlock (each source worker pauses at its
+    /// handoff barrier while the other migration's import waits on it), so
+    /// the second coordinator queues here instead. Held only for the
+    /// microseconds one slot handoff takes; never taken by workers.
+    pub(crate) migration: Mutex<()>,
 }
 
-/// [`Shared::barrier`] value when no whole-gateway operation is running.
+/// [`Shared::barrier`] (and [`SlotGauges::claim`]) value when no quiescing
+/// operation holds the claim.
 pub(crate) const BARRIER_IDLE: u8 = 0;
 
-/// A whole-gateway operation that quiesces every shard worker. Two of these
-/// can never overlap on one gateway; see
+/// An operation that quiesces shard workers: the whole fleet (checkpoint,
+/// shutdown — claimed on the gateway-wide barrier word) or one slot at a
+/// time (streamed/delta exports, rebalancing — claimed on the slot's own
+/// claim byte). Two claims can never overlap on the same scope; see
 /// [`GatewayError::BarrierConflict`](crate::GatewayError::BarrierConflict).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BarrierOp {
     /// [`Gateway::checkpoint`](crate::Gateway::checkpoint) is pausing the
-    /// workers for a consistent capture.
+    /// workers for a consistent capture (the streamed and delta variants
+    /// hold the same fleet claim, plus a per-slot claim around each export).
     Checkpoint,
     /// [`Gateway::shutdown`](crate::Gateway::shutdown) is draining in-flight
     /// work before stopping the workers. Terminal: once entered, the barrier
     /// is never released.
     Shutdown,
+    /// [`Gateway::migrate_slot`](crate::Gateway::migrate_slot) is moving one
+    /// slot to another shard; the claim is slot-scoped, so serving and
+    /// migrations of other slots continue.
+    Rebalance,
 }
 
 impl BarrierOp {
@@ -200,13 +264,15 @@ impl BarrierOp {
         match self {
             BarrierOp::Checkpoint => 1,
             BarrierOp::Shutdown => 2,
+            BarrierOp::Rebalance => 3,
         }
     }
 
-    fn decode(value: u8) -> Option<Self> {
+    pub(crate) fn decode(value: u8) -> Option<Self> {
         match value {
             1 => Some(BarrierOp::Checkpoint),
             2 => Some(BarrierOp::Shutdown),
+            3 => Some(BarrierOp::Rebalance),
             _ => None,
         }
     }
@@ -217,6 +283,7 @@ impl core::fmt::Display for BarrierOp {
         match self {
             BarrierOp::Checkpoint => write!(f, "checkpoint"),
             BarrierOp::Shutdown => write!(f, "shutdown"),
+            BarrierOp::Rebalance => write!(f, "rebalance"),
         }
     }
 }
@@ -259,6 +326,45 @@ impl<'a> BarrierGuard<'a> {
 impl Drop for BarrierGuard<'_> {
     fn drop(&mut self) {
         self.shared.barrier.store(BARRIER_IDLE, Ordering::SeqCst);
+    }
+}
+
+/// Holds one slot's claim byte ([`SlotGauges::claim`]) for a slot-scoped
+/// quiesce: a streamed/delta per-slot export or a live migration. Release is
+/// automatic (including on every error path), mirroring [`BarrierGuard`].
+/// Claims compose with the fleet barrier in one direction each way: a fleet
+/// operation that pauses *every* worker (full checkpoint) additionally
+/// verifies no slot claim is live before pausing (a mid-flight migration
+/// would deadlock against the pause), and a migration verifies the fleet
+/// barrier is idle after claiming its slot — with seqcst ordering on both
+/// sides, at least one of two racing claimants observes the other.
+pub(crate) struct SlotClaim<'a> {
+    gauges: &'a SlotGauges,
+}
+
+impl<'a> SlotClaim<'a> {
+    /// Claims `gauges.claim` for `requested`, failing typed when another
+    /// slot-scoped operation already holds this slot.
+    pub(crate) fn acquire(gauges: &'a SlotGauges, requested: BarrierOp) -> Result<Self> {
+        match gauges.claim.compare_exchange(
+            BARRIER_IDLE,
+            requested.encode(),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => Ok(SlotClaim { gauges }),
+            Err(current) => Err(GatewayError::BarrierConflict {
+                in_progress: BarrierOp::decode(current)
+                    .expect("non-idle slot claim always holds an encoded op"),
+                requested,
+            }),
+        }
+    }
+}
+
+impl Drop for SlotClaim<'_> {
+    fn drop(&mut self) {
+        self.gauges.claim.store(BARRIER_IDLE, Ordering::SeqCst);
     }
 }
 
@@ -363,7 +469,54 @@ pub(crate) enum ShardCommand {
     CollectStats {
         reply: Sender<Vec<SlotStatsRow>>,
     },
+    /// Two-phase migration handoff barrier (the rebalance path). Same
+    /// ready/go protocol as `ExportSlot`, then the worker seals the slot's
+    /// state (the crash-recovery artifact), extracts the whole
+    /// [`WorkerSlot`] — enclave handle, in-flight queue, gauges — into the
+    /// reply, leaves a forwarding tombstone at the index, and **stays
+    /// paused on `done`** until the coordinator either commits (`None`: the
+    /// routing table already points at the new owner) or aborts
+    /// (`Some(slot)`: reinstall at the old index and resume as if nothing
+    /// happened). Staying paused is what closes the lost-window: while the
+    /// slot is in neither worker's vector, nothing drains this shard's
+    /// queue, so no command can reach the tombstone before the routing
+    /// table is retargeted.
+    MigrateOut {
+        slot: usize,
+        header: Arc<Vec<u8>>,
+        ready: Sender<()>,
+        go: Receiver<bool>,
+        reply: Sender<Result<MigrationPackage>>,
+        done: Receiver<Option<Box<WorkerSlot>>>,
+    },
+    /// Installs a migrated slot at the end of this worker's slot vector and
+    /// replies with its new worker-local index. In-flight queue entries
+    /// travel inside the slot and replay on this worker's next drain sweep.
+    MigrateIn {
+        worker: Box<WorkerSlot>,
+        reply: Sender<usize>,
+    },
+    /// Synchronous no-op round-trip. The queue is FIFO, so a fence reply
+    /// proves every command sent to this shard before the fence has been
+    /// served — the migration coordinator fences the source shard after
+    /// committing, flushing any stray commands through the tombstone's
+    /// forward before the migration call returns.
+    Fence {
+        reply: Sender<()>,
+    },
     Shutdown,
+}
+
+/// What a source worker hands the migration coordinator at a
+/// [`ShardCommand::MigrateOut`] barrier.
+pub(crate) struct MigrationPackage {
+    /// The live slot itself: enclave handle, queued items, stats, gauges.
+    pub(crate) worker: Box<WorkerSlot>,
+    /// Crash-recovery artifact: the slot's enclave state sealed at the
+    /// handoff point (AAD-bound to the migration header).
+    pub(crate) sealed_state: Vec<u8>,
+    /// The enclave's state epoch inside `sealed_state`.
+    pub(crate) state_epoch: u64,
 }
 
 /// One slot's contribution to a checkpoint, as reported by its shard worker.
@@ -412,32 +565,138 @@ impl WorkerSlot {
     }
 }
 
+/// One position in a worker's slot vector. Indices are append-only and
+/// never reused: a slot that migrates away leaves a permanent tombstone, so
+/// any routing pair captured before the move still addresses *something*
+/// meaningful — either the live slot or a forwarder to its current home.
+pub(crate) enum SlotEntry {
+    /// The worker owns this slot. Boxed so a tombstone costs two words,
+    /// not a whole [`WorkerSlot`] footprint — and so the slot moves
+    /// between shards as a pointer, never a memcpy of queue + scratch.
+    Occupied(Box<WorkerSlot>),
+    /// The slot migrated away; commands landing here are re-sent to the
+    /// location current at serve time ([`SlotInfo::location`]).
+    Moved { tenant_idx: usize, slot_id: usize },
+}
+
+impl SlotEntry {
+    fn occupied_mut(&mut self) -> Option<&mut WorkerSlot> {
+        match self {
+            SlotEntry::Occupied(ws) => Some(ws.as_mut()),
+            SlotEntry::Moved { .. } => None,
+        }
+    }
+
+    fn occupied(&self) -> Option<&WorkerSlot> {
+        match self {
+            SlotEntry::Occupied(ws) => Some(ws.as_ref()),
+            SlotEntry::Moved { .. } => None,
+        }
+    }
+}
+
 /// A shard worker: exclusively owns its slots and serves its command queue
 /// until shutdown.
 pub(crate) struct ShardWorker {
     pub(crate) shard_id: usize,
     pub(crate) shared: Arc<Shared>,
-    /// Worker-local slots in global (tenant, slot) order.
-    pub(crate) slots: Vec<WorkerSlot>,
+    /// Worker-local slots, initially in global (tenant, slot) order;
+    /// migrated-in slots append at the end, migrated-away slots tombstone
+    /// in place.
+    pub(crate) slots: Vec<SlotEntry>,
     pub(crate) rx: Receiver<ShardCommand>,
+    /// Senders to every shard (including this one), used to forward
+    /// commands that land on a tombstone after their slot migrated away.
+    pub(crate) senders: Vec<Sender<ShardCommand>>,
     /// Worker-owned drain buffers, reused across every slot and sweep (see
     /// [`DrainScratch`] for the ownership rules).
     pub(crate) scratch: DrainScratch,
 }
 
 impl ShardWorker {
+    /// Resolves a worker-local index that is guaranteed occupied (the run
+    /// loop forwards tombstoned commands before dispatching).
+    fn occupied_at(entry: &mut SlotEntry) -> &mut WorkerSlot {
+        match entry {
+            SlotEntry::Occupied(ws) => ws,
+            SlotEntry::Moved { .. } => {
+                unreachable!("commands for tombstoned slots are forwarded before dispatch")
+            }
+        }
+    }
+
+    /// The worker-local index a per-slot command targets, or `None` for
+    /// fan-out/barrier commands that address the whole shard.
+    fn target_slot(command: &ShardCommand) -> Option<usize> {
+        match command {
+            ShardCommand::OpenSession { slot, .. }
+            | ShardCommand::AcceptSession { slot, .. }
+            | ShardCommand::CloseSession { slot, .. }
+            | ShardCommand::InstallMask { slot, .. }
+            | ShardCommand::TenantChannelOffer { slot, .. }
+            | ShardCommand::TenantChannelComplete { slot, .. }
+            | ShardCommand::Submit { slot, .. }
+            | ShardCommand::ExportSlot { slot, .. }
+            | ShardCommand::MigrateOut { slot, .. } => Some(*slot),
+            _ => None,
+        }
+    }
+
+    /// Rewrites a per-slot command's worker-local index for its new shard.
+    fn retarget(command: ShardCommand, new_idx: usize) -> ShardCommand {
+        let mut command = command;
+        match &mut command {
+            ShardCommand::OpenSession { slot, .. }
+            | ShardCommand::AcceptSession { slot, .. }
+            | ShardCommand::CloseSession { slot, .. }
+            | ShardCommand::InstallMask { slot, .. }
+            | ShardCommand::TenantChannelOffer { slot, .. }
+            | ShardCommand::TenantChannelComplete { slot, .. }
+            | ShardCommand::Submit { slot, .. }
+            | ShardCommand::ExportSlot { slot, .. }
+            | ShardCommand::MigrateOut { slot, .. } => *slot = new_idx,
+            _ => {}
+        }
+        command
+    }
+
+    /// Forwards a command whose slot migrated away to the slot's current
+    /// owner (index rewritten); the reply channel travels with the command,
+    /// so the caller is answered by the new owner directly. Returns the
+    /// command back when its slot is still local.
+    fn forward_if_moved(&mut self, command: ShardCommand) -> Option<ShardCommand> {
+        let slot = match Self::target_slot(&command) {
+            Some(slot) => slot,
+            None => return Some(command),
+        };
+        let (tenant_idx, slot_id) = match &self.slots[slot] {
+            SlotEntry::Occupied(_) => return Some(command),
+            SlotEntry::Moved {
+                tenant_idx,
+                slot_id,
+            } => (*tenant_idx, *slot_id),
+        };
+        let (shard, idx) = self.shared.tenants[tenant_idx].slots[slot_id].location();
+        let _ = self.senders[shard].send(Self::retarget(command, idx));
+        None
+    }
+
     /// The worker loop. Exits on `Shutdown` or when every sender is gone.
     /// Replies are best-effort: a caller that gave up (dropped its receiver)
     /// doesn't stop the worker.
     pub(crate) fn run(mut self) {
         while let Ok(command) = self.rx.recv() {
+            let command = match self.forward_if_moved(command) {
+                Some(command) => command,
+                None => continue,
+            };
             match command {
                 ShardCommand::OpenSession {
                     slot,
                     session_id,
                     reply,
                 } => {
-                    let ws = &mut self.slots[slot];
+                    let ws = Self::occupied_at(&mut self.slots[slot]);
                     ws.mark_dirty();
                     let result = ws
                         .slot
@@ -452,7 +711,7 @@ impl ShardWorker {
                     accept,
                     reply,
                 } => {
-                    let ws = &mut self.slots[slot];
+                    let ws = Self::occupied_at(&mut self.slots[slot]);
                     ws.mark_dirty();
                     let result = ws
                         .slot
@@ -466,7 +725,6 @@ impl ShardWorker {
                     session_id,
                     reply,
                 } => {
-                    self.slots[slot].mark_dirty();
                     let result = self.close_session(slot, session_id);
                     reply.deliver(result);
                 }
@@ -476,7 +734,7 @@ impl ShardWorker {
                     delivery,
                     reply,
                 } => {
-                    let ws = &mut self.slots[slot];
+                    let ws = Self::occupied_at(&mut self.slots[slot]);
                     ws.mark_dirty();
                     let result = ws
                         .slot
@@ -486,7 +744,7 @@ impl ShardWorker {
                     reply.deliver(result);
                 }
                 ShardCommand::TenantChannelOffer { slot, reply } => {
-                    let ws = &mut self.slots[slot];
+                    let ws = Self::occupied_at(&mut self.slots[slot]);
                     ws.mark_dirty();
                     let result = ws
                         .slot
@@ -500,7 +758,7 @@ impl ShardWorker {
                     accept,
                     reply,
                 } => {
-                    let ws = &mut self.slots[slot];
+                    let ws = Self::occupied_at(&mut self.slots[slot]);
                     ws.mark_dirty();
                     let result = ws
                         .slot
@@ -514,17 +772,38 @@ impl ShardWorker {
                     self.shared
                         .telemetry
                         .trace_stage(trace, TraceStage::Enqueued, now);
-                    self.slots[slot].slot.enqueue(item, now, trace);
+                    Self::occupied_at(&mut self.slots[slot])
+                        .slot
+                        .enqueue(item, now, trace);
                 }
                 ShardCommand::SubmitMany { items } => {
                     // One clock read for the whole group: the items were
                     // admitted together, so they share an enqueue stamp.
+                    // Items whose slot migrated away since the batch was
+                    // routed are forwarded individually — the rewrite is
+                    // per item because one batch can straddle a migration.
                     let now = self.shared.telemetry.now_nanos();
                     for (slot, item, trace) in items {
-                        self.shared
-                            .telemetry
-                            .trace_stage(trace, TraceStage::Enqueued, now);
-                        self.slots[slot].slot.enqueue(item, now, trace);
+                        match &mut self.slots[slot] {
+                            SlotEntry::Occupied(ws) => {
+                                self.shared
+                                    .telemetry
+                                    .trace_stage(trace, TraceStage::Enqueued, now);
+                                ws.slot.enqueue(item, now, trace);
+                            }
+                            SlotEntry::Moved {
+                                tenant_idx,
+                                slot_id,
+                            } => {
+                                let (shard, idx) =
+                                    self.shared.tenants[*tenant_idx].slots[*slot_id].location();
+                                let _ = self.senders[shard].send(ShardCommand::Submit {
+                                    slot: idx,
+                                    item,
+                                    trace,
+                                });
+                            }
+                        }
                     }
                 }
                 ShardCommand::Drain { reply } => {
@@ -568,9 +847,84 @@ impl ShardWorker {
                 ShardCommand::CollectStats { reply } => {
                     let _ = reply.send(self.collect_stats());
                 }
+                ShardCommand::MigrateOut {
+                    slot,
+                    header,
+                    ready,
+                    go,
+                    reply,
+                    done,
+                } => {
+                    let _ = ready.send(());
+                    // Paused: the coordinator captures nothing here (the
+                    // session table needs no change — entries key on
+                    // (tenant, slot), not shard), but the two-phase shape
+                    // lets it abort cleanly before anything is touched.
+                    if !matches!(go.recv(), Ok(true)) {
+                        continue;
+                    }
+                    match self.migrate_out(slot, &header) {
+                        Ok(package) => {
+                            let _ = reply.send(Ok(package));
+                            // Stay paused until the coordinator commits or
+                            // aborts: while the slot is in-flight nothing
+                            // drains this queue, so no stray command can
+                            // reach the tombstone before the routing table
+                            // points at the new owner.
+                            match done.recv() {
+                                // Aborted after handoff: reinstall at the
+                                // old index and resume as if nothing
+                                // happened (fail-closed back to this shard).
+                                Ok(Some(worker)) => {
+                                    self.slots[slot] = SlotEntry::Occupied(worker);
+                                }
+                                // Committed: the tombstone stays forever.
+                                Ok(None) => {}
+                                // The coordinator died mid-handoff and took
+                                // the slot with it; nothing to reinstall.
+                                Err(_) => {}
+                            }
+                        }
+                        // Export failed: the slot never left this worker.
+                        Err(e) => {
+                            let _ = reply.send(Err(e));
+                        }
+                    }
+                }
+                ShardCommand::MigrateIn { worker, reply } => {
+                    self.slots.push(SlotEntry::Occupied(worker));
+                    let _ = reply.send(self.slots.len() - 1);
+                }
+                ShardCommand::Fence { reply } => {
+                    let _ = reply.send(());
+                }
                 ShardCommand::Shutdown => break,
             }
         }
+    }
+
+    /// Seals the slot's state (the crash-recovery artifact), extracts the
+    /// live [`WorkerSlot`] and leaves a forwarding tombstone in its place.
+    /// On a sealing error the slot is left untouched.
+    fn migrate_out(&mut self, slot: usize, header: &[u8]) -> Result<MigrationPackage> {
+        let ws = Self::occupied_at(&mut self.slots[slot]);
+        let (state_epoch, sealed_state, _stats) = ws.slot.export_checkpoint(header, None)?;
+        let sealed_state = sealed_state.expect("a forced export always seals");
+        let tombstone = SlotEntry::Moved {
+            tenant_idx: ws.tenant_idx,
+            slot_id: ws.slot.slot_id,
+        };
+        let worker = match std::mem::replace(&mut self.slots[slot], tombstone) {
+            SlotEntry::Occupied(ws) => ws,
+            SlotEntry::Moved { .. } => {
+                unreachable!("the entry was occupied two statements ago")
+            }
+        };
+        Ok(MigrationPackage {
+            worker,
+            sealed_state,
+            state_epoch,
+        })
     }
 
     /// Seals every owned slot's enclave state under the snapshot header.
@@ -578,7 +932,7 @@ impl ShardWorker {
     /// so the exports are consistent with the captured shared state.
     fn export_slots(&mut self, header: &[u8]) -> Result<Vec<SlotCheckpoint>> {
         let mut out = Vec::with_capacity(self.slots.len());
-        for ws in &mut self.slots {
+        for ws in self.slots.iter_mut().filter_map(SlotEntry::occupied_mut) {
             let (state_epoch, sealed_state, stats) = ws.slot.export_checkpoint(header, None)?;
             let sealed_state = sealed_state.expect("a forced export always seals");
             out.push(SlotCheckpoint {
@@ -601,7 +955,7 @@ impl ShardWorker {
         header: &[u8],
         known_state_epoch: Option<u64>,
     ) -> Result<SlotExport> {
-        let ws = &mut self.slots[slot];
+        let ws = Self::occupied_at(&mut self.slots[slot]);
         let (state_epoch, sealed_state, stats) =
             ws.slot.export_checkpoint(header, known_state_epoch)?;
         Ok(SlotExport {
@@ -615,7 +969,8 @@ impl ShardWorker {
     }
 
     fn close_session(&mut self, slot: usize, session_id: u64) -> Result<()> {
-        let ws = &mut self.slots[slot];
+        let ws = Self::occupied_at(&mut self.slots[slot]);
+        ws.mark_dirty();
         let tenant = &self.shared.tenants[ws.tenant_idx];
         let dropped = ws.slot.discard_session_items(session_id);
         ws.gauges.queue_depth.fetch_sub(dropped, Ordering::SeqCst);
@@ -644,14 +999,19 @@ impl ShardWorker {
         if telemetry.enabled() {
             // The live queue-depth gauge: what this shard has pending as
             // the sweep starts.
-            let depth: usize = self.slots.iter().map(|ws| ws.slot.queue_depth()).sum();
+            let depth: usize = self
+                .slots
+                .iter()
+                .filter_map(SlotEntry::occupied)
+                .map(|ws| ws.slot.queue_depth())
+                .sum();
             telemetry.record_drain_depth(self.shard_id, depth as u64);
         }
         // One scratch for the whole sweep: each slot encodes its request and
         // leaves its replies in the worker's reusable buffers, which are
         // consumed (drained, capacity kept) before the next slot runs.
         let scratch = &mut self.scratch;
-        for ws in &mut self.slots {
+        for ws in self.slots.iter_mut().filter_map(SlotEntry::occupied_mut) {
             let tenant = &self.shared.tenants[ws.tenant_idx];
             let drained =
                 match ws
@@ -713,6 +1073,7 @@ impl ShardWorker {
     fn collect_stats(&self) -> Vec<SlotStatsRow> {
         self.slots
             .iter()
+            .filter_map(SlotEntry::occupied)
             .map(|ws| {
                 let mut stats = ws.slot.stats();
                 stats.active_sessions = ws.gauges.active_sessions.load(Ordering::SeqCst);

@@ -581,6 +581,9 @@ pub struct Telemetry {
     net_idle_timeouts: AtomicU64,
     executor_timer_fires: AtomicU64,
     sessions_evicted: AtomicU64,
+    migration_nanos: Histogram,
+    migrations_completed: AtomicU64,
+    migrations_aborted: AtomicU64,
 }
 
 impl fmt::Debug for Telemetry {
@@ -635,6 +638,9 @@ impl Telemetry {
             net_idle_timeouts: AtomicU64::new(0),
             executor_timer_fires: AtomicU64::new(0),
             sessions_evicted: AtomicU64::new(0),
+            migration_nanos: Histogram::new(),
+            migrations_completed: AtomicU64::new(0),
+            migrations_aborted: AtomicU64::new(0),
         }
     }
 
@@ -870,6 +876,23 @@ impl Telemetry {
         }
     }
 
+    /// Records a committed live migration's wall duration (slot claim to
+    /// post-commit fence).
+    pub(crate) fn record_migration(&self, nanos: u64) {
+        if self.enabled {
+            self.migration_nanos.record(nanos);
+            self.migrations_completed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts a migration that failed closed back to its source shard
+    /// (injected crash, export failure, or runtime teardown mid-protocol).
+    pub(crate) fn record_migration_aborted(&self) {
+        if self.enabled {
+            self.migrations_aborted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Records a completed restore's wall duration.
     pub(crate) fn record_restore(&self, nanos: u64) {
         if self.enabled {
@@ -949,6 +972,9 @@ impl Telemetry {
             net_idle_timeouts: self.net_idle_timeouts.load(Ordering::Relaxed),
             executor_timer_fires: self.executor_timer_fires.load(Ordering::Relaxed),
             sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
+            migration_nanos: self.migration_nanos.snapshot(),
+            migrations_completed: self.migrations_completed.load(Ordering::Relaxed),
+            migrations_aborted: self.migrations_aborted.load(Ordering::Relaxed),
         }
     }
 }
@@ -1033,11 +1059,18 @@ pub struct TelemetrySnapshot {
     pub executor_timer_fires: u64,
     /// Stale pending sessions reclaimed by eviction.
     pub sessions_evicted: u64,
+    /// Committed live-migration durations (nanos), slot claim to
+    /// post-commit fence.
+    pub migration_nanos: HistogramSnapshot,
+    /// Live migrations committed (the slot now serves from its new shard).
+    pub migrations_completed: u64,
+    /// Live migrations that failed closed back to their source shard.
+    pub migrations_aborted: u64,
 }
 
 /// Exposition names for the snapshot's histograms, paired with accessors —
 /// single source of truth for rendering and tests.
-const HISTOGRAM_NAMES: [&str; 8] = [
+const HISTOGRAM_NAMES: [&str; 9] = [
     "glimmer_queue_wait_nanos",
     "glimmer_ecall_nanos",
     "glimmer_batch_size",
@@ -1046,13 +1079,14 @@ const HISTOGRAM_NAMES: [&str; 8] = [
     "glimmer_restore_nanos",
     "glimmer_executor_poll_nanos",
     "glimmer_executor_wake_nanos",
+    "glimmer_migration_nanos",
 ];
 
 impl TelemetrySnapshot {
     /// The snapshot's histograms with their exposition names, in render
     /// order.
     #[must_use]
-    pub fn histograms(&self) -> [(&'static str, &HistogramSnapshot); 8] {
+    pub fn histograms(&self) -> [(&'static str, &HistogramSnapshot); 9] {
         [
             (HISTOGRAM_NAMES[0], &self.queue_wait_nanos),
             (HISTOGRAM_NAMES[1], &self.ecall_nanos),
@@ -1062,6 +1096,7 @@ impl TelemetrySnapshot {
             (HISTOGRAM_NAMES[5], &self.restore_nanos),
             (HISTOGRAM_NAMES[6], &self.executor_poll_nanos),
             (HISTOGRAM_NAMES[7], &self.executor_wake_nanos),
+            (HISTOGRAM_NAMES[8], &self.migration_nanos),
         ]
     }
 
@@ -1103,6 +1138,15 @@ impl TelemetrySnapshot {
         ] {
             lines.push((
                 format!("glimmer_checkpoint_slots_total{{outcome={outcome}}}"),
+                count,
+            ));
+        }
+        for (outcome, count) in [
+            ("completed", self.migrations_completed),
+            ("aborted", self.migrations_aborted),
+        ] {
+            lines.push((
+                format!("glimmer_migrations_total{{outcome={outcome}}}"),
                 count,
             ));
         }
